@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table reproduction harnesses:
+ * the five evaluated machine configurations, run helpers returning the
+ * statistics each figure needs, and small formatting utilities.
+ *
+ * Environment knobs:
+ *   VBR_SCALE     multiplies workload iteration counts (default 1.0)
+ *   VBR_MP_CORES  cores for multiprocessor workloads (default 4)
+ */
+
+#ifndef VBR_BENCH_HARNESS_HPP
+#define VBR_BENCH_HARNESS_HPP
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "sys/system.hpp"
+#include "workload/multiproc.hpp"
+#include "workload/synthetic.hpp"
+
+namespace vbr::bench
+{
+
+inline double
+envScale()
+{
+    const char *s = std::getenv("VBR_SCALE");
+    return s ? std::atof(s) : 1.0;
+}
+
+inline unsigned
+envMpCores()
+{
+    const char *s = std::getenv("VBR_MP_CORES");
+    return s ? static_cast<unsigned>(std::atoi(s)) : 4;
+}
+
+/** One evaluated machine configuration (paper Figure 5 legend). */
+struct MachineConfig
+{
+    std::string name;
+    CoreConfig core;
+};
+
+/** Baseline: unconstrained LSQ + store-set predictor + snooping LQ. */
+inline MachineConfig
+baselineConfig()
+{
+    return {"baseline", CoreConfig::baseline()};
+}
+
+/** The paper's four value-based replay configurations. */
+inline std::vector<MachineConfig>
+replayConfigs()
+{
+    return {
+        {"replay-all",
+         CoreConfig::valueReplay(ReplayFilterConfig::replayAll())},
+        {"no-reorder",
+         [] {
+             // The paper's no-reorder marking is scheduler-based; see
+             // ReplayLoadInfo::issuedOutOfOrderSched for the caveat.
+             auto f = ReplayFilterConfig::noReorderOnly();
+             f.noReorderSchedulerSemantics = true;
+             return CoreConfig::valueReplay(f);
+         }()},
+        {"no-recent-miss",
+         CoreConfig::valueReplay(
+             ReplayFilterConfig::recentMissPlusNus())},
+        {"no-recent-snoop",
+         CoreConfig::valueReplay(
+             ReplayFilterConfig::recentSnoopPlusNus())},
+    };
+}
+
+/** Statistics extracted from one run. */
+struct RunStats
+{
+    std::string workload;
+    std::string config;
+    double ipc = 0.0;
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;
+
+    std::uint64_t l1dPremature = 0; ///< incl. wrong-path loads
+    std::uint64_t l1dStoreCommit = 0;
+    std::uint64_t l1dReplay = 0;
+    std::uint64_t l1dSwap = 0;
+    std::uint64_t replaysUnresolved = 0;
+    std::uint64_t replaysConsistency = 0;
+    std::uint64_t replaysFiltered = 0;
+    std::uint64_t committedLoads = 0;
+
+    double robOccupancy = 0.0;
+
+    std::uint64_t lqSearches = 0;       ///< baseline CAM searches
+    std::uint64_t squashLqRaw = 0;
+    std::uint64_t squashLqRawUnnec = 0;
+    std::uint64_t squashLqSnoop = 0;
+    std::uint64_t squashLqSnoopUnnec = 0;
+    std::uint64_t squashReplay = 0;
+    std::uint64_t wouldbeRaw = 0;
+    std::uint64_t wouldbeRawValueEq = 0;
+    std::uint64_t wouldbeSnoop = 0;
+    std::uint64_t wouldbeSnoopValueEq = 0;
+
+    std::uint64_t
+    l1dTotal() const
+    {
+        return l1dPremature + l1dStoreCommit + l1dReplay + l1dSwap;
+    }
+};
+
+inline RunStats
+collect(System &sys, const RunResult &result, const std::string &wl,
+        const std::string &cfg)
+{
+    RunStats s;
+    s.workload = wl;
+    s.config = cfg;
+    s.instructions = result.instructions;
+    s.cycles = result.cycles;
+    s.ipc = result.ipc();
+
+    double occ_sum = 0.0;
+    for (unsigned c = 0; c < sys.numCores(); ++c) {
+        const StatSet &st = sys.core(c).stats();
+        s.l1dPremature += st.get("l1d_accesses_premature");
+        s.l1dStoreCommit += st.get("l1d_accesses_store_commit");
+        s.l1dReplay += st.get("l1d_accesses_replay");
+        s.l1dSwap += st.get("l1d_accesses_swap");
+        s.replaysUnresolved += st.get("replays_unresolved_store");
+        s.replaysConsistency += st.get("replays_consistency");
+        s.replaysFiltered += st.get("replays_filtered");
+        s.committedLoads += st.get("committed_loads");
+        s.squashLqRaw += st.get("squashes_lq_raw");
+        s.squashLqRawUnnec += st.get("squashes_lq_raw_unnecessary");
+        s.squashLqSnoop += st.get("squashes_lq_snoop");
+        s.squashLqSnoopUnnec +=
+            st.get("squashes_lq_snoop_unnecessary");
+        s.squashReplay += st.get("squashes_replay_mismatch");
+        s.wouldbeRaw += st.get("wouldbe_squashes_raw");
+        s.wouldbeRawValueEq +=
+            st.get("wouldbe_squashes_raw_value_equal");
+        s.wouldbeSnoop += st.get("wouldbe_squashes_snoop");
+        s.wouldbeSnoopValueEq +=
+            st.get("wouldbe_squashes_snoop_value_equal");
+        occ_sum += sys.core(c).stats().getMean("rob_occupancy");
+        if (auto *lq = sys.core(c).assocLq())
+            s.lqSearches += lq->searches();
+    }
+    s.robOccupancy = occ_sum / sys.numCores();
+    return s;
+}
+
+/** Run one uniprocessor workload under one machine configuration. */
+inline RunStats
+runUni(const WorkloadSpec &spec, const MachineConfig &machine)
+{
+    Program prog = makeSynthetic(spec.params);
+    SystemConfig cfg;
+    cfg.cores = 1;
+    cfg.core = machine.core;
+    System sys(cfg, prog);
+    RunResult r = sys.run();
+    if (!r.allHalted)
+        fatal("workload " + spec.name + " did not halt under " +
+              machine.name);
+    return collect(sys, r, spec.name, machine.name);
+}
+
+/** Run one multiprocessor workload under one machine configuration. */
+inline RunStats
+runMp(const MpWorkloadSpec &spec, const MachineConfig &machine)
+{
+    SystemConfig cfg;
+    cfg.cores = spec.threads;
+    cfg.core = machine.core;
+    System sys(cfg, spec.prog);
+    RunResult r = sys.run();
+    if (!r.allHalted)
+        fatal("MP workload " + spec.name + " did not halt under " +
+              machine.name);
+    return collect(sys, r, spec.name, machine.name);
+}
+
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace vbr::bench
+
+#endif // VBR_BENCH_HARNESS_HPP

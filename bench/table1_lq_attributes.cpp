@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Table 1 reproduction: load-queue attributes of four commercial
+ * dynamically scheduled processors, with read/write port requirements
+ * derived from each design's issue width and load-queue organization
+ * (the same arithmetic the paper applies): one write port per load
+ * issued per cycle; one read port per store agen (all designs), per
+ * load agen in weakly-ordered insulated designs, and one extra for
+ * external invalidations in snooping designs.
+ */
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "lsq/assoc_load_queue.hpp"
+
+using namespace vbr;
+
+namespace
+{
+
+struct Survey
+{
+    const char *processor;
+    const char *lqEntries;
+    unsigned loadIssuePerCycle;
+    unsigned storeAgenPerCycle;
+    LqMode mode;
+};
+
+const Survey kSurvey[] = {
+    // Alpha 21364: 32-entry LQ, 2 load-or-store agens/cycle; weakly
+    // ordered insulated queue (21264-derived core).
+    {"Compaq Alpha 21364", "32", 2, 2, LqMode::Insulated},
+    // HAL SPARC64 V: size unknown, 2 loads + 2 store agens per cycle;
+    // TSO with snooping queue.
+    {"HAL SPARC64 V", "unknown", 2, 2, LqMode::Snooping},
+    // IBM Power4: 32-entry LQ, 2 load-or-store agens; hybrid
+    // (snoop-marking) design.
+    {"IBM Power4", "32", 2, 2, LqMode::Hybrid},
+    // Intel Pentium 4: 48-entry LQ, 1 load + 1 store agen; snooping.
+    {"Intel Pentium 4", "48", 1, 1, LqMode::Snooping},
+};
+
+const char *
+modeName(LqMode mode)
+{
+    switch (mode) {
+      case LqMode::Snooping: return "snooping";
+      case LqMode::Insulated: return "insulated";
+      case LqMode::Hybrid: return "hybrid";
+    }
+    return "?";
+}
+
+unsigned
+readPorts(const Survey &s)
+{
+    // Store agens always search; loads search in insulated/hybrid
+    // designs; snooping/hybrid designs need an external snoop port.
+    unsigned ports = s.storeAgenPerCycle;
+    if (s.mode == LqMode::Insulated || s.mode == LqMode::Hybrid)
+        ports += s.loadIssuePerCycle;
+    if (s.mode == LqMode::Snooping || s.mode == LqMode::Hybrid)
+        ports += 1;
+    return ports;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 1: load queue attributes of current "
+                "dynamically scheduled processors\n\n");
+
+    TextTable table;
+    table.header({"processor", "lq_entries", "organization",
+                  "est_read_ports", "est_write_ports"});
+    for (const Survey &s : kSurvey) {
+        table.row({s.processor, s.lqEntries, modeName(s.mode),
+                   std::to_string(readPorts(s)),
+                   std::to_string(s.loadIssuePerCycle)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("write ports = loads issued/cycle (each records its "
+                "address); read ports = store agens (+ load agens for "
+                "insulated/hybrid, + snoop port for snooping/hybrid "
+                "designs)\n");
+    return 0;
+}

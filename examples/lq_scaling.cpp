@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The paper's motivation in one tool: how associative load-queue
+ * latency and energy scale with entries and ports (Table 2 model),
+ * which sizes still fit in a cycle at various clock frequencies, and
+ * what that costs in IPC for a machine constrained to such a queue
+ * (mini Figure 8), versus value-based replay whose FIFO needs no CAM.
+ *
+ *   ./lq_scaling [workload]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cam/cam_model.hpp"
+#include "common/table.hpp"
+#include "sys/system.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace vbr;
+
+int
+main(int argc, char **argv)
+{
+    const char *name = argc > 1 ? argv[1] : "art";
+
+    CamModel cam;
+
+    std::printf("1. CAM scaling (3r/2w, 90 nm):\n");
+    TextTable scaling;
+    scaling.header({"entries", "latency_ns", "energy_nJ",
+                    "cycles@5GHz"});
+    for (unsigned n : {16u, 32u, 64u, 128u, 256u, 512u}) {
+        CamConfig cfg{n, 3, 2};
+        CamEstimate e = cam.estimate(cfg);
+        scaling.row({std::to_string(n), TextTable::fmt(e.latencyNs, 2),
+                     TextTable::fmt(e.energyNj, 2),
+                     std::to_string(cam.searchCycles(cfg, 5.0))});
+    }
+    std::printf("%s\n", scaling.render().c_str());
+
+    std::printf("2. largest single-cycle 2r/2w CAM by frequency:\n");
+    for (double ghz : {1.0, 1.5, 2.0, 3.0, 5.0})
+        std::printf("   %.1f GHz -> %u entries\n", ghz,
+                    cam.maxSingleCycleEntries(2, 2, ghz));
+
+    std::printf("\n3. IPC cost of constraining the load queue "
+                "(workload '%s'):\n",
+                name);
+    WorkloadSpec spec = uniprocessorWorkload(name, 0.3);
+    Program prog = makeSynthetic(spec.params);
+
+    SystemConfig vcfg;
+    vcfg.core = CoreConfig::valueReplay(
+        ReplayFilterConfig::recentSnoopPlusNus());
+    System vsys(vcfg, prog);
+    double vbr_ipc = vsys.run().ipc();
+    std::printf("   value-based replay (no CAM):  IPC %.3f\n", vbr_ipc);
+
+    for (unsigned entries : {128u, 64u, 32u, 16u, 8u}) {
+        SystemConfig cfg;
+        cfg.core = CoreConfig::baseline();
+        cfg.core.lqEntries = entries;
+        System sys(cfg, prog);
+        double ipc = sys.run().ipc();
+        std::printf("   assoc LQ %3u entries:         IPC %.3f "
+                    "(%.1f%% vs value-based)\n",
+                    entries, ipc, 100.0 * ipc / vbr_ipc);
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Pipeline trace demo: runs a tiny store/load kernel on the
+ * value-based replay machine with a TextTracer attached and prints
+ * every pipeline milestone — making the replay and compare stages of
+ * the paper's Figure 3 directly visible (loads show an extra `replay`
+ * event between writeback and commit; filtered loads do not).
+ *
+ *   ./pipeline_trace [max_lines]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/trace.hpp"
+#include "isa/assembler.hpp"
+#include "sys/system.hpp"
+
+using namespace vbr;
+
+int
+main(int argc, char **argv)
+{
+    unsigned max_lines = argc > 1
+                             ? static_cast<unsigned>(std::atoi(argv[1]))
+                             : 120;
+
+    Program prog;
+    Assembler as(prog);
+    as.ldi(1, 0x1000);
+    as.ldi(2, 6);
+    as.ldi(3, 0);
+    as.label("loop");
+    as.slli(5, 3, 3);
+    as.add(5, 5, 1);
+    as.st8(3, 5, 0);  // store i
+    as.ld8(6, 5, 0);  // load it back
+    as.add(4, 4, 6);
+    as.addi(3, 3, 1);
+    as.bne(3, 2, "loop");
+    as.halt();
+    as.finalize();
+    prog.threads().push_back({});
+
+    SystemConfig cfg;
+    cfg.core =
+        CoreConfig::valueReplay(ReplayFilterConfig::replayAll());
+    System sys(cfg, prog);
+
+    unsigned lines = 0;
+    TextTracer tracer([&lines, max_lines](const std::string &s) {
+        if (lines++ < max_lines)
+            std::printf("%s\n", s.c_str());
+    });
+    sys.core(0).setTracer(&tracer);
+
+    RunResult r = sys.run();
+    if (lines > max_lines)
+        std::printf("... (%u more trace lines suppressed)\n",
+                    lines - max_lines);
+    std::printf("\nhalted=%s cycles=%llu instructions=%llu "
+                "(r4 = %llu, expected 15)\n",
+                r.allHalted ? "yes" : "NO",
+                (unsigned long long)r.cycles,
+                (unsigned long long)r.instructions,
+                (unsigned long long)sys.core(0).archReg(4));
+    std::printf("\nnote the `replay` events on ld8 instructions: the "
+                "paper's replay stage re-reads the L1D through the "
+                "commit port after all prior stores drained.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quickstart: assemble a small program with the vbr API, run it on an
+ * out-of-order core that uses value-based replay for memory ordering,
+ * and inspect the statistics the paper's evaluation is built from.
+ *
+ *   ./quickstart
+ */
+
+#include <cstdio>
+
+#include "isa/assembler.hpp"
+#include "sys/system.hpp"
+
+using namespace vbr;
+
+int
+main()
+{
+    // ------------------------------------------------------------------
+    // 1. Build a program: sum an array through memory, with a
+    //    store->load dependence the core must get right even when the
+    //    load issues speculatively.
+    // ------------------------------------------------------------------
+    Program prog;
+    Assembler as(prog);
+    as.ldi(1, 0x1000); // array base
+    as.ldi(2, 64);     // element count
+    as.ldi(3, 0);      // index
+    as.ldi(4, 0);      // running sum
+    as.label("loop");
+    as.slli(5, 3, 3);
+    as.add(5, 5, 1);   // &array[i]
+    as.mul(6, 3, 3);
+    as.st8(6, 5, 0);   // array[i] = i * i
+    as.ld8(7, 5, 0);   // read it back (store-queue forwarding)
+    as.add(4, 4, 7);
+    as.addi(3, 3, 1);
+    as.bne(3, 2, "loop");
+    as.halt();
+    as.finalize();
+    prog.threads().push_back({}); // one thread, entry pc 0
+
+    // ------------------------------------------------------------------
+    // 2. Configure the machine: the paper's Table 3 core with
+    //    value-based replay and the best filter pair
+    //    (no-recent-snoop + no-unresolved-store).
+    // ------------------------------------------------------------------
+    SystemConfig cfg;
+    cfg.cores = 1;
+    cfg.core = CoreConfig::valueReplay(
+        ReplayFilterConfig::recentSnoopPlusNus());
+
+    System sys(cfg, prog);
+
+    // ------------------------------------------------------------------
+    // 3. Run to completion and inspect the results.
+    // ------------------------------------------------------------------
+    RunResult r = sys.run();
+    std::printf("halted: %s  cycles: %llu  instructions: %llu  "
+                "IPC: %.2f\n",
+                r.allHalted ? "yes" : "NO",
+                (unsigned long long)r.cycles,
+                (unsigned long long)r.instructions, r.ipc());
+
+    Word sum = sys.core(0).archReg(4);
+    std::printf("r4 (sum of squares 0..63) = %llu (expected %llu)\n",
+                (unsigned long long)sum, 85344ULL);
+
+    const StatSet &s = sys.core(0).stats();
+    std::printf("\nmemory-ordering statistics:\n");
+    std::printf("  committed loads:        %llu\n",
+                (unsigned long long)s.get("committed_loads"));
+    std::printf("  loads forwarded by SQ:  %llu\n",
+                (unsigned long long)s.get("loads_forwarded"));
+    std::printf("  replays performed:      %llu\n",
+                (unsigned long long)s.get("replays_total"));
+    std::printf("  replays filtered away:  %llu\n",
+                (unsigned long long)s.get("replays_filtered"));
+    std::printf("  replay mismatches:      %llu\n",
+                (unsigned long long)s.get("squashes_replay_mismatch"));
+    std::printf("\nfull per-core statistics are available via "
+                "core.stats().dump()\n");
+    return r.allHalted && sum == 85344 ? 0 : 1;
+}

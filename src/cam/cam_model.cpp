@@ -1,0 +1,146 @@
+#include "cam/cam_model.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+/** The published Table 2 calibration points (ns, nJ). Rows are entry
+ * counts {16,32,64,128,256,512}; columns are port configs
+ * {2/2, 3/2, 4/4, 6/6}. */
+struct CalPoint
+{
+    double ns;
+    double nj;
+};
+
+constexpr unsigned kRows = 6;
+constexpr unsigned kCols = 4;
+
+constexpr unsigned kEntries[kRows] = {16, 32, 64, 128, 256, 512};
+constexpr std::pair<unsigned, unsigned> kPorts[kCols] = {
+    {2, 2}, {3, 2}, {4, 4}, {6, 6}};
+
+constexpr CalPoint kTable[kRows][kCols] = {
+    {{0.60, 0.03}, {0.68, 0.04}, {0.72, 0.07}, {0.79, 0.12}},
+    {{0.75, 0.05}, {0.77, 0.06}, {0.85, 0.12}, {0.94, 0.20}},
+    {{0.78, 0.12}, {0.80, 0.15}, {0.87, 0.27}, {0.97, 0.45}},
+    {{0.78, 0.22}, {0.80, 0.28}, {0.88, 0.50}, {0.97, 0.85}},
+    {{0.97, 0.37}, {1.01, 0.48}, {1.13, 0.87}, {1.28, 1.51}},
+    {{1.00, 0.80}, {1.04, 1.03}, {1.16, 1.87}, {1.32, 3.22}},
+};
+
+} // namespace
+
+CamModel::CamModel() = default;
+
+std::optional<CamEstimate>
+CamModel::lookupCalibrated(const CamConfig &config) const
+{
+    for (unsigned r = 0; r < kRows; ++r) {
+        if (kEntries[r] != config.entries)
+            continue;
+        for (unsigned c = 0; c < kCols; ++c) {
+            if (kPorts[c].first == config.readPorts &&
+                kPorts[c].second == config.writePorts) {
+                return CamEstimate{kTable[r][c].ns, kTable[r][c].nj,
+                                   true};
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+CamEstimate
+CamModel::fitted(const CamConfig &config) const
+{
+    VBR_ASSERT(config.entries >= 1, "CAM with zero entries");
+    double n = config.entries;
+    double p = config.readPorts + config.writePorts;
+
+    // Energy: affine in entries, superlinear in total ports. The
+    // exponent 1.26 reproduces the published port-doubling penalty
+    // ("doubling the number of ports more than doubles the energy").
+    double e_per_entry = 0.00039 * std::pow(p, 1.26);
+    double energy = 0.005 + n * e_per_entry;
+
+    // Latency: logarithmic in entries with a ~1.5-2% penalty per
+    // additional port beyond four (approx. +15% for doubling ports).
+    double lat = (0.42 + 0.062 * std::log2(std::max(n, 2.0))) *
+                 (1.0 + 0.018 * (p - 4.0));
+
+    return CamEstimate{lat, energy, false};
+}
+
+CamEstimate
+CamModel::estimate(const CamConfig &config) const
+{
+    if (auto cal = lookupCalibrated(config))
+        return *cal;
+    return fitted(config);
+}
+
+unsigned
+CamModel::searchCycles(const CamConfig &config, double clock_ghz) const
+{
+    VBR_ASSERT(clock_ghz > 0.0, "clock must be positive");
+    double period_ns = 1.0 / clock_ghz;
+    double lat = estimate(config).latencyNs;
+    return static_cast<unsigned>(std::ceil(lat / period_ns));
+}
+
+unsigned
+CamModel::maxSingleCycleEntries(unsigned read_ports,
+                                unsigned write_ports,
+                                double clock_ghz) const
+{
+    unsigned best = 0;
+    for (unsigned n = 8; n <= 4096; n *= 2) {
+        CamConfig cfg{n, read_ports, write_ports};
+        if (searchCycles(cfg, clock_ghz) <= 1)
+            best = n;
+    }
+    return best;
+}
+
+const std::vector<unsigned> &
+CamModel::publishedEntries()
+{
+    static const std::vector<unsigned> v(kEntries, kEntries + kRows);
+    return v;
+}
+
+const std::vector<std::pair<unsigned, unsigned>> &
+CamModel::publishedPorts()
+{
+    static const std::vector<std::pair<unsigned, unsigned>> v(
+        kPorts, kPorts + kCols);
+    return v;
+}
+
+double
+ReplayPowerModel::deltaEnergyPerInstr(double replays_per_instr,
+                                      double searches_per_instr,
+                                      const CamConfig &cam_config) const
+{
+    double e_search = cam_.estimate(cam_config).energyNj;
+    return (params_.eCacheAccessNj + params_.eWordCompareNj) *
+               replays_per_instr -
+           e_search * searches_per_instr +
+           params_.eReplayOverheadNjPerInstr;
+}
+
+double
+ReplayPowerModel::breakEvenCamEnergyPerInstr(
+    double replays_per_instr) const
+{
+    return (params_.eCacheAccessNj + params_.eWordCompareNj) *
+               replays_per_instr +
+           params_.eReplayOverheadNjPerInstr;
+}
+
+} // namespace vbr

@@ -1,0 +1,355 @@
+#include "check/constraint_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace vbr
+{
+
+std::string
+CheckResult::summary() const
+{
+    std::ostringstream os;
+    os << (consistent ? "CONSISTENT" : "VIOLATION") << " (" << nodes
+       << " ops, " << edges << " edges";
+    if (overflowed)
+        os << ", overflowed";
+    os << ")";
+    for (const auto &e : errors)
+        os << "\n  error: " << e;
+    return os.str();
+}
+
+ScChecker::ScChecker(std::size_t max_ops, ConsistencyModel model)
+    : maxOps_(max_ops), model_(model)
+{
+}
+
+void
+ScChecker::reset()
+{
+    ops_.clear();
+    perCore_.clear();
+    overflowed_ = false;
+}
+
+void
+ScChecker::onMemCommit(const MemCommitEvent &event)
+{
+    if (ops_.size() >= maxOps_) {
+        overflowed_ = true;
+        return;
+    }
+    Op op;
+    op.core = event.core;
+    op.seq = event.seq;
+    op.addr = event.addr;
+    op.word = event.addr & ~Addr{7};
+    op.size = event.size;
+    op.isRead = event.isRead;
+    op.isWrite = event.isWrite;
+    op.readValue = event.readValue;
+    op.readVersion = event.readVersion;
+    op.writeValue = event.writeValue;
+    op.writeVersion = event.writeVersion;
+    op.performCycle = event.performCycle;
+    op.commitCycle = event.commitCycle;
+    op.isFence = event.isFence;
+
+    if (perCore_.size() <= event.core)
+        perCore_.resize(event.core + 1);
+    perCore_[event.core].push_back(
+        static_cast<std::uint32_t>(ops_.size()));
+    ops_.push_back(op);
+}
+
+CheckResult
+ScChecker::check() const
+{
+    CheckResult result;
+    result.nodes = ops_.size();
+    result.overflowed = overflowed_;
+
+    const std::uint32_t n = static_cast<std::uint32_t>(ops_.size());
+
+    // Mutable read attribution: value-based machines commit loads
+    // whose value matches several versions of a word (silent stores,
+    // value locality, paper SS2.1/SS5.1). A read attribution may
+    // therefore slide forward to a later version with identical
+    // observed bytes when that is needed to linearize the execution;
+    // a genuine violation (differing values) can never slide.
+    std::vector<std::uint32_t> read_ver(n, 0);
+    for (std::uint32_t i = 0; i < n; ++i)
+        read_ver[i] = ops_[i].readVersion;
+
+    // Writers per word/version (fixed).
+    struct WordWriters
+    {
+        std::unordered_map<std::uint32_t, std::uint32_t> byVersion;
+    };
+    std::unordered_map<Addr, WordWriters> writers;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const Op &op = ops_[i];
+        if (!op.isWrite)
+            continue;
+        auto [it, inserted] =
+            writers[op.word].byVersion.emplace(op.writeVersion, i);
+        if (!inserted) {
+            std::ostringstream os;
+            os << "two writers produced version " << op.writeVersion
+               << " of word 0x" << std::hex << op.word;
+            result.errors.push_back(os.str());
+        }
+        if (op.isRead && op.readVersion + 1 != op.writeVersion) {
+            std::ostringstream os;
+            os << "non-atomic RMW on word 0x" << std::hex << op.word
+               << std::dec << ": read v" << op.readVersion
+               << " wrote v" << op.writeVersion;
+            result.errors.push_back(os.str());
+        }
+    }
+
+    // Extract the bytes a read observes / a writer provides.
+    auto writer_bytes_match = [this](const Op &w, const Op &r) {
+        if (!rangeContains(w.addr, w.size, r.addr, r.size))
+            return false;
+        unsigned shift = static_cast<unsigned>(r.addr - w.addr) * 8;
+        Word mask = r.size >= 8 ? ~Word{0}
+                                : ((Word{1} << (r.size * 8)) - 1);
+        return ((w.writeValue >> shift) & mask) == r.readValue;
+    };
+
+    std::vector<std::vector<std::uint32_t>> adj;
+    std::vector<std::uint32_t> indeg;
+    std::size_t edges = 0;
+
+    auto build = [&]() {
+        adj.assign(n, {});
+        indeg.assign(n, 0);
+        edges = 0;
+        auto add_edge = [&](std::uint32_t from, std::uint32_t to) {
+            if (from == to)
+                return;
+            adj[from].push_back(to);
+            ++indeg[to];
+            ++edges;
+        };
+        if (model_ == ConsistencyModel::SequentialConsistency) {
+            for (const auto &seq : perCore_) {
+                for (std::size_t i = 1; i < seq.size(); ++i)
+                    add_edge(seq[i - 1], seq[i]);
+            }
+        } else if (model_ == ConsistencyModel::TotalStoreOrder) {
+            // Program order minus store->load. Encoded transitively:
+            // a read is ordered after the previous READ (R->R) and
+            // the previous same-word or barrier op; a write is
+            // ordered after the previous op of ANY kind (R->W, W->W).
+            for (const auto &seq : perCore_) {
+                std::uint32_t last_read = UINT32_MAX;
+                std::uint32_t last_any = UINT32_MAX;
+                std::unordered_map<Addr, std::uint32_t> last_same_word;
+                for (std::uint32_t idx : seq) {
+                    const Op &op = ops_[idx];
+                    bool barrier =
+                        op.isFence || (op.isRead && op.isWrite);
+                    bool plain_read = op.isRead && !op.isWrite;
+                    if (plain_read) {
+                        if (last_read != UINT32_MAX)
+                            add_edge(last_read, idx);
+                        auto it = last_same_word.find(op.word);
+                        if (it != last_same_word.end())
+                            add_edge(it->second, idx);
+                    } else {
+                        // Writes, fences, RMWs order after everything.
+                        if (last_any != UINT32_MAX)
+                            add_edge(last_any, idx);
+                        if (last_read != UINT32_MAX)
+                            add_edge(last_read, idx);
+                    }
+                    if (plain_read || barrier)
+                        last_read = idx;
+                    if (!plain_read || barrier)
+                        last_any = idx;
+                    if (!op.isFence)
+                        last_same_word[op.word] = idx;
+                }
+            }
+        } else {
+            // Weak ordering: within a thread, order only (a) accesses
+            // to the same word (coherence / paper Figure 1c), (b)
+            // operations across a fence or atomic RMW, in both
+            // directions.
+            for (const auto &seq : perCore_) {
+                std::unordered_map<Addr, std::uint32_t> last_same_word;
+                std::uint32_t last_barrier = UINT32_MAX;
+                std::vector<std::uint32_t> since_barrier;
+                for (std::uint32_t idx : seq) {
+                    const Op &op = ops_[idx];
+                    bool barrier =
+                        op.isFence || (op.isRead && op.isWrite);
+                    if (!op.isFence) {
+                        auto it = last_same_word.find(op.word);
+                        if (it != last_same_word.end())
+                            add_edge(it->second, idx);
+                        last_same_word[op.word] = idx;
+                    }
+                    if (last_barrier != UINT32_MAX)
+                        add_edge(last_barrier, idx);
+                    if (barrier) {
+                        for (std::uint32_t prev : since_barrier)
+                            add_edge(prev, idx);
+                        since_barrier.clear();
+                        last_barrier = idx;
+                    } else {
+                        since_barrier.push_back(idx);
+                    }
+                }
+            }
+        }
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const Op &op = ops_[i];
+            auto wit = writers.find(op.word);
+            if (op.isWrite && wit != writers.end()) {
+                // WAW: previous version writer precedes this one.
+                auto prev =
+                    wit->second.byVersion.find(op.writeVersion - 1);
+                if (prev != wit->second.byVersion.end())
+                    add_edge(prev->second, i);
+            }
+            if (op.isRead && wit != writers.end()) {
+                std::uint32_t v = read_ver[i];
+                auto w = wit->second.byVersion.find(v);
+                if (w != wit->second.byVersion.end())
+                    add_edge(w->second, i); // RAW
+                auto next = wit->second.byVersion.find(v + 1);
+                if (next != wit->second.byVersion.end())
+                    add_edge(i, next->second); // WAR
+            }
+        }
+    };
+
+    auto kahn = [&](std::vector<std::uint32_t> &residual_indeg) {
+        residual_indeg = indeg;
+        std::deque<std::uint32_t> q;
+        for (std::uint32_t i = 0; i < n; ++i)
+            if (residual_indeg[i] == 0)
+                q.push_back(i);
+        std::size_t drained = 0;
+        while (!q.empty()) {
+            std::uint32_t i = q.front();
+            q.pop_front();
+            ++drained;
+            for (std::uint32_t to : adj[i])
+                if (--residual_indeg[to] == 0)
+                    q.push_back(to);
+        }
+        return drained;
+    };
+
+    std::vector<std::uint32_t> residual;
+    std::size_t bumps = 0;
+    constexpr std::size_t kMaxBumps = 200000;
+    std::size_t drained = 0;
+    while (true) {
+        build();
+        drained = kahn(residual);
+        if (drained == n || bumps >= kMaxBumps)
+            break;
+        // Find a stuck, slidable read: its attribution jumps forward
+        // to the next version whose written bytes match the observed
+        // value (intermediate versions with different values are
+        // skipped — the read is simply ordered after them). RMWs are
+        // atomic and never slide.
+        bool bumped = false;
+        for (std::uint32_t i = 0; i < n && !bumped; ++i) {
+            if (residual[i] == 0)
+                continue;
+            const Op &op = ops_[i];
+            if (!op.isRead || op.isWrite)
+                continue;
+            auto wit = writers.find(op.word);
+            if (wit == writers.end())
+                continue;
+            std::uint32_t max_ver = 0;
+            for (const auto &[v, w] : wit->second.byVersion) {
+                (void)w;
+                max_ver = std::max(max_ver, v);
+            }
+            for (std::uint32_t v = read_ver[i] + 1; v <= max_ver;
+                 ++v) {
+                auto w = wit->second.byVersion.find(v);
+                if (w == wit->second.byVersion.end())
+                    continue;
+                if (writer_bytes_match(ops_[w->second], op)) {
+                    read_ver[i] = v;
+                    ++bumps;
+                    bumped = true;
+                    break;
+                }
+            }
+        }
+        if (!bumped)
+            break;
+    }
+    result.edges = edges;
+
+    // Value validation against the final attribution.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const Op &op = ops_[i];
+        if (!op.isRead)
+            continue;
+        std::uint32_t v = read_ver[i];
+        if (v == 0)
+            continue; // initial contents unknown to the checker
+        auto wit = writers.find(op.word);
+        auto w = wit != writers.end()
+                     ? wit->second.byVersion.find(v)
+                     : wit->second.byVersion.end();
+        if (wit == writers.end() ||
+            w == wit->second.byVersion.end()) {
+            std::ostringstream os;
+            os << "read of version " << v << " of word 0x" << std::hex
+               << op.word << " has no recorded writer";
+            result.errors.push_back(os.str());
+            continue;
+        }
+        const Op &writer = ops_[w->second];
+        if (rangeContains(writer.addr, writer.size, op.addr, op.size) &&
+            !writer_bytes_match(writer, op)) {
+            std::ostringstream os;
+            os << "value mismatch at word 0x" << std::hex << op.word
+               << std::dec << " version " << v;
+            result.errors.push_back(os.str());
+        }
+    }
+
+    if (drained != n) {
+        std::ostringstream os;
+        os << "constraint graph contains a cycle: execution is not "
+              "sequentially consistent; residual ops:";
+        unsigned shown = 0;
+        for (std::uint32_t i = 0; i < n && shown < 12; ++i) {
+            if (residual[i] == 0)
+                continue;
+            const Op &op = ops_[i];
+            os << "\n    core" << op.core << " seq" << op.seq << " "
+               << (op.isRead && op.isWrite
+                       ? "rmw"
+                       : (op.isRead ? "read" : "write"))
+               << " @0x" << std::hex << op.addr << std::dec;
+            if (op.isRead)
+                os << " rv" << read_ver[i] << "=" << op.readValue;
+            if (op.isWrite)
+                os << " wv" << op.writeVersion << "=" << op.writeValue;
+            os << " perf@" << op.performCycle << " commit@"
+               << op.commitCycle;
+            ++shown;
+        }
+        result.errors.push_back(os.str());
+    }
+    result.consistent = drained == n && result.errors.empty();
+    return result;
+}
+
+} // namespace vbr

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Fixed-capacity circular FIFO used for the reorder buffer, store
+ * queue, and the value-based replay load queue. Indexable by position
+ * from the head so age-ordered scans are trivial.
+ */
+
+#ifndef VBR_COMMON_CIRCULAR_BUFFER_HPP
+#define VBR_COMMON_CIRCULAR_BUFFER_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace vbr
+{
+
+/**
+ * Bounded FIFO over contiguous storage. Unlike std::deque it never
+ * allocates after construction and supports O(1) indexed access from
+ * the head (index 0 == oldest), which queue scans rely on.
+ */
+template <typename T>
+class CircularBuffer
+{
+  public:
+    explicit CircularBuffer(std::size_t capacity)
+        : slots_(capacity), capacity_(capacity)
+    {
+        VBR_ASSERT(capacity > 0, "CircularBuffer capacity must be > 0");
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == capacity_; }
+
+    /** Append a new youngest entry. Requires !full(). */
+    T &
+    pushBack(T value)
+    {
+        VBR_ASSERT(!full(), "pushBack on full CircularBuffer");
+        std::size_t pos = physical(size_);
+        slots_[pos] = std::move(value);
+        ++size_;
+        return slots_[pos];
+    }
+
+    /** Remove the oldest entry. Requires !empty(). */
+    void
+    popFront()
+    {
+        VBR_ASSERT(!empty(), "popFront on empty CircularBuffer");
+        head_ = (head_ + 1) % capacity_;
+        --size_;
+    }
+
+    /** Remove the youngest entry (used by squash rollback). */
+    void
+    popBack()
+    {
+        VBR_ASSERT(!empty(), "popBack on empty CircularBuffer");
+        --size_;
+    }
+
+    /** Oldest entry. */
+    T &front() { return slots_[head_]; }
+    const T &front() const { return slots_[head_]; }
+
+    /** Youngest entry. */
+    T &back() { return slots_[physical(size_ - 1)]; }
+    const T &back() const { return slots_[physical(size_ - 1)]; }
+
+    /** Entry at distance @p i from the head (0 == oldest). */
+    T &
+    at(std::size_t i)
+    {
+        VBR_ASSERT(i < size_, "CircularBuffer index out of range");
+        return slots_[physical(i)];
+    }
+
+    const T &
+    at(std::size_t i) const
+    {
+        VBR_ASSERT(i < size_, "CircularBuffer index out of range");
+        return slots_[physical(i)];
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    std::size_t
+    physical(std::size_t logical) const
+    {
+        return (head_ + logical) % capacity_;
+    }
+
+    std::vector<T> slots_;
+    std::size_t capacity_ = 0;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace vbr
+
+#endif // VBR_COMMON_CIRCULAR_BUFFER_HPP

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit: panic() for internal
+ * simulator bugs, fatal() for user/configuration errors, and a
+ * lightweight always-on assertion macro.
+ */
+
+#ifndef VBR_COMMON_LOGGING_HPP
+#define VBR_COMMON_LOGGING_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace vbr
+{
+
+/**
+ * Abort the process because the simulator itself is broken. Use for
+ * conditions that should be impossible regardless of configuration.
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/**
+ * Exit because the simulation cannot continue due to a user error
+ * (bad configuration, invalid workload parameters, ...).
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/** Warn without stopping the simulation. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+} // namespace vbr
+
+/**
+ * Always-enabled assertion: model invariants are cheap relative to the
+ * timing model, and silent corruption in an ordering study is far more
+ * expensive than the check.
+ */
+#define VBR_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::vbr::panic(std::string("assertion failed: ") + #cond +        \
+                         " at " + __FILE__ + ":" +                          \
+                         std::to_string(__LINE__) + ": " + (msg));          \
+        }                                                                   \
+    } while (0)
+
+#endif // VBR_COMMON_LOGGING_HPP

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis
+ * and property tests. A small xoshiro256** implementation is used so
+ * that workloads are bit-identical across platforms and standard
+ * library versions (std::mt19937 would also work, but its distribution
+ * adapters are not portable across library implementations).
+ */
+
+#ifndef VBR_COMMON_RNG_HPP
+#define VBR_COMMON_RNG_HPP
+
+#include <cstdint>
+
+#include "common/logging.hpp"
+
+namespace vbr
+{
+
+/**
+ * xoshiro256** by Blackman & Vigna (public domain reference
+ * implementation), seeded through splitmix64.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    /** Re-initialize the generator state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 to expand the seed into four state words.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        VBR_ASSERT(bound != 0, "Rng::below(0)");
+        // Rejection-free multiply-shift; bias is negligible for the
+        // bounds used in workload generation (<< 2^32).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        VBR_ASSERT(lo <= hi, "Rng::range with lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw: true with probability p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return static_cast<double>(next() >> 11) *
+                   (1.0 / 9007199254740992.0) < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+} // namespace vbr
+
+#endif // VBR_COMMON_RNG_HPP

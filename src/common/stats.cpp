@@ -1,0 +1,43 @@
+#include "common/stats.hpp"
+
+#include <sstream>
+
+namespace vbr
+{
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+double
+StatSet::getMean(const std::string &name) const
+{
+    auto it = averages_.find(name);
+    return it == averages_.end() ? 0.0 : it->second.mean();
+}
+
+std::string
+StatSet::dump(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &[name, c] : counters_)
+        os << prefix << name << " = " << c.value() << "\n";
+    for (const auto &[name, a] : averages_)
+        os << prefix << name << " = " << a.mean() << " (avg of "
+           << a.count() << " samples)\n";
+    return os.str();
+}
+
+void
+StatSet::reset()
+{
+    for (auto &[name, c] : counters_)
+        c.reset();
+    for (auto &[name, a] : averages_)
+        a.reset();
+}
+
+} // namespace vbr

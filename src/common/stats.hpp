@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Minimal statistics package: named counters, running averages, and
+ * histograms, grouped into a StatSet that can be dumped as text. The
+ * simulator's figures are all derived from these.
+ */
+
+#ifndef VBR_COMMON_STATS_HPP
+#define VBR_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vbr
+{
+
+/** Monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void operator+=(std::uint64_t n) { value_ += n; }
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Accumulator for a per-cycle or per-event quantity whose mean is
+ * reported (e.g. reorder buffer occupancy sampled every cycle).
+ */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+
+    std::uint64_t count() const { return count_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram with an overflow bucket. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** @param bucket_size width of each bucket; @param buckets count. */
+    Histogram(std::uint64_t bucket_size, std::size_t buckets)
+        : bucketSize_(bucket_size), counts_(buckets + 1, 0)
+    {
+    }
+
+    void
+    sample(std::uint64_t v)
+    {
+        if (counts_.empty())
+            return;
+        std::size_t idx = bucketSize_ ? v / bucketSize_ : 0;
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        ++counts_[idx];
+        sum_ += v;
+        ++total_;
+    }
+
+    std::uint64_t total() const { return total_; }
+
+    double
+    mean() const
+    {
+        return total_ == 0
+            ? 0.0
+            : static_cast<double>(sum_) / static_cast<double>(total_);
+    }
+
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+    std::uint64_t bucketSize() const { return bucketSize_; }
+
+  private:
+    std::uint64_t bucketSize_ = 1;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t sum_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A named collection of statistics. Modules register their stats at
+ * construction; harnesses read individual values or dump everything.
+ */
+class StatSet
+{
+  public:
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    Average &average(const std::string &name) { return averages_[name]; }
+
+    /** Read a counter (0 if never touched). Const-friendly lookup. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** Read an average's mean (0.0 if never sampled). */
+    double getMean(const std::string &name) const;
+
+    /** Render "name = value" lines, sorted by name. */
+    std::string dump(const std::string &prefix = "") const;
+
+    void reset();
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Average> averages_;
+};
+
+} // namespace vbr
+
+#endif // VBR_COMMON_STATS_HPP

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fixed-width text table renderer used by the benchmark harnesses to
+ * print paper-style tables and figure data series.
+ */
+
+#ifndef VBR_COMMON_TABLE_HPP
+#define VBR_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace vbr
+{
+
+/** Accumulates rows of cells and renders them with aligned columns. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with column padding and a separator under the header. */
+    std::string render() const;
+
+    /** Format helper: fixed-point with @p digits decimals. */
+    static std::string fmt(double v, int digits = 3);
+
+    /** Format helper: percentage with @p digits decimals. */
+    static std::string pct(double v, int digits = 1);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vbr
+
+#endif // VBR_COMMON_TABLE_HPP

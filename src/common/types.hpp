@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every vbr module.
+ */
+
+#ifndef VBR_COMMON_TYPES_HPP
+#define VBR_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace vbr
+{
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/**
+ * Per-core dynamic instruction sequence number, assigned in program
+ * (fetch) order. Sequence numbers are never reused within a run, so
+ * age comparisons reduce to integer comparisons.
+ */
+using SeqNum = std::uint64_t;
+
+/** Identifier of a core in a multiprocessor system. */
+using CoreId = std::uint32_t;
+
+/** A 64-bit data value as carried by registers and memory words. */
+using Word = std::uint64_t;
+
+/** Sentinel for "no sequence number" / "not in flight". */
+inline constexpr SeqNum kNoSeq = std::numeric_limits<SeqNum>::max();
+
+/** Sentinel for an invalid address. */
+inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Sentinel cycle meaning "never" / "not scheduled". */
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/**
+ * Return true when the byte ranges [a, a + a_size) and [b, b + b_size)
+ * overlap. Used by every address-disambiguation structure (store queue
+ * search, associative load queue search).
+ */
+constexpr bool
+rangesOverlap(Addr a, unsigned a_size, Addr b, unsigned b_size)
+{
+    return a < b + b_size && b < a + a_size;
+}
+
+/**
+ * Return true when [inner, inner + inner_size) is fully contained in
+ * [outer, outer + outer_size). Full containment is the condition for
+ * store-to-load forwarding from a single store queue entry.
+ */
+constexpr bool
+rangeContains(Addr outer, unsigned outer_size, Addr inner,
+              unsigned inner_size)
+{
+    return inner >= outer && inner + inner_size <= outer + outer_size;
+}
+
+} // namespace vbr
+
+#endif // VBR_COMMON_TYPES_HPP

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Retirement-side observation interface. The constraint-graph memory
+ * consistency checker subscribes to committed memory operations; the
+ * events carry the version of the memory word the operation observed
+ * or produced, which identifies reads-from relations exactly.
+ */
+
+#ifndef VBR_CORE_COMMIT_OBSERVER_HPP
+#define VBR_CORE_COMMIT_OBSERVER_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace vbr
+{
+
+/** A committed memory operation. SWAP commits as one atomic event
+ * with both read and write halves populated. */
+struct MemCommitEvent
+{
+    CoreId core = 0;
+    SeqNum seq = kNoSeq;
+    std::uint32_t pc = 0;
+    Addr addr = kNoAddr;
+    unsigned size = 0;
+
+    bool isRead = false;
+    bool isWrite = false;
+    /** MEMBAR retirement marker (no data); RMWs set read+write. */
+    bool isFence = false;
+
+    Word readValue = 0;
+    std::uint32_t readVersion = 0;  ///< word version observed
+
+    Word writeValue = 0;
+    std::uint32_t writeVersion = 0; ///< word version produced
+
+    /** Cycle the value was (last) sampled/produced: premature or
+     * replay sample for loads, drain for stores. */
+    Cycle performCycle = 0;
+    /** Cycle the instruction retired. */
+    Cycle commitCycle = 0;
+};
+
+/** Subscriber to committed memory operations. */
+class CommitObserver
+{
+  public:
+    virtual ~CommitObserver() = default;
+    virtual void onMemCommit(const MemCommitEvent &event) = 0;
+};
+
+} // namespace vbr
+
+#endif // VBR_CORE_COMMIT_OBSERVER_HPP

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Out-of-order core configuration. Defaults reproduce the paper's
+ * Table 3 machine: 8-wide, 15-stage, 256-entry ROB, 32-entry issue
+ * queue, 128-entry load queue / 64-entry store queue, 4 OoO-window
+ * L1D load ports and one commit-stage load/store port.
+ */
+
+#ifndef VBR_CORE_CORE_CONFIG_HPP
+#define VBR_CORE_CORE_CONFIG_HPP
+
+#include "common/types.hpp"
+#include "lsq/assoc_load_queue.hpp"
+#include "lsq/replay_filters.hpp"
+#include "predict/branch_predictor.hpp"
+
+namespace vbr
+{
+
+/** How the core enforces memory ordering. */
+enum class OrderingScheme
+{
+    AssocLoadQueue, ///< baseline: CAM-based load queue
+    ValueReplay,    ///< the paper's value-based replay mechanism
+};
+
+/** Which dependence predictor gates speculative load issue. */
+enum class DepPredictorKind
+{
+    StoreSet, ///< baseline default (4k SSIT / 128 LFST)
+    Simple,   ///< replay default (Alpha-style 4k x 1-bit wait table)
+};
+
+/** Full per-core configuration. */
+struct CoreConfig
+{
+    // Pipeline widths and depths.
+    unsigned fetchWidth = 8;
+    unsigned dispatchWidth = 8;
+    unsigned issueWidth = 8;
+    unsigned commitWidth = 8;
+    /** Cycles from fetch to dispatch-eligible; with issue/execute/
+     * writeback plus replay/compare/commit this yields the paper's
+     * 15-stage pipe. */
+    unsigned frontEndDepth = 8;
+
+    // Window sizes.
+    unsigned robEntries = 256;
+    unsigned iqEntries = 32;
+    unsigned lqEntries = 128;
+    unsigned sqEntries = 64;
+
+    // Functional units (Table 3).
+    unsigned intAlus = 8;     ///< also execute branches and store agen
+    unsigned intMulDivs = 3;
+    unsigned fpAlus = 4;
+    unsigned fpMulDivs = 4;
+    unsigned loadPorts = 4;   ///< OoO-window L1D load ports
+
+    // Memory ordering.
+    OrderingScheme scheme = OrderingScheme::AssocLoadQueue;
+    LqMode lqMode = LqMode::Snooping;
+    DepPredictorKind depPredictor = DepPredictorKind::StoreSet;
+    ReplayFilterConfig filters; ///< replay-all by default
+    unsigned replaysPerCycle = 1;
+
+    /** Commit-stage L1D ports shared by draining stores and replay
+     * loads. Table 3 has one; the paper notes aggressive machines may
+     * need more (the replay-bandwidth ablation sweeps this). */
+    unsigned commitPorts = 1;
+
+    /** Acquire line ownership speculatively at store agen so the
+     * commit-stage drain usually hits an owned line. */
+    bool exclusiveStorePrefetch = true;
+
+    /** Maintain shadow (non-architectural) CAM statistics in value-
+     * replay mode so §5.1's avoided-squash counts can be measured. */
+    bool shadowLqStats = true;
+
+    /**
+     * Enable last-value load-value prediction (value-replay mode
+     * only): a load that would stall on the dependence predictor or
+     * on a blocking store instead executes with a predicted value.
+     * Value-predicted loads bypass every replay filter — the replay
+     * and compare stages are their validation, demonstrating the
+     * paper's point that value-based replay doubles as a safe
+     * substrate for value speculation.
+     */
+    bool enableValuePrediction = false;
+
+    /**
+     * Failure injection for tests: disable ALL memory-ordering
+     * enforcement (no replays, no CAM squashes). Speculatively stale
+     * loads then commit, and the constraint-graph checker must flag
+     * the resulting executions — proving the tests can detect the
+     * bugs they guard against. Never enable outside tests.
+     */
+    bool unsafeDisableOrdering = false;
+
+    // Front end.
+    BranchPredictorConfig branchPredictor;
+
+    /** Cycles without a commit before the core reports deadlock. */
+    Cycle deadlockThreshold = 1000000;
+
+    /** Convenience: the paper's baseline machine. */
+    static CoreConfig
+    baseline()
+    {
+        CoreConfig cfg;
+        cfg.scheme = OrderingScheme::AssocLoadQueue;
+        cfg.depPredictor = DepPredictorKind::StoreSet;
+        return cfg;
+    }
+
+    /** Convenience: a value-based replay machine with given filters. */
+    static CoreConfig
+    valueReplay(const ReplayFilterConfig &filters)
+    {
+        CoreConfig cfg;
+        cfg.scheme = OrderingScheme::ValueReplay;
+        cfg.depPredictor = DepPredictorKind::Simple;
+        cfg.filters = filters;
+        return cfg;
+    }
+};
+
+} // namespace vbr
+
+#endif // VBR_CORE_CORE_CONFIG_HPP

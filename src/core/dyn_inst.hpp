@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A dynamic (in-flight) instruction in the out-of-order window.
+ */
+
+#ifndef VBR_CORE_DYN_INST_HPP
+#define VBR_CORE_DYN_INST_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "lsq/replay_filters.hpp"
+#include "predict/branch_predictor.hpp"
+
+namespace vbr
+{
+
+/** One entry of the reorder buffer. */
+struct DynInst
+{
+    SeqNum seq = kNoSeq;
+    std::uint32_t pc = 0;
+    Instruction inst;
+
+    // Cached classification.
+    bool isLoadOp = false;
+    bool isStoreOp = false;
+    bool isSwapOp = false;
+    bool isMembarOp = false;
+    bool isCtrlOp = false;
+
+    // Renamed sources: producing in-flight instruction or kNoSeq when
+    // the value comes from architectural state.
+    SeqNum srcA = kNoSeq;
+    SeqNum srcB = kNoSeq;
+
+    // Operand readiness, maintained by event-driven wakeup: set at
+    // dispatch when the producer is done, or by the producer's
+    // writeback. (Avoids per-cycle producer lookups in the scheduler.)
+    bool aReady = true;
+    bool bReady = true;
+
+    // Execution state.
+    bool inIssueQueue = false;
+    bool issued = false;
+    bool executed = false;
+    Word destValue = 0;
+
+    // Memory operation state.
+    Addr memAddr = kNoAddr;
+    unsigned memSize = 0;
+    Word storeData = 0;
+    bool addrValid = false; ///< in-bounds, aligned (wrong path may not be)
+    Word prematureValue = 0;
+    std::uint32_t prematureVersion = 0;
+    bool forwarded = false;      ///< premature value from store queue
+    SeqNum forwardStore = kNoSeq;
+    SeqNum blockedOnStore = kNoSeq; ///< partial-overlap retry target
+    ReplayLoadInfo replayInfo;
+
+    // Control state.
+    bool predTaken = false;
+    std::uint32_t predTarget = 0;
+    bool actualTaken = false;
+    std::uint32_t actualTarget = 0;
+    PredictorSnapshot predSnap;
+
+    /** Set once the (store/SWAP) line-ownership request was issued;
+     * after the latency elapses the operation proceeds even if a
+     * competitor momentarily stole the line (the request is modeled
+     * as queued at the directory, preventing ownership livelock). */
+    bool ownershipRequested = false;
+
+    // Back-end (replay/compare) state.
+    bool enteredBackend = false;
+    bool replayDecided = false;
+    bool willReplay = false;
+    ReplayReason replayReason = ReplayReason::Filtered;
+    bool replayIssued = false;
+    bool rule3Suppressed = false; ///< replay skipped for progress
+    bool valuePredicted = false;  ///< premature value from the VP
+    Word replayValue = 0;
+    std::uint32_t replayVersion = 0;
+    Cycle compareReadyCycle = 0;
+
+    Cycle fetchCycle = 0;
+    Cycle sampleCycle = 0; ///< when the committed value was sampled
+};
+
+} // namespace vbr
+
+#endif // VBR_CORE_DYN_INST_HPP

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * The out-of-order superscalar core. Pipeline:
+ *
+ *   fetch -> (frontEndDepth cycles) -> dispatch/rename -> issue ->
+ *   execute -> writeback -> [replay -> compare] -> commit
+ *
+ * The replay and compare stages exist only in value-based replay mode
+ * (paper Figure 3); in baseline mode instructions commit directly and
+ * memory ordering is enforced by the associative load queue.
+ *
+ * Memory ordering events of interest:
+ *  - premature load execution at issue (store-queue search, cache
+ *    access, dependence-predictor gating);
+ *  - store address generation (baseline: CAM search of the load
+ *    queue; both: exclusive ownership prefetch);
+ *  - store drain at the commit-stage port = global visibility;
+ *  - load replay through the same commit-stage port (value mode);
+ *  - external invalidations/fills feeding the snooping LQ or the
+ *    replay filters.
+ */
+
+#ifndef VBR_CORE_OOO_CORE_HPP
+#define VBR_CORE_OOO_CORE_HPP
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "core/commit_observer.hpp"
+#include "core/core_config.hpp"
+#include "core/dyn_inst.hpp"
+#include "core/trace.hpp"
+#include "isa/program.hpp"
+#include "lsq/assoc_load_queue.hpp"
+#include "lsq/replay_queue.hpp"
+#include "lsq/store_queue.hpp"
+#include "mem/hierarchy.hpp"
+#include "predict/branch_predictor.hpp"
+#include "predict/dep_predictor.hpp"
+#include "predict/value_predictor.hpp"
+
+namespace vbr
+{
+
+class MemoryImage;
+
+/** One simulated core executing one thread of a Program. */
+class OooCore : public MemEventClient
+{
+  public:
+    OooCore(const CoreConfig &config, const Program &prog,
+            MemoryImage &mem, CacheHierarchy &hierarchy,
+            unsigned thread_id);
+
+    /** Advance one clock cycle. */
+    void tick(Cycle now);
+
+    /** True once HALT has committed. */
+    bool halted() const { return halted_; }
+
+    /** Subscribe the consistency checker (may be null). */
+    void setObserver(CommitObserver *observer) { observer_ = observer; }
+
+    /** Subscribe a pipeline tracer (may be null). */
+    void setTracer(PipelineTracer *tracer) { tracer_ = tracer; }
+
+    CoreId coreId() const { return hierarchy_.coreId(); }
+
+    std::uint64_t instructionsCommitted() const { return committed_; }
+    Cycle cyclesRun() const { return cycles_; }
+
+    /** Committed architectural register value (for co-simulation). */
+    Word archReg(unsigned r) const { return retiredRegs_[r]; }
+
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+
+    CacheHierarchy &hierarchy() { return hierarchy_; }
+    StoreQueue &storeQueue() { return sq_; }
+    AssocLoadQueue *assocLq() { return lq_.get(); }
+    ReplayQueue *replayQueue() { return rq_.get(); }
+    DependencePredictor &depPredictor() { return *depPred_; }
+    ValuePredictor *valuePredictor() { return valuePred_.get(); }
+    BranchPredictor &branchPredictor() { return bp_; }
+
+    /** True if no instruction has committed for deadlockThreshold
+     * cycles while not halted (watchdog for harnesses). */
+    bool deadlocked(Cycle now) const;
+
+    // MemEventClient interface (called by the cache hierarchy).
+    void onExternalInvalidation(Addr line) override;
+    void onInclusionVictim(Addr line) override;
+    void onExternalFill(Addr line) override;
+
+  private:
+    struct FetchedInst
+    {
+        std::uint32_t pc = 0;
+        Instruction inst;
+        bool predTaken = false;
+        std::uint32_t predTarget = 0;
+        PredictorSnapshot snap;
+        Cycle readyCycle = 0;
+    };
+
+    // --- pipeline stages (called in back-to-front order) -------------
+    void commitStage(Cycle now);
+    void backendStage(Cycle now); ///< replay/compare entry (value mode)
+    void writebackStage(Cycle now);
+    void issueStage(Cycle now);
+    void dispatchStage(Cycle now);
+    void fetchStage(Cycle now);
+
+    // --- helpers ------------------------------------------------------
+    DynInst *findInst(SeqNum seq);
+    const DynInst *findInst(SeqNum seq) const;
+    bool operandsReady(const DynInst &inst) const;
+    Word readOperand(SeqNum producer, unsigned arch_reg) const;
+    bool olderFenceInFlight(SeqNum seq) const;
+    bool olderMemOpIncomplete(SeqNum seq) const;
+    bool olderMemOpUnscheduled(SeqNum seq) const;
+    void issueLoad(DynInst &inst, Cycle now);
+    void issueStore(DynInst &inst, Cycle now);
+    void captureStoreData(Cycle now);
+    bool retireHead(Cycle now);
+    bool tryExecuteSwapAtHead(DynInst &head, Cycle now);
+    void doReplaySquash(DynInst &load, Cycle now);
+    void doBranchMispredict(DynInst &branch, Cycle now);
+    void squashFrom(SeqNum bound, std::uint32_t new_fetch_pc,
+                    const PredictorSnapshot &snap);
+    void rebuildRenameMap();
+    void handleLqSquash(const LqSquash &squash, std::uint32_t store_pc,
+                        Word store_value, Addr store_addr,
+                        unsigned store_size, bool is_snoop, Cycle now);
+    Word readMemSafe(Addr addr, unsigned size) const;
+    std::uint32_t versionSafe(Addr addr) const;
+    SeqNum youngestInWindow() const;
+    void noteCommit(Cycle now);
+    void wakeDependents(SeqNum producer);
+    void handleSnoopLine(Addr line);
+
+    // Shadow CAM statistics (value mode, §5.1 avoided squashes).
+    void shadowStoreAgenStats(const DynInst &store, bool data_known);
+    void shadowSnoopStats(Addr line);
+
+    CoreConfig config_;
+    const Program &prog_;
+    MemoryImage &mem_;
+    CacheHierarchy &hierarchy_;
+
+    // Front end.
+    std::uint32_t fetchPc_ = 0;
+    bool haltFetched_ = false;
+    Cycle fetchStallUntil_ = 0;
+    Addr lastFetchLine_ = kNoAddr;
+    std::deque<FetchedInst> frontEnd_;
+    BranchPredictor bp_;
+
+    // Window.
+    std::deque<DynInst> rob_;
+
+    /** Issue-queue entry: seq + a stable pointer into the ROB deque
+     * (std::deque never relocates surviving elements on push_back/
+     * pop_front/pop_back, so the pointer is valid while the entry is
+     * in flight). */
+    struct IqEntry
+    {
+        SeqNum seq = kNoSeq;
+        DynInst *inst = nullptr;
+    };
+    std::vector<IqEntry> iq_;
+    StoreQueue sq_;
+    std::unique_ptr<AssocLoadQueue> lq_; ///< baseline mode
+    std::unique_ptr<ReplayQueue> rq_;    ///< value-replay mode
+    std::unique_ptr<DependencePredictor> depPred_;
+    std::unique_ptr<ValuePredictor> valuePred_; ///< optional
+    std::vector<SeqNum> fences_; ///< in-flight SWAP/MEMBAR seqs
+
+    /// Stores past agen whose data operand is still in flight.
+    std::vector<DynInst *> pendingStoreData_;
+
+    // Completion events: cycle -> seq (lazily invalidated on squash).
+    std::multimap<Cycle, SeqNum> pendingWb_;
+
+    // Rename.
+    std::array<SeqNum, kNumArchRegs> renameMap_;
+    std::array<Word, kNumArchRegs> retiredRegs_ = {};
+
+    // Snoop lines awaiting the baseline LQ search (delivered at the
+    // next tick so coherence callbacks never mutate a mid-cycle core).
+    std::vector<Addr> pendingSnoopLines_;
+
+    // Replay filter state and rule-3 suppression.
+    RecentEventFilterState filterState_;
+    std::unordered_map<std::uint32_t, unsigned> replaySuppress_;
+
+    // Recently drained store versions, for forwarded-load commit
+    // events: (seq, version) in drain order.
+    std::deque<std::pair<SeqNum, std::uint32_t>> drainedVersions_;
+
+    // Commit-port arbitration (stores + replay loads share the
+    // commit-stage ports; stores have priority).
+    unsigned commitPortsUsed_ = 0;
+    unsigned replaysThisCycle_ = 0;
+
+    bool
+    commitPortAvailable() const
+    {
+        return commitPortsUsed_ < config_.commitPorts;
+    }
+
+    CommitObserver *observer_ = nullptr;
+    PipelineTracer *tracer_ = nullptr;
+
+    void
+    trace(TraceKind kind, const DynInst &inst)
+    {
+        if (!tracer_)
+            return;
+        TraceEvent ev;
+        ev.kind = kind;
+        ev.cycle = cycles_;
+        ev.core = coreId();
+        ev.seq = inst.seq;
+        ev.pc = inst.pc;
+        ev.inst = inst.inst;
+        tracer_->onTrace(ev);
+    }
+
+    SeqNum nextSeq_ = 1;
+    std::uint64_t committed_ = 0;
+    Cycle cycles_ = 0;
+    Cycle lastCommitCycle_ = 0;
+    bool halted_ = false;
+    bool squashedThisCycle_ = false;
+
+
+    // Cached stat handles (bound once in the constructor).
+    Counter *sc_branch_mispredicts_committed_ = nullptr;
+    Counter *sc_committed_branches_ = nullptr;
+    Counter *sc_committed_instructions_ = nullptr;
+    Counter *sc_committed_loads_ = nullptr;
+    Counter *sc_committed_stores_ = nullptr;
+    Counter *sc_cycles_ = nullptr;
+    Counter *sc_dispatch_stalls_iq_ = nullptr;
+    Counter *sc_dispatch_stalls_lq_ = nullptr;
+    Counter *sc_dispatch_stalls_rob_ = nullptr;
+    Counter *sc_dispatch_stalls_sq_ = nullptr;
+    Counter *sc_dispatched_instructions_ = nullptr;
+    Counter *sc_external_fills_seen_ = nullptr;
+    Counter *sc_external_invalidations_seen_ = nullptr;
+    Counter *sc_fetched_instructions_ = nullptr;
+    Counter *sc_icache_stalls_ = nullptr;
+    Counter *sc_inclusion_victims_seen_ = nullptr;
+    Counter *sc_l1d_accesses_premature_ = nullptr;
+    Counter *sc_l1d_accesses_replay_ = nullptr;
+    Counter *sc_l1d_accesses_store_commit_ = nullptr;
+    Counter *sc_l1d_accesses_swap_ = nullptr;
+    Counter *sc_loads_blocked_on_store_ = nullptr;
+    Counter *sc_loads_bypassing_unresolved_store_ = nullptr;
+    Counter *sc_loads_forwarded_ = nullptr;
+    Counter *sc_loads_issued_ = nullptr;
+    Counter *sc_loads_value_predicted_ = nullptr;
+    Counter *sc_value_predictions_committed_ = nullptr;
+    Counter *sc_loads_issued_out_of_order_ = nullptr;
+    Counter *sc_replay_cache_misses_ = nullptr;
+    Counter *sc_replays_consistency_ = nullptr;
+    Counter *sc_replays_filtered_ = nullptr;
+    Counter *sc_replays_suppressed_rule3_ = nullptr;
+    Counter *sc_replays_total_ = nullptr;
+    Counter *sc_replays_late_ = nullptr;
+    Counter *sc_replays_unresolved_store_ = nullptr;
+    Counter *sc_squashes_branch_ = nullptr;
+    Counter *sc_squashes_lq_loadload_ = nullptr;
+    Counter *sc_squashes_lq_raw_ = nullptr;
+    Counter *sc_squashes_lq_raw_unnecessary_ = nullptr;
+    Counter *sc_squashes_lq_snoop_ = nullptr;
+    Counter *sc_squashes_lq_snoop_unnecessary_ = nullptr;
+    Counter *sc_squashes_replay_consistency_ = nullptr;
+    Counter *sc_squashes_replay_mismatch_ = nullptr;
+    Counter *sc_squashes_replay_raw_ = nullptr;
+    Counter *sc_squashes_total_ = nullptr;
+    Counter *sc_stores_issued_ = nullptr;
+    Counter *sc_stores_agen_before_data_ = nullptr;
+    Counter *sc_wouldbe_squashes_raw_ = nullptr;
+    Counter *sc_wouldbe_squashes_raw_value_equal_ = nullptr;
+    Counter *sc_wouldbe_squashes_snoop_ = nullptr;
+    Counter *sc_wouldbe_squashes_snoop_value_equal_ = nullptr;
+    Average *sc_iq_occupancy_ = nullptr;
+    Average *sc_issued_per_cycle_ = nullptr;
+    Average *sc_rob_occupancy_ = nullptr;
+
+    StatSet stats_;
+};
+
+} // namespace vbr
+
+#endif // VBR_CORE_OOO_CORE_HPP

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Pipeline tracing. A PipelineTracer subscribed to a core receives
+ * one event per pipeline milestone per dynamic instruction, enabling
+ * pipeview-style visualization, debugging, and invariant checking
+ * (tests assert fetch <= dispatch <= issue <= writeback <= commit and
+ * that replay events appear exactly where the configuration says
+ * they must).
+ */
+
+#ifndef VBR_CORE_TRACE_HPP
+#define VBR_CORE_TRACE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace vbr
+{
+
+/** Pipeline milestones reported to tracers. */
+enum class TraceKind : std::uint8_t
+{
+    Dispatch,     ///< renamed into the window
+    Issue,        ///< began execution (loads: premature access)
+    Writeback,    ///< completed execution
+    ReplayIssued, ///< replay access through the commit port
+    Commit,       ///< retired
+    Squash,       ///< removed by a squash (any cause)
+};
+
+/** One trace record. */
+struct TraceEvent
+{
+    TraceKind kind = TraceKind::Dispatch;
+    Cycle cycle = 0;
+    CoreId core = 0;
+    SeqNum seq = kNoSeq;
+    std::uint32_t pc = 0;
+    Instruction inst;
+};
+
+/** Subscriber interface. */
+class PipelineTracer
+{
+  public:
+    virtual ~PipelineTracer() = default;
+    virtual void onTrace(const TraceEvent &event) = 0;
+};
+
+/** Tracer that stores every event (tests, offline analysis). */
+class RecordingTracer : public PipelineTracer
+{
+  public:
+    void
+    onTrace(const TraceEvent &event) override
+    {
+        events_.push_back(event);
+    }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    void clear() { events_.clear(); }
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+/** Tracer that renders human-readable lines through a sink. */
+class TextTracer : public PipelineTracer
+{
+  public:
+    /** @param sink called once per formatted line. */
+    explicit TextTracer(std::function<void(const std::string &)> sink)
+        : sink_(std::move(sink))
+    {
+    }
+
+    void
+    onTrace(const TraceEvent &event) override
+    {
+        static const char *names[] = {"dispatch", "issue",
+                                      "writeback", "replay",
+                                      "commit", "squash"};
+        std::ostringstream os;
+        os << event.cycle << " c" << event.core << " #" << event.seq
+           << " " << names[static_cast<unsigned>(event.kind)] << " @"
+           << event.pc << " " << event.inst.disassemble();
+        sink_(os.str());
+    }
+
+  private:
+    std::function<void(const std::string &)> sink_;
+};
+
+} // namespace vbr
+
+#endif // VBR_CORE_TRACE_HPP

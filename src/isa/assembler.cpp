@@ -1,0 +1,77 @@
+#include "isa/assembler.hpp"
+
+#include "common/logging.hpp"
+
+namespace vbr
+{
+
+std::uint32_t
+Assembler::here() const
+{
+    return static_cast<std::uint32_t>(prog_.code().size());
+}
+
+void
+Assembler::label(const std::string &name)
+{
+    auto [it, inserted] = labels_.emplace(name, here());
+    if (!inserted)
+        fatal("duplicate label: " + name);
+}
+
+std::uint32_t
+Assembler::emit(Instruction inst)
+{
+    VBR_ASSERT(!finalized_, "emit after finalize");
+    std::uint32_t idx = here();
+    prog_.code().push_back(inst);
+    return idx;
+}
+
+std::uint32_t
+Assembler::emitBranch(Instruction inst, const std::string &target_label)
+{
+    std::uint32_t idx = emit(inst);
+    fixups_.emplace_back(idx, target_label);
+    return idx;
+}
+
+void
+Assembler::finalize()
+{
+    VBR_ASSERT(!finalized_, "finalize called twice");
+    for (const auto &[idx, name] : fixups_) {
+        auto it = labels_.find(name);
+        if (it == labels_.end())
+            fatal("unresolved label: " + name);
+        prog_.code()[idx].imm = static_cast<std::int32_t>(it->second);
+    }
+    fixups_.clear();
+    finalized_ = true;
+}
+
+Opcode
+Assembler::loadOp(unsigned size)
+{
+    switch (size) {
+      case 1: return Opcode::LD1;
+      case 2: return Opcode::LD2;
+      case 4: return Opcode::LD4;
+      case 8: return Opcode::LD8;
+      default: fatal("bad load size");
+    }
+}
+
+Opcode
+Assembler::storeOp(unsigned size)
+{
+    switch (size) {
+      case 1: return Opcode::ST1;
+      case 2: return Opcode::ST2;
+      case 4: return Opcode::ST4;
+      case 8: return Opcode::ST8;
+      default: fatal("bad store size");
+    }
+}
+
+} // namespace vbr

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Label-based program builder. Workload generators and tests construct
+ * programs through this API; forward branch targets are patched when
+ * the program is finalized.
+ */
+
+#ifndef VBR_ISA_ASSEMBLER_HPP
+#define VBR_ISA_ASSEMBLER_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace vbr
+{
+
+/**
+ * Incremental assembler over a Program's code vector. Typical use:
+ *
+ *   Assembler as(prog);
+ *   as.ldi(1, 100);
+ *   as.label("loop");
+ *   as.addi(1, 1, -1);
+ *   as.bne(1, 0, "loop");
+ *   as.halt();
+ *   as.finalize();
+ */
+class Assembler
+{
+  public:
+    explicit Assembler(Program &prog) : prog_(prog) {}
+
+    /** Current position = index of the next emitted instruction. */
+    std::uint32_t here() const;
+
+    /** Bind @p name to the current position. */
+    void label(const std::string &name);
+
+    /** Emit a raw instruction. Returns its index. */
+    std::uint32_t emit(Instruction inst);
+
+    /** Emit a control instruction targeting @p target_label. */
+    std::uint32_t emitBranch(Instruction inst,
+                             const std::string &target_label);
+
+    // --- convenience emitters -----------------------------------------
+    void nop() { emit({Opcode::NOP, 0, 0, 0, 0}); }
+    void halt() { emit({Opcode::HALT, 0, 0, 0, 0}); }
+    void membar() { emit({Opcode::MEMBAR, 0, 0, 0, 0}); }
+
+    void
+    alu(Opcode op, unsigned rd, unsigned ra, unsigned rb)
+    {
+        emit({op, u8(rd), u8(ra), u8(rb), 0});
+    }
+
+    void
+    alui(Opcode op, unsigned rd, unsigned ra, std::int32_t imm)
+    {
+        emit({op, u8(rd), u8(ra), 0, imm});
+    }
+
+    void add(unsigned d, unsigned a, unsigned b) { alu(Opcode::ADD, d, a, b); }
+    void sub(unsigned d, unsigned a, unsigned b) { alu(Opcode::SUB, d, a, b); }
+    void mul(unsigned d, unsigned a, unsigned b) { alu(Opcode::MUL, d, a, b); }
+    void xorr(unsigned d, unsigned a, unsigned b) { alu(Opcode::XOR, d, a, b); }
+    void addi(unsigned d, unsigned a, std::int32_t i) { alui(Opcode::ADDI, d, a, i); }
+    void andi(unsigned d, unsigned a, std::int32_t i) { alui(Opcode::ANDI, d, a, i); }
+    void slli(unsigned d, unsigned a, std::int32_t i) { alui(Opcode::SLLI, d, a, i); }
+    void ldi(unsigned d, std::int32_t i) { emit({Opcode::LDI, u8(d), 0, 0, i}); }
+
+    void
+    load(unsigned size, unsigned rd, unsigned ra, std::int32_t off)
+    {
+        emit({loadOp(size), u8(rd), u8(ra), 0, off});
+    }
+
+    void
+    store(unsigned size, unsigned rb, unsigned ra, std::int32_t off)
+    {
+        emit({storeOp(size), 0, u8(ra), u8(rb), off});
+    }
+
+    void ld8(unsigned rd, unsigned ra, std::int32_t off) { load(8, rd, ra, off); }
+    void ld4(unsigned rd, unsigned ra, std::int32_t off) { load(4, rd, ra, off); }
+    void st8(unsigned rb, unsigned ra, std::int32_t off) { store(8, rb, ra, off); }
+    void st4(unsigned rb, unsigned ra, std::int32_t off) { store(4, rb, ra, off); }
+
+    void
+    swap(unsigned rd, unsigned rb, unsigned ra, std::int32_t off)
+    {
+        emit({Opcode::SWAP, u8(rd), u8(ra), u8(rb), off});
+    }
+
+    void
+    beq(unsigned a, unsigned b, const std::string &l)
+    {
+        emitBranch({Opcode::BEQ, 0, u8(a), u8(b), 0}, l);
+    }
+
+    void
+    bne(unsigned a, unsigned b, const std::string &l)
+    {
+        emitBranch({Opcode::BNE, 0, u8(a), u8(b), 0}, l);
+    }
+
+    void
+    blt(unsigned a, unsigned b, const std::string &l)
+    {
+        emitBranch({Opcode::BLT, 0, u8(a), u8(b), 0}, l);
+    }
+
+    void
+    bge(unsigned a, unsigned b, const std::string &l)
+    {
+        emitBranch({Opcode::BGE, 0, u8(a), u8(b), 0}, l);
+    }
+
+    void
+    jmp(const std::string &l)
+    {
+        emitBranch({Opcode::JMP, 0, 0, 0, 0}, l);
+    }
+
+    void
+    call(const std::string &l)
+    {
+        emitBranch({Opcode::JAL, u8(kLinkReg), 0, 0, 0}, l);
+    }
+
+    void ret() { emit({Opcode::JR, 0, u8(kLinkReg), 0, 0}); }
+
+    /**
+     * Resolve all pending label references. Must be called exactly once
+     * after all code is emitted; unresolved labels are fatal.
+     */
+    void finalize();
+
+  private:
+    static std::uint8_t u8(unsigned r) { return static_cast<std::uint8_t>(r); }
+    static Opcode loadOp(unsigned size);
+    static Opcode storeOp(unsigned size);
+
+    Program &prog_;
+    std::map<std::string, std::uint32_t> labels_;
+    std::vector<std::pair<std::uint32_t, std::string>> fixups_;
+    bool finalized_ = false;
+};
+
+} // namespace vbr
+
+#endif // VBR_ISA_ASSEMBLER_HPP

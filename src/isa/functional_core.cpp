@@ -1,0 +1,95 @@
+#include "isa/functional_core.hpp"
+
+#include "common/logging.hpp"
+#include "isa/semantics.hpp"
+#include "mem/memory_image.hpp"
+
+namespace vbr
+{
+
+FunctionalCore::FunctionalCore(const Program &prog, MemoryImage &mem,
+                               unsigned thread_id)
+    : prog_(prog), mem_(mem)
+{
+    VBR_ASSERT(thread_id < prog.threads().size(),
+               "thread id out of range");
+    const ThreadSpec &spec = prog.threads()[thread_id];
+    pc_ = spec.entryPc;
+    regs_ = spec.initRegs;
+    regs_[0] = 0;
+}
+
+bool
+FunctionalCore::step()
+{
+    if (halted_)
+        return false;
+
+    const Instruction &inst = prog_.fetch(pc_);
+    Word a = regs_[inst.ra];
+    Word b = regs_[inst.rb];
+    std::uint32_t next_pc = pc_ + 1;
+
+    switch (inst.op) {
+      case Opcode::HALT:
+        halted_ = true;
+        ++count_;
+        return false;
+      case Opcode::NOP:
+      case Opcode::MEMBAR:
+        break;
+      case Opcode::LD1:
+      case Opcode::LD2:
+      case Opcode::LD4:
+      case Opcode::LD8:
+        reg(inst.rd, mem_.read(effectiveAddr(inst, a), memSize(inst.op)));
+        break;
+      case Opcode::ST1:
+      case Opcode::ST2:
+      case Opcode::ST4:
+      case Opcode::ST8:
+        mem_.write(effectiveAddr(inst, a), memSize(inst.op), b);
+        break;
+      case Opcode::SWAP: {
+        Addr ea = effectiveAddr(inst, a);
+        Word old = mem_.read(ea, 8);
+        mem_.write(ea, 8, b);
+        reg(inst.rd, old);
+        break;
+      }
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+        if (evalBranchTaken(inst, a, b))
+            next_pc = controlTarget(inst, a);
+        break;
+      case Opcode::JMP:
+        next_pc = controlTarget(inst, a);
+        break;
+      case Opcode::JAL:
+        reg(inst.rd, pc_ + 1);
+        next_pc = controlTarget(inst, a);
+        break;
+      case Opcode::JR:
+        next_pc = controlTarget(inst, a);
+        break;
+      default:
+        reg(inst.rd, evalAlu(inst, a, b));
+        break;
+    }
+
+    pc_ = next_pc;
+    ++count_;
+    return true;
+}
+
+bool
+FunctionalCore::run(std::uint64_t max_steps)
+{
+    for (std::uint64_t i = 0; i < max_steps && !halted_; ++i)
+        step();
+    return halted_;
+}
+
+} // namespace vbr

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * In-order functional reference core. Executes one thread of a Program
+ * against a MemoryImage with no timing. Used as the golden model for
+ * co-simulation tests: the out-of-order core's architectural results
+ * must match this core's for single-threaded programs, under every
+ * load-queue configuration and replay-filter combination.
+ */
+
+#ifndef VBR_ISA_FUNCTIONAL_CORE_HPP
+#define VBR_ISA_FUNCTIONAL_CORE_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "isa/program.hpp"
+
+namespace vbr
+{
+
+class MemoryImage;
+
+/** Single-stepping in-order interpreter for one thread. */
+class FunctionalCore
+{
+  public:
+    FunctionalCore(const Program &prog, MemoryImage &mem,
+                   unsigned thread_id);
+
+    /** Execute one instruction. Returns false once halted. */
+    bool step();
+
+    /** Run until HALT or @p max_steps instructions. Returns true if
+     * the program halted within the budget. */
+    bool run(std::uint64_t max_steps);
+
+    bool halted() const { return halted_; }
+    std::uint64_t instructionsExecuted() const { return count_; }
+    std::uint32_t pc() const { return pc_; }
+
+    Word reg(unsigned r) const { return regs_[r]; }
+    void reg(unsigned r, Word v) { if (r != 0) regs_[r] = v; }
+
+    const std::array<Word, kNumArchRegs> &regs() const { return regs_; }
+
+  private:
+    const Program &prog_;
+    MemoryImage &mem_;
+    std::array<Word, kNumArchRegs> regs_ = {};
+    std::uint32_t pc_ = 0;
+    bool halted_ = false;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace vbr
+
+#endif // VBR_ISA_FUNCTIONAL_CORE_HPP

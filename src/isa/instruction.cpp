@@ -1,0 +1,147 @@
+#include "isa/instruction.hpp"
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace vbr
+{
+
+std::uint64_t
+Instruction::encode() const
+{
+    return (static_cast<std::uint64_t>(op) << 56) |
+           (static_cast<std::uint64_t>(rd) << 48) |
+           (static_cast<std::uint64_t>(ra) << 40) |
+           (static_cast<std::uint64_t>(rb) << 32) |
+           static_cast<std::uint32_t>(imm);
+}
+
+Instruction
+Instruction::decode(std::uint64_t bits)
+{
+    Instruction inst;
+    auto op_bits = static_cast<std::uint8_t>(bits >> 56);
+    VBR_ASSERT(op_bits < static_cast<std::uint8_t>(Opcode::kNumOpcodes),
+               "invalid opcode bits");
+    inst.op = static_cast<Opcode>(op_bits);
+    inst.rd = static_cast<std::uint8_t>(bits >> 48) & 0x3f;
+    inst.ra = static_cast<std::uint8_t>(bits >> 40) & 0x3f;
+    inst.rb = static_cast<std::uint8_t>(bits >> 32) & 0x3f;
+    inst.imm = static_cast<std::int32_t>(bits & 0xffffffffULL);
+    return inst;
+}
+
+bool
+Instruction::writesRd() const
+{
+    switch (op) {
+      case Opcode::NOP:
+      case Opcode::HALT:
+      case Opcode::MEMBAR:
+      case Opcode::ST1:
+      case Opcode::ST2:
+      case Opcode::ST4:
+      case Opcode::ST8:
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::JMP:
+      case Opcode::JR:
+        return false;
+      default:
+        return rd != 0;
+    }
+}
+
+bool
+Instruction::readsRa() const
+{
+    switch (op) {
+      case Opcode::NOP:
+      case Opcode::HALT:
+      case Opcode::MEMBAR:
+      case Opcode::LDI:
+      case Opcode::JMP:
+      case Opcode::JAL:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+Instruction::readsRb() const
+{
+    switch (op) {
+      case Opcode::ADD:
+      case Opcode::SUB:
+      case Opcode::AND:
+      case Opcode::OR:
+      case Opcode::XOR:
+      case Opcode::SLL:
+      case Opcode::SRL:
+      case Opcode::SRA:
+      case Opcode::MUL:
+      case Opcode::DIV:
+      case Opcode::CMPEQ:
+      case Opcode::CMPLT:
+      case Opcode::CMPLTU:
+      case Opcode::FADD:
+      case Opcode::FMUL:
+      case Opcode::FDIV:
+      case Opcode::ST1:
+      case Opcode::ST2:
+      case Opcode::ST4:
+      case Opcode::ST8:
+      case Opcode::SWAP:
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+Instruction::disassemble() const
+{
+    char buf[96];
+    const char *name = opcodeName(op).data();
+    if (isLoad(op)) {
+        std::snprintf(buf, sizeof(buf), "%s r%u, %d(r%u)", name, rd, imm,
+                      ra);
+    } else if (isStore(op)) {
+        std::snprintf(buf, sizeof(buf), "%s r%u, %d(r%u)", name, rb, imm,
+                      ra);
+    } else if (op == Opcode::SWAP) {
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u, %d(r%u)", name, rd,
+                      rb, imm, ra);
+    } else if (isCondBranch(op)) {
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u, @%d", name, ra, rb,
+                      imm);
+    } else if (op == Opcode::JMP) {
+        std::snprintf(buf, sizeof(buf), "%s @%d", name, imm);
+    } else if (op == Opcode::JAL) {
+        std::snprintf(buf, sizeof(buf), "%s r%u, @%d", name, rd, imm);
+    } else if (op == Opcode::JR) {
+        std::snprintf(buf, sizeof(buf), "%s r%u", name, ra);
+    } else if (op == Opcode::LDI) {
+        std::snprintf(buf, sizeof(buf), "%s r%u, %d", name, rd, imm);
+    } else if (op == Opcode::NOP || op == Opcode::HALT ||
+               op == Opcode::MEMBAR) {
+        std::snprintf(buf, sizeof(buf), "%s", name);
+    } else if (readsRb()) {
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u, r%u", name, rd, ra,
+                      rb);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u, %d", name, rd, ra,
+                      imm);
+    }
+    return buf;
+}
+
+} // namespace vbr

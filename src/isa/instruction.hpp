@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Static instruction representation: opcode + three register fields +
+ * a 32-bit immediate, with a packed 64-bit encoding for round-trip
+ * tests and instruction memory modeling.
+ */
+
+#ifndef VBR_ISA_INSTRUCTION_HPP
+#define VBR_ISA_INSTRUCTION_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hpp"
+
+namespace vbr
+{
+
+/** Number of architectural general-purpose registers. r0 reads as 0. */
+inline constexpr unsigned kNumArchRegs = 32;
+
+/** Register holding return addresses by convention (trains the RAS). */
+inline constexpr unsigned kLinkReg = 31;
+
+/**
+ * A static visa instruction. Program counters are instruction indices;
+ * branch targets are absolute indices carried in @ref imm.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    std::uint8_t rd = 0; ///< destination register
+    std::uint8_t ra = 0; ///< first source register (base for mem ops)
+    std::uint8_t rb = 0; ///< second source (store data for ST*/SWAP)
+    std::int32_t imm = 0; ///< immediate / offset / branch target
+
+    /** Pack into the canonical 64-bit encoding. */
+    std::uint64_t encode() const;
+
+    /** Decode from the canonical 64-bit encoding. */
+    static Instruction decode(std::uint64_t bits);
+
+    /** Human-readable disassembly, e.g. "ld8 r5, 16(r2)". */
+    std::string disassemble() const;
+
+    bool
+    operator==(const Instruction &o) const
+    {
+        return op == o.op && rd == o.rd && ra == o.ra && rb == o.rb &&
+               imm == o.imm;
+    }
+
+    /** True when this instruction writes @ref rd. */
+    bool writesRd() const;
+
+    /** True when this instruction reads @ref ra / @ref rb. */
+    bool readsRa() const;
+    bool readsRb() const;
+};
+
+} // namespace vbr
+
+#endif // VBR_ISA_INSTRUCTION_HPP

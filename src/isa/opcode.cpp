@@ -1,0 +1,202 @@
+#include "isa/opcode.hpp"
+
+#include "common/logging.hpp"
+
+namespace vbr
+{
+
+bool
+isLoad(Opcode op)
+{
+    switch (op) {
+      case Opcode::LD1:
+      case Opcode::LD2:
+      case Opcode::LD4:
+      case Opcode::LD8:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isStore(Opcode op)
+{
+    switch (op) {
+      case Opcode::ST1:
+      case Opcode::ST2:
+      case Opcode::ST4:
+      case Opcode::ST8:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isMem(Opcode op)
+{
+    return isLoad(op) || isStore(op) || op == Opcode::SWAP;
+}
+
+bool
+isControl(Opcode op)
+{
+    switch (op) {
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::JMP:
+      case Opcode::JAL:
+      case Opcode::JR:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+        return true;
+      default:
+        return false;
+    }
+}
+
+unsigned
+memSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::LD1:
+      case Opcode::ST1:
+        return 1;
+      case Opcode::LD2:
+      case Opcode::ST2:
+        return 2;
+      case Opcode::LD4:
+      case Opcode::ST4:
+        return 4;
+      case Opcode::LD8:
+      case Opcode::ST8:
+      case Opcode::SWAP:
+        return 8;
+      default:
+        return 0;
+    }
+}
+
+FuClass
+fuClass(Opcode op)
+{
+    if (isLoad(op))
+        return FuClass::LoadPort;
+    if (isStore(op))
+        return FuClass::StorePort;
+    switch (op) {
+      case Opcode::NOP:
+      case Opcode::HALT:
+      case Opcode::MEMBAR:
+        return FuClass::None;
+      case Opcode::MUL:
+        return FuClass::IntMul;
+      case Opcode::DIV:
+        return FuClass::IntDiv;
+      case Opcode::FADD:
+        return FuClass::FpAlu;
+      case Opcode::FMUL:
+        return FuClass::FpMul;
+      case Opcode::FDIV:
+        return FuClass::FpDiv;
+      case Opcode::SWAP:
+        return FuClass::StorePort;
+      default:
+        return FuClass::IntAlu;
+    }
+}
+
+unsigned
+fuLatency(FuClass fu)
+{
+    switch (fu) {
+      case FuClass::IntAlu:
+        return 1;
+      case FuClass::IntMul:
+        return 3;
+      case FuClass::IntDiv:
+        return 12;
+      case FuClass::FpAlu:
+        return 4;
+      case FuClass::FpMul:
+        return 4;
+      case FuClass::FpDiv:
+        return 4;
+      case FuClass::LoadPort:
+        return 1; // agen; cache latency added separately
+      case FuClass::StorePort:
+        return 1; // agen
+      case FuClass::None:
+        return 1;
+    }
+    panic("unreachable fuLatency");
+}
+
+std::string_view
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::NOP: return "nop";
+      case Opcode::HALT: return "halt";
+      case Opcode::ADD: return "add";
+      case Opcode::SUB: return "sub";
+      case Opcode::AND: return "and";
+      case Opcode::OR: return "or";
+      case Opcode::XOR: return "xor";
+      case Opcode::SLL: return "sll";
+      case Opcode::SRL: return "srl";
+      case Opcode::SRA: return "sra";
+      case Opcode::MUL: return "mul";
+      case Opcode::DIV: return "div";
+      case Opcode::CMPEQ: return "cmpeq";
+      case Opcode::CMPLT: return "cmplt";
+      case Opcode::CMPLTU: return "cmpltu";
+      case Opcode::ADDI: return "addi";
+      case Opcode::ANDI: return "andi";
+      case Opcode::ORI: return "ori";
+      case Opcode::XORI: return "xori";
+      case Opcode::SLLI: return "slli";
+      case Opcode::SRLI: return "srli";
+      case Opcode::CMPEQI: return "cmpeqi";
+      case Opcode::CMPLTI: return "cmplti";
+      case Opcode::LDI: return "ldi";
+      case Opcode::FADD: return "fadd";
+      case Opcode::FMUL: return "fmul";
+      case Opcode::FDIV: return "fdiv";
+      case Opcode::LD1: return "ld1";
+      case Opcode::LD2: return "ld2";
+      case Opcode::LD4: return "ld4";
+      case Opcode::LD8: return "ld8";
+      case Opcode::ST1: return "st1";
+      case Opcode::ST2: return "st2";
+      case Opcode::ST4: return "st4";
+      case Opcode::ST8: return "st8";
+      case Opcode::SWAP: return "swap";
+      case Opcode::MEMBAR: return "membar";
+      case Opcode::BEQ: return "beq";
+      case Opcode::BNE: return "bne";
+      case Opcode::BLT: return "blt";
+      case Opcode::BGE: return "bge";
+      case Opcode::JMP: return "jmp";
+      case Opcode::JAL: return "jal";
+      case Opcode::JR: return "jr";
+      default: return "???";
+    }
+}
+
+} // namespace vbr

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Opcode set of the small RISC ISA ("visa") executed by the simulated
+ * cores. The ISA exists to let real data values flow through loads and
+ * stores — the property value-based replay checks — while staying small
+ * enough to implement exactly. See DESIGN.md §2 for the substitution
+ * rationale (the paper used PowerPC under PHARMsim).
+ */
+
+#ifndef VBR_ISA_OPCODE_HPP
+#define VBR_ISA_OPCODE_HPP
+
+#include <cstdint>
+#include <string_view>
+
+namespace vbr
+{
+
+/** All visa opcodes. */
+enum class Opcode : std::uint8_t
+{
+    NOP = 0,
+    HALT,
+
+    // Integer register-register ALU.
+    ADD,
+    SUB,
+    AND,
+    OR,
+    XOR,
+    SLL,
+    SRL,
+    SRA,
+    MUL,
+    DIV,
+    CMPEQ,
+    CMPLT,
+    CMPLTU,
+
+    // Integer register-immediate ALU.
+    ADDI,
+    ANDI,
+    ORI,
+    XORI,
+    SLLI,
+    SRLI,
+    CMPEQI,
+    CMPLTI,
+    LDI,  ///< rd = sign-extended 32-bit immediate
+
+    // Floating point (operates on register bits as IEEE double); these
+    // exist to exercise the long-latency functional units of Table 3.
+    FADD,
+    FMUL,
+    FDIV,
+
+    // Loads: rd = zero-extended mem[ra + imm].
+    LD1,
+    LD2,
+    LD4,
+    LD8,
+
+    // Stores: mem[ra + imm] = low bytes of rb.
+    ST1,
+    ST2,
+    ST4,
+    ST8,
+
+    /// Atomic exchange: rd = mem8[ra + imm]; mem8[ra + imm] = rb.
+    SWAP,
+
+    /// Full memory barrier.
+    MEMBAR,
+
+    // Control: branch targets are absolute instruction indices carried
+    // in the immediate (synthetic programs have no relocation needs).
+    BEQ,  ///< if (ra == rb) pc = imm
+    BNE,
+    BLT,  ///< signed
+    BGE,  ///< signed
+    JMP,  ///< pc = imm
+    JAL,  ///< rd = pc + 1; pc = imm
+    JR,   ///< pc = ra (used for returns; trains the RAS)
+
+    kNumOpcodes
+};
+
+/** Functional unit classes, matching the Table 3 execution resources. */
+enum class FuClass : std::uint8_t
+{
+    IntAlu,   ///< 1-cycle integer ops and branches
+    IntMul,   ///< 3-cycle integer multiply
+    IntDiv,   ///< 12-cycle integer divide
+    FpAlu,    ///< 4-cycle FP add/compare
+    FpMul,    ///< 4-cycle FP multiply
+    FpDiv,    ///< 4-cycle FP divide (Table 3 lists MULT/DIV at 4,4)
+    LoadPort, ///< load agen + L1D access
+    StorePort,///< store agen
+    None      ///< NOP/HALT/MEMBAR consume no FU
+};
+
+/** True for LD1/LD2/LD4/LD8 (SWAP is classified separately). */
+bool isLoad(Opcode op);
+
+/** True for ST1/ST2/ST4/ST8. */
+bool isStore(Opcode op);
+
+/** True for any instruction that references memory (incl. SWAP). */
+bool isMem(Opcode op);
+
+/** True for conditional branches and jumps (anything redirecting pc). */
+bool isControl(Opcode op);
+
+/** True for conditional branches only. */
+bool isCondBranch(Opcode op);
+
+/** Access size in bytes for memory ops (0 for non-memory). */
+unsigned memSize(Opcode op);
+
+/** Functional unit class executing this opcode. */
+FuClass fuClass(Opcode op);
+
+/** Default execution latency (cycles) per Table 3. */
+unsigned fuLatency(FuClass fu);
+
+/** Mnemonic for disassembly. */
+std::string_view opcodeName(Opcode op);
+
+} // namespace vbr
+
+#endif // VBR_ISA_OPCODE_HPP

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A visa program: shared code image, per-thread entry points and
+ * initial register values, and data-segment initializers. One Program
+ * is executed by all cores of a simulated system (threads select their
+ * entry by core id).
+ */
+
+#ifndef VBR_ISA_PROGRAM_HPP
+#define VBR_ISA_PROGRAM_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace vbr
+{
+
+/** Entry point and initial architectural state for one thread. */
+struct ThreadSpec
+{
+    std::uint32_t entryPc = 0;
+    std::array<Word, kNumArchRegs> initRegs = {};
+};
+
+/** Initial bytes to place in the memory image before execution. */
+struct DataInit
+{
+    Addr addr = 0;
+    std::vector<std::uint8_t> bytes;
+};
+
+/**
+ * An executable program. Program counters are indices into code();
+ * codeBase() maps them to byte addresses for I-cache modeling.
+ */
+class Program
+{
+  public:
+    /** The static instruction at index @p pc, or HALT if out of range.
+     * Out-of-range fetches happen on the wrong path after a
+     * mispredicted indirect jump; treating them as HALT keeps the
+     * front end well-defined without faulting. */
+    const Instruction &
+    fetch(std::uint32_t pc) const
+    {
+        static const Instruction halt{Opcode::HALT, 0, 0, 0, 0};
+        return pc < code_.size() ? code_[pc] : halt;
+    }
+
+    bool
+    validPc(std::uint32_t pc) const
+    {
+        return pc < code_.size();
+    }
+
+    std::vector<Instruction> &code() { return code_; }
+    const std::vector<Instruction> &code() const { return code_; }
+
+    std::vector<ThreadSpec> &threads() { return threads_; }
+    const std::vector<ThreadSpec> &threads() const { return threads_; }
+
+    std::vector<DataInit> &dataInits() { return dataInits_; }
+    const std::vector<DataInit> &dataInits() const { return dataInits_; }
+
+    /** Byte address of instruction @p pc in the memory image. */
+    Addr
+    codeAddr(std::uint32_t pc) const
+    {
+        return codeBase_ + static_cast<Addr>(pc) * 8;
+    }
+
+    Addr codeBase() const { return codeBase_; }
+    void codeBase(Addr base) { codeBase_ = base; }
+
+    /** Required memory image size (bytes). */
+    Addr memorySize() const { return memorySize_; }
+    void memorySize(Addr size) { memorySize_ = size; }
+
+    /** Address ranges the system pre-warms into every core's caches
+     * before simulation starts. Stands in for the steady-state cache
+     * contents a billions-of-instructions run would have; workloads
+     * that intentionally miss (streaming/pointer chase past the L3)
+     * simply do not register ranges. */
+    std::vector<std::pair<Addr, Addr>> &warmRanges() { return warmRanges_; }
+    const std::vector<std::pair<Addr, Addr>> &warmRanges() const
+    {
+        return warmRanges_;
+    }
+
+  private:
+    std::vector<Instruction> code_;
+    std::vector<ThreadSpec> threads_;
+    std::vector<DataInit> dataInits_;
+    std::vector<std::pair<Addr, Addr>> warmRanges_;
+    Addr codeBase_ = 0x4000000; // 64 MiB: above all data segments
+    Addr memorySize_ = 0x1000000; // 16 MiB data space default
+};
+
+} // namespace vbr
+
+#endif // VBR_ISA_PROGRAM_HPP

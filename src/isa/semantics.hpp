@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Value semantics of visa instructions, shared between the in-order
+ * functional reference core and the out-of-order timing core so the
+ * two can never disagree on what an instruction computes.
+ */
+
+#ifndef VBR_ISA_SEMANTICS_HPP
+#define VBR_ISA_SEMANTICS_HPP
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace vbr
+{
+
+/**
+ * Compute the result of a non-memory, non-control instruction given
+ * its source register values. For immediate forms @p b is ignored.
+ */
+inline Word
+evalAlu(const Instruction &inst, Word a, Word b)
+{
+    auto simm = static_cast<Word>(static_cast<std::int64_t>(inst.imm));
+    auto sa = static_cast<std::int64_t>(a);
+    auto fa = std::bit_cast<double>(a);
+    auto fb = std::bit_cast<double>(b);
+    switch (inst.op) {
+      case Opcode::ADD: return a + b;
+      case Opcode::SUB: return a - b;
+      case Opcode::AND: return a & b;
+      case Opcode::OR: return a | b;
+      case Opcode::XOR: return a ^ b;
+      case Opcode::SLL: return a << (b & 63);
+      case Opcode::SRL: return a >> (b & 63);
+      case Opcode::SRA: return static_cast<Word>(sa >> (b & 63));
+      case Opcode::MUL: return a * b;
+      case Opcode::DIV:
+        if (b == 0)
+            return 0;
+        if (a == 0x8000000000000000ULL && b == ~0ULL)
+            return a; // avoid UB on INT64_MIN / -1
+        return static_cast<Word>(sa / static_cast<std::int64_t>(b));
+      case Opcode::CMPEQ: return a == b ? 1 : 0;
+      case Opcode::CMPLT:
+        return sa < static_cast<std::int64_t>(b) ? 1 : 0;
+      case Opcode::CMPLTU: return a < b ? 1 : 0;
+      case Opcode::ADDI: return a + simm;
+      case Opcode::ANDI: return a & simm;
+      case Opcode::ORI: return a | simm;
+      case Opcode::XORI: return a ^ simm;
+      case Opcode::SLLI: return a << (inst.imm & 63);
+      case Opcode::SRLI: return a >> (inst.imm & 63);
+      case Opcode::CMPEQI: return a == simm ? 1 : 0;
+      case Opcode::CMPLTI:
+        return sa < static_cast<std::int64_t>(simm) ? 1 : 0;
+      case Opcode::LDI: return simm;
+      case Opcode::FADD: return std::bit_cast<Word>(fa + fb);
+      case Opcode::FMUL: return std::bit_cast<Word>(fa * fb);
+      case Opcode::FDIV:
+        if (fb == 0.0)
+            return std::bit_cast<Word>(0.0);
+        return std::bit_cast<Word>(fa / fb);
+      default: return 0;
+    }
+}
+
+/** Branch decision for conditional branches. */
+inline bool
+evalBranchTaken(const Instruction &inst, Word a, Word b)
+{
+    auto sa = static_cast<std::int64_t>(a);
+    auto sb = static_cast<std::int64_t>(b);
+    switch (inst.op) {
+      case Opcode::BEQ: return a == b;
+      case Opcode::BNE: return a != b;
+      case Opcode::BLT: return sa < sb;
+      case Opcode::BGE: return sa >= sb;
+      case Opcode::JMP:
+      case Opcode::JAL:
+      case Opcode::JR:
+        return true;
+      default: return false;
+    }
+}
+
+/**
+ * Target pc of a control instruction when taken. @p a is the value of
+ * ra (used only by JR).
+ */
+inline std::uint32_t
+controlTarget(const Instruction &inst, Word a)
+{
+    if (inst.op == Opcode::JR)
+        return static_cast<std::uint32_t>(a);
+    return static_cast<std::uint32_t>(inst.imm);
+}
+
+/** Effective memory address for loads/stores/SWAP. */
+inline Addr
+effectiveAddr(const Instruction &inst, Word a)
+{
+    return a + static_cast<Word>(static_cast<std::int64_t>(inst.imm));
+}
+
+} // namespace vbr
+
+#endif // VBR_ISA_SEMANTICS_HPP

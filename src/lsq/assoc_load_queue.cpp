@@ -1,0 +1,153 @@
+#include "lsq/assoc_load_queue.hpp"
+
+#include "common/logging.hpp"
+
+namespace vbr
+{
+
+void
+AssocLoadQueue::dispatch(SeqNum seq, std::uint32_t pc, unsigned size)
+{
+    VBR_ASSERT(!entries_.full(), "dispatch into full load queue");
+    LqEntry e;
+    e.seq = seq;
+    e.pc = pc;
+    e.size = size;
+    entries_.pushBack(e);
+}
+
+void
+AssocLoadQueue::recordIssue(SeqNum seq, Addr addr, Word premature_value)
+{
+    for (std::size_t i = entries_.size(); i-- > 0;) {
+        LqEntry &e = entries_.at(i);
+        if (e.seq == seq) {
+            e.addr = addr;
+            e.issued = true;
+            e.marked = false;
+            e.prematureValue = premature_value;
+            return;
+        }
+    }
+    panic("recordIssue: load not in queue");
+}
+
+LqSquash
+AssocLoadQueue::makeSquash(const LqEntry &e) const
+{
+    return {e.seq, e.pc, e.prematureValue, e.addr, e.size};
+}
+
+std::optional<LqSquash>
+AssocLoadQueue::storeAgenSearch(SeqNum store_seq, Addr addr,
+                                unsigned size)
+{
+    ++searches_;
+    ++(*sc_store_agen_searches_);
+    entriesSearched_ += entries_.size();
+
+    // Oldest-first: the squash must restart from the oldest violator.
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const LqEntry &e = entries_.at(i);
+        if (e.seq <= store_seq || !e.issued)
+            continue;
+        if (rangesOverlap(e.addr, e.size, addr, size)) {
+            ++(*sc_raw_violation_squashes_);
+            return makeSquash(e);
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<LqSquash>
+AssocLoadQueue::loadIssueSearch(SeqNum load_seq, Addr addr,
+                                unsigned size)
+{
+    if (mode_ == LqMode::Snooping)
+        return std::nullopt;
+
+    ++searches_;
+    ++(*sc_load_issue_searches_);
+    entriesSearched_ += entries_.size();
+
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const LqEntry &e = entries_.at(i);
+        if (e.seq <= load_seq || !e.issued)
+            continue;
+        if (!rangesOverlap(e.addr, e.size, addr, size))
+            continue;
+        if (mode_ == LqMode::Hybrid && !e.marked)
+            continue;
+        ++(*sc_load_load_order_squashes_);
+        return makeSquash(e);
+    }
+    return std::nullopt;
+}
+
+std::optional<LqSquash>
+AssocLoadQueue::snoop(Addr line, unsigned line_bytes,
+                      SeqNum rob_head_seq)
+{
+    if (mode_ == LqMode::Insulated)
+        return std::nullopt;
+
+    ++searches_;
+    ++(*sc_snoop_searches_);
+    entriesSearched_ += entries_.size();
+
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        LqEntry &e = entries_.at(i);
+        if (!e.issued)
+            continue;
+        if (!rangesOverlap(e.addr, e.size, line, line_bytes))
+            continue;
+        if (mode_ == LqMode::Hybrid) {
+            // The oldest instruction is architecturally performed and
+            // ordered before the invalidating store: never marked.
+            if (e.seq != rob_head_seq) {
+                e.marked = true;
+                ++(*sc_snoop_marks_);
+            }
+            continue;
+        }
+        // Forward-progress exemption: the oldest instruction in the
+        // machine has already performed architecturally (all older
+        // stores drained) and is ordered before the invalidating
+        // store; it is never squashed.
+        if (e.seq == rob_head_seq)
+            continue;
+        ++(*sc_snoop_squashes_);
+        return makeSquash(e);
+    }
+    return std::nullopt;
+}
+
+bool
+AssocLoadQueue::entryMarked(SeqNum seq) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const LqEntry &e = entries_.at(i);
+        if (e.seq == seq)
+            return e.marked;
+        if (e.seq > seq)
+            break;
+    }
+    return false;
+}
+
+void
+AssocLoadQueue::retire(SeqNum seq)
+{
+    VBR_ASSERT(!entries_.empty() && entries_.front().seq == seq,
+               "load retirement out of order");
+    entries_.popFront();
+}
+
+void
+AssocLoadQueue::squashFrom(SeqNum bound)
+{
+    while (!entries_.empty() && entries_.back().seq >= bound)
+        entries_.popBack();
+}
+
+} // namespace vbr

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Conventional associative load queue (the baseline the paper argues
+ * against). A RAM of age-ordered entries plus a CAM searched by:
+ *
+ *  - store address generation (uniprocessor RAW check, all modes),
+ *  - external invalidations (snooping and hybrid modes),
+ *  - load issue (insulated and hybrid modes).
+ *
+ * Three organizations are modeled (paper §2.1):
+ *  - Snooping: external invalidations search and squash (Gharachorloo
+ *    et al.; MIPS R10000, Pentium Pro). Loads at the queue head are
+ *    never squashed by snoops (forward progress).
+ *  - Insulated: load issue searches for younger already-issued loads
+ *    to the same address (Alpha 21264).
+ *  - Hybrid: snoops mark matching loads; load issue searches and
+ *    squashes only marked ones (IBM Power4).
+ *
+ * The queue never squashes directly; it returns the sequence number
+ * the core must squash from, plus enough information for the
+ * unnecessary-squash statistics of §5.1.
+ */
+
+#ifndef VBR_LSQ_ASSOC_LOAD_QUEUE_HPP
+#define VBR_LSQ_ASSOC_LOAD_QUEUE_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "common/circular_buffer.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace vbr
+{
+
+/** Load queue organization. */
+enum class LqMode
+{
+    Snooping,
+    Insulated,
+    Hybrid,
+};
+
+/** One in-flight load tracked by the CAM. */
+struct LqEntry
+{
+    SeqNum seq = kNoSeq;
+    std::uint32_t pc = 0;
+    Addr addr = kNoAddr; ///< kNoAddr until issued
+    unsigned size = 0;
+    Word prematureValue = 0;
+    bool issued = false;
+    bool marked = false; ///< hybrid mode: snoop hit since issue
+};
+
+/** A squash demand produced by a CAM search. */
+struct LqSquash
+{
+    SeqNum squashFrom = kNoSeq;
+    std::uint32_t loadPc = 0;
+    Word prematureValue = 0;
+    Addr addr = kNoAddr;
+    unsigned size = 0;
+};
+
+/** Baseline CAM-based load queue. */
+class AssocLoadQueue
+{
+  public:
+    AssocLoadQueue(std::size_t capacity, LqMode mode)
+        : entries_(capacity), mode_(mode)
+    {
+        sc_load_issue_searches_ = &stats_.counter("load_issue_searches");
+        sc_load_load_order_squashes_ = &stats_.counter("load_load_order_squashes");
+        sc_raw_violation_squashes_ = &stats_.counter("raw_violation_squashes");
+        sc_snoop_marks_ = &stats_.counter("snoop_marks");
+        sc_snoop_searches_ = &stats_.counter("snoop_searches");
+        sc_snoop_squashes_ = &stats_.counter("snoop_squashes");
+        sc_store_agen_searches_ = &stats_.counter("store_agen_searches");
+    }
+
+    LqMode mode() const { return mode_; }
+    bool full() const { return entries_.full(); }
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return entries_.capacity(); }
+
+    /** Allocate at dispatch (fails the dispatch stage when full). */
+    void dispatch(SeqNum seq, std::uint32_t pc, unsigned size);
+
+    /** Record the address/value when the load issues and performs. */
+    void recordIssue(SeqNum seq, Addr addr, Word premature_value);
+
+    /**
+     * Store address generation: CAM search for younger issued loads
+     * overlapping [addr, addr+size). Returns the oldest such load.
+     * All modes perform this search.
+     */
+    std::optional<LqSquash> storeAgenSearch(SeqNum store_seq, Addr addr,
+                                            unsigned size);
+
+    /**
+     * Load issue search (insulated and hybrid modes): find younger
+     * already-issued loads to an overlapping address; insulated
+     * squashes any such load, hybrid only marked ones.
+     */
+    std::optional<LqSquash> loadIssueSearch(SeqNum load_seq, Addr addr,
+                                            unsigned size);
+
+    /**
+     * External invalidation of @p line (line-granular). Snooping mode
+     * returns the oldest matching issued load; hybrid mode marks
+     * matches and returns nothing. @p rob_head_seq identifies the
+     * instruction at the ROB head: a load that is the oldest
+     * *instruction* in the machine is non-speculative (every older
+     * store has drained) and is never squashed by an external
+     * invalidation — the paper's forward-progress exemption, made
+     * sound for atomic store visibility.
+     */
+    std::optional<LqSquash> snoop(Addr line, unsigned line_bytes,
+                                  SeqNum rob_head_seq);
+
+    /** True when the entry for @p seq is snoop-marked (hybrid). */
+    bool entryMarked(SeqNum seq) const;
+
+    /** Remove the head entry at load retirement. */
+    void retire(SeqNum seq);
+
+    /** Squash: drop all entries with seq >= @p bound. */
+    void squashFrom(SeqNum bound);
+
+    /** CAM search count (for the energy comparison). */
+    std::uint64_t searches() const { return searches_; }
+
+    /** Total entries examined across all searches. */
+    std::uint64_t entriesSearched() const { return entriesSearched_; }
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    LqSquash makeSquash(const LqEntry &e) const;
+
+    CircularBuffer<LqEntry> entries_;
+    LqMode mode_;
+    // Cached stat handles (per-search paths).
+    Counter *sc_load_issue_searches_ = nullptr;
+    Counter *sc_load_load_order_squashes_ = nullptr;
+    Counter *sc_raw_violation_squashes_ = nullptr;
+    Counter *sc_snoop_marks_ = nullptr;
+    Counter *sc_snoop_searches_ = nullptr;
+    Counter *sc_snoop_squashes_ = nullptr;
+    Counter *sc_store_agen_searches_ = nullptr;
+
+    std::uint64_t searches_ = 0;
+    std::uint64_t entriesSearched_ = 0;
+    StatSet stats_;
+};
+
+} // namespace vbr
+
+#endif // VBR_LSQ_ASSOC_LOAD_QUEUE_HPP

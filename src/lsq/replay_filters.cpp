@@ -1,0 +1,82 @@
+#include "lsq/replay_filters.hpp"
+
+namespace vbr
+{
+
+std::string
+ReplayFilterConfig::name() const
+{
+    if (!noReorder && !noRecentMiss && !noRecentSnoop &&
+        !noUnresolvedStore)
+        return "replay-all";
+    std::string s;
+    auto append = [&s](const char *part) {
+        if (!s.empty())
+            s += "+";
+        s += part;
+    };
+    if (noReorder)
+        append("no-reorder");
+    if (noRecentMiss)
+        append("no-recent-miss");
+    if (noRecentSnoop)
+        append("no-recent-snoop");
+    if (noUnresolvedStore)
+        append("no-unresolved-store");
+    if (weakOrderingAxis)
+        append("weak-ordering");
+    return s;
+}
+
+bool
+ReplayFilterConfig::coversBothAxes() const
+{
+    bool uni = noReorder || noUnresolvedStore;
+    bool cons =
+        noReorder || noRecentMiss || noRecentSnoop || weakOrderingAxis;
+    return uni && cons;
+}
+
+ReplayReason
+classifyReplay(const ReplayFilterConfig &config,
+               const ReplayLoadInfo &info, SeqNum seq,
+               const RecentEventFilterState &state)
+{
+    bool in_order = config.noReorderSchedulerSemantics
+                        ? !info.issuedOutOfOrderSched
+                        : !info.issuedOutOfOrder;
+
+    // Uniprocessor axis: is the load proven safe w.r.t. RAW hazards?
+    bool uni_safe =
+        (config.noUnresolvedStore && !info.bypassedUnresolvedStore) ||
+        (config.noReorder && in_order);
+
+    // Consistency axis: proven safe w.r.t. the memory model?
+    bool cons_safe = false;
+    if (config.weakOrderingAxis) {
+        // Weak ordering only needs same-word load-load order within
+        // the thread (fences are enforced at issue): a load that
+        // issued after all older loads performed cannot observe an
+        // older version than any of them.
+        cons_safe = !info.issuedBeforeOlderLoad;
+    }
+    if (config.noRecentMiss || config.noRecentSnoop) {
+        bool armed = (config.noRecentMiss && state.missArmedFor(seq)) ||
+                     (config.noRecentSnoop && state.snoopArmedFor(seq));
+        cons_safe = !armed;
+    }
+    if (!cons_safe && config.noReorder && in_order)
+        cons_safe = true;
+
+    if (uni_safe && cons_safe)
+        return ReplayReason::Filtered;
+
+    // Figure 6 attribution: a replay is charged to the uniprocessor
+    // axis when the load actually bypassed an unresolved store
+    // address; all other replays are performed irrespective of
+    // uniprocessor constraints.
+    return info.bypassedUnresolvedStore ? ReplayReason::UnresolvedStore
+                                        : ReplayReason::Consistency;
+}
+
+} // namespace vbr

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The paper's §3.1/§3.2 replay-reduction heuristics and their
+ * composition rule (§3.3).
+ *
+ * A load must be replayed unless it is proven safe on BOTH axes:
+ *
+ *  - uniprocessor RAW safety: the no-unresolved-store filter proves a
+ *    load safe when it did not bypass any unresolved store address at
+ *    issue; the no-reorder filter proves it safe when it issued while
+ *    no prior memory operation was incomplete.
+ *
+ *  - memory-consistency safety: the no-recent-miss / no-recent-snoop
+ *    filters prove a load safe when no external fill / external
+ *    invalidation was observed while it was in the instruction
+ *    window; the no-reorder filter also proves this axis.
+ *
+ * With no filter on an axis, every load is unsafe on that axis, which
+ * makes the "replay all" configuration the degenerate empty config
+ * and makes unsound combinations (e.g. no-unresolved-store alone)
+ * conservatively safe rather than incorrect.
+ */
+
+#ifndef VBR_LSQ_REPLAY_FILTERS_HPP
+#define VBR_LSQ_REPLAY_FILTERS_HPP
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace vbr
+{
+
+/** Which heuristics are enabled. */
+struct ReplayFilterConfig
+{
+    bool noReorder = false;
+
+    /** Use the paper's scheduler-based in-order marking for the
+     * no-reorder filter (see ReplayLoadInfo::issuedOutOfOrderSched). */
+    bool noReorderSchedulerSemantics = false;
+
+    /**
+     * Target weak ordering instead of SC on the consistency axis
+     * (the replay analogue of the paper's insulated load queue,
+     * §2.1): a load is consistency-safe when it issued after every
+     * older load had performed, which preserves same-word coherence
+     * order; cross-word ordering is only required across fences,
+     * which the core already enforces by gating issue. No snoop/miss
+     * arming is needed at all in this mode.
+     */
+    bool weakOrderingAxis = false;
+
+    static ReplayFilterConfig
+    weakOrderingPlusNus()
+    {
+        ReplayFilterConfig f;
+        f.weakOrderingAxis = true;
+        f.noUnresolvedStore = true;
+        return f;
+    }
+    bool noRecentMiss = false;
+    bool noRecentSnoop = false;
+    bool noUnresolvedStore = false;
+
+    /** The paper's four evaluated configurations. */
+    static ReplayFilterConfig replayAll() { return {}; }
+    static ReplayFilterConfig
+    noReorderOnly()
+    {
+        ReplayFilterConfig f;
+        f.noReorder = true;
+        return f;
+    }
+    static ReplayFilterConfig
+    recentMissPlusNus()
+    {
+        ReplayFilterConfig f;
+        f.noRecentMiss = true;
+        f.noUnresolvedStore = true;
+        return f;
+    }
+    static ReplayFilterConfig
+    recentSnoopPlusNus()
+    {
+        ReplayFilterConfig f;
+        f.noRecentSnoop = true;
+        f.noUnresolvedStore = true;
+        return f;
+    }
+
+    std::string name() const;
+
+    /**
+     * True when the configuration can prove loads safe on both axes
+     * (i.e. it is one of the paper's legal filter pairings). Illegal
+     * configs still execute correctly — they just replay everything
+     * on the uncovered axis.
+     */
+    bool coversBothAxes() const;
+};
+
+/** Per-load facts recorded at issue, consumed at the replay stage. */
+struct ReplayLoadInfo
+{
+    /** Issued while >=1 older store address was unresolved (§3.2). */
+    bool bypassedUnresolvedStore = false;
+
+    /**
+     * Issued while >=1 older memory op had not *performed*: older
+     * loads not executed, or older stores not yet drained to the
+     * cache. Sound basis for the no-reorder filter even under this
+     * model's atomic store visibility (§3.1).
+     */
+    bool issuedOutOfOrder = false;
+
+    /**
+     * The paper's scheduler-based marking (§3.1): issued while >=1
+     * older load was un-executed or >=1 older store had not generated
+     * its address. Filters far more loads, matching the paper's
+     * no-reorder numbers, but does not order a load against its own
+     * core's undrained stores (store->load reordering); safe in
+     * uniprocessor runs, conservative-use-only in multiprocessors.
+     */
+    bool issuedOutOfOrderSched = false;
+
+    /** Issued while >=1 older LOAD had not executed (weak-ordering
+     * consistency axis: same-word coherence order). */
+    bool issuedBeforeOlderLoad = false;
+};
+
+/**
+ * Per-core state for the no-recent-miss / no-recent-snoop filters:
+ * the "recent event" flag + age register of the paper, generalized to
+ * a monotone high-water sequence number. An external event arms the
+ * filter up to the youngest instruction currently in the window; any
+ * load at or below the mark must replay.
+ */
+class RecentEventFilterState
+{
+  public:
+    void
+    armMiss(SeqNum youngest_in_window)
+    {
+        if (youngest_in_window != kNoSeq &&
+            (missMark_ == kNoSeq || youngest_in_window > missMark_))
+            missMark_ = youngest_in_window;
+    }
+
+    void
+    armSnoop(SeqNum youngest_in_window)
+    {
+        if (youngest_in_window != kNoSeq &&
+            (snoopMark_ == kNoSeq || youngest_in_window > snoopMark_))
+            snoopMark_ = youngest_in_window;
+    }
+
+    bool
+    missArmedFor(SeqNum seq) const
+    {
+        return missMark_ != kNoSeq && seq <= missMark_;
+    }
+
+    bool
+    snoopArmedFor(SeqNum seq) const
+    {
+        return snoopMark_ != kNoSeq && seq <= snoopMark_;
+    }
+
+    void
+    reset()
+    {
+        missMark_ = kNoSeq;
+        snoopMark_ = kNoSeq;
+    }
+
+  private:
+    SeqNum missMark_ = kNoSeq;
+    SeqNum snoopMark_ = kNoSeq;
+};
+
+/** Why a load was (or was not) replayed — drives the Figure 6 split. */
+enum class ReplayReason
+{
+    Filtered,          ///< proven safe on both axes: no replay
+    UnresolvedStore,   ///< needed for uniprocessor RAW correctness
+    Consistency,       ///< needed only for the consistency axis
+};
+
+/**
+ * The §3.3 composition rule. @p info are the load's issue-time facts,
+ * @p seq its sequence number, @p state the per-core recent-event
+ * marks.
+ */
+ReplayReason classifyReplay(const ReplayFilterConfig &config,
+                            const ReplayLoadInfo &info, SeqNum seq,
+                            const RecentEventFilterState &state);
+
+} // namespace vbr
+
+#endif // VBR_LSQ_REPLAY_FILTERS_HPP

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The paper's contribution on the queue side: a plain FIFO load queue
+ * with NO associative search. It stores the premature load's address
+ * and data for the replay and compare back-end stages, plus the
+ * issue-time facts the replay filters consume. All operations are
+ * O(1) at the head/tail or indexed lookups — nothing here scales with
+ * a CAM.
+ */
+
+#ifndef VBR_LSQ_REPLAY_QUEUE_HPP
+#define VBR_LSQ_REPLAY_QUEUE_HPP
+
+#include <cstdint>
+
+#include "common/circular_buffer.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "lsq/replay_filters.hpp"
+
+namespace vbr
+{
+
+/** One load in the value-based FIFO. */
+struct ReplayQueueEntry
+{
+    SeqNum seq = kNoSeq;
+    std::uint32_t pc = 0;
+    Addr addr = kNoAddr;
+    unsigned size = 0;
+    Word prematureValue = 0;
+    bool issued = false;
+    bool forwarded = false; ///< premature value came from the SQ
+    ReplayLoadInfo info;    ///< facts for the filters
+};
+
+/** FIFO load queue for value-based replay. */
+class ReplayQueue
+{
+  public:
+    explicit ReplayQueue(std::size_t capacity) : entries_(capacity) {}
+
+    bool full() const { return entries_.full(); }
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return entries_.capacity(); }
+
+    /** Allocate at dispatch (in program order). */
+    void
+    dispatch(SeqNum seq, std::uint32_t pc, unsigned size)
+    {
+        VBR_ASSERT(!entries_.full(), "dispatch into full replay queue");
+        ReplayQueueEntry e;
+        e.seq = seq;
+        e.pc = pc;
+        e.size = size;
+        entries_.pushBack(e);
+    }
+
+    /** Record premature execution results. */
+    void
+    recordIssue(SeqNum seq, Addr addr, Word premature_value,
+                bool forwarded, const ReplayLoadInfo &info)
+    {
+        ReplayQueueEntry *e = find(seq);
+        VBR_ASSERT(e != nullptr, "recordIssue: load not in queue");
+        e->addr = addr;
+        e->prematureValue = premature_value;
+        e->forwarded = forwarded;
+        e->issued = true;
+        e->info = info;
+    }
+
+    /** Entry by sequence number (nullptr when absent). */
+    ReplayQueueEntry *
+    find(SeqNum seq)
+    {
+        for (std::size_t i = entries_.size(); i-- > 0;) {
+            if (entries_.at(i).seq == seq)
+                return &entries_.at(i);
+            if (entries_.at(i).seq < seq)
+                break; // age-ordered: no match possible further down
+        }
+        return nullptr;
+    }
+
+    /** Oldest entry (next to flow through the replay stage). */
+    ReplayQueueEntry *
+    head()
+    {
+        return entries_.empty() ? nullptr : &entries_.front();
+    }
+
+    /** Retire the head (loads leave in program order). */
+    void
+    retire(SeqNum seq)
+    {
+        VBR_ASSERT(!entries_.empty() && entries_.front().seq == seq,
+                   "replay queue retirement out of order");
+        entries_.popFront();
+    }
+
+    /** Squash: drop all entries with seq >= @p bound. */
+    void
+    squashFrom(SeqNum bound)
+    {
+        while (!entries_.empty() && entries_.back().seq >= bound)
+            entries_.popBack();
+    }
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    CircularBuffer<ReplayQueueEntry> entries_;
+    StatSet stats_;
+};
+
+} // namespace vbr
+
+#endif // VBR_LSQ_REPLAY_QUEUE_HPP

@@ -1,0 +1,122 @@
+#include "lsq/store_queue.hpp"
+
+#include "common/logging.hpp"
+
+namespace vbr
+{
+
+void
+StoreQueue::dispatch(SeqNum seq, std::uint32_t pc, unsigned size)
+{
+    VBR_ASSERT(!entries_.full(), "dispatch into full store queue");
+    SqEntry e;
+    e.seq = seq;
+    e.pc = pc;
+    e.size = size;
+    entries_.pushBack(e);
+}
+
+void
+StoreQueue::setAddress(SeqNum seq, Addr addr)
+{
+    SqEntry *e = find(seq);
+    VBR_ASSERT(e != nullptr, "agen of unknown store");
+    e->addr = addr;
+}
+
+void
+StoreQueue::setData(SeqNum seq, Word data)
+{
+    SqEntry *e = find(seq);
+    VBR_ASSERT(e != nullptr, "data capture of unknown store");
+    e->data = data;
+    e->dataValid = true;
+}
+
+void
+StoreQueue::markRetired(SeqNum seq)
+{
+    SqEntry *e = find(seq);
+    VBR_ASSERT(e != nullptr, "retire of unknown store");
+    e->retiredFromRob = true;
+}
+
+SqSearchResult
+StoreQueue::searchForLoad(SeqNum seq, Addr addr, unsigned size) const
+{
+    SqSearchResult result;
+    ++(*sc_load_searches_);
+
+    // Youngest-first over stores older than the load.
+    for (std::size_t i = entries_.size(); i-- > 0;) {
+        const SqEntry &e = entries_.at(i);
+        if (e.seq >= seq)
+            continue;
+        if (e.addr == kNoAddr) {
+            result.sawUnresolvedOlder = true;
+            continue;
+        }
+        if (!rangesOverlap(e.addr, e.size, addr, size))
+            continue;
+        if (rangeContains(e.addr, e.size, addr, size) && e.dataValid) {
+            result.kind = SqSearchResult::Kind::Forward;
+            result.store = e.seq;
+            unsigned shift = static_cast<unsigned>(addr - e.addr) * 8;
+            Word mask = size >= 8 ? ~Word{0}
+                                  : ((Word{1} << (size * 8)) - 1);
+            result.value = (e.data >> shift) & mask;
+            ++(*sc_forwards_);
+        } else {
+            result.kind = SqSearchResult::Kind::Blocked;
+            result.store = e.seq;
+            ++(*sc_blocked_loads_);
+        }
+        return result;
+    }
+    return result;
+}
+
+unsigned
+StoreQueue::unresolvedOlderThan(SeqNum seq) const
+{
+    unsigned n = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const SqEntry &e = entries_.at(i);
+        if (e.seq < seq && e.addr == kNoAddr)
+            ++n;
+    }
+    return n;
+}
+
+bool
+StoreQueue::hasUndrainedOlderThan(SeqNum seq) const
+{
+    // Entries only leave the queue when they drain, so any older
+    // entry still present is undrained.
+    return !entries_.empty() && entries_.front().seq < seq;
+}
+
+SqEntry *
+StoreQueue::head()
+{
+    return entries_.empty() ? nullptr : &entries_.front();
+}
+
+SqEntry *
+StoreQueue::find(SeqNum seq)
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_.at(i).seq == seq)
+            return &entries_.at(i);
+    }
+    return nullptr;
+}
+
+void
+StoreQueue::squashFrom(SeqNum bound)
+{
+    while (!entries_.empty() && entries_.back().seq >= bound)
+        entries_.popBack();
+}
+
+} // namespace vbr

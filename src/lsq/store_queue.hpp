@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Store queue with store-to-load forwarding. Stores enter at dispatch,
+ * record their address/data at execute (agen), and drain to the cache
+ * at the commit-stage port, which is the global visibility point of
+ * this model. The queue answers the load-issue search: forward, block,
+ * or miss — and reports whether any older store address was still
+ * unresolved, which feeds the no-unresolved-store replay filter.
+ */
+
+#ifndef VBR_LSQ_STORE_QUEUE_HPP
+#define VBR_LSQ_STORE_QUEUE_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "common/circular_buffer.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace vbr
+{
+
+/** One in-flight store. */
+struct SqEntry
+{
+    SeqNum seq = kNoSeq;
+    std::uint32_t pc = 0;
+    Addr addr = kNoAddr; ///< kNoAddr until agen executes
+    unsigned size = 0;
+    Word data = 0;
+    bool dataValid = false; ///< store data captured
+    bool retiredFromRob = false;
+    Cycle ownershipReadyCycle = 0; ///< line ownership ETA
+};
+
+/** Outcome of a load's store-queue search. */
+struct SqSearchResult
+{
+    enum class Kind
+    {
+        None,    ///< no older overlapping store: go to the cache
+        Forward, ///< fully contained in an executed store: use value
+        Blocked, ///< partial overlap or data not ready: must wait
+    };
+
+    Kind kind = Kind::None;
+    Word value = 0;            ///< forwarded value (Kind::Forward)
+    SeqNum store = kNoSeq;     ///< forwarding/blocking store
+    bool sawUnresolvedOlder = false; ///< older store addr unknown
+};
+
+/** Age-ordered bounded store queue. */
+class StoreQueue
+{
+  public:
+    explicit StoreQueue(std::size_t capacity) : entries_(capacity)
+    {
+        sc_load_searches_ = &stats_.counter("load_searches");
+        sc_forwards_ = &stats_.counter("forwards");
+        sc_blocked_loads_ = &stats_.counter("blocked_loads");
+    }
+
+    bool full() const { return entries_.full(); }
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+
+    /** Allocate an entry at dispatch. Requires !full(). */
+    void dispatch(SeqNum seq, std::uint32_t pc, unsigned size);
+
+    /** Record the address at store agen (data may follow later). */
+    void setAddress(SeqNum seq, Addr addr);
+
+    /** Record the store data once its source operand is ready. */
+    void setData(SeqNum seq, Word data);
+
+    /** Mark that the ROB retired this store (it may now drain). */
+    void markRetired(SeqNum seq);
+
+    /**
+     * Search on behalf of a load (@p seq, @p addr, @p size): scan
+     * older stores youngest-first for the first overlapping entry.
+     */
+    SqSearchResult searchForLoad(SeqNum seq, Addr addr,
+                                 unsigned size) const;
+
+    /** Number of older-than-@p seq stores with unresolved addresses. */
+    unsigned unresolvedOlderThan(SeqNum seq) const;
+
+    /** True when any store older than @p seq has not drained yet. */
+    bool hasUndrainedOlderThan(SeqNum seq) const;
+
+    /** Oldest entry (drain candidate); nullptr when empty. */
+    SqEntry *head();
+
+    /** Entry by sequence number; nullptr when absent. */
+    SqEntry *find(SeqNum seq);
+
+    /** Remove the (drained) head entry. */
+    void popFront() { entries_.popFront(); }
+
+    /** Squash: drop all entries with seq >= @p bound. */
+    void squashFrom(SeqNum bound);
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    CircularBuffer<SqEntry> entries_;
+    mutable StatSet stats_; ///< searches are counted in const scans
+
+    // Cached stat handles (string lookups are too slow per search).
+    Counter *sc_load_searches_ = nullptr;
+    Counter *sc_forwards_ = nullptr;
+    Counter *sc_blocked_loads_ = nullptr;
+};
+
+} // namespace vbr
+
+#endif // VBR_LSQ_STORE_QUEUE_HPP

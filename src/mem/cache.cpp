@@ -1,0 +1,128 @@
+#include "mem/cache.hpp"
+
+#include <bit>
+
+#include "common/logging.hpp"
+
+namespace vbr
+{
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    VBR_ASSERT(std::has_single_bit(config_.sizeBytes),
+               "cache size must be a power of two");
+    VBR_ASSERT(std::has_single_bit(
+                   static_cast<std::uint64_t>(config_.lineBytes)),
+               "line size must be a power of two");
+    VBR_ASSERT(config_.assoc >= 1, "associativity must be >= 1");
+    std::uint64_t lines = config_.sizeBytes / config_.lineBytes;
+    VBR_ASSERT(lines % config_.assoc == 0,
+               "lines must divide evenly into sets");
+    numSets_ = lines / config_.assoc;
+    ways_.assign(lines, Way{});
+    sc_hits_ = &stats_.counter("hits");
+    sc_misses_ = &stats_.counter("misses");
+    sc_evictions_ = &stats_.counter("evictions");
+    sc_invalidations_ = &stats_.counter("invalidations");
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / config_.lineBytes) % numSets_;
+}
+
+bool
+Cache::lookup(Addr addr, bool touch)
+{
+    Addr tag = lineAddr(addr);
+    std::size_t base = setIndex(addr) * config_.assoc;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag) {
+            if (touch)
+                way.lastUse = ++useClock_;
+            ++(*sc_hits_);
+            return true;
+        }
+    }
+    ++(*sc_misses_);
+    return false;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    Addr tag = lineAddr(addr);
+    std::size_t base = setIndex(addr) * config_.assoc;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        const Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+std::optional<Addr>
+Cache::insert(Addr addr)
+{
+    Addr tag = lineAddr(addr);
+    std::size_t base = setIndex(addr) * config_.assoc;
+
+    // Already present: refresh LRU only.
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = ++useClock_;
+            return std::nullopt;
+        }
+    }
+
+    // Prefer an invalid way; otherwise evict the LRU way.
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Way &way = ways_[base + w];
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (!victim || way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+
+    std::optional<Addr> evicted;
+    if (victim->valid) {
+        evicted = victim->tag;
+        ++(*sc_evictions_);
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = ++useClock_;
+    return evicted;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    Addr tag = lineAddr(addr);
+    std::size_t base = setIndex(addr) * config_.assoc;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag) {
+            way.valid = false;
+            ++(*sc_invalidations_);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &way : ways_)
+        way = Way{};
+    useClock_ = 0;
+}
+
+} // namespace vbr

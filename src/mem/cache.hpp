@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Set-associative cache tag array with LRU replacement. Data values
+ * live in the shared MemoryImage; caches model timing and presence
+ * only (DESIGN.md §3). One Cache instance models one level of one
+ * core's private hierarchy.
+ */
+
+#ifndef VBR_MEM_CACHE_HPP
+#define VBR_MEM_CACHE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace vbr
+{
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 1;
+    unsigned lineBytes = 64;
+    unsigned latency = 1; ///< access latency in cycles
+};
+
+/** LRU set-associative tag array. Addresses are line-aligned inside. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    const CacheConfig &config() const { return config_; }
+
+    /** Line-align an address. */
+    Addr
+    lineAddr(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(config_.lineBytes - 1);
+    }
+
+    /**
+     * Probe for @p addr. On a hit the line's LRU position is updated
+     * when @p touch is set. Does not allocate.
+     */
+    bool lookup(Addr addr, bool touch = true);
+
+    /** Probe without any state change (no LRU update, no stats). */
+    bool contains(Addr addr) const;
+
+    /**
+     * Allocate the line containing @p addr. Returns the address of an
+     * evicted line, if any. The caller handles inclusion/back-
+     * invalidation consequences.
+     */
+    std::optional<Addr> insert(Addr addr);
+
+    /** Drop the line if present. Returns true when it was present. */
+    bool invalidate(Addr addr);
+
+    /** Drop every line (used on system reset). */
+    void reset();
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    struct Way
+    {
+        Addr tag = kNoAddr;
+        bool valid = false;
+        std::uint64_t lastUse = 0; ///< LRU timestamp
+    };
+
+    std::size_t setIndex(Addr addr) const;
+
+    // Cached stat handles (per-access paths).
+    Counter *sc_hits_ = nullptr;
+    Counter *sc_misses_ = nullptr;
+    Counter *sc_evictions_ = nullptr;
+    Counter *sc_invalidations_ = nullptr;
+
+    CacheConfig config_;
+    std::vector<Way> ways_; ///< numSets_ * assoc, row-major by set
+    std::size_t numSets_ = 0;
+    std::uint64_t useClock_ = 0;
+    StatSet stats_;
+};
+
+} // namespace vbr
+
+#endif // VBR_MEM_CACHE_HPP

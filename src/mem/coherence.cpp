@@ -1,0 +1,142 @@
+#include "mem/coherence.hpp"
+
+#include "common/logging.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace vbr
+{
+
+CoherenceFabric::CoherenceFabric(const FabricConfig &config)
+    : config_(config)
+{
+}
+
+void
+CoherenceFabric::attach(CacheHierarchy *hierarchy)
+{
+    VBR_ASSERT(hierarchy->coreId() == cores_.size(),
+               "hierarchies must attach in core-id order");
+    VBR_ASSERT(cores_.size() < 64, "at most 64 cores supported");
+    cores_.push_back(hierarchy);
+}
+
+FabricResult
+CoherenceFabric::readLine(CoreId core, Addr line)
+{
+    Entry &e = entry(line);
+    FabricResult r;
+    ++stats_.counter("read_transactions");
+
+    if (e.owner >= 0 && static_cast<CoreId>(e.owner) != core) {
+        // Cache-to-cache transfer from the current owner, which is
+        // downgraded to a plain sharer (memory becomes owner).
+        r.latency = config_.addrLatency + config_.dataLatency;
+        r.fromRemoteCache = true;
+        e.owner = -1;
+        ++stats_.counter("cache_to_cache_transfers");
+    } else {
+        // Memory supplies the data.
+        r.latency = config_.memLatency;
+        ++stats_.counter("memory_reads");
+    }
+    e.sharers |= (1ULL << core);
+    return r;
+}
+
+FabricResult
+CoherenceFabric::ownLine(CoreId core, Addr line)
+{
+    Entry &e = entry(line);
+    FabricResult r;
+    ++stats_.counter("ownership_transactions");
+
+    if (e.owner == static_cast<int>(core)) {
+        // Already exclusive; silent upgrade.
+        return r;
+    }
+
+    bool held_locally = (e.sharers >> core) & 1;
+    bool remote_owner = e.owner >= 0;
+    bool remote_sharers =
+        (e.sharers & ~(1ULL << core)) != 0;
+
+    if (remote_owner) {
+        r.latency = config_.addrLatency + config_.dataLatency;
+    } else if (remote_sharers) {
+        r.latency = config_.addrLatency;
+    } else if (!held_locally) {
+        // Nobody has it: fetch from memory with ownership.
+        r.latency = config_.memLatency;
+        ++stats_.counter("memory_reads_for_ownership");
+    } else {
+        // Held locally shared, no remote copies: upgrade message.
+        r.latency = config_.addrLatency;
+    }
+
+    r.invalidatedRemote = invalidateRemote(line, static_cast<int>(core));
+    // invalidateRemote can erase the entry via evictLine callbacks, so
+    // re-acquire it before recording the new owner.
+    Entry &e2 = entry(line);
+    e2.owner = static_cast<int>(core);
+    e2.sharers = 1ULL << core;
+    return r;
+}
+
+bool
+CoherenceFabric::invalidateRemote(Addr line, int except_core)
+{
+    Entry &e = entry(line);
+    bool any = false;
+    std::uint64_t others =
+        except_core >= 0 ? (e.sharers & ~(1ULL << except_core))
+                         : e.sharers;
+    for (CoreId c = 0; others != 0; ++c, others >>= 1) {
+        if (others & 1) {
+            cores_[c]->externalInvalidate(line);
+            ++stats_.counter("invalidations_sent");
+            any = true;
+        }
+    }
+    return any;
+}
+
+void
+CoherenceFabric::evictLine(CoreId core, Addr line)
+{
+    auto it = directory_.find(line);
+    if (it == directory_.end())
+        return;
+    it->second.sharers &= ~(1ULL << core);
+    if (it->second.owner == static_cast<int>(core)) {
+        it->second.owner = -1;
+        ++stats_.counter("dirty_writebacks");
+    }
+    if (it->second.sharers == 0)
+        directory_.erase(it);
+}
+
+bool
+CoherenceFabric::isOwner(CoreId core, Addr line) const
+{
+    auto it = directory_.find(line);
+    return it != directory_.end() &&
+           it->second.owner == static_cast<int>(core);
+}
+
+bool
+CoherenceFabric::isSharer(CoreId core, Addr line) const
+{
+    auto it = directory_.find(line);
+    return it != directory_.end() &&
+           ((it->second.sharers >> core) & 1);
+}
+
+void
+CoherenceFabric::dmaInvalidate(Addr line)
+{
+    ++stats_.counter("dma_invalidations");
+    invalidateRemote(line, -1);
+    directory_.erase(line);
+}
+
+} // namespace vbr

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Invalidation-based coherence fabric connecting the private cache
+ * hierarchies of a multiprocessor. Models a Gigaplane-XB-like
+ * interconnect (paper §4): broadcast address network with a fixed
+ * address-message latency and a point-to-point data network with a
+ * fixed data-message latency.
+ *
+ * The fabric keeps a full directory of which cores hold each line and
+ * which core (if any) owns it exclusively. Store commits acquire
+ * ownership here; sharers receive invalidation callbacks, which drive
+ * both the baseline snooping load queue and the no-recent-snoop replay
+ * filter. A configurable DMA agent injects the rare coherent-I/O
+ * invalidations the paper observes in uniprocessor runs.
+ */
+
+#ifndef VBR_MEM_COHERENCE_HPP
+#define VBR_MEM_COHERENCE_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace vbr
+{
+
+class CacheHierarchy;
+
+/** Interconnect and memory latencies. */
+struct FabricConfig
+{
+    unsigned addrLatency = 32;  ///< extra cycles per address message
+    unsigned dataLatency = 20;  ///< extra cycles per data message
+    unsigned memLatency = 400;  ///< DRAM best-case latency (cycles)
+    unsigned lineBytes = 64;
+};
+
+/** Outcome of a fabric transaction. */
+struct FabricResult
+{
+    unsigned latency = 0;       ///< cycles beyond the local hierarchy
+    bool fromRemoteCache = false; ///< data supplied cache-to-cache
+    bool invalidatedRemote = false; ///< remote copies were invalidated
+};
+
+/**
+ * Directory-based broadcast coherence. Hierarchies register once and
+ * are indexed by core id.
+ */
+class CoherenceFabric
+{
+  public:
+    explicit CoherenceFabric(const FabricConfig &config);
+
+    const FabricConfig &config() const { return config_; }
+
+    /** Register a core's hierarchy. Core ids must be dense from 0. */
+    void attach(CacheHierarchy *hierarchy);
+
+    unsigned numCores() const { return static_cast<unsigned>(cores_.size()); }
+
+    /**
+     * Fetch a line for reading on behalf of @p core (called after all
+     * local levels missed). Updates the directory.
+     */
+    FabricResult readLine(CoreId core, Addr line);
+
+    /**
+     * Acquire exclusive ownership of a line for @p core (store commit
+     * or exclusive prefetch at store agen). Invalidates remote copies,
+     * delivering snoop callbacks to their cores.
+     */
+    FabricResult ownLine(CoreId core, Addr line);
+
+    /** Note that @p core no longer holds @p line (inclusion victim). */
+    void evictLine(CoreId core, Addr line);
+
+    /** Register @p core as a shared holder without any transaction
+     * (cache pre-warming). */
+    void
+    warmLine(CoreId core, Addr line)
+    {
+        entry(line).sharers |= (1ULL << core);
+    }
+
+    /** True when @p core currently owns @p line exclusively. */
+    bool isOwner(CoreId core, Addr line) const;
+
+    /** True when @p core holds @p line in any state. */
+    bool isSharer(CoreId core, Addr line) const;
+
+    /**
+     * Coherent-I/O (DMA) write: invalidate the line everywhere. Every
+     * holder observes an external invalidation.
+     */
+    void dmaInvalidate(Addr line);
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t sharers = 0; ///< bitmask over cores
+        int owner = -1;            ///< exclusive owner, -1 if none
+    };
+
+    Entry &entry(Addr line) { return directory_[line]; }
+
+    /** Invalidate all copies except @p except_core's. */
+    bool invalidateRemote(Addr line, int except_core);
+
+    FabricConfig config_;
+    std::vector<CacheHierarchy *> cores_;
+    std::unordered_map<Addr, Entry> directory_;
+    StatSet stats_;
+};
+
+} // namespace vbr
+
+#endif // VBR_MEM_COHERENCE_HPP

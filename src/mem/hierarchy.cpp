@@ -1,0 +1,212 @@
+#include "mem/hierarchy.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "mem/coherence.hpp"
+
+namespace vbr
+{
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config,
+                               CoreId core_id, CoherenceFabric &fabric)
+    : config_(config),
+      coreId_(core_id),
+      fabric_(fabric),
+      l1i_(config.l1i),
+      l1d_(config.l1d),
+      l2i_(config.l2i),
+      l2d_(config.l2d),
+      l3_(config.l3),
+      prefetcher_(config.prefetcher)
+{
+    fabric.attach(this);
+
+    sc_data_reads_ = &stats_.counter("data_reads");
+    sc_external_fills_ = &stats_.counter("external_fills");
+    sc_external_invalidations_ =
+        &stats_.counter("external_invalidations");
+    sc_inclusion_victims_ = &stats_.counter("inclusion_victims");
+    sc_inst_fetches_ = &stats_.counter("inst_fetches");
+    sc_ownership_requests_ = &stats_.counter("ownership_requests");
+    sc_prefetch_fills_ = &stats_.counter("prefetch_fills");
+}
+
+MemAccess
+CacheHierarchy::read(Addr addr, std::uint32_t pc)
+{
+    MemAccess result;
+    Addr line = lineAddr(addr);
+    ++(*sc_data_reads_);
+
+    // Train the prefetcher on every demand read; prefetch fills are
+    // handled after the demand access completes.
+    prefetchBuf_.clear();
+    prefetcher_.train(pc, addr, lineBytes(), prefetchBuf_);
+
+    if (l1d_.lookup(addr)) {
+        result.latency = config_.l1d.latency;
+        result.l1Hit = true;
+    } else if (l2d_.lookup(addr)) {
+        result.latency = config_.l1d.latency + config_.l2d.latency;
+        l1d_.insert(line); // L1 victims stay in L2/L3 (inclusion holds)
+    } else if (l3_.lookup(addr)) {
+        result.latency = config_.l1d.latency + config_.l2d.latency +
+                         config_.l3.latency;
+        l2d_.insert(line);
+        l1d_.insert(line);
+    } else {
+        FabricResult fr = fabric_.readLine(coreId_, line);
+        result.latency = config_.l1d.latency + config_.l2d.latency +
+                         config_.l3.latency + fr.latency;
+        result.externalFill = true;
+        fillLine(line, true);
+        ++(*sc_external_fills_);
+        if (client_)
+            client_->onExternalFill(line);
+        if (std::getenv("VBR_FILL_TRACE") &&
+            sc_external_fills_->value() > 40000 && sc_external_fills_->value() < 40040)
+            std::fprintf(stderr, "fill core%u addr=0x%llx pc=%u\n",
+                         coreId_, (unsigned long long)addr, pc);
+    }
+
+    // Issue prefetches (untimed fills into L2/L3): lines entering the
+    // hierarchy from outside count as external fills for the
+    // no-recent-miss filter, exactly like demand fills.
+    for (Addr pf_line : prefetchBuf_) {
+        if (!l2d_.contains(pf_line) && !l3_.contains(pf_line) &&
+            !l1d_.contains(pf_line)) {
+            FabricResult pf = fabric_.readLine(coreId_, pf_line);
+            if (auto victim = l3_.insert(pf_line))
+                handleL3Eviction(*victim);
+            l2d_.insert(pf_line);
+            ++(*sc_prefetch_fills_);
+            // A prefetched block arms the no-recent-miss filter only
+            // when it may carry another processor's recent write
+            // (cache-to-cache supply). Memory-sourced prefetches are
+            // not incoming constraint-graph edges.
+            if (client_ && pf.fromRemoteCache)
+                client_->onExternalFill(pf_line);
+        }
+    }
+    return result;
+}
+
+MemAccess
+CacheHierarchy::acquireOwnership(Addr addr)
+{
+    MemAccess result;
+    Addr line = lineAddr(addr);
+    ++(*sc_ownership_requests_);
+
+    if (fabric_.isOwner(coreId_, line) && l1d_.contains(line)) {
+        l1d_.lookup(line); // LRU touch
+        result.latency = config_.l1d.latency;
+        result.l1Hit = true;
+        return result;
+    }
+
+    bool was_cached_locally = l1d_.contains(line) ||
+                              l2d_.contains(line) || l3_.contains(line);
+    FabricResult fr = fabric_.ownLine(coreId_, line);
+    result.latency = config_.l1d.latency + fr.latency;
+    if (!was_cached_locally) {
+        result.externalFill = true;
+        ++(*sc_external_fills_);
+        if (client_)
+            client_->onExternalFill(line);
+    }
+    fillLine(line, true);
+    return result;
+}
+
+bool
+CacheHierarchy::ownsLine(Addr addr) const
+{
+    return fabric_.isOwner(coreId_, lineAddr(addr));
+}
+
+unsigned
+CacheHierarchy::numSystemCores() const
+{
+    return fabric_.numCores();
+}
+
+unsigned
+CacheHierarchy::fetchInst(Addr addr)
+{
+    Addr line = lineAddr(addr);
+    ++(*sc_inst_fetches_);
+
+    if (l1i_.lookup(addr))
+        return config_.l1i.latency;
+    if (l2i_.lookup(addr)) {
+        l1i_.insert(line);
+        return config_.l1i.latency + config_.l2i.latency;
+    }
+    if (l3_.lookup(addr)) {
+        l2i_.insert(line);
+        l1i_.insert(line);
+        return config_.l1i.latency + config_.l2i.latency +
+               config_.l3.latency;
+    }
+    FabricResult fr = fabric_.readLine(coreId_, line);
+    fillLine(line, false);
+    // Instruction fills are code, not data: they do not arm the
+    // no-recent-miss filter (no load can depend on them).
+    return config_.l1i.latency + config_.l2i.latency +
+           config_.l3.latency + fr.latency;
+}
+
+void
+CacheHierarchy::warmLine(Addr line)
+{
+    if (auto victim = l3_.insert(line))
+        handleL3Eviction(*victim);
+    l2d_.insert(line);
+    fabric_.warmLine(coreId_, line);
+}
+
+void
+CacheHierarchy::fillLine(Addr line, bool data_side)
+{
+    if (auto victim = l3_.insert(line))
+        handleL3Eviction(*victim);
+    if (data_side) {
+        l2d_.insert(line);
+        l1d_.insert(line);
+    } else {
+        l2i_.insert(line);
+        l1i_.insert(line);
+    }
+}
+
+void
+CacheHierarchy::handleL3Eviction(Addr victim)
+{
+    // Inclusion: the line must leave the inner levels too.
+    l1i_.invalidate(victim);
+    l1d_.invalidate(victim);
+    l2i_.invalidate(victim);
+    l2d_.invalidate(victim);
+    fabric_.evictLine(coreId_, victim);
+    ++(*sc_inclusion_victims_);
+    if (client_)
+        client_->onInclusionVictim(victim);
+}
+
+void
+CacheHierarchy::externalInvalidate(Addr line)
+{
+    l1d_.invalidate(line);
+    l1i_.invalidate(line);
+    l2d_.invalidate(line);
+    l2i_.invalidate(line);
+    l3_.invalidate(line);
+    fabric_.evictLine(coreId_, line);
+    ++(*sc_external_invalidations_);
+    if (client_)
+        client_->onExternalInvalidation(line);
+}
+
+} // namespace vbr

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * One core's private cache hierarchy: split L1 I/D, split L2 I/D, and
+ * a unified L3, with the Table 3 geometries and latencies by default.
+ * Inclusion is enforced at the L3: an L3 eviction back-invalidates the
+ * inner levels and is reported to the core, since the paper notes that
+ * snooping load queues must also observe inclusion victims.
+ *
+ * The hierarchy reports two event classes to its core through
+ * MemEventClient:
+ *  - external invalidations (remote store ownership, DMA), which feed
+ *    the snooping load queue and the no-recent-snoop filter, and
+ *  - external fills (a block entering the private hierarchy from
+ *    outside, demand or prefetch), which feed the no-recent-miss
+ *    filter.
+ */
+
+#ifndef VBR_MEM_HIERARCHY_HPP
+#define VBR_MEM_HIERARCHY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+#include "mem/prefetcher.hpp"
+
+namespace vbr
+{
+
+class CoherenceFabric;
+
+/** Core-side receiver of coherence/miss events. */
+class MemEventClient
+{
+  public:
+    virtual ~MemEventClient() = default;
+
+    /** A line this core held was invalidated by an external agent. */
+    virtual void onExternalInvalidation(Addr line) = 0;
+
+    /** A line left the private hierarchy due to inclusion (castout). */
+    virtual void onInclusionVictim(Addr line) = 0;
+
+    /** A new block entered the private hierarchy from outside. */
+    virtual void onExternalFill(Addr line) = 0;
+};
+
+/** Full Table 3 hierarchy configuration. */
+struct HierarchyConfig
+{
+    CacheConfig l1i{"l1i", 32 * 1024, 1, 64, 1};
+    CacheConfig l1d{"l1d", 32 * 1024, 1, 64, 1};
+    CacheConfig l2i{"l2i", 256 * 1024, 8, 64, 7};
+    CacheConfig l2d{"l2d", 256 * 1024, 8, 64, 7};
+    CacheConfig l3{"l3", 8 * 1024 * 1024, 8, 64, 15};
+    PrefetcherConfig prefetcher{};
+};
+
+/** Result of a data-side access. */
+struct MemAccess
+{
+    unsigned latency = 0;       ///< total cycles for this access
+    bool l1Hit = false;
+    bool externalFill = false;  ///< block came from outside hierarchy
+};
+
+/** One core's private caches plus its view of the coherence fabric. */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const HierarchyConfig &config, CoreId core_id,
+                   CoherenceFabric &fabric);
+
+    CoreId coreId() const { return coreId_; }
+
+    /** Register the core-side event receiver (may be null). */
+    void setClient(MemEventClient *client) { client_ = client; }
+
+    /**
+     * Demand data read (premature load, replay load, or wrong-path
+     * load). @p pc trains the stride prefetcher.
+     */
+    MemAccess read(Addr addr, std::uint32_t pc);
+
+    /**
+     * Acquire ownership of the line containing @p addr for a store.
+     * Called as an exclusive prefetch at store address generation and
+     * again (usually free) when the store drains at commit.
+     */
+    MemAccess acquireOwnership(Addr addr);
+
+    /** True when this core currently owns the line exclusively. */
+    bool ownsLine(Addr addr) const;
+
+    /** Instruction fetch for the line containing @p addr. */
+    unsigned fetchInst(Addr addr);
+
+    /** Pre-warm @p line into the L2/L3 (and the directory as a
+     * shared copy) without timing, stats, or filter events. */
+    void warmLine(Addr line);
+
+    /**
+     * Fabric-driven invalidation of @p line (remote ownership or DMA).
+     * Removes the line from all levels and notifies the core.
+     */
+    void externalInvalidate(Addr line);
+
+    /** Number of cores attached to this hierarchy's fabric. */
+    unsigned numSystemCores() const;
+
+    /** Line size in bytes (uniform across levels). */
+    unsigned lineBytes() const { return config_.l1d.lineBytes; }
+
+    Addr
+    lineAddr(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(lineBytes() - 1);
+    }
+
+    StatSet &stats() { return stats_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l3() { return l3_; }
+
+  private:
+    /** Fill a line into L3/L2/L1 on the given side, handling inclusion
+     * victims. @p data_side selects L1D/L2D vs L1I/L2I. */
+    void fillLine(Addr line, bool data_side);
+
+    /** Handle an L3 eviction: back-invalidate inner levels, tell the
+     * fabric, and report the inclusion victim to the core. */
+    void handleL3Eviction(Addr victim);
+
+    HierarchyConfig config_;
+    CoreId coreId_;
+    CoherenceFabric &fabric_;
+    MemEventClient *client_ = nullptr;
+
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2i_;
+    Cache l2d_;
+    Cache l3_;
+    StridePrefetcher prefetcher_;
+    std::vector<Addr> prefetchBuf_;
+
+    // Cached stat handles (bound once in the constructor; string
+    // lookups are too slow for per-access paths).
+    Counter *sc_data_reads_ = nullptr;
+    Counter *sc_external_fills_ = nullptr;
+    Counter *sc_external_invalidations_ = nullptr;
+    Counter *sc_inclusion_victims_ = nullptr;
+    Counter *sc_inst_fetches_ = nullptr;
+    Counter *sc_ownership_requests_ = nullptr;
+    Counter *sc_prefetch_fills_ = nullptr;
+
+    StatSet stats_;
+};
+
+} // namespace vbr
+
+#endif // VBR_MEM_HIERARCHY_HPP

@@ -1,0 +1,46 @@
+#include "mem/memory_image.hpp"
+
+#include <cstring>
+
+#include "isa/program.hpp"
+
+namespace vbr
+{
+
+MemoryImage::MemoryImage(Addr size, bool track_versions)
+    : data_(size, 0), trackVersions_(track_versions)
+{
+    if (trackVersions_)
+        versions_.assign((size + 7) / 8, 0);
+}
+
+Word
+MemoryImage::read(Addr addr, unsigned size) const
+{
+    checkAccess(addr, size);
+    Word v = 0;
+    std::memcpy(&v, data_.data() + addr, size);
+    return v;
+}
+
+void
+MemoryImage::write(Addr addr, unsigned size, Word value)
+{
+    checkAccess(addr, size);
+    std::memcpy(data_.data() + addr, &value, size);
+    if (trackVersions_)
+        ++versions_[addr / 8];
+}
+
+void
+MemoryImage::applyInits(const Program &prog)
+{
+    for (const auto &init : prog.dataInits()) {
+        VBR_ASSERT(init.addr + init.bytes.size() <= data_.size(),
+                   "data init out of bounds");
+        std::memcpy(data_.data() + init.addr, init.bytes.data(),
+                    init.bytes.size());
+    }
+}
+
+} // namespace vbr

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Flat committed-state memory image shared by all cores of a simulated
+ * system. Timing is modeled by the cache hierarchy; values live here.
+ * Stores update the image when they drain to the cache at commit, which
+ * is the global visibility point in this model (see DESIGN.md §3).
+ *
+ * The image optionally maintains a version counter per 8-byte word so
+ * the constraint-graph consistency checker can identify exactly which
+ * store a committed load observed.
+ */
+
+#ifndef VBR_MEM_MEMORY_IMAGE_HPP
+#define VBR_MEM_MEMORY_IMAGE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/types.hpp"
+
+namespace vbr
+{
+
+class Program;
+
+/** Byte-addressable little-endian memory with optional word versions. */
+class MemoryImage
+{
+  public:
+    /** @param size bytes of data space; @param track_versions enables
+     * the per-word version counters used by the SC checker. */
+    explicit MemoryImage(Addr size, bool track_versions = false);
+
+    Addr size() const { return data_.size(); }
+
+    /**
+     * Read @p size bytes (1/2/4/8) at @p addr, zero-extended. Accesses
+     * must be naturally aligned — the ISA and workload generators only
+     * produce aligned accesses, and the ordering model (word-granular
+     * versioning) depends on it.
+     */
+    Word read(Addr addr, unsigned size) const;
+
+    /** Write the low @p size bytes of @p value at @p addr. */
+    void write(Addr addr, unsigned size, Word value);
+
+    /** Apply a program's data-segment initializers. */
+    void applyInits(const Program &prog);
+
+    bool trackingVersions() const { return trackVersions_; }
+
+    /** Version of the 8-byte word containing @p addr (0 = initial). */
+    std::uint32_t
+    version(Addr addr) const
+    {
+        VBR_ASSERT(trackVersions_, "versions not tracked");
+        return versions_[addr / 8];
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return data_; }
+
+  private:
+    void
+    checkAccess(Addr addr, unsigned size) const
+    {
+        VBR_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+                   "bad access size");
+        VBR_ASSERT(addr % size == 0, "unaligned memory access");
+        VBR_ASSERT(addr + size <= data_.size(),
+                   "memory access out of bounds");
+    }
+
+    std::vector<std::uint8_t> data_;
+    std::vector<std::uint32_t> versions_;
+    bool trackVersions_ = false;
+};
+
+} // namespace vbr
+
+#endif // VBR_MEM_MEMORY_IMAGE_HPP

@@ -1,0 +1,53 @@
+#include "mem/prefetcher.hpp"
+
+namespace vbr
+{
+
+StridePrefetcher::StridePrefetcher(const PrefetcherConfig &config)
+    : config_(config), table_(config.tableEntries)
+{
+}
+
+void
+StridePrefetcher::train(std::uint32_t pc, Addr addr, unsigned line_bytes,
+                        std::vector<Addr> &out)
+{
+    if (!config_.enabled || table_.empty())
+        return;
+
+    Entry &e = table_[pc % table_.size()];
+    if (e.pc != pc || e.lastAddr == kNoAddr) {
+        // New or aliased entry: restart training.
+        e.pc = pc;
+        e.lastAddr = addr;
+        e.stride = 0;
+        e.confidence = 0;
+        return;
+    }
+
+    std::int64_t stride = static_cast<std::int64_t>(addr) -
+                          static_cast<std::int64_t>(e.lastAddr);
+    if (stride == e.stride && stride != 0) {
+        if (e.confidence < config_.confidenceThreshold)
+            ++e.confidence;
+    } else {
+        e.stride = stride;
+        e.confidence = 0;
+    }
+    e.lastAddr = addr;
+
+    if (e.confidence >= config_.confidenceThreshold) {
+        Addr line_mask = ~static_cast<Addr>(line_bytes - 1);
+        Addr cur_line = addr & line_mask;
+        for (unsigned d = 1; d <= config_.degree; ++d) {
+            Addr target = addr + static_cast<Addr>(e.stride) * d;
+            Addr target_line = target & line_mask;
+            if (target_line != cur_line) {
+                out.push_back(target_line);
+                ++stats_.counter("prefetches_issued");
+            }
+        }
+    }
+}
+
+} // namespace vbr

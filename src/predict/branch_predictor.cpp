@@ -1,0 +1,156 @@
+#include "predict/branch_predictor.hpp"
+
+#include "common/logging.hpp"
+
+namespace vbr
+{
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig &config)
+    : config_(config),
+      bimodal_(config.bimodalEntries, 1),
+      gshare_(config.gshareEntries, 1),
+      selector_(config.selectorEntries, 1),
+      ras_(config.rasEntries, 0),
+      btb_(config.btbEntries)
+{
+    VBR_ASSERT(config.btbEntries % config.btbAssoc == 0,
+               "BTB entries must divide by associativity");
+}
+
+PredictorSnapshot
+BranchPredictor::snapshot() const
+{
+    return {ghist_, rasTop_, ras_[rasTop_]};
+}
+
+void
+BranchPredictor::restore(const PredictorSnapshot &snap)
+{
+    ghist_ = snap.ghist;
+    rasTop_ = snap.rasTop;
+    ras_[rasTop_] = snap.rasTopValue;
+}
+
+unsigned
+BranchPredictor::gshareIndex(std::uint32_t pc, std::uint64_t ghist) const
+{
+    return static_cast<unsigned>((pc ^ ghist) % gshare_.size());
+}
+
+BranchPrediction
+BranchPredictor::predict(std::uint32_t pc, const Instruction &inst)
+{
+    BranchPrediction pred;
+
+    switch (inst.op) {
+      case Opcode::JMP:
+        pred.taken = true;
+        pred.target = static_cast<std::uint32_t>(inst.imm);
+        return pred;
+
+      case Opcode::JAL:
+        pred.taken = true;
+        pred.target = static_cast<std::uint32_t>(inst.imm);
+        // Push the return address.
+        rasTop_ = (rasTop_ + 1) % ras_.size();
+        ras_[rasTop_] = pc + 1;
+        return pred;
+
+      case Opcode::JR:
+        pred.taken = true;
+        if (inst.ra == kLinkReg) {
+            // Return: pop the RAS.
+            pred.target = ras_[rasTop_];
+            pred.fromRas = true;
+            rasTop_ = static_cast<std::uint16_t>(
+                (rasTop_ + ras_.size() - 1) % ras_.size());
+            ++stats_.counter("ras_predictions");
+        } else {
+            // Indirect jump: consult the BTB.
+            unsigned sets = config_.btbEntries / config_.btbAssoc;
+            unsigned base = (pc % sets) * config_.btbAssoc;
+            pred.target = pc + 1; // fallthrough guess if BTB misses
+            for (unsigned w = 0; w < config_.btbAssoc; ++w) {
+                BtbEntry &e = btb_[base + w];
+                if (e.valid && e.pc == pc) {
+                    pred.target = e.target;
+                    pred.fromBtb = true;
+                    e.lastUse = ++btbClock_;
+                    ++stats_.counter("btb_hits");
+                    break;
+                }
+            }
+            if (!pred.fromBtb)
+                ++stats_.counter("btb_misses");
+        }
+        return pred;
+
+      default:
+        break;
+    }
+
+    VBR_ASSERT(isCondBranch(inst.op), "predict on non-control opcode");
+
+    std::uint8_t bim = bimodal_[pc % bimodal_.size()];
+    std::uint8_t gsh = gshare_[gshareIndex(pc, ghist_)];
+    std::uint8_t sel = selector_[pc % selector_.size()];
+
+    bool use_gshare = sel >= 2;
+    pred.taken = use_gshare ? gsh >= 2 : bim >= 2;
+    pred.target = static_cast<std::uint32_t>(inst.imm);
+
+    // Speculative history update.
+    ghist_ = (ghist_ << 1) | (pred.taken ? 1 : 0);
+    return pred;
+}
+
+void
+BranchPredictor::update(std::uint32_t pc, const Instruction &inst,
+                        bool taken, std::uint32_t target,
+                        const PredictorSnapshot &snap)
+{
+    if (inst.op == Opcode::JR && inst.ra != kLinkReg) {
+        // Train the BTB with the resolved indirect target.
+        unsigned sets = config_.btbEntries / config_.btbAssoc;
+        unsigned base = (pc % sets) * config_.btbAssoc;
+        BtbEntry *victim = nullptr;
+        for (unsigned w = 0; w < config_.btbAssoc; ++w) {
+            BtbEntry &e = btb_[base + w];
+            if (e.valid && e.pc == pc) {
+                e.target = target;
+                e.lastUse = ++btbClock_;
+                return;
+            }
+            bool better = !victim ||
+                          (!e.valid && victim->valid) ||
+                          (e.valid == victim->valid &&
+                           e.lastUse < victim->lastUse);
+            if (better)
+                victim = &e;
+        }
+        *victim = {pc, target, true, ++btbClock_};
+        return;
+    }
+
+    if (!isCondBranch(inst.op))
+        return;
+
+    std::uint8_t &bim = bimodal_[pc % bimodal_.size()];
+    std::uint8_t &gsh = gshare_[gshareIndex(pc, snap.ghist)];
+    std::uint8_t &sel = selector_[pc % selector_.size()];
+
+    bool bim_correct = (bim >= 2) == taken;
+    bool gsh_correct = (gsh >= 2) == taken;
+    if (bim_correct != gsh_correct)
+        bump(sel, gsh_correct);
+    bump(bim, taken);
+    bump(gsh, taken);
+}
+
+void
+BranchPredictor::notifyResolvedBranch(bool taken)
+{
+    ghist_ = (ghist_ << 1) | (taken ? 1 : 0);
+}
+
+} // namespace vbr

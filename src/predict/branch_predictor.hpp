@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Front-end branch prediction per the paper's Table 3: a combined
+ * bimodal (16k entry) / gshare (16k entry) predictor with a 16k-entry
+ * selector, a 64-entry return address stack, and an 8k-entry 4-way
+ * BTB used for indirect jumps.
+ *
+ * Conditional-branch targets are encoded in the instruction, so the
+ * BTB only supplies targets for JR with a non-link source register;
+ * JR of the link register pops the RAS.
+ */
+
+#ifndef VBR_PREDICT_BRANCH_PREDICTOR_HPP
+#define VBR_PREDICT_BRANCH_PREDICTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "isa/instruction.hpp"
+
+namespace vbr
+{
+
+/** Sizing knobs (defaults are the Table 3 configuration). */
+struct BranchPredictorConfig
+{
+    unsigned bimodalEntries = 16 * 1024;
+    unsigned gshareEntries = 16 * 1024;
+    unsigned selectorEntries = 16 * 1024;
+    unsigned rasEntries = 64;
+    unsigned btbEntries = 8 * 1024;
+    unsigned btbAssoc = 4;
+};
+
+/**
+ * Snapshot of speculative predictor state taken when an instruction is
+ * fetched; restored when a squash rolls fetch back to it.
+ */
+struct PredictorSnapshot
+{
+    std::uint64_t ghist = 0;
+    std::uint16_t rasTop = 0;
+    std::uint32_t rasTopValue = 0;
+};
+
+/** Outcome of predicting one control instruction at fetch. */
+struct BranchPrediction
+{
+    bool taken = false;
+    std::uint32_t target = 0;
+    bool fromRas = false;
+    bool fromBtb = false;
+};
+
+/** The combined predictor with speculative history and RAS. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorConfig &config);
+
+    /** Capture speculative state before fetching an instruction. */
+    PredictorSnapshot snapshot() const;
+
+    /** Restore speculative state after a squash. */
+    void restore(const PredictorSnapshot &snap);
+
+    /**
+     * Predict a control instruction at fetch and speculatively update
+     * history/RAS. @p pc is the instruction index.
+     */
+    BranchPrediction predict(std::uint32_t pc, const Instruction &inst);
+
+    /**
+     * Train at retirement with the architecturally resolved outcome.
+     * @p snap is the history the prediction was made with.
+     */
+    void update(std::uint32_t pc, const Instruction &inst, bool taken,
+                std::uint32_t target, const PredictorSnapshot &snap);
+
+    /** Correct the speculative global history after a conditional
+     * branch mispredict (called alongside restore()). */
+    void notifyResolvedBranch(bool taken);
+
+    /** Re-apply a return's RAS pop after restore() rolled it back
+     * (mispredicted JR: execution resumes past the return). */
+    void
+    popRas()
+    {
+        rasTop_ = static_cast<std::uint16_t>(
+            (rasTop_ + ras_.size() - 1) % ras_.size());
+    }
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    unsigned gshareIndex(std::uint32_t pc, std::uint64_t ghist) const;
+
+    static void
+    bump(std::uint8_t &ctr, bool up)
+    {
+        if (up && ctr < 3)
+            ++ctr;
+        else if (!up && ctr > 0)
+            --ctr;
+    }
+
+    BranchPredictorConfig config_;
+    std::vector<std::uint8_t> bimodal_;  ///< 2-bit counters
+    std::vector<std::uint8_t> gshare_;   ///< 2-bit counters
+    std::vector<std::uint8_t> selector_; ///< 2-bit: >=2 favors gshare
+
+    std::uint64_t ghist_ = 0; ///< speculative global history
+
+    // Return address stack (speculative).
+    std::vector<std::uint32_t> ras_;
+    std::uint16_t rasTop_ = 0; ///< index of current top entry
+
+    // BTB for indirect targets: direct-mapped-by-set, assoc ways.
+    struct BtbEntry
+    {
+        std::uint32_t pc = 0;
+        std::uint32_t target = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+    std::vector<BtbEntry> btb_;
+    std::uint64_t btbClock_ = 0;
+
+    StatSet stats_;
+};
+
+} // namespace vbr
+
+#endif // VBR_PREDICT_BRANCH_PREDICTOR_HPP

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Memory dependence predictors gating speculative load issue.
+ *
+ * Two implementations, matching the paper's §3/§4 methodology:
+ *
+ *  - StoreSetPredictor: Chrysos & Emer store sets (4k-entry SSIT,
+ *    128-entry LFST). Used by the *baseline* machine: it can name the
+ *    specific store a load must wait for, which requires the
+ *    associative load queue to identify the conflicting store when
+ *    training.
+ *
+ *  - SimpleDepPredictor: the Alpha-21264-style PC-indexed single-bit
+ *    table used by the *value-based replay* machine, because replay
+ *    cannot identify which store caused a mismatch. A set bit makes
+ *    the load wait for all prior store addresses to resolve. The
+ *    table is cleared periodically so stale bits do not throttle
+ *    loads forever (as in the 21264).
+ */
+
+#ifndef VBR_PREDICT_DEP_PREDICTOR_HPP
+#define VBR_PREDICT_DEP_PREDICTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace vbr
+{
+
+/** What a load must wait for before issuing speculatively. */
+struct DepAdvice
+{
+    /** Load must wait until all prior store addresses are resolved. */
+    bool waitForAllStores = false;
+
+    /**
+     * Load must wait for the in-flight store instance with this
+     * sequence number (kNoSeq when unconstrained). Only the store-set
+     * predictor produces specific stores.
+     */
+    SeqNum waitForStore = kNoSeq;
+};
+
+/** Common interface consulted at load issue time. */
+class DependencePredictor
+{
+  public:
+    virtual ~DependencePredictor() = default;
+
+    /** Advice for a load at @p pc about to issue. */
+    virtual DepAdvice adviseLoad(std::uint32_t pc) = 0;
+
+    /** A store at @p pc was dispatched as dynamic instance @p seq. */
+    virtual void notifyStoreDispatched(std::uint32_t pc, SeqNum seq) = 0;
+
+    /** The store instance @p seq left the pipeline (retired/squashed). */
+    virtual void notifyStoreRemoved(std::uint32_t pc, SeqNum seq) = 0;
+
+    /**
+     * A memory-order violation was detected between a load and a
+     * store. @p store_pc is valid only for detection mechanisms that
+     * can name the store (the associative LQ); value-based replay
+     * passes store_pc = kUnknownStorePc.
+     */
+    virtual void trainViolation(std::uint32_t load_pc,
+                                std::uint32_t store_pc) = 0;
+
+    /** Per-cycle hook (periodic clearing etc.). */
+    virtual void tick(Cycle now) { (void)now; }
+
+    static constexpr std::uint32_t kUnknownStorePc = 0xffffffff;
+};
+
+/** Alpha-21264-style 1-bit wait table. */
+class SimpleDepPredictor : public DependencePredictor
+{
+  public:
+    /** @param entries table size; @param clear_interval cycles between
+     * table resets (0 disables clearing). */
+    explicit SimpleDepPredictor(unsigned entries = 4096,
+                                Cycle clear_interval = 32768);
+
+    DepAdvice adviseLoad(std::uint32_t pc) override;
+    void notifyStoreDispatched(std::uint32_t, SeqNum) override {}
+    void notifyStoreRemoved(std::uint32_t, SeqNum) override {}
+    void trainViolation(std::uint32_t load_pc,
+                        std::uint32_t store_pc) override;
+    void tick(Cycle now) override;
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    std::vector<bool> wait_;
+    Cycle clearInterval_;
+    Cycle lastClear_ = 0;
+    StatSet stats_;
+};
+
+/** Chrysos/Emer store-set predictor (SSIT + LFST). */
+class StoreSetPredictor : public DependencePredictor
+{
+  public:
+    StoreSetPredictor(unsigned ssit_entries = 4096,
+                      unsigned lfst_entries = 128);
+
+    DepAdvice adviseLoad(std::uint32_t pc) override;
+    void notifyStoreDispatched(std::uint32_t pc, SeqNum seq) override;
+    void notifyStoreRemoved(std::uint32_t pc, SeqNum seq) override;
+    void trainViolation(std::uint32_t load_pc,
+                        std::uint32_t store_pc) override;
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    static constexpr std::uint16_t kNoSet = 0xffff;
+
+    std::uint16_t &ssit(std::uint32_t pc);
+
+    std::vector<std::uint16_t> ssit_; ///< pc -> store-set id
+    std::vector<SeqNum> lfst_;        ///< set id -> last fetched store
+    std::uint16_t nextSetId_ = 0;
+    StatSet stats_;
+};
+
+} // namespace vbr
+
+#endif // VBR_PREDICT_DEP_PREDICTOR_HPP

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Last-value load-value predictor. The paper's contribution list
+ * points out that value prediction interacts subtly with memory
+ * consistency (Martin et al., MICRO 2001) and that value-based replay
+ * naturally detects such errors: a value-predicted load is validated
+ * by the replay/compare stages like any premature load, so a wrong or
+ * consistency-violating prediction squashes at commit.
+ *
+ * The predictor is deliberately simple (PC-indexed last value with a
+ * saturating confidence counter); it exists to demonstrate and test
+ * the replay mechanism as a value-speculation safety net, not to win
+ * performance.
+ */
+
+#ifndef VBR_PREDICT_VALUE_PREDICTOR_HPP
+#define VBR_PREDICT_VALUE_PREDICTOR_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace vbr
+{
+
+/** PC-indexed last-value predictor with 2-bit confidence. */
+class ValuePredictor
+{
+  public:
+    explicit ValuePredictor(unsigned entries = 1024,
+                            unsigned confidence_threshold = 3)
+        : table_(entries), threshold_(confidence_threshold)
+    {
+    }
+
+    /** Predicted value for the load at @p pc, when confident. */
+    std::optional<Word>
+    predict(std::uint32_t pc)
+    {
+        Entry &e = table_[pc % table_.size()];
+        if (e.pc == pc && e.confidence >= threshold_) {
+            ++stats_.counter("predictions");
+            return e.value;
+        }
+        return std::nullopt;
+    }
+
+    /** Train with the architecturally committed value. */
+    void
+    train(std::uint32_t pc, Word value)
+    {
+        Entry &e = table_[pc % table_.size()];
+        if (e.pc != pc) {
+            e.pc = pc;
+            e.value = value;
+            e.confidence = 0;
+            return;
+        }
+        if (e.value == value) {
+            if (e.confidence < 3)
+                ++e.confidence;
+        } else {
+            e.value = value;
+            e.confidence = 0;
+        }
+    }
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    struct Entry
+    {
+        std::uint32_t pc = 0;
+        Word value = 0;
+        unsigned confidence = 0;
+    };
+
+    std::vector<Entry> table_;
+    unsigned threshold_;
+    StatSet stats_;
+};
+
+} // namespace vbr
+
+#endif // VBR_PREDICT_VALUE_PREDICTOR_HPP

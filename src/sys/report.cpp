@@ -1,0 +1,86 @@
+#include "sys/report.hpp"
+
+#include <sstream>
+
+namespace vbr
+{
+
+ReportMetrics
+computeMetrics(System &sys, const RunResult &result)
+{
+    ReportMetrics m;
+    m.instructions = result.instructions;
+    m.cycles = result.cycles;
+    m.ipc = result.ipc();
+
+    std::uint64_t loads = sys.totalStat("committed_loads");
+    std::uint64_t stores = sys.totalStat("committed_stores");
+    std::uint64_t branches = sys.totalStat("committed_branches");
+    std::uint64_t mispredicts =
+        sys.totalStat("branch_mispredicts_committed");
+    std::uint64_t replays = sys.totalStat("replays_total");
+    std::uint64_t filtered = sys.totalStat("replays_filtered");
+    std::uint64_t squashes = sys.totalStat("squashes_total");
+    std::uint64_t l1d = sys.totalStat("l1d_accesses_premature") +
+                        sys.totalStat("l1d_accesses_store_commit") +
+                        sys.totalStat("l1d_accesses_replay") +
+                        sys.totalStat("l1d_accesses_swap");
+
+    double instr = m.instructions ? static_cast<double>(m.instructions)
+                                  : 1.0;
+    m.loadsPerInstr = loads / instr;
+    m.storesPerInstr = stores / instr;
+    m.l1dAccessesPerInstr = l1d / instr;
+    m.replaysPerInstr = replays / instr;
+    m.replayFilterRate =
+        (replays + filtered) == 0
+            ? 0.0
+            : static_cast<double>(filtered) /
+                  static_cast<double>(replays + filtered);
+    m.branchMispredictRate =
+        branches == 0 ? 0.0
+                      : static_cast<double>(mispredicts) /
+                            static_cast<double>(branches);
+    m.squashesPerKiloInstr = squashes / instr * 1000.0;
+
+    double occ = 0.0;
+    for (unsigned c = 0; c < sys.numCores(); ++c)
+        occ += sys.core(c).stats().getMean("rob_occupancy");
+    m.avgRobOccupancy = occ / sys.numCores();
+    return m;
+}
+
+std::string
+renderReport(System &sys, const RunResult &result, bool include_raw)
+{
+    ReportMetrics m = computeMetrics(sys, result);
+    std::ostringstream os;
+    os << "=== simulation report ===\n";
+    os << "cycles:            " << m.cycles << "\n";
+    os << "instructions:      " << m.instructions << "\n";
+    os << "IPC:               " << m.ipc << "\n";
+    os << "loads/instr:       " << m.loadsPerInstr << "\n";
+    os << "stores/instr:      " << m.storesPerInstr << "\n";
+    os << "L1D accesses/instr:" << m.l1dAccessesPerInstr << "\n";
+    os << "replays/instr:     " << m.replaysPerInstr << "\n";
+    os << "replay filter rate:" << m.replayFilterRate << "\n";
+    os << "br mispredict rate:" << m.branchMispredictRate << "\n";
+    os << "squashes/kinstr:   " << m.squashesPerKiloInstr << "\n";
+    os << "avg ROB occupancy: " << m.avgRobOccupancy << "\n";
+
+    if (include_raw) {
+        for (unsigned c = 0; c < sys.numCores(); ++c) {
+            os << "\n--- core " << c << " ---\n";
+            os << sys.core(c).stats().dump("core." );
+            os << sys.core(c).hierarchy().stats().dump("mem.");
+            os << sys.core(c).storeQueue().stats().dump("sq.");
+            if (auto *lq = sys.core(c).assocLq())
+                os << lq->stats().dump("lq.");
+        }
+        os << "\n--- fabric ---\n";
+        os << sys.fabric().stats().dump("fabric.");
+    }
+    return os.str();
+}
+
+} // namespace vbr

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Human-readable simulation reports: derived metrics (IPC, miss
+ * rates, replay rates, squash taxonomy) plus the raw per-core,
+ * per-hierarchy, and fabric statistics. Harness and example programs
+ * use this instead of each reinventing stat extraction.
+ */
+
+#ifndef VBR_SYS_REPORT_HPP
+#define VBR_SYS_REPORT_HPP
+
+#include <string>
+
+#include "sys/system.hpp"
+
+namespace vbr
+{
+
+/** Derived whole-run metrics. */
+struct ReportMetrics
+{
+    double ipc = 0.0;
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;
+
+    double loadsPerInstr = 0.0;
+    double storesPerInstr = 0.0;
+    double l1dAccessesPerInstr = 0.0;
+    double replaysPerInstr = 0.0;
+    double replayFilterRate = 0.0; ///< filtered / (filtered+replayed)
+    double branchMispredictRate = 0.0; ///< per committed branch
+    double squashesPerKiloInstr = 0.0;
+    double avgRobOccupancy = 0.0;
+};
+
+/** Compute derived metrics from a finished system. */
+ReportMetrics computeMetrics(System &sys, const RunResult &result);
+
+/**
+ * Render a full report: the derived metrics followed by every raw
+ * statistic of every core (and optionally hierarchies + fabric).
+ */
+std::string renderReport(System &sys, const RunResult &result,
+                         bool include_raw = false);
+
+} // namespace vbr
+
+#endif // VBR_SYS_REPORT_HPP

@@ -1,0 +1,98 @@
+#include "sys/system.hpp"
+
+#include "common/logging.hpp"
+
+namespace vbr
+{
+
+System::System(const SystemConfig &config, const Program &prog)
+    : config_(config), dmaRng_(config.dmaSeed)
+{
+    VBR_ASSERT(config.cores >= 1, "system needs at least one core");
+    VBR_ASSERT(prog.threads().size() >= config.cores,
+               "program does not define enough threads");
+
+    mem_ = std::make_unique<MemoryImage>(prog.memorySize(),
+                                         config.trackVersions);
+    mem_->applyInits(prog);
+
+    fabric_ = std::make_unique<CoherenceFabric>(config.fabric);
+    for (unsigned i = 0; i < config.cores; ++i) {
+        hierarchies_.push_back(std::make_unique<CacheHierarchy>(
+            config.hierarchy, i, *fabric_));
+        // Pre-warm the program's steady-state ranges before the core
+        // attaches (no filter events are generated either way).
+        unsigned lb = hierarchies_[i]->lineBytes();
+        for (auto [begin, end] : prog.warmRanges()) {
+            for (Addr line = begin & ~static_cast<Addr>(lb - 1);
+                 line < end; line += lb)
+                hierarchies_[i]->warmLine(line);
+        }
+        cores_.push_back(std::make_unique<OooCore>(
+            config.core, prog, *mem_, *hierarchies_[i], i));
+    }
+}
+
+void
+System::setObserver(CommitObserver *observer)
+{
+    for (auto &core : cores_)
+        core->setObserver(observer);
+}
+
+void
+System::tick()
+{
+    ++now_;
+    for (auto &core : cores_)
+        core->tick(now_);
+
+    if (config_.dmaInvalidationRate > 0.0 &&
+        dmaRng_.chance(config_.dmaInvalidationRate)) {
+        Addr line = dmaRng_.below(mem_->size()) &
+                    ~static_cast<Addr>(config_.hierarchy.l1d.lineBytes -
+                                       1);
+        fabric_->dmaInvalidate(line);
+    }
+}
+
+RunResult
+System::run()
+{
+    RunResult result;
+    while (now_ < config_.maxCycles) {
+        bool all_halted = true;
+        bool any_deadlock = false;
+        for (auto &core : cores_) {
+            if (!core->halted())
+                all_halted = false;
+            if (core->deadlocked(now_))
+                any_deadlock = true;
+        }
+        if (all_halted) {
+            result.allHalted = true;
+            break;
+        }
+        if (any_deadlock) {
+            result.deadlocked = true;
+            break;
+        }
+        tick();
+    }
+
+    result.cycles = now_;
+    for (auto &core : cores_)
+        result.instructions += core->instructionsCommitted();
+    return result;
+}
+
+std::uint64_t
+System::totalStat(const std::string &name) const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores_)
+        total += core->stats().get(name);
+    return total;
+}
+
+} // namespace vbr

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A full simulated system: N out-of-order cores, each with a private
+ * cache hierarchy, connected by an invalidation-based coherence fabric
+ * over a Gigaplane-XB-like interconnect, sharing one memory image.
+ * A configurable DMA agent injects the coherent-I/O invalidations the
+ * paper observes in uniprocessor runs.
+ */
+
+#ifndef VBR_SYS_SYSTEM_HPP
+#define VBR_SYS_SYSTEM_HPP
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/ooo_core.hpp"
+#include "isa/program.hpp"
+#include "mem/coherence.hpp"
+#include "mem/hierarchy.hpp"
+#include "mem/memory_image.hpp"
+
+namespace vbr
+{
+
+/** Whole-system configuration. */
+struct SystemConfig
+{
+    unsigned cores = 1;
+    CoreConfig core;
+    HierarchyConfig hierarchy;
+    FabricConfig fabric;
+
+    /** Track per-word versions (required by the SC checker). */
+    bool trackVersions = false;
+
+    /** Per-cycle probability of a coherent-I/O (DMA) invalidation of
+     * a random data line; models the paper's uniprocessor snoops. */
+    double dmaInvalidationRate = 0.0;
+    std::uint64_t dmaSeed = 12345;
+
+    /** Stop simulation after this many cycles even if not halted. */
+    Cycle maxCycles = 200'000'000;
+};
+
+/** Result of running a system to completion. */
+struct RunResult
+{
+    bool allHalted = false;
+    bool deadlocked = false;
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0; ///< total committed across cores
+
+    double
+    ipc() const
+    {
+        return cycles == 0
+            ? 0.0
+            : static_cast<double>(instructions) /
+                  static_cast<double>(cycles);
+    }
+};
+
+/** N cores + coherence + shared memory, stepped in lockstep. */
+class System
+{
+  public:
+    System(const SystemConfig &config, const Program &prog);
+
+    /** Run until all cores halt, a deadlock is detected, or the cycle
+     * budget expires. */
+    RunResult run();
+
+    /** Advance one cycle across all cores. */
+    void tick();
+
+    MemoryImage &memory() { return *mem_; }
+    OooCore &core(unsigned i) { return *cores_[i]; }
+    unsigned numCores() const { return static_cast<unsigned>(cores_.size()); }
+    CoherenceFabric &fabric() { return *fabric_; }
+    Cycle now() const { return now_; }
+
+    /** Subscribe a commit observer (e.g. the SC checker) to all cores. */
+    void setObserver(CommitObserver *observer);
+
+    /** Sum of a named counter across all cores. */
+    std::uint64_t totalStat(const std::string &name) const;
+
+  private:
+    SystemConfig config_;
+    std::unique_ptr<MemoryImage> mem_;
+    std::unique_ptr<CoherenceFabric> fabric_;
+    std::vector<std::unique_ptr<CacheHierarchy>> hierarchies_;
+    std::vector<std::unique_ptr<OooCore>> cores_;
+    Rng dmaRng_;
+    Cycle now_ = 0;
+};
+
+} // namespace vbr
+
+#endif // VBR_SYS_SYSTEM_HPP

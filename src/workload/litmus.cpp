@@ -1,0 +1,224 @@
+#include "workload/litmus.hpp"
+
+#include "common/logging.hpp"
+#include "isa/assembler.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+// Shared words on distinct lines.
+constexpr Addr kA = 0x2000;
+constexpr Addr kB = 0x2040;
+constexpr Addr kC = 0x2080; ///< WRC acknowledge word
+
+constexpr unsigned rTid = 30;
+constexpr unsigned rIter = 28;
+constexpr unsigned rBad = 4; ///< forbidden-observation counter
+
+void
+addThreads(Program &prog, unsigned threads, unsigned iterations)
+{
+    for (unsigned t = 0; t < threads; ++t) {
+        ThreadSpec spec;
+        spec.initRegs[rTid] = t;
+        spec.initRegs[rIter] = iterations;
+        prog.threads().push_back(spec);
+    }
+}
+
+} // namespace
+
+Program
+makeLoadBuffering(unsigned rounds)
+{
+    Program prog;
+    Assembler as(prog);
+
+    as.ldi(7, static_cast<std::int32_t>(kA));
+    as.ldi(8, static_cast<std::int32_t>(kB));
+    // Thread 1 swaps the roles (reads B, writes A).
+    as.beq(rTid, 0, "roles");
+    as.alu(Opcode::OR, 9, 7, 0);
+    as.alu(Opcode::OR, 7, 8, 0);
+    as.alu(Opcode::OR, 8, 9, 0);
+    as.label("roles");
+
+    as.ldi(6, 1); // round
+    as.label("round");
+    as.ld8(5, 7, 0);   // r = my read word
+    as.st8(6, 8, 0);   // write partner's word = round
+    // Accumulate an observation fingerprint (r4 += r). The forbidden
+    // LB outcome is *both* threads observing the other's same-round
+    // store, which registers cannot correlate across threads — the
+    // constraint-graph checker is the judge.
+    as.add(rBad, rBad, 5);
+    as.addi(6, 6, 1);
+    as.blt(6, rIter, "round");
+    as.halt();
+    as.finalize();
+
+    addThreads(prog, 2, rounds);
+    return prog;
+}
+
+Program
+makeWrc(unsigned rounds)
+{
+    Program prog;
+    Assembler as(prog);
+
+    as.ldi(7, static_cast<std::int32_t>(kA));
+    as.ldi(8, static_cast<std::int32_t>(kB));
+    as.ldi(6, 1); // round
+    as.beq(rTid, 0, "writer");
+    as.ldi(9, 1);
+    as.beq(rTid, 9, "relay");
+
+    // --- p2: wait for B == round, check A, acknowledge ---
+    as.ldi(11, static_cast<std::int32_t>(kC));
+    as.label("p2_round");
+    as.label("p2_wait");
+    as.ld8(5, 8, 0);
+    as.bne(5, 6, "p2_wait");
+    as.ld8(5, 7, 0);              // read A
+    as.alu(Opcode::CMPLT, 10, 5, 6); // A < round is forbidden
+    as.add(rBad, rBad, 10);
+    as.st8(6, 11, 0);             // ack: C = round
+    as.addi(6, 6, 1);
+    as.blt(6, rIter, "p2_round");
+    as.halt();
+
+    // --- p1: wait for A == round, then publish B = round ---
+    as.label("relay");
+    as.label("p1_round");
+    as.label("p1_wait");
+    as.ld8(5, 7, 0);
+    as.bne(5, 6, "p1_wait");
+    as.st8(6, 8, 0);
+    as.addi(6, 6, 1);
+    as.blt(6, rIter, "p1_round");
+    as.halt();
+
+    // --- p0: write A = round, advance only after p2's ack so no
+    // thread ever misses a round window ---
+    as.label("writer");
+    as.ldi(11, static_cast<std::int32_t>(kC));
+    as.label("p0_round");
+    as.st8(6, 7, 0);
+    as.label("p0_wait");
+    as.ld8(5, 11, 0);
+    as.bne(5, 6, "p0_wait");
+    as.addi(6, 6, 1);
+    as.blt(6, rIter, "p0_round");
+    as.halt();
+    as.finalize();
+
+    addThreads(prog, 3, rounds);
+    return prog;
+}
+
+Program
+makeIriw(unsigned rounds)
+{
+    Program prog;
+    Assembler as(prog);
+
+    as.ldi(7, static_cast<std::int32_t>(kA));
+    as.ldi(8, static_cast<std::int32_t>(kB));
+    as.ldi(6, 1); // round
+
+    as.ldi(9, 2);
+    as.blt(rTid, 9, "writers");
+
+    // Readers: p2 reads A then B; p3 reads B then A.
+    as.ldi(9, 3);
+    as.beq(rTid, 9, "reader_ba");
+
+    as.label("reader_ab");
+    as.label("r_ab");
+    as.ld8(10, 7, 0); // A
+    as.ld8(11, 8, 0); // B
+    // Record "saw A at round but B behind A" style observations: the
+    // graph checker is the real judge; the register just accumulates
+    // an order fingerprint.
+    as.alu(Opcode::CMPLT, 12, 11, 10);
+    as.add(rBad, rBad, 12);
+    as.addi(6, 6, 1);
+    as.blt(6, rIter, "r_ab");
+    as.halt();
+
+    as.label("reader_ba");
+    as.label("r_ba");
+    as.ld8(10, 8, 0); // B
+    as.ld8(11, 7, 0); // A
+    as.alu(Opcode::CMPLT, 12, 11, 10);
+    as.add(rBad, rBad, 12);
+    as.addi(6, 6, 1);
+    as.blt(6, rIter, "r_ba");
+    as.halt();
+
+    // Writers: p0 bumps A, p1 bumps B, loosely paced.
+    as.label("writers");
+    as.beq(rTid, 0, "writer_a");
+    as.label("writer_b");
+    as.label("w_b");
+    as.st8(6, 8, 0);
+    as.addi(6, 6, 1);
+    as.blt(6, rIter, "w_b");
+    as.halt();
+    as.label("writer_a");
+    as.label("w_a");
+    as.st8(6, 7, 0);
+    as.addi(6, 6, 1);
+    as.blt(6, rIter, "w_a");
+    as.halt();
+    as.finalize();
+
+    addThreads(prog, 4, rounds);
+    return prog;
+}
+
+Program
+makeCoRR(unsigned rounds)
+{
+    Program prog;
+    Assembler as(prog);
+
+    as.ldi(7, static_cast<std::int32_t>(kA));
+    as.ldi(6, 1);
+    as.bne(rTid, 0, "reader");
+
+    as.label("w_round");
+    as.st8(6, 7, 0);
+    as.addi(6, 6, 1);
+    as.blt(6, rIter, "w_round");
+    as.halt();
+
+    as.label("reader");
+    as.ldi(13, 64);
+    as.label("r_round");
+    // The first read's address resolves through a divide chain, so
+    // the second (younger) read samples memory first — the
+    // same-address load-load reordering of paper Figure 1c that the
+    // insulated queue's issue search / value replay must repair.
+    as.ldi(14, 4096);
+    as.alu(Opcode::DIV, 14, 14, 13); // 64
+    as.alu(Opcode::DIV, 14, 14, 13); // 1
+    as.alu(Opcode::DIV, 14, 14, 13); // 0
+    as.add(14, 14, 7);
+    as.load(8, 10, 14, 0); // first read (late issue)
+    as.ld8(11, 7, 0);      // second read (samples early)
+    as.alu(Opcode::CMPLT, 12, 11, 10);
+    as.add(rBad, rBad, 12);
+    as.addi(6, 6, 1);
+    as.blt(6, rIter, "r_round");
+    as.halt();
+    as.finalize();
+
+    addThreads(prog, 2, rounds);
+    return prog;
+}
+
+} // namespace vbr

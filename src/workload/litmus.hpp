@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Classic memory-model litmus tests as runnable programs. Each test
+ * writes its per-thread observations into architectural registers so
+ * a harness can count forbidden outcomes, and each is repeated for
+ * many rounds over distinct word versions so the constraint-graph
+ * checker has material to work with.
+ *
+ * Together with makeDekker (SB), makeMessagePassing (MP+ctrl),
+ * makeLoadLoadLitmus (MP without the control dependency) and
+ * makeMessagePassingFenced, this covers the standard SC litmus
+ * family: LB, WRC, IRIW, CoRR.
+ */
+
+#ifndef VBR_WORKLOAD_LITMUS_HPP
+#define VBR_WORKLOAD_LITMUS_HPP
+
+#include "isa/program.hpp"
+
+namespace vbr
+{
+
+/**
+ * LB (load buffering), 2 threads:
+ *   p0: r = A; B = round    p1: r = B; A = round
+ * Under SC a round's loads can never both observe the other thread's
+ * same-round store ("both see new"). Each thread counts such
+ * observations in r4 (always 0 under SC since stores drain at commit
+ * after older loads — the test documents the machine property).
+ */
+Program makeLoadBuffering(unsigned rounds);
+
+/**
+ * WRC (write-to-read causality), 3 threads:
+ *   p0: A = round
+ *   p1: spin until A == round; B = round
+ *   p2: spin until B == round; r = A
+ * Under SC (and any causal model) p2 must observe A == round; p2
+ * counts violations (r4). Exercises transitive visibility through a
+ * third core.
+ */
+Program makeWrc(unsigned rounds);
+
+/**
+ * IRIW (independent reads of independent writes), 4 threads:
+ *   p0: A = round           p1: B = round
+ *   p2: rA1 = A; rB1 = B    p3: rB2 = B; rA2 = A
+ * SC requires the two writers to appear in the same order to both
+ * readers. Each reader records (first_seen, second_seen) pair counts;
+ * the harness checks the forbidden combination via the constraint
+ * graph (the register-level check is round-synchronised and
+ * conservative: r4 counts rounds where this reader saw the first
+ * value but not the second).
+ */
+Program makeIriw(unsigned rounds);
+
+/**
+ * CoRR (coherence read-read), 2 threads:
+ *   p0: A = round (repeatedly)   p1: r1 = A; r2 = A
+ * Coherence (even weak ordering) forbids r2 observing an older value
+ * than r1. p1 counts backward observations in r4 (r2 < r1).
+ */
+Program makeCoRR(unsigned rounds);
+
+} // namespace vbr
+
+#endif // VBR_WORKLOAD_LITMUS_HPP

@@ -1,0 +1,523 @@
+#include "workload/multiproc.hpp"
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+// Shared-memory layout for the MP kernels. Synchronization variables
+// sit on distinct cache lines.
+constexpr Addr kLockAddr = 0x1000;
+constexpr Addr kCounterAddr = 0x1040;
+constexpr Addr kBarrierCountAddr = 0x1080;
+constexpr Addr kQueueHeadAddr = 0x10c0;
+constexpr Addr kFlagAAddr = 0x1100;
+constexpr Addr kFlagBAddr = 0x1140;
+constexpr Addr kDataAddr = 0x1180;
+constexpr Addr kAckAddr = 0x11c0;
+constexpr Addr kFalseShareLine = 0x1200; ///< one line, 8 words
+constexpr Addr kArrayBase = 0x100000;
+
+// Register conventions (hand-written kernels).
+constexpr unsigned rTid = 30;
+constexpr unsigned rNThreads = 29;
+constexpr unsigned rIter = 28;
+constexpr unsigned rAcc = 4;
+constexpr unsigned rT0 = 5;
+constexpr unsigned rT1 = 6;
+constexpr unsigned rT2 = 7;
+constexpr unsigned rT3 = 8;
+constexpr unsigned rLockA = 22; ///< lock address
+constexpr unsigned rLockT = 23; ///< lock scratch
+
+/** Emit a test-and-test-and-set acquire of the lock at (rLockA). */
+void
+emitAcquire(Assembler &as, const std::string &tag)
+{
+    // Test-and-test-and-set with backoff: the delay loop between
+    // retests keeps spinning cores from saturating the interconnect
+    // with invalidation traffic (and the baseline's load queue with
+    // snoop squashes).
+    as.jmp("acq_try_" + tag);
+    as.label("acq_back_" + tag);
+    as.ldi(21, 12);
+    as.label("acq_delay_" + tag);
+    as.addi(20, 20, 1);
+    as.addi(21, 21, -1);
+    as.bne(21, 0, "acq_delay_" + tag);
+    as.label("acq_try_" + tag);
+    as.ld8(rLockT, rLockA, 0); // test
+    as.bne(rLockT, 0, "acq_back_" + tag);
+    as.ldi(rLockT, 1);
+    as.swap(rLockT, rLockT, rLockA, 0); // test-and-set
+    as.bne(rLockT, 0, "acq_back_" + tag);
+}
+
+/** Emit the matching release (plain store of zero: SC suffices). */
+void
+emitRelease(Assembler &as)
+{
+    as.st8(0, rLockA, 0);
+}
+
+void
+addThreads(Program &prog, unsigned threads, unsigned iterations)
+{
+    for (unsigned t = 0; t < threads; ++t) {
+        ThreadSpec spec;
+        spec.initRegs[rTid] = t;
+        spec.initRegs[rNThreads] = threads;
+        spec.initRegs[rIter] = iterations;
+        prog.threads().push_back(spec);
+    }
+}
+
+} // namespace
+
+Program
+makeDekker(unsigned rounds)
+{
+    // Two threads; each stores a fresh value to its own flag and then
+    // loads the other's. SC forbids certain combinations of stale
+    // observations; the constraint-graph checker is the judge.
+    Program prog;
+    Assembler as(prog);
+
+    as.ldi(rT2, static_cast<std::int32_t>(kFlagAAddr));
+    as.ldi(rT3, static_cast<std::int32_t>(kFlagBAddr));
+    // Thread 1 swaps the roles of the two flags.
+    as.beq(rTid, 0, "roles_done");
+    as.alu(Opcode::OR, rT0, rT2, 0);
+    as.alu(Opcode::OR, rT2, rT3, 0);
+    as.alu(Opcode::OR, rT3, rT0, 0);
+    as.label("roles_done");
+
+    as.ldi(rT1, 1); // round number (also the stored value)
+    as.label("round");
+    as.st8(rT1, rT2, 0);  // my flag = round
+    as.ld8(rT0, rT3, 0);  // observe other's flag
+    as.add(rAcc, rAcc, rT0);
+    as.addi(rT1, rT1, 1);
+    as.blt(rT1, rIter, "round");
+    as.halt();
+    as.finalize();
+
+    addThreads(prog, 2, rounds);
+    return prog;
+}
+
+Program
+makeMessagePassing(unsigned rounds)
+{
+    Program prog;
+    Assembler as(prog);
+
+    as.ldi(rT2, static_cast<std::int32_t>(kDataAddr));
+    as.ldi(rT3, static_cast<std::int32_t>(kFlagAAddr));
+    as.ldi(rT1, 1); // round
+    as.bne(rTid, 0, "consumer");
+
+    // --- producer (thread 0) ---
+    as.label("prod_round");
+    as.slli(rT0, rT1, 4);     // payload = round * 16
+    as.st8(rT0, rT2, 0);      // data
+    as.st8(rT1, rT3, 0);      // flag = round (after data, program order)
+    as.label("prod_wait");    // wait for the ack
+    as.ld8(rT0, rT2, 64);     // ack word (kAckAddr = data + 64)
+    as.bne(rT0, rT1, "prod_wait");
+    as.addi(rT1, rT1, 1);
+    as.blt(rT1, rIter, "prod_round");
+    as.halt();
+
+    // --- consumer (thread 1) ---
+    as.label("consumer");
+    as.label("cons_round");
+    as.label("cons_wait");
+    as.ld8(rT0, rT3, 0);      // flag
+    as.bne(rT0, rT1, "cons_wait");
+    as.ld8(rT0, rT2, 0);      // payload: must be round * 16 under SC
+    as.add(rAcc, rAcc, rT0);
+    as.st8(rT1, rT2, 64);     // ack = round
+    as.addi(rT1, rT1, 1);
+    as.blt(rT1, rIter, "cons_round");
+    as.halt();
+    as.finalize();
+
+    VBR_ASSERT(kAckAddr == kDataAddr + 64, "ack layout");
+    addThreads(prog, 2, rounds);
+    return prog;
+}
+
+Program
+makeMessagePassingFenced(unsigned rounds)
+{
+    Program prog;
+    Assembler as(prog);
+
+    as.ldi(rT2, static_cast<std::int32_t>(kDataAddr));
+    as.ldi(rT3, static_cast<std::int32_t>(kFlagAAddr));
+    as.ldi(rT1, 1); // round
+    as.bne(rTid, 0, "consumer");
+
+    // --- producer (thread 0) ---
+    as.label("prod_round");
+    as.slli(rT0, rT1, 4);
+    as.st8(rT0, rT2, 0);  // data
+    as.membar();          // order data before flag
+    as.st8(rT1, rT3, 0);  // flag = round
+    as.label("prod_wait");
+    as.ld8(rT0, rT2, 64); // ack
+    as.bne(rT0, rT1, "prod_wait");
+    as.addi(rT1, rT1, 1);
+    as.blt(rT1, rIter, "prod_round");
+    as.halt();
+
+    // --- consumer (thread 1) ---
+    as.label("consumer");
+    as.label("cons_round");
+    as.label("cons_wait");
+    as.ld8(rT0, rT3, 0);
+    as.bne(rT0, rT1, "cons_wait");
+    as.membar();          // order flag before data
+    as.ld8(rT0, rT2, 0);
+    as.add(rAcc, rAcc, rT0);
+    as.st8(rT1, rT2, 64); // ack
+    as.addi(rT1, rT1, 1);
+    as.blt(rT1, rIter, "cons_round");
+    as.halt();
+    as.finalize();
+
+    addThreads(prog, 2, rounds);
+    return prog;
+}
+
+Program
+makeLoadLoadLitmus(unsigned rounds)
+{
+    Program prog;
+    Assembler as(prog);
+
+    as.ldi(rT2, static_cast<std::int32_t>(kDataAddr));
+    as.ldi(rT3, static_cast<std::int32_t>(kFlagAAddr));
+    as.ldi(rT1, 1); // round
+    as.bne(rTid, 0, "reader");
+
+    // --- writer (thread 0): data then flag, in program order ---
+    as.label("w_round");
+    as.st8(rT1, rT2, 0); // data = round
+    as.st8(rT1, rT3, 0); // flag = round
+    as.addi(rT1, rT1, 1);
+    as.blt(rT1, rIter, "w_round");
+    as.halt();
+
+    // --- reader (thread 1): flag then data, no branch between.
+    // The flag address resolves through a long divide chain, so the
+    // (younger) data load issues and samples memory first — the
+    // load-load reordering a conventional LQ or value replay must
+    // repair. ---
+    as.label("reader");
+    as.ldi(12, 64);
+    as.label("r_round");
+    as.ldi(11, 4096);
+    as.alu(Opcode::DIV, 11, 11, 12); // 64
+    as.alu(Opcode::DIV, 11, 11, 12); // 1
+    as.alu(Opcode::DIV, 11, 11, 12); // 0
+    as.add(11, 11, rT3);             // = flag address, slowly
+    as.load(8, rT0, 11, 0);          // f = flag (late issue)
+    as.ld8(9, rT2, 0);               // d = data (samples early)
+    as.alu(Opcode::CMPLT, 10, 9, rT0); // d < f is forbidden under SC
+    as.add(rAcc, rAcc, 10);          // r4 += forbidden observations
+    as.addi(rT1, rT1, 1);
+    as.blt(rT1, rIter, "r_round");
+    as.halt();
+    as.finalize();
+
+    addThreads(prog, 2, rounds);
+    return prog;
+}
+
+Program
+makeLockCounter(const MpParams &params)
+{
+    Program prog;
+    Assembler as(prog);
+
+    as.ldi(rLockA, static_cast<std::int32_t>(kLockAddr));
+    as.ldi(rT2, static_cast<std::int32_t>(kCounterAddr));
+    as.ldi(rT1, 0);
+    as.label("loop");
+    emitAcquire(as, "lc");
+    as.ld8(rT0, rT2, 0);
+    as.addi(rT0, rT0, 1);
+    as.st8(rT0, rT2, 0);
+    emitRelease(as);
+    // Substantial private work between critical sections: real
+    // transaction processing spends most of its time outside locks.
+    as.ldi(10, 12);
+    as.label("priv");
+    as.addi(rAcc, rAcc, 3);
+    as.mul(rT3, rAcc, 10);
+    as.xorr(rAcc, rAcc, rT3);
+    as.addi(11, 11, 7);
+    as.add(12, 12, 11);
+    as.addi(10, 10, -1);
+    as.bne(10, 0, "priv");
+    as.addi(rT1, rT1, 1);
+    as.blt(rT1, rIter, "loop");
+    as.halt();
+    as.finalize();
+
+    addThreads(prog, params.threads, params.iterations);
+    return prog;
+}
+
+Program
+makeFalseSharing(const MpParams &params)
+{
+    Program prog;
+    Assembler as(prog);
+
+    // My word: all threads' words share one cache line.
+    as.ldi(rT2, static_cast<std::int32_t>(kFalseShareLine));
+    as.slli(rT0, rTid, 3);
+    as.add(rT2, rT2, rT0);
+
+    as.ldi(rT1, 0);
+    as.label("loop");
+    as.ld8(rT0, rT2, 0);
+    as.addi(rT0, rT0, 1);
+    as.st8(rT0, rT2, 0);
+    as.addi(rAcc, rAcc, 1);
+    as.xorr(rT3, rT3, rAcc);
+    as.addi(rT1, rT1, 1);
+    as.blt(rT1, rIter, "loop");
+    as.halt();
+    as.finalize();
+
+    VBR_ASSERT(params.threads <= 8, "false-sharing line holds 8 words");
+    addThreads(prog, params.threads, params.iterations);
+    return prog;
+}
+
+Program
+makeBarrierSweep(const MpParams &params)
+{
+    // Each thread owns a stripe of 64 words; phases alternate between
+    // updating the own stripe and reading the right neighbour's.
+    constexpr unsigned kStripeWords = 256;
+    Program prog;
+    Assembler as(prog);
+
+    as.ldi(rLockA, static_cast<std::int32_t>(kLockAddr));
+    as.ldi(rT2, static_cast<std::int32_t>(kArrayBase));
+    as.slli(rT0, rTid, 11); // tid * 256 words * 8 bytes
+    as.add(rT2, rT2, rT0); // my stripe base
+    as.ldi(rT3, static_cast<std::int32_t>(kBarrierCountAddr));
+    as.ldi(rT1, 0);  // phase
+    as.ldi(9, 0);    // r9: barrier target (phase+1)*threads
+
+    as.label("phase");
+    // Update my stripe.
+    as.ldi(10, 0); // r10: word index
+    as.label("update");
+    as.slli(11, 10, 3);
+    as.add(11, 11, rT2);
+    as.ld8(12, 11, 0);
+    as.add(12, 12, rT1);
+    as.addi(12, 12, 1);
+    as.st8(12, 11, 0);
+    as.addi(10, 10, 1);
+    as.ldi(13, kStripeWords);
+    as.blt(10, 13, "update");
+
+    // Barrier: atomic-increment the counter under the lock, then spin
+    // until every thread of this phase has arrived.
+    emitAcquire(as, "bar");
+    as.ld8(rT0, rT3, 0);
+    as.addi(rT0, rT0, 1);
+    as.st8(rT0, rT3, 0);
+    emitRelease(as);
+    as.add(9, 9, rNThreads); // target += threads
+    as.label("barwait");
+    as.ld8(rT0, rT3, 0);
+    as.blt(rT0, 9, "barwait");
+
+    // Read the right neighbour's stripe (bulk sharing).
+    as.addi(10, rTid, 1);
+    as.label("wrap_check");
+    as.blt(10, rNThreads, "no_wrap");
+    as.ldi(10, 0);
+    as.label("no_wrap");
+    as.slli(10, 10, 11);
+    as.ldi(11, static_cast<std::int32_t>(kArrayBase));
+    as.add(11, 11, 10);
+    as.ldi(10, 0);
+    as.label("read");
+    as.slli(12, 10, 3);
+    as.add(12, 12, 11);
+    as.ld8(13, 12, 0);
+    as.add(rAcc, rAcc, 13);
+    as.addi(10, 10, 1);
+    as.ldi(13, kStripeWords);
+    as.blt(10, 13, "read");
+
+    as.addi(rT1, rT1, 1);
+    as.blt(rT1, rIter, "phase");
+    as.halt();
+    as.finalize();
+
+    prog.warmRanges().push_back(
+        {kArrayBase, kArrayBase + params.threads * 2048});
+    addThreads(prog, params.threads, params.iterations);
+    return prog;
+}
+
+Program
+makeWorkQueue(const MpParams &params)
+{
+    // Total tasks = threads * iterations; each pop is lock-protected.
+    // Task i writes array[i] = i * 3 (deterministic final state).
+    Program prog;
+    Assembler as(prog);
+
+    as.ldi(rLockA, static_cast<std::int32_t>(kLockAddr));
+    as.ldi(rT2, static_cast<std::int32_t>(kQueueHeadAddr));
+    as.ldi(rT3, static_cast<std::int32_t>(kArrayBase));
+    as.mul(9, rNThreads, rIter); // r9 = total tasks
+
+    as.label("loop");
+    emitAcquire(as, "wq");
+    as.ld8(rT0, rT2, 0);  // task id
+    as.addi(rT1, rT0, 1);
+    as.st8(rT1, rT2, 0);
+    emitRelease(as);
+    as.bge(rT0, 9, "done");
+
+    // Process the task: write the result, then some private work.
+    as.slli(10, rT0, 3);
+    as.add(10, 10, rT3);
+    as.ldi(11, 3);
+    as.mul(11, 11, rT0);
+    as.st8(11, 10, 0);   // array[task] = task * 3
+    as.ld8(12, 10, 0);   // reload (forwarding)
+    as.add(rAcc, rAcc, 12);
+    // Per-task private compute (radiosity interactions).
+    as.ldi(14, 30);
+    as.label("task_work");
+    as.mul(13, rAcc, 14);
+    as.xorr(rAcc, rAcc, 13);
+    as.addi(15, 15, 5);
+    as.add(16, 16, 15);
+    as.addi(14, 14, -1);
+    as.bne(14, 0, "task_work");
+    as.jmp("loop");
+
+    as.label("done");
+    as.halt();
+    as.finalize();
+
+    addThreads(prog, params.threads, params.iterations);
+    return prog;
+}
+
+Program
+makeReadMostly(const MpParams &params)
+{
+    // 64 KiB shared table; all threads read LCG-random entries;
+    // thread 0 occasionally writes (sequential slots, deterministic).
+    constexpr std::int32_t kTableMask = 0xfff8; // 64 KiB, 8B aligned
+    Program prog;
+    Assembler as(prog);
+
+    as.ldi(rT2, static_cast<std::int32_t>(kArrayBase));
+    as.ldi(10, 0x343fd);                  // LCG multiplier
+    as.addi(11, rTid, 17);                // LCG state, per-thread
+    as.ldi(12, kTableMask);
+    as.ldi(rT1, 0);
+    as.ldi(13, 0); // writer slot cursor
+
+    as.label("loop");
+    // Three random reads.
+    for (int k = 0; k < 3; ++k) {
+        as.mul(11, 11, 10);
+        as.addi(11, 11, 0x269ec3);
+        as.alui(Opcode::SRLI, rT0, 11, 11 + k * 7);
+        as.alu(Opcode::AND, rT0, rT0, 12);
+        as.add(rT0, rT0, rT2);
+        as.ld8(rT3, rT0, 0);
+        as.add(rAcc, rAcc, rT3);
+    }
+    // Private work between read bursts.
+    as.addi(14, 14, 5);
+    as.xorr(rAcc, rAcc, 14);
+    as.mul(15, 14, 10);
+    as.addi(16, 16, 3);
+    as.xorr(15, 15, 16);
+    as.add(rAcc, rAcc, 15);
+    as.addi(17, 17, 9);
+    as.sub(16, 16, 17);
+
+    // Thread 0 writes one slot every 64 iterations (SPLASH-2-like
+    // codes communicate rarely relative to their compute).
+    as.bne(rTid, 0, "no_write");
+    as.andi(rT0, rT1, 31);
+    as.bne(rT0, 0, "no_write");
+    as.slli(rT0, 13, 3);
+    as.alu(Opcode::AND, rT0, rT0, 12);
+    as.add(rT0, rT0, rT2);
+    as.st8(rT1, rT0, 0);
+    as.addi(13, 13, 1);
+    as.label("no_write");
+
+    as.addi(rT1, rT1, 1);
+    as.blt(rT1, rIter, "loop");
+    as.halt();
+    as.finalize();
+
+    // Steady-state: the shared table is resident in every reader's
+    // hierarchy; writes invalidate and refill as they would mid-run.
+    prog.warmRanges().push_back({kArrayBase, kArrayBase + 0x10000});
+    addThreads(prog, params.threads, params.iterations);
+    return prog;
+}
+
+std::vector<MpWorkloadSpec>
+multiprocessorSuite(unsigned threads, double scale)
+{
+    auto iters = [scale](unsigned base) {
+        return std::max(1u, static_cast<unsigned>(base * scale));
+    };
+    std::vector<MpWorkloadSpec> suite;
+
+    MpParams p;
+    p.threads = threads;
+
+    p.iterations = iters(400);
+    suite.push_back({"barnes", makeReadMostly(p), threads});
+
+    p.iterations = iters(40);
+    suite.push_back({"ocean", makeBarrierSweep(p), threads});
+
+    p.iterations = iters(250);
+    suite.push_back({"radiosity", makeWorkQueue(p), threads});
+
+    p.iterations = iters(500);
+    suite.push_back({"raytrace", makeReadMostly(p), threads});
+
+    p.iterations = iters(250);
+    suite.push_back({"specjbb-mp", makeLockCounter(p), threads});
+
+    p.iterations = iters(600);
+    suite.push_back({"specweb", makeReadMostly(p), threads});
+
+    p.iterations = iters(60);
+    suite.push_back({"tpc-h-mp", makeBarrierSweep(p), threads});
+
+    return suite;
+}
+
+} // namespace vbr

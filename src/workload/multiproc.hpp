@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Multithreaded synthetic kernels substituting for the paper's
+ * SPLASH-2 / SPECjbb / SPECweb / TPC-H multiprocessor workloads, plus
+ * small litmus kernels (Dekker, message passing, atomic counters)
+ * used by the consistency tests. All sharing primitives are built
+ * from the ISA's SWAP (test-and-set locks, lock-based barriers) and
+ * plain loads/stores, so they exercise exactly the coherence and
+ * ordering machinery the paper studies.
+ */
+
+#ifndef VBR_WORKLOAD_MULTIPROC_HPP
+#define VBR_WORKLOAD_MULTIPROC_HPP
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace vbr
+{
+
+/** Parameters for the multiprocessor kernels. */
+struct MpParams
+{
+    unsigned threads = 4;
+    unsigned iterations = 300; ///< per-thread outer iterations
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Dekker-style litmus: each thread stores its flag then loads the
+ * other's, accumulating what it observed. Under SC, at least one
+ * thread of each round must observe the other's store. Exercises
+ * store->load ordering (2 threads only).
+ */
+Program makeDekker(unsigned rounds);
+
+/**
+ * Message passing: thread 0 writes a payload then sets a flag;
+ * thread 1 spins on the flag then reads the payload, storing what it
+ * saw. Under SC the observed payload always matches. (2 threads.)
+ */
+Program makeMessagePassing(unsigned rounds);
+
+/**
+ * Message passing with explicit MEMBARs: the weak-ordering variant.
+ * Thread 0 writes data, MEMBAR, then the flag; thread 1 spins on the
+ * flag, MEMBAR, then reads the data. Correct under weak ordering on
+ * any machine that honours fences (including the insulated load
+ * queue). (2 threads.)
+ */
+Program makeMessagePassingFenced(unsigned rounds);
+
+/**
+ * Load-load litmus (message passing without the serializing spin):
+ * thread 0 stores data then flag each round; thread 1 loads flag then
+ * data back-to-back with no intervening branch, so the data load can
+ * speculatively issue first. Thread 1 counts observations where
+ * data < flag — forbidden under SC — in architectural register r4.
+ * (2 threads.)
+ */
+Program makeLoadLoadLitmus(unsigned rounds);
+
+/**
+ * Lock-protected shared counters: every thread loops { acquire
+ * test-and-set lock; counter++; release }. The final counter value
+ * must equal threads * iterations. High invalidation traffic.
+ */
+Program makeLockCounter(const MpParams &params);
+
+/**
+ * False sharing: each thread increments a private word, all packed
+ * into one cache line. No data races, heavy coherence traffic —
+ * the unnecessary-squash case for snooping load queues.
+ */
+Program makeFalseSharing(const MpParams &params);
+
+/**
+ * Barrier-phased stripe sweep (ocean-like): threads update disjoint
+ * array stripes, then cross a lock-based barrier, then read a
+ * neighbour's stripe. Bulk sharing at phase boundaries.
+ */
+Program makeBarrierSweep(const MpParams &params);
+
+/**
+ * Work queue (radiosity-like): threads pop task indices from a
+ * lock-protected shared head pointer and process private work per
+ * task. Contended lock + migratory data.
+ */
+Program makeWorkQueue(const MpParams &params);
+
+/**
+ * Read-mostly shared table (raytrace/web-like): threads read a shared
+ * region at random and do private work; one designated thread
+ * occasionally writes, invalidating readers.
+ */
+Program makeReadMostly(const MpParams &params);
+
+/** A named MP workload. */
+struct MpWorkloadSpec
+{
+    std::string name;
+    Program prog;
+    unsigned threads;
+};
+
+/**
+ * The paper's multiprocessor suite mapped onto the kernels above
+ * (barnes/ocean/radiosity/raytrace/SPECjbb/SPECweb/TPC-H).
+ * @p threads is the core count; @p scale scales iteration counts.
+ */
+std::vector<MpWorkloadSpec> multiprocessorSuite(unsigned threads,
+                                                double scale = 1.0);
+
+} // namespace vbr
+
+#endif // VBR_WORKLOAD_MULTIPROC_HPP

@@ -1,0 +1,670 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+// Register conventions inside generated kernels.
+constexpr unsigned rBaseA = 1;   // load array base
+constexpr unsigned rCount = 2;   // down counter
+constexpr unsigned rIdx = 3;     // load stream index / chase pointer
+constexpr unsigned rAcc = 4;     // value accumulator
+constexpr unsigned rS0 = 5;      // scratch
+constexpr unsigned rS1 = 6;
+constexpr unsigned rS2 = 7;
+constexpr unsigned rS3 = 8;
+constexpr unsigned rLcg = 10;    // LCG state (loads)
+constexpr unsigned rMask = 12;   // byte-offset mask (loads)
+constexpr unsigned rBaseB = 15;  // store array base
+constexpr unsigned rStIdx = 17;  // store stream index
+constexpr unsigned rRndAddr = 18; // random-pattern load address
+constexpr unsigned rColdBase = 19; // cold-region base (coldMissFrac)
+constexpr unsigned rLcgK = 26;   // LCG multiplier constant
+constexpr unsigned rC64 = 24;    // constant 64
+constexpr unsigned rC8 = 25;     // constant 8
+constexpr unsigned rFp0 = 20;    // FP chain
+constexpr unsigned rFp1 = 21;
+constexpr unsigned rAliasBase = 27;
+
+Addr
+roundUpPow2(Addr v)
+{
+    Addr p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+Program
+makeSynthetic(const SynthParams &params)
+{
+    Program prog;
+    Assembler as(prog);
+    Rng rng(params.seed);
+
+    const Addr ws = roundUpPow2(std::max<Addr>(params.workingSetBytes,
+                                               4096));
+    // Align the load array to its own size so a random offset can be
+    // merged into the base with a single OR.
+    const Addr base_a = std::max<Addr>(0x100000, ws);
+    const Addr base_b = base_a + ws;
+    const Addr alias_base = 0x8000;
+    // Cold region for coldMissFrac loads: 8 MiB, aligned to itself so
+    // offsets can be merged with OR.
+    const Addr cold_size = 8 * 1024 * 1024;
+    const Addr base_c =
+        (base_b + ws + cold_size - 1) & ~(cold_size - 1);
+    const Addr mem_needed =
+        params.coldMissFrac > 0.0 ? base_c + cold_size + 0x10000
+                                  : base_b + ws + 0x10000;
+    prog.memorySize(std::max<Addr>(prog.memorySize(), mem_needed));
+    VBR_ASSERT(mem_needed < prog.codeBase(),
+               "working set collides with code segment");
+
+    // Aligned byte-offset mask: keeps LCG-derived offsets in-range
+    // and 8-byte aligned.
+    const std::int32_t mask =
+        static_cast<std::int32_t>((ws - 1) & ~Addr{7});
+
+    const unsigned stride =
+        std::max(8u, params.strideBytes & ~0x7u);
+
+    // --- preamble ------------------------------------------------------
+    as.ldi(rBaseA, static_cast<std::int32_t>(base_a));
+    as.ldi(rBaseB, static_cast<std::int32_t>(base_b));
+    as.ldi(rAliasBase, static_cast<std::int32_t>(alias_base));
+    as.ldi(rCount, static_cast<std::int32_t>(params.iterations));
+    as.ldi(rMask, mask);
+    as.ldi(rLcg, static_cast<std::int32_t>(params.seed | 1));
+    as.ldi(rLcgK, 0x343fd);
+    as.ldi(rC64, 64);
+    as.ldi(rC8, 8);
+    as.ldi(rAcc, 0);
+    if (params.coldMissFrac > 0.0)
+        as.ldi(rColdBase, static_cast<std::int32_t>(base_c));
+    as.ldi(rFp0, 0x3ff00000); // exponent bits of 1.0
+    as.slli(rFp0, rFp0, 32);  // ~1.0 as a double
+    as.alu(Opcode::OR, rFp1, rFp0, 0);
+
+    // rIdx: absolute load address (seq/strided) or ring pointer
+    // (chase). rStIdx: absolute store address.
+    as.alu(Opcode::OR, rIdx, rBaseA, 0);
+    as.alu(Opcode::OR, rStIdx, rBaseB, 0);
+
+    const bool has_call = params.callFrac > 0.0;
+    if (has_call) {
+        as.jmp("entry");
+        as.label("helper");
+        as.addi(rS3, rS3, 13);
+        as.xorr(rAcc, rAcc, rS3);
+        as.slli(rS3, rS3, 1);
+        as.ret();
+        as.label("entry");
+    }
+
+    // --- pointer-chase ring initialization -----------------------------
+    if (params.pattern == AccessPattern::PointerChase) {
+        // A shuffled single cycle over ws/64 nodes, one node per cache
+        // line so every hop lands on a fresh line.
+        const std::size_t nodes = ws / 64;
+        std::vector<std::uint32_t> perm(nodes);
+        for (std::size_t i = 0; i < nodes; ++i)
+            perm[i] = static_cast<std::uint32_t>(i);
+        for (std::size_t i = nodes - 1; i > 0; --i)
+            std::swap(perm[i], perm[rng.below(i + 1)]);
+
+        DataInit init;
+        init.addr = base_a;
+        init.bytes.assign(ws, 0);
+        for (std::size_t i = 0; i < nodes; ++i) {
+            Addr from = base_a + static_cast<Addr>(perm[i]) * 64;
+            Addr to = base_a +
+                      static_cast<Addr>(perm[(i + 1) % nodes]) * 64;
+            std::uint64_t ptr = to;
+            std::memcpy(init.bytes.data() + (from - base_a), &ptr, 8);
+        }
+        prog.dataInits().push_back(std::move(init));
+        as.ld8(rIdx, rBaseA, 0); // land on the ring
+    }
+
+    // --- derive per-iteration operation counts --------------------------
+    // blockOps approximates the dynamic instructions per iteration;
+    // operation counts are derived from the target fractions and the
+    // remainder is filled with single-cycle integer ALU ops.
+    // Each operation class costs more than one instruction (address
+    // arithmetic, accumulation, branch condition setup). Solve for a
+    // block size T where the *dynamic* fractions hit their targets:
+    //   f_i * T ops of class i cost f_i * T * c_i instructions, and
+    //   T = sum(costs) + fixed overhead + ALU padding.
+    const double c_load =
+        params.pattern == AccessPattern::Random ? 3.0 : 1.5;
+    const double used = params.loadFrac * c_load +
+                        params.storeFrac * 1.5 +
+                        params.branchFrac * 3.0 + params.fpFrac +
+                        params.mulFrac + params.divFrac;
+    const double fixed = 10.0 + params.chainLength +
+                         (params.aliasHazardFrac > 0 ? 1.5 : 0.0) +
+                         (params.callFrac > 0 ? 2.5 : 0.0);
+    const double denom = std::max(0.10, 1.0 - used);
+    const double T = std::max<double>(std::max(8u, params.blockOps),
+                                      fixed / denom);
+    auto cnt = [T](double f) {
+        return static_cast<unsigned>(f * T + 0.5);
+    };
+    const unsigned B = static_cast<unsigned>(T);
+    unsigned n_loads = cnt(params.loadFrac);
+    unsigned n_stores = cnt(params.storeFrac);
+    unsigned n_branches = cnt(params.branchFrac);
+    unsigned n_fp = cnt(params.fpFrac);
+    unsigned n_mul = cnt(params.mulFrac);
+    unsigned n_div = cnt(params.divFrac);
+
+    enum class Slot { Load, Store, Branch, Fp, Mul, Div };
+    std::vector<Slot> slots;
+    for (unsigned i = 0; i < n_loads; ++i)
+        slots.push_back(Slot::Load);
+    for (unsigned i = 0; i < n_stores; ++i)
+        slots.push_back(Slot::Store);
+    for (unsigned i = 0; i < n_branches; ++i)
+        slots.push_back(Slot::Branch);
+    for (unsigned i = 0; i < n_fp; ++i)
+        slots.push_back(Slot::Fp);
+    for (unsigned i = 0; i < n_mul; ++i)
+        slots.push_back(Slot::Mul);
+    for (unsigned i = 0; i < n_div; ++i)
+        slots.push_back(Slot::Div);
+    for (std::size_t i = slots.size(); i-- > 1;)
+        std::swap(slots[i], slots[rng.below(i + 1)]);
+
+    // --- alias hazard gating -------------------------------------------
+    // Execute the slow-store/aliasing-load hazard roughly every
+    // 1/aliasHazardFrac iterations using a power-of-two counter gate.
+    int alias_gate_bits = 0;
+    if (params.aliasHazardFrac > 0.0) {
+        double period = 1.0 / params.aliasHazardFrac;
+        alias_gate_bits = std::max(
+            0, std::min(12, static_cast<int>(std::bit_width(
+                                static_cast<unsigned>(period)) - 1)));
+    }
+
+    // Warm caches via the simulator (Program::warmRanges): the paper's
+    // runs are billions of instructions where cold misses are
+    // negligible. Working sets that fit comfortably in the hierarchy
+    // start warm; streaming/huge sets (mcf, art, tpc-h) stay cold on
+    // purpose -- their continuous misses are the modeled behaviour.
+    if (ws <= 4 * 1024 * 1024 &&
+        params.pattern != AccessPattern::PointerChase) {
+        prog.warmRanges().push_back({base_a, base_a + ws});
+        prog.warmRanges().push_back({base_b, base_b + ws});
+        prog.warmRanges().push_back({alias_base, alias_base + 4096});
+    }
+
+    as.label("loop");
+    std::uint32_t body_begin = as.here();
+
+    unsigned load_slot = 0;  // index of the next load (offset rotor)
+    unsigned store_slot = 0;
+    unsigned scratch_rotor = 0;
+    bool lcg_advanced = false;
+
+    unsigned cold_every =
+        params.coldMissFrac > 0.0
+            ? std::max(1u, static_cast<unsigned>(
+                               1.0 / params.coldMissFrac /
+                               std::max(1u, n_loads)))
+            : 0;
+    // cold_every counts loop iterations between cold loads when the
+    // block has n_loads loads; express it per load slot instead:
+    cold_every = params.coldMissFrac > 0.0
+                     ? std::max(1u, static_cast<unsigned>(
+                                        1.0 / params.coldMissFrac))
+                     : 0;
+
+    for (Slot slot : slots) {
+        switch (slot) {
+          case Slot::Load: {
+            unsigned dst = rS0 + (scratch_rotor++ & 1); // rS0/rS1
+            if (cold_every != 0 &&
+                (load_slot % cold_every) == cold_every - 1) {
+                // Long-latency miss into the cold region: stalls the
+                // head, fills the ROB, pressures the load queue.
+                if (!lcg_advanced) {
+                    as.mul(rLcg, rLcg, rLcgK);
+                    as.addi(rLcg, rLcg, 0x269ec3);
+                    lcg_advanced = true;
+                }
+                as.alui(Opcode::SRLI, rS2, rLcg,
+                        static_cast<std::int32_t>((load_slot * 7) %
+                                                  23));
+                as.alui(Opcode::ANDI, rS2, rS2, 0x7ffff8);
+                as.alu(Opcode::OR, rS2, rS2, rColdBase);
+                as.load(8, dst, rS2, 0);
+                // Cold misses stay OFF the accumulator chain: they
+                // overlap with each other (memory-level parallelism)
+                // while still stalling in-order commit at the head.
+                as.xorr(16, 16, dst);
+                ++load_slot;
+                break;
+            }
+            switch (params.pattern) {
+              case AccessPattern::PointerChase:
+                if (load_slot % 4 == 0) {
+                    // The serial chase hop (the miss chain).
+                    as.ld8(rIdx, rIdx, 0);
+                } else {
+                    // Node payload: neighbours on the same line hit.
+                    as.load(8, dst, rIdx,
+                            static_cast<std::int32_t>(
+                                8 * (load_slot % 4)));
+                    as.xorr(rAcc, rAcc, dst);
+                }
+                break;
+              case AccessPattern::Random:
+                if (!lcg_advanced) {
+                    // One LCG step per iteration feeds all random
+                    // loads through rotating bit-fields.
+                    as.mul(rLcg, rLcg, rLcgK);
+                    as.addi(rLcg, rLcg, 0x269ec3);
+                    lcg_advanced = true;
+                }
+                if (load_slot % 2 == 0) {
+                    as.alui(Opcode::SRLI, rRndAddr, rLcg,
+                            static_cast<std::int32_t>(
+                                (load_slot * 13) % 29));
+                    as.alu(Opcode::AND, rRndAddr, rRndAddr, rMask);
+                    as.alu(Opcode::OR, rRndAddr, rRndAddr, rBaseA);
+                    as.load(8, dst, rRndAddr, 0);
+                } else {
+                    // Reuse the computed address for the adjacent
+                    // line: keeps cost per random load at ~3 ops.
+                    as.load(8, dst, rRndAddr, 64);
+                }
+                // Every load feeds the accumulator: consumption
+                // chains keep the kernel's ILP near the paper-era
+                // 1.5-2.5 IPC rather than saturating the 8-wide core.
+                as.xorr(rAcc, rAcc, dst);
+                break;
+              case AccessPattern::Sequential:
+              case AccessPattern::Strided:
+                as.load(8, dst, rIdx,
+                        static_cast<std::int32_t>(load_slot * stride));
+                as.xorr(rAcc, rAcc, dst);
+                break;
+            }
+            ++load_slot;
+            break;
+          }
+          case Slot::Store: {
+            as.st8(rAcc, rStIdx,
+                   static_cast<std::int32_t>(store_slot * 8));
+            // Forwarding pressure: reload what was just stored.
+            if (rng.chance(0.25) && n_loads > 0) {
+                as.load(8, rS3, rStIdx,
+                        static_cast<std::int32_t>(store_slot * 8));
+                as.xorr(rAcc, rAcc, rS3);
+            }
+            ++store_slot;
+            break;
+          }
+          case Slot::Branch: {
+            std::string skip = "skip" + std::to_string(as.here());
+            bool noisy = rng.chance(params.branchNoise);
+            if (noisy)
+                as.andi(rS2, rAcc, 1); // data-dependent parity
+            else
+                as.andi(rS2, rCount, 3); // periodic: predictable
+            as.beq(rS2, 0, skip);
+            as.addi(rS3, rS3, 1);
+            as.label(skip);
+            break;
+          }
+          case Slot::Fp:
+            if (rng.chance(0.5))
+                as.alu(Opcode::FMUL, rFp0, rFp0, rFp1);
+            else
+                as.alu(Opcode::FADD, rFp1, rFp1, rFp0);
+            break;
+          case Slot::Mul:
+            as.mul(rS3, rS3, rLcgK);
+            break;
+          case Slot::Div:
+            as.alu(Opcode::DIV, rS3, rS3, rC64);
+            break;
+        }
+    }
+
+    // Pad with single-cycle ALU ops up to the target block size,
+    // rotated across independent chains so the padding exposes ILP
+    // instead of one serial dependence chain.
+    unsigned pad_rotor = 0;
+    while (as.here() - body_begin < B) {
+        unsigned reg = rS2 + (pad_rotor & 1); // two chains: rS2/rS3
+        ++pad_rotor;
+        switch (rng.below(3)) {
+          case 0:
+            as.addi(reg, reg, 7);
+            break;
+          case 1:
+            as.xorr(reg, reg, rLcgK);
+            break;
+          default:
+            as.add(reg, reg, rC8);
+            break;
+        }
+        // Serial links through the accumulator keep the kernel's ILP
+        // in the 1.5-2.5 IPC range typical of the paper's era instead
+        // of saturating the 8-wide core.
+        if ((pad_rotor & 1) == 0)
+            as.add(rAcc, rAcc, reg);
+    }
+
+    // ---- block-end index advance + wraparound ----
+    if (params.pattern == AccessPattern::Sequential ||
+        params.pattern == AccessPattern::Strided) {
+        as.addi(rIdx, rIdx,
+                static_cast<std::int32_t>(load_slot * stride));
+        as.sub(rS2, rIdx, rBaseA);
+        as.alu(Opcode::AND, rS2, rS2, rMask);
+        as.add(rIdx, rBaseA, rS2);
+    }
+    if (store_slot > 0) {
+        as.addi(rStIdx, rStIdx,
+                static_cast<std::int32_t>(store_slot * 8));
+        as.sub(rS2, rStIdx, rBaseB);
+        as.alu(Opcode::AND, rS2, rS2, rMask);
+        as.add(rStIdx, rBaseB, rS2);
+    }
+
+    // ---- long dependence chain (FP/ROB pressure) ----
+    for (unsigned c = 0; c < params.chainLength; ++c)
+        as.alu(Opcode::FMUL, rFp0, rFp0, rFp1);
+    if (params.chainLength > 0)
+        as.xorr(rAcc, rAcc, rFp0);
+
+    // ---- occasional call ----
+    if (has_call) {
+        std::string skip = "skipcall" + std::to_string(as.here());
+        int call_bits = std::max(
+            1, 4 - static_cast<int>(params.callFrac * 8));
+        as.andi(rS2, rCount, (1 << call_bits) - 1);
+        as.bne(rS2, 0, skip);
+        as.call("helper");
+        as.label(skip);
+    }
+
+    // ---- alias hazard: slow store address + aliasing load ----
+    if (params.aliasHazardFrac > 0.0) {
+        std::string skip = "skipalias" + std::to_string(as.here());
+        if (alias_gate_bits > 0) {
+            as.andi(rS2, rCount, (1 << alias_gate_bits) - 1);
+            as.bne(rS2, 0, skip);
+        }
+        // Slow address computation: a divide chain that resolves to a
+        // build-time-known offset in the alias region.
+        as.ldi(rS1, 4096);
+        as.alu(Opcode::DIV, rS1, rS1, rC64);  // 64
+        as.mul(rS1, rS1, rC8);                // 512
+        as.alu(Opcode::DIV, rS1, rS1, rC64);  // 8
+        as.mul(rS1, rS1, rC8);                // 64
+        as.add(rS1, rS1, rAliasBase);
+        // The stored value changes on a period that straddles the
+        // hazard period, so roughly half the would-be RAW squashes
+        // are value-equal (store value locality, paper SS5.1).
+        as.alui(Opcode::SRLI, rS3, rCount,
+                alias_gate_bits + 2);
+        as.st8(rS3, rS1, 0);        // store with late-resolving address
+        as.ld8(rS0, rAliasBase, 64); // aliasing load, fast address
+        as.xorr(rAcc, rAcc, rS0);
+        as.label(skip);
+    }
+
+    as.addi(rCount, rCount, -1);
+    as.bne(rCount, 0, "loop");
+    as.halt();
+    as.finalize();
+
+    ThreadSpec spec;
+    prog.threads().push_back(spec);
+    return prog;
+}
+
+std::vector<WorkloadSpec>
+uniprocessorSuite(double scale)
+{
+    auto mk = [scale](const char *name, auto tune) {
+        SynthParams p;
+        p.name = name;
+        p.seed = 0;
+        for (const char *c = name; *c; ++c)
+            p.seed = p.seed * 131 + static_cast<unsigned char>(*c);
+        tune(p);
+        p.iterations = std::max(
+            1u, static_cast<unsigned>(p.iterations * scale));
+        return WorkloadSpec{name, p};
+    };
+
+    std::vector<WorkloadSpec> suite;
+
+    // --- SPECINT2000 profiles ---
+    suite.push_back(mk("gzip", [](SynthParams &p) {
+        p.pattern = AccessPattern::Sequential;
+        p.workingSetBytes = 256 * 1024;
+        p.loadFrac = 0.28;
+        p.storeFrac = 0.16;
+        p.branchFrac = 0.10;
+        p.branchNoise = 0.10;
+        p.iterations = 2600;
+    }));
+    suite.push_back(mk("vpr", [](SynthParams &p) {
+        p.pattern = AccessPattern::Random;
+        p.workingSetBytes = 512 * 1024;
+        p.loadFrac = 0.30;
+        p.storeFrac = 0.10;
+        p.branchFrac = 0.12;
+        p.branchNoise = 0.35;
+        p.iterations = 2400;
+    }));
+    suite.push_back(mk("gcc", [](SynthParams &p) {
+        p.pattern = AccessPattern::Random;
+        p.workingSetBytes = 1024 * 1024;
+        p.loadFrac = 0.28;
+        p.storeFrac = 0.16;
+        p.branchFrac = 0.14;
+        p.branchNoise = 0.25;
+        p.callFrac = 0.3;
+        p.aliasHazardFrac = 0.05;
+        p.iterations = 2200;
+    }));
+    suite.push_back(mk("mcf", [](SynthParams &p) {
+        p.pattern = AccessPattern::PointerChase;
+        p.workingSetBytes = 16 * 1024 * 1024; // beyond the 8 MiB L3
+        p.loadFrac = 0.34;
+        p.storeFrac = 0.08;
+        p.branchFrac = 0.10;
+        p.branchNoise = 0.25;
+        p.blockOps = 40;
+        p.iterations = 1200;
+    }));
+    suite.push_back(mk("crafty", [](SynthParams &p) {
+        p.pattern = AccessPattern::Random;
+        p.workingSetBytes = 64 * 1024;
+        p.loadFrac = 0.30;
+        p.storeFrac = 0.08;
+        p.branchFrac = 0.14;
+        p.branchNoise = 0.20;
+        p.mulFrac = 0.04;
+        p.iterations = 2600;
+    }));
+    suite.push_back(mk("parser", [](SynthParams &p) {
+        p.pattern = AccessPattern::Random;
+        p.workingSetBytes = 256 * 1024;
+        p.loadFrac = 0.30;
+        p.storeFrac = 0.14;
+        p.branchFrac = 0.12;
+        p.branchNoise = 0.30;
+        p.callFrac = 0.2;
+        p.aliasHazardFrac = 0.04;
+        p.iterations = 2400;
+    }));
+    suite.push_back(mk("eon", [](SynthParams &p) {
+        p.pattern = AccessPattern::Strided;
+        p.strideBytes = 32;
+        p.workingSetBytes = 128 * 1024;
+        p.loadFrac = 0.28;
+        p.storeFrac = 0.16;
+        p.branchFrac = 0.08;
+        p.branchNoise = 0.05;
+        p.fpFrac = 0.12;
+        p.iterations = 2400;
+    }));
+    suite.push_back(mk("perlbmk", [](SynthParams &p) {
+        p.pattern = AccessPattern::Random;
+        p.workingSetBytes = 512 * 1024;
+        p.loadFrac = 0.30;
+        p.storeFrac = 0.14;
+        p.branchFrac = 0.14;
+        p.branchNoise = 0.25;
+        p.callFrac = 0.4;
+        p.iterations = 2200;
+    }));
+    suite.push_back(mk("gap", [](SynthParams &p) {
+        p.pattern = AccessPattern::Sequential;
+        p.workingSetBytes = 512 * 1024;
+        p.loadFrac = 0.26;
+        p.storeFrac = 0.12;
+        p.branchFrac = 0.06;
+        p.branchNoise = 0.10;
+        p.mulFrac = 0.08;
+        p.iterations = 2600;
+    }));
+    suite.push_back(mk("vortex", [](SynthParams &p) {
+        p.pattern = AccessPattern::Random;
+        p.workingSetBytes = 1024 * 1024;
+        p.loadFrac = 0.28;
+        p.storeFrac = 0.22; // store-heavy: commit-port pressure
+        p.branchFrac = 0.10;
+        p.branchNoise = 0.15;
+        p.aliasHazardFrac = 0.06;
+        p.iterations = 2200;
+    }));
+    suite.push_back(mk("bzip2", [](SynthParams &p) {
+        p.pattern = AccessPattern::Sequential;
+        p.workingSetBytes = 512 * 1024;
+        p.loadFrac = 0.30;
+        p.storeFrac = 0.14;
+        p.branchFrac = 0.12;
+        p.branchNoise = 0.30;
+        p.iterations = 2500;
+    }));
+    suite.push_back(mk("twolf", [](SynthParams &p) {
+        p.pattern = AccessPattern::Random;
+        p.workingSetBytes = 128 * 1024;
+        p.loadFrac = 0.30;
+        p.storeFrac = 0.12;
+        p.branchFrac = 0.12;
+        p.branchNoise = 0.30;
+        p.aliasHazardFrac = 0.08;
+        p.iterations = 2500;
+    }));
+
+    // --- SPECFP2000 profiles (high ROB utilization, Table 4 note) ---
+    suite.push_back(mk("apsi", [](SynthParams &p) {
+        p.pattern = AccessPattern::Strided;
+        p.strideBytes = 64;
+        p.workingSetBytes = 2 * 1024 * 1024;
+        p.loadFrac = 0.30;
+        p.storeFrac = 0.16;
+        p.branchFrac = 0.04;
+        p.branchNoise = 0.02;
+        p.fpFrac = 0.20;
+        p.chainLength = 10; // long FP chains -> high ROB occupancy
+        p.aliasHazardFrac = 0.08;
+        p.coldMissFrac = 0.05;
+        p.iterations = 1800;
+    }));
+    suite.push_back(mk("art", [](SynthParams &p) {
+        p.pattern = AccessPattern::Strided;
+        p.strideBytes = 64;
+        // MinneSpec-reduced footprint: L3-resident but far beyond the
+        // L2, so many loads are in flight (load-queue pressure).
+        p.workingSetBytes = 4 * 1024 * 1024;
+        p.loadFrac = 0.36;
+        p.storeFrac = 0.06;
+        p.branchFrac = 0.06;
+        p.branchNoise = 0.05;
+        p.fpFrac = 0.16;
+        p.chainLength = 6;
+        p.coldMissFrac = 0.10;
+        p.iterations = 1600;
+    }));
+    suite.push_back(mk("wupwise", [](SynthParams &p) {
+        p.pattern = AccessPattern::Sequential;
+        p.workingSetBytes = 4 * 1024 * 1024;
+        p.loadFrac = 0.28;
+        p.storeFrac = 0.14;
+        p.branchFrac = 0.04;
+        p.branchNoise = 0.02;
+        p.fpFrac = 0.22;
+        p.chainLength = 4;
+        p.iterations = 2000;
+    }));
+
+    // --- commercial profiles ---
+    suite.push_back(mk("tpc-b", [](SynthParams &p) {
+        p.pattern = AccessPattern::Random;
+        p.workingSetBytes = 4 * 1024 * 1024;
+        p.loadFrac = 0.30;
+        p.storeFrac = 0.20;
+        p.branchFrac = 0.12;
+        p.branchNoise = 0.25;
+        p.callFrac = 0.3;
+        p.aliasHazardFrac = 0.05;
+        p.iterations = 2000;
+    }));
+    suite.push_back(mk("tpc-h", [](SynthParams &p) {
+        p.pattern = AccessPattern::Sequential;
+        p.workingSetBytes = 4 * 1024 * 1024; // reduced-scale scans
+        p.loadFrac = 0.34;
+        p.storeFrac = 0.08;
+        p.branchFrac = 0.10;
+        p.branchNoise = 0.10;
+        p.coldMissFrac = 0.04;
+        p.iterations = 2200;
+    }));
+    suite.push_back(mk("specjbb", [](SynthParams &p) {
+        p.pattern = AccessPattern::Random;
+        p.workingSetBytes = 4 * 1024 * 1024;
+        p.loadFrac = 0.30;
+        p.storeFrac = 0.16;
+        p.branchFrac = 0.12;
+        p.branchNoise = 0.20;
+        p.callFrac = 0.4;
+        p.aliasHazardFrac = 0.04;
+        p.iterations = 2000;
+    }));
+
+    return suite;
+}
+
+WorkloadSpec
+uniprocessorWorkload(const std::string &name, double scale)
+{
+    for (auto &w : uniprocessorSuite(scale)) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown uniprocessor workload: " + name);
+}
+
+} // namespace vbr

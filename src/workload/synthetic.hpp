@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Synthetic uniprocessor workload generator. The paper evaluates on
+ * SPEC CPU2000 (MinneSpec inputs) plus commercial workloads; none of
+ * those can run here (no PowerPC/AIX stack), so each benchmark is
+ * replaced by a parameterized synthetic kernel whose memory/branch/
+ * ILP characteristics mimic the original's relevant behaviour:
+ * working-set size and access pattern (cache misses), store fraction
+ * (forwarding and drain pressure), unresolved-store aliasing (RAW
+ * speculation), branch predictability (wrong-path cache traffic), and
+ * dependence-chain length (ROB occupancy). See DESIGN.md §2.
+ */
+
+#ifndef VBR_WORKLOAD_SYNTHETIC_HPP
+#define VBR_WORKLOAD_SYNTHETIC_HPP
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace vbr
+{
+
+/** Data access pattern of the kernel's inner loop. */
+enum class AccessPattern
+{
+    Sequential,   ///< arr[i], arr[i+1], ...
+    Strided,      ///< arr[i * stride]
+    Random,       ///< LCG-indexed
+    PointerChase, ///< serial ld r, (r) through a shuffled ring
+};
+
+/** Knobs of the synthetic kernel generator. */
+struct SynthParams
+{
+    std::string name = "synthetic";
+    std::uint64_t seed = 1;
+    unsigned iterations = 2000;   ///< inner-loop trip count
+    unsigned blockOps = 24;       ///< ~operations emitted per iteration
+
+    // Instruction mix (fractions of blockOps; remainder is int ALU).
+    double loadFrac = 0.30;
+    double storeFrac = 0.14;
+    double branchFrac = 0.08;
+    double fpFrac = 0.0;
+    double mulFrac = 0.02;
+    double divFrac = 0.0;
+
+    // Memory behaviour.
+    AccessPattern pattern = AccessPattern::Sequential;
+    unsigned workingSetBytes = 64 * 1024;
+    unsigned strideBytes = 64;
+
+    // Fraction of iterations that contain a store with a slowly
+    // computed address followed by a load that aliases it — the RAW
+    // speculation hazard the dependence predictors and the
+    // no-unresolved-store filter care about.
+    double aliasHazardFrac = 0.02;
+
+    // Branch behaviour: probability that the data-dependent branch in
+    // a block is effectively random (mispredict pressure).
+    double branchNoise = 0.15;
+
+    // Long dependence chains (FP-style ROB pressure): number of
+    // serially dependent long-latency ops appended per block.
+    unsigned chainLength = 0;
+
+    /**
+     * Fraction of loads directed at a large cold region (8 MiB,
+     * never pre-warmed): these stall the ROB head on long-latency
+     * misses and fill the window behind them — the high reorder-
+     * buffer-utilization behaviour the paper selected apsi/art for,
+     * and the source of load-queue pressure in Figure 8.
+     */
+    double coldMissFrac = 0.0;
+
+    // Calls: fraction of iterations routed through a tiny function.
+    double callFrac = 0.0;
+};
+
+/**
+ * Build a single-threaded program from the parameters. The program's
+ * thread 0 is configured; data segments (arrays, pointer-chase ring)
+ * are placed in low memory.
+ */
+Program makeSynthetic(const SynthParams &params);
+
+/** A named workload ready to run. */
+struct WorkloadSpec
+{
+    std::string name;
+    SynthParams params;
+};
+
+/**
+ * The paper's uniprocessor suite (Table: SPECINT2000 + apsi/art/
+ * wupwise + TPC-B/TPC-H/SPECjbb), as synthetic profiles. @p scale
+ * multiplies iteration counts (1.0 ~ a few hundred k instructions).
+ */
+std::vector<WorkloadSpec> uniprocessorSuite(double scale = 1.0);
+
+/** Look up one suite entry by name (fatal if absent). */
+WorkloadSpec uniprocessorWorkload(const std::string &name,
+                                  double scale = 1.0);
+
+} // namespace vbr
+
+#endif // VBR_WORKLOAD_SYNTHETIC_HPP

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the Table 2 CAM model and the §5.3 power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cam/cam_model.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+TEST(CamModelTest, ReproducesPublishedTable2Exactly)
+{
+    // Spot-check the four corners and a middle cell of the published
+    // table; these values are quoted directly from the paper.
+    CamModel model;
+    struct Point
+    {
+        unsigned entries, rp, wp;
+        double ns, nj;
+    };
+    const Point points[] = {
+        {16, 2, 2, 0.60, 0.03},  {16, 6, 6, 0.79, 0.12},
+        {128, 3, 2, 0.80, 0.28}, {512, 2, 2, 1.00, 0.80},
+        {512, 6, 6, 1.32, 3.22}, {64, 4, 4, 0.87, 0.27},
+    };
+    for (const Point &p : points) {
+        CamEstimate e = model.estimate({p.entries, p.rp, p.wp});
+        EXPECT_TRUE(e.calibrated);
+        EXPECT_DOUBLE_EQ(e.latencyNs, p.ns);
+        EXPECT_DOUBLE_EQ(e.energyNj, p.nj);
+    }
+}
+
+TEST(CamModelTest, EnergyGrowsLinearlyWithEntries)
+{
+    CamModel model;
+    double e256 = model.estimate({256, 2, 2}).energyNj;
+    double e512 = model.estimate({512, 2, 2}).energyNj;
+    EXPECT_NEAR(e512 / e256, 2.0, 0.3);
+}
+
+TEST(CamModelTest, PortDoublingMoreThanDoublesEnergy)
+{
+    // The paper: "doubling the number of ports more than doubles the
+    // energy expended per access".
+    CamModel model;
+    for (unsigned entries : {32u, 128u, 512u}) {
+        double e22 = model.estimate({entries, 2, 2}).energyNj;
+        double e44 = model.estimate({entries, 4, 4}).energyNj;
+        EXPECT_GT(e44, 2.0 * e22) << entries << " entries";
+    }
+}
+
+TEST(CamModelTest, PortDoublingAddsRoughly15PctLatency)
+{
+    CamModel model;
+    double t22 = model.estimate({128, 2, 2}).latencyNs;
+    double t44 = model.estimate({128, 4, 4}).latencyNs;
+    EXPECT_NEAR(t44 / t22, 1.15, 0.05);
+}
+
+TEST(CamModelTest, FittedSurfaceIsMonotone)
+{
+    CamModel model;
+    double prev_lat = 0, prev_e = 0;
+    for (unsigned n = 8; n <= 2048; n *= 2) {
+        CamEstimate e = model.estimate({n, 5, 3}); // off-grid: fitted
+        EXPECT_FALSE(e.calibrated);
+        EXPECT_GE(e.latencyNs, prev_lat);
+        EXPECT_GT(e.energyNj, prev_e);
+        prev_lat = e.latencyNs;
+        prev_e = e.energyNj;
+    }
+}
+
+TEST(CamModelTest, SearchCyclesAtFiveGhz)
+{
+    // The paper's premise: at 5 GHz (0.2 ns) even small CAM searches
+    // need multiple cycles.
+    CamModel model;
+    EXPECT_GE(model.searchCycles({16, 2, 2}, 5.0), 3u);
+    EXPECT_GE(model.searchCycles({32, 3, 2}, 5.0), 4u);
+    EXPECT_EQ(model.searchCycles({32, 3, 2}, 1.0), 1u)
+        << "at 1 GHz a 32-entry CAM still fits in a cycle";
+}
+
+TEST(CamModelTest, MaxSingleCycleEntriesShrinksWithFrequency)
+{
+    CamModel model;
+    unsigned at1 = model.maxSingleCycleEntries(2, 2, 1.0);
+    unsigned at2 = model.maxSingleCycleEntries(2, 2, 2.0);
+    unsigned at5 = model.maxSingleCycleEntries(2, 2, 5.0);
+    EXPECT_GE(at1, at2);
+    EXPECT_GE(at2, at5);
+    EXPECT_EQ(at5, 0u) << "nothing fits in 0.2 ns";
+    EXPECT_GE(at1, 128u);
+}
+
+TEST(PowerModelTest, DeltaEnergyCrossesOverWithCamSize)
+{
+    CamModel cam;
+    ReplayPowerModel power({}, cam);
+    // At the paper's ~0.02 replays/instr and a realistic search rate,
+    // small CAMs win, large CAMs lose.
+    double small = power.deltaEnergyPerInstr(0.02, 0.1, {16, 3, 2});
+    double large = power.deltaEnergyPerInstr(0.02, 0.1, {512, 3, 2});
+    EXPECT_GT(small, 0.0) << "16-entry CAM cheaper than replay";
+    EXPECT_LT(large, 0.0) << "512-entry CAM more expensive";
+}
+
+TEST(PowerModelTest, BreakEvenMatchesPaperFormula)
+{
+    CamModel cam;
+    PowerModelParams params;
+    params.eCacheAccessNj = 0.18;
+    params.eWordCompareNj = 0.002;
+    params.eReplayOverheadNjPerInstr = 0.0;
+    ReplayPowerModel power(params, cam);
+    // dE = 0 when E_search * searches == (E_cache + E_cmp) * replays.
+    EXPECT_DOUBLE_EQ(power.breakEvenCamEnergyPerInstr(0.02),
+                     0.02 * (0.18 + 0.002));
+}
+
+TEST(PowerModelTest, ZeroReplaysAlwaysFavorReplayDesign)
+{
+    CamModel cam;
+    PowerModelParams params;
+    params.eReplayOverheadNjPerInstr = 0.0;
+    ReplayPowerModel power(params, cam);
+    EXPECT_LT(power.deltaEnergyPerInstr(0.0, 0.1, {16, 2, 2}), 0.0);
+}
+
+} // namespace
+} // namespace vbr

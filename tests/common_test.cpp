@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the common substrate: circular buffer, statistics,
+ * RNG determinism, range helpers, and the table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/circular_buffer.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+TEST(CircularBufferTest, FifoOrderAcrossWraparound)
+{
+    CircularBuffer<int> buf(4);
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 4; ++i)
+            buf.pushBack(round * 10 + i);
+        EXPECT_TRUE(buf.full());
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_EQ(buf.front(), round * 10 + i);
+            buf.popFront();
+        }
+        EXPECT_TRUE(buf.empty());
+    }
+}
+
+TEST(CircularBufferTest, IndexedAccessFromHead)
+{
+    CircularBuffer<int> buf(4);
+    buf.pushBack(1);
+    buf.pushBack(2);
+    buf.pushBack(3);
+    buf.popFront();
+    buf.pushBack(4); // storage now wraps
+    EXPECT_EQ(buf.at(0), 2);
+    EXPECT_EQ(buf.at(1), 3);
+    EXPECT_EQ(buf.at(2), 4);
+    EXPECT_EQ(buf.back(), 4);
+}
+
+TEST(CircularBufferTest, PopBackUnwindsYoungest)
+{
+    CircularBuffer<int> buf(4);
+    buf.pushBack(1);
+    buf.pushBack(2);
+    buf.popBack();
+    EXPECT_EQ(buf.back(), 1);
+    EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(RangeHelpersTest, OverlapAndContainment)
+{
+    EXPECT_TRUE(rangesOverlap(0x100, 8, 0x104, 8));
+    EXPECT_FALSE(rangesOverlap(0x100, 4, 0x104, 4));
+    EXPECT_TRUE(rangesOverlap(0x100, 1, 0x100, 1));
+
+    EXPECT_TRUE(rangeContains(0x100, 8, 0x104, 4));
+    EXPECT_TRUE(rangeContains(0x100, 8, 0x100, 8));
+    EXPECT_FALSE(rangeContains(0x100, 8, 0x104, 8));
+    EXPECT_FALSE(rangeContains(0x104, 4, 0x100, 8));
+}
+
+TEST(RngTest, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(StatsTest, CountersAndAverages)
+{
+    StatSet stats;
+    stats.counter("events") += 5;
+    ++stats.counter("events");
+    EXPECT_EQ(stats.get("events"), 6u);
+    EXPECT_EQ(stats.get("missing"), 0u);
+
+    stats.average("occ").sample(10.0);
+    stats.average("occ").sample(20.0);
+    EXPECT_DOUBLE_EQ(stats.getMean("occ"), 15.0);
+
+    std::string dump = stats.dump("pfx.");
+    EXPECT_NE(dump.find("pfx.events = 6"), std::string::npos);
+
+    stats.reset();
+    EXPECT_EQ(stats.get("events"), 0u);
+    EXPECT_DOUBLE_EQ(stats.getMean("occ"), 0.0);
+}
+
+TEST(StatsTest, CounterReferencesAreStable)
+{
+    // The simulator caches Counter pointers; map growth must not
+    // invalidate them.
+    StatSet stats;
+    Counter *first = &stats.counter("a");
+    for (int i = 0; i < 100; ++i)
+        stats.counter("x" + std::to_string(i));
+    ++*first;
+    EXPECT_EQ(stats.get("a"), 1u);
+}
+
+TEST(HistogramTest, BucketsAndOverflow)
+{
+    Histogram h(10, 3); // buckets [0,10) [10,20) [20,30) + overflow
+    h.sample(5);
+    h.sample(15);
+    h.sample(25);
+    h.sample(500);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u) << "overflow bucket";
+    EXPECT_DOUBLE_EQ(h.mean(), (5 + 15 + 25 + 500) / 4.0);
+}
+
+TEST(TextTableTest, AlignsColumns)
+{
+    TextTable t;
+    t.header({"a", "long_header"});
+    t.row({"wide_cell", "x"});
+    std::string out = t.render();
+    // Both rows render with the same prefix width for column 0.
+    auto first_nl = out.find('\n');
+    auto header_line = out.substr(0, first_nl);
+    EXPECT_NE(header_line.find("a          "), std::string::npos);
+    EXPECT_NE(out.find("wide_cell"), std::string::npos);
+}
+
+TEST(TextTableTest, Formatters)
+{
+    EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::pct(0.345, 1), "34.5%");
+}
+
+} // namespace
+} // namespace vbr

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the visa ISA: encode/decode round trips, operand
+ * classification, ALU semantics, and the functional reference core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+#include "isa/functional_core.hpp"
+#include "isa/semantics.hpp"
+#include "mem/memory_image.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+TEST(Instruction, EncodeDecodeRoundTripAllOpcodes)
+{
+    for (unsigned op = 0;
+         op < static_cast<unsigned>(Opcode::kNumOpcodes); ++op) {
+        Instruction inst;
+        inst.op = static_cast<Opcode>(op);
+        inst.rd = 5;
+        inst.ra = 17;
+        inst.rb = 31;
+        inst.imm = -12345;
+        Instruction back = Instruction::decode(inst.encode());
+        EXPECT_EQ(inst, back) << "opcode " << op;
+    }
+}
+
+TEST(Instruction, EncodeDecodeRoundTripRandom)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        Instruction inst;
+        inst.op = static_cast<Opcode>(rng.below(
+            static_cast<unsigned>(Opcode::kNumOpcodes)));
+        inst.rd = static_cast<std::uint8_t>(rng.below(32));
+        inst.ra = static_cast<std::uint8_t>(rng.below(32));
+        inst.rb = static_cast<std::uint8_t>(rng.below(32));
+        inst.imm = static_cast<std::int32_t>(rng.next());
+        EXPECT_EQ(inst, Instruction::decode(inst.encode()));
+    }
+}
+
+TEST(Opcode, Classification)
+{
+    EXPECT_TRUE(isLoad(Opcode::LD8));
+    EXPECT_FALSE(isLoad(Opcode::SWAP));
+    EXPECT_TRUE(isMem(Opcode::SWAP));
+    EXPECT_TRUE(isStore(Opcode::ST1));
+    EXPECT_FALSE(isStore(Opcode::LD1));
+    EXPECT_TRUE(isControl(Opcode::JR));
+    EXPECT_TRUE(isCondBranch(Opcode::BGE));
+    EXPECT_FALSE(isCondBranch(Opcode::JMP));
+    EXPECT_EQ(memSize(Opcode::LD2), 2u);
+    EXPECT_EQ(memSize(Opcode::SWAP), 8u);
+    EXPECT_EQ(memSize(Opcode::ADD), 0u);
+}
+
+TEST(Semantics, AluBasics)
+{
+    Instruction add{Opcode::ADD, 1, 2, 3, 0};
+    EXPECT_EQ(evalAlu(add, 2, 3), 5u);
+
+    Instruction div{Opcode::DIV, 1, 2, 3, 0};
+    EXPECT_EQ(evalAlu(div, 10, 3), 3u);
+    EXPECT_EQ(evalAlu(div, 10, 0), 0u) << "div by zero defined as 0";
+    EXPECT_EQ(evalAlu(div, 0x8000000000000000ULL, ~0ULL),
+              0x8000000000000000ULL)
+        << "INT64_MIN / -1 defined without UB";
+
+    Instruction sra{Opcode::SRA, 1, 2, 3, 0};
+    EXPECT_EQ(evalAlu(sra, static_cast<Word>(-8), 1),
+              static_cast<Word>(-4));
+
+    Instruction cmplt{Opcode::CMPLT, 1, 2, 3, 0};
+    EXPECT_EQ(evalAlu(cmplt, static_cast<Word>(-1), 1), 1u);
+    Instruction cmpltu{Opcode::CMPLTU, 1, 2, 3, 0};
+    EXPECT_EQ(evalAlu(cmpltu, static_cast<Word>(-1), 1), 0u);
+
+    Instruction addi{Opcode::ADDI, 1, 2, 0, -5};
+    EXPECT_EQ(evalAlu(addi, 3, 0), static_cast<Word>(-2));
+}
+
+TEST(Semantics, Branches)
+{
+    Instruction beq{Opcode::BEQ, 0, 1, 2, 42};
+    EXPECT_TRUE(evalBranchTaken(beq, 7, 7));
+    EXPECT_FALSE(evalBranchTaken(beq, 7, 8));
+    EXPECT_EQ(controlTarget(beq, 0), 42u);
+
+    Instruction blt{Opcode::BLT, 0, 1, 2, 9};
+    EXPECT_TRUE(evalBranchTaken(blt, static_cast<Word>(-3), 0));
+
+    Instruction jr{Opcode::JR, 0, 1, 0, 0};
+    EXPECT_EQ(controlTarget(jr, 1234), 1234u);
+}
+
+TEST(MemoryImageTest, ReadWriteSizes)
+{
+    MemoryImage mem(4096);
+    mem.write(0, 8, 0x1122334455667788ULL);
+    EXPECT_EQ(mem.read(0, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(mem.read(0, 4), 0x55667788u);
+    EXPECT_EQ(mem.read(4, 4), 0x11223344u);
+    EXPECT_EQ(mem.read(0, 1), 0x88u);
+    mem.write(16, 2, 0xffffabcd);
+    EXPECT_EQ(mem.read(16, 2), 0xabcdu);
+    EXPECT_EQ(mem.read(16, 8), 0xabcdu);
+}
+
+TEST(MemoryImageTest, VersionTracking)
+{
+    MemoryImage mem(128, true);
+    EXPECT_EQ(mem.version(8), 0u);
+    mem.write(8, 8, 1);
+    EXPECT_EQ(mem.version(8), 1u);
+    mem.write(12, 4, 2); // same word
+    EXPECT_EQ(mem.version(8), 2u);
+    EXPECT_EQ(mem.version(16), 0u);
+}
+
+TEST(FunctionalCoreTest, CountdownLoop)
+{
+    Program prog;
+    Assembler as(prog);
+    as.ldi(1, 100);
+    as.ldi(2, 0);
+    as.label("loop");
+    as.add(2, 2, 1);
+    as.addi(1, 1, -1);
+    as.bne(1, 0, "loop");
+    as.halt();
+    as.finalize();
+    prog.threads().push_back({});
+
+    MemoryImage mem(prog.memorySize());
+    FunctionalCore core(prog, mem, 0);
+    ASSERT_TRUE(core.run(10000));
+    EXPECT_EQ(core.reg(2), 5050u); // sum 1..100
+    EXPECT_EQ(core.reg(1), 0u);
+}
+
+TEST(FunctionalCoreTest, LoadStoreAndSwap)
+{
+    Program prog;
+    Assembler as(prog);
+    as.ldi(1, 64);        // base address
+    as.ldi(2, 7);
+    as.st8(2, 1, 0);      // mem[64] = 7
+    as.ld8(3, 1, 0);      // r3 = 7
+    as.ldi(4, 99);
+    as.swap(5, 4, 1, 0);  // r5 = 7, mem[64] = 99
+    as.ld8(6, 1, 0);      // r6 = 99
+    as.halt();
+    as.finalize();
+    prog.threads().push_back({});
+
+    MemoryImage mem(prog.memorySize());
+    FunctionalCore core(prog, mem, 0);
+    ASSERT_TRUE(core.run(100));
+    EXPECT_EQ(core.reg(3), 7u);
+    EXPECT_EQ(core.reg(5), 7u);
+    EXPECT_EQ(core.reg(6), 99u);
+    EXPECT_EQ(mem.read(64, 8), 99u);
+}
+
+TEST(FunctionalCoreTest, CallAndReturn)
+{
+    Program prog;
+    Assembler as(prog);
+    as.ldi(1, 5);
+    as.call("double_it");
+    as.add(3, 2, 0);  // r3 = result
+    as.halt();
+    as.label("double_it");
+    as.add(2, 1, 1);
+    as.ret();
+    as.finalize();
+    prog.threads().push_back({});
+
+    MemoryImage mem(prog.memorySize());
+    FunctionalCore core(prog, mem, 0);
+    ASSERT_TRUE(core.run(100));
+    EXPECT_EQ(core.reg(3), 10u);
+}
+
+TEST(FunctionalCoreTest, R0IsAlwaysZero)
+{
+    Program prog;
+    Assembler as(prog);
+    as.ldi(0, 55);
+    as.add(1, 0, 0);
+    as.halt();
+    as.finalize();
+    prog.threads().push_back({});
+
+    MemoryImage mem(prog.memorySize());
+    FunctionalCore core(prog, mem, 0);
+    ASSERT_TRUE(core.run(100));
+    EXPECT_EQ(core.reg(0), 0u);
+    EXPECT_EQ(core.reg(1), 0u);
+}
+
+TEST(AssemblerTest, ForwardAndBackwardLabels)
+{
+    Program prog;
+    Assembler as(prog);
+    as.jmp("fwd");
+    as.label("back");
+    as.halt();
+    as.label("fwd");
+    as.jmp("back");
+    as.finalize();
+
+    EXPECT_EQ(prog.code()[0].imm, 2);
+    EXPECT_EQ(prog.code()[2].imm, 1);
+}
+
+TEST(Disassemble, Smoke)
+{
+    Instruction ld{Opcode::LD8, 5, 2, 0, 16};
+    EXPECT_EQ(ld.disassemble(), "ld8 r5, 16(r2)");
+    Instruction add{Opcode::ADD, 1, 2, 3, 0};
+    EXPECT_EQ(add.disassemble(), "add r1, r2, r3");
+    Instruction beq{Opcode::BEQ, 0, 1, 2, 7};
+    EXPECT_EQ(beq.disassemble(), "beq r1, r2, @7");
+}
+
+} // namespace
+} // namespace vbr

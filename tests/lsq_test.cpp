@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Unit tests for the load/store queue structures: store-queue search
+ * semantics (forward / block / miss, unresolved tracking), the three
+ * associative load-queue organizations, the value-based replay FIFO,
+ * and the §3.3 filter composition rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lsq/assoc_load_queue.hpp"
+#include "lsq/replay_filters.hpp"
+#include "lsq/replay_queue.hpp"
+#include "lsq/store_queue.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// StoreQueue
+// ---------------------------------------------------------------------
+
+TEST(StoreQueueTest, ForwardFromYoungestOlderMatch)
+{
+    StoreQueue sq(8);
+    sq.dispatch(1, 0, 8);
+    sq.dispatch(2, 0, 8);
+    sq.setAddress(1, 0x100);
+    sq.setData(1, 0xaaaa);
+    sq.setAddress(2, 0x100);
+    sq.setData(2, 0xbbbb);
+
+    SqSearchResult r = sq.searchForLoad(5, 0x100, 8);
+    EXPECT_EQ(r.kind, SqSearchResult::Kind::Forward);
+    EXPECT_EQ(r.store, 2u) << "youngest older store wins";
+    EXPECT_EQ(r.value, 0xbbbbu);
+}
+
+TEST(StoreQueueTest, SubsetForwardExtractsBytes)
+{
+    StoreQueue sq(8);
+    sq.dispatch(1, 0, 8);
+    sq.setAddress(1, 0x100);
+    sq.setData(1, 0x1122334455667788ULL);
+
+    SqSearchResult r = sq.searchForLoad(5, 0x104, 4);
+    EXPECT_EQ(r.kind, SqSearchResult::Kind::Forward);
+    EXPECT_EQ(r.value, 0x11223344u);
+
+    r = sq.searchForLoad(5, 0x101, 1);
+    EXPECT_EQ(r.value, 0x77u);
+}
+
+TEST(StoreQueueTest, PartialOverlapBlocks)
+{
+    StoreQueue sq(8);
+    sq.dispatch(1, 0, 4);
+    sq.setAddress(1, 0x104);
+    sq.setData(1, 1);
+    // 8-byte load covering 0x100-0x107 overlaps but is not contained.
+    SqSearchResult r = sq.searchForLoad(5, 0x100, 8);
+    EXPECT_EQ(r.kind, SqSearchResult::Kind::Blocked);
+    EXPECT_EQ(r.store, 1u);
+}
+
+TEST(StoreQueueTest, DataNotReadyBlocks)
+{
+    StoreQueue sq(8);
+    sq.dispatch(1, 0, 8);
+    sq.setAddress(1, 0x100); // address known, data missing
+    SqSearchResult r = sq.searchForLoad(5, 0x100, 8);
+    EXPECT_EQ(r.kind, SqSearchResult::Kind::Blocked);
+}
+
+TEST(StoreQueueTest, UnresolvedOlderFlagged)
+{
+    StoreQueue sq(8);
+    sq.dispatch(1, 0, 8); // no agen yet
+    SqSearchResult r = sq.searchForLoad(5, 0x200, 8);
+    EXPECT_EQ(r.kind, SqSearchResult::Kind::None);
+    EXPECT_TRUE(r.sawUnresolvedOlder);
+    EXPECT_EQ(sq.unresolvedOlderThan(5), 1u);
+    EXPECT_EQ(sq.unresolvedOlderThan(1), 0u)
+        << "only stores older than the load count";
+}
+
+TEST(StoreQueueTest, YoungerStoresInvisible)
+{
+    StoreQueue sq(8);
+    sq.dispatch(9, 0, 8);
+    sq.setAddress(9, 0x100);
+    sq.setData(9, 7);
+    SqSearchResult r = sq.searchForLoad(5, 0x100, 8);
+    EXPECT_EQ(r.kind, SqSearchResult::Kind::None);
+    EXPECT_FALSE(r.sawUnresolvedOlder);
+}
+
+TEST(StoreQueueTest, SquashDropsYoung)
+{
+    StoreQueue sq(8);
+    sq.dispatch(1, 0, 8);
+    sq.dispatch(2, 0, 8);
+    sq.dispatch(3, 0, 8);
+    sq.squashFrom(2);
+    EXPECT_EQ(sq.size(), 1u);
+    EXPECT_EQ(sq.head()->seq, 1u);
+}
+
+// ---------------------------------------------------------------------
+// AssocLoadQueue
+// ---------------------------------------------------------------------
+
+TEST(AssocLqTest, StoreAgenFindsOldestYoungerViolator)
+{
+    AssocLoadQueue lq(8, LqMode::Snooping);
+    lq.dispatch(10, 100, 8);
+    lq.dispatch(12, 101, 8);
+    lq.recordIssue(10, 0x100, 1);
+    lq.recordIssue(12, 0x100, 2);
+
+    auto squash = lq.storeAgenSearch(/*store_seq=*/5, 0x100, 8);
+    ASSERT_TRUE(squash.has_value());
+    EXPECT_EQ(squash->squashFrom, 10u)
+        << "squash restarts from the oldest violating load";
+
+    // A store younger than every load squashes nothing.
+    EXPECT_FALSE(lq.storeAgenSearch(50, 0x100, 8).has_value());
+}
+
+TEST(AssocLqTest, UnissuedLoadsAreNotViolators)
+{
+    AssocLoadQueue lq(8, LqMode::Snooping);
+    lq.dispatch(10, 100, 8);
+    EXPECT_FALSE(lq.storeAgenSearch(5, 0x100, 8).has_value());
+}
+
+TEST(AssocLqTest, SnoopSkipsRobHeadLoad)
+{
+    AssocLoadQueue lq(8, LqMode::Snooping);
+    lq.dispatch(10, 100, 8);
+    lq.dispatch(12, 101, 8);
+    lq.recordIssue(10, 0x100, 1);
+    lq.recordIssue(12, 0x108, 2);
+
+    // seq 10 is the oldest instruction: exempt; seq 12 squashes.
+    auto squash = lq.snoop(0x100, 64, /*rob_head_seq=*/10);
+    ASSERT_TRUE(squash.has_value());
+    EXPECT_EQ(squash->squashFrom, 12u);
+
+    // When the head is something else, seq 10 is fair game.
+    auto squash2 = lq.snoop(0x100, 64, /*rob_head_seq=*/3);
+    ASSERT_TRUE(squash2.has_value());
+    EXPECT_EQ(squash2->squashFrom, 10u);
+}
+
+TEST(AssocLqTest, InsulatedLoadIssueSearch)
+{
+    AssocLoadQueue lq(8, LqMode::Insulated);
+    lq.dispatch(10, 100, 8);
+    lq.dispatch(12, 101, 8);
+    lq.recordIssue(12, 0x100, 2); // younger issued first
+
+    // The older load now issues to the same address: the younger,
+    // already-issued load must squash (load-load ordering).
+    auto squash = lq.loadIssueSearch(10, 0x100, 8);
+    ASSERT_TRUE(squash.has_value());
+    EXPECT_EQ(squash->squashFrom, 12u);
+
+    // Different address: no conflict.
+    EXPECT_FALSE(lq.loadIssueSearch(10, 0x200, 8).has_value());
+}
+
+TEST(AssocLqTest, HybridMarksOnSnoopSquashesAtIssueAndRetire)
+{
+    AssocLoadQueue lq(8, LqMode::Hybrid);
+    lq.dispatch(10, 100, 8);
+    lq.dispatch(12, 101, 8);
+    lq.recordIssue(12, 0x100, 2);
+
+    // Snoop marks (returns nothing in hybrid mode).
+    EXPECT_FALSE(lq.snoop(0x100, 64, /*rob_head_seq=*/10).has_value());
+    EXPECT_TRUE(lq.entryMarked(12));
+    EXPECT_FALSE(lq.entryMarked(10));
+
+    // A later load-issue search to the same address squashes only
+    // marked entries.
+    auto squash = lq.loadIssueSearch(10, 0x100, 8);
+    ASSERT_TRUE(squash.has_value());
+    EXPECT_EQ(squash->squashFrom, 12u);
+}
+
+TEST(AssocLqTest, HybridNeverMarksRobHead)
+{
+    AssocLoadQueue lq(8, LqMode::Hybrid);
+    lq.dispatch(10, 100, 8);
+    lq.recordIssue(10, 0x100, 1);
+    lq.snoop(0x100, 64, /*rob_head_seq=*/10);
+    EXPECT_FALSE(lq.entryMarked(10));
+}
+
+TEST(AssocLqTest, SearchCountsAccumulate)
+{
+    AssocLoadQueue lq(8, LqMode::Snooping);
+    lq.dispatch(10, 100, 8);
+    lq.recordIssue(10, 0x100, 1);
+    std::uint64_t before = lq.searches();
+    lq.storeAgenSearch(5, 0x900, 8);
+    lq.snoop(0x800, 64, kNoSeq);
+    EXPECT_EQ(lq.searches(), before + 2);
+}
+
+TEST(AssocLqTest, RetireAndSquashMaintainOrder)
+{
+    AssocLoadQueue lq(4, LqMode::Snooping);
+    lq.dispatch(1, 0, 8);
+    lq.dispatch(2, 0, 8);
+    lq.dispatch(3, 0, 8);
+    lq.squashFrom(3);
+    EXPECT_EQ(lq.size(), 2u);
+    lq.retire(1);
+    lq.retire(2);
+    EXPECT_TRUE(lq.empty());
+}
+
+// ---------------------------------------------------------------------
+// ReplayQueue
+// ---------------------------------------------------------------------
+
+TEST(ReplayQueueTest, FifoLifecycle)
+{
+    ReplayQueue rq(4);
+    rq.dispatch(1, 100, 8);
+    rq.dispatch(2, 101, 8);
+    ReplayLoadInfo info;
+    info.bypassedUnresolvedStore = true;
+    rq.recordIssue(1, 0x100, 42, false, info);
+
+    ReplayQueueEntry *e = rq.find(1);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->prematureValue, 42u);
+    EXPECT_TRUE(e->info.bypassedUnresolvedStore);
+
+    EXPECT_EQ(rq.head()->seq, 1u);
+    rq.retire(1);
+    EXPECT_EQ(rq.head()->seq, 2u);
+    rq.squashFrom(2);
+    EXPECT_TRUE(rq.empty());
+}
+
+// ---------------------------------------------------------------------
+// Filter composition (§3.3)
+// ---------------------------------------------------------------------
+
+TEST(FilterTest, ReplayAllReplaysEverything)
+{
+    RecentEventFilterState state;
+    ReplayLoadInfo info; // perfectly safe-looking load
+    EXPECT_NE(classifyReplay(ReplayFilterConfig::replayAll(), info, 5,
+                             state),
+              ReplayReason::Filtered);
+}
+
+TEST(FilterTest, NusAloneStillReplaysForConsistency)
+{
+    // no-unresolved-store alone covers only the RAW axis; the
+    // consistency axis stays conservative.
+    ReplayFilterConfig f;
+    f.noUnresolvedStore = true;
+    EXPECT_FALSE(f.coversBothAxes());
+    RecentEventFilterState state;
+    ReplayLoadInfo info;
+    EXPECT_EQ(classifyReplay(f, info, 5, state),
+              ReplayReason::Consistency);
+}
+
+TEST(FilterTest, NusPlusSnoopFiltersCleanLoad)
+{
+    ReplayFilterConfig f = ReplayFilterConfig::recentSnoopPlusNus();
+    EXPECT_TRUE(f.coversBothAxes());
+    RecentEventFilterState state;
+    ReplayLoadInfo info;
+    EXPECT_EQ(classifyReplay(f, info, 5, state),
+              ReplayReason::Filtered);
+}
+
+TEST(FilterTest, BypassingLoadReplaysOnRawAxis)
+{
+    ReplayFilterConfig f = ReplayFilterConfig::recentSnoopPlusNus();
+    RecentEventFilterState state;
+    ReplayLoadInfo info;
+    info.bypassedUnresolvedStore = true;
+    EXPECT_EQ(classifyReplay(f, info, 5, state),
+              ReplayReason::UnresolvedStore);
+}
+
+TEST(FilterTest, SnoopArmingForcesReplayOfCoveredLoadsOnly)
+{
+    ReplayFilterConfig f = ReplayFilterConfig::recentSnoopPlusNus();
+    RecentEventFilterState state;
+    state.armSnoop(/*youngest_in_window=*/10);
+    ReplayLoadInfo info;
+    EXPECT_EQ(classifyReplay(f, info, 9, state),
+              ReplayReason::Consistency)
+        << "load in the window at snoop time must replay";
+    EXPECT_EQ(classifyReplay(f, info, 11, state),
+              ReplayReason::Filtered)
+        << "load dispatched after the snoop is unaffected";
+}
+
+TEST(FilterTest, MissArmingOnlyAffectsMissFilter)
+{
+    RecentEventFilterState state;
+    state.armMiss(10);
+    ReplayLoadInfo info;
+    EXPECT_EQ(classifyReplay(ReplayFilterConfig::recentSnoopPlusNus(),
+                             info, 9, state),
+              ReplayReason::Filtered);
+    EXPECT_EQ(classifyReplay(ReplayFilterConfig::recentMissPlusNus(),
+                             info, 9, state),
+              ReplayReason::Consistency);
+}
+
+TEST(FilterTest, NoReorderCoversBothAxesForInOrderLoads)
+{
+    ReplayFilterConfig f = ReplayFilterConfig::noReorderOnly();
+    EXPECT_TRUE(f.coversBothAxes());
+    RecentEventFilterState state;
+    state.armSnoop(10);
+
+    ReplayLoadInfo in_order; // issuedOutOfOrder defaults false
+    EXPECT_EQ(classifyReplay(f, in_order, 5, state),
+              ReplayReason::Filtered);
+
+    ReplayLoadInfo reordered;
+    reordered.issuedOutOfOrder = true;
+    EXPECT_NE(classifyReplay(f, reordered, 5, state),
+              ReplayReason::Filtered);
+}
+
+TEST(FilterTest, SchedulerSemanticsUsesSchedulerFlag)
+{
+    ReplayFilterConfig f = ReplayFilterConfig::noReorderOnly();
+    f.noReorderSchedulerSemantics = true;
+    RecentEventFilterState state;
+
+    ReplayLoadInfo info;
+    info.issuedOutOfOrder = true;       // drain-based view: reordered
+    info.issuedOutOfOrderSched = false; // scheduler view: in order
+    EXPECT_EQ(classifyReplay(f, info, 5, state),
+              ReplayReason::Filtered);
+
+    f.noReorderSchedulerSemantics = false;
+    EXPECT_NE(classifyReplay(f, info, 5, state),
+              ReplayReason::Filtered);
+}
+
+TEST(FilterTest, ArmingIsMonotone)
+{
+    RecentEventFilterState state;
+    state.armSnoop(10);
+    state.armSnoop(5); // older event must not lower the mark
+    ReplayLoadInfo info;
+    EXPECT_EQ(classifyReplay(ReplayFilterConfig::recentSnoopPlusNus(),
+                             info, 8, state),
+              ReplayReason::Consistency);
+}
+
+TEST(FilterTest, ConfigNames)
+{
+    EXPECT_EQ(ReplayFilterConfig::replayAll().name(), "replay-all");
+    EXPECT_EQ(ReplayFilterConfig::recentSnoopPlusNus().name(),
+              "no-recent-snoop+no-unresolved-store");
+}
+
+} // namespace
+} // namespace vbr

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Property-based tests (parameterized gtest sweeps over random seeds):
+ *
+ *  1. Random-program co-simulation: for arbitrary generated programs,
+ *     the out-of-order core's architectural results equal the
+ *     functional reference under every ordering scheme and filter
+ *     combination — including deliberately nasty parameter corners
+ *     (heavy aliasing, tiny working sets, noisy branches).
+ *
+ *  2. Random multiprocessor stress: arbitrary contention kernels must
+ *     always produce SC executions (constraint graph acyclic) and
+ *     preserve the kernels' deterministic invariants.
+ *
+ *  3. Equivalence: value-based replay with any legal filter
+ *     combination commits exactly the same architectural results as
+ *     replay-all.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/constraint_graph.hpp"
+#include "isa/functional_core.hpp"
+#include "sys/system.hpp"
+#include "workload/multiproc.hpp"
+#include "workload/synthetic.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+SynthParams
+randomParams(std::uint64_t seed)
+{
+    Rng rng(seed * 2654435761u + 17);
+    SynthParams p;
+    p.name = "prop" + std::to_string(seed);
+    p.seed = seed;
+    p.iterations = 120 + static_cast<unsigned>(rng.below(200));
+    p.blockOps = 12 + static_cast<unsigned>(rng.below(30));
+    p.loadFrac = 0.15 + 0.2 * (rng.below(100) / 100.0);
+    p.storeFrac = 0.08 + 0.15 * (rng.below(100) / 100.0);
+    p.branchFrac = 0.05 + 0.1 * (rng.below(100) / 100.0);
+    p.fpFrac = rng.chance(0.4) ? 0.1 : 0.0;
+    p.mulFrac = 0.02;
+    p.divFrac = rng.chance(0.3) ? 0.02 : 0.0;
+    switch (rng.below(4)) {
+      case 0: p.pattern = AccessPattern::Sequential; break;
+      case 1: p.pattern = AccessPattern::Strided; break;
+      case 2: p.pattern = AccessPattern::Random; break;
+      default: p.pattern = AccessPattern::PointerChase; break;
+    }
+    p.strideBytes = 8u << rng.below(5);
+    p.workingSetBytes = 4096u << rng.below(8); // 4 KiB .. 512 KiB
+    p.aliasHazardFrac = rng.chance(0.5) ? 0.1 : 0.0;
+    p.branchNoise = rng.below(100) / 200.0;
+    p.chainLength = static_cast<unsigned>(rng.below(8));
+    p.callFrac = rng.chance(0.3) ? 0.3 : 0.0;
+    p.coldMissFrac = rng.chance(0.2) ? 0.05 : 0.0;
+    return p;
+}
+
+std::vector<CoreConfig>
+sweepConfigs()
+{
+    std::vector<CoreConfig> configs;
+    configs.push_back(CoreConfig::baseline());
+
+    CoreConfig hybrid = CoreConfig::baseline();
+    hybrid.lqMode = LqMode::Hybrid;
+    configs.push_back(hybrid);
+
+    configs.push_back(
+        CoreConfig::valueReplay(ReplayFilterConfig::replayAll()));
+    configs.push_back(
+        CoreConfig::valueReplay(ReplayFilterConfig::noReorderOnly()));
+    configs.push_back(CoreConfig::valueReplay(
+        ReplayFilterConfig::recentMissPlusNus()));
+    configs.push_back(CoreConfig::valueReplay(
+        ReplayFilterConfig::recentSnoopPlusNus()));
+
+    auto sched = ReplayFilterConfig::noReorderOnly();
+    sched.noReorderSchedulerSemantics = true; // sound in uniprocessor
+    configs.push_back(CoreConfig::valueReplay(sched));
+    return configs;
+}
+
+class RandomProgramCosim
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomProgramCosim, AllConfigsMatchReference)
+{
+    SynthParams params = randomParams(GetParam());
+    Program prog = makeSynthetic(params);
+
+    MemoryImage ref_mem(prog.memorySize());
+    ref_mem.applyInits(prog);
+    FunctionalCore ref(prog, ref_mem, 0);
+    ASSERT_TRUE(ref.run(60'000'000)) << "reference did not halt";
+
+    for (const CoreConfig &core : sweepConfigs()) {
+        SystemConfig cfg;
+        cfg.cores = 1;
+        cfg.core = core;
+        cfg.maxCycles = 60'000'000;
+        System sys(cfg, prog);
+        RunResult r = sys.run();
+        ASSERT_TRUE(r.allHalted)
+            << "seed " << GetParam() << ": no halt (deadlock="
+            << r.deadlocked << ")";
+        ASSERT_EQ(sys.core(0).instructionsCommitted(),
+                  ref.instructionsExecuted())
+            << "seed " << GetParam();
+        for (unsigned reg = 0; reg < kNumArchRegs; ++reg)
+            ASSERT_EQ(sys.core(0).archReg(reg), ref.reg(reg))
+                << "seed " << GetParam() << " r" << reg;
+        ASSERT_EQ(sys.memory().bytes(), ref_mem.bytes())
+            << "seed " << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramCosim,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+class RandomMpStress : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomMpStress, ContentionKernelsStaySC)
+{
+    std::uint64_t seed = GetParam();
+    Rng rng(seed);
+
+    MpParams p;
+    p.threads = 2 + static_cast<unsigned>(rng.below(3)); // 2..4
+    p.iterations = 60 + static_cast<unsigned>(rng.below(120));
+    p.seed = seed;
+
+    Program prog;
+    unsigned expect_counter = 0;
+    switch (seed % 4) {
+      case 0:
+        prog = makeLockCounter(p);
+        expect_counter = p.threads * p.iterations;
+        break;
+      case 1:
+        prog = makeFalseSharing(p);
+        break;
+      case 2:
+        prog = makeWorkQueue(p);
+        break;
+      default:
+        prog = makeDekker(p.iterations);
+        p.threads = 2;
+        break;
+    }
+
+    std::vector<CoreConfig> configs = {
+        CoreConfig::baseline(),
+        CoreConfig::valueReplay(ReplayFilterConfig::replayAll()),
+        CoreConfig::valueReplay(
+            ReplayFilterConfig::recentSnoopPlusNus()),
+        CoreConfig::valueReplay(
+            ReplayFilterConfig::recentMissPlusNus()),
+    };
+
+    for (const CoreConfig &core : configs) {
+        SystemConfig cfg;
+        cfg.cores = p.threads;
+        cfg.core = core;
+        cfg.trackVersions = true;
+        cfg.maxCycles = 30'000'000;
+        System sys(cfg, prog);
+        ScChecker checker;
+        sys.setObserver(&checker);
+        RunResult r = sys.run();
+        ASSERT_TRUE(r.allHalted)
+            << "seed " << seed << " deadlock=" << r.deadlocked;
+        CheckResult check = checker.check();
+        EXPECT_TRUE(check.consistent)
+            << "seed " << seed << ": " << check.summary();
+        if (expect_counter != 0) {
+            EXPECT_EQ(sys.memory().read(0x1040, 8), expect_counter)
+                << "seed " << seed;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMpStress,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+class DmaStress : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(DmaStress, UniprocessorWithCoherentIoStaysCorrect)
+{
+    // The paper's uniprocessor snoops come from coherent I/O (DMA);
+    // inject aggressive DMA invalidations and check co-simulation
+    // still holds (DMA only invalidates lines, never changes data,
+    // so the architectural results are unchanged).
+    SynthParams params = randomParams(GetParam() + 100);
+    params.iterations = std::min(params.iterations, 150u);
+    Program prog = makeSynthetic(params);
+
+    MemoryImage ref_mem(prog.memorySize());
+    ref_mem.applyInits(prog);
+    FunctionalCore ref(prog, ref_mem, 0);
+    ASSERT_TRUE(ref.run(60'000'000));
+
+    for (auto filters : {ReplayFilterConfig::recentSnoopPlusNus(),
+                         ReplayFilterConfig::recentMissPlusNus()}) {
+        SystemConfig cfg;
+        cfg.cores = 1;
+        cfg.core = CoreConfig::valueReplay(filters);
+        cfg.dmaInvalidationRate = 0.01; // very aggressive
+        cfg.dmaSeed = GetParam();
+        cfg.maxCycles = 60'000'000;
+        System sys(cfg, prog);
+        RunResult r = sys.run();
+        ASSERT_TRUE(r.allHalted);
+        for (unsigned reg = 0; reg < kNumArchRegs; ++reg)
+            ASSERT_EQ(sys.core(0).archReg(reg), ref.reg(reg));
+        EXPECT_EQ(sys.memory().bytes(), ref_mem.bytes());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DmaStress,
+                         ::testing::Range<std::uint64_t>(1, 5));
+
+TEST(FilterEquivalence, AllLegalFiltersCommitSameResults)
+{
+    // Filters only skip *validation*; they must never change what the
+    // machine commits. Compare every legal combination's final
+    // architectural state against replay-all on one workload.
+    WorkloadSpec spec = uniprocessorWorkload("gcc", 0.1);
+    Program prog = makeSynthetic(spec.params);
+
+    SystemConfig base_cfg;
+    base_cfg.core =
+        CoreConfig::valueReplay(ReplayFilterConfig::replayAll());
+    System base_sys(base_cfg, prog);
+    ASSERT_TRUE(base_sys.run().allHalted);
+
+    for (unsigned bits = 0; bits < 16; ++bits) {
+        ReplayFilterConfig f;
+        f.noReorder = bits & 1;
+        f.noRecentMiss = bits & 2;
+        f.noRecentSnoop = bits & 4;
+        f.noUnresolvedStore = bits & 8;
+
+        SystemConfig cfg;
+        cfg.core = CoreConfig::valueReplay(f);
+        System sys(cfg, prog);
+        ASSERT_TRUE(sys.run().allHalted) << f.name();
+        for (unsigned reg = 0; reg < kNumArchRegs; ++reg)
+            ASSERT_EQ(sys.core(0).archReg(reg),
+                      base_sys.core(0).archReg(reg))
+                << f.name() << " r" << reg;
+        ASSERT_EQ(sys.memory().bytes(), base_sys.memory().bytes())
+            << f.name();
+    }
+}
+
+} // namespace
+} // namespace vbr

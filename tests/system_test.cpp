@@ -1,0 +1,148 @@
+/**
+ * @file
+ * System-level tests: pre-warming, DMA injection, stat aggregation,
+ * the report renderer, and run-loop termination conditions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "sys/report.hpp"
+#include "sys/system.hpp"
+#include "workload/synthetic.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+Program
+tinyLoop(unsigned iters)
+{
+    Program prog;
+    Assembler as(prog);
+    as.ldi(1, 0x1000);
+    as.ldi(2, static_cast<std::int32_t>(iters));
+    as.label("loop");
+    as.ld8(5, 1, 0);
+    as.add(4, 4, 5);
+    as.addi(2, 2, -1);
+    as.bne(2, 0, "loop");
+    as.halt();
+    as.finalize();
+    prog.threads().push_back({});
+    return prog;
+}
+
+TEST(SystemTest, WarmRangesEliminateColdMisses)
+{
+    Program cold = tinyLoop(50);
+    Program warm = tinyLoop(50);
+    warm.warmRanges().push_back({0x1000, 0x1040});
+
+    SystemConfig cfg;
+    cfg.core = CoreConfig::baseline();
+
+    System cold_sys(cfg, cold);
+    ASSERT_TRUE(cold_sys.run().allHalted);
+    System warm_sys(cfg, warm);
+    ASSERT_TRUE(warm_sys.run().allHalted);
+
+    StatSet &cold_h = cold_sys.core(0).hierarchy().stats();
+    StatSet &warm_h = warm_sys.core(0).hierarchy().stats();
+    EXPECT_GT(cold_h.get("external_fills"), 0u);
+    EXPECT_EQ(warm_h.get("external_fills"), 0u)
+        << "pre-warmed data must not demand-fill";
+    EXPECT_LT(warm_sys.now(), cold_sys.now())
+        << "warm run should be faster";
+}
+
+TEST(SystemTest, DmaInvalidationsForceRefills)
+{
+    Program prog = tinyLoop(400);
+    prog.warmRanges().push_back({0x1000, 0x1040});
+    // Shrink the address space so random DMA lines hit the hot data.
+    prog.memorySize(0x1080);
+
+    SystemConfig cfg;
+    cfg.core = CoreConfig::baseline();
+    cfg.dmaInvalidationRate = 0.1;
+    cfg.dmaSeed = 3;
+    System sys(cfg, prog);
+    ASSERT_TRUE(sys.run().allHalted);
+    EXPECT_GT(sys.fabric().stats().get("dma_invalidations"), 0u);
+    // Any DMA hit on the hot line forces a refill later.
+    EXPECT_GE(sys.core(0).stats().get("external_invalidations_seen") +
+                  sys.core(0).hierarchy().stats().get(
+                      "external_fills"),
+              1u);
+}
+
+TEST(SystemTest, MaxCyclesTerminatesRunaway)
+{
+    // An infinite loop must end at the cycle budget, not hang.
+    Program prog;
+    Assembler as(prog);
+    as.label("forever");
+    as.addi(1, 1, 1);
+    as.jmp("forever");
+    as.halt();
+    as.finalize();
+    prog.threads().push_back({});
+
+    SystemConfig cfg;
+    cfg.core = CoreConfig::baseline();
+    cfg.maxCycles = 20'000;
+    System sys(cfg, prog);
+    RunResult r = sys.run();
+    EXPECT_FALSE(r.allHalted);
+    EXPECT_FALSE(r.deadlocked) << "it commits, so not a deadlock";
+    EXPECT_GE(r.cycles, 20'000u);
+}
+
+TEST(SystemTest, TotalStatSumsAcrossCores)
+{
+    WorkloadSpec spec = uniprocessorWorkload("gzip", 0.03);
+    Program prog = makeSynthetic(spec.params);
+    // Run the same single-thread program on 2 cores (both execute
+    // thread 0's code? No: threads() has one entry, so replicate).
+    prog.threads().push_back(prog.threads()[0]);
+
+    SystemConfig cfg;
+    cfg.cores = 2;
+    cfg.core = CoreConfig::baseline();
+    System sys(cfg, prog);
+    ASSERT_TRUE(sys.run().allHalted);
+    EXPECT_EQ(sys.totalStat("committed_instructions"),
+              sys.core(0).stats().get("committed_instructions") +
+                  sys.core(1).stats().get("committed_instructions"));
+}
+
+TEST(SystemTest, ReportMetricsAreCoherent)
+{
+    WorkloadSpec spec = uniprocessorWorkload("gcc", 0.05);
+    Program prog = makeSynthetic(spec.params);
+    SystemConfig cfg;
+    cfg.core = CoreConfig::valueReplay(
+        ReplayFilterConfig::recentSnoopPlusNus());
+    System sys(cfg, prog);
+    RunResult r = sys.run();
+    ASSERT_TRUE(r.allHalted);
+
+    ReportMetrics m = computeMetrics(sys, r);
+    EXPECT_NEAR(m.ipc, r.ipc(), 1e-9);
+    EXPECT_GT(m.loadsPerInstr, 0.1);
+    EXPECT_LT(m.loadsPerInstr, 0.6);
+    EXPECT_GT(m.replayFilterRate, 0.5)
+        << "NRS+NUS should filter most replays";
+    EXPECT_GT(m.avgRobOccupancy, 1.0);
+
+    std::string text = renderReport(sys, r, true);
+    EXPECT_NE(text.find("IPC:"), std::string::npos);
+    EXPECT_NE(text.find("core.committed_instructions"),
+              std::string::npos);
+    EXPECT_NE(text.find("fabric."), std::string::npos);
+}
+
+} // namespace
+} // namespace vbr

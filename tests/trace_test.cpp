@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Pipeline-trace invariant tests: for every committed instruction the
+ * milestone order must be dispatch <= issue <= writeback <= commit;
+ * replay events appear only for loads in value-replay mode and only
+ * between writeback and commit; squashed instructions never commit;
+ * and the committed-instruction streams agree with the core's
+ * counters.
+ */
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/trace.hpp"
+#include "sys/system.hpp"
+#include "workload/synthetic.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+struct Lifetime
+{
+    Cycle dispatch = kNeverCycle;
+    Cycle issue = kNeverCycle;
+    Cycle writeback = kNeverCycle;
+    Cycle replay = kNeverCycle;
+    Cycle commit = kNeverCycle;
+    bool squashed = false;
+    Instruction inst;
+};
+
+std::map<SeqNum, Lifetime>
+collectLifetimes(const RecordingTracer &tracer)
+{
+    std::map<SeqNum, Lifetime> lives;
+    for (const TraceEvent &e : tracer.events()) {
+        Lifetime &l = lives[e.seq];
+        l.inst = e.inst;
+        switch (e.kind) {
+          case TraceKind::Dispatch: l.dispatch = e.cycle; break;
+          case TraceKind::Issue: l.issue = e.cycle; break;
+          case TraceKind::Writeback: l.writeback = e.cycle; break;
+          case TraceKind::ReplayIssued: l.replay = e.cycle; break;
+          case TraceKind::Commit: l.commit = e.cycle; break;
+          case TraceKind::Squash: l.squashed = true; break;
+        }
+    }
+    return lives;
+}
+
+class TraceInvariants : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(TraceInvariants, MilestoneOrderHolds)
+{
+    bool value_replay = GetParam();
+    WorkloadSpec spec = uniprocessorWorkload("gcc", 0.05);
+    Program prog = makeSynthetic(spec.params);
+
+    SystemConfig cfg;
+    cfg.core = value_replay
+                   ? CoreConfig::valueReplay(
+                         ReplayFilterConfig::replayAll())
+                   : CoreConfig::baseline();
+    System sys(cfg, prog);
+    RecordingTracer tracer;
+    sys.core(0).setTracer(&tracer);
+    ASSERT_TRUE(sys.run().allHalted);
+
+    std::uint64_t committed = 0, replayed_committed = 0;
+    for (const auto &[seq, l] : collectLifetimes(tracer)) {
+        ASSERT_NE(l.dispatch, kNeverCycle) << "seq " << seq;
+        if (l.commit == kNeverCycle) {
+            // Never committed: must have been squashed.
+            EXPECT_TRUE(l.squashed) << "seq " << seq << " vanished";
+            continue;
+        }
+        ++committed;
+        EXPECT_FALSE(l.squashed)
+            << "seq " << seq << " both committed and squashed";
+        if (l.issue != kNeverCycle) {
+            EXPECT_LE(l.dispatch, l.issue) << "seq " << seq;
+            if (l.writeback != kNeverCycle) {
+                EXPECT_LE(l.issue, l.writeback) << "seq " << seq;
+                EXPECT_LE(l.writeback, l.commit) << "seq " << seq;
+            }
+        }
+        if (l.replay != kNeverCycle) {
+            ++replayed_committed;
+            EXPECT_TRUE(value_replay)
+                << "replay event in baseline mode, seq " << seq;
+            EXPECT_TRUE(isLoad(l.inst.op)) << "seq " << seq;
+            EXPECT_LE(l.writeback, l.replay) << "seq " << seq;
+            EXPECT_LE(l.replay, l.commit) << "seq " << seq;
+        }
+    }
+
+    EXPECT_EQ(committed, sys.core(0).instructionsCommitted());
+    if (value_replay) {
+        // replay-all: every committed load replayed or was rule-3
+        // suppressed.
+        const StatSet &s = sys.core(0).stats();
+        EXPECT_GE(replayed_committed + s.get("replays_suppressed_rule3"),
+                  s.get("committed_loads"));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, TraceInvariants,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool> &i) {
+                             return i.param ? "ValueReplay"
+                                            : "Baseline";
+                         });
+
+TEST(TextTracerTest, FormatsLines)
+{
+    std::vector<std::string> lines;
+    TextTracer tracer([&lines](const std::string &s) {
+        lines.push_back(s);
+    });
+    TraceEvent ev;
+    ev.kind = TraceKind::Commit;
+    ev.cycle = 42;
+    ev.core = 1;
+    ev.seq = 7;
+    ev.pc = 3;
+    ev.inst = {Opcode::ADD, 1, 2, 3, 0};
+    tracer.onTrace(ev);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "42 c1 #7 commit @3 add r1, r2, r3");
+}
+
+TEST(TraceTest, CommitStreamIsProgramOrder)
+{
+    WorkloadSpec spec = uniprocessorWorkload("gzip", 0.05);
+    Program prog = makeSynthetic(spec.params);
+    SystemConfig cfg;
+    cfg.core = CoreConfig::valueReplay(
+        ReplayFilterConfig::recentSnoopPlusNus());
+    System sys(cfg, prog);
+    RecordingTracer tracer;
+    sys.core(0).setTracer(&tracer);
+    ASSERT_TRUE(sys.run().allHalted);
+
+    SeqNum prev = 0;
+    Cycle prev_cycle = 0;
+    for (const TraceEvent &e : tracer.events()) {
+        if (e.kind != TraceKind::Commit)
+            continue;
+        EXPECT_GT(e.seq, prev) << "commits must be in program order";
+        EXPECT_GE(e.cycle, prev_cycle);
+        prev = e.seq;
+        prev_cycle = e.cycle;
+    }
+}
+
+} // namespace
+} // namespace vbr

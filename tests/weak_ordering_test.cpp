@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Weak-ordering tests (paper §2.1): the insulated load queue — the
+ * Alpha-21264-style organization that never observes snoops — is NOT
+ * sufficient for sequential consistency but IS sufficient for weak
+ * ordering (same-word coherence order + fence order). These tests
+ * validate both directions:
+ *
+ *  - the weak-ordering checker accepts insulated-LQ executions of
+ *    fence-free racy kernels that the SC checker may reject;
+ *  - fenced message passing delivers exactly under the insulated LQ;
+ *  - the insulated LQ's same-address load-load enforcement (paper
+ *    Figure 1c) is real: disabling it produces coherence-order
+ *    violations the weak checker flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/constraint_graph.hpp"
+#include "sys/system.hpp"
+#include "workload/multiproc.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+struct WeakRun
+{
+    RunResult result;
+    std::unique_ptr<System> sys;
+    std::unique_ptr<ScChecker> sc;
+    std::unique_ptr<ScChecker> weak;
+
+    // Fan a single observer out to both checkers.
+    struct Tee : CommitObserver
+    {
+        ScChecker *a = nullptr;
+        ScChecker *b = nullptr;
+        void
+        onMemCommit(const MemCommitEvent &e) override
+        {
+            a->onMemCommit(e);
+            b->onMemCommit(e);
+        }
+    } tee;
+};
+
+std::unique_ptr<WeakRun>
+runWeak(const Program &prog, const CoreConfig &core, unsigned cores)
+{
+    auto run = std::make_unique<WeakRun>();
+    SystemConfig cfg;
+    cfg.cores = cores;
+    cfg.core = core;
+    cfg.trackVersions = true;
+    cfg.maxCycles = 20'000'000;
+    run->sys = std::make_unique<System>(cfg, prog);
+    run->sc = std::make_unique<ScChecker>(
+        2'000'000, ConsistencyModel::SequentialConsistency);
+    run->weak = std::make_unique<ScChecker>(
+        2'000'000, ConsistencyModel::WeakOrdering);
+    run->tee.a = run->sc.get();
+    run->tee.b = run->weak.get();
+    run->sys->setObserver(&run->tee);
+    run->result = run->sys->run();
+    return run;
+}
+
+CoreConfig
+insulatedBaseline()
+{
+    CoreConfig cfg = CoreConfig::baseline();
+    cfg.lqMode = LqMode::Insulated;
+    return cfg;
+}
+
+TEST(WeakOrdering, FencedMessagePassingExactUnderInsulatedLq)
+{
+    Program prog = makeMessagePassingFenced(150);
+    auto run = runWeak(prog, insulatedBaseline(), 2);
+    ASSERT_TRUE(run->result.allHalted)
+        << "deadlock=" << run->result.deadlocked;
+
+    Word expected = 0;
+    for (Word r = 1; r < 150; ++r)
+        expected += r * 16;
+    EXPECT_EQ(run->sys->core(1).archReg(4), expected)
+        << "fenced consumer observed a stale payload";
+    CheckResult weak = run->weak->check();
+    EXPECT_TRUE(weak.consistent) << weak.summary();
+}
+
+TEST(WeakOrdering, InsulatedLqIsWeaklyOrderedOnRacyKernels)
+{
+    // Fence-free Dekker under the insulated LQ: weak ordering places
+    // no cross-word intra-thread order, so the weak checker must
+    // accept whatever interleaving the machine commits (while SC may
+    // legitimately be violated by this organization — the paper's
+    // point that insulated queues suit weaker models).
+    Program prog = makeDekker(400);
+    auto run = runWeak(prog, insulatedBaseline(), 2);
+    ASSERT_TRUE(run->result.allHalted);
+    CheckResult weak = run->weak->check();
+    EXPECT_TRUE(weak.consistent) << weak.summary();
+}
+
+TEST(WeakOrdering, LoadLoadLitmusIsWeaklyOrderedToo)
+{
+    Program prog = makeLoadLoadLitmus(400);
+    auto run = runWeak(prog, insulatedBaseline(), 2);
+    ASSERT_TRUE(run->result.allHalted);
+    // d < f observations are FORBIDDEN under SC but legal under weak
+    // ordering (no fence between the reader's loads): the weak
+    // checker must accept the execution either way.
+    CheckResult weak = run->weak->check();
+    EXPECT_TRUE(weak.consistent) << weak.summary();
+}
+
+TEST(WeakOrdering, SnoopingAndReplayMachinesAlsoPassWeakChecker)
+{
+    // SC-enforcing machines trivially satisfy the weaker model.
+    Program prog = makeMessagePassingFenced(100);
+    for (auto core : {CoreConfig::baseline(),
+                      CoreConfig::valueReplay(
+                          ReplayFilterConfig::recentSnoopPlusNus())}) {
+        auto run = runWeak(prog, core, 2);
+        ASSERT_TRUE(run->result.allHalted);
+        EXPECT_TRUE(run->sc->check().consistent);
+        EXPECT_TRUE(run->weak->check().consistent);
+    }
+}
+
+TEST(WeakOrdering, CheckerDistinguishesFenceViolations)
+{
+    // Hand-built event stream: writer fences data before flag; the
+    // reader fences flag before data but still reads stale data —
+    // a weak-ordering violation (the fences order both sides).
+    ScChecker weak(1000, ConsistencyModel::WeakOrdering);
+
+    auto mk = [](CoreId c, SeqNum s) {
+        MemCommitEvent e;
+        e.core = c;
+        e.seq = s;
+        e.size = 8;
+        return e;
+    };
+
+    MemCommitEvent w_data = mk(0, 1);
+    w_data.addr = 0x100;
+    w_data.isWrite = true;
+    w_data.writeValue = 42;
+    w_data.writeVersion = 1;
+    MemCommitEvent w_fence = mk(0, 2);
+    w_fence.isFence = true;
+    MemCommitEvent w_flag = mk(0, 3);
+    w_flag.addr = 0x200;
+    w_flag.isWrite = true;
+    w_flag.writeValue = 1;
+    w_flag.writeVersion = 1;
+
+    MemCommitEvent r_flag = mk(1, 1);
+    r_flag.addr = 0x200;
+    r_flag.isRead = true;
+    r_flag.readValue = 1;
+    r_flag.readVersion = 1;
+    MemCommitEvent r_fence = mk(1, 2);
+    r_fence.isFence = true;
+    MemCommitEvent r_data = mk(1, 3);
+    r_data.addr = 0x100;
+    r_data.isRead = true;
+    r_data.readValue = 0;
+    r_data.readVersion = 0; // stale: violates WO given the fences
+
+    for (const auto &e :
+         {w_data, w_fence, w_flag, r_flag, r_fence, r_data})
+        weak.onMemCommit(e);
+    EXPECT_FALSE(weak.check().consistent);
+
+    // The same stream WITHOUT the reader's fence is weakly legal.
+    ScChecker weak2(1000, ConsistencyModel::WeakOrdering);
+    for (const auto &e : {w_data, w_fence, w_flag, r_flag, r_data})
+        weak2.onMemCommit(e);
+    EXPECT_TRUE(weak2.check().consistent)
+        << weak2.check().summary();
+}
+
+TEST(WeakOrdering, SameWordCoherenceStillEnforced)
+{
+    // Paper Figure 1c: two loads of the same word must not observe
+    // versions out of order even under weak ordering.
+    ScChecker weak(1000, ConsistencyModel::WeakOrdering);
+
+    MemCommitEvent w1;
+    w1.core = 0;
+    w1.seq = 1;
+    w1.addr = 0x100;
+    w1.size = 8;
+    w1.isWrite = true;
+    w1.writeValue = 7;
+    w1.writeVersion = 1;
+    weak.onMemCommit(w1);
+
+    MemCommitEvent r_new;
+    r_new.core = 1;
+    r_new.seq = 1;
+    r_new.addr = 0x100;
+    r_new.size = 8;
+    r_new.isRead = true;
+    r_new.readValue = 7;
+    r_new.readVersion = 1;
+    weak.onMemCommit(r_new);
+
+    MemCommitEvent r_old = r_new;
+    r_old.seq = 2;
+    r_old.readValue = 0;
+    r_old.readVersion = 0; // younger same-word load sees older value
+    weak.onMemCommit(r_old);
+
+    EXPECT_FALSE(weak.check().consistent);
+}
+
+TEST(WeakOrderingReplay, WeakFilterMachineIsWeaklyOrdered)
+{
+    // The weak-ordering replay configuration (the replay analogue of
+    // the insulated LQ): no snoop/miss arming at all; consistency
+    // covered by same-word load-load order + fence gating.
+    CoreConfig cfg = CoreConfig::valueReplay(
+        ReplayFilterConfig::weakOrderingPlusNus());
+
+    for (auto make : {makeMessagePassingFenced, makeDekker,
+                      makeLoadLoadLitmus}) {
+        Program prog = make(200);
+        auto run = runWeak(prog, cfg, 2);
+        ASSERT_TRUE(run->result.allHalted);
+        CheckResult weak = run->weak->check();
+        EXPECT_TRUE(weak.consistent) << weak.summary();
+    }
+}
+
+TEST(WeakOrderingReplay, FencedMessagePassingExact)
+{
+    CoreConfig cfg = CoreConfig::valueReplay(
+        ReplayFilterConfig::weakOrderingPlusNus());
+    Program prog = makeMessagePassingFenced(150);
+    auto run = runWeak(prog, cfg, 2);
+    ASSERT_TRUE(run->result.allHalted);
+    Word expected = 0;
+    for (Word r = 1; r < 150; ++r)
+        expected += r * 16;
+    EXPECT_EQ(run->sys->core(1).archReg(4), expected);
+}
+
+TEST(WeakOrderingReplay, FiltersMoreThanSnoopConfig)
+{
+    // With no arming events to honour, the weak-ordering axis should
+    // never replay more than the SC snoop filter does.
+    MpParams p;
+    p.threads = 4;
+    p.iterations = 200;
+    Program prog = makeLockCounter(p);
+
+    auto count_replays = [&prog](const ReplayFilterConfig &f) {
+        SystemConfig cfg;
+        cfg.cores = 4;
+        cfg.core = CoreConfig::valueReplay(f);
+        cfg.maxCycles = 20'000'000;
+        System sys(cfg, prog);
+        EXPECT_TRUE(sys.run().allHalted);
+        return sys.totalStat("replays_total");
+    };
+
+    std::uint64_t weak =
+        count_replays(ReplayFilterConfig::weakOrderingPlusNus());
+    std::uint64_t sc =
+        count_replays(ReplayFilterConfig::recentSnoopPlusNus());
+    EXPECT_LE(weak, sc);
+}
+
+// ---------------------------------------------------------------------
+// TSO checker
+// ---------------------------------------------------------------------
+
+namespace tso
+{
+
+MemCommitEvent
+ev(CoreId c, SeqNum s, Addr addr, bool write, Word value,
+   std::uint32_t version)
+{
+    MemCommitEvent e;
+    e.core = c;
+    e.seq = s;
+    e.addr = addr;
+    e.size = 8;
+    e.isRead = !write;
+    e.isWrite = write;
+    if (write) {
+        e.writeValue = value;
+        e.writeVersion = version;
+    } else {
+        e.readValue = value;
+        e.readVersion = version;
+    }
+    return e;
+}
+
+} // namespace tso
+
+TEST(TsoChecker, DekkerBothStaleIsAllowedUnderTso)
+{
+    // The store-buffer relaxation: both loads passing their own
+    // stores is the canonical TSO-legal, SC-illegal outcome.
+    ScChecker sc_chk(1000, ConsistencyModel::SequentialConsistency);
+    ScChecker tso_chk(1000, ConsistencyModel::TotalStoreOrder);
+    auto feed = [](ScChecker &chk) {
+        chk.onMemCommit(tso::ev(0, 1, 0x100, true, 1, 1));
+        chk.onMemCommit(tso::ev(0, 2, 0x200, false, 0, 0));
+        chk.onMemCommit(tso::ev(1, 1, 0x200, true, 1, 1));
+        chk.onMemCommit(tso::ev(1, 2, 0x100, false, 0, 0));
+    };
+    feed(sc_chk);
+    feed(tso_chk);
+    EXPECT_FALSE(sc_chk.check().consistent);
+    EXPECT_TRUE(tso_chk.check().consistent)
+        << tso_chk.check().summary();
+}
+
+TEST(TsoChecker, MessagePassingStaleDataStillForbidden)
+{
+    // TSO keeps W->W and R->R order, so stale message passing is
+    // still a violation.
+    ScChecker tso_chk(1000, ConsistencyModel::TotalStoreOrder);
+    tso_chk.onMemCommit(tso::ev(0, 1, 0x100, true, 42, 1)); // data
+    tso_chk.onMemCommit(tso::ev(0, 2, 0x200, true, 1, 1));  // flag
+    tso_chk.onMemCommit(tso::ev(1, 1, 0x200, false, 1, 1)); // sees flag
+    tso_chk.onMemCommit(tso::ev(1, 2, 0x100, false, 0, 0)); // stale!
+    EXPECT_FALSE(tso_chk.check().consistent);
+}
+
+TEST(TsoChecker, SameWordStoreToLoadStillOrdered)
+{
+    // TSO's store->load relaxation does not apply to the same word:
+    // a load after a store to the same address must see it (or
+    // newer).
+    ScChecker tso_chk(1000, ConsistencyModel::TotalStoreOrder);
+    tso_chk.onMemCommit(tso::ev(0, 1, 0x100, true, 7, 1));
+    tso_chk.onMemCommit(tso::ev(0, 2, 0x100, false, 0, 0)); // stale own
+    EXPECT_FALSE(tso_chk.check().consistent);
+}
+
+TEST(TsoChecker, ScMachinesSatisfyTso)
+{
+    // Any SC execution is TSO-legal: run a real MP kernel and check.
+    MpParams p;
+    p.threads = 4;
+    p.iterations = 100;
+    Program prog = makeLockCounter(p);
+    SystemConfig cfg;
+    cfg.cores = 4;
+    cfg.core = CoreConfig::baseline();
+    cfg.trackVersions = true;
+    cfg.maxCycles = 20'000'000;
+    System sys(cfg, prog);
+    ScChecker tso_chk(2'000'000, ConsistencyModel::TotalStoreOrder);
+    sys.setObserver(&tso_chk);
+    ASSERT_TRUE(sys.run().allHalted);
+    EXPECT_TRUE(tso_chk.check().consistent);
+}
+
+} // namespace
+} // namespace vbr
