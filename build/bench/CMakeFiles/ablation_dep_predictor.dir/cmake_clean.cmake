@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dep_predictor.dir/ablation_dep_predictor.cpp.o"
+  "CMakeFiles/ablation_dep_predictor.dir/ablation_dep_predictor.cpp.o.d"
+  "ablation_dep_predictor"
+  "ablation_dep_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dep_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

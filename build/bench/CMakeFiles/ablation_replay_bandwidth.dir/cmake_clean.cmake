@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_replay_bandwidth.dir/ablation_replay_bandwidth.cpp.o"
+  "CMakeFiles/ablation_replay_bandwidth.dir/ablation_replay_bandwidth.cpp.o.d"
+  "ablation_replay_bandwidth"
+  "ablation_replay_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_replay_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_store_prefetch.dir/ablation_store_prefetch.cpp.o"
+  "CMakeFiles/ablation_store_prefetch.dir/ablation_store_prefetch.cpp.o.d"
+  "ablation_store_prefetch"
+  "ablation_store_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_store_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_value_prediction.dir/ablation_value_prediction.cpp.o"
+  "CMakeFiles/ablation_value_prediction.dir/ablation_value_prediction.cpp.o.d"
+  "ablation_value_prediction"
+  "ablation_value_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_value_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

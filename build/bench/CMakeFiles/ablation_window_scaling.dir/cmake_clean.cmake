@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_window_scaling.dir/ablation_window_scaling.cpp.o"
+  "CMakeFiles/ablation_window_scaling.dir/ablation_window_scaling.cpp.o.d"
+  "ablation_window_scaling"
+  "ablation_window_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_window_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_rob_occupancy.dir/fig7_rob_occupancy.cpp.o"
+  "CMakeFiles/fig7_rob_occupancy.dir/fig7_rob_occupancy.cpp.o.d"
+  "fig7_rob_occupancy"
+  "fig7_rob_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_rob_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

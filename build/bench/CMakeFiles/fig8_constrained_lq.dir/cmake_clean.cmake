@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_constrained_lq.dir/fig8_constrained_lq.cpp.o"
+  "CMakeFiles/fig8_constrained_lq.dir/fig8_constrained_lq.cpp.o.d"
+  "fig8_constrained_lq"
+  "fig8_constrained_lq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_constrained_lq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

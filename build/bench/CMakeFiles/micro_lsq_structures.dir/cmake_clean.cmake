@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lsq_structures.dir/micro_lsq_structures.cpp.o"
+  "CMakeFiles/micro_lsq_structures.dir/micro_lsq_structures.cpp.o.d"
+  "micro_lsq_structures"
+  "micro_lsq_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lsq_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

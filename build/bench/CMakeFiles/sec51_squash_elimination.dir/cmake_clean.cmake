@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec51_squash_elimination.dir/sec51_squash_elimination.cpp.o"
+  "CMakeFiles/sec51_squash_elimination.dir/sec51_squash_elimination.cpp.o.d"
+  "sec51_squash_elimination"
+  "sec51_squash_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec51_squash_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_power_model.dir/sec53_power_model.cpp.o"
+  "CMakeFiles/sec53_power_model.dir/sec53_power_model.cpp.o.d"
+  "sec53_power_model"
+  "sec53_power_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_power_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

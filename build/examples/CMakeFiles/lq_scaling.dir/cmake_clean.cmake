@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lq_scaling.dir/lq_scaling.cpp.o"
+  "CMakeFiles/lq_scaling.dir/lq_scaling.cpp.o.d"
+  "lq_scaling"
+  "lq_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lq_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_violation.dir/ordering_violation.cpp.o"
+  "CMakeFiles/ordering_violation.dir/ordering_violation.cpp.o.d"
+  "ordering_violation"
+  "ordering_violation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_violation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

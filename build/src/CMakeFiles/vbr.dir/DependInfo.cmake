@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cam/cam_model.cpp" "src/CMakeFiles/vbr.dir/cam/cam_model.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/cam/cam_model.cpp.o.d"
+  "/root/repo/src/check/constraint_graph.cpp" "src/CMakeFiles/vbr.dir/check/constraint_graph.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/check/constraint_graph.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/vbr.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/vbr.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/ooo_core.cpp" "src/CMakeFiles/vbr.dir/core/ooo_core.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/core/ooo_core.cpp.o.d"
+  "/root/repo/src/isa/assembler.cpp" "src/CMakeFiles/vbr.dir/isa/assembler.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/isa/assembler.cpp.o.d"
+  "/root/repo/src/isa/functional_core.cpp" "src/CMakeFiles/vbr.dir/isa/functional_core.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/isa/functional_core.cpp.o.d"
+  "/root/repo/src/isa/instruction.cpp" "src/CMakeFiles/vbr.dir/isa/instruction.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/isa/instruction.cpp.o.d"
+  "/root/repo/src/isa/opcode.cpp" "src/CMakeFiles/vbr.dir/isa/opcode.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/isa/opcode.cpp.o.d"
+  "/root/repo/src/lsq/assoc_load_queue.cpp" "src/CMakeFiles/vbr.dir/lsq/assoc_load_queue.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/lsq/assoc_load_queue.cpp.o.d"
+  "/root/repo/src/lsq/replay_filters.cpp" "src/CMakeFiles/vbr.dir/lsq/replay_filters.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/lsq/replay_filters.cpp.o.d"
+  "/root/repo/src/lsq/store_queue.cpp" "src/CMakeFiles/vbr.dir/lsq/store_queue.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/lsq/store_queue.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/vbr.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/coherence.cpp" "src/CMakeFiles/vbr.dir/mem/coherence.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/mem/coherence.cpp.o.d"
+  "/root/repo/src/mem/hierarchy.cpp" "src/CMakeFiles/vbr.dir/mem/hierarchy.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/mem/hierarchy.cpp.o.d"
+  "/root/repo/src/mem/memory_image.cpp" "src/CMakeFiles/vbr.dir/mem/memory_image.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/mem/memory_image.cpp.o.d"
+  "/root/repo/src/mem/prefetcher.cpp" "src/CMakeFiles/vbr.dir/mem/prefetcher.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/mem/prefetcher.cpp.o.d"
+  "/root/repo/src/predict/branch_predictor.cpp" "src/CMakeFiles/vbr.dir/predict/branch_predictor.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/predict/branch_predictor.cpp.o.d"
+  "/root/repo/src/predict/dep_predictor.cpp" "src/CMakeFiles/vbr.dir/predict/dep_predictor.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/predict/dep_predictor.cpp.o.d"
+  "/root/repo/src/sys/report.cpp" "src/CMakeFiles/vbr.dir/sys/report.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/sys/report.cpp.o.d"
+  "/root/repo/src/sys/system.cpp" "src/CMakeFiles/vbr.dir/sys/system.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/sys/system.cpp.o.d"
+  "/root/repo/src/workload/litmus.cpp" "src/CMakeFiles/vbr.dir/workload/litmus.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/workload/litmus.cpp.o.d"
+  "/root/repo/src/workload/multiproc.cpp" "src/CMakeFiles/vbr.dir/workload/multiproc.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/workload/multiproc.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/CMakeFiles/vbr.dir/workload/synthetic.cpp.o" "gcc" "src/CMakeFiles/vbr.dir/workload/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cam_model_test.dir/cam_model_test.cpp.o"
+  "CMakeFiles/cam_model_test.dir/cam_model_test.cpp.o.d"
+  "cam_model_test"
+  "cam_model_test.pdb"
+  "cam_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cam_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

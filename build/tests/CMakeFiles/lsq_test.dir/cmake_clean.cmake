@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsq_test.dir/lsq_test.cpp.o"
+  "CMakeFiles/lsq_test.dir/lsq_test.cpp.o.d"
+  "lsq_test"
+  "lsq_test.pdb"
+  "lsq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

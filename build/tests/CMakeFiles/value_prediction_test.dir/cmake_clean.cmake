@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_prediction_test.dir/value_prediction_test.cpp.o"
+  "CMakeFiles/value_prediction_test.dir/value_prediction_test.cpp.o.d"
+  "value_prediction_test"
+  "value_prediction_test.pdb"
+  "value_prediction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_prediction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_ordering_test.dir/weak_ordering_test.cpp.o"
+  "CMakeFiles/weak_ordering_test.dir/weak_ordering_test.cpp.o.d"
+  "weak_ordering_test"
+  "weak_ordering_test.pdb"
+  "weak_ordering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_ordering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
