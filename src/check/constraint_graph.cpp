@@ -302,10 +302,14 @@ ScChecker::check() const
         std::uint32_t v = read_ver[i];
         if (v == 0)
             continue; // initial contents unknown to the checker
+        // NB: only touch byVersion behind a found wit — naming the
+        // end iterator's byVersion map is UB. The short-circuit below
+        // guarantees w is never examined when the word has no writers.
         auto wit = writers.find(op.word);
-        auto w = wit != writers.end()
-                     ? wit->second.byVersion.find(v)
-                     : wit->second.byVersion.end();
+        using VerIt = decltype(wit->second.byVersion.cbegin());
+        VerIt w{};
+        if (wit != writers.end())
+            w = wit->second.byVersion.find(v);
         if (wit == writers.end() ||
             w == wit->second.byVersion.end()) {
             std::ostringstream os;

@@ -5,6 +5,7 @@
 #include "common/logging.hpp"
 #include "isa/semantics.hpp"
 #include "mem/memory_image.hpp"
+#include "verify/auditor.hpp"
 
 namespace vbr
 {
@@ -31,6 +32,9 @@ OooCore::OooCore(const CoreConfig &config, const Program &prog,
         lq_ = std::make_unique<AssocLoadQueue>(config_.lqEntries,
                                                config_.lqMode);
     } else {
+        // Reject contradictory filter pairings before simulating:
+        // they silently drop filtering rather than failing.
+        config_.filters.validate();
         rq_ = std::make_unique<ReplayQueue>(config_.lqEntries);
     }
 
@@ -234,6 +238,24 @@ OooCore::noteCommit(Cycle now)
     lastCommitCycle_ = now;
 }
 
+void
+OooCore::emitCommit(const MemCommitEvent &event)
+{
+    if (observer_)
+        observer_->onMemCommit(event);
+    if (auditor_)
+        auditor_->onMemCommit(event);
+}
+
+void
+OooCore::auditStructures(InvariantAuditor &auditor) const
+{
+    auditor.scanRob(coreId(), rob_, cycles_);
+    auditor.scanStoreQueue(coreId(), sq_, cycles_);
+    if (rq_)
+        auditor.scanReplayQueue(coreId(), *rq_, cycles_);
+}
+
 bool
 OooCore::deadlocked(Cycle now) const
 {
@@ -313,6 +335,10 @@ void
 OooCore::squashFrom(SeqNum bound, std::uint32_t new_fetch_pc,
                     const PredictorSnapshot &snap)
 {
+    // pendingStoreData_ points into rob_; filter it before the pops
+    // below free the squashed entries' deque nodes.
+    std::erase_if(pendingStoreData_,
+                  [bound](const DynInst *d) { return d->seq >= bound; });
     while (!rob_.empty() && rob_.back().seq >= bound) {
         const DynInst &b = rob_.back();
         if (b.isStoreOp)
@@ -327,8 +353,6 @@ OooCore::squashFrom(SeqNum bound, std::uint32_t new_fetch_pc,
         rq_->squashFrom(bound);
 
     std::erase_if(iq_, [bound](const IqEntry &e) { return e.seq >= bound; });
-    std::erase_if(pendingStoreData_,
-                  [bound](const DynInst *d) { return d->seq >= bound; });
     std::erase_if(fences_, [bound](SeqNum s) { return s >= bound; });
 
     frontEnd_.clear();
@@ -341,6 +365,8 @@ OooCore::squashFrom(SeqNum bound, std::uint32_t new_fetch_pc,
     bp_.restore(snap);
     squashedThisCycle_ = true;
     ++(*sc_squashes_total_);
+    if (auditor_)
+        auditor_->onSquash(coreId(), bound, cycles_);
 }
 
 void
@@ -386,6 +412,8 @@ OooCore::doReplaySquash(DynInst &load, Cycle now)
         depPred_->trainViolation(load.pc,
                                  DependencePredictor::kUnknownStorePc);
 
+    if (auditor_)
+        auditor_->onReplaySquash(coreId(), load.seq, load.pc, cycles_);
     squashFrom(load.seq, load.pc, load.predSnap);
 }
 
@@ -609,6 +637,8 @@ OooCore::dispatchStage(Cycle now)
         if (is_store) {
             sq_.dispatch(d.seq, d.pc, memSize(op));
             depPred_->notifyStoreDispatched(d.pc, d.seq);
+            if (auditor_)
+                auditor_->onStoreDispatched(coreId(), d.seq);
         }
         if (is_swap || is_membar)
             fences_.push_back(d.seq);
@@ -1072,6 +1102,11 @@ OooCore::backendStage(Cycle now)
 
                 ++(*sc_replays_total_);
                 trace(TraceKind::ReplayIssued, inst);
+                if (auditor_)
+                    auditor_->onReplayIssued(coreId(), inst.seq,
+                                             inst.pc,
+                                             inst.valuePredicted,
+                                             false, now);
                 if (inst.replayReason == ReplayReason::UnresolvedStore)
                     ++(*sc_replays_unresolved_store_);
                 else
@@ -1191,6 +1226,10 @@ OooCore::retireHead(Cycle now)
             ++(*sc_replays_total_);
             ++(*sc_replays_late_);
             trace(TraceKind::ReplayIssued, head);
+            if (auditor_)
+                auditor_->onReplayIssued(coreId(), head.seq, head.pc,
+                                         head.valuePredicted,
+                                         true, now);
             if (late == ReplayReason::UnresolvedStore)
                 ++(*sc_replays_unresolved_store_);
             else
@@ -1260,7 +1299,7 @@ OooCore::retireHead(Cycle now)
         while (drainedVersions_.size() > max_hist)
             drainedVersions_.pop_front();
 
-        if (observer_) {
+        if (observer_ || auditor_) {
             MemCommitEvent ev;
             ev.core = coreId();
             ev.seq = head.seq;
@@ -1272,8 +1311,10 @@ OooCore::retireHead(Cycle now)
             ev.writeVersion = wv;
             ev.performCycle = now;
             ev.commitCycle = now;
-            observer_->onMemCommit(ev);
+            emitCommit(ev);
         }
+        if (auditor_)
+            auditor_->onStoreDrained(coreId(), head.seq, now);
         sq_.popFront();
         ++(*sc_committed_stores_);
     }
@@ -1298,7 +1339,7 @@ OooCore::retireHead(Cycle now)
                 }
             }
         }
-        if (observer_) {
+        if (observer_ || auditor_) {
             MemCommitEvent ev;
             ev.core = coreId();
             ev.seq = head.seq;
@@ -1310,8 +1351,12 @@ OooCore::retireHead(Cycle now)
             ev.readVersion = rv;
             ev.performCycle = head.sampleCycle;
             ev.commitCycle = now;
-            observer_->onMemCommit(ev);
+            emitCommit(ev);
         }
+        if (auditor_)
+            auditor_->onLoadCommit(coreId(), head.seq, head.pc,
+                                   head.replayIssued,
+                                   head.compareReadyCycle, now);
         if (valuePred_) {
             valuePred_->train(head.pc, head.prematureValue);
             if (head.valuePredicted)
@@ -1331,7 +1376,7 @@ OooCore::retireHead(Cycle now)
         ++(*sc_committed_loads_);
     }
 
-    if (head.isSwapOp && observer_) {
+    if (head.isSwapOp && (observer_ || auditor_)) {
         MemCommitEvent ev;
         ev.core = coreId();
         ev.seq = head.seq;
@@ -1346,10 +1391,10 @@ OooCore::retireHead(Cycle now)
         ev.writeVersion = head.replayVersion;
         ev.performCycle = now;
         ev.commitCycle = now;
-        observer_->onMemCommit(ev);
+        emitCommit(ev);
     }
 
-    if (head.isMembarOp && observer_) {
+    if (head.isMembarOp && (observer_ || auditor_)) {
         MemCommitEvent ev;
         ev.core = coreId();
         ev.seq = head.seq;
@@ -1357,7 +1402,7 @@ OooCore::retireHead(Cycle now)
         ev.isFence = true;
         ev.performCycle = now;
         ev.commitCycle = now;
-        observer_->onMemCommit(ev);
+        emitCommit(ev);
     }
 
     if (head.isCtrlOp) {

@@ -48,6 +48,7 @@ namespace vbr
 {
 
 class MemoryImage;
+class InvariantAuditor;
 
 /** One simulated core executing one thread of a Program. */
 class OooCore : public MemEventClient
@@ -68,6 +69,15 @@ class OooCore : public MemEventClient
 
     /** Subscribe a pipeline tracer (may be null). */
     void setTracer(PipelineTracer *tracer) { tracer_ = tracer; }
+
+    /** Register with the invariant auditor (may be null). The core
+     * reports pipeline events (store dispatch/drain, replay issue,
+     * squashes, commits) and submits its structures for scanning. */
+    void setAuditor(InvariantAuditor *auditor) { auditor_ = auditor; }
+
+    /** Submit the ROB and LSQ structures to the auditor's structural
+     * scans (driven by the System on the audit schedule). */
+    void auditStructures(InvariantAuditor &auditor) const;
 
     CoreId coreId() const { return hierarchy_.coreId(); }
 
@@ -215,7 +225,11 @@ class OooCore : public MemEventClient
     }
 
     CommitObserver *observer_ = nullptr;
+    InvariantAuditor *auditor_ = nullptr;
     PipelineTracer *tracer_ = nullptr;
+
+    /** Deliver a commit event to the checker and the auditor. */
+    void emitCommit(const MemCommitEvent &event);
 
     void
     trace(TraceKind kind, const DynInst &inst)

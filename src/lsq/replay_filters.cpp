@@ -1,5 +1,7 @@
 #include "lsq/replay_filters.hpp"
 
+#include "common/logging.hpp"
+
 namespace vbr
 {
 
@@ -35,6 +37,36 @@ ReplayFilterConfig::coversBothAxes() const
     bool cons =
         noReorder || noRecentMiss || noRecentSnoop || weakOrderingAxis;
     return uni && cons;
+}
+
+std::string
+ReplayFilterConfig::validationError() const
+{
+    if (noReorderSchedulerSemantics && !noReorder)
+        return "noReorderSchedulerSemantics selects the marking used "
+               "by the no-reorder filter but noReorder is off: the "
+               "flag would be silently ignored";
+    if (weakOrderingAxis && (noRecentMiss || noRecentSnoop))
+        return "weakOrderingAxis targets weak ordering but "
+               "no-recent-miss/no-recent-snoop target SC: the "
+               "recent-event verdict overrides the weak-ordering "
+               "proof, silently dropping its filtering";
+    bool replay_all = !noReorder && !noRecentMiss && !noRecentSnoop &&
+                      !noUnresolvedStore && !weakOrderingAxis;
+    if (!allowPartialCoverage && !coversBothAxes() && !replay_all)
+        return "configuration '" + name() +
+               "' leaves a safety axis uncovered (every load replays "
+               "on that axis); set allowPartialCoverage to run such "
+               "sweeps deliberately";
+    return "";
+}
+
+void
+ReplayFilterConfig::validate() const
+{
+    std::string err = validationError();
+    if (!err.empty())
+        panic("invalid replay-filter configuration: " + err);
 }
 
 ReplayReason

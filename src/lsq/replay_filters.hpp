@@ -34,6 +34,8 @@ namespace vbr
 /** Which heuristics are enabled. */
 struct ReplayFilterConfig
 {
+    // --- filter selection ---------------------------------------------
+
     bool noReorder = false;
 
     /** Use the paper's scheduler-based in-order marking for the
@@ -51,20 +53,22 @@ struct ReplayFilterConfig
      */
     bool weakOrderingAxis = false;
 
-    static ReplayFilterConfig
-    weakOrderingPlusNus()
-    {
-        ReplayFilterConfig f;
-        f.weakOrderingAxis = true;
-        f.noUnresolvedStore = true;
-        return f;
-    }
     bool noRecentMiss = false;
     bool noRecentSnoop = false;
     bool noUnresolvedStore = false;
 
-    /** The paper's four evaluated configurations. */
+    /**
+     * Opt in to configurations that do not cover both safety axes
+     * (sweeps and experiments exercise all combinations on purpose;
+     * such configs are conservative — they replay everything on the
+     * uncovered axis — but are rejected by validate() by default so
+     * production setups cannot silently lose filtering). */
+    bool allowPartialCoverage = false;
+
+    // --- the paper's four evaluated configurations --------------------
+
     static ReplayFilterConfig replayAll() { return {}; }
+
     static ReplayFilterConfig
     noReorderOnly()
     {
@@ -72,6 +76,7 @@ struct ReplayFilterConfig
         f.noReorder = true;
         return f;
     }
+
     static ReplayFilterConfig
     recentMissPlusNus()
     {
@@ -80,6 +85,7 @@ struct ReplayFilterConfig
         f.noUnresolvedStore = true;
         return f;
     }
+
     static ReplayFilterConfig
     recentSnoopPlusNus()
     {
@@ -88,6 +94,19 @@ struct ReplayFilterConfig
         f.noUnresolvedStore = true;
         return f;
     }
+
+    /** Weak-ordering consistency axis + no-unresolved-store (§2.1
+     * analogue; not one of the paper's four SC configurations). */
+    static ReplayFilterConfig
+    weakOrderingPlusNus()
+    {
+        ReplayFilterConfig f;
+        f.weakOrderingAxis = true;
+        f.noUnresolvedStore = true;
+        return f;
+    }
+
+    // --- introspection / validation -----------------------------------
 
     std::string name() const;
 
@@ -98,6 +117,20 @@ struct ReplayFilterConfig
      * on the uncovered axis.
      */
     bool coversBothAxes() const;
+
+    /**
+     * Description of why this configuration is unsound or
+     * contradictory, empty when it is acceptable. Contradictions
+     * (scheduler semantics without the no-reorder filter; mixing the
+     * weak-ordering axis with SC-targeting recent-event filters) are
+     * always rejected; merely partial coverage is rejected unless
+     * allowPartialCoverage is set.
+     */
+    std::string validationError() const;
+
+    /** Panic when validationError() is non-empty. Called at core
+     * construction so a bad pairing dies before simulating. */
+    void validate() const;
 };
 
 /** Per-load facts recorded at issue, consumed at the replay stage. */

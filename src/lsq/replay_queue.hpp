@@ -91,6 +91,25 @@ class ReplayQueue
         return entries_.empty() ? nullptr : &entries_.front();
     }
 
+    /** Entry at distance @p i from the head (0 == oldest); used by
+     * the invariant auditor's FIFO-order scan. */
+    const ReplayQueueEntry &
+    at(std::size_t i) const
+    {
+        return entries_.at(i);
+    }
+
+    /**
+     * TEST-ONLY failure injection: overwrite the recorded age of the
+     * entry at position @p i so auditor tests can demonstrate the
+     * FIFO-order invariant actually fires. Never call from model code.
+     */
+    void
+    testOnlyCorruptSeq(std::size_t i, SeqNum seq)
+    {
+        entries_.at(i).seq = seq;
+    }
+
     /** Retire the head (loads leave in program order). */
     void
     retire(SeqNum seq)

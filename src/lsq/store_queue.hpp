@@ -93,6 +93,14 @@ class StoreQueue
     /** Oldest entry (drain candidate); nullptr when empty. */
     SqEntry *head();
 
+    /** Entry at distance @p i from the head (0 == oldest); used by
+     * the invariant auditor's age-order scan. */
+    const SqEntry &
+    at(std::size_t i) const
+    {
+        return entries_.at(i);
+    }
+
     /** Entry by sequence number; nullptr when absent. */
     SqEntry *find(SeqNum seq);
 

@@ -98,6 +98,24 @@ class CoherenceFabric
      */
     void dmaInvalidate(Addr line);
 
+    /** Audit access: the hierarchy attached for @p core (nullptr when
+     * out of range). */
+    const CacheHierarchy *
+    attachedHierarchy(CoreId core) const
+    {
+        return core < cores_.size() ? cores_[core] : nullptr;
+    }
+
+    /** Audit access: invoke f(line, owner, sharers) for every line the
+     * directory currently tracks. */
+    template <typename F>
+    void
+    forEachLine(F &&f) const
+    {
+        for (const auto &[line, e] : directory_)
+            f(line, e.owner, e.sharers);
+    }
+
     StatSet &stats() { return stats_; }
 
   private:

@@ -132,6 +132,14 @@ CacheHierarchy::numSystemCores() const
     return fabric_.numCores();
 }
 
+bool
+CacheHierarchy::holdsLine(Addr line) const
+{
+    return l1d_.contains(line) || l1i_.contains(line) ||
+           l2d_.contains(line) || l2i_.contains(line) ||
+           l3_.contains(line);
+}
+
 unsigned
 CacheHierarchy::fetchInst(Addr addr)
 {

@@ -110,6 +110,10 @@ class CacheHierarchy
     /** Number of cores attached to this hierarchy's fabric. */
     unsigned numSystemCores() const;
 
+    /** Audit probe: true when any level caches @p line (no LRU or
+     * stats side effects). */
+    bool holdsLine(Addr line) const;
+
     /** Line size in bytes (uniform across levels). */
     unsigned lineBytes() const { return config_.l1d.lineBytes; }
 

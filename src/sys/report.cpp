@@ -47,6 +47,11 @@ computeMetrics(System &sys, const RunResult &result)
     for (unsigned c = 0; c < sys.numCores(); ++c)
         occ += sys.core(c).stats().getMean("rob_occupancy");
     m.avgRobOccupancy = occ / sys.numCores();
+
+    if (const InvariantAuditor *aud = sys.auditor()) {
+        m.auditChecks = aud->checksPerformed();
+        m.auditViolations = aud->violationCount();
+    }
     return m;
 }
 
@@ -67,6 +72,13 @@ renderReport(System &sys, const RunResult &result, bool include_raw)
     os << "br mispredict rate:" << m.branchMispredictRate << "\n";
     os << "squashes/kinstr:   " << m.squashesPerKiloInstr << "\n";
     os << "avg ROB occupancy: " << m.avgRobOccupancy << "\n";
+
+    if (const InvariantAuditor *aud = sys.auditor()) {
+        os << "audit checks:      " << m.auditChecks << "\n";
+        os << "audit violations:  " << m.auditViolations << "\n";
+        if (aud->violationCount() != 0)
+            os << aud->renderViolations();
+    }
 
     if (include_raw) {
         for (unsigned c = 0; c < sys.numCores(); ++c) {

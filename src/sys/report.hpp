@@ -31,6 +31,10 @@ struct ReportMetrics
     double branchMispredictRate = 0.0; ///< per committed branch
     double squashesPerKiloInstr = 0.0;
     double avgRobOccupancy = 0.0;
+
+    /** Invariant-audit verdict (zeros when auditing is off). */
+    std::uint64_t auditChecks = 0;
+    std::uint64_t auditViolations = 0;
 };
 
 /** Compute derived metrics from a finished system. */

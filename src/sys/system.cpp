@@ -31,6 +31,17 @@ System::System(const SystemConfig &config, const Program &prog)
         cores_.push_back(std::make_unique<OooCore>(
             config.core, prog, *mem_, *hierarchies_[i], i));
     }
+
+    if (config.audit != AuditLevel::Off) {
+        AuditConfig ac;
+        ac.level = config.audit;
+        ac.panicOnViolation = config.auditPanic;
+        auditor_ = std::make_unique<InvariantAuditor>(ac);
+        for (auto &core : cores_) {
+            auditor_->registerCore(core->coreId());
+            core->setAuditor(auditor_.get());
+        }
+    }
 }
 
 void
@@ -46,6 +57,15 @@ System::tick()
     ++now_;
     for (auto &core : cores_)
         core->tick(now_);
+
+    if (auditor_) {
+        if (auditor_->scanDue(now_)) {
+            for (auto &core : cores_)
+                core->auditStructures(*auditor_);
+        }
+        if (auditor_->coherenceScanDue(now_))
+            auditor_->scanCoherence(*fabric_, now_);
+    }
 
     if (config_.dmaInvalidationRate > 0.0 &&
         dmaRng_.chance(config_.dmaInvalidationRate)) {
@@ -83,6 +103,15 @@ System::run()
     result.cycles = now_;
     for (auto &core : cores_)
         result.instructions += core->instructionsCommitted();
+
+    if (auditor_) {
+        // Final structural sweep so short runs (or Sampled level) get
+        // at least one end-state scan.
+        for (auto &core : cores_)
+            core->auditStructures(*auditor_);
+        auditor_->scanCoherence(*fabric_, now_);
+        result.auditViolations = auditor_->violationCount();
+    }
     return result;
 }
 

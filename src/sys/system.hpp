@@ -19,6 +19,7 @@
 #include "mem/coherence.hpp"
 #include "mem/hierarchy.hpp"
 #include "mem/memory_image.hpp"
+#include "verify/auditor.hpp"
 
 namespace vbr
 {
@@ -41,6 +42,13 @@ struct SystemConfig
 
     /** Stop simulation after this many cycles even if not halted. */
     Cycle maxCycles = 200'000'000;
+
+    /** Invariant-audit level (default from the VBR_AUDIT build
+     * option); Off disables the auditor entirely. */
+    AuditLevel audit = kDefaultAuditLevel;
+
+    /** Abort on the first audit violation (tests relax this). */
+    bool auditPanic = true;
 };
 
 /** Result of running a system to completion. */
@@ -50,6 +58,7 @@ struct RunResult
     bool deadlocked = false;
     Cycle cycles = 0;
     std::uint64_t instructions = 0; ///< total committed across cores
+    std::uint64_t auditViolations = 0; ///< invariant-audit failures
 
     double
     ipc() const
@@ -83,6 +92,10 @@ class System
     /** Subscribe a commit observer (e.g. the SC checker) to all cores. */
     void setObserver(CommitObserver *observer);
 
+    /** The invariant auditor, or nullptr when audit == Off. */
+    InvariantAuditor *auditor() { return auditor_.get(); }
+    const InvariantAuditor *auditor() const { return auditor_.get(); }
+
     /** Sum of a named counter across all cores. */
     std::uint64_t totalStat(const std::string &name) const;
 
@@ -92,6 +105,7 @@ class System
     std::unique_ptr<CoherenceFabric> fabric_;
     std::vector<std::unique_ptr<CacheHierarchy>> hierarchies_;
     std::vector<std::unique_ptr<OooCore>> cores_;
+    std::unique_ptr<InvariantAuditor> auditor_;
     Rng dmaRng_;
     Cycle now_ = 0;
 };

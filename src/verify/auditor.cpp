@@ -1,0 +1,426 @@
+#include "verify/auditor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "mem/coherence.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace vbr
+{
+
+const char *
+invariantName(InvariantKind kind)
+{
+    switch (kind) {
+      case InvariantKind::ReplayBeforeStoreDrain:
+        return "replay-before-store-drain";
+      case InvariantKind::ReplayProgramOrder:
+        return "replay-program-order";
+      case InvariantKind::SquashingLoadReplayed:
+        return "squashing-load-replayed";
+      case InvariantKind::ReplayQueueFifo:
+        return "replay-queue-fifo";
+      case InvariantKind::StoreQueueAgeOrder:
+        return "store-queue-age-order";
+      case InvariantKind::StoreDrainOrder:
+        return "store-drain-order";
+      case InvariantKind::LoadCommitPendingReplay:
+        return "load-commit-pending-replay";
+      case InvariantKind::RobAgeOrder:
+        return "rob-age-order";
+      case InvariantKind::CommitSeqOrder:
+        return "commit-seq-order";
+      case InvariantKind::CommitCycleOrder:
+        return "commit-cycle-order";
+      case InvariantKind::SwmrOwnerExclusive:
+        return "swmr-owner-exclusive";
+      case InvariantKind::SwmrStaleCopy:
+        return "swmr-stale-copy";
+    }
+    return "unknown";
+}
+
+std::string
+AuditViolation::format() const
+{
+    std::ostringstream os;
+    os << "audit violation [" << invariantName(kind) << "] cycle "
+       << cycle << " core " << core << " " << structure;
+    if (seq != kNoSeq)
+        os << " seq " << seq;
+    if (other != kNoSeq)
+        os << " (vs seq " << other << ")";
+    os << ": expected " << expected << ", actual " << actual;
+    return os.str();
+}
+
+InvariantAuditor::InvariantAuditor(const AuditConfig &config)
+    : config_(config)
+{
+}
+
+void
+InvariantAuditor::registerCore(CoreId core)
+{
+    state(core);
+}
+
+InvariantAuditor::CoreState &
+InvariantAuditor::state(CoreId core)
+{
+    if (cores_.size() <= core)
+        cores_.resize(core + 1);
+    return cores_[core];
+}
+
+void
+InvariantAuditor::report(AuditViolation violation)
+{
+    ++violationCount_;
+    if (violations_.size() < config_.maxViolations)
+        violations_.push_back(violation);
+    if (config_.panicOnViolation)
+        panic(violation.format());
+    else
+        warn(violation.format());
+}
+
+// ---------------------------------------------------------------------
+// Event checks
+// ---------------------------------------------------------------------
+
+void
+InvariantAuditor::onStoreDispatched(CoreId core, SeqNum seq)
+{
+    CoreState &cs = state(core);
+    check();
+    if (!cs.pendingStores.empty() && cs.pendingStores.back() >= seq) {
+        report({InvariantKind::StoreQueueAgeOrder, 0, core,
+                "store_queue", seq, cs.pendingStores.back(),
+                "dispatch seq above all pending stores",
+                "dispatched out of age order"});
+        return;
+    }
+    cs.pendingStores.push_back(seq);
+}
+
+void
+InvariantAuditor::onStoreDrained(CoreId core, SeqNum seq, Cycle now)
+{
+    CoreState &cs = state(core);
+    check();
+    if (cs.pendingStores.empty()) {
+        report({InvariantKind::StoreDrainOrder, now, core,
+                "store_queue", seq, kNoSeq, "a pending store",
+                "drain with no store outstanding"});
+        return;
+    }
+    if (cs.pendingStores.front() != seq) {
+        std::ostringstream exp;
+        exp << "oldest pending store " << cs.pendingStores.front();
+        report({InvariantKind::StoreDrainOrder, now, core,
+                "store_queue", seq, cs.pendingStores.front(),
+                exp.str(), "younger store drained first"});
+        // Resynchronize: drop everything up to the drained store so
+        // one bug does not cascade into a report per later drain.
+        while (!cs.pendingStores.empty() &&
+               cs.pendingStores.front() <= seq)
+            cs.pendingStores.pop_front();
+        return;
+    }
+    cs.pendingStores.pop_front();
+}
+
+void
+InvariantAuditor::onReplayIssued(CoreId core, SeqNum seq,
+                                 std::uint32_t pc,
+                                 bool value_predicted, bool at_head,
+                                 Cycle now)
+{
+    CoreState &cs = state(core);
+
+    // Paper §3 constraint 1: every prior store must have committed to
+    // the L1 (drained) before a load replays.
+    check();
+    if (!cs.pendingStores.empty() && cs.pendingStores.front() < seq) {
+        std::ostringstream act;
+        act << "store " << cs.pendingStores.front()
+            << " still undrained";
+        report({InvariantKind::ReplayBeforeStoreDrain, now, core,
+                "replay_port", seq, cs.pendingStores.front(),
+                "all prior stores drained", act.str()});
+    }
+
+    // Paper §3 constraint 2: loads replay in program order. Sequence
+    // numbers are never reused, so among loads that coexist in the
+    // window, program order is seq order; squashed replays leave the
+    // mirror via onSquash, so the back is the youngest LIVE replay.
+    // A forced late replay at the ROB head is ordered by position
+    // (every older instruction has committed) and is exempt: a
+    // filtered load can be overtaken by an arming event after younger
+    // loads already replayed.
+    if (!at_head) {
+        check();
+        if (!cs.replayedLoads.empty() &&
+            seq <= cs.replayedLoads.back()) {
+            std::ostringstream exp;
+            exp << "replay seq above " << cs.replayedLoads.back();
+            report({InvariantKind::ReplayProgramOrder, now, core,
+                    "replay_port", seq, cs.replayedLoads.back(),
+                    exp.str(), "out-of-order replay"});
+        } else {
+            cs.replayedLoads.push_back(seq);
+        }
+    }
+
+    // Paper §3 constraint 3: a load whose replay squashed the pipe is
+    // not replayed again after recovery (it re-issues at the window
+    // head, architecturally ordered). Value-predicted loads are the
+    // sanctioned exception: their replay IS the validation.
+    check();
+    // The at-head exemption applies here too: suppression is keyed by
+    // pc, and a DIFFERENT (filtered, non-suppressed) instance of the
+    // same pc may legitimately late-replay while a squash-causing
+    // instance's suppression is still outstanding.
+    if (!value_predicted && !at_head) {
+        auto it = cs.suppressed.find(pc);
+        if (it != cs.suppressed.end() && it->second > 0) {
+            report({InvariantKind::SquashingLoadReplayed, now, core,
+                    "replay_port", seq, kNoSeq,
+                    "no replay while rule-3 suppression active",
+                    "squash-causing load replayed again"});
+        }
+    }
+}
+
+void
+InvariantAuditor::onReplaySquash(CoreId core, SeqNum seq,
+                                 std::uint32_t pc, Cycle now)
+{
+    (void)seq;
+    (void)now;
+    ++state(core).suppressed[pc];
+}
+
+void
+InvariantAuditor::onLoadCommit(CoreId core, SeqNum seq,
+                               std::uint32_t pc, bool replay_issued,
+                               Cycle compare_ready, Cycle now)
+{
+    CoreState &cs = state(core);
+
+    // LSQ discipline: no load commits with a replay still in flight
+    // (its compare-stage verdict must be in).
+    check();
+    if (replay_issued && compare_ready > now) {
+        std::ostringstream act;
+        act << "compare ready at cycle " << compare_ready;
+        report({InvariantKind::LoadCommitPendingReplay, now, core,
+                "replay_queue", seq, kNoSeq,
+                "replay compare complete before commit", act.str()});
+    }
+
+    // Committed loads leave the in-flight replay mirror from the old
+    // end (loads commit in program order).
+    while (!cs.replayedLoads.empty() && cs.replayedLoads.front() <= seq)
+        cs.replayedLoads.pop_front();
+
+    // Mirror the core's rule-3 bookkeeping: one suppressed replay is
+    // consumed per committed load at that pc.
+    auto it = cs.suppressed.find(pc);
+    if (it != cs.suppressed.end()) {
+        if (it->second > 0)
+            --it->second;
+        if (it->second == 0)
+            cs.suppressed.erase(it);
+    }
+}
+
+void
+InvariantAuditor::onSquash(CoreId core, SeqNum bound, Cycle now)
+{
+    (void)now;
+    CoreState &cs = state(core);
+    while (!cs.pendingStores.empty() && cs.pendingStores.back() >= bound)
+        cs.pendingStores.pop_back();
+    while (!cs.replayedLoads.empty() &&
+           cs.replayedLoads.back() >= bound)
+        cs.replayedLoads.pop_back();
+}
+
+void
+InvariantAuditor::onMemCommit(const MemCommitEvent &event)
+{
+    CoreState &cs = state(event.core);
+
+    // ROB age monotonicity at retirement: the commit stream of one
+    // core walks strictly forward in fetch order.
+    check();
+    if (cs.lastCommitSeq != kNoSeq && event.seq <= cs.lastCommitSeq) {
+        std::ostringstream exp;
+        exp << "commit seq above " << cs.lastCommitSeq;
+        report({InvariantKind::CommitSeqOrder, event.commitCycle,
+                event.core, "rob", event.seq, cs.lastCommitSeq,
+                exp.str(), "out-of-order commit"});
+    } else {
+        cs.lastCommitSeq = event.seq;
+    }
+
+    check();
+    if (event.commitCycle < cs.lastCommitCycle) {
+        std::ostringstream exp;
+        exp << "commit cycle >= " << cs.lastCommitCycle;
+        std::ostringstream act;
+        act << "commit cycle " << event.commitCycle;
+        report({InvariantKind::CommitCycleOrder, event.commitCycle,
+                event.core, "rob", event.seq, cs.lastCommitSeq,
+                exp.str(), act.str()});
+    } else {
+        cs.lastCommitCycle = event.commitCycle;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structural scans
+// ---------------------------------------------------------------------
+
+bool
+InvariantAuditor::scanDue(Cycle now) const
+{
+    switch (config_.level) {
+      case AuditLevel::Off:
+        return false;
+      case AuditLevel::Full:
+        return true;
+      case AuditLevel::Sampled:
+        return config_.samplePeriod == 0 ||
+               now % config_.samplePeriod == 0;
+    }
+    return false;
+}
+
+bool
+InvariantAuditor::coherenceScanDue(Cycle now) const
+{
+    if (config_.level == AuditLevel::Off)
+        return false;
+    Cycle period = config_.coherenceScanPeriod;
+    if (config_.level == AuditLevel::Sampled)
+        period = std::max(period, config_.samplePeriod);
+    return period == 0 || now % period == 0;
+}
+
+void
+InvariantAuditor::scanRob(CoreId core, const std::deque<DynInst> &rob,
+                          Cycle now)
+{
+    SeqNum prev = kNoSeq;
+    for (const DynInst &d : rob) {
+        check();
+        if (prev != kNoSeq && d.seq <= prev) {
+            report({InvariantKind::RobAgeOrder, now, core, "rob",
+                    d.seq, prev, "strictly increasing seq",
+                    "age order broken"});
+            return;
+        }
+        prev = d.seq;
+    }
+}
+
+void
+InvariantAuditor::scanReplayQueue(CoreId core, const ReplayQueue &rq,
+                                  Cycle now)
+{
+    SeqNum prev = kNoSeq;
+    for (std::size_t i = 0; i < rq.size(); ++i) {
+        const ReplayQueueEntry &e = rq.at(i);
+        check();
+        if (prev != kNoSeq && e.seq <= prev) {
+            report({InvariantKind::ReplayQueueFifo, now, core,
+                    "replay_queue", e.seq, prev,
+                    "FIFO in program order", "age order broken"});
+            return;
+        }
+        prev = e.seq;
+    }
+}
+
+void
+InvariantAuditor::scanStoreQueue(CoreId core, const StoreQueue &sq,
+                                 Cycle now)
+{
+    SeqNum prev = kNoSeq;
+    for (std::size_t i = 0; i < sq.size(); ++i) {
+        const SqEntry &e = sq.at(i);
+        check();
+        if (prev != kNoSeq && e.seq <= prev) {
+            report({InvariantKind::StoreQueueAgeOrder, now, core,
+                    "store_queue", e.seq, prev,
+                    "strictly increasing seq", "age order broken"});
+            return;
+        }
+        prev = e.seq;
+    }
+}
+
+void
+InvariantAuditor::scanCoherence(const CoherenceFabric &fabric,
+                                Cycle now)
+{
+    const unsigned n = fabric.numCores();
+    fabric.forEachLine([&](Addr line, int owner,
+                           std::uint64_t sharers) {
+        for (CoreId c = 0; c < n; ++c) {
+            const CacheHierarchy *h = fabric.attachedHierarchy(c);
+            bool holds = h && h->holdsLine(line);
+            bool sharer = (sharers >> c) & 1;
+
+            // SWMR: while one core owns a line exclusively, no other
+            // core may hold any copy of it.
+            if (owner >= 0 && static_cast<CoreId>(owner) != c) {
+                check();
+                if (holds || sharer) {
+                    std::ostringstream act;
+                    act << "core " << c
+                        << (holds ? " caches" : " is directory sharer")
+                        << " of line owned by core " << owner;
+                    report({InvariantKind::SwmrOwnerExclusive, now,
+                            static_cast<CoreId>(owner), "directory",
+                            kNoSeq, kNoSeq,
+                            "single writable copy (SWMR)", act.str()});
+                    return;
+                }
+            }
+
+            // A cached copy the directory does not track can never be
+            // invalidated: a stale-value time bomb.
+            check();
+            if (holds && !sharer) {
+                std::ostringstream act;
+                act << "core " << c << " caches line 0x" << std::hex
+                    << line << " without a directory sharer bit";
+                report({InvariantKind::SwmrStaleCopy, now, c,
+                        "directory", kNoSeq, kNoSeq,
+                        "every cached copy directory-tracked",
+                        act.str()});
+                return;
+            }
+        }
+    });
+}
+
+std::string
+InvariantAuditor::renderViolations() const
+{
+    std::ostringstream os;
+    for (const AuditViolation &v : violations_)
+        os << v.format() << "\n";
+    if (violationCount_ > violations_.size())
+        os << "... and " << (violationCount_ - violations_.size())
+           << " more\n";
+    return os.str();
+}
+
+} // namespace vbr

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The invariant-audit layer: an always-on runtime checker that cores,
+ * LSQ structures, and the coherence fabric register with. It keeps an
+ * independent mirror of the facts each invariant needs (pending
+ * stores, last replayed load, rule-3 suppression) built purely from
+ * the event stream, so a bug in the model's own bookkeeping cannot
+ * hide from the audit.
+ *
+ * Two check classes:
+ *  - event checks: O(1) per pipeline event, always on while the
+ *    auditor exists (paper §3 replay constraints, store drain order,
+ *    commit ordering);
+ *  - structural scans: walks of the ROB / replay queue / store queue
+ *    and of the coherence directory, run per cycle (Full) or on a
+ *    sampling period (Sampled).
+ *
+ * The auditor is a CommitObserver sibling of the constraint-graph
+ * checker: both can subscribe to the same retirement stream, and the
+ * auditor's per-structure verdicts localize what the end-to-end
+ * checker can only detect.
+ */
+
+#ifndef VBR_VERIFY_AUDITOR_HPP
+#define VBR_VERIFY_AUDITOR_HPP
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/commit_observer.hpp"
+#include "core/dyn_inst.hpp"
+#include "lsq/replay_queue.hpp"
+#include "lsq/store_queue.hpp"
+#include "verify/invariants.hpp"
+
+namespace vbr
+{
+
+class CoherenceFabric;
+
+/** Auditor behavior knobs. */
+struct AuditConfig
+{
+    AuditLevel level = kDefaultAuditLevel;
+
+    /** Abort (panic) on the first violation. The System default: an
+     * invariant violation is a simulator bug, and dying loudly at the
+     * offending cycle beats a corrupted end-to-end result. Tests that
+     * deliberately inject violations turn this off and inspect the
+     * recorded reports instead. */
+    bool panicOnViolation = true;
+
+    /** Structural-scan period in cycles for Sampled level. */
+    Cycle samplePeriod = 4096;
+
+    /** Coherence-scan period in cycles (directory walks are the
+     * costliest scan; even Full audits them on a short period). */
+    Cycle coherenceScanPeriod = 256;
+
+    /** Keep at most this many violation records. */
+    std::size_t maxViolations = 64;
+};
+
+/** Always-on invariant checker for the value-based replay pipeline. */
+class InvariantAuditor : public CommitObserver
+{
+  public:
+    explicit InvariantAuditor(const AuditConfig &config = {});
+
+    const AuditConfig &config() const { return config_; }
+
+    // --- registration -------------------------------------------------
+
+    /** Register a core (idempotent; cores self-register on the first
+     * event, but explicit registration pins the id range early). */
+    void registerCore(CoreId core);
+
+    // --- event checks (O(1), called from the core) --------------------
+
+    /** A store allocated a store-queue entry at dispatch. */
+    void onStoreDispatched(CoreId core, SeqNum seq);
+
+    /** A store drained to the cache at the commit-stage port. */
+    void onStoreDrained(CoreId core, SeqNum seq, Cycle now);
+
+    /** A load issued its replay through the commit-stage port.
+     * @p at_head marks the sanctioned late replay of the oldest
+     * in-flight instruction (forced by an arming event at the ROB
+     * head): it is architecturally ordered by position, so the
+     * program-order and rule-3 stream checks do not apply to it. */
+    void onReplayIssued(CoreId core, SeqNum seq, std::uint32_t pc,
+                        bool value_predicted, bool at_head, Cycle now);
+
+    /** A replay value mismatch squashed the pipeline at this load. */
+    void onReplaySquash(CoreId core, SeqNum seq, std::uint32_t pc,
+                        Cycle now);
+
+    /** A load retired. @p replay_issued / @p compare_ready describe
+     * its replay state at retirement. */
+    void onLoadCommit(CoreId core, SeqNum seq, std::uint32_t pc,
+                      bool replay_issued, Cycle compare_ready,
+                      Cycle now);
+
+    /** The window was squashed from @p bound (inclusive). */
+    void onSquash(CoreId core, SeqNum bound, Cycle now);
+
+    // CommitObserver: commit-stream ordering checks.
+    void onMemCommit(const MemCommitEvent &event) override;
+
+    // --- structural scans ---------------------------------------------
+
+    /** True when queue scans should run this cycle. */
+    bool scanDue(Cycle now) const;
+
+    /** True when the (costlier) coherence scan should run. */
+    bool coherenceScanDue(Cycle now) const;
+
+    /** ROB ages must be strictly increasing head to tail. */
+    void scanRob(CoreId core, const std::deque<DynInst> &rob,
+                 Cycle now);
+
+    /** Replay queue must be FIFO in program order. */
+    void scanReplayQueue(CoreId core, const ReplayQueue &rq,
+                         Cycle now);
+
+    /** Store queue entries must be age-ordered. */
+    void scanStoreQueue(CoreId core, const StoreQueue &sq, Cycle now);
+
+    /** SWMR: at most one writable copy of any line across the
+     * hierarchy, and no cache copy the directory does not know. */
+    void scanCoherence(const CoherenceFabric &fabric, Cycle now);
+
+    // --- results ------------------------------------------------------
+
+    /** Total individual invariant checks performed. */
+    std::uint64_t checksPerformed() const { return checks_; }
+
+    /** Total violations detected (may exceed violations().size()). */
+    std::uint64_t violationCount() const { return violationCount_; }
+
+    /** The first maxViolations recorded violation reports. */
+    const std::vector<AuditViolation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** Render all recorded violations, one per line. */
+    std::string renderViolations() const;
+
+  private:
+    struct CoreState
+    {
+        /** Dispatched, not yet drained store seqs (age order). */
+        std::deque<SeqNum> pendingStores;
+        /** In-flight loads that have issued a replay, in program
+         * order. Squashes pop the back; commits pop the front — the
+         * back is the youngest surviving replay, which is what the
+         * program-order constraint compares against. */
+        std::deque<SeqNum> replayedLoads;
+        /** Rule-3 suppression mirror: pc -> outstanding count. */
+        std::unordered_map<std::uint32_t, unsigned> suppressed;
+        /** Youngest committed memory operation. */
+        SeqNum lastCommitSeq = kNoSeq;
+        Cycle lastCommitCycle = 0;
+    };
+
+    CoreState &state(CoreId core);
+
+    /** Count a passed/failed check; record and optionally panic. */
+    void report(AuditViolation violation);
+    void check(std::uint64_t n = 1) { checks_ += n; }
+
+    AuditConfig config_;
+    std::vector<CoreState> cores_;
+    std::vector<AuditViolation> violations_;
+    std::uint64_t violationCount_ = 0;
+    std::uint64_t checks_ = 0;
+};
+
+} // namespace vbr
+
+#endif // VBR_VERIFY_AUDITOR_HPP

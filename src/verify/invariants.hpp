@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Invariant catalog for the always-on audit layer. Each kind names one
+ * small per-structure correctness property of the value-based replay
+ * pipeline (paper §3), the LSQ discipline, the ROB, or the coherence
+ * hierarchy. Decomposing consistency verification into per-structure
+ * invariants (after QED / operational I²E checking) localizes a bug to
+ * the offending stage instead of leaving it to the end-to-end
+ * constraint-graph verdict.
+ */
+
+#ifndef VBR_VERIFY_INVARIANTS_HPP
+#define VBR_VERIFY_INVARIANTS_HPP
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace vbr
+{
+
+/** How aggressively the auditor runs its structural scans. */
+enum class AuditLevel
+{
+    /** No auditor at all: zero cost. */
+    Off = 0,
+
+    /** Event-driven O(1) checks on every event; structural scans on a
+     * coarse sampling period (release-friendly default). */
+    Sampled = 1,
+
+    /** Event-driven checks plus queue scans every cycle and coherence
+     * scans on a short period (debug). */
+    Full = 2,
+};
+
+// The build injects a default via the VBR_AUDIT CMake option
+// (off|sampled|full -> 0|1|2); "sampled" when unset.
+#ifndef VBR_AUDIT_LEVEL
+#define VBR_AUDIT_LEVEL 1
+#endif
+
+/** Compile-time default audit level for new SystemConfigs. */
+inline constexpr AuditLevel kDefaultAuditLevel =
+    static_cast<AuditLevel>(VBR_AUDIT_LEVEL);
+
+/** The audited invariant classes. */
+enum class InvariantKind
+{
+    // Paper §3 replay-stage constraints.
+    ReplayBeforeStoreDrain, ///< C1: prior stores in L1 before replay
+    ReplayProgramOrder,     ///< C2: loads replay in program order
+    SquashingLoadReplayed,  ///< C3: squash-causing load replayed again
+
+    // LSQ discipline.
+    ReplayQueueFifo,        ///< replay queue is FIFO in program order
+    StoreQueueAgeOrder,     ///< store queue entries age-ordered
+    StoreDrainOrder,        ///< stores drain oldest-first
+    LoadCommitPendingReplay,///< load committed with replay in flight
+
+    // Window discipline.
+    RobAgeOrder,            ///< ROB sequence numbers monotone
+    CommitSeqOrder,         ///< per-core commits in age order
+    CommitCycleOrder,       ///< per-core commit cycles non-decreasing
+
+    // Coherence hierarchy.
+    SwmrOwnerExclusive,     ///< >1 copy of an exclusively-owned line
+    SwmrStaleCopy,          ///< cache holds a line the directory lost
+};
+
+/** Stable short name of an invariant kind (for reports and tests). */
+const char *invariantName(InvariantKind kind);
+
+/**
+ * One detected violation: everything needed to localize the bug to a
+ * cycle, core, structure, and the instruction(s) involved.
+ */
+struct AuditViolation
+{
+    InvariantKind kind = InvariantKind::RobAgeOrder;
+    Cycle cycle = 0;
+    CoreId core = 0;
+    const char *structure = ""; ///< e.g. "replay_queue", "directory"
+    SeqNum seq = kNoSeq;        ///< primary instruction involved
+    SeqNum other = kNoSeq;      ///< second instruction, if relevant
+    std::string expected;
+    std::string actual;
+
+    /** Render a one-line human-readable report. */
+    std::string format() const;
+};
+
+} // namespace vbr
+
+#endif // VBR_VERIFY_INVARIANTS_HPP

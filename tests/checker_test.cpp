@@ -214,6 +214,69 @@ TEST(CheckerTest, OverflowIsReported)
     EXPECT_EQ(r.nodes, 2u);
 }
 
+TEST(CheckerTest, OverflowKeepsConsistentPrefixVerdict)
+{
+    // The verdict is partial, not vacuous: a clean prefix still
+    // checks out as consistent alongside overflowed=true.
+    ScChecker checker(/*max_ops=*/2);
+    checker.onMemCommit(write(0, 1, A, 1, 1));
+    checker.onMemCommit(read(0, 2, A, 1, 1));
+    checker.onMemCommit(write(0, 3, A, 2, 2)); // dropped
+    CheckResult r = checker.check();
+    EXPECT_TRUE(r.overflowed);
+    EXPECT_TRUE(r.consistent) << r.summary();
+    EXPECT_EQ(r.nodes, 2u);
+}
+
+TEST(CheckerTest, OverflowStillDetectsViolationInPrefix)
+{
+    // A violation inside the recorded prefix must not be masked by
+    // the budget overflow.
+    ScChecker checker(/*max_ops=*/2);
+    checker.onMemCommit(write(0, 1, A, 7, 1));
+    checker.onMemCommit(read(1, 1, A, 8, 1)); // wrong value for v1
+    checker.onMemCommit(write(0, 2, A, 9, 2)); // dropped
+    CheckResult r = checker.check();
+    EXPECT_TRUE(r.overflowed);
+    EXPECT_FALSE(r.consistent);
+}
+
+TEST(CheckerTest, OverflowAppearsInSummary)
+{
+    ScChecker checker(/*max_ops=*/1);
+    checker.onMemCommit(write(0, 1, A, 1, 1));
+    checker.onMemCommit(write(0, 2, A, 2, 2)); // dropped
+    CheckResult r = checker.check();
+    EXPECT_NE(r.summary().find("overflowed"), std::string::npos);
+}
+
+TEST(CheckerTest, ResetClearsOverflow)
+{
+    ScChecker checker(/*max_ops=*/1);
+    checker.onMemCommit(write(0, 1, A, 1, 1));
+    checker.onMemCommit(write(0, 2, A, 2, 2)); // overflow
+    EXPECT_TRUE(checker.check().overflowed);
+    checker.reset();
+    checker.onMemCommit(write(0, 3, A, 1, 1));
+    CheckResult r = checker.check();
+    EXPECT_FALSE(r.overflowed);
+    EXPECT_TRUE(r.consistent);
+}
+
+TEST(CheckerTest, ReadWithNoRecordedWriterIsAnErrorNotACrash)
+{
+    // A read claiming version 1 of a word nobody ever wrote must land
+    // in the structured error path (this used to walk off the end
+    // iterator of the writers map).
+    ScChecker checker;
+    checker.onMemCommit(read(0, 1, A, 5, 1));
+    CheckResult r = checker.check();
+    EXPECT_FALSE(r.consistent);
+    ASSERT_FALSE(r.errors.empty());
+    EXPECT_NE(r.errors[0].find("no recorded writer"),
+              std::string::npos);
+}
+
 TEST(CheckerTest, ResetForgetsEverything)
 {
     ScChecker checker;

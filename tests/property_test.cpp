@@ -251,6 +251,7 @@ TEST(FilterEquivalence, AllLegalFiltersCommitSameResults)
         f.noRecentMiss = bits & 2;
         f.noRecentSnoop = bits & 4;
         f.noUnresolvedStore = bits & 8;
+        f.allowPartialCoverage = true; // sweep all 16 on purpose
 
         SystemConfig cfg;
         cfg.core = CoreConfig::valueReplay(f);

@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Tests for the invariant-audit layer: every auditable invariant
+ * class must actually fire when its invariant is broken (injected
+ * violations with panic disabled), the mirror must tolerate the legal
+ * reorderings (squash rollback, at-head late replays, value-predicted
+ * validation replays), and whole systems running real workloads and
+ * litmus programs under a Full audit must report zero violations.
+ * Replay-filter configuration validation rides along.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/dyn_inst.hpp"
+#include "lsq/replay_filters.hpp"
+#include "lsq/replay_queue.hpp"
+#include "lsq/store_queue.hpp"
+#include "mem/coherence.hpp"
+#include "mem/hierarchy.hpp"
+#include "sys/report.hpp"
+#include "sys/system.hpp"
+#include "verify/auditor.hpp"
+#include "workload/litmus.hpp"
+#include "workload/synthetic.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+AuditConfig
+quietConfig()
+{
+    AuditConfig c;
+    c.level = AuditLevel::Full;
+    c.panicOnViolation = false;
+    return c;
+}
+
+bool
+sawKind(const InvariantAuditor &aud, InvariantKind kind)
+{
+    for (const AuditViolation &v : aud.violations())
+        if (v.kind == kind)
+            return true;
+    return false;
+}
+
+// --- event-check injections -------------------------------------------
+
+TEST(AuditorTest, CleanEventStreamHasNoViolations)
+{
+    InvariantAuditor aud(quietConfig());
+    aud.onStoreDispatched(0, 1);
+    aud.onStoreDispatched(0, 4);
+    aud.onStoreDrained(0, 1, 10);
+    aud.onStoreDrained(0, 4, 11);
+    aud.onReplayIssued(0, 5, 0x40, false, false, 12);
+    aud.onReplayIssued(0, 6, 0x44, false, false, 13);
+    aud.onLoadCommit(0, 5, 0x40, true, 13, 14);
+    aud.onLoadCommit(0, 6, 0x44, true, 14, 15);
+    EXPECT_EQ(aud.violationCount(), 0u);
+    EXPECT_GT(aud.checksPerformed(), 0u);
+}
+
+TEST(AuditorTest, ReplayWithUndrainedOlderStoreFires)
+{
+    // Paper §3 constraint 1.
+    InvariantAuditor aud(quietConfig());
+    aud.onStoreDispatched(0, 5);
+    aud.onReplayIssued(0, 7, 0x40, false, false, 20);
+    EXPECT_TRUE(sawKind(aud, InvariantKind::ReplayBeforeStoreDrain));
+}
+
+TEST(AuditorTest, OutOfOrderReplayFires)
+{
+    // Paper §3 constraint 2.
+    InvariantAuditor aud(quietConfig());
+    aud.onReplayIssued(0, 10, 0x40, false, false, 20);
+    aud.onReplayIssued(0, 9, 0x44, false, false, 21);
+    EXPECT_TRUE(sawKind(aud, InvariantKind::ReplayProgramOrder));
+}
+
+TEST(AuditorTest, SquashRollsBackReplayOrderMirror)
+{
+    // A squashed replay must not poison the program-order check: the
+    // refetched stream legitimately replays older-than-the-squashed
+    // seqs... which do not exist (seqs are never reused), but loads
+    // OLDER than the squash bound may still replay afterwards.
+    InvariantAuditor aud(quietConfig());
+    aud.onReplayIssued(0, 10, 0x40, false, false, 20);
+    aud.onSquash(0, 10, 21);
+    aud.onReplayIssued(0, 9, 0x44, false, false, 22);
+    EXPECT_EQ(aud.violationCount(), 0u);
+}
+
+TEST(AuditorTest, AtHeadLateReplayIsExemptFromProgramOrder)
+{
+    // A filtered load overtaken by an arming event replays at the ROB
+    // head after younger loads already replayed; ordered by position.
+    InvariantAuditor aud(quietConfig());
+    aud.onReplayIssued(0, 10, 0x40, false, false, 20);
+    aud.onReplayIssued(0, 8, 0x44, false, true, 21);
+    EXPECT_EQ(aud.violationCount(), 0u);
+}
+
+TEST(AuditorTest, SuppressedLoadReplayFires)
+{
+    // Paper §3 constraint 3 (rule-3 forward progress).
+    InvariantAuditor aud(quietConfig());
+    aud.onReplaySquash(0, 10, 0x40, 20);
+    aud.onReplayIssued(0, 15, 0x40, false, false, 30);
+    EXPECT_TRUE(sawKind(aud, InvariantKind::SquashingLoadReplayed));
+}
+
+TEST(AuditorTest, ValuePredictedReplayIsExemptFromRule3)
+{
+    // A value-predicted load's replay IS its validation: sanctioned
+    // even while suppression for its pc is outstanding.
+    InvariantAuditor aud(quietConfig());
+    aud.onReplaySquash(0, 10, 0x40, 20);
+    aud.onReplayIssued(0, 15, 0x40, true, false, 30);
+    EXPECT_EQ(aud.violationCount(), 0u);
+}
+
+TEST(AuditorTest, CommittedLoadConsumesSuppression)
+{
+    InvariantAuditor aud(quietConfig());
+    aud.onReplaySquash(0, 10, 0x40, 20);
+    aud.onLoadCommit(0, 15, 0x40, false, 0, 30);
+    aud.onReplayIssued(0, 18, 0x40, false, false, 40);
+    EXPECT_EQ(aud.violationCount(), 0u);
+}
+
+TEST(AuditorTest, OutOfOrderStoreDrainFires)
+{
+    InvariantAuditor aud(quietConfig());
+    aud.onStoreDispatched(0, 3);
+    aud.onStoreDispatched(0, 5);
+    aud.onStoreDrained(0, 5, 10);
+    EXPECT_TRUE(sawKind(aud, InvariantKind::StoreDrainOrder));
+}
+
+TEST(AuditorTest, DrainWithoutDispatchFires)
+{
+    InvariantAuditor aud(quietConfig());
+    aud.onStoreDrained(0, 5, 10);
+    EXPECT_TRUE(sawKind(aud, InvariantKind::StoreDrainOrder));
+}
+
+TEST(AuditorTest, SquashedStoreNeverDrainsAndMirrorAgrees)
+{
+    InvariantAuditor aud(quietConfig());
+    aud.onStoreDispatched(0, 3);
+    aud.onStoreDispatched(0, 7);
+    aud.onSquash(0, 5, 9); // store 7 squashed
+    aud.onStoreDrained(0, 3, 10);
+    EXPECT_EQ(aud.violationCount(), 0u);
+}
+
+TEST(AuditorTest, LoadCommitWithPendingReplayFires)
+{
+    InvariantAuditor aud(quietConfig());
+    aud.onLoadCommit(0, 5, 0x40, true, /*compare_ready=*/100,
+                     /*now=*/50);
+    EXPECT_TRUE(sawKind(aud, InvariantKind::LoadCommitPendingReplay));
+}
+
+TEST(AuditorTest, OutOfOrderCommitSeqFires)
+{
+    InvariantAuditor aud(quietConfig());
+    MemCommitEvent a;
+    a.core = 0;
+    a.seq = 5;
+    a.commitCycle = 100;
+    aud.onMemCommit(a);
+    MemCommitEvent b = a;
+    b.seq = 3;
+    b.commitCycle = 101;
+    aud.onMemCommit(b);
+    EXPECT_TRUE(sawKind(aud, InvariantKind::CommitSeqOrder));
+}
+
+TEST(AuditorTest, BackwardsCommitCycleFires)
+{
+    InvariantAuditor aud(quietConfig());
+    MemCommitEvent a;
+    a.core = 0;
+    a.seq = 5;
+    a.commitCycle = 100;
+    aud.onMemCommit(a);
+    MemCommitEvent b = a;
+    b.seq = 6;
+    b.commitCycle = 90;
+    aud.onMemCommit(b);
+    EXPECT_TRUE(sawKind(aud, InvariantKind::CommitCycleOrder));
+}
+
+TEST(AuditorTest, CoresAreIndependent)
+{
+    InvariantAuditor aud(quietConfig());
+    aud.onStoreDispatched(0, 5);
+    aud.onReplayIssued(1, 7, 0x40, false, false, 20);
+    EXPECT_EQ(aud.violationCount(), 0u);
+}
+
+// --- structural-scan injections ---------------------------------------
+
+TEST(AuditorTest, CorruptedReplayQueueFifoFires)
+{
+    InvariantAuditor aud(quietConfig());
+    ReplayQueue rq(8);
+    rq.dispatch(1, 0x40, 8);
+    rq.dispatch(2, 0x44, 8);
+    rq.dispatch(3, 0x48, 8);
+    aud.scanReplayQueue(0, rq, 10);
+    EXPECT_EQ(aud.violationCount(), 0u);
+
+    rq.testOnlyCorruptSeq(1, 0); // middle entry now older than head
+    aud.scanReplayQueue(0, rq, 11);
+    EXPECT_TRUE(sawKind(aud, InvariantKind::ReplayQueueFifo));
+}
+
+TEST(AuditorTest, OutOfAgeOrderStoreQueueFires)
+{
+    InvariantAuditor aud(quietConfig());
+    StoreQueue sq(8);
+    sq.dispatch(5, 0x40, 8);
+    sq.dispatch(3, 0x44, 8); // younger position, older seq
+    aud.scanStoreQueue(0, sq, 10);
+    EXPECT_TRUE(sawKind(aud, InvariantKind::StoreQueueAgeOrder));
+}
+
+TEST(AuditorTest, OutOfOrderRobFires)
+{
+    InvariantAuditor aud(quietConfig());
+    std::deque<DynInst> rob;
+    DynInst a;
+    a.seq = 5;
+    DynInst b;
+    b.seq = 4;
+    rob.push_back(a);
+    rob.push_back(b);
+    aud.scanRob(0, rob, 10);
+    EXPECT_TRUE(sawKind(aud, InvariantKind::RobAgeOrder));
+}
+
+TEST(AuditorTest, SwmrOwnerExclusivityViolationFires)
+{
+    InvariantAuditor aud(quietConfig());
+    FabricConfig fc;
+    CoherenceFabric fabric(fc);
+    HierarchyConfig hc;
+    CacheHierarchy h0(hc, 0, fabric);
+    CacheHierarchy h1(hc, 1, fabric);
+
+    const Addr line = 0x1000;
+    fabric.ownLine(0, line); // core 0 exclusive
+    aud.scanCoherence(fabric, 10);
+    EXPECT_EQ(aud.violationCount(), 0u);
+
+    // Inject: core 1 acquires a copy behind the protocol's back.
+    h1.warmLine(line);
+    aud.scanCoherence(fabric, 11);
+    EXPECT_TRUE(sawKind(aud, InvariantKind::SwmrOwnerExclusive));
+}
+
+TEST(AuditorTest, UntrackedCachedCopyFires)
+{
+    InvariantAuditor aud(quietConfig());
+    FabricConfig fc;
+    CoherenceFabric fabric(fc);
+    HierarchyConfig hc;
+    CacheHierarchy h0(hc, 0, fabric);
+    CacheHierarchy h1(hc, 1, fabric);
+
+    const Addr line = 0x2000;
+    h0.warmLine(line);
+    h1.warmLine(line);
+    aud.scanCoherence(fabric, 10);
+    EXPECT_EQ(aud.violationCount(), 0u);
+
+    // Inject: the directory forgets core 1's copy while its caches
+    // keep it (a stale-value time bomb — no invalidation can reach
+    // it). The line stays tracked through core 0's sharer bit.
+    fabric.evictLine(1, line);
+    aud.scanCoherence(fabric, 11);
+    EXPECT_TRUE(sawKind(aud, InvariantKind::SwmrStaleCopy));
+}
+
+// --- reporting --------------------------------------------------------
+
+TEST(AuditorTest, ViolationRecordsAreBoundedButCounted)
+{
+    AuditConfig cfg = quietConfig();
+    cfg.maxViolations = 1;
+    InvariantAuditor aud(cfg);
+    aud.onStoreDrained(0, 5, 10); // violation 1
+    aud.onStoreDrained(0, 6, 11); // violation 2 (counted, not kept)
+    EXPECT_EQ(aud.violationCount(), 2u);
+    EXPECT_EQ(aud.violations().size(), 1u);
+    EXPECT_NE(aud.renderViolations().find("more"), std::string::npos);
+}
+
+TEST(AuditorTest, RenderedViolationNamesTheInvariant)
+{
+    InvariantAuditor aud(quietConfig());
+    aud.onStoreDrained(0, 5, 10);
+    EXPECT_NE(aud.renderViolations().find("store-drain-order"),
+              std::string::npos);
+    EXPECT_NE(aud.renderViolations().find("seq 5"), std::string::npos);
+}
+
+// --- scan scheduling --------------------------------------------------
+
+TEST(AuditorTest, FullLevelScansEveryCycle)
+{
+    InvariantAuditor aud(quietConfig());
+    EXPECT_TRUE(aud.scanDue(1));
+    EXPECT_TRUE(aud.scanDue(2));
+}
+
+TEST(AuditorTest, SampledLevelScansOnPeriod)
+{
+    AuditConfig cfg = quietConfig();
+    cfg.level = AuditLevel::Sampled;
+    cfg.samplePeriod = 64;
+    InvariantAuditor aud(cfg);
+    EXPECT_FALSE(aud.scanDue(63));
+    EXPECT_TRUE(aud.scanDue(64));
+    EXPECT_FALSE(aud.scanDue(65));
+}
+
+TEST(AuditorTest, OffLevelNeverScans)
+{
+    AuditConfig cfg = quietConfig();
+    cfg.level = AuditLevel::Off;
+    InvariantAuditor aud(cfg);
+    EXPECT_FALSE(aud.scanDue(64));
+    EXPECT_FALSE(aud.coherenceScanDue(256));
+}
+
+// --- whole-system audits ----------------------------------------------
+
+TEST(AuditSystemTest, UniprocessorWorkloadFullAuditIsClean)
+{
+    WorkloadSpec spec = uniprocessorWorkload("gcc", 0.1);
+    Program prog = makeSynthetic(spec.params);
+    SystemConfig cfg;
+    cfg.core =
+        CoreConfig::valueReplay(ReplayFilterConfig::replayAll());
+    cfg.audit = AuditLevel::Full;
+    System sys(cfg, prog);
+    RunResult r = sys.run();
+    ASSERT_TRUE(r.allHalted);
+    EXPECT_EQ(r.auditViolations, 0u);
+    ASSERT_NE(sys.auditor(), nullptr);
+    EXPECT_GT(sys.auditor()->checksPerformed(), 0u);
+}
+
+TEST(AuditSystemTest, MultiprocessorLitmusFullAuditIsClean)
+{
+    Program prog = makeLoadBuffering(200);
+    SystemConfig cfg;
+    cfg.cores = 2;
+    cfg.core = CoreConfig::valueReplay(
+        ReplayFilterConfig::recentSnoopPlusNus());
+    cfg.audit = AuditLevel::Full;
+    System sys(cfg, prog);
+    RunResult r = sys.run();
+    ASSERT_TRUE(r.allHalted);
+    EXPECT_EQ(r.auditViolations, 0u);
+}
+
+TEST(AuditSystemTest, AuditOffBuildsNoAuditor)
+{
+    Program prog = makeLoadBuffering(10);
+    SystemConfig cfg;
+    cfg.cores = 2;
+    cfg.audit = AuditLevel::Off;
+    System sys(cfg, prog);
+    EXPECT_EQ(sys.auditor(), nullptr);
+}
+
+TEST(AuditSystemTest, ReportIncludesAuditSection)
+{
+    WorkloadSpec spec = uniprocessorWorkload("gzip", 0.03);
+    Program prog = makeSynthetic(spec.params);
+    SystemConfig cfg;
+    cfg.core =
+        CoreConfig::valueReplay(ReplayFilterConfig::replayAll());
+    cfg.audit = AuditLevel::Sampled;
+    System sys(cfg, prog);
+    RunResult r = sys.run();
+    ASSERT_TRUE(r.allHalted);
+    ReportMetrics m = computeMetrics(sys, r);
+    EXPECT_GT(m.auditChecks, 0u);
+    EXPECT_EQ(m.auditViolations, 0u);
+    EXPECT_NE(renderReport(sys, r).find("audit checks"),
+              std::string::npos);
+}
+
+// --- replay-filter configuration validation ---------------------------
+
+TEST(FilterValidationTest, PaperConfigurationsAreValid)
+{
+    EXPECT_EQ(ReplayFilterConfig::replayAll().validationError(), "");
+    EXPECT_EQ(ReplayFilterConfig::noReorderOnly().validationError(),
+              "");
+    EXPECT_EQ(
+        ReplayFilterConfig::recentMissPlusNus().validationError(), "");
+    EXPECT_EQ(
+        ReplayFilterConfig::recentSnoopPlusNus().validationError(),
+        "");
+    EXPECT_EQ(
+        ReplayFilterConfig::weakOrderingPlusNus().validationError(),
+        "");
+}
+
+TEST(FilterValidationTest, SchedulerSemanticsWithoutNoReorderRejected)
+{
+    ReplayFilterConfig f;
+    f.noReorderSchedulerSemantics = true;
+    f.noUnresolvedStore = true;
+    f.noRecentSnoop = true;
+    EXPECT_NE(f.validationError(), "");
+}
+
+TEST(FilterValidationTest, WeakOrderingMixedWithScFiltersRejected)
+{
+    ReplayFilterConfig f = ReplayFilterConfig::weakOrderingPlusNus();
+    f.noRecentMiss = true;
+    EXPECT_NE(f.validationError(), "");
+    // The contradiction is rejected even for deliberate sweeps.
+    f.allowPartialCoverage = true;
+    EXPECT_NE(f.validationError(), "");
+}
+
+TEST(FilterValidationTest, PartialCoverageNeedsOptIn)
+{
+    ReplayFilterConfig f;
+    f.noUnresolvedStore = true; // RAW axis only
+    EXPECT_NE(f.validationError(), "");
+    f.allowPartialCoverage = true;
+    EXPECT_EQ(f.validationError(), "");
+}
+
+TEST(FilterValidationDeathTest, ContradictoryConfigDiesAtCoreBuild)
+{
+    ReplayFilterConfig f;
+    f.noReorderSchedulerSemantics = true;
+    EXPECT_DEATH(f.validate(),
+                 "invalid replay-filter configuration");
+}
+
+} // namespace
+} // namespace vbr

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Repo-specific static checks the compilers don't enforce.
+
+Checks, over src/, tests/, bench/, examples/:
+
+  1. no naked `new` / `delete` — ownership lives in containers and
+     std::unique_ptr (std::make_unique) everywhere in this codebase;
+  2. every src/**/x.cpp includes its own header ("<dir>/x.hpp") as its
+     FIRST include, which proves each header is self-contained;
+  3. no `using namespace std;`.
+
+Usage: tools/lint.py [repo-root]
+Exits nonzero if any finding is reported.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+
+# `new` as an allocating expression: preceded by start/space/paren/
+# comma/=, not part of an identifier. make_unique and words like
+# "renewed" don't match; comment lines are stripped before matching.
+NAKED_NEW_RE = re.compile(r"(?:^|[\s(,=])(new|delete)\b(?!\w)")
+USING_STD_RE = re.compile(r"^\s*using\s+namespace\s+std\s*;")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+["<]([^">]+)[">]')
+
+
+def strip_comments(text: str) -> str:
+    """Remove // and /* */ comments and string literals (good enough
+    for lint purposes; raw strings are not used in this repo)."""
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    text = re.sub(r'"(?:[^"\\\n]|\\.)*"', '""', text)
+    text = re.sub(r"'(?:[^'\\\n]|\\.)*'", "''", text)
+    return text
+
+
+def check_naked_new(path: Path, findings: list) -> None:
+    for lineno, line in enumerate(
+            strip_comments(path.read_text()).splitlines(), 1):
+        m = NAKED_NEW_RE.search(line)
+        if m:
+            findings.append(
+                f"{path}:{lineno}: naked `{m.group(1)}` — use "
+                "containers or std::make_unique")
+
+
+def check_using_std(path: Path, findings: list) -> None:
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if USING_STD_RE.match(line):
+            findings.append(
+                f"{path}:{lineno}: `using namespace std;` is banned")
+
+
+def check_self_include(root: Path, path: Path, findings: list) -> None:
+    """src/**/x.cpp must include "<dir>/x.hpp" first (if it exists)."""
+    own = path.with_suffix(".hpp")
+    if not own.exists():
+        return
+    expected = own.relative_to(root / "src").as_posix()
+    for line in path.read_text().splitlines():
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        if m.group(1) != expected:
+            findings.append(
+                f"{path}: first include is \"{m.group(1)}\", "
+                f"expected own header \"{expected}\" (self-"
+                "containment check)")
+        return
+    findings.append(f"{path}: no includes at all?")
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    findings = []
+    for dirname in SOURCE_DIRS:
+        base = root / dirname
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".cpp", ".hpp"):
+                continue
+            check_naked_new(path, findings)
+            check_using_std(path, findings)
+            if path.suffix == ".cpp" and dirname == "src":
+                check_self_include(root, path, findings)
+    for f in findings:
+        print(f)
+    print(f"lint: {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
