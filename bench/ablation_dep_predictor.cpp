@@ -40,12 +40,30 @@ main()
     table.header({"workload", "base+storeset", "base+simple",
                   "replay+simple", "replay+storeset"});
 
+    const std::vector<MachineConfig> machines{base_ss, base_simple,
+                                             vbr_simple, vbr_ss};
+
+    JobList jobs;
+    std::vector<std::string> names;
     for (const auto &wl : uniprocessorSuite(scale)) {
-        table.row({wl.name,
-                   TextTable::fmt(runUni(wl, base_ss).ipc, 3),
-                   TextTable::fmt(runUni(wl, base_simple).ipc, 3),
-                   TextTable::fmt(runUni(wl, vbr_simple).ipc, 3),
-                   TextTable::fmt(runUni(wl, vbr_ss).ipc, 3)});
+        names.push_back(wl.name);
+        for (const auto &m : machines)
+            jobs.uni(wl, m);
+    }
+
+    std::vector<RunStats> results = jobs.run();
+
+    BenchReport rep("ablation_dep_predictor");
+    rep.meta("scale", scale);
+    for (const RunStats &s : results)
+        rep.addRun(s);
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row{names[w]};
+        for (std::size_t m = 0; m < machines.size(); ++m)
+            row.push_back(TextTable::fmt(
+                results[w * machines.size() + m].ipc, 3));
+        table.row(row);
     }
 
     std::printf("%s\n", table.render().c_str());
@@ -53,5 +71,6 @@ main()
                 "(degenerate), since replay cannot name the "
                 "conflicting store — exactly the paper's argument for "
                 "using the simple predictor.\n");
+    rep.write();
     return 0;
 }

@@ -25,22 +25,42 @@ main()
     table.header({"workload", "base+prefetch", "base, no prefetch",
                   "replay+prefetch", "replay, no prefetch"});
 
+    MachineConfig base_on = baselineConfig();
+    MachineConfig base_off = baselineConfig();
+    base_off.name = "baseline-noprefetch"; // distinct in the JSON rows
+    base_off.core.exclusiveStorePrefetch = false;
+
+    MachineConfig vbr_on{
+        "v", CoreConfig::valueReplay(
+                 ReplayFilterConfig::recentSnoopPlusNus())};
+    MachineConfig vbr_off = vbr_on;
+    vbr_off.name = "v-noprefetch";
+    vbr_off.core.exclusiveStorePrefetch = false;
+
+    const std::vector<MachineConfig> machines{base_on, base_off,
+                                             vbr_on, vbr_off};
+
+    JobList jobs;
+    std::vector<std::string> names;
     for (const auto &wl : uniprocessorSuite(scale)) {
-        MachineConfig base_on = baselineConfig();
-        MachineConfig base_off = baselineConfig();
-        base_off.core.exclusiveStorePrefetch = false;
+        names.push_back(wl.name);
+        for (const auto &m : machines)
+            jobs.uni(wl, m);
+    }
 
-        MachineConfig vbr_on{
-            "v", CoreConfig::valueReplay(
-                     ReplayFilterConfig::recentSnoopPlusNus())};
-        MachineConfig vbr_off = vbr_on;
-        vbr_off.core.exclusiveStorePrefetch = false;
+    std::vector<RunStats> results = jobs.run();
 
-        table.row({wl.name,
-                   TextTable::fmt(runUni(wl, base_on).ipc, 3),
-                   TextTable::fmt(runUni(wl, base_off).ipc, 3),
-                   TextTable::fmt(runUni(wl, vbr_on).ipc, 3),
-                   TextTable::fmt(runUni(wl, vbr_off).ipc, 3)});
+    BenchReport rep("ablation_store_prefetch");
+    rep.meta("scale", scale);
+    for (const RunStats &s : results)
+        rep.addRun(s);
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row{names[w]};
+        for (std::size_t m = 0; m < machines.size(); ++m)
+            row.push_back(TextTable::fmt(
+                results[w * machines.size() + m].ipc, 3));
+        table.row(row);
     }
 
     std::printf("%s\n", table.render().c_str());
@@ -48,5 +68,6 @@ main()
                 "loads wait for ALL prior stores to drain, so a "
                 "store's ownership miss also delays every younger "
                 "load's replay\n");
+    rep.write();
     return 0;
 }

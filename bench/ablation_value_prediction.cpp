@@ -13,6 +13,21 @@
 using namespace vbr;
 using namespace vbr::bench;
 
+namespace
+{
+
+/** One sweep cell: the shared RunStats plus the VP-only counters
+ * (zero for the non-VP runs). */
+struct Cell
+{
+    RunStats stats;
+    std::uint64_t predicted = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t vpSquashes = 0;
+};
+
+} // namespace
+
 int
 main()
 {
@@ -33,30 +48,62 @@ main()
     table.header({"workload", "ipc", "ipc+vp", "delta", "predicted",
                   "committed", "vp_squashes"});
 
+    // Jobs alternate (base, vp) per workload; the VP run needs raw
+    // counters on top of RunStats, so this sweep uses SweepRunner
+    // directly with its own cell type.
+    std::vector<std::function<Cell()>> jobs;
+    std::vector<std::string> names;
     for (const auto &wl : uniprocessorSuite(scale)) {
-        RunStats base = runUni(wl, off);
+        names.push_back(wl.name);
+        jobs.push_back([wl, off] { return Cell{runUni(wl, off)}; });
+        jobs.push_back([wl, on] {
+            Program prog = makeSynthetic(wl.params);
+            SystemConfig cfg;
+            cfg.core = on.core;
+            System sys(cfg, prog);
+            RunResult r = sys.run();
+            if (!r.allHalted)
+                fatal("VP run did not halt: " + wl.name);
+            Cell c;
+            c.stats = collectRunStats(sys, r, wl.name, on.name);
+            c.predicted = sys.totalStat("loads_value_predicted");
+            c.committed =
+                sys.totalStat("value_predictions_committed");
+            c.vpSquashes = sys.totalStat("squashes_replay_mismatch");
+            return c;
+        });
+    }
 
-        Program prog = makeSynthetic(wl.params);
-        SystemConfig cfg;
-        cfg.core = on.core;
-        System sys(cfg, prog);
-        RunResult r = sys.run();
-        if (!r.allHalted)
-            fatal("VP run did not halt: " + wl.name);
-        const StatSet &s = sys.core(0).stats();
+    SweepRunner runner;
+    std::vector<Cell> results = runner.run(std::move(jobs));
 
-        table.row({wl.name, TextTable::fmt(base.ipc, 3),
-                   TextTable::fmt(r.ipc(), 3),
-                   TextTable::pct(r.ipc() / base.ipc - 1.0, 1),
-                   std::to_string(s.get("loads_value_predicted")),
-                   std::to_string(
-                       s.get("value_predictions_committed")),
-                   std::to_string(s.get("squashes_replay_mismatch"))});
+    BenchReport rep("ablation_value_prediction");
+    rep.meta("scale", scale);
+    for (const Cell &c : results) {
+        JsonValue row = runStatsToJson(c.stats);
+        if (c.stats.config == on.name) {
+            row.set("loads_value_predicted", c.predicted);
+            row.set("value_predictions_committed", c.committed);
+        }
+        rep.addRow(std::move(row));
+    }
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const Cell &base = results[w * 2];
+        const Cell &vp = results[w * 2 + 1];
+        table.row({names[w], TextTable::fmt(base.stats.ipc, 3),
+                   TextTable::fmt(vp.stats.ipc, 3),
+                   TextTable::pct(vp.stats.ipc / base.stats.ipc - 1.0,
+                                  1),
+                   std::to_string(vp.predicted),
+                   std::to_string(vp.committed),
+                   std::to_string(vp.vpSquashes)});
     }
 
     std::printf("%s\n", table.render().c_str());
     std::printf("prediction only replaces stalls on blocking stores, "
                 "and every predicted load is replay-validated; wrong "
                 "predictions appear as replay-mismatch squashes\n");
+    rep.write();
     return 0;
 }

@@ -41,9 +41,13 @@ main()
                       std::to_string(constrained_lq),
                   "value_replay", "vbr_advantage"});
 
-    for (const char *name : {"art", "apsi", "mcf", "vortex"}) {
+    const unsigned robs[] = {64u, 128u, 256u, 512u};
+    const char *wl_names[] = {"art", "apsi", "mcf", "vortex"};
+
+    JobList jobs;
+    for (const char *name : wl_names) {
         WorkloadSpec wl = uniprocessorWorkload(name, scale);
-        for (unsigned rob : {64u, 128u, 256u, 512u}) {
+        for (unsigned rob : robs) {
             MachineConfig base{"b", CoreConfig::baseline()};
             base.core.robEntries = rob;
             base.core.lqEntries = constrained_lq;
@@ -58,8 +62,28 @@ main()
             vbr_cfg.core.sqEntries = std::min(64u, rob / 2);
             vbr_cfg.core.iqEntries = std::min(64u, rob / 4);
 
-            RunStats b = runUni(wl, base);
-            RunStats v = runUni(wl, vbr_cfg);
+            jobs.uni(wl, base);
+            jobs.uni(wl, vbr_cfg);
+        }
+    }
+
+    std::vector<RunStats> results = jobs.run();
+
+    BenchReport rep("ablation_window_scaling");
+    rep.meta("scale", scale);
+    rep.meta("constrained_lq", constrained_lq);
+
+    std::size_t k = 0;
+    for (const char *name : wl_names) {
+        for (unsigned rob : robs) {
+            const RunStats &b = results[k++];
+            const RunStats &v = results[k++];
+            JsonValue row = runStatsToJson(b);
+            row.set("rob", rob);
+            rep.addRow(std::move(row));
+            JsonValue vrow = runStatsToJson(v);
+            vrow.set("rob", rob);
+            rep.addRow(std::move(vrow));
             table.row({name, std::to_string(rob),
                        TextTable::fmt(b.ipc, 3),
                        TextTable::fmt(v.ipc, 3),
@@ -71,5 +95,6 @@ main()
     std::printf("expectation: the CAM-constrained baseline stops "
                 "profiting from larger windows once the load queue "
                 "fills; the replay FIFO keeps scaling\n");
+    rep.write();
     return 0;
 }

@@ -33,42 +33,65 @@ main()
     auto replay_cfgs = replayConfigs();
     std::vector<std::vector<double>> ratios(replay_cfgs.size());
 
-    auto report = [&](const std::string &name, const RunStats &base,
-                      const std::vector<RunStats> &runs) {
-        std::vector<std::string> row{name,
+    // Queue the whole (workload x config) grid, then sweep it in
+    // parallel; per-group result indices keep the table rows in the
+    // original serial order.
+    struct Group
+    {
+        std::string name;
+        std::size_t base;
+        std::vector<std::size_t> runs;
+    };
+    JobList jobs;
+    std::vector<Group> groups;
+
+    for (const auto &wl : uniprocessorSuite(scale)) {
+        Group g;
+        g.name = wl.name;
+        g.base = jobs.uni(wl, baselineConfig());
+        for (const auto &cfg : replay_cfgs)
+            g.runs.push_back(jobs.uni(wl, cfg));
+        groups.push_back(std::move(g));
+    }
+    for (const auto &wl : multiprocessorSuite(mp_cores, scale)) {
+        Group g;
+        g.name = wl.name + "-" + std::to_string(mp_cores) + "p";
+        g.base = jobs.mp(wl, baselineConfig());
+        for (const auto &cfg : replay_cfgs)
+            g.runs.push_back(jobs.mp(wl, cfg));
+        groups.push_back(std::move(g));
+    }
+
+    std::vector<RunStats> results = jobs.run();
+
+    BenchReport rep("fig5_performance");
+    rep.meta("scale", scale).meta("mp_cores", mp_cores);
+    for (const RunStats &s : results)
+        rep.addRun(s);
+
+    for (const Group &g : groups) {
+        const RunStats &base = results[g.base];
+        std::vector<std::string> row{g.name,
                                      TextTable::fmt(base.ipc, 3)};
-        for (std::size_t i = 0; i < runs.size(); ++i) {
-            double ratio = runs[i].ipc / base.ipc;
+        for (std::size_t i = 0; i < g.runs.size(); ++i) {
+            double ratio = results[g.runs[i]].ipc / base.ipc;
             ratios[i].push_back(ratio);
             row.push_back(TextTable::fmt(ratio, 3));
         }
         table.row(row);
-    };
-
-    for (const auto &wl : uniprocessorSuite(scale)) {
-        RunStats base = runUni(wl, baselineConfig());
-        std::vector<RunStats> runs;
-        for (const auto &cfg : replay_cfgs)
-            runs.push_back(runUni(wl, cfg));
-        report(wl.name, base, runs);
-    }
-
-    for (const auto &wl : multiprocessorSuite(mp_cores, scale)) {
-        RunStats base = runMp(wl, baselineConfig());
-        std::vector<RunStats> runs;
-        for (const auto &cfg : replay_cfgs)
-            runs.push_back(runMp(wl, cfg));
-        report(wl.name + "-" + std::to_string(mp_cores) + "p", base,
-               runs);
     }
 
     std::vector<std::string> avg{"geomean", ""};
-    for (auto &r : ratios)
-        avg.push_back(TextTable::fmt(geomean(r), 3));
+    for (std::size_t i = 0; i < ratios.size(); ++i) {
+        double g = geomean(ratios[i]);
+        avg.push_back(TextTable::fmt(g, 3));
+        rep.metric("geomean_ipc_ratio_" + replay_cfgs[i].name, g);
+    }
     table.row(avg);
 
     std::printf("%s\n", table.render().c_str());
     std::printf("paper reference: replay-all ~0.97, filtered configs "
                 "~0.99 of baseline on average\n");
+    rep.write();
     return 0;
 }

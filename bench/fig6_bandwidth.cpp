@@ -46,45 +46,64 @@ main()
                ")";
     };
 
-    auto report = [&](const std::string &name, const RunStats &base,
-                      const std::vector<RunStats> &runs) {
-        std::vector<std::string> row{name};
-        for (std::size_t i = 0; i < runs.size(); ++i) {
+    struct Group
+    {
+        std::string name;
+        std::size_t base;
+        std::vector<std::size_t> runs;
+    };
+    JobList jobs;
+    std::vector<Group> groups;
+
+    for (const auto &wl : uniprocessorSuite(scale)) {
+        Group g;
+        g.name = wl.name;
+        g.base = jobs.uni(wl, baselineConfig());
+        for (const auto &cfg : replay_cfgs)
+            g.runs.push_back(jobs.uni(wl, cfg));
+        groups.push_back(std::move(g));
+    }
+    for (const auto &wl : multiprocessorSuite(mp_cores, scale)) {
+        Group g;
+        g.name = wl.name + "-" + std::to_string(mp_cores) + "p";
+        g.base = jobs.mp(wl, baselineConfig());
+        for (const auto &cfg : replay_cfgs)
+            g.runs.push_back(jobs.mp(wl, cfg));
+        groups.push_back(std::move(g));
+    }
+
+    std::vector<RunStats> results = jobs.run();
+
+    BenchReport rep("fig6_bandwidth");
+    rep.meta("scale", scale).meta("mp_cores", mp_cores);
+    for (const RunStats &s : results)
+        rep.addRun(s);
+
+    for (const Group &g : groups) {
+        const RunStats &base = results[g.base];
+        std::vector<std::string> row{g.name};
+        for (std::size_t i = 0; i < g.runs.size(); ++i) {
             double t = 0.0;
-            row.push_back(cell(runs[i], base, t));
+            row.push_back(cell(results[g.runs[i]], base, t));
             totals[i].push_back(t);
         }
         table.row(row);
-    };
-
-    for (const auto &wl : uniprocessorSuite(scale)) {
-        RunStats base = runUni(wl, baselineConfig());
-        std::vector<RunStats> runs;
-        for (const auto &cfg : replay_cfgs)
-            runs.push_back(runUni(wl, cfg));
-        report(wl.name, base, runs);
-    }
-
-    for (const auto &wl : multiprocessorSuite(mp_cores, scale)) {
-        RunStats base = runMp(wl, baselineConfig());
-        std::vector<RunStats> runs;
-        for (const auto &cfg : replay_cfgs)
-            runs.push_back(runMp(wl, cfg));
-        report(wl.name + "-" + std::to_string(mp_cores) + "p", base,
-               runs);
     }
 
     std::vector<std::string> avg{"average"};
-    for (auto &t : totals) {
+    for (std::size_t i = 0; i < totals.size(); ++i) {
         double sum = 0.0;
-        for (double x : t)
+        for (double x : totals[i])
             sum += x;
-        avg.push_back(TextTable::pct(sum / t.size(), 1));
+        double mean = sum / totals[i].size();
+        avg.push_back(TextTable::pct(mean, 1));
+        rep.metric("avg_extra_l1d_" + replay_cfgs[i].name, mean);
     }
     table.row(avg);
 
     std::printf("%s\n", table.render().c_str());
     std::printf("paper reference: ~49%% / ~30.6%% / ~4.3%% / ~3.4%% "
                 "on average\n");
+    rep.write();
     return 0;
 }

@@ -29,35 +29,51 @@ main()
 
     auto replay_cfgs = replayConfigs();
 
-    auto report = [&](const std::string &name, const RunStats &base,
-                      const std::vector<RunStats> &runs) {
-        std::vector<std::string> row{
-            name, TextTable::fmt(base.robOccupancy, 1)};
-        for (const auto &r : runs)
-            row.push_back(TextTable::fmt(r.robOccupancy, 1));
-        table.row(row);
+    struct Group
+    {
+        std::string name;
+        std::size_t base;
+        std::vector<std::size_t> runs;
     };
+    JobList jobs;
+    std::vector<Group> groups;
 
     for (const auto &wl : uniprocessorSuite(scale)) {
-        RunStats base = runUni(wl, baselineConfig());
-        std::vector<RunStats> runs;
+        Group g;
+        g.name = wl.name;
+        g.base = jobs.uni(wl, baselineConfig());
         for (const auto &cfg : replay_cfgs)
-            runs.push_back(runUni(wl, cfg));
-        report(wl.name, base, runs);
+            g.runs.push_back(jobs.uni(wl, cfg));
+        groups.push_back(std::move(g));
+    }
+    for (const auto &wl : multiprocessorSuite(mp_cores, scale)) {
+        Group g;
+        g.name = wl.name + "-" + std::to_string(mp_cores) + "p";
+        g.base = jobs.mp(wl, baselineConfig());
+        for (const auto &cfg : replay_cfgs)
+            g.runs.push_back(jobs.mp(wl, cfg));
+        groups.push_back(std::move(g));
     }
 
-    for (const auto &wl : multiprocessorSuite(mp_cores, scale)) {
-        RunStats base = runMp(wl, baselineConfig());
-        std::vector<RunStats> runs;
-        for (const auto &cfg : replay_cfgs)
-            runs.push_back(runMp(wl, cfg));
-        report(wl.name + "-" + std::to_string(mp_cores) + "p", base,
-               runs);
+    std::vector<RunStats> results = jobs.run();
+
+    BenchReport rep("fig7_rob_occupancy");
+    rep.meta("scale", scale).meta("mp_cores", mp_cores);
+    for (const RunStats &s : results)
+        rep.addRun(s);
+
+    for (const Group &g : groups) {
+        std::vector<std::string> row{
+            g.name, TextTable::fmt(results[g.base].robOccupancy, 1)};
+        for (std::size_t idx : g.runs)
+            row.push_back(TextTable::fmt(results[idx].robOccupancy, 1));
+        table.row(row);
     }
 
     std::printf("%s\n", table.render().c_str());
     std::printf("paper reference: replay-all raises occupancy (most "
                 "for high-ILP FP and store-heavy workloads); filters "
                 "restore it\n");
+    rep.write();
     return 0;
 }

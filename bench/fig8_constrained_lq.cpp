@@ -42,29 +42,50 @@ main()
     table.header({"workload", "vbr_ipc", "lq16/vbr", "lq32/vbr"});
     std::vector<double> r16, r32;
 
-    auto report = [&](const std::string &name, const RunStats &vbr_run,
-                      const RunStats &run16, const RunStats &run32) {
-        r16.push_back(run16.ipc / vbr_run.ipc);
-        r32.push_back(run32.ipc / vbr_run.ipc);
-        table.row({name, TextTable::fmt(vbr_run.ipc, 3),
-                   TextTable::fmt(r16.back(), 3),
-                   TextTable::fmt(r32.back(), 3)});
+    struct Group
+    {
+        std::string name;
+        std::size_t vbr, lq16, lq32;
     };
+    JobList jobs;
+    std::vector<Group> groups;
 
     for (const auto &wl : uniprocessorSuite(scale)) {
-        report(wl.name, runUni(wl, vbr_cfg), runUni(wl, lq16),
-               runUni(wl, lq32));
+        groups.push_back({wl.name, jobs.uni(wl, vbr_cfg),
+                          jobs.uni(wl, lq16), jobs.uni(wl, lq32)});
     }
     for (const auto &wl : multiprocessorSuite(mp_cores, scale)) {
-        report(wl.name + "-" + std::to_string(mp_cores) + "p",
-               runMp(wl, vbr_cfg), runMp(wl, lq16), runMp(wl, lq32));
+        groups.push_back(
+            {wl.name + "-" + std::to_string(mp_cores) + "p",
+             jobs.mp(wl, vbr_cfg), jobs.mp(wl, lq16),
+             jobs.mp(wl, lq32)});
     }
 
-    table.row({"geomean", "", TextTable::fmt(geomean(r16), 3),
-               TextTable::fmt(geomean(r32), 3)});
+    std::vector<RunStats> results = jobs.run();
+
+    BenchReport rep("fig8_constrained_lq");
+    rep.meta("scale", scale).meta("mp_cores", mp_cores);
+    for (const RunStats &s : results)
+        rep.addRun(s);
+
+    for (const Group &g : groups) {
+        const RunStats &vbr_run = results[g.vbr];
+        r16.push_back(results[g.lq16].ipc / vbr_run.ipc);
+        r32.push_back(results[g.lq32].ipc / vbr_run.ipc);
+        table.row({g.name, TextTable::fmt(vbr_run.ipc, 3),
+                   TextTable::fmt(r16.back(), 3),
+                   TextTable::fmt(r32.back(), 3)});
+    }
+
+    double g16 = geomean(r16), g32 = geomean(r32);
+    table.row({"geomean", "", TextTable::fmt(g16, 3),
+               TextTable::fmt(g32, 3)});
+    rep.metric("geomean_lq16_over_vbr", g16);
+    rep.metric("geomean_lq32_over_vbr", g32);
     std::printf("%s\n", table.render().c_str());
     std::printf("paper reference: lq32 ~0.99 of value-based on "
                 "average; lq16 ~0.92, as low as 0.75 for LQ-pressure "
                 "workloads\n");
+    rep.write();
     return 0;
 }

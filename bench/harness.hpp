@@ -1,12 +1,23 @@
 /**
  * @file
  * Shared infrastructure for the figure/table reproduction harnesses:
- * the five evaluated machine configurations, run helpers returning the
- * statistics each figure needs, and small formatting utilities.
+ * the five evaluated machine configurations, job builders for the
+ * parallel sweep engine, and small formatting utilities. RunStats
+ * itself lives in src/sys/run_stats.hpp; the sweep engine in
+ * src/sys/sweep_runner.hpp; BENCH_<name>.json emission in
+ * src/sys/bench_json.hpp.
  *
  * Environment knobs:
  *   VBR_SCALE     multiplies workload iteration counts (default 1.0)
  *   VBR_MP_CORES  cores for multiprocessor workloads (default 4)
+ *   VBR_THREADS   sweep worker threads (default: hardware concurrency)
+ *   VBR_BENCH_DIR directory for BENCH_<name>.json (default: cwd)
+ *
+ * Usage pattern (identical table output to the old serial loops):
+ *   JobList jobs;
+ *   for (...) jobs.uni(wl, cfg);     // returns the job's index
+ *   std::vector<RunStats> r = jobs.run();
+ *   // consume r[] in the same order the jobs were added
  */
 
 #ifndef VBR_BENCH_HARNESS_HPP
@@ -16,10 +27,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hpp"
 #include "common/table.hpp"
+#include "sys/bench_json.hpp"
+#include "sys/run_stats.hpp"
+#include "sys/sweep_runner.hpp"
 #include "sys/system.hpp"
 #include "workload/multiproc.hpp"
 #include "workload/synthetic.hpp"
@@ -79,86 +94,6 @@ replayConfigs()
     };
 }
 
-/** Statistics extracted from one run. */
-struct RunStats
-{
-    std::string workload;
-    std::string config;
-    double ipc = 0.0;
-    std::uint64_t instructions = 0;
-    Cycle cycles = 0;
-
-    std::uint64_t l1dPremature = 0; ///< incl. wrong-path loads
-    std::uint64_t l1dStoreCommit = 0;
-    std::uint64_t l1dReplay = 0;
-    std::uint64_t l1dSwap = 0;
-    std::uint64_t replaysUnresolved = 0;
-    std::uint64_t replaysConsistency = 0;
-    std::uint64_t replaysFiltered = 0;
-    std::uint64_t committedLoads = 0;
-
-    double robOccupancy = 0.0;
-
-    std::uint64_t lqSearches = 0;       ///< baseline CAM searches
-    std::uint64_t squashLqRaw = 0;
-    std::uint64_t squashLqRawUnnec = 0;
-    std::uint64_t squashLqSnoop = 0;
-    std::uint64_t squashLqSnoopUnnec = 0;
-    std::uint64_t squashReplay = 0;
-    std::uint64_t wouldbeRaw = 0;
-    std::uint64_t wouldbeRawValueEq = 0;
-    std::uint64_t wouldbeSnoop = 0;
-    std::uint64_t wouldbeSnoopValueEq = 0;
-
-    std::uint64_t
-    l1dTotal() const
-    {
-        return l1dPremature + l1dStoreCommit + l1dReplay + l1dSwap;
-    }
-};
-
-inline RunStats
-collect(System &sys, const RunResult &result, const std::string &wl,
-        const std::string &cfg)
-{
-    RunStats s;
-    s.workload = wl;
-    s.config = cfg;
-    s.instructions = result.instructions;
-    s.cycles = result.cycles;
-    s.ipc = result.ipc();
-
-    double occ_sum = 0.0;
-    for (unsigned c = 0; c < sys.numCores(); ++c) {
-        const StatSet &st = sys.core(c).stats();
-        s.l1dPremature += st.get("l1d_accesses_premature");
-        s.l1dStoreCommit += st.get("l1d_accesses_store_commit");
-        s.l1dReplay += st.get("l1d_accesses_replay");
-        s.l1dSwap += st.get("l1d_accesses_swap");
-        s.replaysUnresolved += st.get("replays_unresolved_store");
-        s.replaysConsistency += st.get("replays_consistency");
-        s.replaysFiltered += st.get("replays_filtered");
-        s.committedLoads += st.get("committed_loads");
-        s.squashLqRaw += st.get("squashes_lq_raw");
-        s.squashLqRawUnnec += st.get("squashes_lq_raw_unnecessary");
-        s.squashLqSnoop += st.get("squashes_lq_snoop");
-        s.squashLqSnoopUnnec +=
-            st.get("squashes_lq_snoop_unnecessary");
-        s.squashReplay += st.get("squashes_replay_mismatch");
-        s.wouldbeRaw += st.get("wouldbe_squashes_raw");
-        s.wouldbeRawValueEq +=
-            st.get("wouldbe_squashes_raw_value_equal");
-        s.wouldbeSnoop += st.get("wouldbe_squashes_snoop");
-        s.wouldbeSnoopValueEq +=
-            st.get("wouldbe_squashes_snoop_value_equal");
-        occ_sum += sys.core(c).stats().getMean("rob_occupancy");
-        if (auto *lq = sys.core(c).assocLq())
-            s.lqSearches += lq->searches();
-    }
-    s.robOccupancy = occ_sum / sys.numCores();
-    return s;
-}
-
 /** Run one uniprocessor workload under one machine configuration. */
 inline RunStats
 runUni(const WorkloadSpec &spec, const MachineConfig &machine)
@@ -172,7 +107,7 @@ runUni(const WorkloadSpec &spec, const MachineConfig &machine)
     if (!r.allHalted)
         fatal("workload " + spec.name + " did not halt under " +
               machine.name);
-    return collect(sys, r, spec.name, machine.name);
+    return collectRunStats(sys, r, spec.name, machine.name);
 }
 
 /** Run one multiprocessor workload under one machine configuration. */
@@ -187,8 +122,61 @@ runMp(const MpWorkloadSpec &spec, const MachineConfig &machine)
     if (!r.allHalted)
         fatal("MP workload " + spec.name + " did not halt under " +
               machine.name);
-    return collect(sys, r, spec.name, machine.name);
+    return collectRunStats(sys, r, spec.name, machine.name);
 }
+
+/**
+ * Ordered job grid for the sweep engine. Specs and configs are
+ * captured by value so the list owns everything it needs; run()
+ * executes the grid on sweepThreads() workers and returns results
+ * indexed exactly as the jobs were added.
+ */
+class JobList
+{
+  public:
+    /** Queue a uniprocessor run; returns its result index. */
+    std::size_t
+    uni(WorkloadSpec spec, MachineConfig machine)
+    {
+        jobs_.push_back(
+            [spec = std::move(spec), machine = std::move(machine)] {
+                return runUni(spec, machine);
+            });
+        return jobs_.size() - 1;
+    }
+
+    /** Queue a multiprocessor run; returns its result index. */
+    std::size_t
+    mp(MpWorkloadSpec spec, MachineConfig machine)
+    {
+        jobs_.push_back(
+            [spec = std::move(spec), machine = std::move(machine)] {
+                return runMp(spec, machine);
+            });
+        return jobs_.size() - 1;
+    }
+
+    /** Queue an arbitrary RunStats-producing job. */
+    std::size_t
+    add(std::function<RunStats()> job)
+    {
+        jobs_.push_back(std::move(job));
+        return jobs_.size() - 1;
+    }
+
+    std::size_t size() const { return jobs_.size(); }
+
+    /** Execute everything; result[i] belongs to the i-th queued job. */
+    std::vector<RunStats>
+    run()
+    {
+        SweepRunner runner;
+        return runner.run(std::move(jobs_));
+    }
+
+  private:
+    std::vector<std::function<RunStats()>> jobs_;
+};
 
 inline double
 geomean(const std::vector<double> &xs)

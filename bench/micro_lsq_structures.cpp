@@ -13,6 +13,7 @@
 #include "lsq/assoc_load_queue.hpp"
 #include "lsq/replay_queue.hpp"
 #include "lsq/store_queue.hpp"
+#include "sys/bench_json.hpp"
 
 using namespace vbr;
 
@@ -91,6 +92,48 @@ BENCHMARK(BM_ReplayQueueDispatchRetire)->Arg(16)->Arg(128)->Arg(512);
 BENCHMARK(BM_StoreQueueLoadSearch)->Arg(16)->Arg(64);
 BENCHMARK(BM_CamModelEstimate);
 
+/** Console output as usual, plus each run mirrored into the shared
+ * BENCH_<name>.json emitter. */
+class ReportingConsole : public benchmark::ConsoleReporter
+{
+  public:
+    explicit ReportingConsole(BenchReport &rep) : rep_(rep) {}
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        ConsoleReporter::ReportRuns(runs);
+        for (const Run &r : runs) {
+            JsonValue row = JsonValue::object();
+            row.set("name", r.benchmark_name());
+            row.set("iterations",
+                    static_cast<std::int64_t>(r.iterations));
+            row.set("real_time_ns", r.GetAdjustedRealTime());
+            row.set("cpu_time_ns", r.GetAdjustedCPUTime());
+            auto it = r.counters.find("items_per_second");
+            if (it != r.counters.end())
+                row.set("items_per_second",
+                        static_cast<double>(it->second));
+            rep_.addRow(std::move(row));
+        }
+    }
+
+  private:
+    BenchReport &rep_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    BenchReport rep("micro_lsq_structures");
+    ReportingConsole reporter(rep);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    rep.write();
+    return 0;
+}

@@ -34,15 +34,39 @@ main()
     std::printf("Section 5.1: squashes avoided by value-based replay\n");
     std::printf("scale=%.2f, mp_cores=%u\n\n", scale, mp_cores);
 
+    struct Group
+    {
+        std::string name;
+        std::size_t base, vr;
+    };
+    JobList jobs;
+    std::vector<Group> uni_groups, mp_groups;
+
+    for (const auto &wl : uniprocessorSuite(scale)) {
+        uni_groups.push_back({wl.name, jobs.uni(wl, baselineConfig()),
+                              jobs.uni(wl, vbr_cfg)});
+    }
+    for (const auto &wl : multiprocessorSuite(mp_cores, scale)) {
+        mp_groups.push_back({wl.name, jobs.mp(wl, baselineConfig()),
+                             jobs.mp(wl, vbr_cfg)});
+    }
+
+    std::vector<RunStats> results = jobs.run();
+
+    BenchReport rep("sec51_squash_elimination");
+    rep.meta("scale", scale).meta("mp_cores", mp_cores);
+    for (const RunStats &s : results)
+        rep.addRun(s);
+
     // --- uniprocessor RAW squashes --------------------------------------
     std::printf("Uniprocessor RAW dependence misspeculations:\n");
     TextTable uni;
     uni.header({"workload", "baseline_squashes", "value_equal",
                 "replay_squashes", "wouldbe(vbr)", "eliminated"});
     std::uint64_t tot_wouldbe = 0, tot_replay_squash = 0;
-    for (const auto &wl : uniprocessorSuite(scale)) {
-        RunStats base = runUni(wl, baselineConfig());
-        RunStats vr = runUni(wl, vbr_cfg);
+    for (const Group &g : uni_groups) {
+        const RunStats &base = results[g.base];
+        const RunStats &vr = results[g.vr];
         tot_wouldbe += vr.wouldbeRaw;
         tot_replay_squash += vr.squashReplay;
         double eliminated =
@@ -50,7 +74,7 @@ main()
                 ? 0.0
                 : 1.0 - static_cast<double>(vr.squashReplay) /
                             static_cast<double>(vr.wouldbeRaw);
-        uni.row({wl.name, std::to_string(base.squashLqRaw),
+        uni.row({g.name, std::to_string(base.squashLqRaw),
                  std::to_string(base.squashLqRawUnnec),
                  std::to_string(vr.squashReplay),
                  std::to_string(vr.wouldbeRaw),
@@ -75,9 +99,9 @@ main()
     mp.header({"workload", "baseline_snoop_squashes", "value_equal",
                "replay_squashes", "eliminated_vs_baseline"});
     std::uint64_t tot_base_snoop = 0, tot_mp_replay = 0;
-    for (const auto &wl : multiprocessorSuite(mp_cores, scale)) {
-        RunStats base = runMp(wl, baselineConfig());
-        RunStats vr = runMp(wl, vbr_cfg);
+    for (const Group &g : mp_groups) {
+        const RunStats &base = results[g.base];
+        const RunStats &vr = results[g.vr];
         tot_base_snoop += base.squashLqSnoop;
         tot_mp_replay += vr.squashReplay;
         double eliminated =
@@ -85,7 +109,7 @@ main()
                 ? 0.0
                 : 1.0 - static_cast<double>(vr.squashReplay) /
                             static_cast<double>(base.squashLqSnoop);
-        mp.row({wl.name, std::to_string(base.squashLqSnoop),
+        mp.row({g.name, std::to_string(base.squashLqSnoop),
                 std::to_string(base.squashLqSnoopUnnec),
                 std::to_string(vr.squashReplay),
                 TextTable::pct(eliminated, 1)});
@@ -100,5 +124,9 @@ main()
                 "squashes -> %.1f%% eliminated (paper: ~95%%)\n",
                 (unsigned long long)tot_base_snoop,
                 (unsigned long long)tot_mp_replay, mp_elim * 100.0);
+
+    rep.metric("uni_raw_squashes_eliminated", uni_elim);
+    rep.metric("mp_snoop_squashes_eliminated", mp_elim);
+    rep.write();
     return 0;
 }

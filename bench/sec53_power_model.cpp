@@ -33,13 +33,25 @@ main()
         CoreConfig::valueReplay(
             ReplayFilterConfig::recentSnoopPlusNus())};
 
+    JobList jobs;
+    for (const auto &wl : uniprocessorSuite(scale)) {
+        jobs.uni(wl, vbr_cfg);
+        jobs.uni(wl, baselineConfig());
+    }
+    std::vector<RunStats> results = jobs.run();
+
+    BenchReport rep("sec53_power_model");
+    rep.meta("scale", scale);
+    for (const RunStats &s : results)
+        rep.addRun(s);
+
     std::uint64_t replays = 0, instructions = 0, searches = 0,
                   base_instr = 0;
-    for (const auto &wl : uniprocessorSuite(scale)) {
-        RunStats vr = runUni(wl, vbr_cfg);
+    for (std::size_t i = 0; i < results.size(); i += 2) {
+        const RunStats &vr = results[i];
+        const RunStats &base = results[i + 1];
         replays += vr.replaysUnresolved + vr.replaysConsistency;
         instructions += vr.instructions;
-        RunStats base = runUni(wl, baselineConfig());
         searches += base.lqSearches;
         base_instr += base.instructions;
     }
@@ -56,6 +68,8 @@ main()
     std::printf("measured baseline CAM search rate: %.4f "
                 "searches/instr\n\n",
                 searches_per_instr);
+    rep.metric("replays_per_instr", replays_per_instr);
+    rep.metric("searches_per_instr", searches_per_instr);
 
     CamModel cam;
     ReplayPowerModel power({}, cam);
@@ -72,6 +86,12 @@ main()
                    TextTable::fmt(cam.estimate(cfg).energyNj, 3),
                    TextTable::fmt(de, 4),
                    de < 0 ? "value-replay" : "assoc-LQ"});
+        JsonValue row = JsonValue::object();
+        row.set("lq_entries", entries);
+        row.set("search_nj", cam.estimate(cfg).energyNj);
+        row.set("delta_energy_nj_per_instr", de);
+        row.set("winner", de < 0 ? "value-replay" : "assoc-LQ");
+        rep.addRow(std::move(row));
     }
     std::printf("%s\n", table.render().c_str());
 
@@ -81,5 +101,7 @@ main()
                 "instruction (paper: 0.02 x cache access + compare "
                 "energy)\n",
                 breakeven);
+    rep.metric("breakeven_cam_energy_nj_per_instr", breakeven);
+    rep.write();
     return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "common/table.hpp"
 #include "lsq/assoc_load_queue.hpp"
+#include "sys/bench_json.hpp"
 
 using namespace vbr;
 
@@ -74,6 +75,8 @@ main()
     std::printf("Table 1: load queue attributes of current "
                 "dynamically scheduled processors\n\n");
 
+    BenchReport rep("table1_lq_attributes");
+
     TextTable table;
     table.header({"processor", "lq_entries", "organization",
                   "est_read_ports", "est_write_ports"});
@@ -81,11 +84,19 @@ main()
         table.row({s.processor, s.lqEntries, modeName(s.mode),
                    std::to_string(readPorts(s)),
                    std::to_string(s.loadIssuePerCycle)});
+        JsonValue row = JsonValue::object();
+        row.set("processor", s.processor);
+        row.set("lq_entries", s.lqEntries);
+        row.set("organization", modeName(s.mode));
+        row.set("est_read_ports", readPorts(s));
+        row.set("est_write_ports", s.loadIssuePerCycle);
+        rep.addRow(std::move(row));
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("write ports = loads issued/cycle (each records its "
                 "address); read ports = store agens (+ load agens for "
                 "insulated/hybrid, + snoop port for snooping/hybrid "
                 "designs)\n");
+    rep.write();
     return 0;
 }

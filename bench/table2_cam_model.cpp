@@ -13,6 +13,7 @@
 
 #include "cam/cam_model.hpp"
 #include "common/table.hpp"
+#include "sys/bench_json.hpp"
 
 using namespace vbr;
 
@@ -20,6 +21,7 @@ int
 main()
 {
     CamModel model;
+    BenchReport rep("table2_cam_model");
 
     std::printf("Table 2: associative load queue search latency (ns), "
                 "energy (nJ), 0.09 micron\n\n");
@@ -34,6 +36,14 @@ main()
             std::snprintf(buf, sizeof(buf), "%.2f ns, %.2f nJ",
                           e.latencyNs, e.energyNj);
             row.push_back(buf);
+            JsonValue jrow = JsonValue::object();
+            jrow.set("entries", entries);
+            jrow.set("read_ports", rp);
+            jrow.set("write_ports", wp);
+            jrow.set("latency_ns", e.latencyNs);
+            jrow.set("energy_nj", e.energyNj);
+            jrow.set("published", true);
+            rep.addRow(std::move(jrow));
         }
         table.row(row);
     }
@@ -52,6 +62,14 @@ main()
                      std::to_string(rp) + "/" + std::to_string(wp),
                      TextTable::fmt(e.latencyNs, 2),
                      TextTable::fmt(e.energyNj, 3)});
+            JsonValue jrow = JsonValue::object();
+            jrow.set("entries", entries);
+            jrow.set("read_ports", rp);
+            jrow.set("write_ports", wp);
+            jrow.set("latency_ns", e.latencyNs);
+            jrow.set("energy_nj", e.energyNj);
+            jrow.set("published", false);
+            rep.addRow(std::move(jrow));
         }
     }
     std::printf("%s\n", fit.render().c_str());
@@ -64,10 +82,18 @@ main()
             "  at %.0f GHz: largest single-cycle 2r/2w CAM = %u "
             "entries; a 32-entry 3r/2w search takes %u cycles\n",
             ghz, max22, cycles32);
+        char key[64];
+        std::snprintf(key, sizeof(key),
+                      "max_single_cycle_2r2w_entries_%.0fghz", ghz);
+        rep.metric(key, max22);
+        std::snprintf(key, sizeof(key),
+                      "search_cycles_32x3r2w_%.0fghz", ghz);
+        rep.metric(key, cycles32);
     }
     std::printf("\npaper reference: at 5 GHz (0.2 ns cycle) even a "
                 "16-entry CAM search (0.6 ns) needs multiple cycles; "
                 "energy grows linearly with entries and superlinearly "
                 "with ports\n");
+    rep.write();
     return 0;
 }

@@ -6,19 +6,40 @@
  * both correctness axes (§3.3's pairing rule). Combinations that do
  * not cover an axis are still architecturally correct here — they
  * conservatively replay everything on the uncovered axis — which this
- * sweep makes visible.
+ * sweep makes visible. All 17 runs (baseline + 16 combinations) fan
+ * out over the shared sweep engine (VBR_THREADS).
  *
  *   ./filter_explorer [workload] [scale]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "common/table.hpp"
+#include "sys/sweep_runner.hpp"
 #include "sys/system.hpp"
 #include "workload/synthetic.hpp"
 
 using namespace vbr;
+
+namespace
+{
+
+struct Cell
+{
+    bool halted = false;
+    double ipc = 0.0;
+    double replays = 0.0;
+    double loads = 0.0;
+    double baseL1d = 0.0; ///< baseline job only
+    std::string filterName;
+    bool coversAxes = false;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -29,48 +50,71 @@ main(int argc, char **argv)
     WorkloadSpec spec = uniprocessorWorkload(name, scale);
     Program prog = makeSynthetic(spec.params);
 
-    // Baseline for reference bandwidth.
-    SystemConfig base_cfg;
-    base_cfg.core = CoreConfig::baseline();
-    System base_sys(base_cfg, prog);
-    RunResult base = base_sys.run();
-    const StatSet &bs = base_sys.core(0).stats();
-    double base_l1d =
-        static_cast<double>(bs.get("l1d_accesses_premature") +
-                            bs.get("l1d_accesses_store_commit"));
+    // Job 0: baseline (reference bandwidth); jobs 1..16: the filter
+    // combinations. The shared Program is read-only.
+    std::vector<std::function<Cell()>> jobs;
+    jobs.push_back([&prog] {
+        SystemConfig base_cfg;
+        base_cfg.core = CoreConfig::baseline();
+        System base_sys(base_cfg, prog);
+        RunResult base = base_sys.run();
+        const StatSet &bs = base_sys.core(0).stats();
+        Cell c;
+        c.halted = base.allHalted;
+        c.ipc = base.ipc();
+        c.baseL1d = static_cast<double>(
+            bs.get("l1d_accesses_premature") +
+            bs.get("l1d_accesses_store_commit"));
+        return c;
+    });
+    for (unsigned bits = 0; bits < 16; ++bits) {
+        jobs.push_back([&prog, bits] {
+            ReplayFilterConfig f;
+            f.noReorder = bits & 1;
+            f.noRecentMiss = bits & 2;
+            f.noRecentSnoop = bits & 4;
+            f.noUnresolvedStore = bits & 8;
+            f.allowPartialCoverage = true; // sweep all 16 on purpose
 
+            SystemConfig cfg;
+            cfg.core = CoreConfig::valueReplay(f);
+            System sys(cfg, prog);
+            RunResult r = sys.run();
+            const StatSet &s = sys.core(0).stats();
+            Cell c;
+            c.halted = r.allHalted;
+            c.ipc = r.ipc();
+            c.replays = static_cast<double>(s.get("replays_total"));
+            c.loads = static_cast<double>(s.get("committed_loads"));
+            c.filterName = f.name();
+            c.coversAxes = f.coversBothAxes();
+            return c;
+        });
+    }
+
+    SweepRunner runner;
+    std::vector<Cell> cells = runner.run(std::move(jobs));
+
+    const Cell &base = cells[0];
     std::printf("filter sweep on workload '%s' (baseline IPC %.2f)\n\n",
-                name, base.ipc());
+                name, base.ipc);
 
     TextTable table;
     table.header({"filters", "covers_axes", "replays/load",
                   "extra_l1d", "ipc", "vs_base"});
 
-    for (unsigned bits = 0; bits < 16; ++bits) {
-        ReplayFilterConfig f;
-        f.noReorder = bits & 1;
-        f.noRecentMiss = bits & 2;
-        f.noRecentSnoop = bits & 4;
-        f.noUnresolvedStore = bits & 8;
-        f.allowPartialCoverage = true; // sweep all 16 on purpose
-
-        SystemConfig cfg;
-        cfg.core = CoreConfig::valueReplay(f);
-        System sys(cfg, prog);
-        RunResult r = sys.run();
-        if (!r.allHalted) {
-            std::printf("%s: did not halt!\n", f.name().c_str());
+    for (std::size_t i = 1; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        if (!c.halted) {
+            std::printf("%s: did not halt!\n", c.filterName.c_str());
             return 1;
         }
-
-        const StatSet &s = sys.core(0).stats();
-        double replays = static_cast<double>(s.get("replays_total"));
-        double loads = static_cast<double>(s.get("committed_loads"));
-        table.row({f.name(), f.coversBothAxes() ? "yes" : "no",
-                   TextTable::fmt(loads ? replays / loads : 0, 3),
-                   TextTable::pct(replays / base_l1d, 1),
-                   TextTable::fmt(r.ipc(), 3),
-                   TextTable::fmt(r.ipc() / base.ipc(), 3)});
+        table.row({c.filterName, c.coversAxes ? "yes" : "no",
+                   TextTable::fmt(c.loads ? c.replays / c.loads : 0,
+                                  3),
+                   TextTable::pct(c.replays / base.baseL1d, 1),
+                   TextTable::fmt(c.ipc, 3),
+                   TextTable::fmt(c.ipc / base.ipc, 3)});
     }
 
     std::printf("%s\n", table.render().c_str());

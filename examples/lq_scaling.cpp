@@ -5,15 +5,19 @@
  * which sizes still fit in a cycle at various clock frequencies, and
  * what that costs in IPC for a machine constrained to such a queue
  * (mini Figure 8), versus value-based replay whose FIFO needs no CAM.
+ * The IPC sweep fans out over the shared sweep engine (VBR_THREADS).
  *
  *   ./lq_scaling [workload]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <vector>
 
 #include "cam/cam_model.hpp"
 #include "common/table.hpp"
+#include "sys/sweep_runner.hpp"
 #include "sys/system.hpp"
 #include "workload/synthetic.hpp"
 
@@ -50,22 +54,38 @@ main(int argc, char **argv)
     WorkloadSpec spec = uniprocessorWorkload(name, 0.3);
     Program prog = makeSynthetic(spec.params);
 
-    SystemConfig vcfg;
-    vcfg.core = CoreConfig::valueReplay(
-        ReplayFilterConfig::recentSnoopPlusNus());
-    System vsys(vcfg, prog);
-    double vbr_ipc = vsys.run().ipc();
-    std::printf("   value-based replay (no CAM):  IPC %.3f\n", vbr_ipc);
+    const unsigned sizes[] = {128u, 64u, 32u, 16u, 8u};
 
-    for (unsigned entries : {128u, 64u, 32u, 16u, 8u}) {
-        SystemConfig cfg;
-        cfg.core = CoreConfig::baseline();
-        cfg.core.lqEntries = entries;
-        System sys(cfg, prog);
-        double ipc = sys.run().ipc();
+    // Job 0 is the value-replay reference; the rest are the
+    // constrained baselines. The shared Program is read-only.
+    std::vector<std::function<double()>> jobs;
+    jobs.push_back([&prog] {
+        SystemConfig vcfg;
+        vcfg.core = CoreConfig::valueReplay(
+            ReplayFilterConfig::recentSnoopPlusNus());
+        System vsys(vcfg, prog);
+        return vsys.run().ipc();
+    });
+    for (unsigned entries : sizes) {
+        jobs.push_back([&prog, entries] {
+            SystemConfig cfg;
+            cfg.core = CoreConfig::baseline();
+            cfg.core.lqEntries = entries;
+            System sys(cfg, prog);
+            return sys.run().ipc();
+        });
+    }
+
+    SweepRunner runner;
+    std::vector<double> ipcs = runner.run(std::move(jobs));
+
+    double vbr_ipc = ipcs[0];
+    std::printf("   value-based replay (no CAM):  IPC %.3f\n", vbr_ipc);
+    for (std::size_t i = 0; i < std::size(sizes); ++i) {
         std::printf("   assoc LQ %3u entries:         IPC %.3f "
                     "(%.1f%% vs value-based)\n",
-                    entries, ipc, 100.0 * ipc / vbr_ipc);
+                    sizes[i], ipcs[i + 1],
+                    100.0 * ipcs[i + 1] / vbr_ipc);
     }
     return 0;
 }

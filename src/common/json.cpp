@@ -1,0 +1,153 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace vbr
+{
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue value)
+{
+    VBR_ASSERT(kind_ == Kind::Object, "set() on non-object JsonValue");
+    for (auto &m : members_) {
+        if (m.first == key) {
+            m.second = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+JsonValue &
+JsonValue::push(JsonValue value)
+{
+    VBR_ASSERT(kind_ == Kind::Array, "push() on non-array JsonValue");
+    items_.push_back(std::move(value));
+    return *this;
+}
+
+std::string
+JsonValue::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonValue::dump(unsigned indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+void
+JsonValue::dumpTo(std::string &out, unsigned indent,
+                  unsigned depth) const
+{
+    const bool pretty = indent > 0;
+    auto newline = [&](unsigned d) {
+        if (pretty) {
+            out += '\n';
+            out.append(static_cast<std::size_t>(indent) * d, ' ');
+        }
+    };
+
+    char buf[64];
+    switch (kind_) {
+    case Kind::Null:
+        out += "null";
+        break;
+    case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+    case Kind::Int:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(int_));
+        out += buf;
+        break;
+    case Kind::UInt:
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(uint_));
+        out += buf;
+        break;
+    case Kind::Double:
+        // NaN/Inf are not representable in JSON; emit null like most
+        // tooling does.
+        if (!std::isfinite(double_)) {
+            out += "null";
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.17g", double_);
+            out += buf;
+        }
+        break;
+    case Kind::String:
+        out += '"';
+        out += escape(string_);
+        out += '"';
+        break;
+    case Kind::Array:
+        if (items_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            newline(depth + 1);
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+    case Kind::Object:
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            newline(depth + 1);
+            out += '"';
+            out += escape(members_[i].first);
+            out += "\":";
+            if (pretty)
+                out += ' ';
+            members_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+} // namespace vbr

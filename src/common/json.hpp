@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Minimal JSON document builder for the machine-readable benchmark
+ * reports (BENCH_<name>.json). Write-only by design: the simulator
+ * never parses JSON, it only emits it, so this stays a few hundred
+ * lines instead of a dependency.
+ *
+ * Determinism: object members keep insertion order, doubles are
+ * printed with %.17g (round-trippable and bit-stable for identical
+ * inputs), and there is no locale dependence — two runs producing the
+ * same values produce byte-identical documents.
+ */
+
+#ifndef VBR_COMMON_JSON_HPP
+#define VBR_COMMON_JSON_HPP
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace vbr
+{
+
+class JsonValue
+{
+  public:
+    JsonValue() = default; // null
+
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    JsonValue(double d) : kind_(Kind::Double), double_(d) {}
+    JsonValue(const char *s) : kind_(Kind::String), string_(s) {}
+    JsonValue(std::string s)
+        : kind_(Kind::String), string_(std::move(s))
+    {
+    }
+
+    /** Any integer type maps onto int64/uint64 by signedness. */
+    template <class T,
+              std::enable_if_t<std::is_integral_v<T> &&
+                                   !std::is_same_v<T, bool>,
+                               int> = 0>
+    JsonValue(T v)
+    {
+        if constexpr (std::is_signed_v<T>) {
+            kind_ = Kind::Int;
+            int_ = static_cast<std::int64_t>(v);
+        } else {
+            kind_ = Kind::UInt;
+            uint_ = static_cast<std::uint64_t>(v);
+        }
+    }
+
+    static JsonValue
+    object()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Object;
+        return v;
+    }
+
+    static JsonValue
+    array()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Array;
+        return v;
+    }
+
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /** Set/overwrite a member (object only); keeps insertion order. */
+    JsonValue &set(const std::string &key, JsonValue value);
+
+    /** Append an element (array only). */
+    JsonValue &push(JsonValue value);
+
+    std::size_t
+    size() const
+    {
+        return kind_ == Kind::Array ? items_.size() : members_.size();
+    }
+
+    /** Serialize; @p indent 0 = compact, otherwise pretty-printed
+     * with that many spaces per level. */
+    std::string dump(unsigned indent = 0) const;
+
+    /** JSON string escaping (also used by the dumper). */
+    static std::string escape(const std::string &s);
+
+  private:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        UInt,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    void dumpTo(std::string &out, unsigned indent,
+                unsigned depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+} // namespace vbr
+
+#endif // VBR_COMMON_JSON_HPP

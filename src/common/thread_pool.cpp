@@ -1,0 +1,102 @@
+#include "common/thread_pool.hpp"
+
+#include <utility>
+
+namespace vbr
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    queues_.resize(threads);
+    threads_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+    // Workers only exit once every deque is empty, so all submitted
+    // tasks have run. An exception captured after the last wait() is
+    // intentionally dropped here: destructors must not throw.
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queues_[nextQueue_].push_back(std::move(task));
+        nextQueue_ = (nextQueue_ + 1) % queues_.size();
+        ++inFlight_;
+    }
+    workCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock, [this] { return inFlight_ == 0; });
+    if (firstError_) {
+        std::exception_ptr err = std::exchange(firstError_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+bool
+ThreadPool::takeTask(std::size_t self, std::function<void()> &out)
+{
+    if (!queues_[self].empty()) {
+        out = std::move(queues_[self].front());
+        queues_[self].pop_front();
+        return true;
+    }
+    for (std::size_t k = 1; k < queues_.size(); ++k) {
+        std::size_t victim = (self + k) % queues_.size();
+        if (!queues_[victim].empty()) {
+            out = std::move(queues_[victim].front());
+            queues_[victim].pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        std::function<void()> task;
+        if (takeTask(self, task)) {
+            lock.unlock();
+            try {
+                task();
+            } catch (...) {
+                std::lock_guard<std::mutex> guard(mutex_);
+                if (!firstError_)
+                    firstError_ = std::current_exception();
+            }
+            lock.lock();
+            ++tasksRun_;
+            if (--inFlight_ == 0)
+                idleCv_.notify_all();
+            continue;
+        }
+        if (stopping_)
+            return; // deques drained, shutdown requested
+        workCv_.wait(lock);
+    }
+}
+
+} // namespace vbr

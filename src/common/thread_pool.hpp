@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Work-stealing thread pool backing the sweep execution engine.
+ *
+ * Tasks are distributed round-robin across per-worker deques; an idle
+ * worker first drains its own deque, then steals the oldest task from
+ * a sibling. One mutex guards all deques — sweep tasks are entire
+ * simulation runs (milliseconds to minutes), so scheduling overhead
+ * is irrelevant and a single lock keeps the stealing protocol
+ * trivially correct under TSan.
+ *
+ * Semantics:
+ *  - submit() may be called from any thread, including workers;
+ *  - wait() blocks until every submitted task has finished and
+ *    rethrows the first exception any task raised (the remaining
+ *    tasks still run to completion first);
+ *  - the destructor drains all queued work before joining, so
+ *    shutdown with queued tasks is deterministic: everything
+ *    submitted executes exactly once.
+ */
+
+#ifndef VBR_COMMON_THREAD_POOL_HPP
+#define VBR_COMMON_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vbr
+{
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (clamped to at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until all submitted tasks have completed. If any task
+     * threw, the first captured exception is rethrown (once).
+     */
+    void wait();
+
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** Total tasks executed (for tests; stable only after wait()). */
+    std::uint64_t
+    tasksRun() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return tasksRun_;
+    }
+
+  private:
+    void workerLoop(std::size_t self);
+
+    /** Pop own work first, then steal the oldest task from a sibling
+     * deque. Caller holds mutex_. */
+    bool takeTask(std::size_t self, std::function<void()> &out);
+
+    std::vector<std::deque<std::function<void()>>> queues_;
+    std::vector<std::thread> threads_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable workCv_; ///< workers: work or shutdown
+    std::condition_variable idleCv_; ///< wait(): everything drained
+    std::size_t nextQueue_ = 0;      ///< round-robin submit target
+    std::size_t inFlight_ = 0;       ///< queued + running tasks
+    std::uint64_t tasksRun_ = 0;
+    bool stopping_ = false;
+    std::exception_ptr firstError_;
+};
+
+} // namespace vbr
+
+#endif // VBR_COMMON_THREAD_POOL_HPP

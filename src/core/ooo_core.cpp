@@ -181,16 +181,12 @@ bool
 OooCore::olderMemOpIncomplete(SeqNum seq) const
 {
     // "Incomplete" follows the point where the operation performs:
-    // loads at execute, stores at drain (global visibility).
+    // loads at execute, stores at drain (global visibility). The
+    // oldest-incomplete watermark stands in for the old ROB walk.
     if (sq_.hasUndrainedOlderThan(seq))
         return true;
-    for (const DynInst &d : rob_) {
-        if (d.seq >= seq)
-            break;
-        if ((d.isLoadOp || d.isSwapOp || d.isMembarOp) && !d.executed)
-            return true;
-    }
-    return false;
+    return !incompleteMemOps_.empty() &&
+           *incompleteMemOps_.begin() < seq;
 }
 
 bool
@@ -199,15 +195,8 @@ OooCore::olderMemOpUnscheduled(SeqNum seq) const
     // The paper's scheduler view of "executed in order": the load
     // issues after every older memory operation has itself issued
     // (loads performed their access, stores generated the address).
-    for (const DynInst &d : rob_) {
-        if (d.seq >= seq)
-            break;
-        if ((d.isLoadOp || d.isStoreOp) && !d.issued)
-            return true;
-        if ((d.isSwapOp || d.isMembarOp) && !d.executed)
-            return true;
-    }
-    return false;
+    return !unscheduledMemOps_.empty() &&
+           *unscheduledMemOps_.begin() < seq;
 }
 
 Word
@@ -322,16 +311,6 @@ OooCore::onExternalFill(Addr /* line */)
 // ---------------------------------------------------------------------
 
 void
-OooCore::rebuildRenameMap()
-{
-    renameMap_.fill(kNoSeq);
-    for (const DynInst &d : rob_) {
-        if (d.inst.writesRd())
-            renameMap_[d.inst.rd] = d.seq;
-    }
-}
-
-void
 OooCore::squashFrom(SeqNum bound, std::uint32_t new_fetch_pc,
                     const PredictorSnapshot &snap)
 {
@@ -339,13 +318,30 @@ OooCore::squashFrom(SeqNum bound, std::uint32_t new_fetch_pc,
     // below free the squashed entries' deque nodes.
     std::erase_if(pendingStoreData_,
                   [bound](const DynInst *d) { return d->seq >= bound; });
+    incompleteMemOps_.erase(incompleteMemOps_.lower_bound(bound),
+                            incompleteMemOps_.end());
+    unscheduledMemOps_.erase(unscheduledMemOps_.lower_bound(bound),
+                             unscheduledMemOps_.end());
+    issuedLoads_.erase(issuedLoads_.lower_bound(bound),
+                       issuedLoads_.end());
     while (!rob_.empty() && rob_.back().seq >= bound) {
         const DynInst &b = rob_.back();
         if (b.isStoreOp)
             depPred_->notifyStoreRemoved(b.pc, b.seq);
+        if (b.inst.writesRd()) {
+            // The squashed writer is the youngest for its register,
+            // so it sits at the back of the stack; the map falls back
+            // to the next-youngest survivor.
+            auto &writers = regWriters_[b.inst.rd];
+            if (!writers.empty() && writers.back() == b.seq)
+                writers.pop_back();
+            renameMap_[b.inst.rd] =
+                writers.empty() ? kNoSeq : writers.back();
+        }
         trace(TraceKind::Squash, b);
         rob_.pop_back();
     }
+    backendEntered_ = std::min(backendEntered_, rob_.size());
     sq_.squashFrom(bound);
     if (lq_)
         lq_->squashFrom(bound);
@@ -361,7 +357,6 @@ OooCore::squashFrom(SeqNum bound, std::uint32_t new_fetch_pc,
     fetchStallUntil_ = cycles_ + 1; // redirect bubble
     lastFetchLine_ = kNoAddr;
 
-    rebuildRenameMap();
     bp_.restore(snap);
     squashedThisCycle_ = true;
     ++(*sc_squashes_total_);
@@ -462,14 +457,13 @@ OooCore::shadowStoreAgenStats(const DynInst &store, bool data_known)
 {
     if (!rq_)
         return;
-    // Non-architectural scan over the window: what would a
-    // conventional CAM have squashed on this store agen? Every
-    // in-flight load is in the ROB, so scan that.
-    for (const DynInst &d : rob_) {
-        if (d.seq <= store.seq || !d.isLoadOp || !d.issued)
-            continue;
-        if (d.memAddr == kNoAddr)
-            continue;
+    // Non-architectural scan: what would a conventional CAM have
+    // squashed on this store agen? Only issued younger loads can
+    // match, so walk the age-ordered issued-load index instead of
+    // the whole window.
+    for (auto it = issuedLoads_.upper_bound(store.seq);
+         it != issuedLoads_.end(); ++it) {
+        const DynInst &d = *it->second;
         if (!rangesOverlap(d.memAddr, d.memSize, store.memAddr,
                            store.memSize))
             continue;
@@ -495,9 +489,8 @@ void
 OooCore::shadowSnoopStats(Addr line)
 {
     bool head = true;
-    for (const DynInst &d : rob_) {
-        if (!d.isLoadOp || !d.issued || d.memAddr == kNoAddr)
-            continue;
+    for (const auto &[seq, dp] : issuedLoads_) {
+        const DynInst &d = *dp;
         bool overlaps = rangesOverlap(d.memAddr, d.memSize, line,
                                       hierarchy_.lineBytes());
         if (overlaps && !head) {
@@ -506,8 +499,7 @@ OooCore::shadowSnoopStats(Addr line)
                 ++(*sc_wouldbe_squashes_snoop_value_equal_);
             break;
         }
-        if (d.isLoadOp)
-            head = false;
+        head = false;
     }
 }
 
@@ -622,11 +614,20 @@ OooCore::dispatchStage(Cycle now)
             d.srcA = renameMap_[f.inst.ra];
         if (f.inst.readsRb() && f.inst.rb != 0)
             d.srcB = renameMap_[f.inst.rb];
-        if (f.inst.writesRd())
+        if (f.inst.writesRd()) {
             renameMap_[f.inst.rd] = d.seq;
+            regWriters_[f.inst.rd].push_back(d.seq);
+        }
 
         if (op == Opcode::NOP || op == Opcode::HALT || is_membar)
             d.executed = true;
+
+        // Watermark bookkeeping (seqs are monotonic: end() hints).
+        if (is_load || is_swap)
+            incompleteMemOps_.insert(incompleteMemOps_.end(), d.seq);
+        if (is_load || is_store || is_swap)
+            unscheduledMemOps_.insert(unscheduledMemOps_.end(),
+                                      d.seq);
 
         if (is_load) {
             if (lq_)
@@ -703,6 +704,9 @@ OooCore::issueLoad(DynInst &inst, Cycle now)
         inst.destValue = *predicted;
         inst.issued = true;
         inst.inIssueQueue = false;
+        unscheduledMemOps_.erase(inst.seq);
+        if (trackIssuedLoads() && addr != kNoAddr)
+            issuedLoads_.emplace(inst.seq, &inst);
         pendingWb_.emplace(now + 1, inst.seq);
         ++(*sc_loads_issued_);
         ++(*sc_loads_value_predicted_);
@@ -717,14 +721,12 @@ OooCore::issueLoad(DynInst &inst, Cycle now)
     inst.replayInfo.issuedOutOfOrder = olderMemOpIncomplete(inst.seq);
     inst.replayInfo.issuedOutOfOrderSched =
         olderMemOpUnscheduled(inst.seq);
-    for (const DynInst &d : rob_) {
-        if (d.seq >= inst.seq)
-            break;
-        if ((d.isLoadOp || d.isSwapOp) && !d.executed) {
-            inst.replayInfo.issuedBeforeOlderLoad = true;
-            break;
-        }
-    }
+    // incompleteMemOps_ holds exactly the unexecuted loads/SWAPs;
+    // this load is in it with seq == inst.seq, so strict < excludes
+    // it (this used to be another front-to-back ROB walk).
+    inst.replayInfo.issuedBeforeOlderLoad =
+        !incompleteMemOps_.empty() &&
+        *incompleteMemOps_.begin() < inst.seq;
     if (res.sawUnresolvedOlder)
         ++(*sc_loads_bypassing_unresolved_store_);
     if (inst.replayInfo.issuedOutOfOrder)
@@ -750,6 +752,9 @@ OooCore::issueLoad(DynInst &inst, Cycle now)
     inst.destValue = inst.prematureValue;
     inst.issued = true;
     inst.inIssueQueue = false;
+    unscheduledMemOps_.erase(inst.seq);
+    if (trackIssuedLoads() && addr != kNoAddr)
+        issuedLoads_.emplace(inst.seq, &inst);
     pendingWb_.emplace(now + lat, inst.seq);
     ++(*sc_loads_issued_);
     trace(TraceKind::Issue, inst);
@@ -790,6 +795,7 @@ OooCore::issueStore(DynInst &inst, Cycle now)
     sq_.setAddress(inst.seq, addr);
     inst.issued = true;
     inst.inIssueQueue = false;
+    unscheduledMemOps_.erase(inst.seq);
     ++(*sc_stores_issued_);
     trace(TraceKind::Issue, inst);
 
@@ -995,18 +1001,20 @@ OooCore::writebackStage(Cycle now)
 {
     // Collect everything completing this cycle, oldest first, so an
     // older branch mispredict squashes younger completions cleanly.
-    std::vector<SeqNum> done;
-    while (!pendingWb_.empty() && pendingWb_.begin()->first <= now) {
-        done.push_back(pendingWb_.begin()->second);
-        pendingWb_.erase(pendingWb_.begin());
+    wbScratch_.clear();
+    while (!pendingWb_.empty() && pendingWb_.top().first <= now) {
+        wbScratch_.push_back(pendingWb_.top().second);
+        pendingWb_.pop();
     }
-    std::sort(done.begin(), done.end());
+    std::sort(wbScratch_.begin(), wbScratch_.end());
 
-    for (SeqNum seq : done) {
+    for (SeqNum seq : wbScratch_) {
         DynInst *inst = findInst(seq);
         if (!inst || !inst->issued || inst->executed)
             continue; // squashed (and possibly re-allocated) meanwhile
         inst->executed = true;
+        if (inst->isLoadOp || inst->isSwapOp)
+            incompleteMemOps_.erase(seq);
         if (inst->inst.writesRd())
             wakeDependents(seq);
         trace(TraceKind::Writeback, *inst);
@@ -1029,16 +1037,18 @@ OooCore::writebackStage(Cycle now)
 void
 OooCore::backendStage(Cycle now)
 {
+    // Entry into the replay stage is strictly in ROB order, so the
+    // already-entered instructions form a prefix; resume at the
+    // cursor instead of rescanning the window from the front.
     unsigned entered = 0;
-    for (DynInst &inst : rob_) {
-        if (entered >= config_.commitWidth)
-            break;
-        if (inst.enteredBackend)
-            continue;
+    while (entered < config_.commitWidth &&
+           backendEntered_ < rob_.size()) {
+        DynInst &inst = rob_[backendEntered_];
         if (inst.isSwapOp) {
             // SWAP executes at the head and bypasses the replay pipe.
             inst.enteredBackend = true;
             inst.compareReadyCycle = now;
+            ++backendEntered_;
             ++entered;
             continue;
         }
@@ -1120,6 +1130,7 @@ OooCore::backendStage(Cycle now)
             inst.compareReadyCycle = now + 2;
         }
         inst.enteredBackend = true;
+        ++backendEntered_;
         ++entered;
     }
 }
@@ -1167,6 +1178,8 @@ OooCore::tryExecuteSwapAtHead(DynInst &head, Cycle now)
     head.replayVersion = versionSafe(addr); // version written
     head.destValue = head.prematureValue;
     head.executed = true;
+    incompleteMemOps_.erase(head.seq);
+    unscheduledMemOps_.erase(head.seq);
     if (head.inst.writesRd())
         wakeDependents(head.seq);
     ++commitPortsUsed_;
@@ -1366,6 +1379,8 @@ OooCore::retireHead(Cycle now)
             lq_->retire(head.seq);
         else
             rq_->retire(head.seq);
+        if (trackIssuedLoads())
+            issuedLoads_.erase(head.seq);
         auto it = replaySuppress_.find(head.pc);
         if (it != replaySuppress_.end()) {
             if (it->second > 0)
@@ -1414,10 +1429,17 @@ OooCore::retireHead(Cycle now)
             ++(*sc_branch_mispredicts_committed_);
     }
 
-    if (head.inst.writesRd())
+    if (head.inst.writesRd()) {
         retiredRegs_[head.inst.rd] = head.destValue;
-    if (head.inst.writesRd() && renameMap_[head.inst.rd] == head.seq)
-        renameMap_[head.inst.rd] = kNoSeq;
+        // The retiring writer is the oldest in flight for its
+        // register, i.e. the front of the writer stack. Younger
+        // in-flight writers keep the rename mapping alive.
+        auto &writers = regWriters_[head.inst.rd];
+        if (!writers.empty() && writers.front() == head.seq)
+            writers.pop_front();
+        if (writers.empty())
+            renameMap_[head.inst.rd] = kNoSeq;
+    }
     if (head.isStoreOp)
         depPred_->notifyStoreRemoved(head.pc, head.seq);
     if ((head.isSwapOp || head.isMembarOp) && !fences_.empty() &&
@@ -1428,6 +1450,10 @@ OooCore::retireHead(Cycle now)
         halted_ = true;
 
     trace(TraceKind::Commit, head);
+    // Prefix invariant: the head entered the backend iff the entered
+    // prefix is non-empty (SWAPs can retire without ever entering).
+    if (backendEntered_ > 0)
+        --backendEntered_;
     rob_.pop_front();
     ++committed_;
     noteCommit(now);

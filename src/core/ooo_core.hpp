@@ -26,6 +26,8 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <queue>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -143,7 +145,14 @@ class OooCore : public MemEventClient
     void doBranchMispredict(DynInst &branch, Cycle now);
     void squashFrom(SeqNum bound, std::uint32_t new_fetch_pc,
                     const PredictorSnapshot &snap);
-    void rebuildRenameMap();
+
+    /** Shadow CAM statistics need the issued-load index only in value
+     * mode (the baseline keeps its own LQ). */
+    bool
+    trackIssuedLoads() const
+    {
+        return rq_ != nullptr && config_.shadowLqStats;
+    }
     void handleLqSquash(const LqSquash &squash, std::uint32_t store_pc,
                         Word store_value, Addr store_addr,
                         unsigned store_size, bool is_snoop, Cycle now);
@@ -194,8 +203,41 @@ class OooCore : public MemEventClient
     /// Stores past agen whose data operand is still in flight.
     std::vector<DynInst *> pendingStoreData_;
 
-    // Completion events: cycle -> seq (lazily invalidated on squash).
-    std::multimap<Cycle, SeqNum> pendingWb_;
+    // Completion events: (cycle, seq), lazily invalidated on squash.
+    // A binary heap over a reused vector: no per-event node
+    // allocation on the writeback path (a multimap pays one per
+    // instruction).
+    std::priority_queue<std::pair<Cycle, SeqNum>,
+                        std::vector<std::pair<Cycle, SeqNum>>,
+                        std::greater<>>
+        pendingWb_;
+
+    /// Reused writeback scratch (cleared, never shrunk, per tick).
+    std::vector<SeqNum> wbScratch_;
+
+    // ----- incremental ordering watermarks ---------------------------
+    // These replace per-issue full-ROB walks. Invariants:
+    //  - incompleteMemOps_: seqs of in-flight loads/SWAPs with
+    //    !executed (MEMBARs execute at dispatch and never enter);
+    //  - unscheduledMemOps_: seqs of in-flight loads/stores with
+    //    !issued plus SWAPs with !executed;
+    //  - issuedLoads_: issued loads with a valid address, in age
+    //    order, only maintained when trackIssuedLoads() (shadow CAM
+    //    statistics walk these instead of the whole ROB).
+    std::set<SeqNum> incompleteMemOps_;
+    std::set<SeqNum> unscheduledMemOps_;
+    std::map<SeqNum, DynInst *> issuedLoads_;
+
+    /** Number of leading rob_ entries that already entered the
+     * replay/compare backend. Entry is strictly in ROB order, so the
+     * entered instructions always form a prefix; backendStage resumes
+     * here instead of rescanning the window. */
+    std::size_t backendEntered_ = 0;
+
+    /** Per-architectural-register stacks of in-flight writer seqs in
+     * age order (youngest at the back == renameMap_[r]). Squash pops
+     * the back, retire pops the front: no post-squash ROB rescan. */
+    std::array<std::deque<SeqNum>, kNumArchRegs> regWriters_;
 
     // Rename.
     std::array<SeqNum, kNumArchRegs> renameMap_;

@@ -14,6 +14,7 @@ StoreQueue::dispatch(SeqNum seq, std::uint32_t pc, unsigned size)
     e.pc = pc;
     e.size = size;
     entries_.pushBack(e);
+    ++unresolvedCount_; // address unknown until agen
 }
 
 void
@@ -21,6 +22,8 @@ StoreQueue::setAddress(SeqNum seq, Addr addr)
 {
     SqEntry *e = find(seq);
     VBR_ASSERT(e != nullptr, "agen of unknown store");
+    if (e->addr == kNoAddr && addr != kNoAddr)
+        --unresolvedCount_;
     e->addr = addr;
 }
 
@@ -79,10 +82,15 @@ StoreQueue::searchForLoad(SeqNum seq, Addr addr, unsigned size) const
 unsigned
 StoreQueue::unresolvedOlderThan(SeqNum seq) const
 {
+    if (unresolvedCount_ == 0)
+        return 0;
     unsigned n = 0;
+    // Age-ordered: stop at the first entry not older than the load.
     for (std::size_t i = 0; i < entries_.size(); ++i) {
         const SqEntry &e = entries_.at(i);
-        if (e.seq < seq && e.addr == kNoAddr)
+        if (e.seq >= seq)
+            break;
+        if (e.addr == kNoAddr)
             ++n;
     }
     return n;
@@ -115,8 +123,11 @@ StoreQueue::find(SeqNum seq)
 void
 StoreQueue::squashFrom(SeqNum bound)
 {
-    while (!entries_.empty() && entries_.back().seq >= bound)
+    while (!entries_.empty() && entries_.back().seq >= bound) {
+        if (entries_.back().addr == kNoAddr)
+            --unresolvedCount_;
         entries_.popBack();
+    }
 }
 
 } // namespace vbr

@@ -105,7 +105,13 @@ class StoreQueue
     SqEntry *find(SeqNum seq);
 
     /** Remove the (drained) head entry. */
-    void popFront() { entries_.popFront(); }
+    void
+    popFront()
+    {
+        if (entries_.front().addr == kNoAddr)
+            --unresolvedCount_;
+        entries_.popFront();
+    }
 
     /** Squash: drop all entries with seq >= @p bound. */
     void squashFrom(SeqNum bound);
@@ -114,6 +120,11 @@ class StoreQueue
 
   private:
     CircularBuffer<SqEntry> entries_;
+
+    /** Entries whose address is still unknown, maintained at
+     * dispatch/agen/squash so the no-unresolved-store query can skip
+     * its scan in the (common) all-resolved case. */
+    unsigned unresolvedCount_ = 0;
     mutable StatSet stats_; ///< searches are counted in const scans
 
     // Cached stat handles (string lookups are too slow per search).

@@ -1,0 +1,95 @@
+#include "sys/bench_json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "sys/sweep_runner.hpp"
+
+namespace vbr
+{
+
+namespace
+{
+// Captured at static initialization so wall_ms covers the whole
+// harness run even when the report object is built after the sweep.
+const std::chrono::steady_clock::time_point kProgramStart =
+    std::chrono::steady_clock::now();
+} // namespace
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_(kProgramStart)
+{
+}
+
+BenchReport &
+BenchReport::meta(const std::string &key, JsonValue value)
+{
+    meta_.set(key, std::move(value));
+    return *this;
+}
+
+BenchReport &
+BenchReport::addRun(const RunStats &s)
+{
+    runs_.push(runStatsToJson(s));
+    return *this;
+}
+
+BenchReport &
+BenchReport::addRow(JsonValue row)
+{
+    runs_.push(std::move(row));
+    return *this;
+}
+
+BenchReport &
+BenchReport::metric(const std::string &key, JsonValue value)
+{
+    metrics_.set(key, std::move(value));
+    return *this;
+}
+
+std::string
+BenchReport::render() const
+{
+    auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+    JsonValue doc = JsonValue::object();
+    doc.set("bench", name_);
+    doc.set("schema", 1);
+    doc.set("threads", sweepThreads());
+    doc.set("wall_ms", wall);
+    doc.set("meta", meta_);
+    doc.set("runs", runs_);
+    doc.set("metrics", metrics_);
+    return doc.dump(2);
+}
+
+std::string
+BenchReport::outputPath(const std::string &name)
+{
+    const char *dir = std::getenv("VBR_BENCH_DIR");
+    std::string base = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+    return base + "/BENCH_" + name + ".json";
+}
+
+void
+BenchReport::write() const
+{
+    std::string path = outputPath(name_);
+    std::string text = render();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot open bench report " + path);
+    if (std::fwrite(text.data(), 1, text.size(), f) != text.size()) {
+        std::fclose(f);
+        fatal("short write to bench report " + path);
+    }
+    std::fclose(f);
+    std::printf("[bench-json] %s\n", path.c_str());
+}
+
+} // namespace vbr

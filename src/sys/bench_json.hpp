@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Machine-readable benchmark reports. Every harness builds one
+ * BenchReport, feeds it the per-run statistics (or analytic rows) and
+ * derived metrics, and writes BENCH_<name>.json next to its stdout
+ * table, giving the perf trajectory a stable, parseable schema:
+ *
+ *   {
+ *     "bench":   "<harness name>",
+ *     "schema":  1,
+ *     "threads": <sweep worker count>,
+ *     "wall_ms": <wall-clock of the harness, steady_clock>,
+ *     "meta":    { "scale": ..., "mp_cores": ..., ... },
+ *     "runs":    [ { per-run RunStats or analytic row }, ... ],
+ *     "metrics": { "<derived metric>": value, ... }
+ *   }
+ *
+ * Everything except "threads" and "wall_ms" is deterministic for a
+ * given build + environment knobs; those two fields are the only ones
+ * a comparison must mask.
+ *
+ * Output directory: $VBR_BENCH_DIR if set, else the current working
+ * directory.
+ */
+
+#ifndef VBR_SYS_BENCH_JSON_HPP
+#define VBR_SYS_BENCH_JSON_HPP
+
+#include <chrono>
+#include <string>
+
+#include "common/json.hpp"
+#include "sys/run_stats.hpp"
+
+namespace vbr
+{
+
+class BenchReport
+{
+  public:
+    /** Starts the wall clock. @p name becomes BENCH_<name>.json. */
+    explicit BenchReport(std::string name);
+
+    /** Record an environment/config knob under "meta". */
+    BenchReport &meta(const std::string &key, JsonValue value);
+
+    /** Append one simulated run to "runs". */
+    BenchReport &addRun(const RunStats &s);
+
+    /** Append an arbitrary row to "runs" (analytic harnesses). */
+    BenchReport &addRow(JsonValue row);
+
+    /** Record a derived metric under "metrics". */
+    BenchReport &metric(const std::string &key, JsonValue value);
+
+    /** Serialize the report; wall_ms is measured at this call. */
+    std::string render() const;
+
+    /** Render + write to outputPath(); prints the path to stdout and
+     * calls fatal() if the file cannot be written. */
+    void write() const;
+
+    /** ${VBR_BENCH_DIR:-.}/BENCH_<name>.json */
+    static std::string outputPath(const std::string &name);
+
+  private:
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+    JsonValue meta_ = JsonValue::object();
+    JsonValue runs_ = JsonValue::array();
+    JsonValue metrics_ = JsonValue::object();
+};
+
+} // namespace vbr
+
+#endif // VBR_SYS_BENCH_JSON_HPP

@@ -1,0 +1,82 @@
+#include "sys/run_stats.hpp"
+
+#include "sys/system.hpp"
+
+namespace vbr
+{
+
+RunStats
+collectRunStats(System &sys, const RunResult &result,
+                const std::string &workload, const std::string &config)
+{
+    RunStats s;
+    s.workload = workload;
+    s.config = config;
+    s.instructions = result.instructions;
+    s.cycles = result.cycles;
+    s.ipc = result.ipc();
+
+    double occ_sum = 0.0;
+    for (unsigned c = 0; c < sys.numCores(); ++c) {
+        const StatSet &st = sys.core(c).stats();
+        s.l1dPremature += st.get("l1d_accesses_premature");
+        s.l1dStoreCommit += st.get("l1d_accesses_store_commit");
+        s.l1dReplay += st.get("l1d_accesses_replay");
+        s.l1dSwap += st.get("l1d_accesses_swap");
+        s.replaysUnresolved += st.get("replays_unresolved_store");
+        s.replaysConsistency += st.get("replays_consistency");
+        s.replaysFiltered += st.get("replays_filtered");
+        s.committedLoads += st.get("committed_loads");
+        s.squashLqRaw += st.get("squashes_lq_raw");
+        s.squashLqRawUnnec += st.get("squashes_lq_raw_unnecessary");
+        s.squashLqSnoop += st.get("squashes_lq_snoop");
+        s.squashLqSnoopUnnec +=
+            st.get("squashes_lq_snoop_unnecessary");
+        s.squashReplay += st.get("squashes_replay_mismatch");
+        s.wouldbeRaw += st.get("wouldbe_squashes_raw");
+        s.wouldbeRawValueEq +=
+            st.get("wouldbe_squashes_raw_value_equal");
+        s.wouldbeSnoop += st.get("wouldbe_squashes_snoop");
+        s.wouldbeSnoopValueEq +=
+            st.get("wouldbe_squashes_snoop_value_equal");
+        occ_sum += sys.core(c).stats().getMean("rob_occupancy");
+        if (auto *lq = sys.core(c).assocLq())
+            s.lqSearches += lq->searches();
+    }
+    s.robOccupancy = occ_sum / sys.numCores();
+    return s;
+}
+
+JsonValue
+runStatsToJson(const RunStats &s)
+{
+    JsonValue o = JsonValue::object();
+    o.set("workload", s.workload);
+    o.set("config", s.config);
+    o.set("ipc", s.ipc);
+    o.set("instructions", s.instructions);
+    o.set("cycles", s.cycles);
+    o.set("l1d_premature", s.l1dPremature);
+    o.set("l1d_store_commit", s.l1dStoreCommit);
+    o.set("l1d_replay", s.l1dReplay);
+    o.set("l1d_swap", s.l1dSwap);
+    o.set("l1d_total", s.l1dTotal());
+    o.set("replays_unresolved", s.replaysUnresolved);
+    o.set("replays_consistency", s.replaysConsistency);
+    o.set("replays_filtered", s.replaysFiltered);
+    o.set("committed_loads", s.committedLoads);
+    o.set("rob_occupancy", s.robOccupancy);
+    o.set("lq_searches", s.lqSearches);
+    o.set("squash_lq_raw", s.squashLqRaw);
+    o.set("squash_lq_raw_unnecessary", s.squashLqRawUnnec);
+    o.set("squash_lq_snoop", s.squashLqSnoop);
+    o.set("squash_lq_snoop_unnecessary", s.squashLqSnoopUnnec);
+    o.set("squash_replay", s.squashReplay);
+    o.set("wouldbe_raw", s.wouldbeRaw);
+    o.set("wouldbe_raw_value_equal", s.wouldbeRawValueEq);
+    o.set("wouldbe_snoop", s.wouldbeSnoop);
+    o.set("wouldbe_snoop_value_equal", s.wouldbeSnoopValueEq);
+    return o;
+}
+
+} // namespace vbr

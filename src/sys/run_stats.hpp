@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The statistics record every harness extracts from a finished run,
+ * plus its JSON projection for the machine-readable BENCH reports.
+ * Lives in src/sys (not bench/) so the sweep engine, the harnesses
+ * and the tests all share one definition.
+ */
+
+#ifndef VBR_SYS_RUN_STATS_HPP
+#define VBR_SYS_RUN_STATS_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+#include "common/types.hpp"
+
+namespace vbr
+{
+
+class System;
+struct RunResult;
+
+/** Statistics extracted from one run. */
+struct RunStats
+{
+    std::string workload;
+    std::string config;
+    double ipc = 0.0;
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;
+
+    std::uint64_t l1dPremature = 0; ///< incl. wrong-path loads
+    std::uint64_t l1dStoreCommit = 0;
+    std::uint64_t l1dReplay = 0;
+    std::uint64_t l1dSwap = 0;
+    std::uint64_t replaysUnresolved = 0;
+    std::uint64_t replaysConsistency = 0;
+    std::uint64_t replaysFiltered = 0;
+    std::uint64_t committedLoads = 0;
+
+    double robOccupancy = 0.0;
+
+    std::uint64_t lqSearches = 0; ///< baseline CAM searches
+    std::uint64_t squashLqRaw = 0;
+    std::uint64_t squashLqRawUnnec = 0;
+    std::uint64_t squashLqSnoop = 0;
+    std::uint64_t squashLqSnoopUnnec = 0;
+    std::uint64_t squashReplay = 0;
+    std::uint64_t wouldbeRaw = 0;
+    std::uint64_t wouldbeRawValueEq = 0;
+    std::uint64_t wouldbeSnoop = 0;
+    std::uint64_t wouldbeSnoopValueEq = 0;
+
+    std::uint64_t
+    l1dTotal() const
+    {
+        return l1dPremature + l1dStoreCommit + l1dReplay + l1dSwap;
+    }
+};
+
+/** Harvest counters from a finished system into one record. */
+RunStats collectRunStats(System &sys, const RunResult &result,
+                         const std::string &workload,
+                         const std::string &config);
+
+/** Flat JSON object, one member per field (insertion order fixed so
+ * reports diff cleanly). */
+JsonValue runStatsToJson(const RunStats &s);
+
+} // namespace vbr
+
+#endif // VBR_SYS_RUN_STATS_HPP

@@ -1,0 +1,20 @@
+#include "sys/sweep_runner.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace vbr
+{
+
+unsigned
+sweepThreads()
+{
+    if (const char *s = std::getenv("VBR_THREADS")) {
+        int n = std::atoi(s);
+        return n < 1 ? 1u : static_cast<unsigned>(n);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+}
+
+} // namespace vbr

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Sweep execution engine: fans a (workload x configuration) job grid
+ * over a work-stealing thread pool and returns results in submission
+ * order, so a parallel sweep is a drop-in replacement for the old
+ * serial loops — same result order, bitwise-identical tables.
+ *
+ * Why this is safe: each job builds its own System (cores, caches,
+ * memory image, RNG, stats) from value-captured specs; the simulator
+ * core has no mutable global state, and shared Program objects are
+ * only read. Determinism therefore holds per job regardless of which
+ * worker runs it or in what order jobs finish.
+ *
+ * Thread count comes from VBR_THREADS (default: hardware
+ * concurrency). With one thread the runner executes jobs inline on
+ * the calling thread — no pool is created, which keeps single-thread
+ * runs valgrind/strace-friendly and exactly equivalent to the old
+ * serial code path.
+ */
+
+#ifndef VBR_SYS_SWEEP_RUNNER_HPP
+#define VBR_SYS_SWEEP_RUNNER_HPP
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace vbr
+{
+
+/** Worker count for sweeps: VBR_THREADS if set (clamped to >= 1),
+ * else std::thread::hardware_concurrency(). */
+unsigned sweepThreads();
+
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(unsigned threads = sweepThreads())
+        : threads_(threads == 0 ? 1 : threads)
+    {
+    }
+
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Execute all @p jobs and return their results indexed exactly as
+     * submitted. Jobs must be independent; a thrown exception
+     * propagates to the caller after the remaining jobs drain.
+     */
+    template <class R>
+    std::vector<R>
+    run(std::vector<std::function<R()>> jobs) const
+    {
+        std::vector<R> results(jobs.size());
+        if (threads_ <= 1 || jobs.size() <= 1) {
+            for (std::size_t i = 0; i < jobs.size(); ++i)
+                results[i] = jobs[i]();
+            return results;
+        }
+        ThreadPool pool(threads_);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            // Each task writes only its own pre-sized slot, so the
+            // result vector needs no lock.
+            pool.submit([&results, &jobs, i] {
+                results[i] = jobs[i]();
+            });
+        }
+        pool.wait();
+        return results;
+    }
+
+  private:
+    unsigned threads_;
+};
+
+} // namespace vbr
+
+#endif // VBR_SYS_SWEEP_RUNNER_HPP

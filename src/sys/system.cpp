@@ -1,12 +1,15 @@
 #include "sys/system.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace vbr
 {
 
 System::System(const SystemConfig &config, const Program &prog)
-    : config_(config), dmaRng_(config.dmaSeed)
+    : config_(config), dmaRng_(config.dmaSeed),
+      coreHalted_(config.cores, false)
 {
     VBR_ASSERT(config.cores >= 1, "system needs at least one core");
     VBR_ASSERT(prog.threads().size() >= config.cores,
@@ -55,8 +58,13 @@ void
 System::tick()
 {
     ++now_;
-    for (auto &core : cores_)
-        core->tick(now_);
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        cores_[i]->tick(now_);
+        if (!coreHalted_[i] && cores_[i]->halted()) {
+            coreHalted_[i] = true;
+            ++haltedCores_;
+        }
+    }
 
     if (auditor_) {
         if (auditor_->scanDue(now_)) {
@@ -80,22 +88,27 @@ RunResult
 System::run()
 {
     RunResult result;
+    const Cycle stride = std::max<Cycle>(1, config_.deadlockCheckStride);
     while (now_ < config_.maxCycles) {
-        bool all_halted = true;
-        bool any_deadlock = false;
-        for (auto &core : cores_) {
-            if (!core->halted())
-                all_halted = false;
-            if (core->deadlocked(now_))
-                any_deadlock = true;
-        }
-        if (all_halted) {
+        if (haltedCores_ == cores_.size()) {
             result.allHalted = true;
             break;
         }
-        if (any_deadlock) {
-            result.deadlocked = true;
-            break;
+        // The deadlock watchdog is level-triggered, so polling it on
+        // a coarse stride delays detection by at most stride-1 cycles
+        // of an already-dead run.
+        if (now_ % stride == 0) {
+            bool any_deadlock = false;
+            for (auto &core : cores_) {
+                if (core->deadlocked(now_)) {
+                    any_deadlock = true;
+                    break;
+                }
+            }
+            if (any_deadlock) {
+                result.deadlocked = true;
+                break;
+            }
         }
         tick();
     }

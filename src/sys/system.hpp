@@ -49,6 +49,13 @@ struct SystemConfig
 
     /** Abort on the first audit violation (tests relax this). */
     bool auditPanic = true;
+
+    /** Poll the per-core deadlock watchdog only every this many
+     * cycles: the watchdog is level-triggered (it stays raised until
+     * a commit clears it), so a coarse stride only delays detection
+     * of an already-dead run, never misses one. Must be well below
+     * CoreConfig::deadlockThreshold. */
+    Cycle deadlockCheckStride = 256;
 };
 
 /** Result of running a system to completion. */
@@ -108,6 +115,12 @@ class System
     std::unique_ptr<InvariantAuditor> auditor_;
     Rng dmaRng_;
     Cycle now_ = 0;
+
+    /** Incremental halt tracking: tick() records each core's
+     * not-halted -> halted transition so run() compares one counter
+     * per cycle instead of polling every core. */
+    std::vector<bool> coreHalted_;
+    unsigned haltedCores_ = 0;
 };
 
 } // namespace vbr

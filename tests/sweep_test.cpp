@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Sweep-engine determinism tests: a real (workload x config) grid run
+ * with one thread and with eight threads must produce identical
+ * statistics run-for-run, and identical BENCH_<name>.json reports
+ * modulo the wall-clock field. This is the property that makes the
+ * parallel sweep a drop-in replacement for the old serial loops.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "sys/bench_json.hpp"
+#include "sys/run_stats.hpp"
+#include "sys/sweep_runner.hpp"
+#include "sys/system.hpp"
+#include "workload/synthetic.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+RunStats
+runOne(const std::string &wl_name, const std::string &cfg_name,
+       const CoreConfig &core)
+{
+    WorkloadSpec spec = uniprocessorWorkload(wl_name.c_str(), 0.02);
+    Program prog = makeSynthetic(spec.params);
+    SystemConfig cfg;
+    cfg.core = core;
+    System sys(cfg, prog);
+    RunResult r = sys.run();
+    EXPECT_TRUE(r.allHalted) << wl_name << "/" << cfg_name;
+    return collectRunStats(sys, r, wl_name, cfg_name);
+}
+
+std::vector<std::function<RunStats()>>
+makeGrid()
+{
+    std::vector<std::function<RunStats()>> jobs;
+    for (const char *wl : {"gcc", "art"}) {
+        jobs.push_back([wl] {
+            return runOne(wl, "baseline", CoreConfig::baseline());
+        });
+        jobs.push_back([wl] {
+            return runOne(wl, "replay-all",
+                          CoreConfig::valueReplay(
+                              ReplayFilterConfig::replayAll()));
+        });
+    }
+    return jobs;
+}
+
+void
+expectSameStats(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.l1dPremature, b.l1dPremature);
+    EXPECT_EQ(a.l1dStoreCommit, b.l1dStoreCommit);
+    EXPECT_EQ(a.l1dReplay, b.l1dReplay);
+    EXPECT_EQ(a.l1dSwap, b.l1dSwap);
+    EXPECT_EQ(a.replaysUnresolved, b.replaysUnresolved);
+    EXPECT_EQ(a.replaysConsistency, b.replaysConsistency);
+    EXPECT_EQ(a.replaysFiltered, b.replaysFiltered);
+    EXPECT_EQ(a.committedLoads, b.committedLoads);
+    EXPECT_EQ(a.robOccupancy, b.robOccupancy);
+    EXPECT_EQ(a.lqSearches, b.lqSearches);
+    EXPECT_EQ(a.squashLqRaw, b.squashLqRaw);
+    EXPECT_EQ(a.squashLqRawUnnec, b.squashLqRawUnnec);
+    EXPECT_EQ(a.squashLqSnoop, b.squashLqSnoop);
+    EXPECT_EQ(a.squashLqSnoopUnnec, b.squashLqSnoopUnnec);
+    EXPECT_EQ(a.squashReplay, b.squashReplay);
+    EXPECT_EQ(a.wouldbeRaw, b.wouldbeRaw);
+    EXPECT_EQ(a.wouldbeRawValueEq, b.wouldbeRawValueEq);
+    EXPECT_EQ(a.wouldbeSnoop, b.wouldbeSnoop);
+    EXPECT_EQ(a.wouldbeSnoopValueEq, b.wouldbeSnoopValueEq);
+}
+
+/** Mask the two environment-dependent fields of a rendered report. */
+std::string
+maskReport(const std::string &text)
+{
+    std::string out = std::regex_replace(
+        text, std::regex("\"wall_ms\": \\d+"), "\"wall_ms\": X");
+    return std::regex_replace(
+        out, std::regex("\"threads\": \\d+"), "\"threads\": X");
+}
+
+TEST(SweepTest, SerialAndParallelSweepsAreIdentical)
+{
+    SweepRunner serial(1);
+    SweepRunner parallel(8);
+    EXPECT_EQ(serial.threads(), 1u);
+    EXPECT_EQ(parallel.threads(), 8u);
+
+    std::vector<RunStats> a = serial.run(makeGrid());
+    std::vector<RunStats> b = parallel.run(makeGrid());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        expectSameStats(a[i], b[i]);
+    }
+
+    // The rendered reports agree byte-for-byte once wall-clock and
+    // thread count are masked.
+    BenchReport ra("sweep_test");
+    BenchReport rb("sweep_test");
+    for (const RunStats &s : a)
+        ra.addRun(s);
+    for (const RunStats &s : b)
+        rb.addRun(s);
+    EXPECT_EQ(maskReport(ra.render()), maskReport(rb.render()));
+}
+
+TEST(SweepTest, ResultsComeBackInSubmissionOrder)
+{
+    SweepRunner runner(4);
+    std::vector<std::function<int()>> jobs;
+    for (int i = 0; i < 100; ++i)
+        jobs.push_back([i] { return i; });
+    std::vector<int> out = runner.run(std::move(jobs));
+    ASSERT_EQ(out.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(out[i], i);
+}
+
+TEST(SweepTest, ThreadCountEnvKnob)
+{
+    setenv("VBR_THREADS", "3", 1);
+    EXPECT_EQ(sweepThreads(), 3u);
+    setenv("VBR_THREADS", "0", 1);
+    EXPECT_EQ(sweepThreads(), 1u);
+    unsetenv("VBR_THREADS");
+    EXPECT_GE(sweepThreads(), 1u);
+}
+
+TEST(SweepTest, BenchReportPathHonorsEnv)
+{
+    unsetenv("VBR_BENCH_DIR");
+    EXPECT_EQ(BenchReport::outputPath("x"), "./BENCH_x.json");
+    setenv("VBR_BENCH_DIR", "/tmp/vbr-bench", 1);
+    EXPECT_EQ(BenchReport::outputPath("x"),
+              "/tmp/vbr-bench/BENCH_x.json");
+    unsetenv("VBR_BENCH_DIR");
+}
+
+TEST(SweepTest, BenchReportSchemaFields)
+{
+    BenchReport rep("unit");
+    rep.meta("scale", 0.5);
+    rep.metric("geomean", 1.25);
+    std::string text = rep.render();
+    EXPECT_NE(text.find("\"bench\": \"unit\""), std::string::npos);
+    EXPECT_NE(text.find("\"schema\": 1"), std::string::npos);
+    EXPECT_NE(text.find("\"threads\": "), std::string::npos);
+    EXPECT_NE(text.find("\"wall_ms\": "), std::string::npos);
+    EXPECT_NE(text.find("\"scale\": 0.5"), std::string::npos);
+    EXPECT_NE(text.find("\"geomean\": 1.25"), std::string::npos);
+    EXPECT_NE(text.find("\"runs\": []"), std::string::npos);
+}
+
+} // namespace
+} // namespace vbr

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Thread-pool unit tests: every submitted task runs exactly once,
+ * exceptions propagate from workers to wait(), destruction with
+ * queued work drains deterministically, and the JSON writer the
+ * bench reports depend on serializes deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/thread_pool.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr int kTasks = 200;
+    std::vector<std::atomic<int>> hits(kTasks);
+    for (int i = 0; i < kTasks; ++i)
+        pool.submit([&hits, i] { hits[i].fetch_add(1); });
+    pool.wait();
+    for (int i = 0; i < kTasks; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+    EXPECT_EQ(pool.tasksRun(), kTasks);
+}
+
+TEST(ThreadPoolTest, SingleThreadPreservesSubmissionOrder)
+{
+    // With one worker there is no stealing: the round-robin submit
+    // target is always queue 0 and tasks run FIFO.
+    ThreadPool pool(1);
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&order, i] { order.push_back(i); });
+    pool.wait();
+    ASSERT_EQ(order.size(), 50u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, WorkerExceptionPropagatesToWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&completed] { completed.fetch_add(1); });
+    pool.submit([] { throw std::runtime_error("boom"); });
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&completed] { completed.fetch_add(1); });
+
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The failure does not cancel other tasks.
+    EXPECT_EQ(completed.load(), 20);
+    // The exception is delivered once; a second wait is clean.
+    pool.wait();
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsKept)
+{
+    ThreadPool pool(2);
+    for (int i = 0; i < 4; ++i)
+        pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    pool.wait(); // later exceptions were dropped, not queued
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork)
+{
+    constexpr int kTasks = 100;
+    std::vector<std::atomic<int>> hits(kTasks);
+    {
+        // One worker + a long head task guarantees work is still
+        // queued when the destructor runs.
+        ThreadPool pool(1);
+        for (int i = 0; i < kTasks; ++i)
+            pool.submit([&hits, i] { hits[i].fetch_add(1); });
+        // No wait(): destruction must drain everything.
+    }
+    for (int i = 0; i < kTasks; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(ThreadPoolTest, ZeroThreadRequestClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, MultipleWorkersParticipate)
+{
+    // 64 sleeping tasks across 4 workers: more than one OS thread
+    // must end up executing them (covers wakeup + stealing paths).
+    ThreadPool pool(4);
+    std::mutex m;
+    std::set<std::thread::id> seen;
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&m, &seen] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            std::lock_guard<std::mutex> lock(m);
+            seen.insert(std::this_thread::get_id());
+        });
+    }
+    pool.wait();
+    EXPECT_GE(seen.size(), 2u);
+}
+
+// --- JSON writer ---------------------------------------------------------
+
+TEST(JsonTest, ScalarsAndEscaping)
+{
+    EXPECT_EQ(JsonValue().dump(), "null");
+    EXPECT_EQ(JsonValue(true).dump(), "true");
+    EXPECT_EQ(JsonValue(-3).dump(), "-3");
+    EXPECT_EQ(JsonValue(std::uint64_t{18446744073709551615ull}).dump(),
+              "18446744073709551615");
+    EXPECT_EQ(JsonValue(0.5).dump(), "0.5");
+    EXPECT_EQ(JsonValue("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+    EXPECT_EQ(JsonValue(std::string{"\x01"}).dump(), "\"\\u0001\"");
+}
+
+TEST(JsonTest, ObjectKeepsInsertionOrderAndOverwrites)
+{
+    JsonValue o = JsonValue::object();
+    o.set("b", 1).set("a", 2).set("b", 3);
+    EXPECT_EQ(o.dump(), "{\"b\":3,\"a\":2}");
+}
+
+TEST(JsonTest, NestedPrettyPrintIsStable)
+{
+    JsonValue o = JsonValue::object();
+    JsonValue arr = JsonValue::array();
+    arr.push(1).push(JsonValue::object());
+    o.set("xs", std::move(arr));
+    EXPECT_EQ(o.dump(2),
+              "{\n  \"xs\": [\n    1,\n    {}\n  ]\n}\n");
+    // Identical input -> byte-identical output.
+    JsonValue o2 = JsonValue::object();
+    JsonValue arr2 = JsonValue::array();
+    arr2.push(1).push(JsonValue::object());
+    o2.set("xs", std::move(arr2));
+    EXPECT_EQ(o.dump(2), o2.dump(2));
+}
+
+TEST(JsonTest, NonFiniteDoublesBecomeNull)
+{
+    EXPECT_EQ(JsonValue(std::nan("")).dump(), "null");
+}
+
+} // namespace
+} // namespace vbr

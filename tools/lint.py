@@ -22,7 +22,10 @@ SOURCE_DIRS = ("src", "tests", "bench", "examples")
 # `new` as an allocating expression: preceded by start/space/paren/
 # comma/=, not part of an identifier. make_unique and words like
 # "renewed" don't match; comment lines are stripped before matching.
-NAKED_NEW_RE = re.compile(r"(?:^|[\s(,=])(new|delete)\b(?!\w)")
+# Requires an operand after the keyword so deleted special members
+# (`= delete;`) don't trip the rule.
+NAKED_NEW_RE = re.compile(
+    r"(?:^|[\s(,=])(new|delete)\b\s*(?:\[\s*\])?\s*[A-Za-z_(:]")
 USING_STD_RE = re.compile(r"^\s*using\s+namespace\s+std\s*;")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+["<]([^">]+)[">]')
 

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Run every figure/table/ablation harness and collect the results:
+#   results/bench_full.txt           - concatenated stdout tables
+#   results/BENCH_<name>.json        - machine-readable report per harness
+#
+# Usage: tools/run_bench.sh [build-dir] [results-dir]
+# Knobs: VBR_SCALE (default 1.0), VBR_MP_CORES, VBR_THREADS.
+set -eu
+
+build_dir=${1:-build}
+results_dir=${2:-results}
+scale=${VBR_SCALE:-1.0}
+
+if [ ! -d "$build_dir/bench" ]; then
+    echo "error: $build_dir/bench not found (build first)" >&2
+    exit 1
+fi
+mkdir -p "$results_dir"
+
+# Fixed order: figures, tables, sections, ablations, microbenchmarks.
+harnesses="
+fig5_performance
+fig6_bandwidth
+fig7_rob_occupancy
+fig8_constrained_lq
+table1_lq_attributes
+table2_cam_model
+sec51_squash_elimination
+sec53_power_model
+ablation_dep_predictor
+ablation_replay_bandwidth
+ablation_store_prefetch
+ablation_value_prediction
+ablation_window_scaling
+micro_lsq_structures
+"
+
+out="$results_dir/bench_full.txt"
+: > "$out"
+for name in $harnesses; do
+    bin="$build_dir/bench/$name"
+    if [ ! -x "$bin" ]; then
+        echo "error: missing harness $bin" >&2
+        exit 1
+    fi
+    echo "== $name (VBR_SCALE=$scale) ==" | tee -a "$out"
+    VBR_SCALE=$scale VBR_BENCH_DIR=$results_dir "$bin" >> "$out"
+    echo >> "$out"
+done
+
+echo "wrote $out and $(ls "$results_dir"/BENCH_*.json | wc -l) JSON reports"
