@@ -64,6 +64,50 @@ main()
 
     std::vector<RunStats> results = jobs.run();
 
+    // Refactor smoke check: per-scheme totals of squashes, replays,
+    // and filter hits at the canonical operating point are pinned to
+    // the pre-MemoryOrderingUnit-refactor goldens. The simulator is
+    // deterministic, so any drift here means an ordering backend
+    // changed behavior, not just structure.
+    if (scale == 1.0 && mp_cores == 4) {
+        struct GoldenTotals
+        {
+            const char *config;
+            std::uint64_t squashes; // lq_raw + lq_snoop + replay
+            std::uint64_t replays;  // unresolved + consistency
+            std::uint64_t filtered;
+        };
+        static constexpr GoldenTotals kGolden[] = {
+            {"baseline", 15807, 0, 0},
+            {"replay-all", 1901, 2162051, 1901},
+            {"no-reorder", 144, 1024635, 1168231},
+            {"no-recent-miss", 1939, 517096, 1664232},
+            {"no-recent-snoop", 1935, 110062, 2089629},
+        };
+        for (const GoldenTotals &g : kGolden) {
+            std::uint64_t squashes = 0, replays = 0, filtered = 0;
+            for (const RunStats &s : results) {
+                if (s.config != g.config)
+                    continue;
+                squashes += s.squashLqRaw + s.squashLqSnoop +
+                            s.squashReplay;
+                replays += s.replaysUnresolved + s.replaysConsistency;
+                filtered += s.replaysFiltered;
+            }
+            if (squashes != g.squashes || replays != g.replays ||
+                filtered != g.filtered)
+                fatal(std::string("fig5 golden drift for ") + g.config +
+                      ": squashes " + std::to_string(squashes) + " (want " +
+                      std::to_string(g.squashes) + "), replays " +
+                      std::to_string(replays) + " (want " +
+                      std::to_string(g.replays) + "), filtered " +
+                      std::to_string(filtered) + " (want " +
+                      std::to_string(g.filtered) + ")");
+        }
+        std::printf("[fig5-smoke] per-scheme squash/replay/filter "
+                    "totals match pre-refactor goldens\n\n");
+    }
+
     BenchReport rep("fig5_performance");
     rep.meta("scale", scale).meta("mp_cores", mp_cores);
     for (const RunStats &s : results)

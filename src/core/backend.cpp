@@ -1,0 +1,33 @@
+// The core's side of the OrderingHost seam: the services a
+// memory-ordering backend may call back into (the replay/compare
+// backend stage itself lives in the backend unit; see
+// ordering/value_replay_unit.cpp).
+
+#include "core/ooo_core.hpp"
+
+namespace vbr
+{
+
+void
+OooCore::traceEvent(TraceKind kind, const DynInst &inst)
+{
+    trace(kind, inst);
+}
+
+bool
+OooCore::replayPortAvailable() const
+{
+    // Constraint 2 (§3): replays go through the shared commit-stage
+    // port (stores have priority) with limited replay bandwidth.
+    return commitPortAvailable() &&
+           replaysThisCycle_ < config_.replaysPerCycle;
+}
+
+void
+OooCore::takeReplayPort()
+{
+    ++commitPortsUsed_;
+    ++replaysThisCycle_;
+}
+
+} // namespace vbr

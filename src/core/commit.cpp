@@ -1,0 +1,270 @@
+// Commit stage of OooCore: SWAP execution at the head, retirement,
+// and the commit loop. The ordering backend gets the final word on
+// every retirement (preCommit) and observes it (onRetire).
+
+#include "core/ooo_core.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "isa/semantics.hpp"
+#include "mem/memory_image.hpp"
+#include "verify/auditor.hpp"
+
+namespace vbr
+{
+
+bool
+OooCore::tryExecuteSwapAtHead(DynInst &head, Cycle now)
+{
+    if (!commitPortAvailable())
+        return false;
+
+    Word a = retiredRegs_[head.inst.ra];
+    Word data = retiredRegs_[head.inst.rb];
+    Addr addr = effectiveAddr(head.inst, a);
+    head.memAddr = addr;
+    head.memSize = 8;
+    head.storeData = data;
+    VBR_ASSERT(addr % 8 == 0 && addr + 8 <= mem_.size(),
+               "SWAP with invalid address reached commit");
+
+    if (!head.ownershipRequested) {
+        head.ownershipRequested = true;
+        if (!hierarchy_.ownsLine(addr)) {
+            MemAccess acc = hierarchy_.acquireOwnership(addr);
+            head.compareReadyCycle = now + acc.latency;
+            return false;
+        }
+        head.compareReadyCycle = now;
+    }
+    if (now < head.compareReadyCycle)
+        return false;
+    // The transfer latency is paid. If a competitor stole the line
+    // meanwhile, our queued request is serviced now — the silent
+    // re-acquisition prevents ownership livelock under contention.
+    if (!hierarchy_.ownsLine(addr))
+        hierarchy_.acquireOwnership(addr);
+
+    // Atomic read-modify-write at the global visibility point.
+    head.prematureValue = mem_.read(addr, 8);
+    head.prematureVersion = versionSafe(addr);
+    mem_.write(addr, 8, data);
+    head.replayVersion = versionSafe(addr); // version written
+    head.destValue = head.prematureValue;
+    head.executed = true;
+    incompleteMemOps_.erase(head.seq);
+    unscheduledMemOps_.erase(head.seq);
+    if (head.inst.writesRd())
+        wakeDependents(head.seq);
+    ++commitPortsUsed_;
+    ++(*sc_l1d_accesses_swap_);
+    return true;
+}
+
+bool
+OooCore::retireHead(Cycle now)
+{
+    DynInst &head = rob_.front();
+
+    if (head.isSwapOp && !head.executed) {
+        if (!tryExecuteSwapAtHead(head, now))
+            return false;
+    }
+    if (!head.executed)
+        return false;
+
+    // Backend verdict: replay/compare gates, late replays, mismatch
+    // or snoop-mark squashes. False = stall (or squash was issued).
+    if (!ordering_->preCommit(head, now))
+        return false;
+
+    if (head.isStoreOp) {
+        if (!commitPortAvailable())
+            return false;
+        SqEntry *e = sq_.head();
+        VBR_ASSERT(e && e->seq == head.seq, "SQ head mismatch");
+        VBR_ASSERT(head.addrValid,
+                   "store with invalid address reached commit");
+        if (!head.ownershipRequested) {
+            head.ownershipRequested = true;
+            if (!hierarchy_.ownsLine(head.memAddr)) {
+                MemAccess acc =
+                    hierarchy_.acquireOwnership(head.memAddr);
+                e->ownershipReadyCycle = now + acc.latency;
+                return false;
+            }
+            // Exclusive prefetch at agen may still be in flight.
+            e->ownershipReadyCycle =
+                std::max(e->ownershipReadyCycle, now);
+        }
+        if (now < e->ownershipReadyCycle)
+            return false;
+        // Latency paid; service the queued request even if the line
+        // was stolen meanwhile (prevents ownership livelock).
+        if (!hierarchy_.ownsLine(head.memAddr))
+            hierarchy_.acquireOwnership(head.memAddr);
+
+        // Drain: the store becomes globally visible here.
+        mem_.write(head.memAddr, head.memSize, head.storeData);
+        std::uint32_t wv = versionSafe(head.memAddr);
+        ++commitPortsUsed_;
+        ++(*sc_l1d_accesses_store_commit_);
+
+        drainedVersions_.emplace_back(head.seq, wv);
+        std::size_t max_hist = config_.robEntries + config_.sqEntries + 64;
+        while (drainedVersions_.size() > max_hist)
+            drainedVersions_.pop_front();
+
+        if (observer_ || auditor_) {
+            MemCommitEvent ev;
+            ev.core = coreId();
+            ev.seq = head.seq;
+            ev.pc = head.pc;
+            ev.addr = head.memAddr;
+            ev.size = head.memSize;
+            ev.isWrite = true;
+            ev.writeValue = head.storeData;
+            ev.writeVersion = wv;
+            ev.performCycle = now;
+            ev.commitCycle = now;
+            emitCommit(ev);
+        }
+        if (auditor_)
+            auditor_->onStoreDrained(coreId(), head.seq, now);
+        sq_.popFront();
+        ++(*sc_committed_stores_);
+    }
+
+    if (head.isLoadOp) {
+        VBR_ASSERT(head.addrValid,
+                   "load with invalid address reached commit");
+        // Reads-from attribution: always the premature sample. A
+        // matching replay proves the premature value was still valid,
+        // and attributing the (wall-clock) premature version avoids
+        // false constraint-graph cycles when silent stores advance
+        // the version without changing the value (§2.1 value
+        // locality). Mismatching replays squash and never commit.
+        std::uint32_t rv = head.prematureVersion;
+        if (head.forwarded) {
+            rv = 0;
+            for (auto it = drainedVersions_.rbegin();
+                 it != drainedVersions_.rend(); ++it) {
+                if (it->first == head.forwardStore) {
+                    rv = it->second;
+                    break;
+                }
+            }
+        }
+        if (observer_ || auditor_) {
+            MemCommitEvent ev;
+            ev.core = coreId();
+            ev.seq = head.seq;
+            ev.pc = head.pc;
+            ev.addr = head.memAddr;
+            ev.size = head.memSize;
+            ev.isRead = true;
+            ev.readValue = head.prematureValue;
+            ev.readVersion = rv;
+            ev.performCycle = head.sampleCycle;
+            ev.commitCycle = now;
+            emitCommit(ev);
+        }
+        if (auditor_)
+            auditor_->onLoadCommit(coreId(), head.seq, head.pc,
+                                   head.replayIssued,
+                                   head.compareReadyCycle, now);
+        if (valuePred_) {
+            valuePred_->train(head.pc, head.prematureValue);
+            if (head.valuePredicted)
+                ++(*sc_value_predictions_committed_);
+        }
+        ++(*sc_committed_loads_);
+    }
+
+    if (head.isSwapOp && (observer_ || auditor_)) {
+        MemCommitEvent ev;
+        ev.core = coreId();
+        ev.seq = head.seq;
+        ev.pc = head.pc;
+        ev.addr = head.memAddr;
+        ev.size = head.memSize;
+        ev.isRead = true;
+        ev.isWrite = true;
+        ev.readValue = head.prematureValue;
+        ev.readVersion = head.prematureVersion;
+        ev.writeValue = head.storeData;
+        ev.writeVersion = head.replayVersion;
+        ev.performCycle = now;
+        ev.commitCycle = now;
+        emitCommit(ev);
+    }
+
+    if (head.isMembarOp && (observer_ || auditor_)) {
+        MemCommitEvent ev;
+        ev.core = coreId();
+        ev.seq = head.seq;
+        ev.pc = head.pc;
+        ev.isFence = true;
+        ev.performCycle = now;
+        ev.commitCycle = now;
+        emitCommit(ev);
+    }
+
+    if (head.isCtrlOp) {
+        bp_.update(head.pc, head.inst, head.actualTaken,
+                   head.actualTarget, head.predSnap);
+        ++(*sc_committed_branches_);
+        if (isCondBranch(head.inst.op) &&
+            (head.predTaken != head.actualTaken))
+            ++(*sc_branch_mispredicts_committed_);
+    }
+
+    if (head.inst.writesRd()) {
+        retiredRegs_[head.inst.rd] = head.destValue;
+        // The retiring writer is the oldest in flight for its
+        // register, i.e. the front of the writer stack. Younger
+        // in-flight writers keep the rename mapping alive.
+        auto &writers = regWriters_[head.inst.rd];
+        if (!writers.empty() && writers.front() == head.seq)
+            writers.pop_front();
+        if (writers.empty())
+            renameMap_[head.inst.rd] = kNoSeq;
+    }
+    if (head.isStoreOp)
+        depPred_->notifyStoreRemoved(head.pc, head.seq);
+    if ((head.isSwapOp || head.isMembarOp) && !fences_.empty() &&
+        fences_.front() == head.seq)
+        fences_.erase(fences_.begin());
+
+    if (head.inst.op == Opcode::HALT)
+        halted_ = true;
+
+    // Backend bookkeeping: queue retirement, suppression bleed-off.
+    ordering_->onRetire(head);
+
+    trace(TraceKind::Commit, head);
+    rob_.pop_front();
+    ++committed_;
+    noteCommit(now);
+    ++(*sc_committed_instructions_);
+    return true;
+}
+
+void
+OooCore::commitStage(Cycle now)
+{
+    commitPortsUsed_ = 0;
+    replaysThisCycle_ = 0;
+
+    for (unsigned n = 0; n < config_.commitWidth; ++n) {
+        if (rob_.empty() || halted_)
+            break;
+        if (!retireHead(now))
+            break;
+        if (squashedThisCycle_)
+            break;
+    }
+}
+
+} // namespace vbr

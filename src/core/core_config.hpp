@@ -10,19 +10,12 @@
 #define VBR_CORE_CORE_CONFIG_HPP
 
 #include "common/types.hpp"
-#include "lsq/assoc_load_queue.hpp"
 #include "lsq/replay_filters.hpp"
+#include "ordering/scheme.hpp"
 #include "predict/branch_predictor.hpp"
 
 namespace vbr
 {
-
-/** How the core enforces memory ordering. */
-enum class OrderingScheme
-{
-    AssocLoadQueue, ///< baseline: CAM-based load queue
-    ValueReplay,    ///< the paper's value-based replay mechanism
-};
 
 /** Which dependence predictor gates speculative load issue. */
 enum class DepPredictorKind

@@ -1,0 +1,111 @@
+// Dispatch/rename stage of OooCore.
+
+#include "core/ooo_core.hpp"
+
+#include "isa/semantics.hpp"
+#include "verify/auditor.hpp"
+
+namespace vbr
+{
+
+void
+OooCore::dispatchStage(Cycle now)
+{
+    for (unsigned n = 0; n < config_.dispatchWidth; ++n) {
+        if (frontEnd_.empty() || frontEnd_.front().readyCycle > now)
+            break;
+        if (rob_.size() >= config_.robEntries) {
+            ++(*sc_dispatch_stalls_rob_);
+            break;
+        }
+
+        const FetchedInst &f = frontEnd_.front();
+        const Opcode op = f.inst.op;
+        bool is_load = isLoad(op);
+        bool is_store = isStore(op);
+        bool is_swap = op == Opcode::SWAP;
+        bool is_membar = op == Opcode::MEMBAR;
+        bool needs_iq = !(op == Opcode::NOP || op == Opcode::HALT ||
+                          is_membar || is_swap);
+
+        if (needs_iq && iq_.size() >= config_.iqEntries) {
+            ++(*sc_dispatch_stalls_iq_);
+            break;
+        }
+        if (is_load && ordering_->loadQueueFull()) {
+            ++(*sc_dispatch_stalls_loadq_);
+            break;
+        }
+        if (is_store && sq_.full()) {
+            ++(*sc_dispatch_stalls_sq_);
+            break;
+        }
+
+        DynInst d;
+        d.seq = nextSeq_++;
+        d.pc = f.pc;
+        d.inst = f.inst;
+        d.isLoadOp = is_load;
+        d.isStoreOp = is_store;
+        d.isSwapOp = is_swap;
+        d.isMembarOp = is_membar;
+        d.isCtrlOp = isControl(op);
+        d.predTaken = f.predTaken;
+        d.predTarget = f.predTarget;
+        d.predSnap = f.snap;
+        d.fetchCycle = now;
+
+        if (f.inst.readsRa() && f.inst.ra != 0)
+            d.srcA = renameMap_[f.inst.ra];
+        if (f.inst.readsRb() && f.inst.rb != 0)
+            d.srcB = renameMap_[f.inst.rb];
+        if (f.inst.writesRd()) {
+            renameMap_[f.inst.rd] = d.seq;
+            regWriters_[f.inst.rd].push_back(d.seq);
+        }
+
+        if (op == Opcode::NOP || op == Opcode::HALT || is_membar)
+            d.executed = true;
+
+        // Watermark bookkeeping (seqs are monotonic: end() hints).
+        if (is_load || is_swap)
+            incompleteMemOps_.insert(incompleteMemOps_.end(), d.seq);
+        if (is_load || is_store || is_swap)
+            unscheduledMemOps_.insert(unscheduledMemOps_.end(),
+                                      d.seq);
+
+        if (is_load)
+            ordering_->dispatchLoad(d.seq, d.pc, memSize(op));
+        if (is_store) {
+            sq_.dispatch(d.seq, d.pc, memSize(op));
+            depPred_->notifyStoreDispatched(d.pc, d.seq);
+            if (auditor_)
+                auditor_->onStoreDispatched(coreId(), d.seq);
+        }
+        if (is_swap || is_membar)
+            fences_.push_back(d.seq);
+
+        // Initial readiness: architectural source, or an in-flight
+        // producer that has already executed.
+        auto producer_done = [this](SeqNum producer) {
+            if (producer == kNoSeq)
+                return true;
+            const DynInst *p = findInst(producer);
+            return p == nullptr || p->executed;
+        };
+        d.aReady = !f.inst.readsRa() || producer_done(d.srcA);
+        d.bReady = !f.inst.readsRb() || producer_done(d.srcB);
+
+        bool to_iq = needs_iq;
+        rob_.push_back(d);
+        if (to_iq) {
+            rob_.back().inIssueQueue = true;
+            iq_.push_back({rob_.back().seq, &rob_.back()});
+        }
+        frontEnd_.pop_front();
+        ++(*sc_dispatched_instructions_);
+        trace(TraceKind::Dispatch, rob_.back());
+    }
+}
+
+} // namespace vbr

@@ -1,0 +1,61 @@
+// Fetch stage of OooCore (see ooo_core.hpp for the pipeline map).
+
+#include "core/ooo_core.hpp"
+
+#include "isa/semantics.hpp"
+
+namespace vbr
+{
+
+void
+OooCore::fetchStage(Cycle now)
+{
+    if (haltFetched_ || now < fetchStallUntil_)
+        return;
+    std::size_t cap = static_cast<std::size_t>(config_.frontEndDepth) *
+                      config_.fetchWidth;
+    for (unsigned slot = 0; slot < config_.fetchWidth; ++slot) {
+        if (frontEnd_.size() >= cap)
+            break;
+
+        const Instruction &si = prog_.fetch(fetchPc_);
+        Addr caddr = prog_.codeAddr(fetchPc_);
+        Addr cline = hierarchy_.lineAddr(caddr);
+        if (cline != lastFetchLine_) {
+            unsigned lat = hierarchy_.fetchInst(caddr);
+            if (lat > 1) {
+                // I-cache miss: stall fetch until the line arrives.
+                fetchStallUntil_ = now + lat;
+                ++(*sc_icache_stalls_);
+                return;
+            }
+            lastFetchLine_ = cline;
+        }
+
+        FetchedInst f;
+        f.pc = fetchPc_;
+        f.inst = si;
+        f.snap = bp_.snapshot();
+        f.readyCycle = now + config_.frontEndDepth;
+
+        bool taken = false;
+        if (isControl(si.op)) {
+            BranchPrediction pred = bp_.predict(fetchPc_, si);
+            f.predTaken = pred.taken;
+            f.predTarget = pred.target;
+            taken = pred.taken;
+        }
+        frontEnd_.push_back(f);
+        ++(*sc_fetched_instructions_);
+
+        if (si.op == Opcode::HALT) {
+            haltFetched_ = true;
+            break;
+        }
+        fetchPc_ = taken ? f.predTarget : fetchPc_ + 1;
+        if (taken)
+            break; // fetch stops at the first taken branch per cycle
+    }
+}
+
+} // namespace vbr

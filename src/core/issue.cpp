@@ -1,0 +1,297 @@
+// Issue/execute stage of OooCore: load and store issue, store-data
+// capture, and the select loop over the issue queue. Memory-ordering
+// consequences of an issue (CAM searches, replay-queue recording)
+// are delegated to the ordering backend.
+
+#include "core/ooo_core.hpp"
+
+#include "isa/semantics.hpp"
+#include "mem/memory_image.hpp"
+
+namespace vbr
+{
+
+void
+OooCore::issueLoad(DynInst &inst, Cycle now)
+{
+    Addr addr = effectiveAddr(inst.inst, readOperand(inst.srcA,
+                                                     inst.inst.ra));
+    unsigned size = memSize(inst.inst.op);
+    inst.memAddr = addr;
+    inst.memSize = size;
+    inst.addrValid = (addr % size == 0) && (addr + size <= mem_.size());
+
+    SqSearchResult res = sq_.searchForLoad(inst.seq, addr, size);
+    if (res.kind == SqSearchResult::Kind::Blocked) {
+        // Value prediction turns the stall into speculation: execute
+        // with the predicted value; the mandatory replay validates.
+        std::optional<Word> predicted;
+        if (valuePred_)
+            predicted = valuePred_->predict(inst.pc);
+        if (!predicted) {
+            inst.blockedOnStore = res.store;
+            ++(*sc_loads_blocked_on_store_);
+            return; // stays in the issue queue
+        }
+        inst.valuePredicted = true;
+        inst.replayInfo.bypassedUnresolvedStore = true;
+        inst.replayInfo.issuedOutOfOrder = true;
+        inst.replayInfo.issuedOutOfOrderSched = true;
+        inst.replayInfo.issuedBeforeOlderLoad = true;
+        inst.prematureValue = *predicted;
+        inst.prematureVersion = 0;
+        inst.sampleCycle = now;
+        inst.destValue = *predicted;
+        inst.issued = true;
+        inst.inIssueQueue = false;
+        unscheduledMemOps_.erase(inst.seq);
+        pendingWb_.emplace(now + 1, inst.seq);
+        ++(*sc_loads_issued_);
+        ++(*sc_loads_value_predicted_);
+        trace(TraceKind::Issue, inst);
+        ordering_->onLoadIssued(inst, now);
+        return;
+    }
+
+    inst.replayInfo.bypassedUnresolvedStore = res.sawUnresolvedOlder;
+    inst.replayInfo.issuedOutOfOrder = olderMemOpIncomplete(inst.seq);
+    inst.replayInfo.issuedOutOfOrderSched =
+        olderMemOpUnscheduled(inst.seq);
+    // incompleteMemOps_ holds exactly the unexecuted loads/SWAPs;
+    // this load is in it with seq == inst.seq, so strict < excludes
+    // it (this used to be another front-to-back ROB walk).
+    inst.replayInfo.issuedBeforeOlderLoad =
+        !incompleteMemOps_.empty() &&
+        *incompleteMemOps_.begin() < inst.seq;
+    if (res.sawUnresolvedOlder)
+        ++(*sc_loads_bypassing_unresolved_store_);
+    if (inst.replayInfo.issuedOutOfOrder)
+        ++(*sc_loads_issued_out_of_order_);
+
+    unsigned lat = 1;
+    if (res.kind == SqSearchResult::Kind::Forward) {
+        inst.forwarded = true;
+        inst.forwardStore = res.store;
+        inst.prematureValue = res.value;
+        inst.prematureVersion = 0; // resolved at commit via the store
+        ++(*sc_loads_forwarded_);
+    } else {
+        if (inst.addrValid) {
+            MemAccess acc = hierarchy_.read(addr, inst.pc);
+            lat = acc.latency;
+            ++(*sc_l1d_accesses_premature_);
+        }
+        inst.prematureValue = readMemSafe(addr, size);
+        inst.prematureVersion = versionSafe(addr);
+    }
+    inst.sampleCycle = now;
+    inst.destValue = inst.prematureValue;
+    inst.issued = true;
+    inst.inIssueQueue = false;
+    unscheduledMemOps_.erase(inst.seq);
+    pendingWb_.emplace(now + lat, inst.seq);
+    ++(*sc_loads_issued_);
+    trace(TraceKind::Issue, inst);
+
+    // Backend reaction: CAM record + ordering searches (baseline) or
+    // replay-queue recording (value mode). May squash younger ops.
+    ordering_->onLoadIssued(inst, now);
+}
+
+void
+OooCore::issueStore(DynInst &inst, Cycle now)
+{
+    // Split store issue: address generation happens as soon as the
+    // base register is ready; the data operand is captured separately
+    // when it becomes available. Early agen is what keeps the
+    // unresolved-store windows short (and the no-unresolved-store
+    // filter effective).
+    Word a = readOperand(inst.srcA, inst.inst.ra);
+    Addr addr = effectiveAddr(inst.inst, a);
+    unsigned size = memSize(inst.inst.op);
+    inst.memAddr = addr;
+    inst.memSize = size;
+    inst.addrValid = (addr % size == 0) && (addr + size <= mem_.size());
+
+    sq_.setAddress(inst.seq, addr);
+    inst.issued = true;
+    inst.inIssueQueue = false;
+    unscheduledMemOps_.erase(inst.seq);
+    ++(*sc_stores_issued_);
+    trace(TraceKind::Issue, inst);
+
+    bool data_known = !inst.inst.readsRb() || inst.bReady;
+    Word data = 0;
+    if (data_known) {
+        data = readOperand(inst.srcB, inst.inst.rb);
+        inst.storeData = data;
+        sq_.setData(inst.seq, data);
+        pendingWb_.emplace(now + 1, inst.seq);
+    } else {
+        pendingStoreData_.push_back(&inst);
+        ++(*sc_stores_agen_before_data_);
+    }
+
+    // Exclusive prefetch so the drain at commit usually hits.
+    if (inst.addrValid && config_.exclusiveStorePrefetch) {
+        MemAccess acc = hierarchy_.acquireOwnership(addr);
+        if (SqEntry *e = sq_.find(inst.seq))
+            e->ownershipReadyCycle = now + acc.latency;
+    }
+
+    // Backend reaction: the baseline's CAM RAW search (may squash) or
+    // the value mode's shadow CAM statistics.
+    ordering_->onStoreAgen(inst, data_known, now);
+}
+
+void
+OooCore::captureStoreData(Cycle now)
+{
+    for (std::size_t i = 0; i < pendingStoreData_.size();) {
+        DynInst *st = pendingStoreData_[i];
+        if (!st->bReady) {
+            ++i;
+            continue;
+        }
+        Word data = readOperand(st->srcB, st->inst.rb);
+        st->storeData = data;
+        sq_.setData(st->seq, data);
+        pendingWb_.emplace(now + 1, st->seq);
+        pendingStoreData_[i] = pendingStoreData_.back();
+        pendingStoreData_.pop_back();
+    }
+}
+
+void
+OooCore::issueStage(Cycle now)
+{
+    unsigned alu = config_.intAlus;
+    unsigned muldiv = config_.intMulDivs;
+    unsigned fpalu = config_.fpAlus;
+    unsigned fpmul = config_.fpMulDivs;
+    unsigned loads = config_.loadPorts;
+    unsigned issued = 0;
+
+    for (std::size_t i = 0; i < iq_.size() && issued < config_.issueWidth;) {
+        DynInst *inst = iq_[i].inst;
+
+        // Stores only need the address operand to issue (agen); the
+        // data operand is captured when it arrives.
+        bool eligible = inst->isStoreOp
+                            ? inst->aReady
+                            : operandsReady(*inst);
+        if (!eligible) {
+            ++i;
+            continue;
+        }
+
+        FuClass fu = fuClass(inst->inst.op);
+        unsigned *pool = nullptr;
+        switch (fu) {
+          case FuClass::IntAlu:
+          case FuClass::StorePort:
+            pool = &alu;
+            break;
+          case FuClass::IntMul:
+          case FuClass::IntDiv:
+            pool = &muldiv;
+            break;
+          case FuClass::FpAlu:
+            pool = &fpalu;
+            break;
+          case FuClass::FpMul:
+          case FuClass::FpDiv:
+            pool = &fpmul;
+            break;
+          case FuClass::LoadPort:
+            pool = &loads;
+            break;
+          case FuClass::None:
+            pool = nullptr;
+            break;
+        }
+        if (pool && *pool == 0) {
+            ++i;
+            continue;
+        }
+
+        if (inst->isLoadOp) {
+            // Ordering gates for speculative load issue.
+            if (olderFenceInFlight(inst->seq)) {
+                ++i;
+                continue;
+            }
+            if (inst->blockedOnStore != kNoSeq) {
+                DynInst *blocker = findInst(inst->blockedOnStore);
+                if (blocker && !blocker->executed) {
+                    ++i;
+                    continue;
+                }
+                inst->blockedOnStore = kNoSeq;
+            }
+            // Backend hold (e.g. rule-3: a post-squash suppressed
+            // load may only issue as the oldest instruction).
+            if (ordering_->holdLoadIssue(*inst)) {
+                ++i;
+                continue;
+            }
+            DepAdvice advice = depPred_->adviseLoad(inst->pc);
+            if (advice.waitForAllStores &&
+                sq_.unresolvedOlderThan(inst->seq) > 0) {
+                ++i;
+                continue;
+            }
+            if (advice.waitForStore != kNoSeq &&
+                advice.waitForStore < inst->seq) {
+                DynInst *st = findInst(advice.waitForStore);
+                if (st && st->isStoreOp && !st->executed) {
+                    ++i;
+                    continue;
+                }
+            }
+            issueLoad(*inst, now);
+            if (!inst->issued && !squashedThisCycle_) {
+                ++i; // blocked on a store: stays in the queue
+                continue;
+            }
+        } else if (inst->isStoreOp) {
+            if (olderFenceInFlight(inst->seq)) {
+                ++i;
+                continue;
+            }
+            issueStore(*inst, now);
+        } else {
+            // ALU / FP / control.
+            Word a = readOperand(inst->srcA, inst->inst.ra);
+            Word b = readOperand(inst->srcB, inst->inst.rb);
+            if (inst->isCtrlOp) {
+                inst->actualTaken = evalBranchTaken(inst->inst, a, b);
+                inst->actualTarget = controlTarget(inst->inst, a);
+                if (inst->inst.op == Opcode::JAL)
+                    inst->destValue = inst->pc + 1;
+            } else {
+                inst->destValue = evalAlu(inst->inst, a, b);
+            }
+            inst->issued = true;
+            inst->inIssueQueue = false;
+            pendingWb_.emplace(now + fuLatency(fu), inst->seq);
+            trace(TraceKind::Issue, *inst);
+        }
+
+        // A squash during issue (load-load ordering or RAW violation)
+        // only removes *younger* entries, so index i and everything
+        // before it remain valid.
+        if (inst->issued) {
+            if (pool)
+                --*pool;
+            ++issued;
+            iq_.erase(iq_.begin() + static_cast<std::ptrdiff_t>(i));
+            // no ++i: the erase shifted the next candidate into slot i
+        }
+        if (squashedThisCycle_)
+            break; // the window was rearranged; stop issuing
+    }
+    (*sc_issued_per_cycle_).sample(issued);
+}
+
+} // namespace vbr

@@ -28,15 +28,9 @@ OooCore::OooCore(const CoreConfig &config, const Program &prog,
     retiredRegs_[0] = 0;
     renameMap_.fill(kNoSeq);
 
-    if (config_.scheme == OrderingScheme::AssocLoadQueue) {
-        lq_ = std::make_unique<AssocLoadQueue>(config_.lqEntries,
-                                               config_.lqMode);
-    } else {
-        // Reject contradictory filter pairings before simulating:
-        // they silently drop filtering rather than failing.
-        config_.filters.validate();
-        rq_ = std::make_unique<ReplayQueue>(config_.lqEntries);
-    }
+    // The backend registers the scheme counters and validates its own
+    // configuration (e.g. the replay filter pairings).
+    ordering_ = makeMemoryOrderingUnit(config_, *this);
 
     if (config_.depPredictor == DepPredictorKind::StoreSet)
         depPred_ = std::make_unique<StoreSetPredictor>();
@@ -44,7 +38,7 @@ OooCore::OooCore(const CoreConfig &config, const Program &prog,
         depPred_ = std::make_unique<SimpleDepPredictor>();
 
     if (config_.enableValuePrediction) {
-        VBR_ASSERT(rq_ != nullptr,
+        VBR_ASSERT(ordering_->validatesValueSpeculation(),
                    "value prediction requires the replay machinery "
                    "for validation");
         valuePred_ = std::make_unique<ValuePredictor>();
@@ -61,7 +55,7 @@ OooCore::OooCore(const CoreConfig &config, const Program &prog,
     sc_committed_stores_ = &stats_.counter("committed_stores");
     sc_cycles_ = &stats_.counter("cycles");
     sc_dispatch_stalls_iq_ = &stats_.counter("dispatch_stalls_iq");
-    sc_dispatch_stalls_lq_ = &stats_.counter("dispatch_stalls_lq");
+    sc_dispatch_stalls_loadq_ = &stats_.counter("dispatch_stalls_lq");
     sc_dispatch_stalls_rob_ = &stats_.counter("dispatch_stalls_rob");
     sc_dispatch_stalls_sq_ = &stats_.counter("dispatch_stalls_sq");
     sc_dispatched_instructions_ = &stats_.counter("dispatched_instructions");
@@ -71,7 +65,6 @@ OooCore::OooCore(const CoreConfig &config, const Program &prog,
     sc_icache_stalls_ = &stats_.counter("icache_stalls");
     sc_inclusion_victims_seen_ = &stats_.counter("inclusion_victims_seen");
     sc_l1d_accesses_premature_ = &stats_.counter("l1d_accesses_premature");
-    sc_l1d_accesses_replay_ = &stats_.counter("l1d_accesses_replay");
     sc_l1d_accesses_store_commit_ = &stats_.counter("l1d_accesses_store_commit");
     sc_l1d_accesses_swap_ = &stats_.counter("l1d_accesses_swap");
     sc_loads_blocked_on_store_ = &stats_.counter("loads_blocked_on_store");
@@ -83,30 +76,11 @@ OooCore::OooCore(const CoreConfig &config, const Program &prog,
     sc_value_predictions_committed_ =
         &stats_.counter("value_predictions_committed");
     sc_loads_issued_out_of_order_ = &stats_.counter("loads_issued_out_of_order");
-    sc_replay_cache_misses_ = &stats_.counter("replay_cache_misses");
-    sc_replays_consistency_ = &stats_.counter("replays_consistency");
-    sc_replays_filtered_ = &stats_.counter("replays_filtered");
-    sc_replays_suppressed_rule3_ = &stats_.counter("replays_suppressed_rule3");
-    sc_replays_total_ = &stats_.counter("replays_total");
-    sc_replays_late_ = &stats_.counter("replays_late");
-    sc_replays_unresolved_store_ = &stats_.counter("replays_unresolved_store");
     sc_squashes_branch_ = &stats_.counter("squashes_branch");
-    sc_squashes_lq_loadload_ = &stats_.counter("squashes_lq_loadload");
-    sc_squashes_lq_raw_ = &stats_.counter("squashes_lq_raw");
-    sc_squashes_lq_raw_unnecessary_ = &stats_.counter("squashes_lq_raw_unnecessary");
-    sc_squashes_lq_snoop_ = &stats_.counter("squashes_lq_snoop");
-    sc_squashes_lq_snoop_unnecessary_ = &stats_.counter("squashes_lq_snoop_unnecessary");
-    sc_squashes_replay_consistency_ = &stats_.counter("squashes_replay_consistency");
-    sc_squashes_replay_mismatch_ = &stats_.counter("squashes_replay_mismatch");
-    sc_squashes_replay_raw_ = &stats_.counter("squashes_replay_raw");
     sc_squashes_total_ = &stats_.counter("squashes_total");
     sc_stores_issued_ = &stats_.counter("stores_issued");
     sc_stores_agen_before_data_ =
         &stats_.counter("stores_agen_before_data");
-    sc_wouldbe_squashes_raw_ = &stats_.counter("wouldbe_squashes_raw");
-    sc_wouldbe_squashes_raw_value_equal_ = &stats_.counter("wouldbe_squashes_raw_value_equal");
-    sc_wouldbe_squashes_snoop_ = &stats_.counter("wouldbe_squashes_snoop");
-    sc_wouldbe_squashes_snoop_value_equal_ = &stats_.counter("wouldbe_squashes_snoop_value_equal");
     sc_iq_occupancy_ = &stats_.average("iq_occupancy");
     sc_issued_per_cycle_ = &stats_.average("issued_per_cycle");
     sc_rob_occupancy_ = &stats_.average("rob_occupancy");
@@ -241,8 +215,7 @@ OooCore::auditStructures(InvariantAuditor &auditor) const
 {
     auditor.scanRob(coreId(), rob_, cycles_);
     auditor.scanStoreQueue(coreId(), sq_, cycles_);
-    if (rq_)
-        auditor.scanReplayQueue(coreId(), *rq_, cycles_);
+    ordering_->auditStructures(auditor, coreId(), cycles_);
 }
 
 bool
@@ -260,26 +233,7 @@ void
 OooCore::onExternalInvalidation(Addr line)
 {
     ++(*sc_external_invalidations_seen_);
-    filterState_.armSnoop(youngestInWindow());
-    if (lq_) {
-        // External invalidations only arrive while this core is
-        // quiescent (they originate from another core's tick or from
-        // DMA), so the LQ search-and-squash is safe to run
-        // synchronously — and must be, to preserve the
-        // invalidate-before-visible ordering contract.
-        handleSnoopLine(line);
-    }
-    if (rq_ && config_.shadowLqStats)
-        shadowSnoopStats(line);
-}
-
-void
-OooCore::handleSnoopLine(Addr line)
-{
-    SeqNum head_seq = rob_.empty() ? kNoSeq : rob_.front().seq;
-    auto squash = lq_->snoop(line, hierarchy_.lineBytes(), head_seq);
-    if (squash && !config_.unsafeDisableOrdering)
-        handleLqSquash(*squash, 0, 0, kNoAddr, 0, true, cycles_);
+    ordering_->onExternalInvalidation(line);
 }
 
 void
@@ -288,1193 +242,19 @@ OooCore::onInclusionVictim(Addr line)
     ++(*sc_inclusion_victims_seen_);
     // In a multiprocessor, a castout line can be written remotely
     // without this core ever seeing the invalidation (it no longer
-    // holds the line), so both the snooping LQ and the snoop filter
-    // must treat the castout as a snoop — the paper's castout caveat.
-    // In a uniprocessor there is no hidden writer (DMA in this model
-    // only invalidates), so the conservatism would be pure overhead.
-    if (hierarchy_.numSystemCores() > 1) {
-        filterState_.armSnoop(youngestInWindow());
-        if (lq_)
-            pendingSnoopLines_.push_back(line);
-    }
+    // holds the line), so the backend must treat the castout as a
+    // snoop — the paper's castout caveat. In a uniprocessor there is
+    // no hidden writer (DMA in this model only invalidates), so the
+    // conservatism would be pure overhead.
+    if (hierarchy_.numSystemCores() > 1)
+        ordering_->onInclusionVictim(line);
 }
 
 void
-OooCore::onExternalFill(Addr /* line */)
+OooCore::onExternalFill(Addr line)
 {
     ++(*sc_external_fills_seen_);
-    filterState_.armMiss(youngestInWindow());
-}
-
-// ---------------------------------------------------------------------
-// Squash machinery
-// ---------------------------------------------------------------------
-
-void
-OooCore::squashFrom(SeqNum bound, std::uint32_t new_fetch_pc,
-                    const PredictorSnapshot &snap)
-{
-    // pendingStoreData_ points into rob_; filter it before the pops
-    // below free the squashed entries' deque nodes.
-    std::erase_if(pendingStoreData_,
-                  [bound](const DynInst *d) { return d->seq >= bound; });
-    incompleteMemOps_.erase(incompleteMemOps_.lower_bound(bound),
-                            incompleteMemOps_.end());
-    unscheduledMemOps_.erase(unscheduledMemOps_.lower_bound(bound),
-                             unscheduledMemOps_.end());
-    issuedLoads_.erase(issuedLoads_.lower_bound(bound),
-                       issuedLoads_.end());
-    while (!rob_.empty() && rob_.back().seq >= bound) {
-        const DynInst &b = rob_.back();
-        if (b.isStoreOp)
-            depPred_->notifyStoreRemoved(b.pc, b.seq);
-        if (b.inst.writesRd()) {
-            // The squashed writer is the youngest for its register,
-            // so it sits at the back of the stack; the map falls back
-            // to the next-youngest survivor.
-            auto &writers = regWriters_[b.inst.rd];
-            if (!writers.empty() && writers.back() == b.seq)
-                writers.pop_back();
-            renameMap_[b.inst.rd] =
-                writers.empty() ? kNoSeq : writers.back();
-        }
-        trace(TraceKind::Squash, b);
-        rob_.pop_back();
-    }
-    backendEntered_ = std::min(backendEntered_, rob_.size());
-    sq_.squashFrom(bound);
-    if (lq_)
-        lq_->squashFrom(bound);
-    if (rq_)
-        rq_->squashFrom(bound);
-
-    std::erase_if(iq_, [bound](const IqEntry &e) { return e.seq >= bound; });
-    std::erase_if(fences_, [bound](SeqNum s) { return s >= bound; });
-
-    frontEnd_.clear();
-    haltFetched_ = false;
-    fetchPc_ = new_fetch_pc;
-    fetchStallUntil_ = cycles_ + 1; // redirect bubble
-    lastFetchLine_ = kNoAddr;
-
-    bp_.restore(snap);
-    squashedThisCycle_ = true;
-    ++(*sc_squashes_total_);
-    if (auditor_)
-        auditor_->onSquash(coreId(), bound, cycles_);
-}
-
-void
-OooCore::doBranchMispredict(DynInst &branch, Cycle now)
-{
-    (void)now;
-    ++(*sc_squashes_branch_);
-    std::uint32_t resteer =
-        branch.actualTaken ? branch.actualTarget : branch.pc + 1;
-    PredictorSnapshot snap = branch.predSnap;
-    bool cond = isCondBranch(branch.inst.op);
-    bool taken = branch.actualTaken;
-    bool is_return = branch.inst.op == Opcode::JR &&
-                     branch.inst.ra == kLinkReg;
-    squashFrom(branch.seq + 1, resteer, snap);
-    if (cond) {
-        // Redo the speculative history update with the real outcome.
-        bp_.notifyResolvedBranch(taken);
-    } else if (is_return) {
-        // restore() rolled the RAS pop back; execution resumes past
-        // the return, so re-apply it.
-        bp_.popRas();
-    }
-}
-
-void
-OooCore::doReplaySquash(DynInst &load, Cycle now)
-{
-    (void)now;
-    ++(*sc_squashes_replay_mismatch_);
-    if (load.replayInfo.bypassedUnresolvedStore)
-        ++(*sc_squashes_replay_raw_);
-    else
-        ++(*sc_squashes_replay_consistency_);
-
-    // Rule 3 (§3): do not replay this load again after recovery, to
-    // guarantee forward progress under contention.
-    ++replaySuppress_[load.pc];
-
-    // Train the dependence predictor; value-based replay cannot name
-    // the conflicting store (§3), hence kUnknownStorePc.
-    if (load.replayInfo.bypassedUnresolvedStore)
-        depPred_->trainViolation(load.pc,
-                                 DependencePredictor::kUnknownStorePc);
-
-    if (auditor_)
-        auditor_->onReplaySquash(coreId(), load.seq, load.pc, cycles_);
-    squashFrom(load.seq, load.pc, load.predSnap);
-}
-
-void
-OooCore::handleLqSquash(const LqSquash &squash, std::uint32_t store_pc,
-                        Word store_value, Addr store_addr,
-                        unsigned store_size, bool is_snoop, Cycle now)
-{
-    (void)now;
-    DynInst *load = findInst(squash.squashFrom);
-    VBR_ASSERT(load != nullptr, "LQ squash of unknown load");
-
-    // §5.1 statistics: was this squash unnecessary, i.e. did the
-    // premature load actually read the value it would read now?
-    if (is_snoop) {
-        ++(*sc_squashes_lq_snoop_);
-        if (squash.addr != kNoAddr &&
-            squash.prematureValue ==
-                readMemSafe(squash.addr, squash.size))
-            ++(*sc_squashes_lq_snoop_unnecessary_);
-    } else {
-        ++(*sc_squashes_lq_raw_);
-        if (rangeContains(store_addr, store_size, squash.addr,
-                          squash.size)) {
-            unsigned shift =
-                static_cast<unsigned>(squash.addr - store_addr) * 8;
-            Word mask = squash.size >= 8
-                            ? ~Word{0}
-                            : ((Word{1} << (squash.size * 8)) - 1);
-            Word would_read = (store_value >> shift) & mask;
-            if (would_read == squash.prematureValue)
-                ++(*sc_squashes_lq_raw_unnecessary_);
-        }
-        depPred_->trainViolation(squash.loadPc, store_pc);
-    }
-
-    squashFrom(squash.squashFrom, squash.loadPc, load->predSnap);
-}
-
-// ---------------------------------------------------------------------
-// Shadow CAM statistics (§5.1 avoided squashes, value mode only)
-// ---------------------------------------------------------------------
-
-void
-OooCore::shadowStoreAgenStats(const DynInst &store, bool data_known)
-{
-    if (!rq_)
-        return;
-    // Non-architectural scan: what would a conventional CAM have
-    // squashed on this store agen? Only issued younger loads can
-    // match, so walk the age-ordered issued-load index instead of
-    // the whole window.
-    for (auto it = issuedLoads_.upper_bound(store.seq);
-         it != issuedLoads_.end(); ++it) {
-        const DynInst &d = *it->second;
-        if (!rangesOverlap(d.memAddr, d.memSize, store.memAddr,
-                           store.memSize))
-            continue;
-        ++(*sc_wouldbe_squashes_raw_);
-        // Value-equality (the paper's store value locality) can only
-        // be judged when the store's data was known at agen time.
-        if (data_known &&
-            rangeContains(store.memAddr, store.memSize, d.memAddr,
-                          d.memSize)) {
-            unsigned shift =
-                static_cast<unsigned>(d.memAddr - store.memAddr) * 8;
-            Word mask = d.memSize >= 8
-                            ? ~Word{0}
-                            : ((Word{1} << (d.memSize * 8)) - 1);
-            if (((store.storeData >> shift) & mask) == d.prematureValue)
-                ++(*sc_wouldbe_squashes_raw_value_equal_);
-        }
-        break; // conventional CAM squashes from the oldest match
-    }
-}
-
-void
-OooCore::shadowSnoopStats(Addr line)
-{
-    bool head = true;
-    for (const auto &[seq, dp] : issuedLoads_) {
-        const DynInst &d = *dp;
-        bool overlaps = rangesOverlap(d.memAddr, d.memSize, line,
-                                      hierarchy_.lineBytes());
-        if (overlaps && !head) {
-            ++(*sc_wouldbe_squashes_snoop_);
-            if (d.prematureValue == readMemSafe(d.memAddr, d.memSize))
-                ++(*sc_wouldbe_squashes_snoop_value_equal_);
-            break;
-        }
-        head = false;
-    }
-}
-
-// ---------------------------------------------------------------------
-// Fetch
-// ---------------------------------------------------------------------
-
-void
-OooCore::fetchStage(Cycle now)
-{
-    if (haltFetched_ || now < fetchStallUntil_)
-        return;
-    std::size_t cap = static_cast<std::size_t>(config_.frontEndDepth) *
-                      config_.fetchWidth;
-    for (unsigned slot = 0; slot < config_.fetchWidth; ++slot) {
-        if (frontEnd_.size() >= cap)
-            break;
-
-        const Instruction &si = prog_.fetch(fetchPc_);
-        Addr caddr = prog_.codeAddr(fetchPc_);
-        Addr cline = hierarchy_.lineAddr(caddr);
-        if (cline != lastFetchLine_) {
-            unsigned lat = hierarchy_.fetchInst(caddr);
-            if (lat > 1) {
-                // I-cache miss: stall fetch until the line arrives.
-                fetchStallUntil_ = now + lat;
-                ++(*sc_icache_stalls_);
-                return;
-            }
-            lastFetchLine_ = cline;
-        }
-
-        FetchedInst f;
-        f.pc = fetchPc_;
-        f.inst = si;
-        f.snap = bp_.snapshot();
-        f.readyCycle = now + config_.frontEndDepth;
-
-        bool taken = false;
-        if (isControl(si.op)) {
-            BranchPrediction pred = bp_.predict(fetchPc_, si);
-            f.predTaken = pred.taken;
-            f.predTarget = pred.target;
-            taken = pred.taken;
-        }
-        frontEnd_.push_back(f);
-        ++(*sc_fetched_instructions_);
-
-        if (si.op == Opcode::HALT) {
-            haltFetched_ = true;
-            break;
-        }
-        fetchPc_ = taken ? f.predTarget : fetchPc_ + 1;
-        if (taken)
-            break; // fetch stops at the first taken branch per cycle
-    }
-}
-
-// ---------------------------------------------------------------------
-// Dispatch / rename
-// ---------------------------------------------------------------------
-
-void
-OooCore::dispatchStage(Cycle now)
-{
-    for (unsigned n = 0; n < config_.dispatchWidth; ++n) {
-        if (frontEnd_.empty() || frontEnd_.front().readyCycle > now)
-            break;
-        if (rob_.size() >= config_.robEntries) {
-            ++(*sc_dispatch_stalls_rob_);
-            break;
-        }
-
-        const FetchedInst &f = frontEnd_.front();
-        const Opcode op = f.inst.op;
-        bool is_load = isLoad(op);
-        bool is_store = isStore(op);
-        bool is_swap = op == Opcode::SWAP;
-        bool is_membar = op == Opcode::MEMBAR;
-        bool needs_iq = !(op == Opcode::NOP || op == Opcode::HALT ||
-                          is_membar || is_swap);
-
-        if (needs_iq && iq_.size() >= config_.iqEntries) {
-            ++(*sc_dispatch_stalls_iq_);
-            break;
-        }
-        if (is_load &&
-            ((lq_ && lq_->full()) || (rq_ && rq_->full()))) {
-            ++(*sc_dispatch_stalls_lq_);
-            break;
-        }
-        if (is_store && sq_.full()) {
-            ++(*sc_dispatch_stalls_sq_);
-            break;
-        }
-
-        DynInst d;
-        d.seq = nextSeq_++;
-        d.pc = f.pc;
-        d.inst = f.inst;
-        d.isLoadOp = is_load;
-        d.isStoreOp = is_store;
-        d.isSwapOp = is_swap;
-        d.isMembarOp = is_membar;
-        d.isCtrlOp = isControl(op);
-        d.predTaken = f.predTaken;
-        d.predTarget = f.predTarget;
-        d.predSnap = f.snap;
-        d.fetchCycle = now;
-
-        if (f.inst.readsRa() && f.inst.ra != 0)
-            d.srcA = renameMap_[f.inst.ra];
-        if (f.inst.readsRb() && f.inst.rb != 0)
-            d.srcB = renameMap_[f.inst.rb];
-        if (f.inst.writesRd()) {
-            renameMap_[f.inst.rd] = d.seq;
-            regWriters_[f.inst.rd].push_back(d.seq);
-        }
-
-        if (op == Opcode::NOP || op == Opcode::HALT || is_membar)
-            d.executed = true;
-
-        // Watermark bookkeeping (seqs are monotonic: end() hints).
-        if (is_load || is_swap)
-            incompleteMemOps_.insert(incompleteMemOps_.end(), d.seq);
-        if (is_load || is_store || is_swap)
-            unscheduledMemOps_.insert(unscheduledMemOps_.end(),
-                                      d.seq);
-
-        if (is_load) {
-            if (lq_)
-                lq_->dispatch(d.seq, d.pc, memSize(op));
-            else
-                rq_->dispatch(d.seq, d.pc, memSize(op));
-        }
-        if (is_store) {
-            sq_.dispatch(d.seq, d.pc, memSize(op));
-            depPred_->notifyStoreDispatched(d.pc, d.seq);
-            if (auditor_)
-                auditor_->onStoreDispatched(coreId(), d.seq);
-        }
-        if (is_swap || is_membar)
-            fences_.push_back(d.seq);
-
-        // Initial readiness: architectural source, or an in-flight
-        // producer that has already executed.
-        auto producer_done = [this](SeqNum producer) {
-            if (producer == kNoSeq)
-                return true;
-            const DynInst *p = findInst(producer);
-            return p == nullptr || p->executed;
-        };
-        d.aReady = !f.inst.readsRa() || producer_done(d.srcA);
-        d.bReady = !f.inst.readsRb() || producer_done(d.srcB);
-
-        bool to_iq = needs_iq;
-        rob_.push_back(d);
-        if (to_iq) {
-            rob_.back().inIssueQueue = true;
-            iq_.push_back({rob_.back().seq, &rob_.back()});
-        }
-        frontEnd_.pop_front();
-        ++(*sc_dispatched_instructions_);
-        trace(TraceKind::Dispatch, rob_.back());
-    }
-}
-
-// ---------------------------------------------------------------------
-// Issue / execute
-// ---------------------------------------------------------------------
-
-void
-OooCore::issueLoad(DynInst &inst, Cycle now)
-{
-    Addr addr = effectiveAddr(inst.inst, readOperand(inst.srcA,
-                                                     inst.inst.ra));
-    unsigned size = memSize(inst.inst.op);
-    inst.memAddr = addr;
-    inst.memSize = size;
-    inst.addrValid = (addr % size == 0) && (addr + size <= mem_.size());
-
-    SqSearchResult res = sq_.searchForLoad(inst.seq, addr, size);
-    if (res.kind == SqSearchResult::Kind::Blocked) {
-        // Value prediction turns the stall into speculation: execute
-        // with the predicted value; the mandatory replay validates.
-        std::optional<Word> predicted;
-        if (valuePred_)
-            predicted = valuePred_->predict(inst.pc);
-        if (!predicted) {
-            inst.blockedOnStore = res.store;
-            ++(*sc_loads_blocked_on_store_);
-            return; // stays in the issue queue
-        }
-        inst.valuePredicted = true;
-        inst.replayInfo.bypassedUnresolvedStore = true;
-        inst.replayInfo.issuedOutOfOrder = true;
-        inst.replayInfo.issuedOutOfOrderSched = true;
-        inst.replayInfo.issuedBeforeOlderLoad = true;
-        inst.prematureValue = *predicted;
-        inst.prematureVersion = 0;
-        inst.sampleCycle = now;
-        inst.destValue = *predicted;
-        inst.issued = true;
-        inst.inIssueQueue = false;
-        unscheduledMemOps_.erase(inst.seq);
-        if (trackIssuedLoads() && addr != kNoAddr)
-            issuedLoads_.emplace(inst.seq, &inst);
-        pendingWb_.emplace(now + 1, inst.seq);
-        ++(*sc_loads_issued_);
-        ++(*sc_loads_value_predicted_);
-        trace(TraceKind::Issue, inst);
-        if (rq_)
-            rq_->recordIssue(inst.seq, addr, inst.prematureValue, false,
-                             inst.replayInfo);
-        return;
-    }
-
-    inst.replayInfo.bypassedUnresolvedStore = res.sawUnresolvedOlder;
-    inst.replayInfo.issuedOutOfOrder = olderMemOpIncomplete(inst.seq);
-    inst.replayInfo.issuedOutOfOrderSched =
-        olderMemOpUnscheduled(inst.seq);
-    // incompleteMemOps_ holds exactly the unexecuted loads/SWAPs;
-    // this load is in it with seq == inst.seq, so strict < excludes
-    // it (this used to be another front-to-back ROB walk).
-    inst.replayInfo.issuedBeforeOlderLoad =
-        !incompleteMemOps_.empty() &&
-        *incompleteMemOps_.begin() < inst.seq;
-    if (res.sawUnresolvedOlder)
-        ++(*sc_loads_bypassing_unresolved_store_);
-    if (inst.replayInfo.issuedOutOfOrder)
-        ++(*sc_loads_issued_out_of_order_);
-
-    unsigned lat = 1;
-    if (res.kind == SqSearchResult::Kind::Forward) {
-        inst.forwarded = true;
-        inst.forwardStore = res.store;
-        inst.prematureValue = res.value;
-        inst.prematureVersion = 0; // resolved at commit via the store
-        ++(*sc_loads_forwarded_);
-    } else {
-        if (inst.addrValid) {
-            MemAccess acc = hierarchy_.read(addr, inst.pc);
-            lat = acc.latency;
-            ++(*sc_l1d_accesses_premature_);
-        }
-        inst.prematureValue = readMemSafe(addr, size);
-        inst.prematureVersion = versionSafe(addr);
-    }
-    inst.sampleCycle = now;
-    inst.destValue = inst.prematureValue;
-    inst.issued = true;
-    inst.inIssueQueue = false;
-    unscheduledMemOps_.erase(inst.seq);
-    if (trackIssuedLoads() && addr != kNoAddr)
-        issuedLoads_.emplace(inst.seq, &inst);
-    pendingWb_.emplace(now + lat, inst.seq);
-    ++(*sc_loads_issued_);
-    trace(TraceKind::Issue, inst);
-
-    if (lq_) {
-        lq_->recordIssue(inst.seq, addr, inst.prematureValue);
-        auto ll_squash = lq_->loadIssueSearch(inst.seq, addr, size);
-        if (ll_squash && !config_.unsafeDisableOrdering) {
-            auto &squash = ll_squash;
-            ++(*sc_squashes_lq_loadload_);
-            DynInst *victim = findInst(squash->squashFrom);
-            VBR_ASSERT(victim != nullptr, "load-load squash target");
-            PredictorSnapshot snap = victim->predSnap;
-            std::uint32_t pc = victim->pc;
-            squashFrom(squash->squashFrom, pc, snap);
-        }
-    } else {
-        rq_->recordIssue(inst.seq, addr, inst.prematureValue,
-                         inst.forwarded, inst.replayInfo);
-    }
-}
-
-void
-OooCore::issueStore(DynInst &inst, Cycle now)
-{
-    // Split store issue: address generation happens as soon as the
-    // base register is ready; the data operand is captured separately
-    // when it becomes available. Early agen is what keeps the
-    // unresolved-store windows short (and the no-unresolved-store
-    // filter effective).
-    Word a = readOperand(inst.srcA, inst.inst.ra);
-    Addr addr = effectiveAddr(inst.inst, a);
-    unsigned size = memSize(inst.inst.op);
-    inst.memAddr = addr;
-    inst.memSize = size;
-    inst.addrValid = (addr % size == 0) && (addr + size <= mem_.size());
-
-    sq_.setAddress(inst.seq, addr);
-    inst.issued = true;
-    inst.inIssueQueue = false;
-    unscheduledMemOps_.erase(inst.seq);
-    ++(*sc_stores_issued_);
-    trace(TraceKind::Issue, inst);
-
-    bool data_known = !inst.inst.readsRb() || inst.bReady;
-    Word data = 0;
-    if (data_known) {
-        data = readOperand(inst.srcB, inst.inst.rb);
-        inst.storeData = data;
-        sq_.setData(inst.seq, data);
-        pendingWb_.emplace(now + 1, inst.seq);
-    } else {
-        pendingStoreData_.push_back(&inst);
-        ++(*sc_stores_agen_before_data_);
-    }
-
-    // Exclusive prefetch so the drain at commit usually hits.
-    if (inst.addrValid && config_.exclusiveStorePrefetch) {
-        MemAccess acc = hierarchy_.acquireOwnership(addr);
-        if (SqEntry *e = sq_.find(inst.seq))
-            e->ownershipReadyCycle = now + acc.latency;
-    }
-
-    if (lq_) {
-        // Baseline RAW check: CAM search for younger issued loads at
-        // address generation. When the store data is not yet known,
-        // the value-equality (unnecessary-squash) statistic treats
-        // the squash as necessary.
-        auto squash = lq_->storeAgenSearch(inst.seq, addr, size);
-        if (squash && !config_.unsafeDisableOrdering)
-            handleLqSquash(*squash, inst.pc,
-                           data_known ? data : ~Word{0}, addr,
-                           data_known ? size : 0, false, now);
-    } else if (config_.shadowLqStats) {
-        shadowStoreAgenStats(inst, data_known);
-    }
-}
-
-void
-OooCore::captureStoreData(Cycle now)
-{
-    for (std::size_t i = 0; i < pendingStoreData_.size();) {
-        DynInst *st = pendingStoreData_[i];
-        if (!st->bReady) {
-            ++i;
-            continue;
-        }
-        Word data = readOperand(st->srcB, st->inst.rb);
-        st->storeData = data;
-        sq_.setData(st->seq, data);
-        pendingWb_.emplace(now + 1, st->seq);
-        pendingStoreData_[i] = pendingStoreData_.back();
-        pendingStoreData_.pop_back();
-    }
-}
-
-void
-OooCore::issueStage(Cycle now)
-{
-    unsigned alu = config_.intAlus;
-    unsigned muldiv = config_.intMulDivs;
-    unsigned fpalu = config_.fpAlus;
-    unsigned fpmul = config_.fpMulDivs;
-    unsigned loads = config_.loadPorts;
-    unsigned issued = 0;
-
-    for (std::size_t i = 0; i < iq_.size() && issued < config_.issueWidth;) {
-        DynInst *inst = iq_[i].inst;
-
-        // Stores only need the address operand to issue (agen); the
-        // data operand is captured when it arrives.
-        bool eligible = inst->isStoreOp
-                            ? inst->aReady
-                            : operandsReady(*inst);
-        if (!eligible) {
-            ++i;
-            continue;
-        }
-
-        FuClass fu = fuClass(inst->inst.op);
-        unsigned *pool = nullptr;
-        switch (fu) {
-          case FuClass::IntAlu:
-          case FuClass::StorePort:
-            pool = &alu;
-            break;
-          case FuClass::IntMul:
-          case FuClass::IntDiv:
-            pool = &muldiv;
-            break;
-          case FuClass::FpAlu:
-            pool = &fpalu;
-            break;
-          case FuClass::FpMul:
-          case FuClass::FpDiv:
-            pool = &fpmul;
-            break;
-          case FuClass::LoadPort:
-            pool = &loads;
-            break;
-          case FuClass::None:
-            pool = nullptr;
-            break;
-        }
-        if (pool && *pool == 0) {
-            ++i;
-            continue;
-        }
-
-        if (inst->isLoadOp) {
-            // Ordering gates for speculative load issue.
-            if (olderFenceInFlight(inst->seq)) {
-                ++i;
-                continue;
-            }
-            if (inst->blockedOnStore != kNoSeq) {
-                DynInst *blocker = findInst(inst->blockedOnStore);
-                if (blocker && !blocker->executed) {
-                    ++i;
-                    continue;
-                }
-                inst->blockedOnStore = kNoSeq;
-            }
-            // Rule 3 (§3): a load whose replay will be suppressed
-            // after a replay squash must perform non-speculatively:
-            // it issues only as the oldest uncommitted instruction,
-            // so its premature read is architecturally ordered (all
-            // older loads' replays completed, all older stores
-            // drained). Skipping its replay is then sound, and
-            // forward progress is guaranteed.
-            if (rq_ && !replaySuppress_.empty()) {
-                auto sup = replaySuppress_.find(inst->pc);
-                if (sup != replaySuppress_.end() && sup->second > 0 &&
-                    rob_.front().seq != inst->seq) {
-                    ++i;
-                    continue;
-                }
-            }
-            DepAdvice advice = depPred_->adviseLoad(inst->pc);
-            if (advice.waitForAllStores &&
-                sq_.unresolvedOlderThan(inst->seq) > 0) {
-                ++i;
-                continue;
-            }
-            if (advice.waitForStore != kNoSeq &&
-                advice.waitForStore < inst->seq) {
-                DynInst *st = findInst(advice.waitForStore);
-                if (st && st->isStoreOp && !st->executed) {
-                    ++i;
-                    continue;
-                }
-            }
-            issueLoad(*inst, now);
-            if (!inst->issued && !squashedThisCycle_) {
-                ++i; // blocked on a store: stays in the queue
-                continue;
-            }
-        } else if (inst->isStoreOp) {
-            if (olderFenceInFlight(inst->seq)) {
-                ++i;
-                continue;
-            }
-            issueStore(*inst, now);
-        } else {
-            // ALU / FP / control.
-            Word a = readOperand(inst->srcA, inst->inst.ra);
-            Word b = readOperand(inst->srcB, inst->inst.rb);
-            if (inst->isCtrlOp) {
-                inst->actualTaken = evalBranchTaken(inst->inst, a, b);
-                inst->actualTarget = controlTarget(inst->inst, a);
-                if (inst->inst.op == Opcode::JAL)
-                    inst->destValue = inst->pc + 1;
-            } else {
-                inst->destValue = evalAlu(inst->inst, a, b);
-            }
-            inst->issued = true;
-            inst->inIssueQueue = false;
-            pendingWb_.emplace(now + fuLatency(fu), inst->seq);
-            trace(TraceKind::Issue, *inst);
-        }
-
-        // A squash during issue (load-load ordering or RAW violation)
-        // only removes *younger* entries, so index i and everything
-        // before it remain valid.
-        if (inst->issued) {
-            if (pool)
-                --*pool;
-            ++issued;
-            iq_.erase(iq_.begin() + static_cast<std::ptrdiff_t>(i));
-            // no ++i: the erase shifted the next candidate into slot i
-        }
-        if (squashedThisCycle_)
-            break; // the window was rearranged; stop issuing
-    }
-    (*sc_issued_per_cycle_).sample(issued);
-}
-
-// ---------------------------------------------------------------------
-// Writeback
-// ---------------------------------------------------------------------
-
-void
-OooCore::writebackStage(Cycle now)
-{
-    // Collect everything completing this cycle, oldest first, so an
-    // older branch mispredict squashes younger completions cleanly.
-    wbScratch_.clear();
-    while (!pendingWb_.empty() && pendingWb_.top().first <= now) {
-        wbScratch_.push_back(pendingWb_.top().second);
-        pendingWb_.pop();
-    }
-    std::sort(wbScratch_.begin(), wbScratch_.end());
-
-    for (SeqNum seq : wbScratch_) {
-        DynInst *inst = findInst(seq);
-        if (!inst || !inst->issued || inst->executed)
-            continue; // squashed (and possibly re-allocated) meanwhile
-        inst->executed = true;
-        if (inst->isLoadOp || inst->isSwapOp)
-            incompleteMemOps_.erase(seq);
-        if (inst->inst.writesRd())
-            wakeDependents(seq);
-        trace(TraceKind::Writeback, *inst);
-
-        if (inst->isCtrlOp) {
-            bool mispredict =
-                inst->predTaken != inst->actualTaken ||
-                (inst->actualTaken &&
-                 inst->predTarget != inst->actualTarget);
-            if (mispredict)
-                doBranchMispredict(*inst, now);
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Back end: replay / compare stage entry (value mode)
-// ---------------------------------------------------------------------
-
-void
-OooCore::backendStage(Cycle now)
-{
-    // Entry into the replay stage is strictly in ROB order, so the
-    // already-entered instructions form a prefix; resume at the
-    // cursor instead of rescanning the window from the front.
-    unsigned entered = 0;
-    while (entered < config_.commitWidth &&
-           backendEntered_ < rob_.size()) {
-        DynInst &inst = rob_[backendEntered_];
-        if (inst.isSwapOp) {
-            // SWAP executes at the head and bypasses the replay pipe.
-            inst.enteredBackend = true;
-            inst.compareReadyCycle = now;
-            ++backendEntered_;
-            ++entered;
-            continue;
-        }
-        if (!inst.executed)
-            break; // in-order entry into the replay stage
-
-        if (inst.isLoadOp && inst.issued) {
-            if (!inst.replayDecided) {
-                inst.replayReason = classifyReplay(
-                    config_.filters, inst.replayInfo, inst.seq,
-                    filterState_);
-                inst.willReplay =
-                    inst.replayReason != ReplayReason::Filtered;
-                if (inst.valuePredicted) {
-                    // The replay IS the value-speculation validation:
-                    // never filtered, never rule-3 suppressed.
-                    inst.willReplay = true;
-                    inst.replayDecided = true;
-                }
-                if (config_.unsafeDisableOrdering)
-                    inst.willReplay = false; // failure injection
-                if (inst.willReplay && !inst.valuePredicted) {
-                    auto it = replaySuppress_.find(inst.pc);
-                    if (it != replaySuppress_.end() && it->second > 0) {
-                        // Rule 3: forward progress after replay squash.
-                        inst.willReplay = false;
-                        inst.rule3Suppressed = true;
-                        ++(*sc_replays_suppressed_rule3_);
-                    }
-                }
-                inst.replayDecided = true;
-            }
-
-            if (inst.willReplay) {
-                // Constraint 1: all prior stores in the cache.
-                if (sq_.hasUndrainedOlderThan(inst.seq))
-                    break;
-                // Constraint 2: in-order, limited replay bandwidth on
-                // the shared commit-stage port (stores have priority).
-                if (!commitPortAvailable() ||
-                    replaysThisCycle_ >= config_.replaysPerCycle)
-                    break;
-
-                unsigned lat = 1;
-                if (inst.addrValid) {
-                    MemAccess acc =
-                        hierarchy_.read(inst.memAddr, inst.pc);
-                    lat = acc.latency;
-                    ++(*sc_l1d_accesses_replay_);
-                    if (!acc.l1Hit)
-                        ++(*sc_replay_cache_misses_);
-                }
-                inst.replayValue =
-                    readMemSafe(inst.memAddr, inst.memSize);
-                inst.replayVersion = versionSafe(inst.memAddr);
-                inst.sampleCycle = now;
-                inst.replayIssued = true;
-                inst.compareReadyCycle = now + lat + 1;
-                ++commitPortsUsed_;
-                ++replaysThisCycle_;
-
-                ++(*sc_replays_total_);
-                trace(TraceKind::ReplayIssued, inst);
-                if (auditor_)
-                    auditor_->onReplayIssued(coreId(), inst.seq,
-                                             inst.pc,
-                                             inst.valuePredicted,
-                                             false, now);
-                if (inst.replayReason == ReplayReason::UnresolvedStore)
-                    ++(*sc_replays_unresolved_store_);
-                else
-                    ++(*sc_replays_consistency_);
-            } else {
-                inst.compareReadyCycle = now + 2;
-                ++(*sc_replays_filtered_);
-            }
-        } else {
-            // Non-loads flow through replay and compare unchanged.
-            inst.compareReadyCycle = now + 2;
-        }
-        inst.enteredBackend = true;
-        ++backendEntered_;
-        ++entered;
-    }
-}
-
-// ---------------------------------------------------------------------
-// Commit
-// ---------------------------------------------------------------------
-
-bool
-OooCore::tryExecuteSwapAtHead(DynInst &head, Cycle now)
-{
-    if (!commitPortAvailable())
-        return false;
-
-    Word a = retiredRegs_[head.inst.ra];
-    Word data = retiredRegs_[head.inst.rb];
-    Addr addr = effectiveAddr(head.inst, a);
-    head.memAddr = addr;
-    head.memSize = 8;
-    head.storeData = data;
-    VBR_ASSERT(addr % 8 == 0 && addr + 8 <= mem_.size(),
-               "SWAP with invalid address reached commit");
-
-    if (!head.ownershipRequested) {
-        head.ownershipRequested = true;
-        if (!hierarchy_.ownsLine(addr)) {
-            MemAccess acc = hierarchy_.acquireOwnership(addr);
-            head.compareReadyCycle = now + acc.latency;
-            return false;
-        }
-        head.compareReadyCycle = now;
-    }
-    if (now < head.compareReadyCycle)
-        return false;
-    // The transfer latency is paid. If a competitor stole the line
-    // meanwhile, our queued request is serviced now — the silent
-    // re-acquisition prevents ownership livelock under contention.
-    if (!hierarchy_.ownsLine(addr))
-        hierarchy_.acquireOwnership(addr);
-
-    // Atomic read-modify-write at the global visibility point.
-    head.prematureValue = mem_.read(addr, 8);
-    head.prematureVersion = versionSafe(addr);
-    mem_.write(addr, 8, data);
-    head.replayVersion = versionSafe(addr); // version written
-    head.destValue = head.prematureValue;
-    head.executed = true;
-    incompleteMemOps_.erase(head.seq);
-    unscheduledMemOps_.erase(head.seq);
-    if (head.inst.writesRd())
-        wakeDependents(head.seq);
-    ++commitPortsUsed_;
-    ++(*sc_l1d_accesses_swap_);
-    return true;
-}
-
-bool
-OooCore::retireHead(Cycle now)
-{
-    DynInst &head = rob_.front();
-
-    if (head.isSwapOp && !head.executed) {
-        if (!tryExecuteSwapAtHead(head, now))
-            return false;
-    }
-    if (!head.executed)
-        return false;
-
-    // Value-replay mode: everything but SWAP flows through the replay
-    // and compare stages before retiring.
-    if (rq_ && !head.isSwapOp) {
-        if (!head.enteredBackend || now < head.compareReadyCycle)
-            return false;
-    }
-
-    // A load that was filtered at replay-stage entry may have been
-    // overtaken by an arming event (external invalidation or fill)
-    // while stalled before commit; the paper forces loads to replay
-    // "during each cycle that the flag is set", so the decision is
-    // re-validated here and a late replay is issued through the
-    // commit port if needed. Rule-3-suppressed loads are exempt (they
-    // sampled as the oldest instruction and are ordered).
-    if (rq_ && head.isLoadOp && head.issued && head.replayDecided &&
-        !head.willReplay && !head.replayIssued &&
-        !head.rule3Suppressed && !config_.unsafeDisableOrdering) {
-        ReplayReason late = classifyReplay(
-            config_.filters, head.replayInfo, head.seq, filterState_);
-        if (late != ReplayReason::Filtered) {
-            if (!commitPortAvailable() ||
-                replaysThisCycle_ >= config_.replaysPerCycle)
-                return false;
-            unsigned lat = 1;
-            if (head.addrValid) {
-                MemAccess acc = hierarchy_.read(head.memAddr, head.pc);
-                lat = acc.latency;
-                ++(*sc_l1d_accesses_replay_);
-            }
-            head.replayValue = readMemSafe(head.memAddr, head.memSize);
-            head.replayVersion = versionSafe(head.memAddr);
-            head.sampleCycle = now;
-            head.replayIssued = true;
-            head.willReplay = true;
-            head.compareReadyCycle = now + lat + 1;
-            ++commitPortsUsed_;
-            ++replaysThisCycle_;
-            ++(*sc_replays_total_);
-            ++(*sc_replays_late_);
-            trace(TraceKind::ReplayIssued, head);
-            if (auditor_)
-                auditor_->onReplayIssued(coreId(), head.seq, head.pc,
-                                         head.valuePredicted,
-                                         true, now);
-            if (late == ReplayReason::UnresolvedStore)
-                ++(*sc_replays_unresolved_store_);
-            else
-                ++(*sc_replays_consistency_);
-            return false; // wait for the compare stage
-        }
-    }
-    if (rq_ && head.isLoadOp && head.replayIssued &&
-        now < head.compareReadyCycle)
-        return false;
-
-    // Compare stage verdict.
-    if (head.isLoadOp && head.replayIssued &&
-        head.replayValue != head.prematureValue) {
-        doReplaySquash(head, now);
-        return false;
-    }
-
-    // Hybrid (Power4-like) load queue: a load marked by a snoop since
-    // it issued may have observed a since-invalidated value; it is
-    // squashed and re-executed at retirement. (Marks are never placed
-    // on the oldest instruction, guaranteeing forward progress.)
-    if (head.isLoadOp && lq_ && lq_->mode() == LqMode::Hybrid &&
-        !config_.unsafeDisableOrdering && lq_->entryMarked(head.seq)) {
-        ++(*sc_squashes_lq_snoop_);
-        if (head.prematureValue ==
-            readMemSafe(head.memAddr, head.memSize))
-            ++(*sc_squashes_lq_snoop_unnecessary_);
-        squashFrom(head.seq, head.pc, head.predSnap);
-        return false;
-    }
-
-    if (head.isStoreOp) {
-        if (!commitPortAvailable())
-            return false;
-        SqEntry *e = sq_.head();
-        VBR_ASSERT(e && e->seq == head.seq, "SQ head mismatch");
-        VBR_ASSERT(head.addrValid,
-                   "store with invalid address reached commit");
-        if (!head.ownershipRequested) {
-            head.ownershipRequested = true;
-            if (!hierarchy_.ownsLine(head.memAddr)) {
-                MemAccess acc =
-                    hierarchy_.acquireOwnership(head.memAddr);
-                e->ownershipReadyCycle = now + acc.latency;
-                return false;
-            }
-            // Exclusive prefetch at agen may still be in flight.
-            e->ownershipReadyCycle =
-                std::max(e->ownershipReadyCycle, now);
-        }
-        if (now < e->ownershipReadyCycle)
-            return false;
-        // Latency paid; service the queued request even if the line
-        // was stolen meanwhile (prevents ownership livelock).
-        if (!hierarchy_.ownsLine(head.memAddr))
-            hierarchy_.acquireOwnership(head.memAddr);
-
-        // Drain: the store becomes globally visible here.
-        mem_.write(head.memAddr, head.memSize, head.storeData);
-        std::uint32_t wv = versionSafe(head.memAddr);
-        ++commitPortsUsed_;
-        ++(*sc_l1d_accesses_store_commit_);
-
-        drainedVersions_.emplace_back(head.seq, wv);
-        std::size_t max_hist = config_.robEntries + config_.sqEntries + 64;
-        while (drainedVersions_.size() > max_hist)
-            drainedVersions_.pop_front();
-
-        if (observer_ || auditor_) {
-            MemCommitEvent ev;
-            ev.core = coreId();
-            ev.seq = head.seq;
-            ev.pc = head.pc;
-            ev.addr = head.memAddr;
-            ev.size = head.memSize;
-            ev.isWrite = true;
-            ev.writeValue = head.storeData;
-            ev.writeVersion = wv;
-            ev.performCycle = now;
-            ev.commitCycle = now;
-            emitCommit(ev);
-        }
-        if (auditor_)
-            auditor_->onStoreDrained(coreId(), head.seq, now);
-        sq_.popFront();
-        ++(*sc_committed_stores_);
-    }
-
-    if (head.isLoadOp) {
-        VBR_ASSERT(head.addrValid,
-                   "load with invalid address reached commit");
-        // Reads-from attribution: always the premature sample. A
-        // matching replay proves the premature value was still valid,
-        // and attributing the (wall-clock) premature version avoids
-        // false constraint-graph cycles when silent stores advance
-        // the version without changing the value (§2.1 value
-        // locality). Mismatching replays squash and never commit.
-        std::uint32_t rv = head.prematureVersion;
-        if (head.forwarded) {
-            rv = 0;
-            for (auto it = drainedVersions_.rbegin();
-                 it != drainedVersions_.rend(); ++it) {
-                if (it->first == head.forwardStore) {
-                    rv = it->second;
-                    break;
-                }
-            }
-        }
-        if (observer_ || auditor_) {
-            MemCommitEvent ev;
-            ev.core = coreId();
-            ev.seq = head.seq;
-            ev.pc = head.pc;
-            ev.addr = head.memAddr;
-            ev.size = head.memSize;
-            ev.isRead = true;
-            ev.readValue = head.prematureValue;
-            ev.readVersion = rv;
-            ev.performCycle = head.sampleCycle;
-            ev.commitCycle = now;
-            emitCommit(ev);
-        }
-        if (auditor_)
-            auditor_->onLoadCommit(coreId(), head.seq, head.pc,
-                                   head.replayIssued,
-                                   head.compareReadyCycle, now);
-        if (valuePred_) {
-            valuePred_->train(head.pc, head.prematureValue);
-            if (head.valuePredicted)
-                ++(*sc_value_predictions_committed_);
-        }
-        if (lq_)
-            lq_->retire(head.seq);
-        else
-            rq_->retire(head.seq);
-        if (trackIssuedLoads())
-            issuedLoads_.erase(head.seq);
-        auto it = replaySuppress_.find(head.pc);
-        if (it != replaySuppress_.end()) {
-            if (it->second > 0)
-                --it->second;
-            if (it->second == 0)
-                replaySuppress_.erase(it);
-        }
-        ++(*sc_committed_loads_);
-    }
-
-    if (head.isSwapOp && (observer_ || auditor_)) {
-        MemCommitEvent ev;
-        ev.core = coreId();
-        ev.seq = head.seq;
-        ev.pc = head.pc;
-        ev.addr = head.memAddr;
-        ev.size = head.memSize;
-        ev.isRead = true;
-        ev.isWrite = true;
-        ev.readValue = head.prematureValue;
-        ev.readVersion = head.prematureVersion;
-        ev.writeValue = head.storeData;
-        ev.writeVersion = head.replayVersion;
-        ev.performCycle = now;
-        ev.commitCycle = now;
-        emitCommit(ev);
-    }
-
-    if (head.isMembarOp && (observer_ || auditor_)) {
-        MemCommitEvent ev;
-        ev.core = coreId();
-        ev.seq = head.seq;
-        ev.pc = head.pc;
-        ev.isFence = true;
-        ev.performCycle = now;
-        ev.commitCycle = now;
-        emitCommit(ev);
-    }
-
-    if (head.isCtrlOp) {
-        bp_.update(head.pc, head.inst, head.actualTaken,
-                   head.actualTarget, head.predSnap);
-        ++(*sc_committed_branches_);
-        if (isCondBranch(head.inst.op) &&
-            (head.predTaken != head.actualTaken))
-            ++(*sc_branch_mispredicts_committed_);
-    }
-
-    if (head.inst.writesRd()) {
-        retiredRegs_[head.inst.rd] = head.destValue;
-        // The retiring writer is the oldest in flight for its
-        // register, i.e. the front of the writer stack. Younger
-        // in-flight writers keep the rename mapping alive.
-        auto &writers = regWriters_[head.inst.rd];
-        if (!writers.empty() && writers.front() == head.seq)
-            writers.pop_front();
-        if (writers.empty())
-            renameMap_[head.inst.rd] = kNoSeq;
-    }
-    if (head.isStoreOp)
-        depPred_->notifyStoreRemoved(head.pc, head.seq);
-    if ((head.isSwapOp || head.isMembarOp) && !fences_.empty() &&
-        fences_.front() == head.seq)
-        fences_.erase(fences_.begin());
-
-    if (head.inst.op == Opcode::HALT)
-        halted_ = true;
-
-    trace(TraceKind::Commit, head);
-    // Prefix invariant: the head entered the backend iff the entered
-    // prefix is non-empty (SWAPs can retire without ever entering).
-    if (backendEntered_ > 0)
-        --backendEntered_;
-    rob_.pop_front();
-    ++committed_;
-    noteCommit(now);
-    ++(*sc_committed_instructions_);
-    return true;
-}
-
-void
-OooCore::commitStage(Cycle now)
-{
-    commitPortsUsed_ = 0;
-    replaysThisCycle_ = 0;
-
-    for (unsigned n = 0; n < config_.commitWidth; ++n) {
-        if (rob_.empty() || halted_)
-            break;
-        if (!retireHead(now))
-            break;
-        if (squashedThisCycle_)
-            break;
-    }
+    ordering_->onExternalFill(line);
 }
 
 // ---------------------------------------------------------------------
@@ -1491,19 +271,13 @@ OooCore::tick(Cycle now)
     squashedThisCycle_ = false;
     depPred_->tick(now);
 
-    // Deliver deferred inclusion-victim searches to the baseline
-    // load queue (deferred because they are triggered by this core's
-    // own cache accesses mid-stage).
-    if (lq_ && !pendingSnoopLines_.empty()) {
-        std::vector<Addr> lines;
-        lines.swap(pendingSnoopLines_);
-        for (Addr line : lines)
-            handleSnoopLine(line);
-    }
+    // Begin-of-cycle backend work (e.g. deferred snoop searches,
+    // deferred because they are triggered by this core's own cache
+    // accesses mid-stage).
+    ordering_->beginCycle(now);
 
     commitStage(now);
-    if (rq_)
-        backendStage(now);
+    ordering_->backendStage(now);
     writebackStage(now);
     captureStoreData(now);
     issueStage(now);

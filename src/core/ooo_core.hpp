@@ -5,30 +5,35 @@
  *   fetch -> (frontEndDepth cycles) -> dispatch/rename -> issue ->
  *   execute -> writeback -> [replay -> compare] -> commit
  *
- * The replay and compare stages exist only in value-based replay mode
- * (paper Figure 3); in baseline mode instructions commit directly and
- * memory ordering is enforced by the associative load queue.
+ * The core owns the scheme-neutral machinery — ROB, issue queue,
+ * rename, store queue, branch prediction, the commit-stage port —
+ * and delegates every memory-ordering decision to a pluggable
+ * MemoryOrderingUnit (src/ordering/): the baseline CAM load queue or
+ * the paper's value-based replay pipe. The pipeline stages contain
+ * zero scheme-specific branches; they invoke the backend hooks at
+ * fixed points (see ordering/memory_ordering_unit.hpp for the
+ * contract). Each stage lives in its own translation unit
+ * (fetch.cpp, dispatch.cpp, issue.cpp, writeback.cpp, backend.cpp,
+ * commit.cpp, squash.cpp).
  *
  * Memory ordering events of interest:
  *  - premature load execution at issue (store-queue search, cache
  *    access, dependence-predictor gating);
- *  - store address generation (baseline: CAM search of the load
- *    queue; both: exclusive ownership prefetch);
+ *  - store address generation (exclusive ownership prefetch + the
+ *    backend's RAW check);
  *  - store drain at the commit-stage port = global visibility;
  *  - load replay through the same commit-stage port (value mode);
- *  - external invalidations/fills feeding the snooping LQ or the
- *    replay filters.
+ *  - external invalidations/fills routed to the backend (snooping
+ *    CAM searches or replay-filter arming).
  */
 
 #ifndef VBR_CORE_OOO_CORE_HPP
 #define VBR_CORE_OOO_CORE_HPP
 
 #include <deque>
-#include <map>
 #include <memory>
 #include <queue>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -38,10 +43,9 @@
 #include "core/dyn_inst.hpp"
 #include "core/trace.hpp"
 #include "isa/program.hpp"
-#include "lsq/assoc_load_queue.hpp"
-#include "lsq/replay_queue.hpp"
 #include "lsq/store_queue.hpp"
 #include "mem/hierarchy.hpp"
+#include "ordering/memory_ordering_unit.hpp"
 #include "predict/branch_predictor.hpp"
 #include "predict/dep_predictor.hpp"
 #include "predict/value_predictor.hpp"
@@ -53,7 +57,7 @@ class MemoryImage;
 class InvariantAuditor;
 
 /** One simulated core executing one thread of a Program. */
-class OooCore : public MemEventClient
+class OooCore final : public MemEventClient, private OrderingHost
 {
   public:
     OooCore(const CoreConfig &config, const Program &prog,
@@ -81,7 +85,7 @@ class OooCore : public MemEventClient
      * scans (driven by the System on the audit schedule). */
     void auditStructures(InvariantAuditor &auditor) const;
 
-    CoreId coreId() const { return hierarchy_.coreId(); }
+    CoreId coreId() const override { return hierarchy_.coreId(); }
 
     std::uint64_t instructionsCommitted() const { return committed_; }
     Cycle cyclesRun() const { return cycles_; }
@@ -89,14 +93,17 @@ class OooCore : public MemEventClient
     /** Committed architectural register value (for co-simulation). */
     Word archReg(unsigned r) const { return retiredRegs_[r]; }
 
-    StatSet &stats() { return stats_; }
+    StatSet &stats() override { return stats_; }
     const StatSet &stats() const { return stats_; }
 
-    CacheHierarchy &hierarchy() { return hierarchy_; }
-    StoreQueue &storeQueue() { return sq_; }
-    AssocLoadQueue *assocLq() { return lq_.get(); }
-    ReplayQueue *replayQueue() { return rq_.get(); }
-    DependencePredictor &depPredictor() { return *depPred_; }
+    CacheHierarchy &hierarchy() override { return hierarchy_; }
+    StoreQueue &storeQueue() override { return sq_; }
+
+    /** The memory-ordering backend (reporting / stats seam). */
+    MemoryOrderingUnit &ordering() { return *ordering_; }
+    const MemoryOrderingUnit &ordering() const { return *ordering_; }
+
+    DependencePredictor &depPredictor() override { return *depPred_; }
     ValuePredictor *valuePredictor() { return valuePred_.get(); }
     BranchPredictor &branchPredictor() { return bp_; }
 
@@ -120,16 +127,16 @@ class OooCore : public MemEventClient
         Cycle readyCycle = 0;
     };
 
-    // --- pipeline stages (called in back-to-front order) -------------
-    void commitStage(Cycle now);
-    void backendStage(Cycle now); ///< replay/compare entry (value mode)
-    void writebackStage(Cycle now);
-    void issueStage(Cycle now);
-    void dispatchStage(Cycle now);
-    void fetchStage(Cycle now);
+    // --- pipeline stages (called in back-to-front order; one
+    //     translation unit each) ---------------------------------------
+    void commitStage(Cycle now);    ///< commit.cpp
+    void writebackStage(Cycle now); ///< writeback.cpp
+    void issueStage(Cycle now);     ///< issue.cpp
+    void dispatchStage(Cycle now);  ///< dispatch.cpp
+    void fetchStage(Cycle now);     ///< fetch.cpp
 
     // --- helpers ------------------------------------------------------
-    DynInst *findInst(SeqNum seq);
+    DynInst *findInst(SeqNum seq) override;
     const DynInst *findInst(SeqNum seq) const;
     bool operandsReady(const DynInst &inst) const;
     Word readOperand(SeqNum producer, unsigned arch_reg) const;
@@ -141,31 +148,24 @@ class OooCore : public MemEventClient
     void captureStoreData(Cycle now);
     bool retireHead(Cycle now);
     bool tryExecuteSwapAtHead(DynInst &head, Cycle now);
-    void doReplaySquash(DynInst &load, Cycle now);
     void doBranchMispredict(DynInst &branch, Cycle now);
     void squashFrom(SeqNum bound, std::uint32_t new_fetch_pc,
-                    const PredictorSnapshot &snap);
+                    const PredictorSnapshot &snap) override;
 
-    /** Shadow CAM statistics need the issued-load index only in value
-     * mode (the baseline keeps its own LQ). */
-    bool
-    trackIssuedLoads() const
-    {
-        return rq_ != nullptr && config_.shadowLqStats;
-    }
-    void handleLqSquash(const LqSquash &squash, std::uint32_t store_pc,
-                        Word store_value, Addr store_addr,
-                        unsigned store_size, bool is_snoop, Cycle now);
-    Word readMemSafe(Addr addr, unsigned size) const;
-    std::uint32_t versionSafe(Addr addr) const;
-    SeqNum youngestInWindow() const;
+    Word readMemSafe(Addr addr, unsigned size) const override;
+    std::uint32_t versionSafe(Addr addr) const override;
+    SeqNum youngestInWindow() const override;
     void noteCommit(Cycle now);
     void wakeDependents(SeqNum producer);
-    void handleSnoopLine(Addr line);
 
-    // Shadow CAM statistics (value mode, §5.1 avoided squashes).
-    void shadowStoreAgenStats(const DynInst &store, bool data_known);
-    void shadowSnoopStats(Addr line);
+    // --- the rest of the OrderingHost seam (backend.cpp) --------------
+    const CoreConfig &coreConfig() const override { return config_; }
+    Cycle coreCycle() const override { return cycles_; }
+    std::deque<DynInst> &robWindow() override { return rob_; }
+    InvariantAuditor *auditorHook() override { return auditor_; }
+    void traceEvent(TraceKind kind, const DynInst &inst) override;
+    bool replayPortAvailable() const override;
+    void takeReplayPort() override;
 
     CoreConfig config_;
     const Program &prog_;
@@ -194,8 +194,10 @@ class OooCore : public MemEventClient
     };
     std::vector<IqEntry> iq_;
     StoreQueue sq_;
-    std::unique_ptr<AssocLoadQueue> lq_; ///< baseline mode
-    std::unique_ptr<ReplayQueue> rq_;    ///< value-replay mode
+
+    /** The pluggable memory-ordering backend (CAM or value replay). */
+    std::unique_ptr<MemoryOrderingUnit> ordering_;
+
     std::unique_ptr<DependencePredictor> depPred_;
     std::unique_ptr<ValuePredictor> valuePred_; ///< optional
     std::vector<SeqNum> fences_; ///< in-flight SWAP/MEMBAR seqs
@@ -220,19 +222,9 @@ class OooCore : public MemEventClient
     //  - incompleteMemOps_: seqs of in-flight loads/SWAPs with
     //    !executed (MEMBARs execute at dispatch and never enter);
     //  - unscheduledMemOps_: seqs of in-flight loads/stores with
-    //    !issued plus SWAPs with !executed;
-    //  - issuedLoads_: issued loads with a valid address, in age
-    //    order, only maintained when trackIssuedLoads() (shadow CAM
-    //    statistics walk these instead of the whole ROB).
+    //    !issued plus SWAPs with !executed.
     std::set<SeqNum> incompleteMemOps_;
     std::set<SeqNum> unscheduledMemOps_;
-    std::map<SeqNum, DynInst *> issuedLoads_;
-
-    /** Number of leading rob_ entries that already entered the
-     * replay/compare backend. Entry is strictly in ROB order, so the
-     * entered instructions always form a prefix; backendStage resumes
-     * here instead of rescanning the window. */
-    std::size_t backendEntered_ = 0;
 
     /** Per-architectural-register stacks of in-flight writer seqs in
      * age order (youngest at the back == renameMap_[r]). Squash pops
@@ -242,14 +234,6 @@ class OooCore : public MemEventClient
     // Rename.
     std::array<SeqNum, kNumArchRegs> renameMap_;
     std::array<Word, kNumArchRegs> retiredRegs_ = {};
-
-    // Snoop lines awaiting the baseline LQ search (delivered at the
-    // next tick so coherence callbacks never mutate a mid-cycle core).
-    std::vector<Addr> pendingSnoopLines_;
-
-    // Replay filter state and rule-3 suppression.
-    RecentEventFilterState filterState_;
-    std::unordered_map<std::uint32_t, unsigned> replaySuppress_;
 
     // Recently drained store versions, for forwarded-load commit
     // events: (seq, version) in drain order.
@@ -296,7 +280,8 @@ class OooCore : public MemEventClient
     bool squashedThisCycle_ = false;
 
 
-    // Cached stat handles (bound once in the constructor).
+    // Cached stat handles (bound once in the constructor). The
+    // ordering backend registers and owns its own counters.
     Counter *sc_branch_mispredicts_committed_ = nullptr;
     Counter *sc_committed_branches_ = nullptr;
     Counter *sc_committed_instructions_ = nullptr;
@@ -304,7 +289,7 @@ class OooCore : public MemEventClient
     Counter *sc_committed_stores_ = nullptr;
     Counter *sc_cycles_ = nullptr;
     Counter *sc_dispatch_stalls_iq_ = nullptr;
-    Counter *sc_dispatch_stalls_lq_ = nullptr;
+    Counter *sc_dispatch_stalls_loadq_ = nullptr;
     Counter *sc_dispatch_stalls_rob_ = nullptr;
     Counter *sc_dispatch_stalls_sq_ = nullptr;
     Counter *sc_dispatched_instructions_ = nullptr;
@@ -314,7 +299,6 @@ class OooCore : public MemEventClient
     Counter *sc_icache_stalls_ = nullptr;
     Counter *sc_inclusion_victims_seen_ = nullptr;
     Counter *sc_l1d_accesses_premature_ = nullptr;
-    Counter *sc_l1d_accesses_replay_ = nullptr;
     Counter *sc_l1d_accesses_store_commit_ = nullptr;
     Counter *sc_l1d_accesses_swap_ = nullptr;
     Counter *sc_loads_blocked_on_store_ = nullptr;
@@ -324,29 +308,10 @@ class OooCore : public MemEventClient
     Counter *sc_loads_value_predicted_ = nullptr;
     Counter *sc_value_predictions_committed_ = nullptr;
     Counter *sc_loads_issued_out_of_order_ = nullptr;
-    Counter *sc_replay_cache_misses_ = nullptr;
-    Counter *sc_replays_consistency_ = nullptr;
-    Counter *sc_replays_filtered_ = nullptr;
-    Counter *sc_replays_suppressed_rule3_ = nullptr;
-    Counter *sc_replays_total_ = nullptr;
-    Counter *sc_replays_late_ = nullptr;
-    Counter *sc_replays_unresolved_store_ = nullptr;
     Counter *sc_squashes_branch_ = nullptr;
-    Counter *sc_squashes_lq_loadload_ = nullptr;
-    Counter *sc_squashes_lq_raw_ = nullptr;
-    Counter *sc_squashes_lq_raw_unnecessary_ = nullptr;
-    Counter *sc_squashes_lq_snoop_ = nullptr;
-    Counter *sc_squashes_lq_snoop_unnecessary_ = nullptr;
-    Counter *sc_squashes_replay_consistency_ = nullptr;
-    Counter *sc_squashes_replay_mismatch_ = nullptr;
-    Counter *sc_squashes_replay_raw_ = nullptr;
     Counter *sc_squashes_total_ = nullptr;
     Counter *sc_stores_issued_ = nullptr;
     Counter *sc_stores_agen_before_data_ = nullptr;
-    Counter *sc_wouldbe_squashes_raw_ = nullptr;
-    Counter *sc_wouldbe_squashes_raw_value_equal_ = nullptr;
-    Counter *sc_wouldbe_squashes_snoop_ = nullptr;
-    Counter *sc_wouldbe_squashes_snoop_value_equal_ = nullptr;
     Average *sc_iq_occupancy_ = nullptr;
     Average *sc_issued_per_cycle_ = nullptr;
     Average *sc_rob_occupancy_ = nullptr;

@@ -1,0 +1,88 @@
+// Squash/recovery machinery of OooCore: the host-level squash that
+// trims the window and every scheme-neutral structure, and the
+// branch-mispredict recovery built on it. Scheme-specific recovery
+// (CAM / replay-queue trimming, replay suppression) happens in the
+// ordering backend's squashFrom hook.
+
+#include "core/ooo_core.hpp"
+
+#include <algorithm>
+
+#include "isa/semantics.hpp"
+#include "verify/auditor.hpp"
+
+namespace vbr
+{
+
+void
+OooCore::squashFrom(SeqNum bound, std::uint32_t new_fetch_pc,
+                    const PredictorSnapshot &snap)
+{
+    // pendingStoreData_ points into rob_; filter it before the pops
+    // below free the squashed entries' deque nodes.
+    std::erase_if(pendingStoreData_,
+                  [bound](const DynInst *d) { return d->seq >= bound; });
+    incompleteMemOps_.erase(incompleteMemOps_.lower_bound(bound),
+                            incompleteMemOps_.end());
+    unscheduledMemOps_.erase(unscheduledMemOps_.lower_bound(bound),
+                             unscheduledMemOps_.end());
+    while (!rob_.empty() && rob_.back().seq >= bound) {
+        const DynInst &b = rob_.back();
+        if (b.isStoreOp)
+            depPred_->notifyStoreRemoved(b.pc, b.seq);
+        if (b.inst.writesRd()) {
+            // The squashed writer is the youngest for its register,
+            // so it sits at the back of the stack; the map falls back
+            // to the next-youngest survivor.
+            auto &writers = regWriters_[b.inst.rd];
+            if (!writers.empty() && writers.back() == b.seq)
+                writers.pop_back();
+            renameMap_[b.inst.rd] =
+                writers.empty() ? kNoSeq : writers.back();
+        }
+        trace(TraceKind::Squash, b);
+        rob_.pop_back();
+    }
+    sq_.squashFrom(bound);
+    ordering_->squashFrom(bound);
+
+    std::erase_if(iq_, [bound](const IqEntry &e) { return e.seq >= bound; });
+    std::erase_if(fences_, [bound](SeqNum s) { return s >= bound; });
+
+    frontEnd_.clear();
+    haltFetched_ = false;
+    fetchPc_ = new_fetch_pc;
+    fetchStallUntil_ = cycles_ + 1; // redirect bubble
+    lastFetchLine_ = kNoAddr;
+
+    bp_.restore(snap);
+    squashedThisCycle_ = true;
+    ++(*sc_squashes_total_);
+    if (auditor_)
+        auditor_->onSquash(coreId(), bound, cycles_);
+}
+
+void
+OooCore::doBranchMispredict(DynInst &branch, Cycle now)
+{
+    (void)now;
+    ++(*sc_squashes_branch_);
+    std::uint32_t resteer =
+        branch.actualTaken ? branch.actualTarget : branch.pc + 1;
+    PredictorSnapshot snap = branch.predSnap;
+    bool cond = isCondBranch(branch.inst.op);
+    bool taken = branch.actualTaken;
+    bool is_return = branch.inst.op == Opcode::JR &&
+                     branch.inst.ra == kLinkReg;
+    squashFrom(branch.seq + 1, resteer, snap);
+    if (cond) {
+        // Redo the speculative history update with the real outcome.
+        bp_.notifyResolvedBranch(taken);
+    } else if (is_return) {
+        // restore() rolled the RAS pop back; execution resumes past
+        // the return, so re-apply it.
+        bp_.popRas();
+    }
+}
+
+} // namespace vbr

@@ -1,0 +1,44 @@
+// Writeback stage of OooCore.
+
+#include "core/ooo_core.hpp"
+
+#include <algorithm>
+
+namespace vbr
+{
+
+void
+OooCore::writebackStage(Cycle now)
+{
+    // Collect everything completing this cycle, oldest first, so an
+    // older branch mispredict squashes younger completions cleanly.
+    wbScratch_.clear();
+    while (!pendingWb_.empty() && pendingWb_.top().first <= now) {
+        wbScratch_.push_back(pendingWb_.top().second);
+        pendingWb_.pop();
+    }
+    std::sort(wbScratch_.begin(), wbScratch_.end());
+
+    for (SeqNum seq : wbScratch_) {
+        DynInst *inst = findInst(seq);
+        if (!inst || !inst->issued || inst->executed)
+            continue; // squashed (and possibly re-allocated) meanwhile
+        inst->executed = true;
+        if (inst->isLoadOp || inst->isSwapOp)
+            incompleteMemOps_.erase(seq);
+        if (inst->inst.writesRd())
+            wakeDependents(seq);
+        trace(TraceKind::Writeback, *inst);
+
+        if (inst->isCtrlOp) {
+            bool mispredict =
+                inst->predTaken != inst->actualTaken ||
+                (inst->actualTaken &&
+                 inst->predTarget != inst->actualTarget);
+            if (mispredict)
+                doBranchMispredict(*inst, now);
+        }
+    }
+}
+
+} // namespace vbr

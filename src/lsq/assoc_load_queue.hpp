@@ -30,17 +30,10 @@
 #include "common/circular_buffer.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "ordering/scheme.hpp"
 
 namespace vbr
 {
-
-/** Load queue organization. */
-enum class LqMode
-{
-    Snooping,
-    Insulated,
-    Hybrid,
-};
 
 /** One in-flight load tracked by the CAM. */
 struct LqEntry
@@ -137,6 +130,7 @@ class AssocLoadQueue
     std::uint64_t entriesSearched() const { return entriesSearched_; }
 
     StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
 
   private:
     LqSquash makeSquash(const LqEntry &e) const;

@@ -1,0 +1,208 @@
+#include "ordering/assoc_lq_unit.hpp"
+
+#include <vector>
+
+#include "common/logging.hpp"
+#include "core/core_config.hpp"
+#include "lsq/store_queue.hpp"
+#include "mem/hierarchy.hpp"
+#include "predict/dep_predictor.hpp"
+#include "verify/auditor.hpp"
+
+namespace vbr
+{
+
+AssocLqUnit::AssocLqUnit(const CoreConfig &config, OrderingHost &host)
+    : config_(config),
+      host_(host),
+      lq_(config.lqEntries, config.lqMode)
+{
+    StatSet &st = host_.stats();
+    sc_squashes_lq_loadload_ = &st.counter("squashes_lq_loadload");
+    sc_squashes_lq_raw_ = &st.counter("squashes_lq_raw");
+    sc_squashes_lq_raw_unnecessary_ =
+        &st.counter("squashes_lq_raw_unnecessary");
+    sc_squashes_lq_snoop_ = &st.counter("squashes_lq_snoop");
+    sc_squashes_lq_snoop_unnecessary_ =
+        &st.counter("squashes_lq_snoop_unnecessary");
+}
+
+void
+AssocLqUnit::dispatchLoad(SeqNum seq, std::uint32_t pc, unsigned size)
+{
+    lq_.dispatch(seq, pc, size);
+}
+
+bool
+AssocLqUnit::holdLoadIssue(const DynInst & /* inst */)
+{
+    return false; // the CAM never delays load issue
+}
+
+void
+AssocLqUnit::onLoadIssued(DynInst &inst, Cycle /* now */)
+{
+    lq_.recordIssue(inst.seq, inst.memAddr, inst.prematureValue);
+    auto squash =
+        lq_.loadIssueSearch(inst.seq, inst.memAddr, inst.memSize);
+    if (squash && !config_.unsafeDisableOrdering) {
+        ++(*sc_squashes_lq_loadload_);
+        DynInst *victim = host_.findInst(squash->squashFrom);
+        VBR_ASSERT(victim != nullptr, "load-load squash target");
+        // Copy before the squash frees the victim's window entry.
+        PredictorSnapshot snap = victim->predSnap;
+        std::uint32_t pc = victim->pc;
+        host_.squashFrom(squash->squashFrom, pc, snap);
+    }
+}
+
+void
+AssocLqUnit::onStoreAgen(DynInst &store, bool data_known,
+                         Cycle /* now */)
+{
+    // Baseline RAW check: CAM search for younger issued loads at
+    // address generation. When the store data is not yet known, the
+    // value-equality (unnecessary-squash) statistic treats the squash
+    // as necessary.
+    auto squash =
+        lq_.storeAgenSearch(store.seq, store.memAddr, store.memSize);
+    if (squash && !config_.unsafeDisableOrdering)
+        applyLqSquash(*squash, store.pc,
+                      data_known ? store.storeData : ~Word{0},
+                      store.memAddr, data_known ? store.memSize : 0,
+                      false);
+}
+
+void
+AssocLqUnit::onExternalInvalidation(Addr line)
+{
+    // External invalidations only arrive while this core is quiescent
+    // (they originate from another core's tick or from DMA), so the
+    // CAM search-and-squash is safe to run synchronously — and must
+    // be, to preserve the invalidate-before-visible ordering contract.
+    handleSnoopLine(line);
+}
+
+void
+AssocLqUnit::onInclusionVictim(Addr line)
+{
+    // Triggered by this core's own cache accesses mid-stage: defer
+    // the search to the next tick's beginCycle.
+    pendingSnoopLines_.push_back(line);
+}
+
+void
+AssocLqUnit::onExternalFill(Addr /* line */)
+{
+    // The CAM does not care about fills (no replay filters to arm).
+}
+
+void
+AssocLqUnit::beginCycle(Cycle /* now */)
+{
+    if (pendingSnoopLines_.empty())
+        return;
+    std::vector<Addr> lines;
+    lines.swap(pendingSnoopLines_);
+    for (Addr line : lines)
+        handleSnoopLine(line);
+}
+
+void
+AssocLqUnit::backendStage(Cycle /* now */)
+{
+    // No replay/compare stages in the baseline pipeline.
+}
+
+bool
+AssocLqUnit::preCommit(DynInst &head, Cycle /* now */)
+{
+    // Hybrid (Power4-like) load queue: a load marked by a snoop since
+    // it issued may have observed a since-invalidated value; it is
+    // squashed and re-executed at retirement. (Marks are never placed
+    // on the oldest instruction, guaranteeing forward progress.)
+    if (head.isLoadOp && lq_.mode() == LqMode::Hybrid &&
+        !config_.unsafeDisableOrdering && lq_.entryMarked(head.seq)) {
+        ++(*sc_squashes_lq_snoop_);
+        if (head.prematureValue ==
+            host_.readMemSafe(head.memAddr, head.memSize))
+            ++(*sc_squashes_lq_snoop_unnecessary_);
+        PredictorSnapshot snap = head.predSnap;
+        std::uint32_t pc = head.pc;
+        host_.squashFrom(head.seq, pc, snap);
+        return false;
+    }
+    return true;
+}
+
+void
+AssocLqUnit::onRetire(const DynInst &head)
+{
+    if (head.isLoadOp)
+        lq_.retire(head.seq);
+}
+
+void
+AssocLqUnit::squashFrom(SeqNum bound)
+{
+    lq_.squashFrom(bound);
+}
+
+void
+AssocLqUnit::auditStructures(InvariantAuditor & /* auditor */,
+                             CoreId /* core */, Cycle /* now */) const
+{
+    // The auditor's structural scans cover the replay pipeline; the
+    // CAM queue has no scan (its invariants are enforced inline).
+}
+
+void
+AssocLqUnit::handleSnoopLine(Addr line)
+{
+    const auto &rob = host_.robWindow();
+    SeqNum head_seq = rob.empty() ? kNoSeq : rob.front().seq;
+    auto squash =
+        lq_.snoop(line, host_.hierarchy().lineBytes(), head_seq);
+    if (squash && !config_.unsafeDisableOrdering)
+        applyLqSquash(*squash, 0, 0, kNoAddr, 0, true);
+}
+
+void
+AssocLqUnit::applyLqSquash(const LqSquash &squash,
+                           std::uint32_t store_pc, Word store_value,
+                           Addr store_addr, unsigned store_size,
+                           bool is_snoop)
+{
+    DynInst *load = host_.findInst(squash.squashFrom);
+    VBR_ASSERT(load != nullptr, "LQ squash of unknown load");
+
+    // §5.1 statistics: was this squash unnecessary, i.e. did the
+    // premature load actually read the value it would read now?
+    if (is_snoop) {
+        ++(*sc_squashes_lq_snoop_);
+        if (squash.addr != kNoAddr &&
+            squash.prematureValue ==
+                host_.readMemSafe(squash.addr, squash.size))
+            ++(*sc_squashes_lq_snoop_unnecessary_);
+    } else {
+        ++(*sc_squashes_lq_raw_);
+        if (rangeContains(store_addr, store_size, squash.addr,
+                          squash.size)) {
+            unsigned shift =
+                static_cast<unsigned>(squash.addr - store_addr) * 8;
+            Word mask = squash.size >= 8
+                            ? ~Word{0}
+                            : ((Word{1} << (squash.size * 8)) - 1);
+            Word would_read = (store_value >> shift) & mask;
+            if (would_read == squash.prematureValue)
+                ++(*sc_squashes_lq_raw_unnecessary_);
+        }
+        host_.depPredictor().trainViolation(squash.loadPc, store_pc);
+    }
+
+    // Copy before the squash frees the load's window entry.
+    PredictorSnapshot snap = load->predSnap;
+    host_.squashFrom(squash.squashFrom, squash.loadPc, snap);
+}
+
+} // namespace vbr

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Baseline memory-ordering backend: the conventional associative load
+ * queue (paper §2). Wraps AssocLoadQueue with the squash policy the
+ * core used to hard-code — store-agen RAW searches, load-issue
+ * ordering searches (insulated/hybrid), external-invalidation snoops
+ * with the forward-progress head exemption, and the hybrid
+ * retirement-time mark check — plus the §5.1 unnecessary-squash
+ * statistics.
+ */
+
+#ifndef VBR_ORDERING_ASSOC_LQ_UNIT_HPP
+#define VBR_ORDERING_ASSOC_LQ_UNIT_HPP
+
+#include <vector>
+
+#include "lsq/assoc_load_queue.hpp"
+#include "ordering/memory_ordering_unit.hpp"
+
+namespace vbr
+{
+
+/** CAM-based backend (the machine the paper argues against). */
+class AssocLqUnit final : public MemoryOrderingUnit
+{
+  public:
+    AssocLqUnit(const CoreConfig &config, OrderingHost &host);
+
+    OrderingScheme
+    scheme() const override
+    {
+        return OrderingScheme::AssocLoadQueue;
+    }
+
+    bool validatesValueSpeculation() const override { return false; }
+
+    bool loadQueueFull() const override { return lq_.full(); }
+    void dispatchLoad(SeqNum seq, std::uint32_t pc,
+                      unsigned size) override;
+
+    bool holdLoadIssue(const DynInst &inst) override;
+    void onLoadIssued(DynInst &inst, Cycle now) override;
+    void onStoreAgen(DynInst &store, bool data_known,
+                     Cycle now) override;
+
+    void onExternalInvalidation(Addr line) override;
+    void onInclusionVictim(Addr line) override;
+    void onExternalFill(Addr line) override;
+
+    void beginCycle(Cycle now) override;
+    void backendStage(Cycle now) override;
+
+    bool preCommit(DynInst &head, Cycle now) override;
+    void onRetire(const DynInst &head) override;
+
+    void squashFrom(SeqNum bound) override;
+
+    void auditStructures(InvariantAuditor &auditor, CoreId core,
+                         Cycle now) const override;
+    const StatSet *camStats() const override { return &lq_.stats(); }
+    std::uint64_t camSearches() const override { return lq_.searches(); }
+
+  private:
+    /** Run the snoop search for @p line and squash on a hit. */
+    void handleSnoopLine(Addr line);
+
+    /** Apply a CAM squash demand: §5.1 unnecessary-squash statistics,
+     * dependence-predictor training (RAW only), then the host squash. */
+    void applyLqSquash(const LqSquash &squash, std::uint32_t store_pc,
+                       Word store_value, Addr store_addr,
+                       unsigned store_size, bool is_snoop);
+
+    const CoreConfig &config_;
+    OrderingHost &host_;
+    AssocLoadQueue lq_;
+
+    // Snoop lines awaiting the CAM search (delivered at the next tick
+    // so coherence callbacks never mutate a mid-cycle core).
+    std::vector<Addr> pendingSnoopLines_;
+
+    // Cached stat handles (bound once in the constructor).
+    Counter *sc_squashes_lq_loadload_ = nullptr;
+    Counter *sc_squashes_lq_raw_ = nullptr;
+    Counter *sc_squashes_lq_raw_unnecessary_ = nullptr;
+    Counter *sc_squashes_lq_snoop_ = nullptr;
+    Counter *sc_squashes_lq_snoop_unnecessary_ = nullptr;
+};
+
+} // namespace vbr
+
+#endif // VBR_ORDERING_ASSOC_LQ_UNIT_HPP

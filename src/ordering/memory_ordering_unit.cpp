@@ -1,0 +1,52 @@
+#include "ordering/memory_ordering_unit.hpp"
+
+#include "core/core_config.hpp"
+#include "ordering/assoc_lq_unit.hpp"
+#include "ordering/value_replay_unit.hpp"
+
+namespace vbr
+{
+
+void
+registerOrderingStats(StatSet &stats)
+{
+    // Both schemes register the union of the ordering counters so a
+    // report or JSON emitted under one scheme has the exact same
+    // counter set as the other (StatSet::dump prints every registered
+    // counter; a missing name would make the outputs diverge).
+    static const char *const kNames[] = {
+        "l1d_accesses_replay",
+        "replay_cache_misses",
+        "replays_consistency",
+        "replays_filtered",
+        "replays_late",
+        "replays_suppressed_rule3",
+        "replays_total",
+        "replays_unresolved_store",
+        "squashes_lq_loadload",
+        "squashes_lq_raw",
+        "squashes_lq_raw_unnecessary",
+        "squashes_lq_snoop",
+        "squashes_lq_snoop_unnecessary",
+        "squashes_replay_consistency",
+        "squashes_replay_mismatch",
+        "squashes_replay_raw",
+        "wouldbe_squashes_raw",
+        "wouldbe_squashes_raw_value_equal",
+        "wouldbe_squashes_snoop",
+        "wouldbe_squashes_snoop_value_equal",
+    };
+    for (const char *name : kNames)
+        stats.counter(name);
+}
+
+std::unique_ptr<MemoryOrderingUnit>
+makeMemoryOrderingUnit(const CoreConfig &config, OrderingHost &host)
+{
+    registerOrderingStats(host.stats());
+    if (config.scheme == OrderingScheme::AssocLoadQueue)
+        return std::make_unique<AssocLqUnit>(config, host);
+    return std::make_unique<ValueReplayUnit>(config, host);
+}
+
+} // namespace vbr

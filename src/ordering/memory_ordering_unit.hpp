@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The seam between the pipeline and the memory-ordering mechanism.
+ *
+ * The paper's whole argument is that memory ordering is a swappable
+ * component: a snooping CAM load queue (§2) and value-based replay
+ * with filters (§3-4) enforce the same architectural contract through
+ * entirely different machinery. This header makes that contract
+ * explicit:
+ *
+ *  - MemoryOrderingUnit is the backend interface. It observes load
+ *    dispatch/issue, store address generation, external coherence
+ *    events, squashes and retirement, and owns every scheme-specific
+ *    structure (CAM LQ or replay FIFO), statistic, and squash rule.
+ *    OooCore's pipeline stages contain zero scheme-specific branches;
+ *    they call these hooks at fixed pipeline points.
+ *
+ *  - OrderingHost is the narrow view of the core a backend may use to
+ *    act: window lookup, the squash machinery, committed-state memory
+ *    peeks for the §5.1 statistics, the dependence predictor for
+ *    violation training, and the shared commit-stage port (paper
+ *    constraint 2: replays and draining stores arbitrate for the same
+ *    L1D port, stores first).
+ *
+ * Backend contract (every implementation must uphold; see DESIGN.md
+ * for the full statement):
+ *  - a load may only retire when its value is architecturally
+ *    correct at commit: preCommit() must stall or squash otherwise;
+ *  - replay-style backends must obey the paper's §3 constraints:
+ *    (1) all older stores drained before a load replays, (2) replays
+ *    issue in program order through the commit port, (3) a load that
+ *    caused a replay squash is not replayed again after recovery;
+ *  - squashFrom(bound) must drop every backend record with
+ *    seq >= bound and never touch older records;
+ *  - the backend registers the full cross-scheme ordering stat set
+ *    (registerOrderingStats) so reports are scheme-independent.
+ */
+
+#ifndef VBR_ORDERING_MEMORY_ORDERING_UNIT_HPP
+#define VBR_ORDERING_MEMORY_ORDERING_UNIT_HPP
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "core/dyn_inst.hpp"
+#include "core/trace.hpp"
+#include "ordering/scheme.hpp"
+
+namespace vbr
+{
+
+struct CoreConfig;
+class StoreQueue;
+class CacheHierarchy;
+class DependencePredictor;
+class InvariantAuditor;
+
+/**
+ * What a memory-ordering backend may ask of its core. Implemented
+ * (privately) by OooCore; backends hold a reference and never see the
+ * core class itself.
+ */
+class OrderingHost
+{
+  public:
+    virtual ~OrderingHost() = default;
+
+    virtual const CoreConfig &coreConfig() const = 0;
+    virtual CoreId coreId() const = 0;
+    /** The cycle the core is currently ticking. */
+    virtual Cycle coreCycle() const = 0;
+
+    /** The reorder buffer, oldest at the front. Backends may mutate
+     * the per-instruction backend/replay fields of entries. */
+    virtual std::deque<DynInst> &robWindow() = 0;
+    virtual StoreQueue &storeQueue() = 0;
+    virtual CacheHierarchy &hierarchy() = 0;
+    virtual DependencePredictor &depPredictor() = 0;
+    /** The core's stat set (backends register ordering stats here). */
+    virtual StatSet &stats() = 0;
+    /** The invariant auditor, or nullptr when auditing is off. */
+    virtual InvariantAuditor *auditorHook() = 0;
+
+    /** Window lookup by sequence number (nullptr when not present). */
+    virtual DynInst *findInst(SeqNum seq) = 0;
+    /** Committed-memory peek tolerating wrong-path addresses. */
+    virtual Word readMemSafe(Addr addr, unsigned size) const = 0;
+    /** Version of the committed word (0 when untracked). */
+    virtual std::uint32_t versionSafe(Addr addr) const = 0;
+    /** Youngest in-flight seq, kNoSeq when the window is empty. */
+    virtual SeqNum youngestInWindow() const = 0;
+
+    /** Squash everything with seq >= bound and refetch. */
+    virtual void squashFrom(SeqNum bound, std::uint32_t new_fetch_pc,
+                            const PredictorSnapshot &snap) = 0;
+    /** Emit a pipeline-trace event on the backend's behalf. */
+    virtual void traceEvent(TraceKind kind, const DynInst &inst) = 0;
+
+    /** True while the shared commit-stage L1D port can accept a
+     * replay this cycle (port free AND replay bandwidth left). */
+    virtual bool replayPortAvailable() const = 0;
+    /** Consume the commit-stage port for one replay access. */
+    virtual void takeReplayPort() = 0;
+};
+
+/**
+ * A pluggable memory-ordering backend. One instance per core; the
+ * pipeline stages invoke the hooks below at fixed points and never
+ * branch on the scheme themselves.
+ */
+class MemoryOrderingUnit
+{
+  public:
+    virtual ~MemoryOrderingUnit() = default;
+
+    virtual OrderingScheme scheme() const = 0;
+
+    /** True when the backend re-executes loads before commit and can
+     * therefore validate value-speculated loads (the replay pipe). */
+    virtual bool validatesValueSpeculation() const = 0;
+
+    // --- dispatch -----------------------------------------------------
+
+    /** True when no load can be dispatched this cycle (stall). */
+    virtual bool loadQueueFull() const = 0;
+
+    /** A load allocated its queue entry at dispatch. */
+    virtual void dispatchLoad(SeqNum seq, std::uint32_t pc,
+                              unsigned size) = 0;
+
+    // --- issue --------------------------------------------------------
+
+    /** True when the backend refuses to let this load issue yet
+     * (e.g. rule-3: a suppressed load must wait until it is the
+     * oldest instruction so its premature read is ordered). */
+    virtual bool holdLoadIssue(const DynInst &inst) = 0;
+
+    /** A load performed its premature access (address, premature
+     * value and replay facts are recorded on @p inst). May squash. */
+    virtual void onLoadIssued(DynInst &inst, Cycle now) = 0;
+
+    /** A store generated its address (@p data_known: the data operand
+     * was already available). May squash (baseline RAW check). */
+    virtual void onStoreAgen(DynInst &store, bool data_known,
+                             Cycle now) = 0;
+
+    // --- external memory-system events --------------------------------
+
+    /** External invalidation observed (delivered core-quiescent). */
+    virtual void onExternalInvalidation(Addr line) = 0;
+
+    /** Inclusion castout; only called in multiprocessor systems (the
+     * paper's castout caveat: a castout line can be written remotely
+     * without a visible invalidation). */
+    virtual void onInclusionVictim(Addr line) = 0;
+
+    /** An external (beyond-hierarchy) fill completed. */
+    virtual void onExternalFill(Addr line) = 0;
+
+    // --- per-cycle hooks ----------------------------------------------
+
+    /** Start of tick, before the commit stage (deferred snoop
+     * delivery and similar begin-of-cycle work). */
+    virtual void beginCycle(Cycle now) = 0;
+
+    /** The replay/compare backend entry point, called between the
+     * commit and writeback stages (Figure 3 pipeline position). */
+    virtual void backendStage(Cycle now) = 0;
+
+    // --- commit -------------------------------------------------------
+
+    /** Final ordering verdict for the executed head instruction.
+     * Returns false to hold retirement (stall or squash issued);
+     * true when the head may retire this cycle. */
+    virtual bool preCommit(DynInst &head, Cycle now) = 0;
+
+    /** The head instruction retired (called for every instruction,
+     * just before it leaves the window). */
+    virtual void onRetire(const DynInst &head) = 0;
+
+    // --- recovery -----------------------------------------------------
+
+    /** Drop all backend records with seq >= bound (core-initiated
+     * squash; the ROB has already been trimmed). */
+    virtual void squashFrom(SeqNum bound) = 0;
+
+    // --- verification / reporting -------------------------------------
+
+    /** Submit backend structures to the auditor's structural scans. */
+    virtual void auditStructures(InvariantAuditor &auditor, CoreId core,
+                                 Cycle now) const = 0;
+
+    /** The CAM load queue's own stat set (nullptr for backends
+     * without one); reports dump it under the "lq." prefix. */
+    virtual const StatSet *camStats() const = 0;
+
+    /** CAM searches performed (0 for CAM-free backends); feeds the
+     * energy comparison. */
+    virtual std::uint64_t camSearches() const = 0;
+};
+
+/**
+ * Register the full ordering stat set (both schemes' counters) in
+ * @p stats. Every backend calls this so a report or JSON emitted
+ * under one scheme has the exact same counter names as the other.
+ */
+void registerOrderingStats(StatSet &stats);
+
+/** Build the backend selected by @p config.scheme. */
+std::unique_ptr<MemoryOrderingUnit>
+makeMemoryOrderingUnit(const CoreConfig &config, OrderingHost &host);
+
+} // namespace vbr
+
+#endif // VBR_ORDERING_MEMORY_ORDERING_UNIT_HPP

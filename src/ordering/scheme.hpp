@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Vocabulary enums for the pluggable memory-ordering layer. This
+ * header is dependency-free on purpose: it is included both "down"
+ * by the LSQ structures (AssocLoadQueue organizes itself by LqMode)
+ * and "up" by CoreConfig, without dragging either layer's full
+ * headers across the seam.
+ */
+
+#ifndef VBR_ORDERING_SCHEME_HPP
+#define VBR_ORDERING_SCHEME_HPP
+
+namespace vbr
+{
+
+/** How the core enforces memory ordering (which backend it builds). */
+enum class OrderingScheme
+{
+    AssocLoadQueue, ///< baseline: CAM-based load queue
+    ValueReplay,    ///< the paper's value-based replay mechanism
+};
+
+/** Associative load queue organization (paper §2.1). */
+enum class LqMode
+{
+    Snooping,
+    Insulated,
+    Hybrid,
+};
+
+} // namespace vbr
+
+#endif // VBR_ORDERING_SCHEME_HPP

@@ -1,0 +1,389 @@
+#include "ordering/value_replay_unit.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "core/core_config.hpp"
+#include "lsq/store_queue.hpp"
+#include "mem/hierarchy.hpp"
+#include "predict/dep_predictor.hpp"
+#include "verify/auditor.hpp"
+
+namespace vbr
+{
+
+ValueReplayUnit::ValueReplayUnit(const CoreConfig &config,
+                                 OrderingHost &host)
+    : config_(config), host_(host), rq_(config.lqEntries)
+{
+    // Reject contradictory filter pairings before simulating: they
+    // silently drop filtering rather than failing.
+    config_.filters.validate();
+
+    StatSet &st = host_.stats();
+    sc_l1d_accesses_replay_ = &st.counter("l1d_accesses_replay");
+    sc_replay_cache_misses_ = &st.counter("replay_cache_misses");
+    sc_replays_consistency_ = &st.counter("replays_consistency");
+    sc_replays_filtered_ = &st.counter("replays_filtered");
+    sc_replays_late_ = &st.counter("replays_late");
+    sc_replays_suppressed_rule3_ =
+        &st.counter("replays_suppressed_rule3");
+    sc_replays_total_ = &st.counter("replays_total");
+    sc_replays_unresolved_store_ =
+        &st.counter("replays_unresolved_store");
+    sc_squashes_replay_consistency_ =
+        &st.counter("squashes_replay_consistency");
+    sc_squashes_replay_mismatch_ =
+        &st.counter("squashes_replay_mismatch");
+    sc_squashes_replay_raw_ = &st.counter("squashes_replay_raw");
+    sc_wouldbe_squashes_raw_ = &st.counter("wouldbe_squashes_raw");
+    sc_wouldbe_squashes_raw_value_equal_ =
+        &st.counter("wouldbe_squashes_raw_value_equal");
+    sc_wouldbe_squashes_snoop_ = &st.counter("wouldbe_squashes_snoop");
+    sc_wouldbe_squashes_snoop_value_equal_ =
+        &st.counter("wouldbe_squashes_snoop_value_equal");
+}
+
+void
+ValueReplayUnit::dispatchLoad(SeqNum seq, std::uint32_t pc,
+                              unsigned size)
+{
+    rq_.dispatch(seq, pc, size);
+}
+
+bool
+ValueReplayUnit::holdLoadIssue(const DynInst &inst)
+{
+    // Rule 3 (§3): a load whose replay will be suppressed after a
+    // replay squash must perform non-speculatively: it issues only as
+    // the oldest uncommitted instruction, so its premature read is
+    // architecturally ordered (all older loads' replays completed,
+    // all older stores drained). Skipping its replay is then sound,
+    // and forward progress is guaranteed.
+    if (replaySuppress_.empty())
+        return false;
+    auto sup = replaySuppress_.find(inst.pc);
+    if (sup == replaySuppress_.end() || sup->second == 0)
+        return false;
+    return host_.robWindow().front().seq != inst.seq;
+}
+
+void
+ValueReplayUnit::onLoadIssued(DynInst &inst, Cycle /* now */)
+{
+    if (config_.shadowLqStats && inst.memAddr != kNoAddr)
+        issuedLoads_.emplace(inst.seq, &inst);
+    rq_.recordIssue(inst.seq, inst.memAddr, inst.prematureValue,
+                    inst.forwarded, inst.replayInfo);
+}
+
+void
+ValueReplayUnit::onStoreAgen(DynInst &store, bool data_known,
+                             Cycle /* now */)
+{
+    if (config_.shadowLqStats)
+        shadowStoreAgenStats(store, data_known);
+}
+
+void
+ValueReplayUnit::onExternalInvalidation(Addr line)
+{
+    filterState_.armSnoop(host_.youngestInWindow());
+    if (config_.shadowLqStats)
+        shadowSnoopStats(line);
+}
+
+void
+ValueReplayUnit::onInclusionVictim(Addr /* line */)
+{
+    // The snoop filter must treat the castout as a snoop — the
+    // paper's castout caveat (the line can be written remotely
+    // without a visible invalidation).
+    filterState_.armSnoop(host_.youngestInWindow());
+}
+
+void
+ValueReplayUnit::onExternalFill(Addr /* line */)
+{
+    filterState_.armMiss(host_.youngestInWindow());
+}
+
+void
+ValueReplayUnit::beginCycle(Cycle /* now */)
+{
+}
+
+void
+ValueReplayUnit::decideReplay(DynInst &inst)
+{
+    inst.replayReason = classifyReplay(config_.filters,
+                                       inst.replayInfo, inst.seq,
+                                       filterState_);
+    inst.willReplay = inst.replayReason != ReplayReason::Filtered;
+    if (inst.valuePredicted) {
+        // The replay IS the value-speculation validation: never
+        // filtered, never rule-3 suppressed.
+        inst.willReplay = true;
+        inst.replayDecided = true;
+    }
+    if (config_.unsafeDisableOrdering)
+        inst.willReplay = false; // failure injection
+    if (inst.willReplay && !inst.valuePredicted) {
+        auto it = replaySuppress_.find(inst.pc);
+        if (it != replaySuppress_.end() && it->second > 0) {
+            // Rule 3: forward progress after a replay squash.
+            inst.willReplay = false;
+            inst.rule3Suppressed = true;
+            ++(*sc_replays_suppressed_rule3_);
+        }
+    }
+    inst.replayDecided = true;
+}
+
+void
+ValueReplayUnit::issueReplay(DynInst &inst, ReplayReason reason,
+                             bool at_head, Cycle now)
+{
+    unsigned lat = 1;
+    if (inst.addrValid) {
+        MemAccess acc = host_.hierarchy().read(inst.memAddr, inst.pc);
+        lat = acc.latency;
+        ++(*sc_l1d_accesses_replay_);
+        if (!at_head && !acc.l1Hit)
+            ++(*sc_replay_cache_misses_);
+    }
+    inst.replayValue = host_.readMemSafe(inst.memAddr, inst.memSize);
+    inst.replayVersion = host_.versionSafe(inst.memAddr);
+    inst.sampleCycle = now;
+    inst.replayIssued = true;
+    inst.willReplay = true;
+    inst.compareReadyCycle = now + lat + 1;
+    host_.takeReplayPort();
+
+    ++(*sc_replays_total_);
+    if (at_head)
+        ++(*sc_replays_late_);
+    host_.traceEvent(TraceKind::ReplayIssued, inst);
+    if (InvariantAuditor *a = host_.auditorHook())
+        a->onReplayIssued(host_.coreId(), inst.seq, inst.pc,
+                          inst.valuePredicted, at_head, now);
+    if (reason == ReplayReason::UnresolvedStore)
+        ++(*sc_replays_unresolved_store_);
+    else
+        ++(*sc_replays_consistency_);
+}
+
+void
+ValueReplayUnit::backendStage(Cycle now)
+{
+    // Entry into the replay stage is strictly in ROB order, so the
+    // already-entered instructions form a prefix; resume at the
+    // cursor instead of rescanning the window from the front.
+    std::deque<DynInst> &rob = host_.robWindow();
+    unsigned entered = 0;
+    while (entered < config_.commitWidth &&
+           backendEntered_ < rob.size()) {
+        DynInst &inst = rob[backendEntered_];
+        if (inst.isSwapOp) {
+            // SWAP executes at the head and bypasses the replay pipe.
+            inst.enteredBackend = true;
+            inst.compareReadyCycle = now;
+            ++backendEntered_;
+            ++entered;
+            continue;
+        }
+        if (!inst.executed)
+            break; // in-order entry into the replay stage
+
+        if (inst.isLoadOp && inst.issued) {
+            if (!inst.replayDecided)
+                decideReplay(inst);
+
+            if (inst.willReplay) {
+                // Constraint 1: all prior stores in the cache.
+                if (host_.storeQueue().hasUndrainedOlderThan(inst.seq))
+                    break;
+                // Constraint 2: in-order, limited replay bandwidth on
+                // the shared commit-stage port (stores have priority).
+                if (!host_.replayPortAvailable())
+                    break;
+                issueReplay(inst, inst.replayReason, false, now);
+            } else {
+                inst.compareReadyCycle = now + 2;
+                ++(*sc_replays_filtered_);
+            }
+        } else {
+            // Non-loads flow through replay and compare unchanged.
+            inst.compareReadyCycle = now + 2;
+        }
+        inst.enteredBackend = true;
+        ++backendEntered_;
+        ++entered;
+    }
+}
+
+bool
+ValueReplayUnit::preCommit(DynInst &head, Cycle now)
+{
+    // Everything but SWAP flows through the replay and compare stages
+    // before retiring (SWAP executes at the head and bypasses them).
+    if (!head.isSwapOp &&
+        (!head.enteredBackend || now < head.compareReadyCycle))
+        return false;
+
+    // A load that was filtered at replay-stage entry may have been
+    // overtaken by an arming event (external invalidation or fill)
+    // while stalled before commit; the paper forces loads to replay
+    // "during each cycle that the flag is set", so the decision is
+    // re-validated here and a late replay is issued through the
+    // commit port if needed. Rule-3-suppressed loads are exempt (they
+    // sampled as the oldest instruction and are ordered).
+    if (head.isLoadOp && head.issued && head.replayDecided &&
+        !head.willReplay && !head.replayIssued &&
+        !head.rule3Suppressed && !config_.unsafeDisableOrdering) {
+        ReplayReason late = classifyReplay(config_.filters,
+                                           head.replayInfo, head.seq,
+                                           filterState_);
+        if (late != ReplayReason::Filtered) {
+            if (!host_.replayPortAvailable())
+                return false;
+            issueReplay(head, late, true, now);
+            return false; // wait for the compare stage
+        }
+    }
+    if (head.isLoadOp && head.replayIssued &&
+        now < head.compareReadyCycle)
+        return false;
+
+    // Compare stage verdict.
+    if (head.isLoadOp && head.replayIssued &&
+        head.replayValue != head.prematureValue) {
+        doReplaySquash(head);
+        return false;
+    }
+    return true;
+}
+
+void
+ValueReplayUnit::onRetire(const DynInst &head)
+{
+    if (head.isLoadOp) {
+        rq_.retire(head.seq);
+        if (config_.shadowLqStats)
+            issuedLoads_.erase(head.seq);
+        auto it = replaySuppress_.find(head.pc);
+        if (it != replaySuppress_.end()) {
+            if (it->second > 0)
+                --it->second;
+            if (it->second == 0)
+                replaySuppress_.erase(it);
+        }
+    }
+    // Prefix invariant: the head entered the backend iff the entered
+    // prefix is non-empty (SWAPs can retire without ever entering).
+    if (backendEntered_ > 0)
+        --backendEntered_;
+}
+
+void
+ValueReplayUnit::squashFrom(SeqNum bound)
+{
+    issuedLoads_.erase(issuedLoads_.lower_bound(bound),
+                       issuedLoads_.end());
+    rq_.squashFrom(bound);
+    backendEntered_ =
+        std::min(backendEntered_, host_.robWindow().size());
+}
+
+void
+ValueReplayUnit::auditStructures(InvariantAuditor &auditor, CoreId core,
+                                 Cycle now) const
+{
+    auditor.scanReplayQueue(core, rq_, now);
+}
+
+void
+ValueReplayUnit::doReplaySquash(DynInst &load)
+{
+    ++(*sc_squashes_replay_mismatch_);
+    if (load.replayInfo.bypassedUnresolvedStore)
+        ++(*sc_squashes_replay_raw_);
+    else
+        ++(*sc_squashes_replay_consistency_);
+
+    // Rule 3 (§3): do not replay this load again after recovery, to
+    // guarantee forward progress under contention.
+    ++replaySuppress_[load.pc];
+
+    // Train the dependence predictor; value-based replay cannot name
+    // the conflicting store (§3), hence kUnknownStorePc.
+    if (load.replayInfo.bypassedUnresolvedStore)
+        host_.depPredictor().trainViolation(
+            load.pc, DependencePredictor::kUnknownStorePc);
+
+    if (InvariantAuditor *a = host_.auditorHook())
+        a->onReplaySquash(host_.coreId(), load.seq, load.pc,
+                          host_.coreCycle());
+    // Copy before the squash frees the load's window entry.
+    PredictorSnapshot snap = load.predSnap;
+    std::uint32_t pc = load.pc;
+    host_.squashFrom(load.seq, pc, snap);
+}
+
+// ---------------------------------------------------------------------
+// Shadow CAM statistics (§5.1 avoided squashes)
+// ---------------------------------------------------------------------
+
+void
+ValueReplayUnit::shadowStoreAgenStats(const DynInst &store,
+                                      bool data_known)
+{
+    // Non-architectural scan: what would a conventional CAM have
+    // squashed on this store agen? Only issued younger loads can
+    // match, so walk the age-ordered issued-load index instead of
+    // the whole window.
+    for (auto it = issuedLoads_.upper_bound(store.seq);
+         it != issuedLoads_.end(); ++it) {
+        const DynInst &d = *it->second;
+        if (!rangesOverlap(d.memAddr, d.memSize, store.memAddr,
+                           store.memSize))
+            continue;
+        ++(*sc_wouldbe_squashes_raw_);
+        // Value-equality (the paper's store value locality) can only
+        // be judged when the store's data was known at agen time.
+        if (data_known &&
+            rangeContains(store.memAddr, store.memSize, d.memAddr,
+                          d.memSize)) {
+            unsigned shift =
+                static_cast<unsigned>(d.memAddr - store.memAddr) * 8;
+            Word mask = d.memSize >= 8
+                            ? ~Word{0}
+                            : ((Word{1} << (d.memSize * 8)) - 1);
+            if (((store.storeData >> shift) & mask) ==
+                d.prematureValue)
+                ++(*sc_wouldbe_squashes_raw_value_equal_);
+        }
+        break; // conventional CAM squashes from the oldest match
+    }
+}
+
+void
+ValueReplayUnit::shadowSnoopStats(Addr line)
+{
+    bool head = true;
+    for (const auto &[seq, dp] : issuedLoads_) {
+        const DynInst &d = *dp;
+        bool overlaps = rangesOverlap(d.memAddr, d.memSize, line,
+                                      host_.hierarchy().lineBytes());
+        if (overlaps && !head) {
+            ++(*sc_wouldbe_squashes_snoop_);
+            if (d.prematureValue ==
+                host_.readMemSafe(d.memAddr, d.memSize))
+                ++(*sc_wouldbe_squashes_snoop_value_equal_);
+            break;
+        }
+        head = false;
+    }
+}
+
+} // namespace vbr

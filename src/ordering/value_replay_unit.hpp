@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The paper's memory-ordering backend: value-based replay (§3-4). A
+ * plain FIFO load queue feeds replay and compare stages inserted
+ * before commit; loads re-execute through the shared commit-stage
+ * port and squash on a value mismatch. This unit owns the replay
+ * decision (the four §3 filters + their composition), the paper's
+ * three replay constraints, the rule-3 forward-progress suppression,
+ * and the shadow CAM statistics that measure the squashes a
+ * conventional load queue would have taken (§5.1).
+ */
+
+#ifndef VBR_ORDERING_VALUE_REPLAY_UNIT_HPP
+#define VBR_ORDERING_VALUE_REPLAY_UNIT_HPP
+
+#include <map>
+#include <unordered_map>
+
+#include "lsq/replay_queue.hpp"
+#include "ordering/memory_ordering_unit.hpp"
+
+namespace vbr
+{
+
+/** Value-based replay backend. */
+class ValueReplayUnit final : public MemoryOrderingUnit
+{
+  public:
+    ValueReplayUnit(const CoreConfig &config, OrderingHost &host);
+
+    OrderingScheme
+    scheme() const override
+    {
+        return OrderingScheme::ValueReplay;
+    }
+
+    bool validatesValueSpeculation() const override { return true; }
+
+    bool loadQueueFull() const override { return rq_.full(); }
+    void dispatchLoad(SeqNum seq, std::uint32_t pc,
+                      unsigned size) override;
+
+    bool holdLoadIssue(const DynInst &inst) override;
+    void onLoadIssued(DynInst &inst, Cycle now) override;
+    void onStoreAgen(DynInst &store, bool data_known,
+                     Cycle now) override;
+
+    void onExternalInvalidation(Addr line) override;
+    void onInclusionVictim(Addr line) override;
+    void onExternalFill(Addr line) override;
+
+    void beginCycle(Cycle now) override;
+    void backendStage(Cycle now) override;
+
+    bool preCommit(DynInst &head, Cycle now) override;
+    void onRetire(const DynInst &head) override;
+
+    void squashFrom(SeqNum bound) override;
+
+    void auditStructures(InvariantAuditor &auditor, CoreId core,
+                         Cycle now) const override;
+    const StatSet *camStats() const override { return nullptr; }
+    std::uint64_t camSearches() const override { return 0; }
+
+  private:
+    /** Decide replay-vs-filter for a load entering the replay stage
+     * (classifyReplay + value-prediction override + rule 3). */
+    void decideReplay(DynInst &inst);
+
+    /** Perform the replay access and book the compare stage.
+     * @p at_head marks the sanctioned late replay at the ROB head. */
+    void issueReplay(DynInst &inst, ReplayReason reason, bool at_head,
+                     Cycle now);
+
+    /** Compare-stage mismatch: squash at the load and suppress its
+     * next replay (rule 3). */
+    void doReplaySquash(DynInst &load);
+
+    // Shadow CAM statistics (§5.1 avoided squashes).
+    void shadowStoreAgenStats(const DynInst &store, bool data_known);
+    void shadowSnoopStats(Addr line);
+
+    const CoreConfig &config_;
+    OrderingHost &host_;
+    ReplayQueue rq_;
+
+    // Replay filter state and rule-3 suppression.
+    RecentEventFilterState filterState_;
+    std::unordered_map<std::uint32_t, unsigned> replaySuppress_;
+
+    /** Issued loads with a valid address, in age order; maintained
+     * only for the shadow CAM statistics (shadowLqStats), which walk
+     * this index instead of the whole window. */
+    std::map<SeqNum, DynInst *> issuedLoads_;
+
+    /** Number of leading window entries that already entered the
+     * replay/compare backend. Entry is strictly in ROB order, so the
+     * entered instructions always form a prefix; backendStage resumes
+     * here instead of rescanning the window. */
+    std::size_t backendEntered_ = 0;
+
+    // Cached stat handles (bound once in the constructor).
+    Counter *sc_l1d_accesses_replay_ = nullptr;
+    Counter *sc_replay_cache_misses_ = nullptr;
+    Counter *sc_replays_consistency_ = nullptr;
+    Counter *sc_replays_filtered_ = nullptr;
+    Counter *sc_replays_late_ = nullptr;
+    Counter *sc_replays_suppressed_rule3_ = nullptr;
+    Counter *sc_replays_total_ = nullptr;
+    Counter *sc_replays_unresolved_store_ = nullptr;
+    Counter *sc_squashes_replay_consistency_ = nullptr;
+    Counter *sc_squashes_replay_mismatch_ = nullptr;
+    Counter *sc_squashes_replay_raw_ = nullptr;
+    Counter *sc_wouldbe_squashes_raw_ = nullptr;
+    Counter *sc_wouldbe_squashes_raw_value_equal_ = nullptr;
+    Counter *sc_wouldbe_squashes_snoop_ = nullptr;
+    Counter *sc_wouldbe_squashes_snoop_value_equal_ = nullptr;
+};
+
+} // namespace vbr
+
+#endif // VBR_ORDERING_VALUE_REPLAY_UNIT_HPP

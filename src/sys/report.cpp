@@ -86,8 +86,8 @@ renderReport(System &sys, const RunResult &result, bool include_raw)
             os << sys.core(c).stats().dump("core." );
             os << sys.core(c).hierarchy().stats().dump("mem.");
             os << sys.core(c).storeQueue().stats().dump("sq.");
-            if (auto *lq = sys.core(c).assocLq())
-                os << lq->stats().dump("lq.");
+            if (const StatSet *cam = sys.core(c).ordering().camStats())
+                os << cam->dump("lq.");
         }
         os << "\n--- fabric ---\n";
         os << sys.fabric().stats().dump("fabric.");

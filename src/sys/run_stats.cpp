@@ -40,8 +40,7 @@ collectRunStats(System &sys, const RunResult &result,
         s.wouldbeSnoopValueEq +=
             st.get("wouldbe_squashes_snoop_value_equal");
         occ_sum += sys.core(c).stats().getMean("rob_occupancy");
-        if (auto *lq = sys.core(c).assocLq())
-            s.lqSearches += lq->searches();
+        s.lqSearches += sys.core(c).ordering().camSearches();
     }
     s.robOccupancy = occ_sum / sys.numCores();
     return s;

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Cross-scheme parity: the two MemoryOrderingUnit backends
+ * (associative CAM load queue vs. value-based replay) are different
+ * enforcement mechanisms for the same architectural contract, so any
+ * workload must produce identical architectural outcomes under both.
+ * Uniprocessor programs are fully deterministic — final registers and
+ * the entire memory image must match bit-for-bit across schemes. The
+ * multiprocessor kernels are timing-racy in their spin loops but
+ * deterministic in their architectural footprint (counters, result
+ * arrays, stripes), so their final memory images must also match.
+ * Every run must additionally pass the constraint-graph SC checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/constraint_graph.hpp"
+#include "sys/system.hpp"
+#include "workload/litmus.hpp"
+#include "workload/multiproc.hpp"
+#include "workload/synthetic.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+struct SchemeConfig
+{
+    std::string name;
+    CoreConfig core;
+};
+
+/** One config per backend, plus a filtered-replay variant so the
+ * filter machinery is also held to the parity contract. */
+std::vector<SchemeConfig>
+parityConfigs()
+{
+    return {
+        {"assoc_lq", CoreConfig::baseline()},
+        {"value_replay_all",
+         CoreConfig::valueReplay(ReplayFilterConfig::replayAll())},
+        {"value_replay_nrs_nus",
+         CoreConfig::valueReplay(
+             ReplayFilterConfig::recentSnoopPlusNus())},
+    };
+}
+
+struct ParityRun
+{
+    RunResult result;
+    std::unique_ptr<System> sys;
+    ScChecker checker;
+};
+
+std::unique_ptr<ParityRun>
+runScheme(const Program &prog, const CoreConfig &core, unsigned cores)
+{
+    auto run = std::make_unique<ParityRun>();
+    SystemConfig cfg;
+    cfg.cores = cores;
+    cfg.core = core;
+    cfg.trackVersions = true;
+    cfg.maxCycles = 30'000'000;
+    run->sys = std::make_unique<System>(cfg, prog);
+    run->sys->setObserver(&run->checker);
+    run->result = run->sys->run();
+    return run;
+}
+
+std::array<Word, kNumArchRegs>
+archRegs(const OooCore &core)
+{
+    std::array<Word, kNumArchRegs> regs{};
+    for (unsigned r = 0; r < kNumArchRegs; ++r)
+        regs[r] = core.archReg(r);
+    return regs;
+}
+
+// ---------------------------------------------------------------------
+// Uniprocessor suite: single-core programs have no external agents,
+// so replay/squash differences are pure timing — registers AND memory
+// must be bitwise identical across schemes.
+// ---------------------------------------------------------------------
+
+TEST(OrderingParity, UniprocessorSuiteIdenticalAcrossSchemes)
+{
+    for (const WorkloadSpec &spec : uniprocessorSuite(0.15)) {
+        Program prog = makeSynthetic(spec.params);
+
+        std::unique_ptr<ParityRun> ref;
+        std::string ref_name;
+        for (const auto &[name, core] : parityConfigs()) {
+            auto run = runScheme(prog, core, 1);
+            ASSERT_TRUE(run->result.allHalted)
+                << spec.name << "/" << name
+                << " deadlock=" << run->result.deadlocked;
+            CheckResult check = run->checker.check();
+            ASSERT_TRUE(check.consistent)
+                << spec.name << "/" << name << ": " << check.summary();
+            if (!ref) {
+                ref = std::move(run);
+                ref_name = name;
+                continue;
+            }
+            EXPECT_EQ(archRegs(ref->sys->core(0)),
+                      archRegs(run->sys->core(0)))
+                << spec.name << ": registers diverge between "
+                << ref_name << " and " << name;
+            EXPECT_TRUE(ref->sys->memory().bytes() ==
+                        run->sys->memory().bytes())
+                << spec.name << ": memory image diverges between "
+                << ref_name << " and " << name;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multiprocessor suite: spin-loop trip counts are timing-dependent
+// (and live in registers), but the architectural memory footprint of
+// every kernel is deterministic — counters reach exact totals, task
+// results depend only on the task index, stripes accumulate fixed
+// sums. Memory must therefore match across schemes.
+// ---------------------------------------------------------------------
+
+TEST(OrderingParity, MultiprocessorSuiteMemoryIdenticalAcrossSchemes)
+{
+    for (const MpWorkloadSpec &spec : multiprocessorSuite(4, 0.2)) {
+        std::unique_ptr<ParityRun> ref;
+        std::string ref_name;
+        for (const auto &[name, core] : parityConfigs()) {
+            auto run = runScheme(spec.prog, core, spec.threads);
+            ASSERT_TRUE(run->result.allHalted)
+                << spec.name << "/" << name
+                << " deadlock=" << run->result.deadlocked;
+            CheckResult check = run->checker.check();
+            ASSERT_TRUE(check.consistent)
+                << spec.name << "/" << name << ": " << check.summary();
+            if (!ref) {
+                ref = std::move(run);
+                ref_name = name;
+                continue;
+            }
+            EXPECT_TRUE(ref->sys->memory().bytes() ==
+                        run->sys->memory().bytes())
+                << spec.name << ": memory image diverges between "
+                << ref_name << " and " << name;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Litmus kernels: the forbidden-outcome registers are scheme
+// invariants (always zero under SC); observation accumulators are
+// racy and excluded. Commit streams must be checker-clean.
+// ---------------------------------------------------------------------
+
+TEST(OrderingParity, LitmusForbiddenOutcomesAgreeAcrossSchemes)
+{
+    struct LitmusSpec
+    {
+        std::string name;
+        Program prog;
+        unsigned cores;
+        // Register whose value is a scheme-independent SC invariant
+        // (kNumArchRegs = none; checker-only kernel).
+        unsigned invariant_core = 0;
+        unsigned invariant_reg = kNumArchRegs;
+        Word invariant_value = 0;
+    };
+
+    std::vector<LitmusSpec> specs;
+    specs.push_back({"load_buffering", makeLoadBuffering(300), 2});
+    specs.push_back({"wrc", makeWrc(150), 3, 2, 4, 0});
+    specs.push_back({"iriw", makeIriw(200), 4});
+    specs.push_back({"corr", makeCoRR(400), 2, 1, 4, 0});
+    specs.push_back(
+        {"load_load", makeLoadLoadLitmus(300), 2, 1, 4, 0});
+
+    for (const LitmusSpec &spec : specs) {
+        for (const auto &[name, core] : parityConfigs()) {
+            auto run = runScheme(spec.prog, core, spec.cores);
+            ASSERT_TRUE(run->result.allHalted)
+                << spec.name << "/" << name;
+            CheckResult check = run->checker.check();
+            EXPECT_TRUE(check.consistent)
+                << spec.name << "/" << name << ": " << check.summary();
+            if (spec.invariant_reg < kNumArchRegs)
+                EXPECT_EQ(run->sys->core(spec.invariant_core)
+                              .archReg(spec.invariant_reg),
+                          spec.invariant_value)
+                    << spec.name << "/" << name
+                    << ": forbidden outcome observed";
+        }
+    }
+}
+
+} // namespace
+} // namespace vbr

@@ -7,7 +7,14 @@ Checks, over src/, tests/, bench/, examples/:
      std::unique_ptr (std::make_unique) everywhere in this codebase;
   2. every src/**/x.cpp includes its own header ("<dir>/x.hpp") as its
      FIRST include, which proves each header is self-contained;
-  3. no `using namespace std;`.
+  3. no `using namespace std;`;
+  4. layering guard: nothing under src/core/ may include the concrete
+     ordering structures (lsq/assoc_load_queue.hpp, lsq/replay_queue.hpp)
+     directly — the core talks to them only through the
+     MemoryOrderingUnit interface in src/ordering/.
+
+src/ordering/ is picked up by the src/ recursive walk, so checks 1-3
+apply there too (as does the clang-tidy glob in CMakeLists.txt).
 
 Usage: tools/lint.py [repo-root]
 Exits nonzero if any finding is reported.
@@ -76,6 +83,30 @@ def check_self_include(root: Path, path: Path, findings: list) -> None:
     findings.append(f"{path}: no includes at all?")
 
 
+# Scheme-specific LSQ structures the core must reach only through the
+# MemoryOrderingUnit seam. If src/core/ regains one of these includes,
+# the pluggable-ordering refactor has regressed.
+CORE_BANNED_INCLUDES = (
+    "lsq/assoc_load_queue.hpp",
+    "lsq/replay_queue.hpp",
+)
+
+
+def check_core_layering(root: Path, path: Path, findings: list) -> None:
+    """src/core/* must not include concrete ordering structures."""
+    try:
+        rel = path.relative_to(root / "src" / "core")
+    except ValueError:
+        return
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        m = INCLUDE_RE.match(line)
+        if m and m.group(1) in CORE_BANNED_INCLUDES:
+            findings.append(
+                f"{path}:{lineno}: src/core/{rel} includes "
+                f"\"{m.group(1)}\" — scheme structures are only "
+                "reachable through ordering/memory_ordering_unit.hpp")
+
+
 def main() -> int:
     root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
     findings = []
@@ -88,6 +119,8 @@ def main() -> int:
                 continue
             check_naked_new(path, findings)
             check_using_std(path, findings)
+            if dirname == "src":
+                check_core_layering(root, path, findings)
             if path.suffix == ".cpp" and dirname == "src":
                 check_self_include(root, path, findings)
     for f in findings:
