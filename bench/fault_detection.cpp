@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Fault-detection coverage harness. Injects seeded bit flips into load
+ * writebacks and store-forwarded values (plus optional snoop/fill
+ * faults via VBR_FAULTS) across the uniprocessor suite, under the
+ * baseline CAM machine and the four value-based replay configurations,
+ * and attributes every corruption to a fate:
+ *
+ *   detected_by_compare  the replay/compare stage caught it
+ *   caught_by_cam        a CAM-triggered squash covered it
+ *   squashed_recovered   any squash erased it before retirement
+ *   silently_committed   it retired architecturally
+ *
+ * Headline: value-based replay detects and recovers from corrupted
+ * premature values (the compare stage is an end-to-end check), while
+ * the baseline CAM machine — which re-checks ordering, never values —
+ * silently commits them; only the architectural constraint-graph
+ * checker notices. Replay filters reintroduce a tunable window
+ * (filtered loads skip the compare), quantified per config.
+ *
+ * The harness also demos the failure-isolating sweep: a deliberately
+ * deadlocking job and a throwing job run alongside a healthy one; the
+ * sweep completes, quarantines both with FAIL_*.json artifacts, and
+ * still returns the healthy result.
+ */
+
+#include "harness.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "check/constraint_graph.hpp"
+
+using namespace vbr;
+using namespace vbr::bench;
+
+namespace
+{
+
+/** Default injection plan (VBR_FAULTS overrides): value corruptions
+ * only, so with versions tracked every silent commit of a live value
+ * is also visible to the architectural checker. */
+constexpr const char *kDefaultSpec = "seed=42,loadflip=5e-5,fwdflip=2e-4";
+
+struct FaultRun
+{
+    RunStats stats;
+    FaultOutcomes fo;
+    std::uint64_t inFlight = 0;
+    bool consistent = true;
+    std::uint64_t checkerErrors = 0;
+};
+
+struct ConfigTotals
+{
+    std::uint64_t injected = 0;
+    std::uint64_t detected = 0;
+    std::uint64_t caughtByCam = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t silent = 0;
+    std::uint64_t inFlight = 0;
+    std::uint64_t wild = 0;
+    std::uint64_t checkerViolations = 0; ///< runs failing the SC check
+};
+
+} // namespace
+
+int
+main()
+{
+    double scale = envScale();
+    const char *env_spec = std::getenv("VBR_FAULTS");
+    FaultConfig faults =
+        FaultConfig::parse(env_spec ? env_spec : kDefaultSpec);
+    bool default_spec = env_spec == nullptr;
+
+    std::printf("Fault-detection coverage: seeded corruption of load "
+                "writebacks and store forwards\n");
+    std::printf("scale=%.2f, faults=%s\n\n", scale,
+                faults.render().c_str());
+
+    std::vector<MachineConfig> machines;
+    machines.push_back(baselineConfig());
+    for (auto &cfg : replayConfigs())
+        machines.push_back(std::move(cfg));
+
+    auto suite = uniprocessorSuite(scale);
+
+    // ---- detection grid (guarded: a fault-crashed job quarantines
+    // instead of killing the harness) -----------------------------
+    std::vector<GuardedJob<FaultRun>> jobs;
+    for (const auto &wl : suite) {
+        for (const auto &machine : machines) {
+            GuardedRunOptions opts;
+            opts.faults = faults;
+            opts.jobName = wl.name + "-" + machine.name;
+            opts.trackVersions = true;
+            jobs.push_back(
+                {opts.jobName, [wl, machine, opts] {
+                     auto checker = std::make_shared<ScChecker>();
+                     return runUniGuarded<FaultRun>(
+                         wl, machine, opts,
+                         [checker](System &sys) {
+                             sys.setObserver(checker.get());
+                         },
+                         [&](System &sys, const RunResult &r) {
+                             FaultRun out;
+                             out.stats = collectRunStats(
+                                 sys, r, wl.name, machine.name);
+                             if (const FaultInjector *fi =
+                                     sys.faultInjector()) {
+                                 out.fo = fi->outcomes();
+                                 out.inFlight = fi->inFlight();
+                             }
+                             CheckResult cr = checker->check();
+                             out.consistent = cr.consistent;
+                             out.checkerErrors = cr.errors.size();
+                             return out;
+                         });
+                 }});
+        }
+    }
+
+    SweepRunner runner;
+    SweepOutcome<FaultRun> grid = runner.runGuarded(std::move(jobs));
+
+    std::vector<ConfigTotals> totals(machines.size());
+    std::size_t slot = 0;
+    for (std::size_t w = 0; w < suite.size(); ++w) {
+        for (std::size_t m = 0; m < machines.size(); ++m, ++slot) {
+            if (!grid.ok[slot])
+                continue;
+            const FaultRun &fr = grid.results[slot];
+            ConfigTotals &t = totals[m];
+            t.injected += fr.fo.corruptionsInjected();
+            t.detected += fr.fo.detectedByCompare;
+            t.caughtByCam += fr.fo.caughtByCam;
+            t.recovered += fr.fo.squashedRecovered;
+            t.silent += fr.fo.silentlyCommitted;
+            t.inFlight += fr.inFlight;
+            t.wild += fr.fo.wildStores + fr.fo.wildLoads;
+            if (!fr.consistent || fr.checkerErrors > 0)
+                ++t.checkerViolations;
+        }
+    }
+
+    TextTable table;
+    table.header({"config", "injected", "detected", "caught_by_cam",
+                  "recovered", "silent", "in_flight",
+                  "checker_viol_runs"});
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+        const ConfigTotals &t = totals[m];
+        table.row({machines[m].name, std::to_string(t.injected),
+                   std::to_string(t.detected),
+                   std::to_string(t.caughtByCam),
+                   std::to_string(t.recovered),
+                   std::to_string(t.silent),
+                   std::to_string(t.inFlight),
+                   std::to_string(t.checkerViolations)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("detected+recovered+silent+in_flight = injected per "
+                "config; a corruption can be both detected and "
+                "recovered-by-squash only once\n\n");
+
+    // ---- resilience demo: the sweep survives hostile jobs --------
+    std::vector<GuardedJob<FaultRun>> demo;
+    {
+        WorkloadSpec wl = suite.front();
+        GuardedRunOptions opts;
+        opts.jobName = "demo-deadlock";
+        // A threshold below the first-commit latency makes the
+        // watchdog fire deterministically.
+        opts.deadlockThreshold = 10;
+        MachineConfig machine = baselineConfig();
+        demo.push_back({opts.jobName, [wl, machine, opts] {
+                            FaultRun out;
+                            out.stats = runUniGuarded(wl, machine, opts);
+                            return out;
+                        }});
+        demo.push_back({"demo-throw", []() -> FaultRun {
+                            throw std::runtime_error(
+                                "deliberate failure (resilience demo)");
+                        }});
+        GuardedRunOptions healthy;
+        healthy.jobName = "demo-healthy";
+        demo.push_back({healthy.jobName, [wl, machine, healthy] {
+                            FaultRun out;
+                            out.stats =
+                                runUniGuarded(wl, machine, healthy);
+                            return out;
+                        }});
+    }
+    SweepOutcome<FaultRun> demo_out = runner.runGuarded(std::move(demo));
+
+    std::printf("resilience demo: %zu/3 jobs quarantined (want 2), "
+                "healthy job ok=%d\n",
+                demo_out.quarantined.size(), demo_out.ok[2] ? 1 : 0);
+    for (const SweepFailure &f : demo_out.quarantined)
+        std::printf("  quarantined %-14s kind=%-12s attempts=%u "
+                    "artifact=%s\n",
+                    f.name.c_str(), f.kind.c_str(), f.attempts,
+                    f.artifactPath.c_str());
+    if (demo_out.quarantined.size() != 2 || !demo_out.ok[2])
+        fatal("resilience demo: expected exactly the deadlocking and "
+              "throwing jobs quarantined with the healthy job intact");
+    for (const SweepFailure &f : demo_out.quarantined)
+        if (f.artifactPath.empty())
+            fatal("resilience demo: quarantined job " + f.name +
+                  " has no failure artifact");
+
+    // ---- acceptance gate at the canonical operating point --------
+    if (scale == 1.0 && default_spec) {
+        const ConfigTotals &base = totals[0];   // baseline CAM
+        const ConfigTotals &replay = totals[1]; // replay-all
+        if (replay.silent != 0 || replay.detected == 0)
+            fatal("fault-detection gate: replay-all must detect all "
+                  "corruptions (silent=" +
+                  std::to_string(replay.silent) +
+                  ", detected=" + std::to_string(replay.detected) + ")");
+        if (base.silent == 0)
+            fatal("fault-detection gate: baseline CAM is expected to "
+                  "silently commit corrupted values (silent=0)");
+        if (base.checkerViolations == 0)
+            fatal("fault-detection gate: baseline silent corruptions "
+                  "must be visible to the architectural checker");
+        std::printf("[fault-smoke] replay-all: 0 silent corruptions "
+                    "(%llu detected); baseline: %llu silent, caught "
+                    "only by the architectural checker\n\n",
+                    static_cast<unsigned long long>(replay.detected),
+                    static_cast<unsigned long long>(base.silent));
+    }
+
+    // ---- machine-readable report ---------------------------------
+    BenchReport rep("fault_detection");
+    rep.meta("scale", scale)
+        .meta("fault_spec", faults.render())
+        .meta("default_spec", default_spec);
+    slot = 0;
+    for (std::size_t w = 0; w < suite.size(); ++w) {
+        for (std::size_t m = 0; m < machines.size(); ++m, ++slot) {
+            if (!grid.ok[slot])
+                continue;
+            const FaultRun &fr = grid.results[slot];
+            JsonValue row = runStatsToJson(fr.stats);
+            row.set("fault_injected", fr.fo.corruptionsInjected());
+            row.set("fault_detected_by_compare",
+                    fr.fo.detectedByCompare);
+            row.set("fault_caught_by_cam", fr.fo.caughtByCam);
+            row.set("fault_squashed_recovered", fr.fo.squashedRecovered);
+            row.set("fault_silently_committed",
+                    fr.fo.silentlyCommitted);
+            row.set("fault_in_flight", fr.inFlight);
+            row.set("checker_consistent", fr.consistent);
+            row.set("checker_errors", fr.checkerErrors);
+            rep.addRow(std::move(row));
+        }
+    }
+    JsonValue summary = JsonValue::array();
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+        const ConfigTotals &t = totals[m];
+        JsonValue j = JsonValue::object();
+        j.set("config", machines[m].name);
+        j.set("injected", t.injected);
+        j.set("detected_by_compare", t.detected);
+        j.set("caught_by_cam", t.caughtByCam);
+        j.set("squashed_recovered", t.recovered);
+        j.set("silently_committed", t.silent);
+        j.set("in_flight", t.inFlight);
+        j.set("wild_accesses", t.wild);
+        j.set("checker_violation_runs", t.checkerViolations);
+        summary.push(std::move(j));
+    }
+    rep.metric("summary", std::move(summary));
+    JsonValue quarantine = JsonValue::array();
+    for (const SweepFailure &f : demo_out.quarantined) {
+        JsonValue j = JsonValue::object();
+        j.set("name", f.name);
+        j.set("kind", f.kind);
+        j.set("attempts", f.attempts);
+        j.set("artifact", f.artifactPath);
+        quarantine.push(std::move(j));
+    }
+    rep.metric("quarantined", std::move(quarantine));
+    rep.metric("grid_jobs",
+               static_cast<std::uint64_t>(grid.ok.size()));
+    rep.metric("grid_quarantined",
+               static_cast<std::uint64_t>(grid.quarantined.size()));
+    rep.write();
+    return 0;
+}

@@ -125,6 +125,80 @@ runMp(const MpWorkloadSpec &spec, const MachineConfig &machine)
     return collectRunStats(sys, r, spec.name, machine.name);
 }
 
+/** Knobs for guarded runs (fault injection / resilience harnesses). */
+struct GuardedRunOptions
+{
+    FaultConfig faults;    ///< disabled by default (no injector)
+    std::string jobName = "job"; ///< failure-artifact label
+    Cycle cycleBudget = 0; ///< 0 = SystemConfig default maxCycles
+    unsigned deadlockThreshold = 0; ///< 0 = machine default
+    bool trackVersions = false;     ///< enable the SC checker's input
+    AuditLevel audit = AuditLevel::Off; ///< faults violate invariants
+};
+
+inline SystemConfig
+guardedSystemConfig(const MachineConfig &machine,
+                    const GuardedRunOptions &opts, unsigned cores)
+{
+    SystemConfig cfg;
+    cfg.cores = cores;
+    cfg.core = machine.core;
+    if (opts.deadlockThreshold)
+        cfg.core.deadlockThreshold = opts.deadlockThreshold;
+    if (opts.cycleBudget)
+        cfg.maxCycles = opts.cycleBudget;
+    cfg.faults = opts.faults;
+    cfg.jobName = opts.jobName;
+    cfg.trackVersions = opts.trackVersions;
+    cfg.audit = opts.audit;
+    return cfg;
+}
+
+/**
+ * Like runUni, but built for hostile conditions: instead of fatal()ing
+ * on a hung or budget-exhausted run it throws a SweepJobError carrying
+ * a full failure artifact (config, fault summary, last-N commit
+ * trace), so runGuarded can quarantine the job and keep the sweep
+ * alive. @p preRun attaches observers before the run (may be null);
+ * @p harvest extracts the job's result from the finished system.
+ */
+template <class R>
+R
+runUniGuarded(const WorkloadSpec &spec, const MachineConfig &machine,
+              const GuardedRunOptions &opts,
+              const std::function<void(System &)> &preRun,
+              const std::function<R(System &, const RunResult &)>
+                  &harvest)
+{
+    Program prog = makeSynthetic(spec.params);
+    System sys(guardedSystemConfig(machine, opts, 1), prog);
+    if (preRun)
+        preRun(sys);
+    RunResult r = sys.run();
+    if (r.deadlocked)
+        throw SweepJobError(sys.makeFailureArtifact(
+            "deadlock", "workload " + spec.name + " deadlocked under " +
+                            machine.name));
+    if (!r.allHalted)
+        throw SweepJobError(sys.makeFailureArtifact(
+            "cycle-budget", "workload " + spec.name +
+                                " exhausted its cycle budget under " +
+                                machine.name));
+    return harvest(sys, r);
+}
+
+/** RunStats-only convenience overload of runUniGuarded. */
+inline RunStats
+runUniGuarded(const WorkloadSpec &spec, const MachineConfig &machine,
+              const GuardedRunOptions &opts)
+{
+    return runUniGuarded<RunStats>(
+        spec, machine, opts, nullptr,
+        [&](System &sys, const RunResult &r) {
+            return collectRunStats(sys, r, spec.name, machine.name);
+        });
+}
+
 /**
  * Ordered job grid for the sweep engine. Specs and configs are
  * captured by value so the list owns everything it needs; run()

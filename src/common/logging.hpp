@@ -10,20 +10,39 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace vbr
 {
 
 /**
- * Abort the process because the simulator itself is broken. Use for
- * conditions that should be impossible regardless of configuration.
+ * Exception carrying a panic() message. Thrown (after printing to
+ * stderr) instead of aborting outright so a guarded sweep can
+ * quarantine a broken job, capture a failure artifact, and keep the
+ * remaining jobs running. Uncaught it still terminates the process,
+ * so standalone behavior is unchanged.
+ */
+class SimPanicError : public std::runtime_error
+{
+  public:
+    explicit SimPanicError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/**
+ * Report that the simulator itself is broken and throw SimPanicError.
+ * Use for conditions that should be impossible regardless of
+ * configuration. The message hits stderr before the throw so death
+ * tests and crashing standalone runs still show it.
  */
 [[noreturn]] inline void
 panic(const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s\n", msg.c_str());
-    std::abort();
+    throw SimPanicError(msg);
 }
 
 /**

@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "fault/fault_injector.hpp"
 #include "isa/semantics.hpp"
 #include "mem/memory_image.hpp"
 #include "verify/auditor.hpp"
@@ -79,7 +80,20 @@ OooCore::retireHead(Cycle now)
     if (!ordering_->preCommit(head, now))
         return false;
 
-    if (head.isStoreOp) {
+    if (head.isStoreOp && faults_ && !head.addrValid) {
+        // Fault-injection grace path: a corrupted load propagated
+        // into this store's address (wild address). The store cannot
+        // drain; retire it without a memory effect so the corrupted
+        // run can complete and be measured. The auditor mirror still
+        // needs the drain notification to stay in sync.
+        SqEntry *e = sq_.head();
+        VBR_ASSERT(e && e->seq == head.seq, "SQ head mismatch");
+        if (auditor_)
+            auditor_->onStoreDrained(coreId(), head.seq, now);
+        sq_.popFront();
+        faults_->onWildStore(coreId());
+        ++(*sc_committed_stores_);
+    } else if (head.isStoreOp) {
         if (!commitPortAvailable())
             return false;
         SqEntry *e = sq_.head();
@@ -136,7 +150,15 @@ OooCore::retireHead(Cycle now)
         ++(*sc_committed_stores_);
     }
 
-    if (head.isLoadOp) {
+    if (head.isLoadOp && faults_ && !head.addrValid) {
+        // Fault-injection grace path: wild-address load (corrupted
+        // base register). Its premature value is already whatever
+        // readMemSafe returned; retire without emitting a commit
+        // event (there is no meaningful reads-from attribution).
+        faults_->onWildLoad(coreId());
+        faults_->onLoadRetired(coreId(), head.seq);
+        ++(*sc_committed_loads_);
+    } else if (head.isLoadOp) {
         VBR_ASSERT(head.addrValid,
                    "load with invalid address reached commit");
         // Reads-from attribution: always the premature sample. A
@@ -179,6 +201,10 @@ OooCore::retireHead(Cycle now)
             if (head.valuePredicted)
                 ++(*sc_value_predictions_committed_);
         }
+        // Fault attribution: if this load carried an injected
+        // corruption that no mechanism caught, it is now silent.
+        if (faults_)
+            faults_->onLoadRetired(coreId(), head.seq);
         ++(*sc_committed_loads_);
     }
 
@@ -242,6 +268,13 @@ OooCore::retireHead(Cycle now)
 
     // Backend bookkeeping: queue retirement, suppression bleed-off.
     ordering_->onRetire(head);
+
+    if (config_.commitTraceDepth > 0) {
+        commitTrace_.push_back(
+            {head.seq, head.pc, now, head.inst.op});
+        if (commitTrace_.size() > config_.commitTraceDepth)
+            commitTrace_.pop_front();
+    }
 
     trace(TraceKind::Commit, head);
     rob_.pop_front();

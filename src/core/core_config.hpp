@@ -96,6 +96,10 @@ struct CoreConfig
     /** Cycles without a commit before the core reports deadlock. */
     Cycle deadlockThreshold = 1000000;
 
+    /** Retired instructions kept per core for failure artifacts
+     * (the last-N committed-instruction trace); 0 disables. */
+    unsigned commitTraceDepth = 32;
+
     /** Convenience: the paper's baseline machine. */
     static CoreConfig
     baseline()

@@ -55,6 +55,17 @@ namespace vbr
 
 class MemoryImage;
 class InvariantAuditor;
+class FaultInjector;
+
+/** One retired instruction, kept in a small per-core ring so failure
+ * artifacts can show the last-N committed instructions. */
+struct CommitTraceEntry
+{
+    SeqNum seq = kNoSeq;
+    std::uint32_t pc = 0;
+    Cycle cycle = 0;
+    Opcode op = Opcode::HALT;
+};
 
 /** One simulated core executing one thread of a Program. */
 class OooCore final : public MemEventClient, private OrderingHost
@@ -80,6 +91,15 @@ class OooCore final : public MemEventClient, private OrderingHost
      * reports pipeline events (store dispatch/drain, replay issue,
      * squashes, commits) and submits its structures for scanning. */
     void setAuditor(InvariantAuditor *auditor) { auditor_ = auditor; }
+
+    /** Attach the fault injector (may be null = no injection). */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
+    /** Last-N committed instructions, oldest first (for artifacts). */
+    const std::deque<CommitTraceEntry> &commitTrace() const
+    {
+        return commitTrace_;
+    }
 
     /** Submit the ROB and LSQ structures to the auditor's structural
      * scans (driven by the System on the audit schedule). */
@@ -163,6 +183,7 @@ class OooCore final : public MemEventClient, private OrderingHost
     Cycle coreCycle() const override { return cycles_; }
     std::deque<DynInst> &robWindow() override { return rob_; }
     InvariantAuditor *auditorHook() override { return auditor_; }
+    FaultInjector *faultInjector() override { return faults_; }
     void traceEvent(TraceKind kind, const DynInst &inst) override;
     bool replayPortAvailable() const override;
     void takeReplayPort() override;
@@ -253,6 +274,10 @@ class OooCore final : public MemEventClient, private OrderingHost
     CommitObserver *observer_ = nullptr;
     InvariantAuditor *auditor_ = nullptr;
     PipelineTracer *tracer_ = nullptr;
+    FaultInjector *faults_ = nullptr;
+
+    /** Ring of the last config_.commitTraceDepth retirements. */
+    std::deque<CommitTraceEntry> commitTrace_;
 
     /** Deliver a commit event to the checker and the auditor. */
     void emitCommit(const MemCommitEvent &event);

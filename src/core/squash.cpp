@@ -8,6 +8,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.hpp"
 #include "isa/semantics.hpp"
 #include "verify/auditor.hpp"
 
@@ -60,6 +61,10 @@ OooCore::squashFrom(SeqNum bound, std::uint32_t new_fetch_pc,
     ++(*sc_squashes_total_);
     if (auditor_)
         auditor_->onSquash(coreId(), bound, cycles_);
+    // Fault attribution: corruptions riding on squashed loads were
+    // recovered (the instructions re-execute with fresh values).
+    if (faults_)
+        faults_->onSquash(coreId(), bound);
 }
 
 void

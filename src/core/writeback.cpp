@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.hpp"
+
 namespace vbr
 {
 
@@ -26,6 +28,20 @@ OooCore::writebackStage(Cycle now)
         inst->executed = true;
         if (inst->isLoadOp || inst->isSwapOp)
             incompleteMemOps_.erase(seq);
+        // Fault seam: flip a bit in the load's premature value just
+        // before it becomes architecturally visible to dependents.
+        // The replay/compare stage re-reads memory at commit, so a
+        // value backend detects the mismatch; a CAM backend has no
+        // value check and commits the corruption.
+        if (faults_ && inst->isLoadOp) {
+            FaultInjector::LoadFlip flip = faults_->corruptLoadWriteback(
+                coreId(), inst->seq, inst->pc, inst->memAddr,
+                inst->memSize, inst->forwarded, inst->prematureValue);
+            if (flip.flipped) {
+                inst->prematureValue = flip.value;
+                inst->destValue = flip.value;
+            }
+        }
         if (inst->inst.writesRd())
             wakeDependents(seq);
         trace(TraceKind::Writeback, *inst);

@@ -1,0 +1,155 @@
+#include "fault/fault_config.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace vbr
+{
+
+bool
+FaultConfig::enabled() const
+{
+    return loadFlipRate > 0.0 || forwardFlipRate > 0.0 ||
+           dropSnoopRate > 0.0 || delaySnoopRate > 0.0 ||
+           dropInvalRate > 0.0 || delayFillRate > 0.0;
+}
+
+namespace
+{
+
+std::string
+fmtRate(double rate)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", rate);
+    return buf;
+}
+
+/** "key=rate" or "key=rate:cycles" for the delay classes. */
+void
+appendField(std::string &out, const char *key, double rate)
+{
+    if (rate <= 0.0)
+        return;
+    out += ',';
+    out += key;
+    out += '=';
+    out += fmtRate(rate);
+}
+
+void
+appendDelayField(std::string &out, const char *key, double rate,
+                 Cycle cycles)
+{
+    if (rate <= 0.0)
+        return;
+    appendField(out, key, rate);
+    out += ':';
+    out += std::to_string(cycles);
+}
+
+double
+parseRate(const std::string &spec, const std::string &value)
+{
+    char *end = nullptr;
+    double r = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || r < 0.0 || r > 1.0)
+        fatal("VBR_FAULTS \"" + spec + "\": bad rate \"" + value +
+              "\" (want a probability in [0, 1])");
+    return r;
+}
+
+/** Split "rate:cycles"; plain "rate" keeps the default cycle count. */
+double
+parseDelay(const std::string &spec, const std::string &value,
+           Cycle &cycles)
+{
+    std::size_t colon = value.find(':');
+    if (colon == std::string::npos)
+        return parseRate(spec, value);
+    const std::string cyc = value.substr(colon + 1);
+    char *end = nullptr;
+    unsigned long long c = std::strtoull(cyc.c_str(), &end, 10);
+    if (end == cyc.c_str() || *end != '\0' || c == 0)
+        fatal("VBR_FAULTS \"" + spec + "\": bad delay cycles \"" + cyc +
+              "\"");
+    cycles = static_cast<Cycle>(c);
+    return parseRate(spec, value.substr(0, colon));
+}
+
+} // namespace
+
+std::string
+FaultConfig::render() const
+{
+    if (!enabled())
+        return "";
+    std::string out = "seed=" + std::to_string(seed);
+    appendField(out, "loadflip", loadFlipRate);
+    appendField(out, "fwdflip", forwardFlipRate);
+    appendField(out, "dropsnoop", dropSnoopRate);
+    appendDelayField(out, "delaysnoop", delaySnoopRate,
+                     delaySnoopCycles);
+    appendField(out, "dropinval", dropInvalRate);
+    appendDelayField(out, "delayfill", delayFillRate, delayFillCycles);
+    return out;
+}
+
+FaultConfig
+FaultConfig::parse(const std::string &spec)
+{
+    FaultConfig cfg;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string field = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (field.empty())
+            continue;
+        std::size_t eq = field.find('=');
+        if (eq == std::string::npos)
+            fatal("VBR_FAULTS \"" + spec + "\": field \"" + field +
+                  "\" is not key=value");
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (key == "seed") {
+            char *end = nullptr;
+            cfg.seed = std::strtoull(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0')
+                fatal("VBR_FAULTS \"" + spec + "\": bad seed \"" +
+                      value + "\"");
+        } else if (key == "loadflip") {
+            cfg.loadFlipRate = parseRate(spec, value);
+        } else if (key == "fwdflip") {
+            cfg.forwardFlipRate = parseRate(spec, value);
+        } else if (key == "dropsnoop") {
+            cfg.dropSnoopRate = parseRate(spec, value);
+        } else if (key == "delaysnoop") {
+            cfg.delaySnoopRate =
+                parseDelay(spec, value, cfg.delaySnoopCycles);
+        } else if (key == "dropinval") {
+            cfg.dropInvalRate = parseRate(spec, value);
+        } else if (key == "delayfill") {
+            cfg.delayFillRate =
+                parseDelay(spec, value, cfg.delayFillCycles);
+        } else {
+            fatal("VBR_FAULTS \"" + spec + "\": unknown key \"" + key +
+                  "\" (want seed/loadflip/fwdflip/dropsnoop/"
+                  "delaysnoop/dropinval/delayfill)");
+        }
+    }
+    return cfg;
+}
+
+FaultConfig
+FaultConfig::fromEnv()
+{
+    const char *spec = std::getenv("VBR_FAULTS");
+    return spec ? parse(spec) : FaultConfig{};
+}
+
+} // namespace vbr

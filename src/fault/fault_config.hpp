@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Parsed fault-injection plan: which fault classes fire, at what rate,
+ * and under which seed. The spec grammar is a comma-separated list of
+ * `key=value` pairs (delay faults take `rate:cycles`):
+ *
+ *   seed=42,loadflip=3e-4,fwdflip=1e-4,dropsnoop=0.2,
+ *   delaysnoop=0.1:200,dropinval=0.01,delayfill=0.05:300
+ *
+ * Keys:
+ *   seed      — base seed for all fault-site decisions (default 1)
+ *   loadflip  — P(bit-flip) per non-forwarded load writeback value
+ *   fwdflip   — P(bit-flip) per store-forwarded load writeback value
+ *   dropsnoop — P(drop) per snoop/invalidation *delivery to the core*
+ *               (caches still invalidate; the LSQ/filters miss it)
+ *   delaysnoop— P(delay):cycles per snoop delivery to the core
+ *   dropinval — P(drop) per remote cache invalidation on the fabric
+ *               (leaves a stale copy; an SWMR audit violation)
+ *   delayfill — P(delay):cycles added to an external fill
+ *
+ * An empty spec (or unset VBR_FAULTS) disables injection entirely; a
+ * disabled plan draws no random numbers and perturbs nothing.
+ */
+
+#ifndef VBR_FAULT_FAULT_CONFIG_HPP
+#define VBR_FAULT_FAULT_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace vbr
+{
+
+struct FaultConfig
+{
+    std::uint64_t seed = 1;
+
+    double loadFlipRate = 0.0;    ///< premature-value bit flip (memory)
+    double forwardFlipRate = 0.0; ///< premature-value bit flip (forward)
+
+    double dropSnoopRate = 0.0;  ///< drop snoop delivery to the core
+    double delaySnoopRate = 0.0; ///< delay snoop delivery to the core
+    Cycle delaySnoopCycles = 200;
+
+    double dropInvalRate = 0.0; ///< drop a fabric invalidation (stale copy)
+
+    double delayFillRate = 0.0; ///< stretch an external fill
+    Cycle delayFillCycles = 300;
+
+    /** True when any fault class has a nonzero rate. */
+    bool enabled() const;
+
+    /** Canonical spec string ("" when disabled); parse(render()) is
+     * the identity on the enabled fields. */
+    std::string render() const;
+
+    /** Parse a spec string; fatal() on malformed input. An empty
+     * string yields a disabled plan. */
+    static FaultConfig parse(const std::string &spec);
+
+    /** Plan from the VBR_FAULTS environment variable. */
+    static FaultConfig fromEnv();
+};
+
+} // namespace vbr
+
+#endif // VBR_FAULT_FAULT_CONFIG_HPP

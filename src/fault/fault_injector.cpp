@@ -1,0 +1,315 @@
+#include "fault/fault_injector.hpp"
+
+namespace vbr
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::LoadValueFlip:
+        return "load_value_flip";
+      case FaultKind::ForwardCorrupt:
+        return "forward_corrupt";
+      case FaultKind::SnoopDropped:
+        return "snoop_dropped";
+      case FaultKind::SnoopDelayed:
+        return "snoop_delayed";
+      case FaultKind::InvalidationDropped:
+        return "invalidation_dropped";
+      case FaultKind::FillDelayed:
+        return "fill_delayed";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** splitmix64 finalizer: the standard strong 64-bit mixer. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t kSaltLoadFlip = 0x1f;
+constexpr std::uint64_t kSaltForwardFlip = 0x2f;
+constexpr std::uint64_t kSaltDropSnoop = 0x3f;
+constexpr std::uint64_t kSaltDelaySnoop = 0x4f;
+constexpr std::uint64_t kSaltDropInval = 0x5f;
+constexpr std::uint64_t kSaltDelayFill = 0x6f;
+constexpr std::uint64_t kSaltBitPick = 0x7f;
+
+constexpr std::size_t kMaxRecordedSites = 256;
+
+} // namespace
+
+std::uint64_t
+FaultInjector::siteHash(std::uint64_t salt, std::uint64_t a,
+                        std::uint64_t b, std::uint64_t c) const
+{
+    std::uint64_t h = mix64(cfg_.seed ^ mix64(salt));
+    h = mix64(h ^ a);
+    h = mix64(h ^ b);
+    h = mix64(h ^ c);
+    return h;
+}
+
+bool
+FaultInjector::decide(std::uint64_t salt, std::uint64_t a,
+                      std::uint64_t b, std::uint64_t c,
+                      double rate) const
+{
+    if (rate <= 0.0)
+        return false;
+    // Top 53 bits -> uniform double in [0, 1).
+    double u = static_cast<double>(siteHash(salt, a, b, c) >> 11) *
+               0x1.0p-53;
+    return u < rate;
+}
+
+std::uint64_t &
+FaultInjector::counter(FaultKind kind, CoreId core)
+{
+    return counters_[{static_cast<std::uint8_t>(kind), core}];
+}
+
+void
+FaultInjector::recordSite(const FaultSite &site)
+{
+    ++totalSites_;
+    if (sites_.size() < kMaxRecordedSites)
+        sites_.push_back(site);
+}
+
+FaultInjector::LoadFlip
+FaultInjector::corruptLoadWriteback(CoreId core, SeqNum seq,
+                                    std::uint32_t pc, Addr addr,
+                                    unsigned size_bytes, bool forwarded,
+                                    Word value)
+{
+    LoadFlip out;
+    out.value = value;
+    double rate =
+        forwarded ? cfg_.forwardFlipRate : cfg_.loadFlipRate;
+    std::uint64_t salt = forwarded ? kSaltForwardFlip : kSaltLoadFlip;
+    // Keyed on (core, seq, addr): a squash refetches the instruction
+    // under a fresh seq, so re-executions draw fresh verdicts.
+    if (!decide(salt, core, seq, addr, rate))
+        return out;
+
+    unsigned bits = size_bytes * 8;
+    unsigned bit = static_cast<unsigned>(
+        siteHash(kSaltBitPick ^ salt, core, seq, addr) % bits);
+    out.value = value ^ (Word{1} << bit);
+    out.flipped = true;
+
+    FaultSite site;
+    site.kind = forwarded ? FaultKind::ForwardCorrupt
+                          : FaultKind::LoadValueFlip;
+    site.core = core;
+    site.cycle = now_;
+    site.seq = seq;
+    site.pc = pc;
+    site.addr = addr;
+    site.before = value;
+    site.after = out.value;
+    recordSite(site);
+
+    if (forwarded)
+        ++outcomes_.forwardFlips;
+    else
+        ++outcomes_.loadFlips;
+    pending_[{core, seq}] = PendingCorruption{};
+    return out;
+}
+
+bool
+FaultInjector::shouldDropSnoop(CoreId core, Addr line)
+{
+    if (cfg_.dropSnoopRate <= 0.0)
+        return false;
+    std::uint64_t n = counter(FaultKind::SnoopDropped, core)++;
+    if (!decide(kSaltDropSnoop, core, n, line, cfg_.dropSnoopRate))
+        return false;
+    FaultSite site;
+    site.kind = FaultKind::SnoopDropped;
+    site.core = core;
+    site.cycle = now_;
+    site.addr = line;
+    recordSite(site);
+    ++outcomes_.snoopsDropped;
+    return true;
+}
+
+bool
+FaultInjector::shouldDelaySnoop(CoreId core, Addr line)
+{
+    if (cfg_.delaySnoopRate <= 0.0)
+        return false;
+    std::uint64_t n = counter(FaultKind::SnoopDelayed, core)++;
+    if (!decide(kSaltDelaySnoop, core, n, line, cfg_.delaySnoopRate))
+        return false;
+    delayedSnoops_.push_back(
+        {now_ + cfg_.delaySnoopCycles, core, line});
+    FaultSite site;
+    site.kind = FaultKind::SnoopDelayed;
+    site.core = core;
+    site.cycle = now_;
+    site.addr = line;
+    recordSite(site);
+    ++outcomes_.snoopsDelayed;
+    return true;
+}
+
+bool
+FaultInjector::shouldDropInvalidation(CoreId core, Addr line)
+{
+    if (cfg_.dropInvalRate <= 0.0)
+        return false;
+    std::uint64_t n = counter(FaultKind::InvalidationDropped, core)++;
+    if (!decide(kSaltDropInval, core, n, line, cfg_.dropInvalRate))
+        return false;
+    FaultSite site;
+    site.kind = FaultKind::InvalidationDropped;
+    site.core = core;
+    site.cycle = now_;
+    site.addr = line;
+    recordSite(site);
+    ++outcomes_.invalidationsDropped;
+    return true;
+}
+
+Cycle
+FaultInjector::fillDelay(CoreId core, Addr line)
+{
+    if (cfg_.delayFillRate <= 0.0)
+        return 0;
+    std::uint64_t n = counter(FaultKind::FillDelayed, core)++;
+    if (!decide(kSaltDelayFill, core, n, line, cfg_.delayFillRate))
+        return 0;
+    FaultSite site;
+    site.kind = FaultKind::FillDelayed;
+    site.core = core;
+    site.cycle = now_;
+    site.addr = line;
+    recordSite(site);
+    ++outcomes_.fillsDelayed;
+    return cfg_.delayFillCycles;
+}
+
+void
+FaultInjector::onCompareMismatch(CoreId core, SeqNum seq)
+{
+    auto it = pending_.find({core, seq});
+    if (it == pending_.end() || it->second.detected)
+        return;
+    it->second.detected = true;
+    ++outcomes_.detectedByCompare;
+}
+
+void
+FaultInjector::onCamSquash(CoreId core, SeqNum bound)
+{
+    auto it = pending_.lower_bound({core, bound});
+    auto end = pending_.lower_bound(
+        {core + 1, static_cast<SeqNum>(0)});
+    for (; it != end; ++it) {
+        if (!it->second.camCounted) {
+            it->second.camCounted = true;
+            ++outcomes_.caughtByCam;
+        }
+    }
+}
+
+void
+FaultInjector::onSquash(CoreId core, SeqNum bound)
+{
+    auto begin = pending_.lower_bound({core, bound});
+    auto end = pending_.lower_bound(
+        {core + 1, static_cast<SeqNum>(0)});
+    for (auto it = begin; it != end; ++it)
+        ++outcomes_.squashedRecovered;
+    pending_.erase(begin, end);
+}
+
+void
+FaultInjector::onLoadRetired(CoreId core, SeqNum seq)
+{
+    auto it = pending_.find({core, seq});
+    if (it == pending_.end())
+        return;
+    ++outcomes_.silentlyCommitted;
+    pending_.erase(it);
+}
+
+void
+FaultInjector::onWildStore(CoreId core)
+{
+    (void)core;
+    ++outcomes_.wildStores;
+}
+
+void
+FaultInjector::onWildLoad(CoreId core)
+{
+    (void)core;
+    ++outcomes_.wildLoads;
+}
+
+JsonValue
+FaultInjector::summaryJson() const
+{
+    JsonValue o = JsonValue::object();
+    o.set("spec", cfg_.render());
+
+    JsonValue counts = JsonValue::object();
+    counts.set("load_flips", outcomes_.loadFlips);
+    counts.set("forward_flips", outcomes_.forwardFlips);
+    counts.set("snoops_dropped", outcomes_.snoopsDropped);
+    counts.set("snoops_delayed", outcomes_.snoopsDelayed);
+    counts.set("invalidations_dropped",
+               outcomes_.invalidationsDropped);
+    counts.set("fills_delayed", outcomes_.fillsDelayed);
+    o.set("injected", std::move(counts));
+
+    JsonValue fate = JsonValue::object();
+    fate.set("corruptions_injected", outcomes_.corruptionsInjected());
+    fate.set("detected_by_compare", outcomes_.detectedByCompare);
+    fate.set("caught_by_cam", outcomes_.caughtByCam);
+    fate.set("squashed_recovered", outcomes_.squashedRecovered);
+    fate.set("silently_committed", outcomes_.silentlyCommitted);
+    fate.set("wild_stores", outcomes_.wildStores);
+    fate.set("wild_loads", outcomes_.wildLoads);
+    fate.set("in_flight_at_end", pending_.size());
+    o.set("corruption_fate", std::move(fate));
+
+    JsonValue arr = JsonValue::array();
+    for (const FaultSite &s : sites_) {
+        JsonValue j = JsonValue::object();
+        j.set("kind", faultKindName(s.kind));
+        j.set("core", s.core);
+        j.set("cycle", s.cycle);
+        if (s.seq != kNoSeq)
+            j.set("seq", s.seq);
+        if (s.pc != 0)
+            j.set("pc", s.pc);
+        if (s.addr != kNoAddr)
+            j.set("addr", s.addr);
+        if (s.kind == FaultKind::LoadValueFlip ||
+            s.kind == FaultKind::ForwardCorrupt) {
+            j.set("before", s.before);
+            j.set("after", s.after);
+        }
+        arr.push(std::move(j));
+    }
+    o.set("sites_recorded", std::move(arr));
+    o.set("sites_total", totalSites_);
+    return o;
+}
+
+} // namespace vbr

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Seeded, deterministic fault injector. Each potential fault site
+ * (a load writeback, a snoop delivery, a fabric invalidation, an
+ * external fill) asks the injector for a verdict; the verdict is a
+ * pure hash of (seed, fault class, core, site identity), so a given
+ * config + workload produces bitwise-identical fault sites regardless
+ * of sweep parallelism, host, or wall-clock.
+ *
+ * The injector also owns outcome attribution for value corruptions:
+ * every injected flip is tracked until the load either retires
+ * (silently committed), is removed by a squash (recovered), or is
+ * caught by the replay/compare stage (detected). The headline table
+ * in bench/fault_detection.cpp is built from these counters.
+ *
+ * One injector per System; Systems are single-threaded, so no
+ * synchronization is needed.
+ */
+
+#ifndef VBR_FAULT_FAULT_INJECTOR_HPP
+#define VBR_FAULT_FAULT_INJECTOR_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/types.hpp"
+#include "fault/fault_config.hpp"
+
+namespace vbr
+{
+
+enum class FaultKind : std::uint8_t
+{
+    LoadValueFlip,       ///< bit flip in a memory load's premature value
+    ForwardCorrupt,      ///< bit flip in a store-forwarded value
+    SnoopDropped,        ///< snoop delivery to the core lost
+    SnoopDelayed,        ///< snoop delivery to the core postponed
+    InvalidationDropped, ///< fabric invalidation lost (stale copy)
+    FillDelayed,         ///< external fill stretched
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** One injected fault, for artifacts and debugging (capped list). */
+struct FaultSite
+{
+    FaultKind kind = FaultKind::LoadValueFlip;
+    CoreId core = 0;
+    Cycle cycle = 0;
+    SeqNum seq = kNoSeq;
+    std::uint32_t pc = 0;
+    Addr addr = kNoAddr;
+    Word before = 0;
+    Word after = 0;
+};
+
+/** Detection taxonomy (see DESIGN.md "Fault model & resilience"). */
+struct FaultOutcomes
+{
+    // Injection counts per class.
+    std::uint64_t loadFlips = 0;
+    std::uint64_t forwardFlips = 0;
+    std::uint64_t snoopsDropped = 0;
+    std::uint64_t snoopsDelayed = 0;
+    std::uint64_t invalidationsDropped = 0;
+    std::uint64_t fillsDelayed = 0;
+
+    // Fate of value corruptions (loadFlips + forwardFlips).
+    std::uint64_t detectedByCompare = 0;  ///< replay compare mismatch
+    std::uint64_t caughtByCam = 0;        ///< CAM squash covered it
+    std::uint64_t squashedRecovered = 0;  ///< removed by any squash
+    std::uint64_t silentlyCommitted = 0;  ///< retired architecturally
+
+    // Secondary damage: corrupted values that became wild addresses.
+    std::uint64_t wildStores = 0;
+    std::uint64_t wildLoads = 0;
+
+    std::uint64_t corruptionsInjected() const
+    {
+        return loadFlips + forwardFlips;
+    }
+};
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &cfg) : cfg_(cfg) {}
+
+    const FaultConfig &config() const { return cfg_; }
+
+    /** Advance the injector's clock (call first thing each tick). */
+    void beginCycle(Cycle now) { now_ = now; }
+
+    struct LoadFlip
+    {
+        bool flipped = false;
+        Word value = 0;
+    };
+
+    /**
+     * Writeback seam: maybe flip one bit of a load's premature value.
+     * Returns the (possibly corrupted) value; when flipped, the site
+     * is recorded and tracked until retirement or squash.
+     */
+    LoadFlip corruptLoadWriteback(CoreId core, SeqNum seq,
+                                  std::uint32_t pc, Addr addr,
+                                  unsigned size_bytes, bool forwarded,
+                                  Word value);
+
+    /** Hierarchy seam: lose the snoop delivery to the core entirely
+     * (caches are already invalidated; only the LSQ/filters miss it). */
+    bool shouldDropSnoop(CoreId core, Addr line);
+
+    /** Hierarchy seam: postpone the snoop delivery; the delayed event
+     * is queued internally and handed back via drainDueSnoops(). */
+    bool shouldDelaySnoop(CoreId core, Addr line);
+
+    /** Fabric seam: drop a remote invalidation, leaving a stale cache
+     * copy behind (surfaces as an SWMR audit violation). */
+    bool shouldDropInvalidation(CoreId core, Addr line);
+
+    /** Hierarchy seam: extra latency to add to an external fill. */
+    Cycle fillDelay(CoreId core, Addr line);
+
+    /** Deliver delayed snoops that are due; @p deliver is invoked as
+     * deliver(core, line) in injection order (due cycles are
+     * monotonic because the delay is a config constant). */
+    template <class Fn>
+    void
+    drainDueSnoops(Cycle now, Fn &&deliver)
+    {
+        while (!delayedSnoops_.empty() &&
+               delayedSnoops_.front().due <= now) {
+            DelayedSnoop s = delayedSnoops_.front();
+            delayedSnoops_.pop_front();
+            deliver(s.core, s.line);
+        }
+    }
+
+    // ---- outcome attribution ------------------------------------
+
+    /** The replay/compare stage found the mismatch (before squash). */
+    void onCompareMismatch(CoreId core, SeqNum seq);
+
+    /** A CAM-triggered squash is about to remove seq >= bound. */
+    void onCamSquash(CoreId core, SeqNum bound);
+
+    /** Any squash removed seq >= bound on this core. */
+    void onSquash(CoreId core, SeqNum bound);
+
+    /** A load retired; if it carried a corruption, it was silent. */
+    void onLoadRetired(CoreId core, SeqNum seq);
+
+    /** A store/load with a fault-corrupted (wild) address retired. */
+    void onWildStore(CoreId core);
+    void onWildLoad(CoreId core);
+
+    const FaultOutcomes &outcomes() const { return outcomes_; }
+    const std::vector<FaultSite> &sites() const { return sites_; }
+    std::uint64_t totalSites() const { return totalSites_; }
+
+    /** Corruptions still pending (in flight) — neither retired nor
+     * squashed when the run ended. */
+    std::uint64_t inFlight() const { return pending_.size(); }
+
+    /** Deterministic JSON summary: spec, outcomes, recorded sites. */
+    JsonValue summaryJson() const;
+
+  private:
+    /** Pure decision: hash(seed, salt, a, b, c) < rate. */
+    bool decide(std::uint64_t salt, std::uint64_t a, std::uint64_t b,
+                std::uint64_t c, double rate) const;
+    std::uint64_t siteHash(std::uint64_t salt, std::uint64_t a,
+                           std::uint64_t b, std::uint64_t c) const;
+
+    /** Per-(class, core) monotonic event counter for sites that have
+     * no sequence number (snoops, invalidations, fills). */
+    std::uint64_t &counter(FaultKind kind, CoreId core);
+
+    void recordSite(const FaultSite &site);
+
+    struct DelayedSnoop
+    {
+        Cycle due = 0;
+        CoreId core = 0;
+        Addr line = 0;
+    };
+
+    struct PendingCorruption
+    {
+        bool detected = false;   ///< counted as detectedByCompare
+        bool camCounted = false; ///< counted as caughtByCam
+    };
+
+    FaultConfig cfg_;
+    Cycle now_ = 0;
+    FaultOutcomes outcomes_;
+    std::vector<FaultSite> sites_;
+    std::uint64_t totalSites_ = 0;
+    std::deque<DelayedSnoop> delayedSnoops_;
+    std::map<std::pair<CoreId, SeqNum>, PendingCorruption> pending_;
+    std::map<std::pair<std::uint8_t, CoreId>, std::uint64_t> counters_;
+};
+
+} // namespace vbr
+
+#endif // VBR_FAULT_FAULT_INJECTOR_HPP

@@ -1,6 +1,7 @@
 #include "mem/coherence.hpp"
 
 #include "common/logging.hpp"
+#include "fault/fault_injector.hpp"
 #include "mem/hierarchy.hpp"
 
 namespace vbr
@@ -92,6 +93,12 @@ CoherenceFabric::invalidateRemote(Addr line, int except_core)
                          : e.sharers;
     for (CoreId c = 0; others != 0; ++c, others >>= 1) {
         if (others & 1) {
+            // Fault seam: losing the invalidation entirely leaves
+            // core c with a stale copy the directory no longer
+            // tracks — an SWMR violation the auditor's coherence
+            // scan reports.
+            if (faults_ && faults_->shouldDropInvalidation(c, line))
+                continue;
             cores_[c]->externalInvalidate(line);
             ++stats_.counter("invalidations_sent");
             any = true;

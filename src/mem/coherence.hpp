@@ -28,6 +28,7 @@ namespace vbr
 {
 
 class CacheHierarchy;
+class FaultInjector;
 
 /** Interconnect and memory latencies. */
 struct FabricConfig
@@ -59,6 +60,11 @@ class CoherenceFabric
 
     /** Register a core's hierarchy. Core ids must be dense from 0. */
     void attach(CacheHierarchy *hierarchy);
+
+    /** Attach the fault injector (may be null = no injection). The
+     * injector can drop individual remote invalidations, leaving a
+     * stale copy behind — an SWMR violation the auditor detects. */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
 
     unsigned numCores() const { return static_cast<unsigned>(cores_.size()); }
 
@@ -132,6 +138,7 @@ class CoherenceFabric
 
     FabricConfig config_;
     std::vector<CacheHierarchy *> cores_;
+    FaultInjector *faults_ = nullptr;
     std::unordered_map<Addr, Entry> directory_;
     StatSet stats_;
 };

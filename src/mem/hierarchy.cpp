@@ -1,8 +1,6 @@
 #include "mem/hierarchy.hpp"
 
-#include <cstdio>
-#include <cstdlib>
-
+#include "fault/fault_injector.hpp"
 #include "mem/coherence.hpp"
 
 namespace vbr
@@ -60,14 +58,15 @@ CacheHierarchy::read(Addr addr, std::uint32_t pc)
         result.latency = config_.l1d.latency + config_.l2d.latency +
                          config_.l3.latency + fr.latency;
         result.externalFill = true;
+        // Fault seam: a delayed fill models transient fabric
+        // congestion / retried transfers.
+        if (faults_)
+            result.latency +=
+                static_cast<unsigned>(faults_->fillDelay(coreId_, line));
         fillLine(line, true);
         ++(*sc_external_fills_);
         if (client_)
             client_->onExternalFill(line);
-        if (std::getenv("VBR_FILL_TRACE") &&
-            sc_external_fills_->value() > 40000 && sc_external_fills_->value() < 40040)
-            std::fprintf(stderr, "fill core%u addr=0x%llx pc=%u\n",
-                         coreId_, (unsigned long long)addr, pc);
     }
 
     // Issue prefetches (untimed fills into L2/L3): lines entering the
@@ -213,8 +212,20 @@ CacheHierarchy::externalInvalidate(Addr line)
     l3_.invalidate(line);
     fabric_.evictLine(coreId_, line);
     ++(*sc_external_invalidations_);
-    if (client_)
-        client_->onExternalInvalidation(line);
+    if (!client_)
+        return;
+    // Fault seam: the caches above are already invalidated (the
+    // directory stays coherent); what can be lost or postponed is the
+    // *notification* to the LSQ — exactly the hazard that makes a
+    // snooping CAM or a no-recent-snoop filter unsound. Delayed
+    // deliveries are drained by System::tick via the injector.
+    if (faults_) {
+        if (faults_->shouldDropSnoop(coreId_, line))
+            return;
+        if (faults_->shouldDelaySnoop(coreId_, line))
+            return;
+    }
+    client_->onExternalInvalidation(line);
 }
 
 } // namespace vbr

@@ -30,6 +30,7 @@ namespace vbr
 {
 
 class CoherenceFabric;
+class FaultInjector;
 
 /** Core-side receiver of coherence/miss events. */
 class MemEventClient
@@ -77,6 +78,12 @@ class CacheHierarchy
 
     /** Register the core-side event receiver (may be null). */
     void setClient(MemEventClient *client) { client_ = client; }
+
+    /** Attach the fault injector (may be null = no injection). The
+     * injector can stretch external fills and drop or delay the
+     * snoop *notification* to the core — the caches themselves are
+     * always invalidated, modeling a lost LSQ/filter delivery. */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
 
     /**
      * Demand data read (premature load, replay load, or wrong-path
@@ -140,6 +147,7 @@ class CacheHierarchy
     CoreId coreId_;
     CoherenceFabric &fabric_;
     MemEventClient *client_ = nullptr;
+    FaultInjector *faults_ = nullptr;
 
     Cache l1i_;
     Cache l1d_;

@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "core/core_config.hpp"
+#include "fault/fault_injector.hpp"
 #include "lsq/store_queue.hpp"
 #include "mem/hierarchy.hpp"
 #include "predict/dep_predictor.hpp"
@@ -49,6 +50,8 @@ AssocLqUnit::onLoadIssued(DynInst &inst, Cycle /* now */)
         ++(*sc_squashes_lq_loadload_);
         DynInst *victim = host_.findInst(squash->squashFrom);
         VBR_ASSERT(victim != nullptr, "load-load squash target");
+        if (FaultInjector *fi = host_.faultInjector())
+            fi->onCamSquash(host_.coreId(), squash->squashFrom);
         // Copy before the squash frees the victim's window entry.
         PredictorSnapshot snap = victim->predSnap;
         std::uint32_t pc = victim->pc;
@@ -127,6 +130,8 @@ AssocLqUnit::preCommit(DynInst &head, Cycle /* now */)
         if (head.prematureValue ==
             host_.readMemSafe(head.memAddr, head.memSize))
             ++(*sc_squashes_lq_snoop_unnecessary_);
+        if (FaultInjector *fi = host_.faultInjector())
+            fi->onCamSquash(host_.coreId(), head.seq);
         PredictorSnapshot snap = head.predSnap;
         std::uint32_t pc = head.pc;
         host_.squashFrom(head.seq, pc, snap);
@@ -200,6 +205,8 @@ AssocLqUnit::applyLqSquash(const LqSquash &squash,
         host_.depPredictor().trainViolation(squash.loadPc, store_pc);
     }
 
+    if (FaultInjector *fi = host_.faultInjector())
+        fi->onCamSquash(host_.coreId(), squash.squashFrom);
     // Copy before the squash frees the load's window entry.
     PredictorSnapshot snap = load->predSnap;
     host_.squashFrom(squash.squashFrom, squash.loadPc, snap);

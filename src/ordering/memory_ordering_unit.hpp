@@ -57,6 +57,7 @@ class StoreQueue;
 class CacheHierarchy;
 class DependencePredictor;
 class InvariantAuditor;
+class FaultInjector;
 
 /**
  * What a memory-ordering backend may ask of its core. Implemented
@@ -83,6 +84,11 @@ class OrderingHost
     virtual StatSet &stats() = 0;
     /** The invariant auditor, or nullptr when auditing is off. */
     virtual InvariantAuditor *auditorHook() = 0;
+
+    /** The fault injector, or nullptr when injection is off.
+     * Backends report detection events (compare mismatches, CAM
+     * squashes) so corruption fates can be attributed. */
+    virtual FaultInjector *faultInjector() { return nullptr; }
 
     /** Window lookup by sequence number (nullptr when not present). */
     virtual DynInst *findInst(SeqNum seq) = 0;

@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "core/core_config.hpp"
+#include "fault/fault_injector.hpp"
 #include "lsq/store_queue.hpp"
 #include "mem/hierarchy.hpp"
 #include "predict/dep_predictor.hpp"
@@ -324,6 +325,10 @@ ValueReplayUnit::doReplaySquash(DynInst &load)
     if (InvariantAuditor *a = host_.auditorHook())
         a->onReplaySquash(host_.coreId(), load.seq, load.pc,
                           host_.coreCycle());
+    // Fault attribution: the compare stage is exactly the paper's
+    // dynamic value check — credit it before the squash recovers.
+    if (FaultInjector *fi = host_.faultInjector())
+        fi->onCompareMismatch(host_.coreId(), load.seq);
     // Copy before the squash frees the load's window entry.
     PredictorSnapshot snap = load.predSnap;
     std::uint32_t pc = load.pc;

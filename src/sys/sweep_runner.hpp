@@ -23,9 +23,13 @@
 
 #include <cstddef>
 #include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "verify/failure_artifact.hpp"
 
 namespace vbr
 {
@@ -33,6 +37,68 @@ namespace vbr
 /** Worker count for sweeps: VBR_THREADS if set (clamped to >= 1),
  * else std::thread::hardware_concurrency(). */
 unsigned sweepThreads();
+
+/** One quarantined job of a guarded sweep. */
+struct SweepFailure
+{
+    std::size_t index = 0;    ///< submission index of the failed job
+    std::string name;         ///< job name (artifact label)
+    std::string kind;         ///< "deadlock" | "exception" | ...
+    std::string error;        ///< what() of the final failure
+    unsigned attempts = 0;    ///< executions before quarantine
+    std::string artifactPath; ///< FAIL_*.json path ("" = write failed)
+};
+
+/**
+ * Thrown by guarded jobs that can describe their own failure (e.g. a
+ * harness that caught a deadlock or cycle-budget overrun and built an
+ * artifact from the dying System). The runner writes the carried
+ * artifact instead of synthesizing a bare-exception one.
+ */
+class SweepJobError : public std::runtime_error
+{
+  public:
+    explicit SweepJobError(FailureArtifact artifact)
+        : std::runtime_error(artifact.error),
+          artifact_(std::move(artifact))
+    {
+    }
+
+    const FailureArtifact &artifact() const { return artifact_; }
+
+  private:
+    FailureArtifact artifact_;
+};
+
+/** A named job for runGuarded (the name labels its artifact). */
+template <class R> struct GuardedJob
+{
+    std::string name;
+    std::function<R()> fn;
+};
+
+/** Guarded-sweep result: per-slot results plus the quarantine list. */
+template <class R> struct SweepOutcome
+{
+    std::vector<R> results; ///< results[i] meaningful iff ok[i]
+    std::vector<bool> ok;   ///< per submission index
+    std::vector<SweepFailure> quarantined; ///< submission order
+
+    bool allOk() const { return quarantined.empty(); }
+};
+
+/** Options for runGuarded. */
+struct GuardOptions
+{
+    /** Where FAIL_*.json artifacts land ("" = don't write any). */
+    std::string artifactDir = defaultFailArtifactDir();
+
+    /** Re-executions granted after a first failure. Retries are
+     * bounded and deterministic: a job rebuilds its whole System, so
+     * a deterministic failure fails identically on retry and the
+     * retry only rescues host-level flakes (e.g. bad_alloc). */
+    unsigned retries = 1;
+};
 
 class SweepRunner
 {
@@ -71,7 +137,91 @@ class SweepRunner
         return results;
     }
 
+    /**
+     * Failure-isolating variant of run(): a job that throws (panic,
+     * deadlock artifact, plain exception) is retried once and, if it
+     * fails again, quarantined with a FAIL_<name>.json artifact — the
+     * sweep still completes and returns every healthy job's result.
+     * Exceptions never cross thread-pool task boundaries, and both
+     * results and the quarantine list come back in submission order,
+     * so the outcome is identical at any VBR_THREADS.
+     */
+    template <class R>
+    SweepOutcome<R>
+    runGuarded(std::vector<GuardedJob<R>> jobs,
+               const GuardOptions &opts = GuardOptions()) const
+    {
+        SweepOutcome<R> out;
+        out.results.resize(jobs.size());
+        out.ok.assign(jobs.size(), false);
+        // Per-slot failure records, compacted afterwards so the
+        // quarantine order does not depend on completion order.
+        std::vector<SweepFailure> failures(jobs.size());
+
+        auto guard = [&](std::size_t i) {
+            runOneGuarded<R>(jobs[i], i, opts, out.results[i],
+                             out.ok, failures[i]);
+        };
+
+        if (threads_ <= 1 || jobs.size() <= 1) {
+            for (std::size_t i = 0; i < jobs.size(); ++i)
+                guard(i);
+        } else {
+            ThreadPool pool(threads_);
+            for (std::size_t i = 0; i < jobs.size(); ++i)
+                pool.submit([&guard, i] { guard(i); });
+            pool.wait();
+        }
+
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            if (!out.ok[i])
+                out.quarantined.push_back(std::move(failures[i]));
+        return out;
+    }
+
   private:
+    /** Run one guarded job with bounded retry; on final failure fill
+     * @p failure and write its artifact. Never throws. */
+    template <class R>
+    void
+    runOneGuarded(const GuardedJob<R> &job, std::size_t index,
+                  const GuardOptions &opts, R &result,
+                  std::vector<bool> &ok, SweepFailure &failure) const
+    {
+        FailureArtifact artifact;
+        for (unsigned attempt = 1;; ++attempt) {
+            try {
+                result = job.fn();
+                ok[index] = true;
+                return;
+            } catch (const SweepJobError &e) {
+                artifact = e.artifact();
+            } catch (const std::exception &e) {
+                // SimPanicError lands here too: simulator panics are
+                // quarantined, not fatal, inside a guarded sweep.
+                artifact = FailureArtifact{};
+                artifact.kind = "exception";
+                artifact.error = e.what();
+            } catch (...) {
+                artifact = FailureArtifact{};
+                artifact.kind = "exception";
+                artifact.error = "unknown exception";
+            }
+            if (attempt > opts.retries) {
+                failure.index = index;
+                failure.name = job.name;
+                failure.kind = artifact.kind;
+                failure.error = artifact.error;
+                failure.attempts = attempt;
+                artifact.job = job.name;
+                if (!opts.artifactDir.empty())
+                    failure.artifactPath =
+                        artifact.writeTo(opts.artifactDir);
+                return;
+            }
+        }
+    }
+
     unsigned threads_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "isa/opcode.hpp"
 
 namespace vbr
 {
@@ -35,10 +36,21 @@ System::System(const SystemConfig &config, const Program &prog)
             config.core, prog, *mem_, *hierarchies_[i], i));
     }
 
+    if (config.faults.enabled()) {
+        faults_ = std::make_unique<FaultInjector>(config.faults);
+        fabric_->setFaultInjector(faults_.get());
+        for (unsigned i = 0; i < config.cores; ++i) {
+            hierarchies_[i]->setFaultInjector(faults_.get());
+            cores_[i]->setFaultInjector(faults_.get());
+        }
+    }
+
     if (config.audit != AuditLevel::Off) {
         AuditConfig ac;
         ac.level = config.audit;
         ac.panicOnViolation = config.auditPanic;
+        ac.artifactDir = config.failArtifactDir;
+        ac.jobLabel = config.jobName;
         auditor_ = std::make_unique<InvariantAuditor>(ac);
         for (auto &core : cores_) {
             auditor_->registerCore(core->coreId());
@@ -58,6 +70,15 @@ void
 System::tick()
 {
     ++now_;
+    if (faults_) {
+        faults_->beginCycle(now_);
+        // Deliver snoop notifications whose fault delay expired. Cores
+        // have not ticked yet this cycle, so the delivery lands while
+        // the core is quiescent, as the LSQ seam requires.
+        faults_->drainDueSnoops(now_, [&](CoreId c, Addr line) {
+            cores_[c]->onExternalInvalidation(line);
+        });
+    }
     for (std::size_t i = 0; i < cores_.size(); ++i) {
         cores_[i]->tick(now_);
         if (!coreHalted_[i] && cores_[i]->halted()) {
@@ -107,6 +128,14 @@ System::run()
             }
             if (any_deadlock) {
                 result.deadlocked = true;
+                if (!config_.failArtifactDir.empty())
+                    makeFailureArtifact(
+                        "deadlock",
+                        "no instruction committed for " +
+                            std::to_string(
+                                config_.core.deadlockThreshold) +
+                            " cycles")
+                        .writeTo(config_.failArtifactDir);
                 break;
             }
         }
@@ -126,6 +155,55 @@ System::run()
         result.auditViolations = auditor_->violationCount();
     }
     return result;
+}
+
+FailureArtifact
+System::makeFailureArtifact(const std::string &kind,
+                            const std::string &error) const
+{
+    FailureArtifact art;
+    art.job = config_.jobName;
+    art.kind = kind;
+    art.error = error;
+
+    JsonValue ctx = JsonValue::object();
+    ctx.set("cycle", now_);
+    ctx.set("cores", static_cast<std::uint64_t>(cores_.size()));
+    ctx.set("scheme", config_.core.scheme == OrderingScheme::ValueReplay
+                          ? "vbr"
+                          : "assoc_lq");
+    ctx.set("dma_seed", config_.dmaSeed);
+    ctx.set("max_cycles", config_.maxCycles);
+    ctx.set("fault_spec", config_.faults.render());
+    if (faults_)
+        ctx.set("faults", faults_->summaryJson());
+    if (auditor_)
+        ctx.set("audit_violations", auditor_->violationCount());
+    JsonValue committed = JsonValue::array();
+    for (const auto &core : cores_)
+        committed.push(core->instructionsCommitted());
+    ctx.set("instructions_committed", std::move(committed));
+    art.context = std::move(ctx);
+
+    JsonValue trace = JsonValue::array();
+    for (const auto &core : cores_) {
+        JsonValue per_core = JsonValue::object();
+        per_core.set("core",
+                     static_cast<std::uint64_t>(core->coreId()));
+        JsonValue entries = JsonValue::array();
+        for (const CommitTraceEntry &e : core->commitTrace()) {
+            JsonValue j = JsonValue::object();
+            j.set("seq", e.seq);
+            j.set("pc", static_cast<std::uint64_t>(e.pc));
+            j.set("cycle", e.cycle);
+            j.set("op", std::string(opcodeName(e.op)));
+            entries.push(std::move(j));
+        }
+        per_core.set("entries", std::move(entries));
+        trace.push(std::move(per_core));
+    }
+    art.commitTrace = std::move(trace);
+    return art;
 }
 
 std::uint64_t

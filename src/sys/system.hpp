@@ -15,11 +15,14 @@
 
 #include "common/rng.hpp"
 #include "core/ooo_core.hpp"
+#include "fault/fault_config.hpp"
+#include "fault/fault_injector.hpp"
 #include "isa/program.hpp"
 #include "mem/coherence.hpp"
 #include "mem/hierarchy.hpp"
 #include "mem/memory_image.hpp"
 #include "verify/auditor.hpp"
+#include "verify/failure_artifact.hpp"
 
 namespace vbr
 {
@@ -56,6 +59,19 @@ struct SystemConfig
      * of an already-dead run, never misses one. Must be well below
      * CoreConfig::deadlockThreshold. */
     Cycle deadlockCheckStride = 256;
+
+    /** Fault-injection plan; defaults to $VBR_FAULTS (disabled when
+     * unset). A disabled plan allocates no injector and perturbs
+     * nothing — goldens stay bitwise-identical. */
+    FaultConfig faults = FaultConfig::fromEnv();
+
+    /** Job label used in failure artifacts (FAIL_<jobName>.json). */
+    std::string jobName = "run";
+
+    /** When non-empty, run() writes a failure artifact here if the
+     * deadlock watchdog fires. Guarded sweeps leave this empty and
+     * write artifacts themselves from makeFailureArtifact(). */
+    std::string failArtifactDir;
 };
 
 /** Result of running a system to completion. */
@@ -106,6 +122,16 @@ class System
     /** Sum of a named counter across all cores. */
     std::uint64_t totalStat(const std::string &name) const;
 
+    /** The fault injector, or nullptr when injection is disabled. */
+    FaultInjector *faultInjector() { return faults_.get(); }
+    const FaultInjector *faultInjector() const { return faults_.get(); }
+
+    /** Build a failure artifact capturing this system's state: job
+     * name, config/seed context, fault summary, and the last-N
+     * committed instructions per core. */
+    FailureArtifact makeFailureArtifact(const std::string &kind,
+                                        const std::string &error) const;
+
   private:
     SystemConfig config_;
     std::unique_ptr<MemoryImage> mem_;
@@ -113,6 +139,7 @@ class System
     std::vector<std::unique_ptr<CacheHierarchy>> hierarchies_;
     std::vector<std::unique_ptr<OooCore>> cores_;
     std::unique_ptr<InvariantAuditor> auditor_;
+    std::unique_ptr<FaultInjector> faults_;
     Rng dmaRng_;
     Cycle now_ = 0;
 

@@ -6,6 +6,7 @@
 #include "common/logging.hpp"
 #include "mem/coherence.hpp"
 #include "mem/hierarchy.hpp"
+#include "verify/failure_artifact.hpp"
 
 namespace vbr
 {
@@ -81,6 +82,29 @@ InvariantAuditor::report(AuditViolation violation)
     ++violationCount_;
     if (violations_.size() < config_.maxViolations)
         violations_.push_back(violation);
+    if (!config_.artifactDir.empty()) {
+        // Same triage format as sweep/deadlock failures; re-reported
+        // violations overwrite the file, so it always holds the most
+        // recent one plus the running count.
+        FailureArtifact art;
+        art.job = config_.jobLabel + "-audit";
+        art.kind = "audit-violation";
+        art.error = violation.format();
+        JsonValue ctx = JsonValue::object();
+        ctx.set("invariant", invariantName(violation.kind));
+        ctx.set("cycle", violation.cycle);
+        ctx.set("core", static_cast<std::uint64_t>(violation.core));
+        ctx.set("structure", violation.structure);
+        if (violation.seq != kNoSeq)
+            ctx.set("seq", violation.seq);
+        if (violation.other != kNoSeq)
+            ctx.set("other_seq", violation.other);
+        ctx.set("expected", violation.expected);
+        ctx.set("actual", violation.actual);
+        ctx.set("violation_count", violationCount_);
+        art.context = std::move(ctx);
+        art.writeTo(config_.artifactDir);
+    }
     if (config_.panicOnViolation)
         panic(violation.format());
     else

@@ -62,6 +62,14 @@ struct AuditConfig
 
     /** Keep at most this many violation records. */
     std::size_t maxViolations = 64;
+
+    /** When non-empty, every reported violation (also) lands as a
+     * FAIL_<jobLabel>-audit.json artifact in this directory — the same
+     * triage format the sweep runner and deadlock watchdog emit. */
+    std::string artifactDir;
+
+    /** Job label for the audit failure artifact. */
+    std::string jobLabel = "audit";
 };
 
 /** Always-on invariant checker for the value-based replay pipeline. */

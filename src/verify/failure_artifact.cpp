@@ -1,0 +1,75 @@
+#include "verify/failure_artifact.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/logging.hpp"
+
+namespace vbr
+{
+
+std::string
+FailureArtifact::sanitizeJobName(const std::string &job)
+{
+    std::string out = job.empty() ? std::string("job") : job;
+    for (char &c : out) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
+std::string
+FailureArtifact::render() const
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("artifact", "vbr-failure");
+    doc.set("schema", 1);
+    doc.set("job", job);
+    doc.set("kind", kind);
+    doc.set("error", error);
+    doc.set("context", context);
+    doc.set("commit_trace", commitTrace);
+    return doc.dump(2);
+}
+
+std::string
+FailureArtifact::pathIn(const std::string &dir) const
+{
+    return dir + "/FAIL_" + sanitizeJobName(job) + ".json";
+}
+
+std::string
+FailureArtifact::writeTo(const std::string &dir) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    // ec deliberately ignored: fopen below reports the real failure.
+    std::string path = pathIn(dir);
+    std::string text = render();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        warn("cannot write failure artifact " + path);
+        return "";
+    }
+    std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    if (n != text.size()) {
+        warn("short write to failure artifact " + path);
+        return "";
+    }
+    return path;
+}
+
+std::string
+defaultFailArtifactDir()
+{
+    const char *dir = std::getenv("VBR_FAIL_DIR");
+    return (dir != nullptr && dir[0] != '\0') ? dir : "results";
+}
+
+} // namespace vbr

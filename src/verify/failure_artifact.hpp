@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Structured failure artifact: the one triage format shared by the
+ * deadlock watchdog, the invariant auditor, guarded sweep jobs, and
+ * the fault injector. A failing job writes FAIL_<job>.json into
+ * ${VBR_FAIL_DIR:-results}/ with enough context to reproduce the run:
+ * seed, configuration, fault spec, and the last-N committed
+ * instructions per core.
+ *
+ * Artifacts are deterministic for a deterministic failure — no
+ * wall-clock, hostnames, or thread counts — so the same broken run
+ * produces byte-identical artifacts at any sweep parallelism.
+ */
+
+#ifndef VBR_VERIFY_FAILURE_ARTIFACT_HPP
+#define VBR_VERIFY_FAILURE_ARTIFACT_HPP
+
+#include <string>
+
+#include "common/json.hpp"
+
+namespace vbr
+{
+
+struct FailureArtifact
+{
+    /** Job name; becomes FAIL_<sanitized job>.json. */
+    std::string job;
+
+    /** Failure class: "deadlock", "exception", "cycle-budget",
+     * "audit-violation", ... */
+    std::string kind;
+
+    /** Human-readable error message. */
+    std::string error;
+
+    /** Reproduction context: seeds, config, fault spec, cycle,
+     * per-scheme details. Null when unavailable. */
+    JsonValue context;
+
+    /** Last-N committed instructions per core (ring-buffer dump).
+     * Null when no system was alive to provide one. */
+    JsonValue commitTrace;
+
+    /** Serialize to the canonical JSON document. */
+    std::string render() const;
+
+    /** Artifact path inside @p dir for this job name. */
+    std::string pathIn(const std::string &dir) const;
+
+    /**
+     * Render + write FAIL_<job>.json into @p dir (created when
+     * missing). Returns the written path, or "" on I/O failure —
+     * artifact emission must never take down the reporting process.
+     */
+    std::string writeTo(const std::string &dir) const;
+
+    /** Filesystem-safe job name: [A-Za-z0-9._-], rest become '_'. */
+    static std::string sanitizeJobName(const std::string &job);
+};
+
+/** ${VBR_FAIL_DIR:-results} — where failure artifacts land. */
+std::string defaultFailArtifactDir();
+
+} // namespace vbr
+
+#endif // VBR_VERIFY_FAILURE_ARTIFACT_HPP

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Fault-injection layer tests:
+ *  - spec parsing / canonical rendering round trips;
+ *  - fault sites and outcomes are bitwise-deterministic across sweep
+ *    thread counts (same seed => same sites, same FAIL_*.json bytes);
+ *  - the guarded sweep quarantines deadlocking and throwing jobs with
+ *    failure artifacts while returning every healthy result;
+ *  - a snoop-dependent filter pairing under dropped-snoop faults
+ *    produces a checker-detected consistency violation (the hazard
+ *    class the validator's pairing rules exist for), and the same run
+ *    without faults stays consistent;
+ *  - the invariant auditor emits the unified FAIL_*.json triage
+ *    artifact on a violation.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/constraint_graph.hpp"
+#include "sys/sweep_runner.hpp"
+#include "sys/system.hpp"
+#include "workload/multiproc.hpp"
+#include "workload/synthetic.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Uniprocessor run with faults; returns the injector's full summary
+ * (spec, outcomes, recorded sites) as a canonical JSON string. */
+std::string
+faultSummaryJob(const WorkloadSpec &wl, const CoreConfig &core,
+                const FaultConfig &faults)
+{
+    Program prog = makeSynthetic(wl.params);
+    SystemConfig cfg;
+    cfg.cores = 1;
+    cfg.core = core;
+    cfg.faults = faults;
+    cfg.audit = AuditLevel::Off;
+    System sys(cfg, prog);
+    RunResult r = sys.run();
+    std::string out = sys.faultInjector()->summaryJson().dump();
+    out += r.allHalted ? "|halted" : "|not-halted";
+    return out;
+}
+
+/** A job that deterministically trips the deadlock watchdog (the
+ * threshold is below the first-commit latency) and converts it into a
+ * SweepJobError carrying the System's failure artifact. */
+std::string
+deadlockJob(const WorkloadSpec &wl, const std::string &job_name)
+{
+    Program prog = makeSynthetic(wl.params);
+    SystemConfig cfg;
+    cfg.cores = 1;
+    cfg.core = CoreConfig::baseline();
+    cfg.core.deadlockThreshold = 10;
+    cfg.audit = AuditLevel::Off;
+    cfg.jobName = job_name;
+    System sys(cfg, prog);
+    RunResult r = sys.run();
+    if (r.deadlocked)
+        throw SweepJobError(sys.makeFailureArtifact(
+            "deadlock", "watchdog tripped (test-rigged threshold)"));
+    return "no-deadlock";
+}
+
+TEST(FaultConfig, ParseRenderRoundTrip)
+{
+    FaultConfig fc = FaultConfig::parse(
+        "seed=9,loadflip=0.5,fwdflip=1e-3,dropsnoop=0.25,"
+        "delaysnoop=0.1:150,dropinval=0.02,delayfill=0.05:300");
+    EXPECT_EQ(fc.seed, 9u);
+    EXPECT_DOUBLE_EQ(fc.loadFlipRate, 0.5);
+    EXPECT_DOUBLE_EQ(fc.forwardFlipRate, 1e-3);
+    EXPECT_DOUBLE_EQ(fc.dropSnoopRate, 0.25);
+    EXPECT_DOUBLE_EQ(fc.delaySnoopRate, 0.1);
+    EXPECT_EQ(fc.delaySnoopCycles, 150u);
+    EXPECT_DOUBLE_EQ(fc.dropInvalRate, 0.02);
+    EXPECT_DOUBLE_EQ(fc.delayFillRate, 0.05);
+    EXPECT_EQ(fc.delayFillCycles, 300u);
+    EXPECT_TRUE(fc.enabled());
+
+    FaultConfig again = FaultConfig::parse(fc.render());
+    EXPECT_EQ(again.render(), fc.render());
+}
+
+TEST(FaultConfig, EmptySpecDisablesInjection)
+{
+    FaultConfig fc = FaultConfig::parse("");
+    EXPECT_FALSE(fc.enabled());
+    EXPECT_EQ(fc.render(), "");
+
+    // A disabled plan must not allocate an injector in the System.
+    SystemConfig cfg;
+    cfg.core = CoreConfig::baseline();
+    cfg.faults = fc;
+    Program prog =
+        makeSynthetic(uniprocessorSuite(0.02).front().params);
+    System sys(cfg, prog);
+    EXPECT_EQ(sys.faultInjector(), nullptr);
+}
+
+TEST(FaultDeterminism, IdenticalAcrossSweepThreadCounts)
+{
+    FaultConfig faults =
+        FaultConfig::parse("seed=11,loadflip=1e-3,fwdflip=1e-3,"
+                           "dropsnoop=0.5,delayfill=0.2:300");
+    auto suite = uniprocessorSuite(0.05);
+    ASSERT_GE(suite.size(), 3u);
+
+    std::vector<CoreConfig> cores = {
+        CoreConfig::baseline(),
+        CoreConfig::valueReplay(ReplayFilterConfig::replayAll()),
+    };
+
+    auto make_jobs = [&] {
+        std::vector<GuardedJob<std::string>> jobs;
+        for (std::size_t w = 0; w < 3; ++w)
+            for (const CoreConfig &core : cores)
+                jobs.push_back({"det-" + suite[w].name,
+                                [wl = suite[w], core, faults] {
+                                    return faultSummaryJob(wl, core,
+                                                           faults);
+                                }});
+        return jobs;
+    };
+
+    GuardOptions opts;
+    opts.artifactDir = ""; // healthy grid, no artifacts expected
+    SweepOutcome<std::string> serial =
+        SweepRunner(1).runGuarded(make_jobs(), opts);
+    SweepOutcome<std::string> parallel =
+        SweepRunner(8).runGuarded(make_jobs(), opts);
+
+    ASSERT_TRUE(serial.allOk());
+    ASSERT_TRUE(parallel.allOk());
+    ASSERT_EQ(serial.results.size(), parallel.results.size());
+    for (std::size_t i = 0; i < serial.results.size(); ++i)
+        EXPECT_EQ(serial.results[i], parallel.results[i])
+            << "fault sites diverged across thread counts at job " << i;
+
+    // The summary is non-trivial: faults actually fired.
+    EXPECT_NE(serial.results[0].find("\"injected\""), std::string::npos);
+}
+
+TEST(FaultDeterminism, FailureArtifactsBytewiseIdentical)
+{
+    auto suite = uniprocessorSuite(0.05);
+    std::string dir1 = ::testing::TempDir() + "vbr_fail_t1";
+    std::string dir8 = ::testing::TempDir() + "vbr_fail_t8";
+
+    auto run_with = [&](unsigned threads, const std::string &dir) {
+        std::vector<GuardedJob<std::string>> jobs;
+        jobs.push_back({"det-deadlock", [wl = suite.front()] {
+                            return deadlockJob(wl, "det-deadlock");
+                        }});
+        GuardOptions opts;
+        opts.artifactDir = dir;
+        opts.retries = 1;
+        return SweepRunner(threads).runGuarded(std::move(jobs), opts);
+    };
+
+    SweepOutcome<std::string> serial = run_with(1, dir1);
+    SweepOutcome<std::string> parallel = run_with(8, dir8);
+
+    ASSERT_EQ(serial.quarantined.size(), 1u);
+    ASSERT_EQ(parallel.quarantined.size(), 1u);
+    EXPECT_EQ(serial.quarantined[0].kind, "deadlock");
+    EXPECT_EQ(serial.quarantined[0].attempts, 2u);
+    ASSERT_FALSE(serial.quarantined[0].artifactPath.empty());
+    ASSERT_FALSE(parallel.quarantined[0].artifactPath.empty());
+
+    std::string a = slurp(serial.quarantined[0].artifactPath);
+    std::string b = slurp(parallel.quarantined[0].artifactPath);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "failure artifacts differ across thread counts";
+    EXPECT_NE(a.find("\"kind\": \"deadlock\""), std::string::npos);
+    EXPECT_NE(a.find("\"commit_trace\""), std::string::npos);
+}
+
+TEST(GuardedSweep, QuarantinesHostileJobsAndKeepsHealthyResults)
+{
+    auto suite = uniprocessorSuite(0.05);
+    std::string dir = ::testing::TempDir() + "vbr_fail_quarantine";
+
+    std::vector<GuardedJob<std::string>> jobs;
+    jobs.push_back({"healthy-1", [wl = suite[0]] {
+                        return faultSummaryJob(
+                            wl, CoreConfig::baseline(),
+                            FaultConfig::parse("seed=3,loadflip=1e-4"));
+                    }});
+    jobs.push_back({"hostile-deadlock", [wl = suite[0]] {
+                        return deadlockJob(wl, "hostile-deadlock");
+                    }});
+    jobs.push_back({"hostile-throw", []() -> std::string {
+                        throw std::runtime_error("deliberate failure");
+                    }});
+    jobs.push_back({"healthy-2", [wl = suite[1]] {
+                        return faultSummaryJob(
+                            wl, CoreConfig::baseline(),
+                            FaultConfig::parse("seed=3,loadflip=1e-4"));
+                    }});
+
+    GuardOptions opts;
+    opts.artifactDir = dir;
+    SweepOutcome<std::string> out =
+        SweepRunner(4).runGuarded(std::move(jobs), opts);
+
+    EXPECT_TRUE(out.ok[0]);
+    EXPECT_FALSE(out.ok[1]);
+    EXPECT_FALSE(out.ok[2]);
+    EXPECT_TRUE(out.ok[3]);
+    EXPECT_FALSE(out.results[0].empty());
+    EXPECT_FALSE(out.results[3].empty());
+
+    ASSERT_EQ(out.quarantined.size(), 2u);
+    EXPECT_EQ(out.quarantined[0].index, 1u);
+    EXPECT_EQ(out.quarantined[0].name, "hostile-deadlock");
+    EXPECT_EQ(out.quarantined[0].kind, "deadlock");
+    EXPECT_EQ(out.quarantined[1].index, 2u);
+    EXPECT_EQ(out.quarantined[1].name, "hostile-throw");
+    EXPECT_EQ(out.quarantined[1].kind, "exception");
+    for (const SweepFailure &f : out.quarantined) {
+        EXPECT_EQ(f.attempts, 2u) << f.name;
+        ASSERT_FALSE(f.artifactPath.empty()) << f.name;
+        std::string body = slurp(f.artifactPath);
+        EXPECT_NE(body.find("\"artifact\": \"vbr-failure\""),
+                  std::string::npos)
+            << f.name;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite: snoop-dependent filters are unsound when snoop delivery
+// is unreliable — the checker must catch the resulting violations.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct MpFaultRun
+{
+    RunResult result;
+    std::unique_ptr<System> sys;
+    ScChecker checker;
+};
+
+std::unique_ptr<MpFaultRun>
+runMpWithFaults(const Program &prog, const CoreConfig &core,
+                unsigned cores, const FaultConfig &faults)
+{
+    auto run = std::make_unique<MpFaultRun>();
+    SystemConfig cfg;
+    cfg.cores = cores;
+    cfg.core = core;
+    cfg.trackVersions = true;
+    cfg.maxCycles = 20'000'000;
+    cfg.faults = faults;
+    cfg.audit = AuditLevel::Off;
+    run->sys = std::make_unique<System>(cfg, prog);
+    run->sys->setObserver(&run->checker);
+    run->result = run->sys->run();
+    return run;
+}
+
+} // namespace
+
+TEST(FilterSoundness, ValidatorRejectsPartialCoverage)
+{
+    // The pairing rules exist exactly because a filter that cannot
+    // observe consistency events is unsound as a consistency proof.
+    ReplayFilterConfig nus_only;
+    nus_only.noUnresolvedStore = true;
+    EXPECT_FALSE(nus_only.validationError().empty());
+
+    ReplayFilterConfig ok = ReplayFilterConfig::recentSnoopPlusNus();
+    EXPECT_TRUE(ok.validationError().empty());
+}
+
+TEST(FilterSoundness, SnoopFilterUnderDroppedSnoopsViolatesSc)
+{
+    // no-recent-snoop is sound only while every external invalidation
+    // reaches the core. Drop all snoop deliveries: the filter never
+    // arms, consistency replays are filtered away, and stale premature
+    // values commit — a violation only the end-to-end checker sees.
+    CoreConfig cfg =
+        CoreConfig::valueReplay(ReplayFilterConfig::recentSnoopPlusNus());
+    FaultConfig drop_all = FaultConfig::parse("seed=5,dropsnoop=1");
+
+    bool violated = false;
+    {
+        Program prog = makeDekker(1500);
+        auto run = runMpWithFaults(prog, cfg, 2, drop_all);
+        ASSERT_TRUE(run->result.allHalted);
+        violated = !run->checker.check().consistent;
+    }
+    if (!violated) {
+        Program prog = makeLoadLoadLitmus(3000);
+        auto run = runMpWithFaults(prog, cfg, 2, drop_all);
+        ASSERT_TRUE(run->result.allHalted);
+        violated = !run->checker.check().consistent ||
+                   run->sys->core(1).archReg(4) != 0;
+    }
+    EXPECT_TRUE(violated)
+        << "all snoop deliveries dropped under a snoop-dependent "
+           "filter, yet no SC violation was detected";
+
+    // Control: the same workloads with no faults stay consistent.
+    Program prog = makeDekker(1500);
+    auto clean = runMpWithFaults(prog, cfg, 2, FaultConfig{});
+    ASSERT_TRUE(clean->result.allHalted);
+    EXPECT_TRUE(clean->checker.check().consistent);
+}
+
+TEST(FilterSoundness, ReplayAllSurvivesDroppedSnoops)
+{
+    // replay-all never consults the filters, so losing every snoop
+    // notification costs performance, never correctness.
+    CoreConfig cfg =
+        CoreConfig::valueReplay(ReplayFilterConfig::replayAll());
+    Program prog = makeDekker(1500);
+    auto run = runMpWithFaults(prog, cfg, 2,
+                               FaultConfig::parse("seed=5,dropsnoop=1"));
+    ASSERT_TRUE(run->result.allHalted);
+    EXPECT_TRUE(run->checker.check().consistent);
+}
+
+// ---------------------------------------------------------------------
+// Satellite: the auditor reports violations in the same artifact
+// format as the sweep runner and the deadlock watchdog.
+// ---------------------------------------------------------------------
+
+TEST(AuditArtifact, ViolationWritesUnifiedFailureArtifact)
+{
+    std::string dir = ::testing::TempDir() + "vbr_fail_audit";
+    AuditConfig ac;
+    ac.level = AuditLevel::Full;
+    ac.panicOnViolation = false;
+    ac.artifactDir = dir;
+    ac.jobLabel = "audit-unit";
+    InvariantAuditor auditor(ac);
+
+    // Out-of-order store dispatch: a store-queue age-order violation.
+    auditor.onStoreDispatched(0, 7);
+    auditor.onStoreDispatched(0, 3);
+    ASSERT_EQ(auditor.violationCount(), 1u);
+
+    std::string body = slurp(dir + "/FAIL_audit-unit-audit.json");
+    ASSERT_FALSE(body.empty());
+    EXPECT_NE(body.find("\"artifact\": \"vbr-failure\""),
+              std::string::npos);
+    EXPECT_NE(body.find("\"kind\": \"audit-violation\""),
+              std::string::npos);
+    EXPECT_NE(body.find("store-queue-age-order"), std::string::npos);
+}
+
+} // namespace
+} // namespace vbr
