@@ -26,6 +26,7 @@
 
 #include "harness.hpp"
 
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 
@@ -191,7 +192,15 @@ main()
                             return out;
                         }});
     }
-    SweepOutcome<FaultRun> demo_out = runner.runGuarded(std::move(demo));
+    // Demo artifacts are deliberate failures, not regressions: keep
+    // them out of the results directory (where FAIL_*.json means a
+    // real quarantined job) and park them under the host temp dir.
+    GuardOptions demo_opts;
+    demo_opts.artifactDir =
+        (std::filesystem::temp_directory_path() / "vbr_fault_demo")
+            .string();
+    SweepOutcome<FaultRun> demo_out =
+        runner.runGuarded(std::move(demo), demo_opts);
 
     std::printf("resilience demo: %zu/3 jobs quarantined (want 2), "
                 "healthy job ok=%d\n",

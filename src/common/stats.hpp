@@ -44,6 +44,20 @@ class Average
         ++count_;
     }
 
+    /**
+     * Record @p n identical samples of @p v at once. Bit-exact with n
+     * repeated sample(v) calls for the integer-valued quantities this
+     * package tracks (v*n and the running sum stay well below 2^53),
+     * which is what lets fast-forwarded quiescent cycles replicate
+     * their per-cycle occupancy samples in bulk.
+     */
+    void
+    sample(double v, std::uint64_t n)
+    {
+        sum_ += v * static_cast<double>(n);
+        count_ += n;
+    }
+
     double
     mean() const
     {

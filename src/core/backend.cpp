@@ -26,6 +26,9 @@ OooCore::replayPortAvailable() const
 void
 OooCore::takeReplayPort()
 {
+    // Choke point for every replay issue (backend or late-at-head):
+    // the access armed a compare timer, so the tick was not quiescent.
+    activityThisTick_ = true;
     ++commitPortsUsed_;
     ++replaysThisCycle_;
 }

@@ -31,6 +31,9 @@ OooCore::tryExecuteSwapAtHead(DynInst &head, Cycle now)
                "SWAP with invalid address reached commit");
 
     if (!head.ownershipRequested) {
+        // Arming the ownership request mutates the fabric and a
+        // timer even when the SWAP then waits.
+        activityThisTick_ = true;
         head.ownershipRequested = true;
         if (!hierarchy_.ownsLine(addr)) {
             MemAccess acc = hierarchy_.acquireOwnership(addr);
@@ -60,6 +63,7 @@ OooCore::tryExecuteSwapAtHead(DynInst &head, Cycle now)
         wakeDependents(head.seq);
     ++commitPortsUsed_;
     ++(*sc_l1d_accesses_swap_);
+    activityThisTick_ = true;
     return true;
 }
 
@@ -101,6 +105,7 @@ OooCore::retireHead(Cycle now)
         VBR_ASSERT(head.addrValid,
                    "store with invalid address reached commit");
         if (!head.ownershipRequested) {
+            activityThisTick_ = true; // ownership request armed
             head.ownershipRequested = true;
             if (!hierarchy_.ownsLine(head.memAddr)) {
                 MemAccess acc =
@@ -295,6 +300,7 @@ OooCore::commitStage(Cycle now)
             break;
         if (!retireHead(now))
             break;
+        activityThisTick_ = true;
         if (squashedThisCycle_)
             break;
     }

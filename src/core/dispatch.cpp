@@ -16,6 +16,7 @@ OooCore::dispatchStage(Cycle now)
             break;
         if (rob_.size() >= config_.robEntries) {
             ++(*sc_dispatch_stalls_rob_);
+            dispatchStallThisTick_ = sc_dispatch_stalls_rob_;
             break;
         }
 
@@ -30,14 +31,17 @@ OooCore::dispatchStage(Cycle now)
 
         if (needs_iq && iq_.size() >= config_.iqEntries) {
             ++(*sc_dispatch_stalls_iq_);
+            dispatchStallThisTick_ = sc_dispatch_stalls_iq_;
             break;
         }
         if (is_load && ordering_->loadQueueFull()) {
             ++(*sc_dispatch_stalls_loadq_);
+            dispatchStallThisTick_ = sc_dispatch_stalls_loadq_;
             break;
         }
         if (is_store && sq_.full()) {
             ++(*sc_dispatch_stalls_sq_);
+            dispatchStallThisTick_ = sc_dispatch_stalls_sq_;
             break;
         }
 
@@ -104,6 +108,7 @@ OooCore::dispatchStage(Cycle now)
         }
         frontEnd_.pop_front();
         ++(*sc_dispatched_instructions_);
+        activityThisTick_ = true;
         trace(TraceKind::Dispatch, rob_.back());
     }
 }

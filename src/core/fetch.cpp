@@ -27,6 +27,7 @@ OooCore::fetchStage(Cycle now)
                 // I-cache miss: stall fetch until the line arrives.
                 fetchStallUntil_ = now + lat;
                 ++(*sc_icache_stalls_);
+                activityThisTick_ = true; // armed a new timer
                 return;
             }
             lastFetchLine_ = cline;
@@ -47,6 +48,7 @@ OooCore::fetchStage(Cycle now)
         }
         frontEnd_.push_back(f);
         ++(*sc_fetched_instructions_);
+        activityThisTick_ = true;
 
         if (si.op == Opcode::HALT) {
             haltFetched_ = true;

@@ -31,6 +31,7 @@ OooCore::issueLoad(DynInst &inst, Cycle now)
         if (!predicted) {
             inst.blockedOnStore = res.store;
             ++(*sc_loads_blocked_on_store_);
+            activityThisTick_ = true; // one-time gate transition
             return; // stays in the issue queue
         }
         inst.valuePredicted = true;
@@ -157,6 +158,7 @@ OooCore::captureStoreData(Cycle now)
         st->storeData = data;
         sq_.setData(st->seq, data);
         pendingWb_.emplace(now + 1, st->seq);
+        activityThisTick_ = true;
         pendingStoreData_[i] = pendingStoreData_.back();
         pendingStoreData_.pop_back();
     }
@@ -292,6 +294,8 @@ OooCore::issueStage(Cycle now)
             break; // the window was rearranged; stop issuing
     }
     (*sc_issued_per_cycle_).sample(issued);
+    if (issued > 0)
+        activityThisTick_ = true;
 }
 
 } // namespace vbr

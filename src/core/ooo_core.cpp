@@ -232,6 +232,7 @@ OooCore::deadlocked(Cycle now) const
 void
 OooCore::onExternalInvalidation(Addr line)
 {
+    activityThisTick_ = true;
     ++(*sc_external_invalidations_seen_);
     ordering_->onExternalInvalidation(line);
 }
@@ -239,6 +240,7 @@ OooCore::onExternalInvalidation(Addr line)
 void
 OooCore::onInclusionVictim(Addr line)
 {
+    activityThisTick_ = true;
     ++(*sc_inclusion_victims_seen_);
     // In a multiprocessor, a castout line can be written remotely
     // without this core ever seeing the invalidation (it no longer
@@ -253,6 +255,7 @@ OooCore::onInclusionVictim(Addr line)
 void
 OooCore::onExternalFill(Addr line)
 {
+    activityThisTick_ = true;
     ++(*sc_external_fills_seen_);
     ordering_->onExternalFill(line);
 }
@@ -261,14 +264,18 @@ OooCore::onExternalFill(Addr line)
 // Tick
 // ---------------------------------------------------------------------
 
-void
+bool
 OooCore::tick(Cycle now)
 {
     cycles_ = now;
     if (halted_)
-        return;
+        return false;
 
+    // External events delivered before this core's tick (fault-delayed
+    // snoops, an earlier-ticking core's invalidations) already set the
+    // flag; keep it so this tick reports active.
     squashedThisCycle_ = false;
+    dispatchStallThisTick_ = nullptr;
     depPred_->tick(now);
 
     // Begin-of-cycle backend work (e.g. deferred snoop searches,
@@ -289,6 +296,74 @@ OooCore::tick(Cycle now)
     (*sc_iq_occupancy_).sample(
         static_cast<double>(iq_.size()));
     ++(*sc_cycles_);
+    return activityThisTick_;
+}
+
+// ---------------------------------------------------------------------
+// Fast-forward (quiescence skip) support
+// ---------------------------------------------------------------------
+
+Cycle
+OooCore::nextWakeCycle(Cycle now) const
+{
+    if (halted_)
+        return kNeverCycle;
+
+    Cycle wake = kNeverCycle;
+    auto clamp = [&wake, now](Cycle c) {
+        if (c > now && c < wake)
+            wake = c;
+    };
+
+    // Execution/writeback completions. After a tick every due entry
+    // was drained, so the top (if any) is strictly in the future;
+    // stale squashed entries only cause harmless undershoot.
+    if (!pendingWb_.empty())
+        clamp(pendingWb_.top().first);
+
+    // Front end: the next fetched instruction becoming dispatchable,
+    // and (independently) the icache stall expiring — fetch refills
+    // the queue even while older entries wait. A front instruction
+    // that is already ready but could not dispatch is a structural
+    // stall — only retirement (activity) can clear it, so it
+    // contributes no timer (clamp() ignores cycles <= now).
+    if (!frontEnd_.empty())
+        clamp(frontEnd_.front().readyCycle);
+    if (!haltFetched_)
+        clamp(fetchStallUntil_);
+
+    // Store ownership ETA at the store queue head (drain gate at
+    // commit); older-entry ETAs are covered once the head drains
+    // (activity re-evaluates).
+    if (!sq_.empty())
+        clamp(sq_.at(0).ownershipReadyCycle);
+
+    // The ROB head's own timer: replay-compare readiness, the
+    // backend's fixed replay/compare passage, or a SWAP's ownership
+    // wait — every head-blocking wait the commit stage polls.
+    if (!rob_.empty())
+        clamp(rob_.front().compareReadyCycle);
+
+    // Periodic dependence-predictor table clear (can unblock loads
+    // the wait-table holds, and its schedule is observable).
+    clamp(depPred_->nextEventCycle());
+
+    // The ordering backend's own deferred work.
+    clamp(ordering_->nextWakeCycle(now));
+
+    return wake;
+}
+
+void
+OooCore::applySkippedCycles(Cycle n)
+{
+    cycles_ += n;
+    (*sc_cycles_) += n;
+    (*sc_rob_occupancy_).sample(static_cast<double>(rob_.size()), n);
+    (*sc_iq_occupancy_).sample(static_cast<double>(iq_.size()), n);
+    (*sc_issued_per_cycle_).sample(0.0, n);
+    if (dispatchStallThisTick_)
+        (*dispatchStallThisTick_) += n;
 }
 
 } // namespace vbr

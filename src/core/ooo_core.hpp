@@ -75,8 +75,49 @@ class OooCore final : public MemEventClient, private OrderingHost
             MemoryImage &mem, CacheHierarchy &hierarchy,
             unsigned thread_id);
 
-    /** Advance one clock cycle. */
-    void tick(Cycle now);
+    /** Advance one clock cycle. Returns the activity flag as of the
+     * end of this core's tick; the System reads activeThisTick()
+     * after ALL cores ticked instead, because a later-ticking core
+     * can still deliver an invalidation here. */
+    bool tick(Cycle now);
+
+    /** Clear the activity flag. The System calls this on every core
+     * at the start of its own tick, before fault-delayed snoops are
+     * delivered, so any external event delivered in cycle N counts as
+     * cycle-N activity regardless of core tick order. */
+    void resetActivity() { activityThisTick_ = false; }
+
+    /** True when the core changed any state since resetActivity():
+     * fetched, dispatched, issued, wrote back, retired, squashed,
+     * armed a new timer, or observed an external event. False means
+     * the tick was quiescent — a pure re-poll of closed gates whose
+     * repetition is a no-op until a timer below nextWakeCycle() fires
+     * or another component acts on this core. */
+    bool activeThisTick() const { return activityThisTick_; }
+
+    /**
+     * Earliest future cycle at which this core can make progress on
+     * its own: pending writebacks, front-end/icache readiness, store
+     * ownership ETAs, the ROB head's compare/ownership timer, the
+     * dependence predictor's periodic clear, and the ordering
+     * backend's own horizon. kNeverCycle when every gate is
+     * event-driven (or the core is halted) — the core then only wakes
+     * through another component's activity. Valid only right after a
+     * quiescent tick; undershoot is harmless, overshoot is forbidden
+     * (no observable transition may occur strictly before the
+     * reported horizon).
+     */
+    Cycle nextWakeCycle(Cycle now) const;
+
+    /**
+     * Account @p n skipped quiescent cycles: replicates exactly the
+     * per-cycle bookkeeping a quiescent tick performs (cycle counter,
+     * ROB/IQ occupancy and issued-per-cycle samples, and the one
+     * dispatch stall counter the last tick bumped) so every core stat
+     * is bit-identical to ticking those cycles. Only call right
+     * after a tick that returned false on a non-halted core.
+     */
+    void applySkippedCycles(Cycle n);
 
     /** True once HALT has committed. */
     bool halted() const { return halted_; }
@@ -130,6 +171,19 @@ class OooCore final : public MemEventClient, private OrderingHost
     /** True if no instruction has committed for deadlockThreshold
      * cycles while not halted (watchdog for harnesses). */
     bool deadlocked(Cycle now) const;
+
+    /** First cycle at which deadlocked() can become true given the
+     * current last-commit cycle (kNeverCycle when halted). Commits
+     * only push this later, so during a quiescent skip region —
+     * where no commits happen — it is exact, letting the skip jump
+     * over provably-false watchdog polls. */
+    Cycle
+    deadlockFireCycle() const
+    {
+        return halted_ ? kNeverCycle
+                       : lastCommitCycle_ + config_.deadlockThreshold +
+                             1;
+    }
 
     // MemEventClient interface (called by the cache hierarchy).
     void onExternalInvalidation(Addr line) override;
@@ -187,6 +241,7 @@ class OooCore final : public MemEventClient, private OrderingHost
     void traceEvent(TraceKind kind, const DynInst &inst) override;
     bool replayPortAvailable() const override;
     void takeReplayPort() override;
+    void noteActivity() override { activityThisTick_ = true; }
 
     CoreConfig config_;
     const Program &prog_;
@@ -303,6 +358,16 @@ class OooCore final : public MemEventClient, private OrderingHost
     Cycle lastCommitCycle_ = 0;
     bool halted_ = false;
     bool squashedThisCycle_ = false;
+
+    /** Set by any state-changing pipeline work this tick; reset at
+     * tick start. tick() returns it as the quiescence verdict. */
+    bool activityThisTick_ = false;
+
+    /** The dispatch stall counter the current tick bumped (nullptr
+     * when dispatch did not stall on a full structure). A quiescent
+     * tick bumps exactly one such counter per cycle, so skipped
+     * cycles replicate it via applySkippedCycles(). */
+    Counter *dispatchStallThisTick_ = nullptr;
 
 
     // Cached stat handles (bound once in the constructor). The

@@ -58,6 +58,7 @@ OooCore::squashFrom(SeqNum bound, std::uint32_t new_fetch_pc,
 
     bp_.restore(snap);
     squashedThisCycle_ = true;
+    activityThisTick_ = true;
     ++(*sc_squashes_total_);
     if (auditor_)
         auditor_->onSquash(coreId(), bound, cycles_);

@@ -19,6 +19,10 @@ OooCore::writebackStage(Cycle now)
         wbScratch_.push_back(pendingWb_.top().second);
         pendingWb_.pop();
     }
+    // Conservative: even draining only stale (squashed) events
+    // mutates the heap, and nextWakeCycle reads its top.
+    if (!wbScratch_.empty())
+        activityThisTick_ = true;
     std::sort(wbScratch_.begin(), wbScratch_.end());
 
     for (SeqNum seq : wbScratch_) {

@@ -52,6 +52,15 @@ struct FaultConfig
     /** True when any fault class has a nonzero rate. */
     bool enabled() const;
 
+    /**
+     * True when some fault class needs a decision made on every cycle
+     * (as opposed to per pipeline event). Every current class is a
+     * pure event-site hash, so this is always false today; a future
+     * per-cycle class must return true here, which self-disables the
+     * fast-forward skip so its decision stream stays identical.
+     */
+    bool perCycleDecisions() const { return false; }
+
     /** Canonical spec string ("" when disabled); parse(render()) is
      * the identity on the enabled fields. */
     std::string render() const;

@@ -126,6 +126,18 @@ class FaultInjector
     /** Hierarchy seam: extra latency to add to an external fill. */
     Cycle fillDelay(CoreId core, Addr line);
 
+    /** Due cycle of the oldest queued delayed snoop (kNeverCycle when
+     * none are queued). Due cycles are monotonic, so this is the
+     * earliest cycle at which drainDueSnoops() can deliver anything —
+     * the fast-forward horizon clamps to it so delayed snoops land on
+     * their exact cycle. */
+    Cycle
+    nextDueSnoopCycle() const
+    {
+        return delayedSnoops_.empty() ? kNeverCycle
+                                      : delayedSnoops_.front().due;
+    }
+
     /** Deliver delayed snoops that are due; @p deliver is invoked as
      * deliver(core, line) in injection order (due cycles are
      * monotonic because the delay is a config constant). */

@@ -104,6 +104,16 @@ class CoherenceFabric
      */
     void dmaInvalidate(Addr line);
 
+    /**
+     * Earliest future cycle at which the fabric can change state on
+     * its own. All fabric transactions are initiated synchronously by
+     * core accesses (and DMA, which disables skipping entirely), so
+     * there is nothing pending and the horizon is kNeverCycle. A
+     * future fabric with queued/delayed transactions must return its
+     * minimum due cycle — System::run()'s fast-forward clamps to it.
+     */
+    Cycle nextWakeCycle(Cycle /* now */) const { return kNeverCycle; }
+
     /** Audit access: the hierarchy attached for @p core (nullptr when
      * out of range). */
     const CacheHierarchy *

@@ -117,6 +117,18 @@ class CacheHierarchy
     /** Number of cores attached to this hierarchy's fabric. */
     unsigned numSystemCores() const;
 
+    /**
+     * Earliest future cycle at which this hierarchy can change state
+     * on its own. The memory model is functional-with-latency: every
+     * access completes synchronously and returns a latency the core
+     * turns into its own timers (pendingWb_, ownershipReadyCycle), so
+     * there is no autonomous event queue here and the horizon is
+     * kNeverCycle. A future hierarchy with an internal MSHR/event
+     * queue must return its minimum due cycle instead — the
+     * fast-forward skip in System::run() clamps to this value.
+     */
+    Cycle nextWakeCycle(Cycle /* now */) const { return kNeverCycle; }
+
     /** Audit probe: true when any level caches @p line (no LRU or
      * stats side effects). */
     bool holdsLine(Addr line) const;

@@ -105,6 +105,7 @@ AssocLqUnit::beginCycle(Cycle /* now */)
 {
     if (pendingSnoopLines_.empty())
         return;
+    host_.noteActivity();
     std::vector<Addr> lines;
     lines.swap(pendingSnoopLines_);
     for (Addr line : lines)

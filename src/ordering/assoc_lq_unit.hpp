@@ -55,6 +55,14 @@ class AssocLqUnit final : public MemoryOrderingUnit
 
     void squashFrom(SeqNum bound) override;
 
+    /** Deferred inclusion-victim snoops are delivered at the next
+     * beginCycle; everything else here is event-driven. */
+    Cycle
+    nextWakeCycle(Cycle now) const override
+    {
+        return pendingSnoopLines_.empty() ? kNeverCycle : now + 1;
+    }
+
     void auditStructures(InvariantAuditor &auditor, CoreId core,
                          Cycle now) const override;
     const StatSet *camStats() const override { return &lq_.stats(); }

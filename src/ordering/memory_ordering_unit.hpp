@@ -110,6 +110,12 @@ class OrderingHost
     virtual bool replayPortAvailable() const = 0;
     /** Consume the commit-stage port for one replay access. */
     virtual void takeReplayPort() = 0;
+
+    /** Report that the backend mutated state this cycle. The core's
+     * quiescence detector (fast-forward skip) treats the tick as
+     * active; a backend that performs any non-idempotent work outside
+     * the host-visible choke points must call this. */
+    virtual void noteActivity() = 0;
 };
 
 /**
@@ -186,6 +192,22 @@ class MemoryOrderingUnit
     /** The head instruction retired (called for every instruction,
      * just before it leaves the window). */
     virtual void onRetire(const DynInst &head) = 0;
+
+    /**
+     * Earliest future cycle at which this backend can make progress
+     * on its own (kNeverCycle when every gate is event-driven —
+     * i.e. can only open as a consequence of some other component's
+     * activity, which itself blocks the skip). Consulted only right
+     * after a tick in which the whole core was quiescent; undershoot
+     * is harmless (the core ticks and re-quiesces), overshoot would
+     * change simulated behavior and is forbidden.
+     */
+    virtual Cycle
+    nextWakeCycle(Cycle now) const
+    {
+        (void)now;
+        return kNeverCycle;
+    }
 
     // --- recovery -----------------------------------------------------
 

@@ -182,6 +182,7 @@ ValueReplayUnit::backendStage(Cycle now)
     // cursor instead of rescanning the window from the front.
     std::deque<DynInst> &rob = host_.robWindow();
     unsigned entered = 0;
+    bool mutated = false;
     while (entered < config_.commitWidth &&
            backendEntered_ < rob.size()) {
         DynInst &inst = rob[backendEntered_];
@@ -197,8 +198,10 @@ ValueReplayUnit::backendStage(Cycle now)
             break; // in-order entry into the replay stage
 
         if (inst.isLoadOp && inst.issued) {
-            if (!inst.replayDecided)
+            if (!inst.replayDecided) {
                 decideReplay(inst);
+                mutated = true;
+            }
 
             if (inst.willReplay) {
                 // Constraint 1: all prior stores in the cache.
@@ -221,6 +224,10 @@ ValueReplayUnit::backendStage(Cycle now)
         ++backendEntered_;
         ++entered;
     }
+    // Any backend entry (or a replay decision on a still-blocked
+    // load) is a state change the quiescence detector must see.
+    if (entered > 0 || mutated)
+        host_.noteActivity();
 }
 
 bool

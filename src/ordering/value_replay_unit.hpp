@@ -57,6 +57,17 @@ class ValueReplayUnit final : public MemoryOrderingUnit
 
     void squashFrom(SeqNum bound) override;
 
+    /** The replay pipe has no autonomous timers: backend entry waits
+     * on execution/store-drain/port events (all core activity), and
+     * the compare-stage timer lives on the window entry itself, where
+     * the core's own horizon picks it up via the ROB head's
+     * compareReadyCycle. */
+    Cycle
+    nextWakeCycle(Cycle /* now */) const override
+    {
+        return kNeverCycle;
+    }
+
     void auditStructures(InvariantAuditor &auditor, CoreId core,
                          Cycle now) const override;
     const StatSet *camStats() const override { return nullptr; }

@@ -71,6 +71,15 @@ class DependencePredictor
     /** Per-cycle hook (periodic clearing etc.). */
     virtual void tick(Cycle now) { (void)now; }
 
+    /**
+     * Earliest future cycle at which tick() would do anything
+     * observable (kNeverCycle when the predictor has no timed events).
+     * Consulted by the fast-forward horizon so periodic table clears
+     * land on their exact cycle even when intermediate cycles are
+     * skipped.
+     */
+    virtual Cycle nextEventCycle() const { return kNeverCycle; }
+
     static constexpr std::uint32_t kUnknownStorePc = 0xffffffff;
 };
 
@@ -89,6 +98,13 @@ class SimpleDepPredictor : public DependencePredictor
     void trainViolation(std::uint32_t load_pc,
                         std::uint32_t store_pc) override;
     void tick(Cycle now) override;
+
+    Cycle
+    nextEventCycle() const override
+    {
+        return clearInterval_ == 0 ? kNeverCycle
+                                   : lastClear_ + clearInterval_;
+    }
 
     StatSet &stats() { return stats_; }
 

@@ -15,6 +15,8 @@ collectRunStats(System &sys, const RunResult &result,
     s.instructions = result.instructions;
     s.cycles = result.cycles;
     s.ipc = result.ipc();
+    s.skippedCycles = result.skippedCycles;
+    s.tickedCycles = result.tickedCycles;
 
     double occ_sum = 0.0;
     for (unsigned c = 0; c < sys.numCores(); ++c) {
@@ -75,6 +77,10 @@ runStatsToJson(const RunStats &s)
     o.set("wouldbe_raw_value_equal", s.wouldbeRawValueEq);
     o.set("wouldbe_snoop", s.wouldbeSnoop);
     o.set("wouldbe_snoop_value_equal", s.wouldbeSnoopValueEq);
+    // Appended last: purely wall-clock observability, masked by
+    // tools/compare_bench.py alongside wall_ms.
+    o.set("skipped_cycles", s.skippedCycles);
+    o.set("ticked_cycles", s.tickedCycles);
     return o;
 }
 

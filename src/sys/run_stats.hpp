@@ -52,6 +52,12 @@ struct RunStats
     std::uint64_t wouldbeSnoop = 0;
     std::uint64_t wouldbeSnoopValueEq = 0;
 
+    /** Fast-forward observability (see RunResult): cycles skipped by
+     * the quiescence fast-forward and cycles actually ticked; they
+     * always sum to cycles and never affect any other stat. */
+    Cycle skippedCycles = 0;
+    Cycle tickedCycles = 0;
+
     std::uint64_t
     l1dTotal() const
     {

@@ -1,12 +1,21 @@
 #include "sys/system.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.hpp"
 #include "isa/opcode.hpp"
 
 namespace vbr
 {
+
+bool
+fastForwardFromEnv()
+{
+    const char *env = std::getenv("VBR_FASTFWD");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+}
 
 System::System(const SystemConfig &config, const Program &prog)
     : config_(config), dmaRng_(config.dmaSeed),
@@ -70,6 +79,11 @@ void
 System::tick()
 {
     ++now_;
+    // Reset every activity flag before anything can be delivered, so
+    // an external event landing on a core that already ticked (or has
+    // not ticked yet) still counts as this cycle's activity.
+    for (auto &core : cores_)
+        core->resetActivity();
     if (faults_) {
         faults_->beginCycle(now_);
         // Deliver snoop notifications whose fault delay expired. Cores
@@ -86,6 +100,11 @@ System::tick()
             ++haltedCores_;
         }
     }
+    // Read the flags only after every core ticked: core i's drain can
+    // invalidate core j's line after core j already ticked.
+    lastTickActive_ = false;
+    for (auto &core : cores_)
+        lastTickActive_ |= core->activeThisTick();
 
     if (auditor_) {
         if (auditor_->scanDue(now_)) {
@@ -105,11 +124,59 @@ System::tick()
     }
 }
 
+Cycle
+System::skipTarget(Cycle now, Cycle stride) const
+{
+    Cycle target = config_.maxCycles;
+    for (const auto &core : cores_)
+        target = std::min(target, core->nextWakeCycle(now));
+
+    // The memory system's own horizons (kNeverCycle today: the model
+    // is functional-with-latency and all timing lives in core-side
+    // timers; the seam keeps a future event-queue honest).
+    target = std::min(target, fabric_->nextWakeCycle(now));
+    for (const auto &h : hierarchies_)
+        target = std::min(target, h->nextWakeCycle(now));
+
+    // Auditor scans must run on their exact schedule (the performed-
+    // check count is reported). Full-level audit makes this now + 1,
+    // which naturally disables skipping.
+    if (auditor_) {
+        target = std::min(target, auditor_->nextScanCycle(now));
+        target =
+            std::min(target, auditor_->nextCoherenceScanCycle(now));
+    }
+
+    // Fault-delayed snoops must be delivered on their due cycle.
+    if (faults_)
+        target = std::min(target, faults_->nextDueSnoopCycle());
+
+    // Deadlock watchdog: polls at stride multiples are all false
+    // until some core's fire cycle is reached (no commits happen in a
+    // quiescent region, so fire cycles are frozen). Clamp to the
+    // first poll that can fire, skipping the provably-false ones.
+    Cycle fire = kNeverCycle;
+    for (const auto &core : cores_)
+        fire = std::min(fire, core->deadlockFireCycle());
+    if (fire != kNeverCycle) {
+        Cycle poll = (fire / stride + (fire % stride != 0)) * stride;
+        target = std::min(target, std::max(poll, nextDeadlockCheck_));
+    }
+    return target;
+}
+
 RunResult
 System::run()
 {
     RunResult result;
     const Cycle stride = std::max<Cycle>(1, config_.deadlockCheckStride);
+    const bool skip_enabled = config_.fastForward &&
+                              config_.dmaInvalidationRate <= 0.0 &&
+                              !config_.faults.perCycleDecisions();
+    // First watchdog poll at or after the current cycle (satellite of
+    // the fast-forward work: a comparison instead of a modulo in the
+    // hottest loop).
+    nextDeadlockCheck_ = now_ - now_ % stride;
     while (now_ < config_.maxCycles) {
         if (haltedCores_ == cores_.size()) {
             result.allHalted = true;
@@ -118,7 +185,8 @@ System::run()
         // The deadlock watchdog is level-triggered, so polling it on
         // a coarse stride delays detection by at most stride-1 cycles
         // of an already-dead run.
-        if (now_ % stride == 0) {
+        if (now_ == nextDeadlockCheck_) {
+            nextDeadlockCheck_ += stride;
             bool any_deadlock = false;
             for (auto &core : cores_) {
                 if (core->deadlocked(now_)) {
@@ -140,9 +208,35 @@ System::run()
             }
         }
         tick();
+
+        if (skip_enabled && !lastTickActive_) {
+            // Every core is quiescent: nothing observable can happen
+            // before the earliest next-event horizon. Land one cycle
+            // short so the next tick() executes the horizon cycle
+            // itself. Each skipped cycle replicates exactly the
+            // bookkeeping a quiescent tick would have performed, so
+            // every stat stays bit-identical.
+            Cycle target = skipTarget(now_, stride);
+            if (target > now_ + 1) {
+                Cycle n = target - 1 - now_;
+                for (std::size_t i = 0; i < cores_.size(); ++i) {
+                    if (!coreHalted_[i])
+                        cores_[i]->applySkippedCycles(n);
+                }
+                skippedCycles_ += n;
+                now_ = target - 1;
+                // Skipped polls are provably false (skipTarget
+                // clamps to the first one that could fire).
+                if (nextDeadlockCheck_ <= now_)
+                    nextDeadlockCheck_ =
+                        (now_ / stride + 1) * stride;
+            }
+        }
     }
 
     result.cycles = now_;
+    result.skippedCycles = skippedCycles_;
+    result.tickedCycles = now_ - skippedCycles_;
     for (auto &core : cores_)
         result.instructions += core->instructionsCommitted();
 

@@ -27,6 +27,11 @@
 namespace vbr
 {
 
+/** Default for SystemConfig::fastForward: the VBR_FASTFWD
+ * environment variable ("0" disables; unset or anything else
+ * enables). */
+bool fastForwardFromEnv();
+
 /** Whole-system configuration. */
 struct SystemConfig
 {
@@ -65,6 +70,15 @@ struct SystemConfig
      * nothing — goldens stay bitwise-identical. */
     FaultConfig faults = FaultConfig::fromEnv();
 
+    /** Quiescence-aware cycle skipping (event-horizon fast-forward):
+     * when every core reports a quiescent tick, run() advances now_
+     * directly to the earliest next-event horizon instead of spinning
+     * tick(). Simulated behavior and every stat stay bit-identical;
+     * only wall time changes. Defaults to $VBR_FASTFWD ("0"
+     * disables). Self-disables when dmaInvalidationRate > 0 (per-
+     * cycle RNG draws) or the fault plan needs per-cycle decisions. */
+    bool fastForward = fastForwardFromEnv();
+
     /** Job label used in failure artifacts (FAIL_<jobName>.json). */
     std::string jobName = "run";
 
@@ -82,6 +96,12 @@ struct RunResult
     Cycle cycles = 0;
     std::uint64_t instructions = 0; ///< total committed across cores
     std::uint64_t auditViolations = 0; ///< invariant-audit failures
+
+    /** Simulated cycles fast-forwarded over (0 when skipping is off
+     * or never triggered) and cycles actually ticked; they always
+     * sum to cycles. Wall-clock observability of the skip win. */
+    Cycle skippedCycles = 0;
+    Cycle tickedCycles = 0;
 
     double
     ipc() const
@@ -148,6 +168,23 @@ class System
      * per cycle instead of polling every core. */
     std::vector<bool> coreHalted_;
     unsigned haltedCores_ = 0;
+
+    /** True when the last tick() changed any core's state (read
+     * after all cores ticked, so cross-core deliveries count). */
+    bool lastTickActive_ = true;
+
+    /** Cycles fast-forwarded over so far (see RunResult). */
+    Cycle skippedCycles_ = 0;
+
+    /** Next cycle the deadlock watchdog polls at — precomputed so
+     * the run loop compares instead of computing now_ % stride, and
+     * the fast-forward skip clamps to the first poll that can fire. */
+    Cycle nextDeadlockCheck_ = 0;
+
+    /** Earliest cycle the fast-forward may advance to from @p now
+     * (min over core horizons, audit scans, due fault snoops, the
+     * first deadlock poll that can fire, and maxCycles). */
+    Cycle skipTarget(Cycle now, Cycle stride) const;
 };
 
 } // namespace vbr

@@ -336,6 +336,46 @@ InvariantAuditor::coherenceScanDue(Cycle now) const
     return period == 0 || now % period == 0;
 }
 
+namespace
+{
+
+/** Smallest multiple of @p period strictly greater than @p now
+ * (period 0 means "every cycle": now + 1). */
+Cycle
+nextMultipleAfter(Cycle now, Cycle period)
+{
+    if (period == 0)
+        return now + 1;
+    return (now / period + 1) * period;
+}
+
+} // namespace
+
+Cycle
+InvariantAuditor::nextScanCycle(Cycle now) const
+{
+    switch (config_.level) {
+      case AuditLevel::Off:
+        return kNeverCycle;
+      case AuditLevel::Full:
+        return now + 1;
+      case AuditLevel::Sampled:
+        return nextMultipleAfter(now, config_.samplePeriod);
+    }
+    return kNeverCycle;
+}
+
+Cycle
+InvariantAuditor::nextCoherenceScanCycle(Cycle now) const
+{
+    if (config_.level == AuditLevel::Off)
+        return kNeverCycle;
+    Cycle period = config_.coherenceScanPeriod;
+    if (config_.level == AuditLevel::Sampled)
+        period = std::max(period, config_.samplePeriod);
+    return nextMultipleAfter(now, period);
+}
+
 void
 InvariantAuditor::scanRob(CoreId core, const std::deque<DynInst> &rob,
                           Cycle now)

@@ -126,6 +126,16 @@ class InvariantAuditor : public CommitObserver
     /** True when the (costlier) coherence scan should run. */
     bool coherenceScanDue(Cycle now) const;
 
+    /** Earliest cycle strictly after @p now with scanDue() true
+     * (kNeverCycle when scans never fire). The fast-forward horizon
+     * clamps to this so the scan schedule — and checksPerformed() —
+     * is identical with and without skipping. */
+    Cycle nextScanCycle(Cycle now) const;
+
+    /** Earliest cycle strictly after @p now with coherenceScanDue()
+     * true (kNeverCycle when the scan never fires). */
+    Cycle nextCoherenceScanCycle(Cycle now) const;
+
     /** ROB ages must be strictly increasing head to tail. */
     void scanRob(CoreId core, const std::deque<DynInst> &rob,
                  Cycle now);

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Quiescence fast-forward (event-horizon cycle skipping) tests.
+ *
+ * The contract: VBR_FASTFWD changes wall time and NOTHING else. A run
+ * with skipping enabled must be bit-identical to the same run ticked
+ * cycle by cycle — same RunResult, same architectural state, same raw
+ * stat dumps, same rendered report, same bench JSON (minus the
+ * skipped/ticked observability fields), same fault summaries. The
+ * no-overshoot half of the contract is unit-tested directly: every
+ * horizon source (auditor scans, delayed fault snoops) reports a cycle
+ * no later than its next real event.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "sys/report.hpp"
+#include "sys/run_stats.hpp"
+#include "sys/system.hpp"
+#include "verify/auditor.hpp"
+#include "workload/multiproc.hpp"
+#include "workload/synthetic.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+/** The five fig5 schemes: baseline CAM plus the four replay-filter
+ * configurations. */
+std::vector<std::pair<std::string, CoreConfig>>
+fig5Configs()
+{
+    return {
+        {"baseline", CoreConfig::baseline()},
+        {"replay_all",
+         CoreConfig::valueReplay(ReplayFilterConfig::replayAll())},
+        {"replay_noreorder",
+         CoreConfig::valueReplay(ReplayFilterConfig::noReorderOnly())},
+        {"replay_nrm_nus",
+         CoreConfig::valueReplay(
+             ReplayFilterConfig::recentMissPlusNus())},
+        {"replay_nrs_nus",
+         CoreConfig::valueReplay(
+             ReplayFilterConfig::recentSnoopPlusNus())},
+    };
+}
+
+/** Everything observable about a finished run, flattened to
+ * comparable values. */
+struct Observables
+{
+    RunResult result;
+    std::vector<std::array<Word, kNumArchRegs>> regs;
+    std::vector<std::uint8_t> memory;
+    std::string statsDump;  ///< raw per-core StatSet dumps
+    std::string report;     ///< renderReport(include_raw = true)
+    std::string statsJson;  ///< bench-JSON row, skip fields zeroed
+    std::string faultsJson; ///< injector summary ("" when disabled)
+};
+
+Observables
+runOnce(const Program &prog, const CoreConfig &core, unsigned ncores,
+        bool fast_forward,
+        const FaultConfig &faults = FaultConfig::parse(""))
+{
+    SystemConfig cfg;
+    cfg.cores = ncores;
+    cfg.core = core;
+    cfg.trackVersions = true;
+    cfg.maxCycles = 30'000'000;
+    cfg.fastForward = fast_forward;
+    cfg.faults = faults;
+    System sys(cfg, prog);
+
+    Observables out;
+    out.result = sys.run();
+    for (unsigned c = 0; c < ncores; ++c) {
+        std::array<Word, kNumArchRegs> r{};
+        for (unsigned i = 0; i < kNumArchRegs; ++i)
+            r[i] = sys.core(c).archReg(i);
+        out.regs.push_back(r);
+        out.statsDump +=
+            sys.core(c).stats().dump("core" + std::to_string(c) + ".");
+    }
+    out.memory = sys.memory().bytes();
+    out.report = renderReport(sys, out.result, true);
+    RunStats rs = collectRunStats(sys, out.result, "wl", "cfg");
+    // The only fields allowed to differ between fast-forward modes.
+    rs.skippedCycles = 0;
+    rs.tickedCycles = 0;
+    out.statsJson = runStatsToJson(rs).dump();
+    if (const FaultInjector *fi = sys.faultInjector())
+        out.faultsJson = fi->summaryJson().dump();
+    return out;
+}
+
+/** Assert the ticked run and the fast-forwarded run are bit-equal in
+ * every observable. */
+void
+expectIdentical(const Observables &slow, const Observables &fast,
+                const std::string &label)
+{
+    EXPECT_EQ(slow.result.skippedCycles, 0u)
+        << label << ": VBR_FASTFWD=0 run skipped cycles";
+    EXPECT_EQ(fast.result.skippedCycles + fast.result.tickedCycles,
+              fast.result.cycles)
+        << label << ": skip accounting does not sum to total cycles";
+
+    EXPECT_EQ(slow.result.allHalted, fast.result.allHalted) << label;
+    EXPECT_EQ(slow.result.deadlocked, fast.result.deadlocked) << label;
+    EXPECT_EQ(slow.result.cycles, fast.result.cycles) << label;
+    EXPECT_EQ(slow.result.instructions, fast.result.instructions)
+        << label;
+    EXPECT_EQ(slow.result.auditViolations, fast.result.auditViolations)
+        << label;
+    EXPECT_EQ(slow.regs, fast.regs) << label << ": registers diverge";
+    EXPECT_TRUE(slow.memory == fast.memory)
+        << label << ": memory image diverges";
+    EXPECT_EQ(slow.statsDump, fast.statsDump)
+        << label << ": raw stat dump diverges";
+    EXPECT_EQ(slow.report, fast.report)
+        << label << ": rendered report diverges";
+    EXPECT_EQ(slow.statsJson, fast.statsJson)
+        << label << ": bench JSON row diverges";
+    EXPECT_EQ(slow.faultsJson, fast.faultsJson)
+        << label << ": fault summary diverges";
+}
+
+// ---------------------------------------------------------------------
+// Skip parity: uniprocessor suite under all five fig5 schemes.
+// ---------------------------------------------------------------------
+
+TEST(FastForwardParity, Fig5SchemesBitIdentical)
+{
+    auto suite = uniprocessorSuite(0.1);
+    ASSERT_GE(suite.size(), 3u);
+    Cycle total_skipped = 0;
+    for (std::size_t w = 0; w < 3; ++w) {
+        Program prog = makeSynthetic(suite[w].params);
+        for (const auto &[name, core] : fig5Configs()) {
+            std::string label = suite[w].name + "/" + name;
+            Observables slow = runOnce(prog, core, 1, false);
+            Observables fast = runOnce(prog, core, 1, true);
+            ASSERT_TRUE(slow.result.allHalted) << label;
+            expectIdentical(slow, fast, label);
+            total_skipped += fast.result.skippedCycles;
+        }
+    }
+    // The suite must contain real quiescent stretches, or the
+    // optimization is dead code.
+    EXPECT_GT(total_skipped, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Skip parity: MP litmus (multi-core, cross-core invalidations).
+// Fast-forward must not change any timing, so even the racy
+// observation registers stay bit-identical.
+// ---------------------------------------------------------------------
+
+TEST(FastForwardParity, MpLitmusBitIdentical)
+{
+    Program prog = makeMessagePassing(200);
+    for (const auto &[name, core] : fig5Configs()) {
+        Observables slow = runOnce(prog, core, 2, false);
+        Observables fast = runOnce(prog, core, 2, true);
+        ASSERT_TRUE(slow.result.allHalted) << name;
+        expectIdentical(slow, fast, "mp/" + name);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Skip parity under fault injection: injected sites are event-site
+// hashes, so delayed-snoop faults must land on the exact same cycles
+// and the fault summary must stay byte-identical.
+// ---------------------------------------------------------------------
+
+TEST(FastForwardParity, DelayedSnoopFaultsBitIdentical)
+{
+    FaultConfig faults = FaultConfig::parse(
+        "seed=7,loadflip=1e-4,delaysnoop=0.5:50");
+    Program prog = makeMessagePassing(150);
+    for (const auto &[name, core] : fig5Configs()) {
+        Observables slow = runOnce(prog, core, 2, false, faults);
+        Observables fast = runOnce(prog, core, 2, true, faults);
+        expectIdentical(slow, fast, "faults/" + name);
+        EXPECT_NE(slow.faultsJson, "") << name;
+    }
+}
+
+// ---------------------------------------------------------------------
+// The deadlock watchdog must fire at exactly the same cycle whether
+// the dead stretch was ticked or skipped.
+// ---------------------------------------------------------------------
+
+TEST(FastForwardParity, DeadlockDetectionCycleUnchanged)
+{
+    auto suite = uniprocessorSuite(0.05);
+    Program prog = makeSynthetic(suite.front().params);
+    CoreConfig core = CoreConfig::baseline();
+    // Below the first-commit latency: the watchdog fires
+    // deterministically early in the run.
+    core.deadlockThreshold = 10;
+
+    Observables slow = runOnce(prog, core, 1, false);
+    Observables fast = runOnce(prog, core, 1, true);
+    ASSERT_TRUE(slow.result.deadlocked);
+    ASSERT_TRUE(fast.result.deadlocked);
+    EXPECT_EQ(slow.result.cycles, fast.result.cycles);
+}
+
+// ---------------------------------------------------------------------
+// No-overshoot unit tests: each horizon source reports a cycle no
+// later than its next real event, and the event fires exactly there.
+// ---------------------------------------------------------------------
+
+TEST(EventHorizon, AuditorNextScanCycleMatchesScanDue)
+{
+    {
+        AuditConfig ac;
+        ac.level = AuditLevel::Off;
+        InvariantAuditor a(ac);
+        EXPECT_EQ(a.nextScanCycle(123), kNeverCycle);
+        EXPECT_EQ(a.nextCoherenceScanCycle(123), kNeverCycle);
+    }
+    {
+        AuditConfig ac;
+        ac.level = AuditLevel::Full;
+        ac.coherenceScanPeriod = 64;
+        InvariantAuditor a(ac);
+        EXPECT_EQ(a.nextScanCycle(123), 124u); // scans every cycle
+        EXPECT_EQ(a.nextCoherenceScanCycle(123), 128u);
+        EXPECT_EQ(a.nextCoherenceScanCycle(128), 192u);
+    }
+    {
+        AuditConfig ac;
+        ac.level = AuditLevel::Sampled;
+        ac.samplePeriod = 100;
+        ac.coherenceScanPeriod = 64; // Sampled clamps to samplePeriod
+        InvariantAuditor a(ac);
+        for (Cycle now : {Cycle(0), Cycle(1), Cycle(99), Cycle(100),
+                          Cycle(12345)}) {
+            Cycle next = a.nextScanCycle(now);
+            ASSERT_GT(next, now);
+            EXPECT_TRUE(a.scanDue(next)) << now;
+            // No scan is due strictly between now and the horizon.
+            for (Cycle c = now + 1; c < next; ++c)
+                ASSERT_FALSE(a.scanDue(c)) << c;
+            Cycle cnext = a.nextCoherenceScanCycle(now);
+            ASSERT_GT(cnext, now);
+            EXPECT_TRUE(a.coherenceScanDue(cnext)) << now;
+            for (Cycle c = now + 1; c < cnext; ++c)
+                ASSERT_FALSE(a.coherenceScanDue(c)) << c;
+        }
+    }
+}
+
+TEST(EventHorizon, FaultNextDueSnoopCycleIsExact)
+{
+    FaultInjector fi(FaultConfig::parse("seed=1,delaysnoop=1:50"));
+    EXPECT_EQ(fi.nextDueSnoopCycle(), kNeverCycle);
+
+    fi.beginCycle(100);
+    ASSERT_TRUE(fi.shouldDelaySnoop(0, 0x40));
+    EXPECT_EQ(fi.nextDueSnoopCycle(), 150u);
+
+    // Draining strictly before the horizon delivers nothing...
+    unsigned delivered = 0;
+    fi.drainDueSnoops(149, [&](CoreId, Addr) { ++delivered; });
+    EXPECT_EQ(delivered, 0u);
+    EXPECT_EQ(fi.nextDueSnoopCycle(), 150u);
+    // ...and the event fires exactly at it.
+    fi.drainDueSnoops(150, [&](CoreId core, Addr line) {
+        ++delivered;
+        EXPECT_EQ(core, 0u);
+        EXPECT_EQ(line, 0x40u);
+    });
+    EXPECT_EQ(delivered, 1u);
+    EXPECT_EQ(fi.nextDueSnoopCycle(), kNeverCycle);
+}
+
+// ---------------------------------------------------------------------
+// The environment knob: unset or any value enables, "0" disables.
+// ---------------------------------------------------------------------
+
+TEST(FastForwardEnv, KnobParsesLikeDocumented)
+{
+    const char *saved = std::getenv("VBR_FASTFWD");
+    std::string saved_val = saved ? saved : "";
+
+    ::unsetenv("VBR_FASTFWD");
+    EXPECT_TRUE(fastForwardFromEnv());
+    ::setenv("VBR_FASTFWD", "0", 1);
+    EXPECT_FALSE(fastForwardFromEnv());
+    ::setenv("VBR_FASTFWD", "1", 1);
+    EXPECT_TRUE(fastForwardFromEnv());
+
+    if (saved)
+        ::setenv("VBR_FASTFWD", saved_val.c_str(), 1);
+    else
+        ::unsetenv("VBR_FASTFWD");
+}
+
+} // namespace
+} // namespace vbr

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Diff two results/ directories of BENCH_*.json reports.
+
+Usage: tools/compare_bench.py BASELINE_DIR CANDIDATE_DIR
+
+Every field of every report must be identical between the two
+directories except a small masked set that legitimately varies run to
+run:
+
+  wall_ms          host wall-clock time
+  threads          sweep-engine worker count
+  skipped_cycles   fast-forward observability (VBR_FASTFWD-dependent)
+  ticked_cycles    fast-forward observability (VBR_FASTFWD-dependent)
+  artifact         quarantine artifact paths (host-dependent temp dir)
+  real_time_ns, cpu_time_ns, iterations, items_per_second
+                   host-timing payload of the micro_lsq_structures
+                   microbenchmark (wall-clock class, like wall_ms)
+
+Any other difference - a missing report, a missing run, a changed stat -
+is printed and the script exits 1. On success it prints a wall_ms
+speedup table (baseline / candidate per harness) and exits 0.
+
+This is the gate the fast-forward acceptance and the CI bench-smoke
+use: candidate results produced with VBR_FASTFWD=1 must be bitwise
+identical to a VBR_FASTFWD=0 baseline everywhere except the masked
+fields.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+MASKED_KEYS = {"wall_ms", "threads", "skipped_cycles", "ticked_cycles",
+               "artifact", "real_time_ns", "cpu_time_ns", "iterations",
+               "items_per_second"}
+
+
+def strip_masked(node):
+    """Recursively drop masked keys so the rest compares exactly."""
+    if isinstance(node, dict):
+        return {k: strip_masked(v) for k, v in node.items()
+                if k not in MASKED_KEYS}
+    if isinstance(node, list):
+        return [strip_masked(v) for v in node]
+    return node
+
+
+def diff(base, cand, path, out):
+    """Collect human-readable differences between two stripped trees."""
+    if type(base) is not type(cand):
+        out.append(f"{path}: type {type(base).__name__} -> "
+                   f"{type(cand).__name__}")
+        return
+    if isinstance(base, dict):
+        for k in base.keys() | cand.keys():
+            if k not in base:
+                out.append(f"{path}/{k}: only in candidate")
+            elif k not in cand:
+                out.append(f"{path}/{k}: only in baseline")
+            else:
+                diff(base[k], cand[k], f"{path}/{k}", out)
+    elif isinstance(base, list):
+        if len(base) != len(cand):
+            out.append(f"{path}: length {len(base)} -> {len(cand)}")
+        for i, (b, c) in enumerate(zip(base, cand)):
+            diff(b, c, f"{path}[{i}]", out)
+    elif base != cand:
+        out.append(f"{path}: {base!r} -> {cand!r}")
+
+
+def load_reports(directory):
+    reports = {}
+    for name in sorted(os.listdir(directory)):
+        if name.startswith("BENCH_") and name.endswith(".json"):
+            with open(os.path.join(directory, name)) as f:
+                reports[name] = json.load(f)
+    return reports
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff two BENCH result directories "
+                    "(fails on any non-masked field change).")
+    ap.add_argument("baseline", help="baseline results directory")
+    ap.add_argument("candidate", help="candidate results directory")
+    args = ap.parse_args()
+
+    base = load_reports(args.baseline)
+    cand = load_reports(args.candidate)
+    if not base:
+        print(f"error: no BENCH_*.json in {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    problems = []
+    for name in sorted(base.keys() | cand.keys()):
+        if name not in base:
+            problems.append(f"{name}: only in candidate")
+            continue
+        if name not in cand:
+            problems.append(f"{name}: only in baseline")
+            continue
+        diff(strip_masked(base[name]), strip_masked(cand[name]),
+             name, problems)
+
+    if problems:
+        print(f"FAIL: {len(problems)} non-masked difference(s):")
+        for p in problems[:200]:
+            print(f"  {p}")
+        if len(problems) > 200:
+            print(f"  ... and {len(problems) - 200} more")
+        return 1
+
+    print(f"OK: {len(base)} report(s) identical "
+          f"(masked: {', '.join(sorted(MASKED_KEYS))})")
+    print()
+    print(f"{'harness':<32} {'base ms':>10} {'cand ms':>10} "
+          f"{'speedup':>8}")
+    for name in sorted(base):
+        b = base[name].get("wall_ms")
+        c = cand[name].get("wall_ms")
+        if not isinstance(b, (int, float)) or \
+           not isinstance(c, (int, float)):
+            continue
+        speedup = f"{b / c:7.2f}x" if c > 0 else "     inf"
+        label = name[len("BENCH_"):-len(".json")]
+        print(f"{label:<32} {b:>10} {c:>10} {speedup:>8}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
