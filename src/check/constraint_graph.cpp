@@ -272,6 +272,7 @@ ScChecker::check() const
             if (wit == writers.end())
                 continue;
             std::uint32_t max_ver = 0;
+            // vbr-analyze: det-unordered-iter(order-insensitive max reduction; no output depends on visit order)
             for (const auto &[v, w] : wit->second.byVersion) {
                 (void)w;
                 max_ver = std::max(max_ver, v);

@@ -24,16 +24,18 @@ OooCore::tryExecuteSwapAtHead(DynInst &head, Cycle now)
     Word a = retiredRegs_[head.inst.ra];
     Word data = retiredRegs_[head.inst.rb];
     Addr addr = effectiveAddr(head.inst, a);
-    head.memAddr = addr;
-    head.memSize = 8;
-    head.storeData = data;
     VBR_ASSERT(addr % 8 == 0 && addr + 8 <= mem_.size(),
                "SWAP with invalid address reached commit");
 
     if (!head.ownershipRequested) {
         // Arming the ownership request mutates the fabric and a
-        // timer even when the SWAP then waits.
+        // timer even when the SWAP then waits. The operands are
+        // latched here too: nothing older can retire while the SWAP
+        // sits at the head, so they cannot change on re-polls.
         activityThisTick_ = true;
+        head.memAddr = addr;
+        head.memSize = 8;
+        head.storeData = data;
         head.ownershipRequested = true;
         if (!hierarchy_.ownsLine(addr)) {
             MemAccess acc = hierarchy_.acquireOwnership(addr);
@@ -286,21 +288,23 @@ OooCore::retireHead(Cycle now)
     ++committed_;
     noteCommit(now);
     ++(*sc_committed_instructions_);
+    activityThisTick_ = true;
     return true;
 }
 
 void
 OooCore::commitStage(Cycle now)
 {
+    // vbr-analyze: quiescent(per-cycle port reset; skipped cycles use no ports)
     commitPortsUsed_ = 0;
+    // vbr-analyze: quiescent(per-cycle replay-port reset; skipped cycles replay nothing)
     replaysThisCycle_ = 0;
 
     for (unsigned n = 0; n < config_.commitWidth; ++n) {
         if (rob_.empty() || halted_)
             break;
         if (!retireHead(now))
-            break;
-        activityThisTick_ = true;
+            break; // retireHead notes activity on every retirement
         if (squashedThisCycle_)
             break;
     }

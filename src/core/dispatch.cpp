@@ -15,7 +15,9 @@ OooCore::dispatchStage(Cycle now)
         if (frontEnd_.empty() || frontEnd_.front().readyCycle > now)
             break;
         if (rob_.size() >= config_.robEntries) {
+            // vbr-analyze: quiescent(ROB-full stall accounting; applySkippedCycles replicates it per skipped cycle)
             ++(*sc_dispatch_stalls_rob_);
+            // vbr-analyze: quiescent(records which stall to replicate during the skip)
             dispatchStallThisTick_ = sc_dispatch_stalls_rob_;
             break;
         }
@@ -30,17 +32,23 @@ OooCore::dispatchStage(Cycle now)
                           is_membar || is_swap);
 
         if (needs_iq && iq_.size() >= config_.iqEntries) {
+            // vbr-analyze: quiescent(IQ-full stall accounting; applySkippedCycles replicates it per skipped cycle)
             ++(*sc_dispatch_stalls_iq_);
+            // vbr-analyze: quiescent(records which stall to replicate during the skip)
             dispatchStallThisTick_ = sc_dispatch_stalls_iq_;
             break;
         }
         if (is_load && ordering_->loadQueueFull()) {
+            // vbr-analyze: quiescent(LQ-full stall accounting; applySkippedCycles replicates it per skipped cycle)
             ++(*sc_dispatch_stalls_loadq_);
+            // vbr-analyze: quiescent(records which stall to replicate during the skip)
             dispatchStallThisTick_ = sc_dispatch_stalls_loadq_;
             break;
         }
         if (is_store && sq_.full()) {
+            // vbr-analyze: quiescent(SQ-full stall accounting; applySkippedCycles replicates it per skipped cycle)
             ++(*sc_dispatch_stalls_sq_);
+            // vbr-analyze: quiescent(records which stall to replicate during the skip)
             dispatchStallThisTick_ = sc_dispatch_stalls_sq_;
             break;
         }

@@ -49,6 +49,7 @@ OooCore::issueLoad(DynInst &inst, Cycle now)
         pendingWb_.emplace(now + 1, inst.seq);
         ++(*sc_loads_issued_);
         ++(*sc_loads_value_predicted_);
+        activityThisTick_ = true;
         trace(TraceKind::Issue, inst);
         ordering_->onLoadIssued(inst, now);
         return;
@@ -92,6 +93,7 @@ OooCore::issueLoad(DynInst &inst, Cycle now)
     unscheduledMemOps_.erase(inst.seq);
     pendingWb_.emplace(now + lat, inst.seq);
     ++(*sc_loads_issued_);
+    activityThisTick_ = true;
     trace(TraceKind::Issue, inst);
 
     // Backend reaction: CAM record + ordering searches (baseline) or
@@ -119,6 +121,7 @@ OooCore::issueStore(DynInst &inst, Cycle now)
     inst.inIssueQueue = false;
     unscheduledMemOps_.erase(inst.seq);
     ++(*sc_stores_issued_);
+    activityThisTick_ = true;
     trace(TraceKind::Issue, inst);
 
     bool data_known = !inst.inst.readsRb() || inst.bReady;
@@ -229,6 +232,7 @@ OooCore::issueStage(Cycle now)
                     ++i;
                     continue;
                 }
+                // vbr-analyze: quiescent(re-derivable eligibility cache; the enabling writeback noted)
                 inst->blockedOnStore = kNoSeq;
             }
             // Backend hold (e.g. rule-3: a post-squash suppressed
@@ -277,6 +281,7 @@ OooCore::issueStage(Cycle now)
             inst->issued = true;
             inst->inIssueQueue = false;
             pendingWb_.emplace(now + fuLatency(fu), inst->seq);
+            activityThisTick_ = true;
             trace(TraceKind::Issue, *inst);
         }
 
@@ -287,15 +292,15 @@ OooCore::issueStage(Cycle now)
             if (pool)
                 --*pool;
             ++issued;
+            activityThisTick_ = true;
             iq_.erase(iq_.begin() + static_cast<std::ptrdiff_t>(i));
             // no ++i: the erase shifted the next candidate into slot i
         }
         if (squashedThisCycle_)
             break; // the window was rearranged; stop issuing
     }
+    // vbr-analyze: quiescent(idle-cycle zero samples are replicated by applySkippedCycles)
     (*sc_issued_per_cycle_).sample(issued);
-    if (issued > 0)
-        activityThisTick_ = true;
 }
 
 } // namespace vbr

@@ -130,6 +130,7 @@ OooCore::operandsReady(const DynInst &inst) const
     return inst.aReady && inst.bReady;
 }
 
+// vbr-analyze: caller-notes(retireHead and writebackStage note the producing event)
 void
 OooCore::wakeDependents(SeqNum producer)
 {
@@ -195,6 +196,7 @@ OooCore::youngestInWindow() const
     return rob_.empty() ? kNoSeq : rob_.back().seq;
 }
 
+// vbr-analyze: caller-notes(only called from retireHead, which notes on every retirement)
 void
 OooCore::noteCommit(Cycle now)
 {
@@ -264,6 +266,7 @@ OooCore::onExternalFill(Addr line)
 // Tick
 // ---------------------------------------------------------------------
 
+// vbr-analyze: quiescent(per-cycle bookkeeping here is replicated bit-exactly by applySkippedCycles; real work notes inside the stages)
 bool
 OooCore::tick(Cycle now)
 {
@@ -354,6 +357,7 @@ OooCore::nextWakeCycle(Cycle now) const
     return wake;
 }
 
+// vbr-analyze: quiescent(this IS the fast-forward bookkeeping; it runs only across proven-idle spans)
 void
 OooCore::applySkippedCycles(Cycle n)
 {

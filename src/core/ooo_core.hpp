@@ -85,6 +85,7 @@ class OooCore final : public MemEventClient, private OrderingHost
      * at the start of its own tick, before fault-delayed snoops are
      * delivered, so any external event delivered in cycle N counts as
      * cycle-N activity regardless of core tick order. */
+    // vbr-analyze: quiescent(this is the activity protocol itself: the per-tick flag reset)
     void resetActivity() { activityThisTick_ = false; }
 
     /** True when the core changed any state since resetActivity():
@@ -123,17 +124,21 @@ class OooCore final : public MemEventClient, private OrderingHost
     bool halted() const { return halted_; }
 
     /** Subscribe the consistency checker (may be null). */
+    // vbr-analyze: quiescent(construction-time wiring, never called mid-run)
     void setObserver(CommitObserver *observer) { observer_ = observer; }
 
     /** Subscribe a pipeline tracer (may be null). */
+    // vbr-analyze: quiescent(construction-time wiring, never called mid-run)
     void setTracer(PipelineTracer *tracer) { tracer_ = tracer; }
 
     /** Register with the invariant auditor (may be null). The core
      * reports pipeline events (store dispatch/drain, replay issue,
      * squashes, commits) and submits its structures for scanning. */
+    // vbr-analyze: quiescent(construction-time wiring, never called mid-run)
     void setAuditor(InvariantAuditor *auditor) { auditor_ = auditor; }
 
     /** Attach the fault injector (may be null = no injection). */
+    // vbr-analyze: quiescent(construction-time wiring, never called mid-run)
     void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
 
     /** Last-N committed instructions, oldest first (for artifacts). */

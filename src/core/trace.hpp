@@ -57,6 +57,7 @@ class PipelineTracer
 class RecordingTracer : public PipelineTracer
 {
   public:
+    // vbr-analyze: quiescent(observer-side recording buffer, not simulator state)
     void
     onTrace(const TraceEvent &event) override
     {
@@ -64,6 +65,7 @@ class RecordingTracer : public PipelineTracer
     }
 
     const std::vector<TraceEvent> &events() const { return events_; }
+    // vbr-analyze: quiescent(test-harness buffer reset, not simulator state)
     void clear() { events_.clear(); }
 
   private:

@@ -14,21 +14,23 @@ OooCore::writebackStage(Cycle now)
 {
     // Collect everything completing this cycle, oldest first, so an
     // older branch mispredict squashes younger completions cleanly.
+    // vbr-analyze: quiescent(clearing cycle-local scratch; completions note below)
     wbScratch_.clear();
     while (!pendingWb_.empty() && pendingWb_.top().first <= now) {
+        // Conservative: even draining only stale (squashed) events
+        // mutates the heap, and nextWakeCycle reads its top.
+        activityThisTick_ = true;
         wbScratch_.push_back(pendingWb_.top().second);
         pendingWb_.pop();
     }
-    // Conservative: even draining only stale (squashed) events
-    // mutates the heap, and nextWakeCycle reads its top.
-    if (!wbScratch_.empty())
-        activityThisTick_ = true;
+    // vbr-analyze: quiescent(sorting cycle-local scratch)
     std::sort(wbScratch_.begin(), wbScratch_.end());
 
     for (SeqNum seq : wbScratch_) {
         DynInst *inst = findInst(seq);
         if (!inst || !inst->issued || inst->executed)
             continue; // squashed (and possibly re-allocated) meanwhile
+        activityThisTick_ = true;
         inst->executed = true;
         if (inst->isLoadOp || inst->isSwapOp)
             incompleteMemOps_.erase(seq);

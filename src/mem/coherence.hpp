@@ -17,6 +17,7 @@
 #ifndef VBR_MEM_COHERENCE_HPP
 #define VBR_MEM_COHERENCE_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -123,13 +124,23 @@ class CoherenceFabric
     }
 
     /** Audit access: invoke f(line, owner, sharers) for every line the
-     * directory currently tracks. */
+     * directory currently tracks, in ascending line order. The sort
+     * makes the auditor's scan order (and any diagnostics derived
+     * from it) independent of the unordered_map's hash order. */
     template <typename F>
     void
     forEachLine(F &&f) const
     {
-        for (const auto &[line, e] : directory_)
+        std::vector<Addr> lines;
+        lines.reserve(directory_.size());
+        // vbr-analyze: det-unordered-iter(key harvest feeding the sort below; visit order cannot leak)
+        for (const auto &kv : directory_)
+            lines.push_back(kv.first);
+        std::sort(lines.begin(), lines.end());
+        for (Addr line : lines) {
+            const Entry &e = directory_.at(line);
             f(line, e.owner, e.sharers);
+        }
     }
 
     StatSet &stats() { return stats_; }

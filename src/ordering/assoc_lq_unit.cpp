@@ -28,6 +28,7 @@ AssocLqUnit::AssocLqUnit(const CoreConfig &config, OrderingHost &host)
         &st.counter("squashes_lq_snoop_unnecessary");
 }
 
+// vbr-analyze: caller-notes(dispatchStage notes every dispatched instruction)
 void
 AssocLqUnit::dispatchLoad(SeqNum seq, std::uint32_t pc, unsigned size)
 {
@@ -40,6 +41,7 @@ AssocLqUnit::holdLoadIssue(const DynInst & /* inst */)
     return false; // the CAM never delays load issue
 }
 
+// vbr-analyze: caller-notes(issueLoad notes every issued load before delegating)
 void
 AssocLqUnit::onLoadIssued(DynInst &inst, Cycle /* now */)
 {
@@ -86,6 +88,7 @@ AssocLqUnit::onExternalInvalidation(Addr line)
     handleSnoopLine(line);
 }
 
+// vbr-analyze: caller-notes(OooCore::onInclusionVictim notes before delegating)
 void
 AssocLqUnit::onInclusionVictim(Addr line)
 {
@@ -141,6 +144,7 @@ AssocLqUnit::preCommit(DynInst &head, Cycle /* now */)
     return true;
 }
 
+// vbr-analyze: caller-notes(retireHead notes every retirement)
 void
 AssocLqUnit::onRetire(const DynInst &head)
 {
@@ -148,6 +152,7 @@ AssocLqUnit::onRetire(const DynInst &head)
         lq_.retire(head.seq);
 }
 
+// vbr-analyze: caller-notes(OooCore::squashFrom notes every squash)
 void
 AssocLqUnit::squashFrom(SeqNum bound)
 {

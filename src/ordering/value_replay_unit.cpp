@@ -45,6 +45,7 @@ ValueReplayUnit::ValueReplayUnit(const CoreConfig &config,
         &st.counter("wouldbe_squashes_snoop_value_equal");
 }
 
+// vbr-analyze: caller-notes(dispatchStage notes every dispatched instruction)
 void
 ValueReplayUnit::dispatchLoad(SeqNum seq, std::uint32_t pc,
                               unsigned size)
@@ -69,6 +70,7 @@ ValueReplayUnit::holdLoadIssue(const DynInst &inst)
     return host_.robWindow().front().seq != inst.seq;
 }
 
+// vbr-analyze: caller-notes(issueLoad notes every issued load before delegating)
 void
 ValueReplayUnit::onLoadIssued(DynInst &inst, Cycle /* now */)
 {
@@ -78,6 +80,7 @@ ValueReplayUnit::onLoadIssued(DynInst &inst, Cycle /* now */)
                     inst.forwarded, inst.replayInfo);
 }
 
+// vbr-analyze: caller-notes(issueStore notes every store agen before delegating)
 void
 ValueReplayUnit::onStoreAgen(DynInst &store, bool data_known,
                              Cycle /* now */)
@@ -86,6 +89,7 @@ ValueReplayUnit::onStoreAgen(DynInst &store, bool data_known,
         shadowStoreAgenStats(store, data_known);
 }
 
+// vbr-analyze: caller-notes(OooCore::onExternalInvalidation notes before delegating)
 void
 ValueReplayUnit::onExternalInvalidation(Addr line)
 {
@@ -94,6 +98,7 @@ ValueReplayUnit::onExternalInvalidation(Addr line)
         shadowSnoopStats(line);
 }
 
+// vbr-analyze: caller-notes(OooCore::onInclusionVictim notes before delegating)
 void
 ValueReplayUnit::onInclusionVictim(Addr /* line */)
 {
@@ -103,6 +108,7 @@ ValueReplayUnit::onInclusionVictim(Addr /* line */)
     filterState_.armSnoop(host_.youngestInWindow());
 }
 
+// vbr-analyze: caller-notes(OooCore::onExternalFill notes before delegating)
 void
 ValueReplayUnit::onExternalFill(Addr /* line */)
 {
@@ -114,6 +120,7 @@ ValueReplayUnit::beginCycle(Cycle /* now */)
 {
 }
 
+// vbr-analyze: caller-notes(backendStage notes at the call site)
 void
 ValueReplayUnit::decideReplay(DynInst &inst)
 {
@@ -182,12 +189,14 @@ ValueReplayUnit::backendStage(Cycle now)
     // cursor instead of rescanning the window from the front.
     std::deque<DynInst> &rob = host_.robWindow();
     unsigned entered = 0;
-    bool mutated = false;
     while (entered < config_.commitWidth &&
            backendEntered_ < rob.size()) {
         DynInst &inst = rob[backendEntered_];
         if (inst.isSwapOp) {
             // SWAP executes at the head and bypasses the replay pipe.
+            // The entry is a state change the quiescence detector
+            // must see.
+            host_.noteActivity();
             inst.enteredBackend = true;
             inst.compareReadyCycle = now;
             ++backendEntered_;
@@ -199,8 +208,10 @@ ValueReplayUnit::backendStage(Cycle now)
 
         if (inst.isLoadOp && inst.issued) {
             if (!inst.replayDecided) {
+                // A replay decision on a still-blocked load is a
+                // state change even when the load then stalls here.
                 decideReplay(inst);
-                mutated = true;
+                host_.noteActivity();
             }
 
             if (inst.willReplay) {
@@ -220,14 +231,13 @@ ValueReplayUnit::backendStage(Cycle now)
             // Non-loads flow through replay and compare unchanged.
             inst.compareReadyCycle = now + 2;
         }
+        // Backend entry is a state change the quiescence detector
+        // must see.
+        host_.noteActivity();
         inst.enteredBackend = true;
         ++backendEntered_;
         ++entered;
     }
-    // Any backend entry (or a replay decision on a still-blocked
-    // load) is a state change the quiescence detector must see.
-    if (entered > 0 || mutated)
-        host_.noteActivity();
 }
 
 bool
@@ -272,6 +282,7 @@ ValueReplayUnit::preCommit(DynInst &head, Cycle now)
     return true;
 }
 
+// vbr-analyze: caller-notes(retireHead notes every retirement)
 void
 ValueReplayUnit::onRetire(const DynInst &head)
 {
@@ -293,6 +304,7 @@ ValueReplayUnit::onRetire(const DynInst &head)
         --backendEntered_;
 }
 
+// vbr-analyze: caller-notes(OooCore::squashFrom notes every squash)
 void
 ValueReplayUnit::squashFrom(SeqNum bound)
 {
@@ -346,6 +358,7 @@ ValueReplayUnit::doReplaySquash(DynInst &load)
 // Shadow CAM statistics (§5.1 avoided squashes)
 // ---------------------------------------------------------------------
 
+// vbr-analyze: caller-notes(shadow statistics; the triggering issue/snoop event noted)
 void
 ValueReplayUnit::shadowStoreAgenStats(const DynInst &store,
                                       bool data_known)
@@ -379,6 +392,7 @@ ValueReplayUnit::shadowStoreAgenStats(const DynInst &store,
     }
 }
 
+// vbr-analyze: caller-notes(shadow statistics; the triggering snoop event noted)
 void
 ValueReplayUnit::shadowSnoopStats(Addr line)
 {

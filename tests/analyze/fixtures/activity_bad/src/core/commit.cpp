@@ -1,0 +1,41 @@
+// Seeded violations for the `activity` family: retireHead() mutates
+// member state with no noteActivity on the exit path, and armTimer()
+// silently writes a field nextWakeCycle() reads as a wake horizon.
+// run_analyze_tests.py pins the findings to expected/activity_bad.json.
+
+#include <cstdint>
+
+namespace fixture
+{
+
+using Cycle = std::uint64_t;
+
+class OooCore
+{
+  public:
+    void noteActivity() { activityThisTick_ = true; }
+
+    bool
+    retireHead()
+    {
+        retired_ += 1;
+        robHead_ = robHead_ + 1;
+        return true;
+    }
+
+    void armTimer(Cycle when) { wakeAt_ = when; }
+
+    Cycle
+    nextWakeCycle(Cycle now) const
+    {
+        return wakeAt_ > now ? wakeAt_ : now;
+    }
+
+  private:
+    bool activityThisTick_ = false;
+    std::uint64_t retired_ = 0;
+    std::uint64_t robHead_ = 0;
+    Cycle wakeAt_ = 0;
+};
+
+} // namespace fixture

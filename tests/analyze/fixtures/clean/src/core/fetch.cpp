@@ -1,0 +1,32 @@
+// The clean fixture: a correctly-annotated stage. Zero findings
+// proves the analyzer's positive path — noting after a mutation and
+// a reasoned quiescent suppression both pass.
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture
+{
+
+class FetchStage
+{
+  public:
+    void noteActivity() { activityThisTick_ = true; }
+
+    void
+    fetchOne(std::uint64_t pc)
+    {
+        pending_.push_back(pc);
+        noteActivity();
+    }
+
+    // vbr-analyze: quiescent(cycle-local scratch reset; skipped cycles fetch nothing)
+    void resetScratch() { scratch_ = 0; }
+
+  private:
+    bool activityThisTick_ = false;
+    std::vector<std::uint64_t> pending_;
+    std::uint64_t scratch_ = 0;
+};
+
+} // namespace fixture

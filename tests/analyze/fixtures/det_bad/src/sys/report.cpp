@@ -1,0 +1,38 @@
+// Seeded violations for the determinism family: hash-order iteration
+// feeding a report, a pointer-keyed index, a banned wall-clock call,
+// and float accumulation under hash order.
+
+#include <cstdio>
+#include <ctime>
+#include <map>
+#include <unordered_map>
+
+namespace fixture
+{
+
+struct Report
+{
+    std::unordered_map<int, long> counts_;
+    std::map<const Report *, int> byOwner_;
+
+    double
+    meanUnderHashOrder() const
+    {
+        double sum = 0.0;
+        for (const auto &kv : counts_) {
+            sum += static_cast<double>(kv.second);
+        }
+        return counts_.empty() ? 0.0 : sum / counts_.size();
+    }
+
+    void
+    dump() const
+    {
+        for (auto it = counts_.cbegin(); it != counts_.cend(); ++it)
+            std::printf("%d %ld\n", it->first, it->second);
+    }
+
+    long stampedNow() const { return std::time(nullptr); }
+};
+
+} // namespace fixture

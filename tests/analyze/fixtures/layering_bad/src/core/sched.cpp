@@ -1,0 +1,13 @@
+// Seeded violation: core seeing the concrete assoc-LQ header breaks
+// the banned-header rule even though the core -> lsq edge exists.
+
+#include "lsq/assoc_load_queue.hpp"
+
+namespace fixture
+{
+int
+scheduleNothing()
+{
+    return 0;
+}
+} // namespace fixture

@@ -1,0 +1,13 @@
+// Seeded violation: isa reaching up into core breaks the layer DAG
+// (the edge rule).
+
+#include "core/ooo_core.hpp"
+
+namespace fixture
+{
+int
+decodeNothing()
+{
+    return 0;
+}
+} // namespace fixture

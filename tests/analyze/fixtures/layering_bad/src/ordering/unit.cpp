@@ -1,0 +1,13 @@
+// Seeded violation: ordering -> core is interface-only; a concrete
+// pipeline header is off the whitelist (the interface rule).
+
+#include "core/rob.hpp"
+
+namespace fixture
+{
+int
+orderNothing()
+{
+    return 0;
+}
+} // namespace fixture

@@ -1,0 +1,17 @@
+// Seeded violation: a suppression with an empty reason is itself a
+// finding — the gate cannot be waved through silently.
+
+namespace fixture
+{
+
+class Widget
+{
+  public:
+    // vbr-analyze: quiescent()
+    void touch() { count_ = count_ + 1; }
+
+  private:
+    int count_ = 0;
+};
+
+} // namespace fixture

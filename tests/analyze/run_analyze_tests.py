@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Analyzer self-tests (registered with ctest as `analyze_fixtures`).
+
+Two parts:
+
+1. Fixture trees. Each directory under fixtures/ is a miniature repo
+   (its own src/) seeding violations for one check family; the file
+   expected/<fixture>.json pins the (check, file, line) triples the
+   analyzer must report. Messages are free to evolve; locations and
+   check ids are the contract. The `clean` fixture pins the positive
+   path: zero findings, so a regression toward false positives fails
+   just as loudly as a dead check.
+
+2. Live token-deletion probe. For every activity token in the real
+   src/core/commit.cpp (`activityThisTick_ = true` / `noteActivity(`),
+   copy src/ to a scratch tree, blank that one line, and require the
+   activity family to go red on src/core/commit.cpp. This is the
+   end-to-end guarantee that the quiescence gate is not decorative:
+   silently dropping any single note in the retirement path is caught.
+
+Usage: run_analyze_tests.py <repo-root>
+"""
+
+import json
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+TOKEN_RE = re.compile(r"activityThisTick_\s*=\s*true|\bnoteActivity\s*\(")
+
+
+def run_analyze(repo, root, extra=()):
+    """(exit_code, findings_doc) for one analyzer invocation."""
+    cmd = [sys.executable, str(repo / "tools" / "analyze.py"),
+           "--root", str(root), "--json", "-", "--quiet", *extra]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.stderr.strip():
+        sys.stderr.write(proc.stderr)
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        raise SystemExit(
+            f"analyze.py produced no JSON for root {root} "
+            f"(exit {proc.returncode}):\n{proc.stdout}")
+    return proc.returncode, doc
+
+
+def triples(findings):
+    return sorted((f["check"], f["file"], f["line"]) for f in findings)
+
+
+def check_fixtures(repo, failures):
+    fixtures = repo / "tests" / "analyze" / "fixtures"
+    expected = repo / "tests" / "analyze" / "expected"
+    names = sorted(p.name for p in fixtures.iterdir() if p.is_dir())
+    if not names:
+        failures.append("no fixture trees found")
+        return
+    for name in names:
+        golden_path = expected / f"{name}.json"
+        if not golden_path.is_file():
+            failures.append(f"fixture '{name}' has no golden "
+                            f"({golden_path})")
+            continue
+        golden = json.loads(golden_path.read_text())
+        rc, doc = run_analyze(repo, fixtures / name)
+        got = triples(doc["findings"])
+        want = triples(golden["findings"])
+        if got != want:
+            failures.append(
+                f"fixture '{name}': findings mismatch\n"
+                f"  want: {want}\n  got:  {got}")
+        if rc != min(len(want), 125):
+            failures.append(
+                f"fixture '{name}': exit code {rc}, expected "
+                f"{min(len(want), 125)} (the finding count)")
+        print(f"fixture {name:<16} {len(got)} finding(s) ok")
+
+
+def check_token_deletion(repo, failures):
+    commit = repo / "src" / "core" / "commit.cpp"
+    lines = commit.read_text().splitlines()
+    token_lines = [i for i, ln in enumerate(lines)
+                   if TOKEN_RE.search(ln) and not
+                   ln.strip().startswith("//")]
+    if not token_lines:
+        failures.append("no activity tokens found in src/core/"
+                        "commit.cpp — probe cannot run")
+        return
+    for i in token_lines:
+        with tempfile.TemporaryDirectory() as td:
+            scratch = Path(td)
+            shutil.copytree(repo / "src", scratch / "src")
+            mutated = list(lines)
+            mutated[i] = ""
+            (scratch / "src" / "core" / "commit.cpp").write_text(
+                "\n".join(mutated) + "\n")
+            rc, doc = run_analyze(repo, scratch,
+                                  ("--only", "activity"))
+            hits = [f for f in doc["findings"]
+                    if f["file"] == "src/core/commit.cpp"]
+            if rc == 0 or not hits:
+                failures.append(
+                    f"deleting activity token at src/core/commit.cpp:"
+                    f"{i + 1} was NOT caught (exit {rc}, "
+                    f"{len(doc['findings'])} finding(s), none in "
+                    "commit.cpp)")
+            else:
+                print(f"token deletion commit.cpp:{i + 1:<4} caught "
+                      f"({len(hits)} finding(s))")
+
+
+def main():
+    if len(sys.argv) != 2:
+        raise SystemExit(__doc__)
+    repo = Path(sys.argv[1]).resolve()
+    failures = []
+    check_fixtures(repo, failures)
+    check_token_deletion(repo, failures)
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("analyze self-tests: all passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

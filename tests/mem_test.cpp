@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "mem/cache.hpp"
 #include "mem/coherence.hpp"
 #include "mem/hierarchy.hpp"
@@ -185,6 +189,30 @@ TEST(HierarchyTest, DmaInvalidationReachesHolder)
     ASSERT_EQ(c0.invals.size(), 1u);
     EXPECT_EQ(c0.invals[0], 0x200u);
     EXPECT_FALSE(h0.l1d().contains(0x200));
+}
+
+TEST(FabricTest, ForEachLineVisitsAscendingLineOrder)
+{
+    // Regression: forEachLine used to walk the unordered directory
+    // directly, so the auditor's scan order (and any diagnostics
+    // derived from it) depended on libstdc++'s hash order. The visit
+    // order is now part of the contract: ascending line address,
+    // independent of insertion order.
+    CoherenceFabric fabric({32, 20, 400, 64});
+    const Addr lines[] = {0x7c0, 0x40, 0x1000, 0x340, 0x80,
+                          0xfc0,  0x240, 0x440};
+    for (Addr l : lines)
+        fabric.warmLine(0, l);
+
+    std::vector<Addr> visited;
+    fabric.forEachLine([&](Addr line, int, std::uint64_t) {
+        visited.push_back(line);
+    });
+
+    std::vector<Addr> expect(std::begin(lines), std::end(lines));
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(visited, expect)
+        << "audit scan order must not leak hash order";
 }
 
 TEST(HierarchyTest, InclusionVictimReported)

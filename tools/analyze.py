@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Determinism & activity-contract static analyzer.
+
+Drives the checks in tools/checks/ over the source tree (seeded from
+CMake's compile_commands.json when present) and reports findings as a
+human table and/or schema'd JSON, mirroring the BENCH_*.json
+convention. Exit status is the number of findings (capped), so CI
+and the `analyze` CMake target can gate on zero.
+
+    tools/analyze.py                         # human table
+    tools/analyze.py --json findings.json    # plus JSON artifact
+    tools/analyze.py --only activity         # one family
+    tools/analyze.py --disable det-ptr-key   # drop one check
+    tools/analyze.py --list-checks
+
+Suppressions: `// vbr-analyze: <check>(<reason>)` — see
+tools/checks/common.py for the grammar. Reasons are mandatory; an
+empty reason is itself a finding (check id `suppression`, always on).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from checks import ALL_CHECKS, FAMILIES, load_tree  # noqa: E402
+from checks import activity, clang_frontend  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+
+def _expand(names):
+    out = []
+    for n in names:
+        if n in FAMILIES:
+            out.extend(FAMILIES[n])
+        elif n in ALL_CHECKS:
+            out.append(n)
+        else:
+            sys.exit(f"analyze: unknown check or family '{n}' "
+                     f"(see --list-checks)")
+    return out
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="analyze.py",
+        description="VBR determinism & activity-contract analyzer")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of tools/)")
+    ap.add_argument("--json", metavar="FILE", default=None,
+                    help="write findings JSON to FILE ('-' = stdout)")
+    ap.add_argument("--only", action="append", default=[],
+                    metavar="CHECK", help="run only this check/family "
+                    "(repeatable)")
+    ap.add_argument("--disable", action="append", default=[],
+                    metavar="CHECK", help="skip this check/family "
+                    "(repeatable)")
+    ap.add_argument("--compile-db", default=None,
+                    help="explicit compile_commands.json path")
+    ap.add_argument("--list-checks", action="store_true")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress the human table")
+    args = ap.parse_args(argv)
+
+    if args.list_checks:
+        print(f"frontend: {clang_frontend.description()}")
+        for fam, checks in FAMILIES.items():
+            print(f"{fam}:")
+            for c in checks:
+                print(f"  {c}")
+        print("suppression: (always on) empty suppression reasons")
+        return 0
+
+    root = Path(args.root) if args.root else \
+        Path(__file__).resolve().parent.parent
+    enabled = _expand(args.only) if args.only else list(ALL_CHECKS)
+    for c in _expand(args.disable):
+        if c in enabled:
+            enabled.remove(c)
+
+    files = load_tree(root, compile_db=args.compile_db)
+    findings = []
+    env = None
+    if "activity" in enabled or "wake-writers" in enabled:
+        env = activity.build_env(files)
+    for check in enabled:
+        findings.extend(ALL_CHECKS[check](files, env=env))
+    for src in files:
+        findings.extend(src.reason_findings())
+
+    findings.sort(key=lambda f: (f.path, f.line, f.check))
+
+    if not args.quiet:
+        _print_table(findings, enabled, files)
+    if args.json:
+        doc = {
+            "schema": SCHEMA_VERSION,
+            "tool": "vbr-analyze",
+            "frontend": clang_frontend.description(),
+            "root": str(root),
+            "checks": enabled,
+            "files_scanned": len(files),
+            "findings": [f.to_json() for f in findings],
+            "counts": _counts(findings),
+        }
+        text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            Path(args.json).write_text(text)
+    return min(len(findings), 125)
+
+
+def _counts(findings):
+    out = {}
+    for f in findings:
+        out[f.check] = out.get(f.check, 0) + 1
+    return out
+
+
+def _print_table(findings, enabled, files):
+    if not findings:
+        nsup = sum(len(s.suppressions) for s in files)
+        print(f"analyze: clean — {len(enabled)} checks over "
+              f"{len(files)} files, 0 findings "
+              f"({nsup} suppressions in force)")
+        return
+    width = max(len(f.check) for f in findings)
+    cur = None
+    for f in findings:
+        if f.check != cur:
+            cur = f.check
+            print(f"\n== {cur} " + "=" * max(0, 60 - len(cur)))
+        print(f"  {f.path}:{f.line}")
+        print(f"    {f.message}")
+    print()
+    for check, n in sorted(_counts(findings).items()):
+        print(f"  {check:<{width}}  {n}")
+    print(f"analyze: {len(findings)} finding(s)")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

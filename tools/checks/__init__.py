@@ -1,0 +1,39 @@
+"""Static-analysis checks for the value-based-replay simulator.
+
+The package backs tools/analyze.py. Three check families:
+
+  activity      -- activity-contract completeness over the per-stage
+                   core and the ordering backends (the VBR_FASTFWD
+                   quiescence protocol), plus the companion rule that
+                   every field nextWakeCycle() reads is only written
+                   by functions that also note activity.
+  determinism   -- unordered-container iteration feeding reports,
+                   pointer-keyed containers in report-adjacent code,
+                   banned nondeterminism sources, and float
+                   accumulation over unordered sequences.
+  layering      -- the include-graph DAG from DESIGN.md (generalizes
+                   the old tools/lint.py check 4).
+
+Every check honours `// vbr-analyze: <check>(<reason>)` suppressions
+with mandatory reasons; see tools/checks/common.py for the grammar.
+"""
+
+from .common import Finding, SourceFile, load_tree  # noqa: F401
+from . import activity, determinism, layering  # noqa: F401
+
+ALL_CHECKS = {
+    "activity": activity.run_activity,
+    "wake-writers": activity.run_wake_writers,
+    "det-unordered-iter": determinism.run_unordered_iter,
+    "det-ptr-key": determinism.run_ptr_key,
+    "det-banned-source": determinism.run_banned_source,
+    "det-float-merge": determinism.run_float_merge,
+    "layering": layering.run_layering,
+}
+
+FAMILIES = {
+    "activity": ("activity", "wake-writers"),
+    "determinism": ("det-unordered-iter", "det-ptr-key",
+                    "det-banned-source", "det-float-merge"),
+    "layering": ("layering",),
+}

@@ -1,0 +1,388 @@
+"""Activity-contract completeness (the VBR_FASTFWD quiescence gate).
+
+Rule: every member function in the per-stage core
+(src/core/{fetch,dispatch,issue,writeback,backend,commit,squash,
+ooo_core}.{cpp,hpp}) and in src/ordering/ that writes member state
+must note activity (`activityThisTick_ = true` / `noteActivity()`)
+on every path that performs the write, or carry a suppression:
+
+    // vbr-analyze: quiescent(<reason>)     exempt; neutral at calls
+    // vbr-analyze: caller-notes(<reason>)  exempt; call sites count
+                                            as mutations instead
+
+The analysis is path-sensitive over a statement tree: each path
+carries (noted, mutated-lines); a finding fires where a path leaves
+the function with unsuppressed mutations and no note. Calls resolve
+through the OrderingHost seam: a call to a function that notes on
+every path counts as a note; a call to a caller-notes function counts
+as a mutation; calls to checked-clean functions are neutral
+(compositional — each function owns its contract).
+
+Companion rule (run_wake_writers): every member field read by
+nextWakeCycle()/deadlockFireCycle() may only be written by functions
+that note activity (or are suppressed/constructors) — a silent write
+to a wake-horizon input would let the fast-forward skip overshoot.
+"""
+
+import re
+
+from .common import Finding
+from . import cppmodel
+from .cppmodel import If, Loop, Return, Break, Continue
+
+# Files in scope (relative prefixes). ooo_core.hpp is included: the
+# inline OrderingHost seam methods live there.
+SCOPE_PREFIXES = ("src/core/", "src/ordering/")
+
+# Seam receivers: member handle -> implementing classes.
+RECEIVER_MAP = {
+    "host_": ("OooCore",),
+    "ordering_": ("ValueReplayUnit", "AssocLqUnit"),
+}
+
+WAKE_READER_NAMES = ("nextWakeCycle", "deadlockFireCycle")
+
+TOKEN_RE = re.compile(
+    r"activityThisTick_\s*=\s*true|\bnoteActivity\s*\(")
+
+# Method-name stems that mutate their receiver.
+MUT_VERBS = ("push", "pop", "emplace", "erase", "insert", "clear",
+             "set", "dispatch", "record", "write", "arm", "train",
+             "update", "restore", "sample", "resize", "fill",
+             "retire", "squash", "apply", "mark", "notify", "warm",
+             "tick", "drain")
+
+_CHAIN = r"(?:(?:\.|->)\w+|\[[^\]]*\]|\([^()]*\))*"
+_ASSIGN = r"\s*(?:[-+*/|&^]|<<|>>)?=(?!=)"
+
+MUT_PATTERNS = [
+    # member (possibly chained) assignment: x_ = / x_[i] = /
+    # rob_.back().f = / (compound ops too)
+    re.compile(r"(?<![\w.>])(\w+_)" + _CHAIN + _ASSIGN),
+    # increment/decrement of a member (incl. ++(*sc_..._))
+    re.compile(r"(?:\+\+|--)\s*\(?\s*\*?\s*(\w+_)\b"),
+    re.compile(r"(?<![\w.>])(\w+_)(?:\[[^\]]*\])?\s*(?:\+\+|--)"),
+    # ops through a dereferenced cached-handle member
+    re.compile(r"\(\s*\*\s*(\w+_)\s*\)\s*(?:\.|\+=|-=|=(?!=))"),
+    # mutating method call on a member receiver
+    re.compile(r"\b(\w+_)(?:\[[^\]]*\])?(?:\.|->)(?:" +
+               "|".join(MUT_VERBS) + r")\w*\s*\("),
+    # free-function mutators taking the member as first argument
+    re.compile(r"(?:std::)?(?:erase_if|sort|stable_sort)\s*\(\s*"
+               r"(\w+_)\b"),
+    re.compile(r"\.swap\s*\(\s*(\w+_)\b"),
+]
+
+CALL_RE = re.compile(r"(?:\b(\w+)\s*(?:\.|->)\s*)?\b([A-Za-z_]\w*)"
+                     r"\s*\(")
+
+_CALL_SKIP = cppmodel.KEYWORDS | {
+    "VBR_ASSERT", "static_cast", "reinterpret_cast", "const_cast",
+    "dynamic_cast", "min", "max", "get", "find", "count", "empty",
+    "size", "front", "back", "begin", "end",
+}
+
+
+class _State:
+    __slots__ = ("noted", "muts")
+
+    def __init__(self, noted, muts):
+        self.noted = noted
+        self.muts = muts
+
+    def key(self):
+        return (self.noted, self.muts)
+
+
+def _dedup(states):
+    return list({s.key(): s for s in states}.values())
+
+
+class _LoopCtx:
+    def __init__(self):
+        self.exits = []
+
+
+class _Env:
+    """Per-run context shared across function evaluations."""
+
+    def __init__(self, functions):
+        self.functions = functions
+        self.by_qual = {f.qualname: f for f in functions}
+        self.methods = {}
+        for f in functions:
+            if f.cls:
+                self.methods.setdefault(f.cls, set()).add(f.name)
+        self.status = {}        # qualname -> quiescent|caller-notes
+        self.definitely = set()  # qualnames noting on every path
+        self.locals = {}
+        for f in functions:
+            try:
+                self.locals[f.qualname] = cppmodel.collect_locals(f)
+            except re.error:
+                self.locals[f.qualname] = (set(), set())
+        for f in functions:
+            s = _function_suppression(f)
+            if s is not None:
+                s.used = True
+                self.status[f.qualname] = (
+                    "caller-notes" if s.check == "caller-notes"
+                    else "quiescent")
+
+
+def _function_suppression(fn):
+    for ln in (fn.start_line, fn.start_line - 1):
+        if ln < 1:
+            continue
+        s = fn.src.suppression_for(
+            "activity", ln, aliases=("quiescent", "caller-notes"))
+        if s is not None:
+            return s
+    return None
+
+
+def _line_of(src, offset):
+    return src.stripped.count("\n", 0, offset) + 1
+
+
+def _scan_stmt(fn, text, offset, env):
+    """(mutation_lines, has_token) for one statement's text."""
+    src = fn.src
+    value_locals, ref_locals = env.locals[fn.qualname]
+    muts = set()
+    token = bool(TOKEN_RE.search(text))
+
+    def add(line):
+        s = src.suppression_for("activity", line,
+                                aliases=("quiescent",))
+        if s is not None:
+            s.used = True
+            return
+        muts.add(line)
+
+    for pat in MUT_PATTERNS:
+        for m in pat.finditer(text):
+            name = m.group(1)
+            if name in value_locals:
+                continue
+            add(_line_of(src, offset + m.start()))
+    # Writes through reference/pointer locals and reference params.
+    for r in ref_locals:
+        for m in re.finditer(
+                r"(?<![\w.>])" + re.escape(r) +
+                r"(?:\.|->)\w+" + _CHAIN + _ASSIGN, text):
+            add(_line_of(src, offset + m.start()))
+        for m in re.finditer(
+                r"(?:\+\+|--)\s*" + re.escape(r) + r"\s*(?:\.|->)|"
+                r"(?<![\w.>])" + re.escape(r) +
+                r"(?:\.|->)\w+\s*(?:\+\+|--)", text):
+            add(_line_of(src, offset + m.start()))
+        for m in re.finditer(
+                r"(?<![\w.>])" + re.escape(r) + r"(?:\.|->)(?:" +
+                "|".join(MUT_VERBS) + r")\w*\s*\(", text):
+            add(_line_of(src, offset + m.start()))
+
+    # Calls through the seam / same class.
+    for m in CALL_RE.finditer(text):
+        recv, callee = m.group(1), m.group(2)
+        if callee in _CALL_SKIP or callee.endswith("_"):
+            continue
+        targets = []
+        if recv is None or recv == "this":
+            if fn.cls and callee in env.methods.get(fn.cls, ()):
+                targets = [f"{fn.cls}::{callee}"]
+        elif recv in RECEIVER_MAP:
+            targets = [f"{cls}::{callee}"
+                       for cls in RECEIVER_MAP[recv]
+                       if callee in env.methods.get(cls, ())]
+        if not targets:
+            continue
+        if all(t in env.definitely for t in targets):
+            token = True
+        elif any(env.status.get(t) == "caller-notes"
+                 for t in targets):
+            add(_line_of(src, offset + m.start()))
+    return muts, token
+
+
+def _apply_stmt(fn, node, states, env):
+    muts, token = _scan_stmt(fn, node.text, node.offset, env)
+    out = []
+    for s in states:
+        nm = s.muts | frozenset(muts)
+        out.append(_State(s.noted or token, nm))
+    return _dedup(out)
+
+
+def _eval_nodes(fn, nodes, states, loopctx, exits, env):
+    """Walk the node list; `exits` collects (state, line) for every
+    path leaving the function."""
+    for node in nodes:
+        if not states:
+            return []
+        if isinstance(node, If):
+            muts, token = _scan_stmt(fn, node.cond, node.offset, env)
+            states = _dedup([_State(s.noted or token,
+                                    s.muts | frozenset(muts))
+                             for s in states])
+            then_out = _eval_nodes(fn, node.then_nodes, list(states),
+                                   loopctx, exits, env)
+            if node.else_nodes is None:
+                else_out = states
+            else:
+                else_out = _eval_nodes(fn, node.else_nodes,
+                                       list(states), loopctx, exits,
+                                       env)
+            states = _dedup(then_out + else_out)
+        elif isinstance(node, Loop):
+            muts, token = _scan_stmt(fn, node.head, node.offset, env)
+            states = _dedup([_State(s.noted or token,
+                                    s.muts | frozenset(muts))
+                             for s in states])
+            all_states = {s.key(): s for s in states}
+            frontier = states
+            for _ in range(4):
+                ctx = _LoopCtx()
+                out = _eval_nodes(fn, node.body_nodes, list(frontier),
+                                  ctx, exits, env)
+                new = [s for s in _dedup(out + ctx.exits)
+                       if s.key() not in all_states]
+                if not new:
+                    break
+                for s in new:
+                    all_states[s.key()] = s
+                frontier = new
+            states = list(all_states.values())
+        elif isinstance(node, Return):
+            states = _apply_stmt(fn, node, states, env)
+            line = _line_of(fn.src, node.offset)
+            exits.extend((s, line) for s in states)
+            return []
+        elif isinstance(node, Break) or isinstance(node, Continue):
+            if loopctx is not None:
+                loopctx.exits.extend(states)
+            return []
+        else:
+            states = _apply_stmt(fn, node, states, env)
+    return states
+
+
+def _eval_function(fn, env):
+    """All exit (state, line) pairs of fn under current env."""
+    body = fn.src.stripped[fn.body_start + 1:fn.body_end - 1]
+    nodes = cppmodel.parse_block(body, fn.body_start + 1)
+    exits = []
+    end = _eval_nodes(fn, nodes, [_State(False, frozenset())], None,
+                      exits, env)
+    end_line = _line_of(fn.src, fn.body_end - 1)
+    exits.extend((s, end_line) for s in end)
+    return exits
+
+
+def _in_scope(src):
+    return any(src.rel.startswith(p) for p in SCOPE_PREFIXES)
+
+
+def build_env(files):
+    functions = []
+    for src in files:
+        if not _in_scope(src):
+            continue
+        functions.extend(cppmodel.extract_functions(src))
+    env = _Env(functions)
+    # Definitely-notes fixpoint (monotone; tiny call depth).
+    for _ in range(5):
+        changed = False
+        for fn in functions:
+            q = fn.qualname
+            if q in env.definitely or q in env.status or fn.is_ctor:
+                continue
+            exits = _eval_function(fn, env)
+            if exits and all(s.noted for s, _ in exits):
+                env.definitely.add(q)
+                changed = True
+        if not changed:
+            break
+    return env
+
+
+def run_activity(files, env=None):
+    env = env or build_env(files)
+    findings = []
+    for fn in env.functions:
+        if (fn.is_ctor or fn.is_const or fn.cls is None or
+                fn.qualname in env.status):
+            continue
+        bad_muts = set()
+        bad_exits = set()
+        for state, line in _eval_function(fn, env):
+            if state.noted or not state.muts:
+                continue
+            bad_muts |= state.muts
+            bad_exits.add(line)
+        if not bad_muts:
+            continue
+        lines = ", ".join(str(x) for x in sorted(bad_muts))
+        exits = ", ".join(str(x) for x in sorted(bad_exits))
+        findings.append(Finding(
+            "activity", fn.src.rel, min(bad_muts),
+            f"{fn.qualname}: member state mutated (line(s) "
+            f"{lines}) on a path exiting at line(s) {exits} "
+            "without noteActivity; note activity or add "
+            "`// vbr-analyze: quiescent(<reason>)` / "
+            "`caller-notes(<reason>)`"))
+    return findings
+
+
+def run_wake_writers(files, env=None):
+    env = env or build_env(files)
+    findings = []
+    for reader in env.functions:
+        if reader.name not in WAKE_READER_NAMES or reader.cls is None:
+            continue
+        body = reader.body_text()
+        value_locals, _ = env.locals[reader.qualname]
+        fields = {f for f in re.findall(r"\b([A-Za-z]\w*_)\b", body)
+                  if f not in value_locals}
+        for fn in env.functions:
+            if (fn.cls != reader.cls or fn.is_ctor or fn.is_const or
+                    fn.qualname in env.status or
+                    fn.qualname in env.definitely):
+                continue
+            fbody = fn.body_text()
+            if TOKEN_RE.search(fbody):
+                continue
+            for field in sorted(fields):
+                line = _field_write_line(fn, field, env)
+                if line is not None:
+                    findings.append(Finding(
+                        "wake-writers", fn.src.rel, line,
+                        f"{fn.qualname} writes `{field}`, which "
+                        f"{reader.qualname}() reads as a wake "
+                        "horizon, but never notes activity — a "
+                        "skipped cycle could overshoot this event"))
+    return findings
+
+
+def _field_write_line(fn, field, env):
+    text = fn.body_text()
+    pats = [
+        re.escape(field) + _CHAIN + _ASSIGN,
+        r"(?:\+\+|--)\s*\(?\s*\*?\s*" + re.escape(field) + r"\b",
+        re.escape(field) + r"\s*(?:\+\+|--)",
+        re.escape(field) + r"(?:\[[^\]]*\])?(?:\.|->)(?:" +
+        "|".join(MUT_VERBS) + r")\w*\s*\(",
+    ]
+    for p in pats:
+        m = re.search(r"(?<![\w.>])" + p, text)
+        if m:
+            line = _line_of(fn.src, fn.body_start + 1 + m.start())
+            s = fn.src.suppression_for(
+                "wake-writers", line, aliases=("quiescent",
+                                               "caller-notes",
+                                               "activity"))
+            if s is not None:
+                s.used = True
+                return None
+            return line
+    return None

@@ -1,0 +1,69 @@
+"""Optional libclang frontend (gated — never a hard dependency).
+
+When the python `clang` bindings and a loadable libclang are present,
+this module parses translation units out of compile_commands.json and
+cross-checks the textual frontend's function extents against the real
+AST, upgrading the analyzer's confidence. When they are absent (the
+common case in the build container, which ships only the C++
+toolchain), everything degrades silently to the self-contained
+textual frontend in cppmodel.py — availability is a property the CLI
+reports, not an error.
+
+Nothing outside this module imports clang directly.
+"""
+
+
+def _load():
+    try:
+        from clang import cindex  # type: ignore
+    except Exception:
+        return None
+    try:
+        index = cindex.Index.create()
+    except Exception:
+        return None
+    return cindex, index
+
+
+_LOADED = _load()
+
+
+def available():
+    return _LOADED is not None
+
+
+def description():
+    if _LOADED is None:
+        return ("textual frontend (libclang python bindings not "
+                "available; install `clang` + libclang to enable "
+                "AST cross-checking)")
+    return "libclang AST frontend + textual frontend"
+
+
+def function_extents(path, args=()):
+    """[(qualname, start_line, end_line)] for member function
+    definitions in `path`, or None when libclang is unavailable or
+    parsing fails for any reason."""
+    if _LOADED is None:
+        return None
+    cindex, index = _LOADED
+    try:
+        tu = index.parse(str(path), args=list(args))
+    except Exception:
+        return None
+    if tu is None:
+        return None
+    out = []
+    kinds = (cindex.CursorKind.CXX_METHOD,
+             cindex.CursorKind.CONSTRUCTOR,
+             cindex.CursorKind.DESTRUCTOR)
+    try:
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind in kinds and cur.is_definition():
+                cls = cur.semantic_parent.spelling
+                out.append((f"{cls}::{cur.spelling}",
+                            cur.extent.start.line,
+                            cur.extent.end.line))
+    except Exception:
+        return None
+    return out

@@ -1,0 +1,213 @@
+"""Shared infrastructure: findings, suppressions, source loading.
+
+Suppression grammar (one per comment, trailing or standalone):
+
+    // vbr-analyze: <check-id>(<reason>)
+
+  - A trailing comment suppresses findings of <check-id> on its own
+    line.
+  - A standalone comment line suppresses the next source line; a run
+    of standalone suppression lines covers the line after the run.
+  - A standalone suppression immediately above a function definition
+    applies to the whole function (the activity check uses this for
+    `quiescent(...)` and `caller-notes(...)`).
+
+Check ids accepted in suppressions are the real check ids plus two
+activity-check aliases carrying contract meaning:
+
+    quiescent(<reason>)    the function/line mutates state that a
+                           skipped quiescent cycle replicates exactly
+                           (or that is pure scratch); exempt from the
+                           must-note rule and neutral at call sites.
+    caller-notes(<reason>) the function mutates state but every caller
+                           notes activity; call sites count as
+                           mutations so the obligation moves up.
+
+The reason string is mandatory: an empty reason is itself reported
+(check id `suppression`), so the gate cannot be waved through
+silently.
+"""
+
+import json
+import re
+from pathlib import Path
+
+SUPPRESS_RE = re.compile(
+    r"//\s*vbr-analyze:\s*([A-Za-z0-9_-]+)\s*\(([^)\n]*)\)")
+
+
+class Finding:
+    """One reported violation."""
+
+    def __init__(self, check, path, line, message):
+        self.check = check
+        self.path = str(path)
+        self.line = line
+        self.message = message
+
+    def key(self):
+        return (self.check, self.path, self.line, self.message)
+
+    def to_json(self):
+        return {
+            "check": self.check,
+            "file": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self):
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+class Suppression:
+    def __init__(self, check, reason, line, standalone):
+        self.check = check
+        self.reason = reason
+        self.line = line          # 1-based line the comment sits on
+        self.standalone = standalone
+        self.used = False
+
+
+def _strip_comments_and_strings(text):
+    """Blank out comments, string and char literals, preserving byte
+    offsets and newlines so lines and columns survive."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            while i + 1 < n and not (text[i] == "*" and
+                                     text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i + 1 < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            out[i] = " "
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                        i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    """A parsed source file: raw text, comment-stripped text (same
+    offsets), and the suppression table."""
+
+    def __init__(self, root, path):
+        self.root = Path(root)
+        self.path = Path(path)
+        self.rel = self.path.relative_to(self.root).as_posix()
+        self.text = self.path.read_text()
+        self.lines = self.text.splitlines()
+        self.stripped = _strip_comments_and_strings(self.text)
+        self.stripped_lines = self.stripped.splitlines()
+        self.suppressions = self._parse_suppressions()
+
+    def _parse_suppressions(self):
+        sups = []
+        for lineno, line in enumerate(self.lines, 1):
+            m = SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            code = line[: m.start()].strip()
+            sups.append(Suppression(m.group(1), m.group(2).strip(),
+                                    lineno, standalone=(code == "")))
+        return sups
+
+    def suppression_for(self, check, line, aliases=()):
+        """The suppression covering `check` findings at `line`:
+        a trailing comment on the line itself, or the standalone
+        comment run ending directly above it."""
+        wanted = {check, *aliases}
+        for s in self.suppressions:
+            if s.check not in wanted:
+                continue
+            if s.line == line and not s.standalone:
+                return s
+            if s.standalone and s.line < line:
+                # Standalone comments cover the next source line; walk
+                # over any comment-only lines between.
+                covered = s.line + 1
+                while (covered < len(self.lines) + 1 and
+                       covered <= len(self.lines) and
+                       self.lines[covered - 1].strip().startswith("//")):
+                    covered += 1
+                if covered == line:
+                    return s
+        return None
+
+    def reason_findings(self):
+        """Suppressions with empty reasons are findings themselves."""
+        out = []
+        for s in self.suppressions:
+            if not s.reason:
+                out.append(Finding(
+                    "suppression", self.rel, s.line,
+                    f"vbr-analyze suppression for '{s.check}' has no "
+                    "reason — reasons are mandatory"))
+        return out
+
+
+def load_tree(root, subdirs=("src",), exts=(".cpp", ".hpp"),
+              compile_db=None):
+    """Enumerate and parse the sources in scope.
+
+    When a compile_commands.json is given (or found in build/), its
+    translation units seed the list — the libclang frontend needs the
+    flags, and the list proves the files actually build. The recursive
+    walk is the fallback and also picks up headers, which the database
+    does not contain.
+    """
+    # Resolve up front so relative --root arguments compare correctly
+    # against the resolved translation-unit paths below.
+    root = Path(root).resolve()
+    seen = {}
+    if compile_db is None:
+        candidate = root / "build" / "compile_commands.json"
+        compile_db = candidate if candidate.is_file() else None
+    if compile_db:
+        try:
+            for entry in json.loads(Path(compile_db).read_text()):
+                p = Path(entry["file"])
+                if not p.is_absolute():
+                    p = Path(entry["directory"]) / p
+                p = p.resolve()
+                try:
+                    rel = p.relative_to(root.resolve())
+                except ValueError:
+                    continue
+                if rel.parts[0] in subdirs and p.suffix in exts:
+                    seen[p] = None
+        except (OSError, ValueError, KeyError):
+            pass  # fall back to the walk
+    for sub in subdirs:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in exts:
+                seen[p.resolve()] = None
+    return [SourceFile(root, p) for p in sorted(seen)]

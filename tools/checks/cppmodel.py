@@ -1,0 +1,399 @@
+"""A small, honest C++ source model for the activity check.
+
+This is not a compiler. It is a token/brace-level frontend that
+understands exactly as much C++ as this codebase uses (see DESIGN.md
+§11): function definitions at namespace scope and inline methods in
+class bodies, brace-balanced statement trees with if/else, loops,
+switch, return/break/continue, and local-declaration tracking. When
+python bindings for libclang are available, tools/checks/clang_frontend
+replaces the function-extent discovery with real AST cursors; the
+statement-level dataflow below is shared by both frontends.
+"""
+
+import re
+
+KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "do", "else", "case", "default", "new", "delete", "throw",
+    "static_assert", "alignas", "alignof", "decltype", "noexcept",
+    "assert",
+}
+
+_SIG_NAME_RE = re.compile(r"([A-Za-z_][\w:~]*)\s*$")
+
+
+class Function:
+    def __init__(self, name, cls, start_line, body_start, body_end,
+                 sig_text, src):
+        self.name = name              # unqualified name
+        self.cls = cls                # owning class or None
+        self.start_line = start_line  # 1-based line of the signature
+        self.body_start = body_start  # offset of the opening brace
+        self.body_end = body_end      # offset one past the closing brace
+        self.sig_text = sig_text
+        self.src = src                # SourceFile
+        self.is_const = bool(
+            re.search(r"\)\s*const\b[^)]*$", sig_text.split("{")[0]))
+        self.is_ctor = (cls is not None and
+                        (name == cls or name == "~" + cls))
+
+    @property
+    def qualname(self):
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+    def body_text(self):
+        return self.src.stripped[self.body_start:self.body_end]
+
+    def line_of(self, offset):
+        return self.src.stripped.count("\n", 0, offset) + 1
+
+
+def _match_brace(text, i):
+    """Offset one past the brace closing the one at text[i]."""
+    depth = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def _class_extents(text):
+    """[(name, body_start, body_end)] for class/struct definitions."""
+    out = []
+    for m in re.finditer(
+            r"\b(?:class|struct)\s+([A-Za-z_]\w*)"
+            r"(?:\s+final)?(?:\s*:[^;{]*)?\s*{", text):
+        end = _match_brace(text, m.end() - 1)
+        out.append((m.group(1), m.end(), end))
+    return out
+
+
+def extract_functions(src):
+    """Find function definitions in a SourceFile (stripped text)."""
+    text = src.stripped
+    classes = _class_extents(text)
+    funcs = []
+    claimed_until = 0
+    for m in re.finditer(r"\(", text):
+        start = m.start()
+        if start < claimed_until:
+            continue
+        head = text[:start]
+        nm = _SIG_NAME_RE.search(head)
+        if not nm:
+            continue
+        name = nm.group(1)
+        base = name.split("::")[-1].lstrip("~")
+        if base in KEYWORDS or base.isdigit():
+            continue
+        # Balance the parameter list.
+        close = _paren_close(text, start)
+        if close is None:
+            continue
+        # Between ')' and '{' only qualifiers / init lists may appear.
+        tail = text[close + 1:close + 400]
+        bm = re.match(
+            r"\s*(?:const)?\s*(?:noexcept(?:\([^)]*\))?)?\s*"
+            r"(?:override)?\s*(?:final)?\s*(?::[^{;]*)?{", tail)
+        if not bm:
+            continue
+        # Reject call/expression contexts and lambdas: between the
+        # start of this declaration (after the last ; { or }) and the
+        # name there may only be type tokens and qualifiers.
+        decl_start = max(head.rfind(";"), head.rfind("}"),
+                         head.rfind("{")) + 1
+        prefix = head[decl_start:nm.start()]
+        if re.search(r"[=(,!|?+\-/\[\]]", prefix):
+            continue
+        body_start = close + 1 + bm.end() - 1
+        body_end = _match_brace(text, body_start)
+        cls = None
+        if "::" in name:
+            parts = name.split("::")
+            cls, name = parts[-2], parts[-1]
+        else:
+            for cname, cs, ce in classes:
+                if cs <= start < ce:
+                    cls = cname
+                    break
+        start_line = text.count("\n", 0, nm.start()) + 1
+        funcs.append(Function(name, cls, start_line, body_start,
+                              body_end,
+                              text[decl_start:body_start + 1], src))
+        claimed_until = body_end
+    return funcs
+
+
+def _paren_close(text, i):
+    depth = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+        elif c in "{};" and depth == 0:
+            return None
+        i += 1
+    return None
+
+
+# ---------------------------------------------------------------------
+# Statement tree
+# ---------------------------------------------------------------------
+
+class Stmt:
+    """A leaf statement (offset = start offset in the file text)."""
+    def __init__(self, text, offset):
+        self.text = text
+        self.offset = offset
+
+
+class Return(Stmt):
+    pass
+
+
+class Break(Stmt):
+    pass
+
+
+class Continue(Stmt):
+    pass
+
+
+class If:
+    def __init__(self, cond, then_nodes, else_nodes, offset):
+        self.cond = cond
+        self.then_nodes = then_nodes
+        self.else_nodes = else_nodes
+        self.offset = offset
+
+
+class Loop:
+    def __init__(self, head, body_nodes, offset):
+        self.head = head
+        self.body_nodes = body_nodes
+        self.offset = offset
+
+
+_WS_RE = re.compile(r"\s*")
+
+
+def parse_block(text, base):
+    """Parse `text` (a brace-less statement sequence from the stripped
+    file) into a node list. `base` is the file offset of text[0]."""
+    nodes = []
+    i, n = 0, len(text)
+    while i < n:
+        i = _WS_RE.match(text, i).end()
+        if i >= n:
+            break
+        rest = text[i:]
+        if rest.startswith("}"):
+            i += 1
+            continue
+        m = re.match(r"(if|while|for|switch)\s*\(", rest)
+        if m:
+            kw = m.group(1)
+            pc = _paren_close(text, i + m.end() - 1)
+            if pc is None:
+                pc = min(n - 1, i + m.end())
+            cond = text[i:pc + 1]
+            j = _WS_RE.match(text, pc + 1).end()
+            if kw == "switch":
+                # Opaque: order-insensitive scan of the whole body.
+                if j < n and text[j] == "{":
+                    end = _match_brace(text, j)
+                    nodes.append(Stmt(text[i:end], base + i))
+                    i = end
+                else:
+                    end = _stmt_end(text, j)
+                    nodes.append(Stmt(text[i:end], base + i))
+                    i = end
+                continue
+            body_nodes, j = _sub_block(text, j, base)
+            if kw == "if":
+                else_nodes = None
+                k = _WS_RE.match(text, j).end()
+                if text[k:k + 4] == "else" and \
+                        not text[k + 4:k + 5].isidentifier():
+                    k2 = _WS_RE.match(text, k + 4).end()
+                    else_nodes, j = _sub_block(text, k2, base)
+                nodes.append(If(cond, body_nodes, else_nodes,
+                                base + i))
+            else:
+                nodes.append(Loop(cond, body_nodes, base + i))
+            i = j
+            continue
+        if re.match(r"do\s*{", rest):
+            j = text.index("{", i)
+            end = _match_brace(text, j)
+            body_nodes = parse_block(text[j + 1:end - 1], base + j + 1)
+            tail = _stmt_end(text, end)
+            nodes.append(Loop("do", body_nodes, base + i))
+            i = tail
+            continue
+        if re.match(r"else\b", rest):
+            # Dangling else after a brace we already consumed.
+            j = _WS_RE.match(text, i + 4).end()
+            body_nodes, j = _sub_block(text, j, base)
+            nodes.append(If("(else)", body_nodes, None, base + i))
+            i = j
+            continue
+        if rest.startswith("{"):
+            end = _match_brace(text, i)
+            nodes.extend(parse_block(text[i + 1:end - 1],
+                                     base + i + 1))
+            i = end
+            continue
+        end = _stmt_end(text, i)
+        stext = text[i:end]
+        word = re.match(r"\s*(\w+)", stext)
+        w = word.group(1) if word else ""
+        if w == "return":
+            nodes.append(Return(stext, base + i))
+        elif w == "break":
+            nodes.append(Break(stext, base + i))
+        elif w == "continue":
+            nodes.append(Continue(stext, base + i))
+        else:
+            nodes.append(Stmt(stext, base + i))
+        i = end
+    return nodes
+
+
+def _sub_block(text, i, base):
+    """A `{...}` block or a single statement starting at i. Returns
+    (nodes, next_index)."""
+    i = _WS_RE.match(text, i).end()
+    if i < len(text) and text[i] == "{":
+        end = _match_brace(text, i)
+        return parse_block(text[i + 1:end - 1], base + i + 1), end
+    nodes = parse_block_single(text, i, base)
+    end = _stmt_end_nested(text, i)
+    return nodes, end
+
+
+def parse_block_single(text, i, base):
+    """Parse exactly one (possibly compound) statement at i."""
+    end = _stmt_end_nested(text, i)
+    return parse_block(text[i:end], base + i)
+
+
+def _stmt_end(text, i):
+    """Offset one past the ';' ending the statement at i, skipping
+    nested parens/braces (lambdas, init lists)."""
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "(":
+            close = _paren_close(text, i)
+            i = (close + 1) if close is not None else i + 1
+            continue
+        if c == "{":
+            i = _match_brace(text, i)
+            continue
+        if c == ";":
+            return i + 1
+        if c == "}":
+            return i
+        i += 1
+    return n
+
+
+def _stmt_end_nested(text, i):
+    """Like _stmt_end but a leading control keyword drags its body
+    along (for single-statement if/for bodies)."""
+    m = re.match(r"\s*(if|while|for)\s*\(", text[i:])
+    if not m:
+        return _stmt_end(text, i)
+    pc = _paren_close(text, i + m.end() - 1)
+    if pc is None:
+        return _stmt_end(text, i)
+    j = _WS_RE.match(text, pc + 1).end()
+    if j < len(text) and text[j] == "{":
+        j = _match_brace(text, j)
+    else:
+        j = _stmt_end_nested(text, j)
+    k = _WS_RE.match(text, j).end()
+    if text[k:k + 4] == "else":
+        j2 = _WS_RE.match(text, k + 4).end()
+        if j2 < len(text) and text[j2] == "{":
+            return _match_brace(text, j2)
+        return _stmt_end_nested(text, j2)
+    return j
+
+
+# ---------------------------------------------------------------------
+# Local-declaration tracking
+# ---------------------------------------------------------------------
+
+_VALUE_DECL_RE = re.compile(
+    r"^\s*(?:const\s+)?(?:[A-Za-z_][\w:]*(?:<[^;=]*>)?)\s+"
+    r"([A-Za-z_]\w*)\s*(?:=|;|\{|\()")
+_REF_DECL_RE = re.compile(
+    r"^\s*(?:const\s+)?(?:[A-Za-z_][\w:]*(?:<[^;=]*>)?)\s*"
+    r"[&*]\s*([A-Za-z_]\w*)\s*(?:=|;)")
+_PARAM_REF_RE = re.compile(
+    r"(?:const\s+)?[A-Za-z_][\w:<>]*\s*[&*]\s*([A-Za-z_]\w*)")
+_PARAM_VAL_RE = re.compile(
+    r"(?:const\s+)?[A-Za-z_][\w:<>]*\s+([A-Za-z_]\w*)\s*(?:,|\)|$)")
+
+
+def collect_locals(fn):
+    """(value_locals, ref_locals): names declared inside the function
+    (plus parameters). ref_locals are references/pointers -- writes
+    through them may alias member state; value locals never do.
+    A pointer local initialized from the address of a value local is
+    itself a value local (e.g. `unsigned *pool = &alu;`)."""
+    body = fn.body_text()
+    sig = fn.sig_text
+    params = sig[sig.find("("):]
+    value, ref = set(), set()
+    for m in _PARAM_REF_RE.finditer(params):
+        if "const" in m.group(0):
+            value.add(m.group(1))
+        else:
+            ref.add(m.group(1))
+    for m in _PARAM_VAL_RE.finditer(params):
+        value.add(m.group(1))
+    for raw in re.split(r"[;{}]", body):
+        s = raw.strip()
+        mr = _REF_DECL_RE.match(s)
+        if mr and mr.group(1) not in KEYWORDS:
+            init = s.split("=", 1)[1] if "=" in s else ""
+            target = re.match(r"\s*&\s*([A-Za-z_]\w*)\s*$", init)
+            if target and target.group(1) in value:
+                value.add(mr.group(1))
+            else:
+                ref.add(mr.group(1))
+            continue
+        mv = _VALUE_DECL_RE.match(s)
+        if mv and mv.group(1) not in KEYWORDS and \
+                not s.startswith("return"):
+            value.add(mv.group(1))
+    # for-loop heads declare too: `for (unsigned n = 0; ...)`,
+    # `for (IqEntry &e : iq_)`. Non-const ref/pointer loop variables
+    # alias the container's elements -- writes through them count.
+    for m in re.finditer(r"for\s*\(\s*(const\s+)?[\w:<>]+\s*([&*]*)\s*"
+                         r"(?:\[([^\]]*)\]|([A-Za-z_]\w*))", body):
+        is_ref = bool(m.group(2)) and not m.group(1)
+        if m.group(3):
+            names = re.findall(r"[A-Za-z_]\w*", m.group(3))
+        elif m.group(4) and m.group(4) not in KEYWORDS:
+            names = [m.group(4)]
+        else:
+            names = []
+        for nm_ in names:
+            (ref if is_ref else value).add(nm_)
+    return value, ref

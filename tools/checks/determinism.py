@@ -1,0 +1,203 @@
+"""Determinism lints.
+
+The simulator's contract is bit-identical output for identical
+(config, workload, seed) — the verify harness, the sweep runner and
+compare_bench.py all diff runs byte-for-byte. These checks catch the
+classic ways C++ silently breaks that:
+
+  det-unordered-iter   iterating an unordered container in code that
+                       feeds reports / JSON / stats (src/sys,
+                       src/verify, src/check, src/mem, src/ordering).
+                       Hash-order is libstdc++-version dependent.
+  det-ptr-key          pointer-keyed map/set declarations in src/sys
+                       and src/verify — ASLR makes pointer order vary
+                       run to run.
+  det-banned-source    rand()/srand()/time()/random_device/
+                       std::chrono::*_clock::now outside the wall-
+                       clock seam (bench_json owns timing and masks it
+                       from diffs).
+  det-float-merge      float/double `+=` accumulation inside a loop
+                       over an unordered container — FP addition is
+                       not associative, so hash order changes sums.
+"""
+
+import re
+
+from .common import Finding
+
+UNORDERED_ITER_SCOPE = ("src/sys/", "src/verify/", "src/check/",
+                        "src/mem/", "src/ordering/")
+PTR_KEY_SCOPE = ("src/sys/", "src/verify/")
+
+_UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<")
+_RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;)]*?):([^;)]*)\)")
+_BEGIN_RE = re.compile(r"\b(\w+)\s*\.\s*(?:c?begin)\s*\(\s*\)")
+_PTR_KEY_RE = re.compile(
+    r"std::(?:unordered_)?(?:map|set|multimap|multiset)\s*<\s*"
+    r"(?:const\s+)?[\w:]+\s*\*")
+_FLOAT_DECL_RE = re.compile(r"\b(?:double|float)\s+(\w+)\s*[=;{]")
+
+BANNED_SOURCES = (
+    (re.compile(r"\b(?:std::)?s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\b(?:std::)?time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "time()"),
+    (re.compile(r"\bgettimeofday\s*\(|\bclock_gettime\s*\("),
+     "wall-clock syscall"),
+    (re.compile(r"std::chrono::\w*clock::now"),
+     "std::chrono::*_clock::now"),
+)
+
+
+def _match_angle(text, start):
+    """Offset one past the `>` matching the `<` at start-1."""
+    depth = 1
+    i = start
+    while i < len(text) and depth:
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            # `>>` closes two levels since C++11.
+            depth -= 1
+        i += 1
+    return i
+
+
+def _unordered_names(files):
+    """Names of all variables/members declared with an unordered
+    container type, anywhere in the tree."""
+    names = set()
+    for src in files:
+        for m in _UNORDERED_DECL_RE.finditer(src.stripped):
+            end = _match_angle(src.stripped, m.end())
+            nm = re.match(r"\s*&?\s*(\w+)\s*[;={(]",
+                          src.stripped[end:end + 120])
+            if nm:
+                names.add(nm.group(1))
+    return names
+
+
+def _line(src, offset):
+    return src.stripped.count("\n", 0, offset) + 1
+
+
+def _suppressed(src, check, line):
+    s = src.suppression_for(check, line)
+    if s is not None:
+        s.used = True
+        return True
+    return False
+
+
+def _in_scope(src, prefixes):
+    return any(src.rel.startswith(p) for p in prefixes)
+
+
+def run_unordered_iter(files, env=None):
+    names = _unordered_names(files)
+    findings = []
+    for src in files:
+        if not _in_scope(src, UNORDERED_ITER_SCOPE):
+            continue
+        for m in _RANGE_FOR_RE.finditer(src.stripped):
+            expr = m.group(2).strip()
+            tail = re.findall(r"\w+", expr)
+            if not tail or tail[-1] not in names:
+                continue
+            line = _line(src, m.start())
+            if _suppressed(src, "det-unordered-iter", line):
+                continue
+            findings.append(Finding(
+                "det-unordered-iter", src.rel, line,
+                f"range-for over unordered container `{tail[-1]}` — "
+                "hash order is not deterministic; iterate a sorted "
+                "copy or switch to an ordered container"))
+        for m in _BEGIN_RE.finditer(src.stripped):
+            if m.group(1) not in names:
+                continue
+            # decltype(x.begin()) names a type; nothing iterates.
+            if "decltype" in src.stripped[max(0, m.start() - 48):
+                                          m.start()]:
+                continue
+            line = _line(src, m.start())
+            if _suppressed(src, "det-unordered-iter", line):
+                continue
+            findings.append(Finding(
+                "det-unordered-iter", src.rel, line,
+                f"iterator over unordered container `{m.group(1)}` — "
+                "hash order is not deterministic"))
+    return findings
+
+
+def run_ptr_key(files, env=None):
+    findings = []
+    for src in files:
+        if not _in_scope(src, PTR_KEY_SCOPE):
+            continue
+        for m in _PTR_KEY_RE.finditer(src.stripped):
+            line = _line(src, m.start())
+            if _suppressed(src, "det-ptr-key", line):
+                continue
+            findings.append(Finding(
+                "det-ptr-key", src.rel, line,
+                "pointer-keyed associative container — ASLR makes "
+                "pointer order vary across runs; key by a stable id "
+                "(seq number, index) instead"))
+    return findings
+
+
+def run_banned_source(files, env=None):
+    findings = []
+    for src in files:
+        for pat, what in BANNED_SOURCES:
+            for m in pat.finditer(src.stripped):
+                line = _line(src, m.start())
+                if _suppressed(src, "det-banned-source", line):
+                    continue
+                findings.append(Finding(
+                    "det-banned-source", src.rel, line,
+                    f"nondeterminism source {what} — the only "
+                    "sanctioned wall-clock seam is src/sys/bench_json "
+                    "(masked from diffs by compare_bench.py)"))
+    return findings
+
+
+def run_float_merge(files, env=None):
+    names = _unordered_names(files)
+    findings = []
+    for src in files:
+        float_vars = set(_FLOAT_DECL_RE.findall(src.stripped))
+        if not float_vars:
+            continue
+        for m in _RANGE_FOR_RE.finditer(src.stripped):
+            expr = m.group(2).strip()
+            tail = re.findall(r"\w+", expr)
+            if not tail or tail[-1] not in names:
+                continue
+            # Body: next balanced brace block (or single statement).
+            body_start = src.stripped.find("{", m.end())
+            if body_start < 0:
+                continue
+            depth, i = 1, body_start + 1
+            while i < len(src.stripped) and depth:
+                if src.stripped[i] == "{":
+                    depth += 1
+                elif src.stripped[i] == "}":
+                    depth -= 1
+                i += 1
+            body = src.stripped[body_start:i]
+            for am in re.finditer(r"\b(\w+)\s*\+=", body):
+                if am.group(1) not in float_vars:
+                    continue
+                line = _line(src, body_start + am.start())
+                if _suppressed(src, "det-float-merge", line):
+                    continue
+                findings.append(Finding(
+                    "det-float-merge", src.rel, line,
+                    f"float accumulation `{am.group(1)} +=` inside "
+                    "iteration over unordered container "
+                    f"`{tail[-1]}` — FP addition is not associative, "
+                    "hash order changes the sum"))
+    return findings

@@ -1,0 +1,118 @@
+"""Layering DAG check over the `#include` graph.
+
+Generalizes tools/lint.py check 4 (core must not see the concrete
+assoc-LQ structures) into the full layer diagram from DESIGN.md:
+
+    common
+      -> isa <-> mem (same rank; program images), fault
+      -> lsq / cam / predict
+      -> ordering (backends; sees core only via interface headers)
+      -> core (per-stage pipeline)
+      -> sys (runner / report / sweep)
+    check, verify: observers — consume interface headers only.
+
+Three rule kinds, all driven off the directory graph below:
+
+  * edge rule: a file in dir A may only include dirs in ALLOWED[A]
+    (same-dir includes are always fine; `common` is the base layer);
+  * interface rule: some edges are restricted to specific interface
+    headers (e.g. ordering -> core only through dyn_inst/trace/
+    core_config/commit_observer);
+  * banned-header rule: concrete headers a dir must never see even
+    though the dir edge exists (core -> lsq concrete CAM structures —
+    core must stay ignorant of which ordering backend is wired).
+
+Suppress with `// vbr-analyze: layering(<reason>)` on the include
+line — reasons are mandatory and audited.
+"""
+
+import re
+
+from .common import Finding
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+# Directory -> directories it may include (same dir implicitly ok).
+ALLOWED = {
+    "common": set(),
+    "cam": {"common"},
+    "fault": {"common"},
+    "isa": {"common", "mem"},      # isa <-> mem: same rank
+    "mem": {"common", "isa", "fault"},
+    "predict": {"common", "isa"},
+    "lsq": {"common", "ordering"},  # ordering/scheme.hpp only, below
+    "ordering": {"common", "fault", "mem", "lsq", "predict",
+                 "core", "verify"},
+    "core": {"common", "fault", "isa", "mem", "lsq", "predict",
+             "ordering", "verify"},
+    "sys": {"common", "core", "mem", "isa", "fault", "verify"},
+    "verify": {"common", "core", "lsq", "mem"},
+    "check": {"common", "core"},
+    "workload": {"common", "isa"},
+}
+
+# (from-dir, to-dir) -> exact headers the edge may carry.
+INTERFACE_ONLY = {
+    ("ordering", "core"): {"core/dyn_inst.hpp", "core/trace.hpp",
+                           "core/core_config.hpp",
+                           "core/commit_observer.hpp"},
+    ("lsq", "ordering"): {"ordering/scheme.hpp"},
+    ("verify", "core"): {"core/commit_observer.hpp",
+                         "core/dyn_inst.hpp"},
+    ("check", "core"): {"core/commit_observer.hpp"},
+}
+
+# from-dir -> concrete headers banned outright (lint.py check 4).
+BANNED_HEADERS = {
+    "core": {"lsq/assoc_load_queue.hpp", "lsq/replay_queue.hpp"},
+}
+
+
+def _src_dir(rel):
+    parts = rel.split("/")
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+def run_layering(files, env=None):
+    findings = []
+    for src in files:
+        sdir = _src_dir(src.rel)
+        if sdir is None:
+            continue
+        for lineno, raw in enumerate(src.lines, 1):
+            m = _INCLUDE_RE.match(raw)
+            if not m:
+                continue
+            inc = m.group(1)
+            tdir = inc.split("/")[0] if "/" in inc else sdir
+            if tdir == sdir:
+                continue
+
+            def report(msg):
+                s = src.suppression_for("layering", lineno)
+                if s is not None:
+                    s.used = True
+                    return
+                findings.append(Finding("layering", src.rel, lineno,
+                                        msg))
+
+            if inc in BANNED_HEADERS.get(sdir, ()):
+                report(f"`{sdir}` must not include concrete header "
+                       f"`{inc}` — the ordering backend owns its "
+                       "structures; go through the "
+                       "MemoryOrderingUnit seam")
+                continue
+            allowed = ALLOWED.get(sdir)
+            if allowed is not None and tdir not in allowed:
+                report(f"layer `{sdir}` may not depend on `{tdir}` "
+                       f"(include of `{inc}`); allowed: "
+                       f"{', '.join(sorted(allowed)) or 'none'}")
+                continue
+            iface = INTERFACE_ONLY.get((sdir, tdir))
+            if iface is not None and inc not in iface:
+                report(f"edge {sdir} -> {tdir} is interface-only; "
+                       f"`{inc}` is not in the whitelist "
+                       f"({', '.join(sorted(iface))})")
+    return findings

@@ -8,10 +8,12 @@ Checks, over src/, tests/, bench/, examples/:
   2. every src/**/x.cpp includes its own header ("<dir>/x.hpp") as its
      FIRST include, which proves each header is self-contained;
   3. no `using namespace std;`;
-  4. layering guard: nothing under src/core/ may include the concrete
-     ordering structures (lsq/assoc_load_queue.hpp, lsq/replay_queue.hpp)
-     directly — the core talks to them only through the
-     MemoryOrderingUnit interface in src/ordering/.
+  4. layering guard — delegated to tools/checks/layering.py, the
+     single source of truth for the include-DAG rules (it subsumes
+     the old "core must not see the concrete ordering structures"
+     check with the full DESIGN.md layer diagram);
+  5. tools/*.py style: every script compiles, carries a module
+     docstring, and contains no hard tabs.
 
 src/ordering/ is picked up by the src/ recursive walk, so checks 1-3
 apply there too (as does the clang-tidy glob in CMakeLists.txt).
@@ -83,28 +85,34 @@ def check_self_include(root: Path, path: Path, findings: list) -> None:
     findings.append(f"{path}: no includes at all?")
 
 
-# Scheme-specific LSQ structures the core must reach only through the
-# MemoryOrderingUnit seam. If src/core/ regains one of these includes,
-# the pluggable-ordering refactor has regressed.
-CORE_BANNED_INCLUDES = (
-    "lsq/assoc_load_queue.hpp",
-    "lsq/replay_queue.hpp",
-)
+def check_layering(root: Path, findings: list) -> None:
+    """Include-DAG rules, delegated to the analyzer's layering check
+    (tools/checks/layering.py) so lint and analyze cannot drift."""
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from checks import load_tree
+    from checks.layering import run_layering
+    files = load_tree(root)
+    for f in run_layering(files):
+        findings.append(f.render())
 
 
-def check_core_layering(root: Path, path: Path, findings: list) -> None:
-    """src/core/* must not include concrete ordering structures."""
-    try:
-        rel = path.relative_to(root / "src" / "core")
-    except ValueError:
-        return
-    for lineno, line in enumerate(path.read_text().splitlines(), 1):
-        m = INCLUDE_RE.match(line)
-        if m and m.group(1) in CORE_BANNED_INCLUDES:
-            findings.append(
-                f"{path}:{lineno}: src/core/{rel} includes "
-                f"\"{m.group(1)}\" — scheme structures are only "
-                "reachable through ordering/memory_ordering_unit.hpp")
+def check_python_style(root: Path, findings: list) -> None:
+    """tools/*.py must compile, carry a module docstring, and use no
+    hard tabs (the repo standardizes on spaces everywhere)."""
+    import ast
+    for path in sorted((root / "tools").rglob("*.py")):
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError as e:
+            findings.append(f"{path}:{e.lineno}: does not compile: "
+                            f"{e.msg}")
+            continue
+        if ast.get_docstring(tree) is None:
+            findings.append(f"{path}:1: missing module docstring")
+        for lineno, line in enumerate(path.read_text().splitlines(),
+                                      1):
+            if "\t" in line:
+                findings.append(f"{path}:{lineno}: hard tab")
 
 
 def main() -> int:
@@ -119,10 +127,10 @@ def main() -> int:
                 continue
             check_naked_new(path, findings)
             check_using_std(path, findings)
-            if dirname == "src":
-                check_core_layering(root, path, findings)
             if path.suffix == ".cpp" and dirname == "src":
                 check_self_include(root, path, findings)
+    check_layering(root, findings)
+    check_python_style(root, findings)
     for f in findings:
         print(f)
     print(f"lint: {len(findings)} finding(s)")
