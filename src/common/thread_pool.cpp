@@ -9,7 +9,7 @@ ThreadPool::ThreadPool(unsigned threads)
 {
     if (threads == 0)
         threads = 1;
-    queues_.resize(threads);
+    workers_ = std::vector<WorkerSlot>(threads);
     threads_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
         threads_.emplace_back([this, i] { workerLoop(i); });
@@ -34,8 +34,8 @@ ThreadPool::submit(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queues_[nextQueue_].push_back(std::move(task));
-        nextQueue_ = (nextQueue_ + 1) % queues_.size();
+        workers_[nextQueue_].queue.push_back(std::move(task));
+        nextQueue_ = (nextQueue_ + 1) % workers_.size();
         ++inFlight_;
     }
     workCv_.notify_one();
@@ -56,16 +56,16 @@ ThreadPool::wait()
 bool
 ThreadPool::takeTask(std::size_t self, std::function<void()> &out)
 {
-    if (!queues_[self].empty()) {
-        out = std::move(queues_[self].front());
-        queues_[self].pop_front();
+    if (!workers_[self].queue.empty()) {
+        out = std::move(workers_[self].queue.front());
+        workers_[self].queue.pop_front();
         return true;
     }
-    for (std::size_t k = 1; k < queues_.size(); ++k) {
-        std::size_t victim = (self + k) % queues_.size();
-        if (!queues_[victim].empty()) {
-            out = std::move(queues_[victim].front());
-            queues_[victim].pop_front();
+    for (std::size_t k = 1; k < workers_.size(); ++k) {
+        std::size_t victim = (self + k) % workers_.size();
+        if (!workers_[victim].queue.empty()) {
+            out = std::move(workers_[victim].queue.front());
+            workers_[victim].queue.pop_front();
             return true;
         }
     }
@@ -88,7 +88,7 @@ ThreadPool::workerLoop(std::size_t self)
                     firstError_ = std::current_exception();
             }
             lock.lock();
-            ++tasksRun_;
+            ++workers_[self].tasksRun;
             if (--inFlight_ == 0)
                 idleCv_.notify_all();
             continue;

@@ -66,17 +66,31 @@ class ThreadPool
     tasksRun() const
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        return tasksRun_;
+        std::uint64_t total = 0;
+        for (const WorkerSlot &w : workers_)
+            total += w.tasksRun;
+        return total;
     }
 
   private:
+    /** Per-worker state, padded to a full cache line: a worker's
+     * deque header and completion counter are written on every task,
+     * and without the padding sibling slots share lines — the mutex
+     * already serializes them, but each write would still invalidate
+     * the line under every other worker mid-ping-pong. */
+    struct alignas(64) WorkerSlot
+    {
+        std::deque<std::function<void()>> queue;
+        std::uint64_t tasksRun = 0;
+    };
+
     void workerLoop(std::size_t self);
 
     /** Pop own work first, then steal the oldest task from a sibling
      * deque. Caller holds mutex_. */
     bool takeTask(std::size_t self, std::function<void()> &out);
 
-    std::vector<std::deque<std::function<void()>>> queues_;
+    std::vector<WorkerSlot> workers_;
     std::vector<std::thread> threads_;
 
     mutable std::mutex mutex_;
@@ -84,7 +98,6 @@ class ThreadPool
     std::condition_variable idleCv_; ///< wait(): everything drained
     std::size_t nextQueue_ = 0;      ///< round-robin submit target
     std::size_t inFlight_ = 0;       ///< queued + running tasks
-    std::uint64_t tasksRun_ = 0;
     bool stopping_ = false;
     std::exception_ptr firstError_;
 };

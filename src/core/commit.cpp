@@ -94,8 +94,8 @@ OooCore::retireHead(Cycle now)
         // needs the drain notification to stay in sync.
         SqEntry *e = sq_.head();
         VBR_ASSERT(e && e->seq == head.seq, "SQ head mismatch");
-        if (auditor_)
-            auditor_->onStoreDrained(coreId(), head.seq, now);
+        if (AuditEventSink *a = auditSink())
+            a->onStoreDrained(coreId(), head.seq, now);
         sq_.popFront();
         faults_->onWildStore(coreId());
         ++(*sc_committed_stores_);
@@ -151,8 +151,8 @@ OooCore::retireHead(Cycle now)
             ev.commitCycle = now;
             emitCommit(ev);
         }
-        if (auditor_)
-            auditor_->onStoreDrained(coreId(), head.seq, now);
+        if (AuditEventSink *a = auditSink())
+            a->onStoreDrained(coreId(), head.seq, now);
         sq_.popFront();
         ++(*sc_committed_stores_);
     }
@@ -199,10 +199,10 @@ OooCore::retireHead(Cycle now)
             ev.commitCycle = now;
             emitCommit(ev);
         }
-        if (auditor_)
-            auditor_->onLoadCommit(coreId(), head.seq, head.pc,
-                                   head.replayIssued,
-                                   head.compareReadyCycle, now);
+        if (AuditEventSink *a = auditSink())
+            a->onLoadCommit(coreId(), head.seq, head.pc,
+                            head.replayIssued,
+                            head.compareReadyCycle, now);
         if (valuePred_) {
             valuePred_->train(head.pc, head.prematureValue);
             if (head.valuePredicted)

@@ -91,8 +91,8 @@ OooCore::dispatchStage(Cycle now)
         if (is_store) {
             sq_.dispatch(d.seq, d.pc, memSize(op));
             depPred_->notifyStoreDispatched(d.pc, d.seq);
-            if (auditor_)
-                auditor_->onStoreDispatched(coreId(), d.seq);
+            if (AuditEventSink *a = auditSink())
+                a->onStoreDispatched(coreId(), d.seq);
         }
         if (is_swap || is_membar)
             fences_.push_back(d.seq);

@@ -203,6 +203,14 @@ OooCore::noteCommit(Cycle now)
     lastCommitCycle_ = now;
 }
 
+AuditEventSink *
+OooCore::auditSink()
+{
+    if (mpPhase1_ && auditor_)
+        return &deferredAudit_;
+    return auditor_;
+}
+
 void
 OooCore::emitCommit(const MemCommitEvent &event)
 {
@@ -234,6 +242,11 @@ OooCore::deadlocked(Cycle now) const
 void
 OooCore::onExternalInvalidation(Addr line)
 {
+    // A sleeping core must reach the published horizon before the
+    // delivery is processed: the ordering backend stamps arming/search
+    // state with cycles_, and the invalidation semantically lands at
+    // the horizon cycle, not at the stale local clock.
+    syncToHorizon();
     activityThisTick_ = true;
     ++(*sc_external_invalidations_seen_);
     ordering_->onExternalInvalidation(line);
@@ -273,6 +286,7 @@ OooCore::tick(Cycle now)
     cycles_ = now;
     if (halted_)
         return false;
+    ++tickedCycles_;
 
     // External events delivered before this core's tick (fault-delayed
     // snoops, an earlier-ticking core's invalidations) already set the
@@ -300,6 +314,81 @@ OooCore::tick(Cycle now)
         static_cast<double>(iq_.size()));
     ++(*sc_cycles_);
     return activityThisTick_;
+}
+
+// vbr-analyze: quiescent(per-cycle bookkeeping is replicated by applySkippedCycles; real work notes inside the stages)
+bool
+OooCore::tickFront(Cycle now)
+{
+    cycles_ = now;
+    if (halted_)
+        return false;
+    ++tickedCycles_;
+
+    squashedThisCycle_ = false;
+    dispatchStallThisTick_ = nullptr;
+    depPred_->tick(now);
+    ordering_->beginCycle(now);
+    commitStage(now);
+    return true;
+}
+
+// vbr-analyze: quiescent(per-cycle bookkeeping is replicated by applySkippedCycles; real work notes inside the stages)
+bool
+OooCore::tickBack(Cycle now)
+{
+    mpPhase1_ = true;
+    ordering_->backendStage(now);
+    writebackStage(now);
+    captureStoreData(now);
+    issueStage(now);
+    dispatchStage(now);
+    fetchStage(now);
+    mpPhase1_ = false;
+
+    (*sc_rob_occupancy_).sample(static_cast<double>(rob_.size()));
+    (*sc_iq_occupancy_).sample(static_cast<double>(iq_.size()));
+    ++(*sc_cycles_);
+    return activityThisTick_;
+}
+
+void
+OooCore::flushDeferredAudit()
+{
+    if (auditor_ && !deferredAudit_.empty())
+        deferredAudit_.flushTo(*auditor_);
+}
+
+void
+OooCore::syncTo(Cycle c)
+{
+    if (!halted_ && cycles_ < c)
+        applySkippedCycles(c - cycles_);
+}
+
+// vbr-analyze: quiescent(lazy clock sync for a sleeping core: consumes the published horizon and replays skipped-cycle bookkeeping; front-tick horizons run the quiescent tickFront the serial reference already ran this cycle, still before any delivery is processed)
+void
+OooCore::syncToHorizon()
+{
+    if (syncHorizon_ == kNeverCycle)
+        return;
+    Cycle h = syncHorizon_;
+    bool front = syncHorizonFrontTick_;
+    syncHorizon_ = kNeverCycle;
+    syncHorizonFrontTick_ = false;
+    if (front) {
+        // The serial reference ran this core's tickFront(h) before
+        // the delivery now being processed — on the identical
+        // pre-delivery state the core was proven quiescent in, so
+        // re-running it here is the same no-op plus bookkeeping. The
+        // cycle's back half is NOT replayed: the System puts this
+        // core into phase B, where dispatch/fetch and the occupancy
+        // samples see the post-delivery state, exactly as serial.
+        syncTo(h - 1);
+        tickFront(h);
+    } else {
+        syncTo(h);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -362,6 +451,7 @@ void
 OooCore::applySkippedCycles(Cycle n)
 {
     cycles_ += n;
+    skippedCycles_ += n;
     (*sc_cycles_) += n;
     (*sc_rob_occupancy_).sample(static_cast<double>(rob_.size()), n);
     (*sc_iq_occupancy_).sample(static_cast<double>(iq_.size()), n);

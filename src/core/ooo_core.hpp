@@ -49,6 +49,7 @@
 #include "predict/branch_predictor.hpp"
 #include "predict/dep_predictor.hpp"
 #include "predict/value_predictor.hpp"
+#include "verify/audit_sink.hpp"
 
 namespace vbr
 {
@@ -80,6 +81,91 @@ class OooCore final : public MemEventClient, private OrderingHost
      * after ALL cores ticked instead, because a later-ticking core
      * can still deliver an invalidation here. */
     bool tick(Cycle now);
+
+    // --- two-phase multiprocessor tick (see DESIGN.md §10) ------------
+    //
+    // For cores > 1 the System splits each cycle into a serial front
+    // phase (begin-of-cycle work + the commit stage, run per core in
+    // core-index order against live memory) and a compute phase (the
+    // remaining stages, run against frozen post-commit coherence
+    // state — parallelizable across cores). The per-core stage order
+    // is exactly the serial tick()'s; only cross-core delivery timing
+    // is batched. The split is always active in MP mode, so outcomes
+    // are thread-count-independent by construction.
+
+    /** Phase A (serial, core-index order): per-cycle flag resets,
+     * begin-of-cycle backend work (deferred snoop searches), and the
+     * commit stage — store drains, SWAP execution, retirement —
+     * against live memory. One core runs at a time, so RMW atomicity
+     * and cross-core drain order need no locking. Returns false when
+     * the core entered the cycle halted (phase B must be skipped). */
+    bool tickFront(Cycle now);
+
+    /** Phase B: every remaining stage (backend, writeback, store-data
+     * capture, issue, dispatch, fetch) plus end-of-tick samples. No
+     * memory or directory state is mutated; coherence fabric requests
+     * are logged for end-of-cycle application and answered from a
+     * preview of the frozen directory, so concurrent cores neither
+     * mutate shared state nor observe each other. Returns the
+     * activity verdict accumulated across both phases. */
+    bool tickBack(Cycle now);
+
+    /** Flush any phase-B buffered auditor events. The System calls
+     * this for every core that ran phase B (core-index order) before
+     * applying deferred coherence ops: deliveries during another
+     * core's applyDeferredOps slot can raise direct auditor events on
+     * this core, and those must not overtake the buffered
+     * compute-phase events. */
+    void flushDeferredAudit();
+
+    // --- per-core slack fast-forward ----------------------------------
+
+    /** Advance a sleeping core's local clock to cycle @p c by
+     * accounting the intervening cycles as skipped (no-op when the
+     * core is halted or already at/past @p c). Callers must only pass
+     * horizons the core was proven quiescent through. */
+    void syncTo(Cycle c);
+
+    /** Publish the horizon this sleeping core may lazily sync to when
+     * an external delivery arrives (kNeverCycle while awake). The
+     * System sets it each global cycle a core sleeps through. Plain
+     * horizons replay every cycle through @p c as fully quiescent. */
+    // vbr-analyze: quiescent(sleep bookkeeping; deliveries wake via onExternalInvalidation)
+    void setSyncHorizon(Cycle c)
+    {
+        syncHorizon_ = c;
+        syncHorizonFrontTick_ = false;
+    }
+
+    /** Publish cycle @p c as a *front-tick* horizon: a delivery
+     * consuming it replays quiescent cycles through c-1, then runs
+     * tickFront(c) for real before the delivery is processed. The
+     * System publishes this once phase A has passed a sleeper by:
+     * a later phase-A delivery lands between the victim's front and
+     * back halves of cycle c, so the victim's dispatch/fetch (and
+     * their stall + occupancy accounting) for c run post-delivery in
+     * phase B — the quiescent-replay model would wrongly re-apply the
+     * pre-delivery stall pin to cycle c. */
+    // vbr-analyze: quiescent(sleep bookkeeping; deliveries wake via onExternalInvalidation)
+    void setSyncHorizonFrontTick(Cycle c)
+    {
+        syncHorizon_ = c;
+        syncHorizonFrontTick_ = true;
+    }
+
+    /** The core-local clock (== the global clock while awake; lags it
+     * while the core sleeps under per-core fast-forward). */
+    Cycle localCycle() const { return cycles_; }
+
+    /** Cycles this core accounted via skip (global or per-core). */
+    Cycle skippedCycles() const { return skippedCycles_; }
+
+    /** Cycles this core actually ticked while not halted. */
+    Cycle tickedCycles() const { return tickedCycles_; }
+
+    /** True when a pipeline tracer is attached (shared-mutable, so
+     * the System falls back to serial phase 1). */
+    bool hasTracer() const { return tracer_ != nullptr; }
 
     /** Clear the activity flag. The System calls this on every core
      * at the start of its own tick, before fault-delayed snoops are
@@ -241,7 +327,7 @@ class OooCore final : public MemEventClient, private OrderingHost
     const CoreConfig &coreConfig() const override { return config_; }
     Cycle coreCycle() const override { return cycles_; }
     std::deque<DynInst> &robWindow() override { return rob_; }
-    InvariantAuditor *auditorHook() override { return auditor_; }
+    AuditEventSink *auditorHook() override { return auditSink(); }
     FaultInjector *faultInjector() override { return faults_; }
     void traceEvent(TraceKind kind, const DynInst &inst) override;
     bool replayPortAvailable() const override;
@@ -336,6 +422,14 @@ class OooCore final : public MemEventClient, private OrderingHost
     PipelineTracer *tracer_ = nullptr;
     FaultInjector *faults_ = nullptr;
 
+    /** Phase-1 buffer for auditor events (see AuditEventSink). */
+    DeferredAuditSink deferredAudit_;
+
+    /** Where pipeline events report: the deferred buffer during the
+     * (potentially parallel) compute phase, the auditor directly
+     * otherwise. Null when auditing is off. */
+    AuditEventSink *auditSink();
+
     /** Ring of the last config_.commitTraceDepth retirements. */
     std::deque<CommitTraceEntry> commitTrace_;
 
@@ -363,6 +457,27 @@ class OooCore final : public MemEventClient, private OrderingHost
     Cycle lastCommitCycle_ = 0;
     bool halted_ = false;
     bool squashedThisCycle_ = false;
+
+    /** True while this core runs its compute phase (tickBack): audit
+     * events defer, and no commit-side mutation may occur. */
+    bool mpPhase1_ = false;
+
+    /** Lazy-sync horizon while sleeping (see setSyncHorizon). */
+    Cycle syncHorizon_ = kNeverCycle;
+
+    /** When set, consuming the horizon runs tickFront(horizon) after
+     * syncing to horizon-1 (see setSyncHorizonFrontTick). */
+    bool syncHorizonFrontTick_ = false;
+
+    /** Catch a sleeping core's local clock up before an external
+     * delivery is processed, so event stamps and ordering-backend
+     * state see the correct cycle. */
+    void syncToHorizon();
+
+    /** Local tick/skip accounting (Σ across cores is the MP run's
+     * cycle identity; see RunResult). */
+    Cycle tickedCycles_ = 0;
+    Cycle skippedCycles_ = 0;
 
     /** Set by any state-changing pipeline work this tick; reset at
      * tick start. tick() returns it as the quiescence verdict. */

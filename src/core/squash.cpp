@@ -60,8 +60,8 @@ OooCore::squashFrom(SeqNum bound, std::uint32_t new_fetch_pc,
     squashedThisCycle_ = true;
     activityThisTick_ = true;
     ++(*sc_squashes_total_);
-    if (auditor_)
-        auditor_->onSquash(coreId(), bound, cycles_);
+    if (AuditEventSink *a = auditSink())
+        a->onSquash(coreId(), bound, cycles_);
     // Fault attribution: corruptions riding on squashed loads were
     // recovered (the instructions re-execute with fresh values).
     if (faults_)

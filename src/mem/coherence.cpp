@@ -24,6 +24,10 @@ CoherenceFabric::attach(CacheHierarchy *hierarchy)
 FabricResult
 CoherenceFabric::readLine(CoreId core, Addr line)
 {
+    if (deferred_) {
+        deferredOps_[core].push_back({DeferredOp::Kind::Read, line});
+        return previewRead(core, line);
+    }
     Entry &e = entry(line);
     FabricResult r;
     ++stats_.counter("read_transactions");
@@ -47,6 +51,10 @@ CoherenceFabric::readLine(CoreId core, Addr line)
 FabricResult
 CoherenceFabric::ownLine(CoreId core, Addr line)
 {
+    if (deferred_) {
+        deferredOps_[core].push_back({DeferredOp::Kind::Own, line});
+        return previewOwn(core, line);
+    }
     Entry &e = entry(line);
     FabricResult r;
     ++stats_.counter("ownership_transactions");
@@ -110,6 +118,10 @@ CoherenceFabric::invalidateRemote(Addr line, int except_core)
 void
 CoherenceFabric::evictLine(CoreId core, Addr line)
 {
+    if (deferred_) {
+        deferredOps_[core].push_back({DeferredOp::Kind::Evict, line});
+        return;
+    }
     auto it = directory_.find(line);
     if (it == directory_.end())
         return;
@@ -136,6 +148,95 @@ CoherenceFabric::isSharer(CoreId core, Addr line) const
     auto it = directory_.find(line);
     return it != directory_.end() &&
            ((it->second.sharers >> core) & 1);
+}
+
+// ---------------------------------------------------------------------
+// Deferred transaction mode (two-phase MP tick)
+// ---------------------------------------------------------------------
+
+FabricResult
+CoherenceFabric::previewRead(CoreId core, Addr line) const
+{
+    // Mirror of readLine's latency decision against the frozen
+    // directory: no mutation, no counters, no callbacks.
+    const Entry e = findEntry(line);
+    FabricResult r;
+    if (e.owner >= 0 && static_cast<CoreId>(e.owner) != core) {
+        r.latency = config_.addrLatency + config_.dataLatency;
+        r.fromRemoteCache = true;
+    } else {
+        r.latency = config_.memLatency;
+    }
+    return r;
+}
+
+FabricResult
+CoherenceFabric::previewOwn(CoreId core, Addr line) const
+{
+    const Entry e = findEntry(line);
+    FabricResult r;
+    if (e.owner == static_cast<int>(core))
+        return r; // already exclusive; silent upgrade
+
+    bool held_locally = (e.sharers >> core) & 1;
+    bool remote_owner = e.owner >= 0;
+    bool remote_sharers = (e.sharers & ~(1ULL << core)) != 0;
+
+    if (remote_owner)
+        r.latency = config_.addrLatency + config_.dataLatency;
+    else if (remote_sharers)
+        r.latency = config_.addrLatency;
+    else if (!held_locally) {
+        r.latency = config_.memLatency;
+    } else {
+        r.latency = config_.addrLatency;
+    }
+    // Approximation (no fault-injector consult: shouldDropInvalidation
+    // draws RNG state): remote copies existing in the frozen snapshot.
+    // No consumer reads this field on the request path — hierarchies
+    // use latency and fromRemoteCache only.
+    r.invalidatedRemote = remote_owner || remote_sharers;
+    return r;
+}
+
+void
+CoherenceFabric::beginDeferred()
+{
+    deferred_ = true;
+    if (deferredOps_.size() != cores_.size())
+        deferredOps_.resize(cores_.size());
+    for (auto &ops : deferredOps_)
+        ops.clear();
+}
+
+void
+CoherenceFabric::applyDeferredOps(CoreId core)
+{
+    VBR_ASSERT(!deferred_,
+               "applyDeferredOps requires direct mode (endDeferred)");
+    if (core >= deferredOps_.size())
+        return;
+    // Swap the log out first: applying an op can re-enter the fabric
+    // (an invalidation callback can trigger an eviction), and those
+    // re-entrant calls must go direct, not land in the log.
+    std::vector<DeferredOp> ops;
+    ops.swap(deferredOps_[core]);
+    for (const DeferredOp &op : ops) {
+        switch (op.kind) {
+        case DeferredOp::Kind::Read:
+            readLine(core, op.line);
+            break;
+        case DeferredOp::Kind::Own:
+            ownLine(core, op.line);
+            break;
+        case DeferredOp::Kind::Evict:
+            evictLine(core, op.line);
+            break;
+        }
+    }
+    // Hand the (cleared) buffer back so its capacity is reused.
+    ops.clear();
+    deferredOps_[core].swap(ops);
 }
 
 void

@@ -105,6 +105,36 @@ class CoherenceFabric
      */
     void dmaInvalidate(Addr line);
 
+    // --- two-phase MP tick: deferred transaction mode -----------------
+    //
+    // During the (potentially parallel) compute phase, every core's
+    // fabric requests are logged per-core and answered from a preview
+    // of the frozen directory — no directory mutation, no counters, no
+    // invalidation callbacks. The System then applies each core's log
+    // in core-index order during the serial commit phase, so directory
+    // updates and snoop deliveries are identical regardless of how
+    // many threads ran the compute phase. Preview latencies are the
+    // committed answer (the requesting core already armed its timers
+    // with them); apply-time counters and invalidations see the live
+    // directory, which can differ from the preview's latency branch —
+    // deterministically, since application order is fixed.
+
+    /** Enter deferred mode (start of the compute phase). Clears every
+     * per-core op log. */
+    void beginDeferred();
+
+    /** Leave deferred mode (end of the compute phase), before any
+     * applyDeferredOps call so re-entrant fabric work (e.g. an
+     * eviction triggered by an invalidation callback) goes direct. */
+    void endDeferred() { deferred_ = false; }
+
+    /** Apply @p core's logged transactions against the live
+     * directory, in arrival order (serial commit phase only). */
+    void applyDeferredOps(CoreId core);
+
+    /** True while fabric requests are being logged. */
+    bool deferred() const { return deferred_; }
+
     /**
      * Earliest future cycle at which the fabric can change state on
      * its own. All fabric transactions are initiated synchronously by
@@ -154,14 +184,43 @@ class CoherenceFabric
 
     Entry &entry(Addr line) { return directory_[line]; }
 
+    /** Directory lookup without insertion (preview paths must not
+     * mutate the map, and concurrent previews share it). */
+    Entry
+    findEntry(Addr line) const
+    {
+        auto it = directory_.find(line);
+        return it == directory_.end() ? Entry{} : it->second;
+    }
+
     /** Invalidate all copies except @p except_core's. */
     bool invalidateRemote(Addr line, int except_core);
+
+    /** Frozen-directory answers for deferred-mode requests. */
+    FabricResult previewRead(CoreId core, Addr line) const;
+    FabricResult previewOwn(CoreId core, Addr line) const;
+
+    /** One logged compute-phase fabric request. */
+    struct DeferredOp
+    {
+        enum class Kind : std::uint8_t
+        {
+            Read,
+            Own,
+            Evict,
+        };
+        Kind kind;
+        Addr line;
+    };
 
     FabricConfig config_;
     std::vector<CacheHierarchy *> cores_;
     FaultInjector *faults_ = nullptr;
     std::unordered_map<Addr, Entry> directory_;
     StatSet stats_;
+
+    bool deferred_ = false;
+    std::vector<std::vector<DeferredOp>> deferredOps_; ///< per core
 };
 
 } // namespace vbr

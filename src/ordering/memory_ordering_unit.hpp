@@ -56,6 +56,7 @@ struct CoreConfig;
 class StoreQueue;
 class CacheHierarchy;
 class DependencePredictor;
+class AuditEventSink;
 class InvariantAuditor;
 class FaultInjector;
 
@@ -82,8 +83,10 @@ class OrderingHost
     virtual DependencePredictor &depPredictor() = 0;
     /** The core's stat set (backends register ordering stats here). */
     virtual StatSet &stats() = 0;
-    /** The invariant auditor, or nullptr when auditing is off. */
-    virtual InvariantAuditor *auditorHook() = 0;
+    /** The audit event sink, or nullptr when auditing is off. In the
+     * two-phase MP tick's compute phase this is a per-core deferred
+     * buffer rather than the auditor itself. */
+    virtual AuditEventSink *auditorHook() = 0;
 
     /** The fault injector, or nullptr when injection is off.
      * Backends report detection events (compare mismatches, CAM

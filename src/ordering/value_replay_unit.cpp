@@ -172,7 +172,7 @@ ValueReplayUnit::issueReplay(DynInst &inst, ReplayReason reason,
     if (at_head)
         ++(*sc_replays_late_);
     host_.traceEvent(TraceKind::ReplayIssued, inst);
-    if (InvariantAuditor *a = host_.auditorHook())
+    if (AuditEventSink *a = host_.auditorHook())
         a->onReplayIssued(host_.coreId(), inst.seq, inst.pc,
                           inst.valuePredicted, at_head, now);
     if (reason == ReplayReason::UnresolvedStore)
@@ -341,7 +341,7 @@ ValueReplayUnit::doReplaySquash(DynInst &load)
         host_.depPredictor().trainViolation(
             load.pc, DependencePredictor::kUnknownStorePc);
 
-    if (InvariantAuditor *a = host_.auditorHook())
+    if (AuditEventSink *a = host_.auditorHook())
         a->onReplaySquash(host_.coreId(), load.seq, load.pc,
                           host_.coreCycle());
     // Fault attribution: the compare stage is exactly the paper's

@@ -1,0 +1,41 @@
+#include "sys/horizon.hpp"
+
+#include <algorithm>
+
+namespace vbr
+{
+
+HorizonResult
+computeHorizon(const HorizonInputs &in)
+{
+    // Everything that requires an actual tick to happen: a core (or
+    // the memory system) making progress, an auditor scan, a fault-
+    // delayed snoop delivery, or the cycle budget expiring.
+    Cycle tickable = std::min(in.maxCycles, in.earliestWake);
+    tickable = std::min(tickable, in.earliestAuditScan);
+    tickable = std::min(tickable, in.earliestFaultSnoop);
+
+    // First watchdog poll that can fire: polls run at stride
+    // multiples, and any poll strictly before the earliest fire cycle
+    // is provably false while the region stays quiescent.
+    Cycle poll = kNeverCycle;
+    if (in.earliestDeadlockFire != kNeverCycle) {
+        const Cycle stride = std::max<Cycle>(1, in.deadlockStride);
+        const Cycle fire = in.earliestDeadlockFire;
+        poll = (fire / stride + (fire % stride != 0)) * stride;
+        poll = std::max(poll, in.nextDeadlockCheck);
+    }
+
+    HorizonResult r;
+    if (poll > in.now && poll < tickable) {
+        // The poll is the unique strict minimum: its cycle holds no
+        // simulatable event, only the watchdog check.
+        r.target = poll;
+        r.pollOnly = true;
+        return r;
+    }
+    r.target = std::min(tickable, poll);
+    return r;
+}
+
+} // namespace vbr

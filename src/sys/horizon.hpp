@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Event-horizon computation shared by every fast-forward decision in
+ * the system: the uniprocessor/global quiescence skip (PR 5), the
+ * per-core slack fast-forward (each core sleeping until its own wake
+ * horizon), and the all-cores-asleep jump in the multiprocessor
+ * two-phase tick. Factoring the min/clamp logic into one pure
+ * function keeps the three consumers provably consistent and makes
+ * the deadlock-poll clamping unit-testable without building a System.
+ *
+ * Deadlock-poll handling: the watchdog polls at stride multiples and
+ * every poll strictly before some core's fire cycle is provably
+ * false (commits are frozen across a quiescent region). The horizon
+ * therefore clamps to the first poll that can fire. When that poll is
+ * the unique strict minimum over every *tickable* horizon, the cycle
+ * it lands on is itself quiescent: there is nothing to simulate at
+ * the poll cycle, only the watchdog to run. computeHorizon() reports
+ * this as pollOnly so the caller can account the poll cycle as
+ * skipped instead of burning one real tick on it — the latent 1-tick
+ * pessimism in the original skipTarget clamping.
+ */
+
+#ifndef VBR_SYS_HORIZON_HPP
+#define VBR_SYS_HORIZON_HPP
+
+#include "common/types.hpp"
+
+namespace vbr
+{
+
+/** Inputs to the horizon computation, gathered by the caller. Every
+ * "earliest" field follows the nextWakeCycle contract: strictly
+ * greater than @p now, or kNeverCycle when the source is inert.
+ * Undershoot is harmless (the skip is merely shorter); overshoot is
+ * forbidden. */
+struct HorizonInputs
+{
+    Cycle now = 0;
+    Cycle maxCycles = kNeverCycle;
+
+    /** Deadlock watchdog poll stride and the next scheduled poll. */
+    Cycle deadlockStride = 1;
+    Cycle nextDeadlockCheck = 0;
+
+    /** Min over core + cache-hierarchy + fabric wake horizons. */
+    Cycle earliestWake = kNeverCycle;
+
+    /** Min over the auditor's structural/coherence scan schedules. */
+    Cycle earliestAuditScan = kNeverCycle;
+
+    /** Earliest fault-delayed snoop due for delivery. */
+    Cycle earliestFaultSnoop = kNeverCycle;
+
+    /** Min over non-halted cores' deadlockFireCycle(). */
+    Cycle earliestDeadlockFire = kNeverCycle;
+};
+
+/** Outcome: the earliest cycle anything observable can happen at. */
+struct HorizonResult
+{
+    /** Earliest cycle with an event (<= every input horizon). */
+    Cycle target = kNeverCycle;
+
+    /** True when target is a deadlock-watchdog poll that fires
+     * strictly before every tickable horizon: the poll cycle itself
+     * is quiescent and may be accounted as skipped (the caller jumps
+     * *into* the poll cycle instead of one short of it). Ties go to
+     * the tickable side, which keeps the behavior identical to the
+     * pre-pollOnly clamping whenever real work lands on the poll
+     * cycle. */
+    bool pollOnly = false;
+};
+
+/** Pure min/clamp over the supplied horizons (see HorizonResult). */
+HorizonResult computeHorizon(const HorizonInputs &in);
+
+} // namespace vbr
+
+#endif // VBR_SYS_HORIZON_HPP

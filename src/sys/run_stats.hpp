@@ -53,8 +53,10 @@ struct RunStats
     std::uint64_t wouldbeSnoopValueEq = 0;
 
     /** Fast-forward observability (see RunResult): cycles skipped by
-     * the quiescence fast-forward and cycles actually ticked; they
-     * always sum to cycles and never affect any other stat. */
+     * the quiescence fast-forward and cycles actually ticked. On
+     * uniprocessors they sum to cycles; multiprocessor runs sum
+     * per-core clocks instead (a core asleep while a neighbour ticks
+     * still counts as a skip win). Never affects any other stat. */
     Cycle skippedCycles = 0;
     Cycle tickedCycles = 0;
 

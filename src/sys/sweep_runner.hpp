@@ -22,6 +22,7 @@
 #define VBR_SYS_SWEEP_RUNNER_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <stdexcept>
 #include <string>
@@ -153,14 +154,19 @@ class SweepRunner
     {
         SweepOutcome<R> out;
         out.results.resize(jobs.size());
-        out.ok.assign(jobs.size(), false);
+        // Byte flags, not vector<bool>: concurrent jobs complete on
+        // different workers, and packed bits would turn each
+        // `ok[i] = true` into a read-modify-write race on the word
+        // the neighbouring jobs' bits live in. Distinct bytes are
+        // distinct memory locations — race-free by the memory model.
+        std::vector<std::uint8_t> ok(jobs.size(), 0);
         // Per-slot failure records, compacted afterwards so the
         // quarantine order does not depend on completion order.
         std::vector<SweepFailure> failures(jobs.size());
 
         auto guard = [&](std::size_t i) {
             runOneGuarded<R>(jobs[i], i, opts, out.results[i],
-                             out.ok, failures[i]);
+                             ok[i], failures[i]);
         };
 
         if (threads_ <= 1 || jobs.size() <= 1) {
@@ -173,6 +179,7 @@ class SweepRunner
             pool.wait();
         }
 
+        out.ok.assign(ok.begin(), ok.end());
         for (std::size_t i = 0; i < jobs.size(); ++i)
             if (!out.ok[i])
                 out.quarantined.push_back(std::move(failures[i]));
@@ -186,13 +193,13 @@ class SweepRunner
     void
     runOneGuarded(const GuardedJob<R> &job, std::size_t index,
                   const GuardOptions &opts, R &result,
-                  std::vector<bool> &ok, SweepFailure &failure) const
+                  std::uint8_t &okFlag, SweepFailure &failure) const
     {
         FailureArtifact artifact;
         for (unsigned attempt = 1;; ++attempt) {
             try {
                 result = job.fn();
-                ok[index] = true;
+                okFlag = 1;
                 return;
             } catch (const SweepJobError &e) {
                 artifact = e.artifact();

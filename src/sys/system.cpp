@@ -17,9 +17,31 @@ fastForwardFromEnv()
     return env == nullptr || std::strcmp(env, "0") != 0;
 }
 
+unsigned
+mpThreadsFromEnv()
+{
+    const char *env = std::getenv("VBR_MP_THREADS");
+    if (env == nullptr)
+        return 1;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0' || v == 0)
+        return 1;
+    return static_cast<unsigned>(std::min<unsigned long>(v, 64));
+}
+
+bool
+perCoreFastForwardFromEnv()
+{
+    const char *env = std::getenv("VBR_FASTFWD_PERCORE");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
 System::System(const SystemConfig &config, const Program &prog)
     : config_(config), dmaRng_(config.dmaSeed),
-      coreHalted_(config.cores, false)
+      coreHalted_(config.cores, false),
+      coreAsleep_(config.cores, false),
+      coreWakeAt_(config.cores, kNeverCycle)
 {
     VBR_ASSERT(config.cores >= 1, "system needs at least one core");
     VBR_ASSERT(prog.threads().size() >= config.cores,
@@ -78,6 +100,15 @@ System::setObserver(CommitObserver *observer)
 void
 System::tick()
 {
+    if (cores_.size() == 1)
+        tickUni();
+    else
+        tickMp();
+}
+
+void
+System::tickUni()
+{
     ++now_;
     // Reset every activity flag before anything can be delivered, so
     // an external event landing on a core that already ticked (or has
@@ -124,45 +155,279 @@ System::tick()
     }
 }
 
-Cycle
-System::skipTarget(Cycle now, Cycle stride) const
+bool
+System::parallelEligible() const
 {
-    Cycle target = config_.maxCycles;
+    // The fault injector's counters and a pipeline tracer's stream
+    // are shared-mutable across cores; phase 1 must stay serial when
+    // either is attached. The serial fallback is identical by
+    // construction.
+    if (config_.mpThreads <= 1 || faults_)
+        return false;
     for (const auto &core : cores_)
-        target = std::min(target, core->nextWakeCycle(now));
+        if (core->hasTracer())
+            return false;
+    return true;
+}
 
-    // The memory system's own horizons (kNeverCycle today: the model
-    // is functional-with-latency and all timing lives in core-side
-    // timers; the seam keeps a future event-queue honest).
-    target = std::min(target, fabric_->nextWakeCycle(now));
+void
+System::syncSleepers(Cycle c)
+{
+    for (std::size_t i = 0; i < cores_.size(); ++i)
+        if (coreAsleep_[i])
+            cores_[i]->syncTo(c);
+}
+
+void
+System::tickMp()
+{
+    ++now_;
+    for (std::size_t i = 0; i < cores_.size(); ++i)
+        if (!coreAsleep_[i])
+            cores_[i]->resetActivity();
+
+    // A sleeping core that a pre-tick fault snoop touches must catch
+    // up to the previous cycle first — it wakes and ticks this cycle.
+    if (sleepingCores_ > 0) {
+        for (std::size_t i = 0; i < cores_.size(); ++i)
+            if (coreAsleep_[i])
+                cores_[i]->setSyncHorizon(now_ - 1);
+    }
+    if (faults_) {
+        faults_->beginCycle(now_);
+        faults_->drainDueSnoops(now_, [&](CoreId c, Addr line) {
+            cores_[c]->onExternalInvalidation(line);
+        });
+    }
+    // Wake sleepers that are due this cycle, or that a fault snoop
+    // just touched (their activity flag is set; a timer wake's flag
+    // is still false, exactly as if the core had ticked quiescently
+    // until now).
+    if (sleepingCores_ > 0) {
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            if (!coreAsleep_[i])
+                continue;
+            if (coreWakeAt_[i] <= now_ ||
+                cores_[i]->activeThisTick()) {
+                cores_[i]->syncTo(now_ - 1);
+                cores_[i]->setSyncHorizon(kNeverCycle);
+                coreAsleep_[i] = false;
+                --sleepingCores_;
+            }
+        }
+    }
+    // Phase A (serial, core-index order, live fabric): per-cycle flag
+    // resets, begin-of-cycle backend work, and the commit stage — the
+    // exact stage prefix of the serial tick, so per-core intra-cycle
+    // timing matches it. Store drains and SWAPs mutate memory here,
+    // one core at a time; invalidations they raise deliver direct —
+    // including onto sleeping cores. A sleeping victim this loop has
+    // not reached yet must wake and tick THIS cycle: the serial
+    // reference ticks it after the delivery in the same cycle, so its
+    // reaction (post-squash refetch, replay marking) starts now, not
+    // next cycle. Sleepers therefore keep the previous cycle as their
+    // sync horizon until the loop passes them (the delivery handler
+    // consumed it; the wake here is then a no-op sync).
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        if (coreAsleep_[i]) {
+            if (!cores_[i]->activeThisTick()) {
+                // The loop is passing this sleeper by: its (quiescent)
+                // front half of the current cycle is now in the past.
+                // A higher-index core's phase-A delivery lands between
+                // the victim's two halves — in the serial reference
+                // the victim's dispatch/fetch for this cycle run
+                // *after* the delivery, in phase B. So the handler
+                // must replay through the previous cycle, run
+                // tickFront for this one, and leave the back half to
+                // the phase B sweep below (quiescent-cycle replay
+                // would wrongly re-apply the pre-delivery stall pin).
+                cores_[i]->setSyncHorizonFrontTick(now_);
+                continue;
+            }
+            // Touched by an earlier core's phase A delivery (the
+            // handler consumed the now_-1 horizon pre-delivery).
+            cores_[i]->syncTo(now_ - 1);
+            cores_[i]->setSyncHorizon(kNeverCycle);
+            coreAsleep_[i] = false;
+            --sleepingCores_;
+        }
+        cores_[i]->tickFront(now_);
+    }
+
+    // Sleepers a phase-A delivery touched *after* the loop passed
+    // them consumed the front-tick horizon (quiescent catch-up plus
+    // tickFront, both pre-delivery): wake them without another
+    // tickFront so they run this cycle's phase B on post-delivery
+    // state. The rest sleep on with a plain full-cycle horizon — the
+    // only deliveries left this cycle come from applyDeferredOps,
+    // which the serial reference orders after the victim's whole
+    // tick, so full quiescent replay is exact for them.
+    if (sleepingCores_ > 0) {
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            if (!coreAsleep_[i])
+                continue;
+            if (cores_[i]->activeThisTick()) {
+                cores_[i]->setSyncHorizon(kNeverCycle);
+                coreAsleep_[i] = false;
+                --sleepingCores_;
+            } else {
+                cores_[i]->setSyncHorizon(now_);
+            }
+        }
+    }
+
+    // Phase B (compute): every core that entered the cycle unhalted
+    // runs the remaining stages against frozen post-commit coherence
+    // state (a core that halted *during* phase A still runs phase B,
+    // matching the serial tick; coreHalted_ lags one phase, so the
+    // predicate below sees entry state). Fabric requests are logged
+    // and answered from a directory preview, so cores neither mutate
+    // shared state nor observe each other — the phase parallelizes
+    // with bitwise-identical outcomes.
+    fabric_->beginDeferred();
+    if (parallelEligible()) {
+        if (!pool_)
+            pool_ = std::make_unique<ThreadPool>(config_.mpThreads);
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            if (coreAsleep_[i] || coreHalted_[i])
+                continue;
+            OooCore *core = cores_[i].get();
+            const Cycle now = now_;
+            pool_->submit([core, now] { core->tickBack(now); });
+        }
+        pool_->wait();
+    } else {
+        for (std::size_t i = 0; i < cores_.size(); ++i)
+            if (!coreAsleep_[i] && !coreHalted_[i])
+                cores_[i]->tickBack(now_);
+    }
+    fabric_->endDeferred();
+
+    // Flush every core's buffered phase-B auditor events before
+    // applying coherence traffic: applyDeferredOps deliveries can
+    // raise direct auditor events on a *different* core (e.g. an
+    // invalidation-triggered squash), and those must not overtake
+    // that victim's still-buffered compute-phase events.
+    for (std::size_t i = 0; i < cores_.size(); ++i)
+        if (!coreAsleep_[i] && !coreHalted_[i])
+            cores_[i]->flushDeferredAudit();
+
+    // End of cycle (serial, core-index order): apply each core's
+    // logged coherence traffic against the live directory.
+    // Invalidation deliveries go direct from here on.
+    for (std::size_t i = 0; i < cores_.size(); ++i)
+        if (!coreAsleep_[i])
+            fabric_->applyDeferredOps(static_cast<CoreId>(i));
+
+    // Halt transitions (halted_ flips in phase A's commit stage;
+    // recorded only now so the halting core's final phase B ran).
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        if (!coreHalted_[i] && cores_[i]->halted()) {
+            coreHalted_[i] = true;
+            ++haltedCores_;
+        }
+    }
+
+    lastTickActive_ = false;
+    for (auto &core : cores_)
+        lastTickActive_ |= core->activeThisTick();
+
+    // A phase-2 delivery to a sleeping core synced it to this cycle
+    // (via the published horizon) and set its activity flag: wake it
+    // so it ticks normally from the next cycle.
+    if (sleepingCores_ > 0) {
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            if (coreAsleep_[i] && cores_[i]->activeThisTick()) {
+                cores_[i]->syncTo(now_);
+                cores_[i]->setSyncHorizon(kNeverCycle);
+                coreAsleep_[i] = false;
+                --sleepingCores_;
+            }
+        }
+    }
+
+    if (auditor_) {
+        if (auditor_->scanDue(now_)) {
+            // Structural scans read each core's local clock: bring
+            // sleepers up to date (they stay asleep — syncing is the
+            // same bookkeeping their skipped cycles get anyway).
+            syncSleepers(now_);
+            for (auto &core : cores_)
+                core->auditStructures(*auditor_);
+        }
+        if (auditor_->coherenceScanDue(now_))
+            auditor_->scanCoherence(*fabric_, now_);
+    }
+
+    if (config_.dmaInvalidationRate > 0.0 &&
+        dmaRng_.chance(config_.dmaInvalidationRate)) {
+        Addr line = dmaRng_.below(mem_->size()) &
+                    ~static_cast<Addr>(config_.hierarchy.l1d.lineBytes -
+                                       1);
+        fabric_->dmaInvalidate(line);
+    }
+
+    // Sleep decisions: a quiescent, awake, non-halted core whose own
+    // wake horizon lies beyond the next cycle stops ticking until the
+    // horizon (or an external delivery) reaches it. kNeverCycle means
+    // delivery-only wake — the deadlock watchdog and the cycle budget
+    // still bound the run.
+    if (perCoreSleep_) {
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            if (coreAsleep_[i] || coreHalted_[i] ||
+                cores_[i]->activeThisTick())
+                continue;
+            Cycle wake =
+                std::min(cores_[i]->nextWakeCycle(now_),
+                         hierarchies_[i]->nextWakeCycle(now_));
+            if (wake > now_ + 1) {
+                coreAsleep_[i] = true;
+                coreWakeAt_[i] = wake;
+                ++sleepingCores_;
+            }
+        }
+    }
+}
+
+HorizonResult
+System::skipHorizon(Cycle now, Cycle stride) const
+{
+    HorizonInputs in;
+    in.now = now;
+    in.maxCycles = config_.maxCycles;
+    in.deadlockStride = stride;
+    in.nextDeadlockCheck = nextDeadlockCheck_;
+
+    // Per-core wake horizons plus the memory system's own (kNeverCycle
+    // today: the model is functional-with-latency and all timing lives
+    // in core-side timers; the seam keeps a future event-queue honest).
+    Cycle wake = fabric_->nextWakeCycle(now);
+    for (const auto &core : cores_)
+        wake = std::min(wake, core->nextWakeCycle(now));
     for (const auto &h : hierarchies_)
-        target = std::min(target, h->nextWakeCycle(now));
+        wake = std::min(wake, h->nextWakeCycle(now));
+    in.earliestWake = wake;
 
     // Auditor scans must run on their exact schedule (the performed-
     // check count is reported). Full-level audit makes this now + 1,
     // which naturally disables skipping.
-    if (auditor_) {
-        target = std::min(target, auditor_->nextScanCycle(now));
-        target =
-            std::min(target, auditor_->nextCoherenceScanCycle(now));
-    }
+    if (auditor_)
+        in.earliestAuditScan =
+            std::min(auditor_->nextScanCycle(now),
+                     auditor_->nextCoherenceScanCycle(now));
 
     // Fault-delayed snoops must be delivered on their due cycle.
     if (faults_)
-        target = std::min(target, faults_->nextDueSnoopCycle());
+        in.earliestFaultSnoop = faults_->nextDueSnoopCycle();
 
-    // Deadlock watchdog: polls at stride multiples are all false
-    // until some core's fire cycle is reached (no commits happen in a
-    // quiescent region, so fire cycles are frozen). Clamp to the
-    // first poll that can fire, skipping the provably-false ones.
+    // Commits are frozen across a quiescent region, so the earliest
+    // deadlock fire cycle is exact.
     Cycle fire = kNeverCycle;
     for (const auto &core : cores_)
         fire = std::min(fire, core->deadlockFireCycle());
-    if (fire != kNeverCycle) {
-        Cycle poll = (fire / stride + (fire % stride != 0)) * stride;
-        target = std::min(target, std::max(poll, nextDeadlockCheck_));
-    }
-    return target;
+    in.earliestDeadlockFire = fire;
+
+    return computeHorizon(in);
 }
 
 RunResult
@@ -173,6 +438,11 @@ System::run()
     const bool skip_enabled = config_.fastForward &&
                               config_.dmaInvalidationRate <= 0.0 &&
                               !config_.faults.perCycleDecisions();
+    // Per-core slack fast-forward only makes sense under the same
+    // conditions as the global skip, with more than one core to
+    // de-synchronize. Manual tick() users never enable it.
+    perCoreSleep_ = skip_enabled && cores_.size() > 1 &&
+                    config_.perCoreFastForward;
     // First watchdog poll at or after the current cycle (satellite of
     // the fast-forward work: a comparison instead of a modulo in the
     // hottest loop).
@@ -209,24 +479,57 @@ System::run()
         }
         tick();
 
-        if (skip_enabled && !lastTickActive_) {
+        if (skip_enabled && !lastTickActive_ && !perCoreSleep_) {
             // Every core is quiescent: nothing observable can happen
             // before the earliest next-event horizon. Land one cycle
             // short so the next tick() executes the horizon cycle
             // itself. Each skipped cycle replicates exactly the
             // bookkeeping a quiescent tick would have performed, so
             // every stat stays bit-identical.
-            Cycle target = skipTarget(now_, stride);
-            if (target > now_ + 1) {
-                Cycle n = target - 1 - now_;
+            HorizonResult hz = skipHorizon(now_, stride);
+            if (hz.pollOnly) {
+                // The horizon is a deadlock poll landing strictly
+                // before every tickable event: the poll cycle itself
+                // is quiescent, so skip *into* it and let the loop
+                // top run the watchdog — no real tick wasted on a
+                // provably-empty cycle.
+                Cycle n = hz.target - now_;
                 for (std::size_t i = 0; i < cores_.size(); ++i) {
                     if (!coreHalted_[i])
                         cores_[i]->applySkippedCycles(n);
                 }
                 skippedCycles_ += n;
-                now_ = target - 1;
-                // Skipped polls are provably false (skipTarget
+                now_ = hz.target;
+                nextDeadlockCheck_ = hz.target;
+            } else if (hz.target > now_ + 1) {
+                Cycle n = hz.target - 1 - now_;
+                for (std::size_t i = 0; i < cores_.size(); ++i) {
+                    if (!coreHalted_[i])
+                        cores_[i]->applySkippedCycles(n);
+                }
+                skippedCycles_ += n;
+                now_ = hz.target - 1;
+                // Skipped polls are provably false (the horizon
                 // clamps to the first one that could fire).
+                if (nextDeadlockCheck_ <= now_)
+                    nextDeadlockCheck_ =
+                        (now_ / stride + 1) * stride;
+            }
+        } else if (perCoreSleep_ && sleepingCores_ > 0 &&
+                   sleepingCores_ + haltedCores_ == cores_.size()) {
+            // Per-core sleep has put every non-halted core to sleep:
+            // jump the global clock to the earliest horizon. Sleeping
+            // cores sync lazily (on wake, at audit scans, or at the
+            // end of the run), so no per-core bookkeeping happens
+            // here. skipHorizon() remains exact for sleepers — their
+            // timers froze when they slept, so nextWakeCycle(now_)
+            // still reports the horizons coreWakeAt_ was built from.
+            HorizonResult hz = skipHorizon(now_, stride);
+            if (hz.pollOnly) {
+                now_ = hz.target;
+                nextDeadlockCheck_ = hz.target;
+            } else if (hz.target > now_ + 1) {
+                now_ = hz.target - 1;
                 if (nextDeadlockCheck_ <= now_)
                     nextDeadlockCheck_ =
                         (now_ / stride + 1) * stride;
@@ -234,9 +537,27 @@ System::run()
         }
     }
 
+    // Bring any still-sleeping cores up to the final cycle before
+    // results and final scans read their clocks and stats. now_ never
+    // passes a sleeper's proven-quiescent horizon (wakes happen at
+    // tick start), so the sync is sound.
+    if (sleepingCores_ > 0)
+        syncSleepers(now_);
+
     result.cycles = now_;
-    result.skippedCycles = skippedCycles_;
-    result.tickedCycles = now_ - skippedCycles_;
+    if (cores_.size() == 1) {
+        result.skippedCycles = skippedCycles_;
+        result.tickedCycles = now_ - skippedCycles_;
+    } else {
+        // MP runs account per core: cores tick and skip on their own
+        // local clocks under per-core sleep, so the system-level
+        // counter no longer tells the story. Σ(ticked + skipped) is
+        // invariant across skip modes and thread counts.
+        for (auto &core : cores_) {
+            result.skippedCycles += core->skippedCycles();
+            result.tickedCycles += core->tickedCycles();
+        }
+    }
     for (auto &core : cores_)
         result.instructions += core->instructionsCommitted();
 

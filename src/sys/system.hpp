@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/ooo_core.hpp"
 #include "fault/fault_config.hpp"
 #include "fault/fault_injector.hpp"
@@ -21,6 +22,7 @@
 #include "mem/coherence.hpp"
 #include "mem/hierarchy.hpp"
 #include "mem/memory_image.hpp"
+#include "sys/horizon.hpp"
 #include "verify/auditor.hpp"
 #include "verify/failure_artifact.hpp"
 
@@ -31,6 +33,15 @@ namespace vbr
  * environment variable ("0" disables; unset or anything else
  * enables). */
 bool fastForwardFromEnv();
+
+/** Default for SystemConfig::mpThreads: the VBR_MP_THREADS
+ * environment variable (unset/unparsable = 1 = serial). */
+unsigned mpThreadsFromEnv();
+
+/** Default for SystemConfig::perCoreFastForward: the
+ * VBR_FASTFWD_PERCORE environment variable ("0" disables; unset or
+ * anything else enables). */
+bool perCoreFastForwardFromEnv();
 
 /** Whole-system configuration. */
 struct SystemConfig
@@ -79,6 +90,22 @@ struct SystemConfig
      * cycle RNG draws) or the fault plan needs per-cycle decisions. */
     bool fastForward = fastForwardFromEnv();
 
+    /** Per-core slack fast-forward (multiprocessor runs only): a
+     * quiescent core whose own wake horizon lies beyond the next
+     * cycle goes to sleep and stops ticking, its local clock lagging
+     * now_ until a wake or an external delivery syncs it. Outcomes
+     * and stats stay bit-identical; only which cores burn wall time
+     * each cycle changes. Requires fastForward; defaults to
+     * $VBR_FASTFWD_PERCORE ("0" disables). */
+    bool perCoreFastForward = perCoreFastForwardFromEnv();
+
+    /** Worker threads for the MP compute phase (phase 1 of the
+     * two-phase tick). The tick protocol is thread-count-independent
+     * by construction, so any value produces bitwise-identical
+     * results; 1 (the default, from $VBR_MP_THREADS) runs phase 1
+     * serially with no pool. */
+    unsigned mpThreads = mpThreadsFromEnv();
+
     /** Job label used in failure artifacts (FAIL_<jobName>.json). */
     std::string jobName = "run";
 
@@ -98,8 +125,10 @@ struct RunResult
     std::uint64_t auditViolations = 0; ///< invariant-audit failures
 
     /** Simulated cycles fast-forwarded over (0 when skipping is off
-     * or never triggered) and cycles actually ticked; they always
-     * sum to cycles. Wall-clock observability of the skip win. */
+     * or never triggered) and cycles actually ticked. Uniprocessor
+     * runs count system cycles (they sum to cycles); multiprocessor
+     * runs sum per-core clocks, so a core asleep while its neighbor
+     * ticks still shows up as a skip win. */
     Cycle skippedCycles = 0;
     Cycle tickedCycles = 0;
 
@@ -152,7 +181,30 @@ class System
     FailureArtifact makeFailureArtifact(const std::string &kind,
                                         const std::string &error) const;
 
+    /** Number of cores currently in per-core sleep (MP runs with
+     * perCoreFastForward; 0 otherwise). Test observability. */
+    unsigned sleepingCores() const { return sleepingCores_; }
+
   private:
+    /** The PR 5 serial tick (uniprocessor path, bit-for-bit). */
+    void tickUni();
+
+    /** The two-phase multiprocessor tick: serial front phase (begin-
+     * of-cycle work + commit, core-index order, live memory), then a
+     * compute phase for every awake core against frozen coherence
+     * state (parallel when eligible), then serial coherence
+     * application in core-index order. */
+    void tickMp();
+
+    /** True when phase 1 may run on the thread pool this tick
+     * (mpThreads > 1, no fault injector, no tracer attached — those
+     * share mutable state across cores). */
+    bool parallelEligible() const;
+
+    /** Sync every sleeping core's local clock to @p c (end of run /
+     * audit scans; cores stay asleep). */
+    void syncSleepers(Cycle c);
+
     SystemConfig config_;
     std::unique_ptr<MemoryImage> mem_;
     std::unique_ptr<CoherenceFabric> fabric_;
@@ -176,6 +228,21 @@ class System
     /** Cycles fast-forwarded over so far (see RunResult). */
     Cycle skippedCycles_ = 0;
 
+    // --- per-core slack fast-forward state (MP runs only) -------------
+
+    /** Enabled for this run (set in run(): skip conditions hold,
+     * cores > 1, and config_.perCoreFastForward). */
+    bool perCoreSleep_ = false;
+
+    /** Per-core sleep flag + the wake horizon it was proven
+     * quiescent through (exclusive: the core must tick at wakeAt). */
+    std::vector<bool> coreAsleep_;
+    std::vector<Cycle> coreWakeAt_;
+    unsigned sleepingCores_ = 0;
+
+    /** Lazily created pool for the parallel compute phase. */
+    std::unique_ptr<ThreadPool> pool_;
+
     /** Next cycle the deadlock watchdog polls at — precomputed so
      * the run loop compares instead of computing now_ % stride, and
      * the fast-forward skip clamps to the first poll that can fire. */
@@ -183,8 +250,9 @@ class System
 
     /** Earliest cycle the fast-forward may advance to from @p now
      * (min over core horizons, audit scans, due fault snoops, the
-     * first deadlock poll that can fire, and maxCycles). */
-    Cycle skipTarget(Cycle now, Cycle stride) const;
+     * first deadlock poll that can fire, and maxCycles), via the
+     * shared computeHorizon() helper. */
+    HorizonResult skipHorizon(Cycle now, Cycle stride) const;
 };
 
 } // namespace vbr

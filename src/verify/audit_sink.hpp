@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Event-sink seam between the pipeline and the invariant auditor.
+ *
+ * The two-phase multiprocessor tick runs every core's compute phase
+ * against frozen pre-cycle coherence state, potentially on a thread
+ * pool. The auditor's check/violation counters are shared across
+ * cores, so phase-1 events must not reach it concurrently. Each core
+ * therefore routes its phase-1 events through a per-core
+ * DeferredAuditSink and flushes the buffer at the start of its serial
+ * phase-2 slot — preserving the exact intra-core event order the
+ * auditor's per-core state machines depend on, ahead of the commit
+ * stage's own (direct) events.
+ */
+
+#ifndef VBR_VERIFY_AUDIT_SINK_HPP
+#define VBR_VERIFY_AUDIT_SINK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vbr
+{
+
+/** Receiver for the pipeline's O(1) auditor event checks (see
+ * InvariantAuditor for per-event semantics). */
+class AuditEventSink
+{
+  public:
+    virtual ~AuditEventSink() = default;
+
+    virtual void onStoreDispatched(CoreId core, SeqNum seq) = 0;
+    virtual void onStoreDrained(CoreId core, SeqNum seq, Cycle now) = 0;
+    virtual void onReplayIssued(CoreId core, SeqNum seq,
+                                std::uint32_t pc, bool value_predicted,
+                                bool at_head, Cycle now) = 0;
+    virtual void onReplaySquash(CoreId core, SeqNum seq,
+                                std::uint32_t pc, Cycle now) = 0;
+    virtual void onLoadCommit(CoreId core, SeqNum seq, std::uint32_t pc,
+                              bool replay_issued, Cycle compare_ready,
+                              Cycle now) = 0;
+    virtual void onSquash(CoreId core, SeqNum bound, Cycle now) = 0;
+};
+
+/** Buffers audit events during the parallel compute phase and replays
+ * them, in arrival order, into the real auditor from the serial
+ * commit phase. One instance per core; never shared across threads. */
+class DeferredAuditSink final : public AuditEventSink
+{
+  public:
+    void
+    onStoreDispatched(CoreId core, SeqNum seq) override
+    {
+        events_.push_back(
+            {Kind::StoreDispatched, core, seq, 0, 0, 0, false, false});
+    }
+
+    void
+    onStoreDrained(CoreId core, SeqNum seq, Cycle now) override
+    {
+        events_.push_back(
+            {Kind::StoreDrained, core, seq, 0, now, 0, false, false});
+    }
+
+    void
+    onReplayIssued(CoreId core, SeqNum seq, std::uint32_t pc,
+                   bool value_predicted, bool at_head,
+                   Cycle now) override
+    {
+        events_.push_back({Kind::ReplayIssued, core, seq, pc, now, 0,
+                           value_predicted, at_head});
+    }
+
+    void
+    onReplaySquash(CoreId core, SeqNum seq, std::uint32_t pc,
+                   Cycle now) override
+    {
+        events_.push_back(
+            {Kind::ReplaySquash, core, seq, pc, now, 0, false, false});
+    }
+
+    void
+    onLoadCommit(CoreId core, SeqNum seq, std::uint32_t pc,
+                 bool replay_issued, Cycle compare_ready,
+                 Cycle now) override
+    {
+        events_.push_back({Kind::LoadCommit, core, seq, pc, now,
+                           compare_ready, replay_issued, false});
+    }
+
+    void
+    onSquash(CoreId core, SeqNum bound, Cycle now) override
+    {
+        events_.push_back(
+            {Kind::Squash, core, bound, 0, now, 0, false, false});
+    }
+
+    /** Replay every buffered event into @p target in arrival order,
+     * then clear the buffer (capacity is retained across cycles). */
+    void
+    flushTo(AuditEventSink &target)
+    {
+        for (const Event &e : events_) {
+            switch (e.kind) {
+            case Kind::StoreDispatched:
+                target.onStoreDispatched(e.core, e.seq);
+                break;
+            case Kind::StoreDrained:
+                target.onStoreDrained(e.core, e.seq, e.now);
+                break;
+            case Kind::ReplayIssued:
+                target.onReplayIssued(e.core, e.seq, e.pc, e.flagA,
+                                      e.flagB, e.now);
+                break;
+            case Kind::ReplaySquash:
+                target.onReplaySquash(e.core, e.seq, e.pc, e.now);
+                break;
+            case Kind::LoadCommit:
+                target.onLoadCommit(e.core, e.seq, e.pc, e.flagA,
+                                    e.aux, e.now);
+                break;
+            case Kind::Squash:
+                target.onSquash(e.core, e.seq, e.now);
+                break;
+            }
+        }
+        events_.clear();
+    }
+
+    bool empty() const { return events_.empty(); }
+
+  private:
+    enum class Kind : std::uint8_t
+    {
+        StoreDispatched,
+        StoreDrained,
+        ReplayIssued,
+        ReplaySquash,
+        LoadCommit,
+        Squash,
+    };
+
+    struct Event
+    {
+        Kind kind;
+        CoreId core;
+        SeqNum seq; ///< also the squash bound for Kind::Squash
+        std::uint32_t pc;
+        Cycle now;
+        Cycle aux;  ///< compare_ready for Kind::LoadCommit
+        bool flagA; ///< value_predicted / replay_issued
+        bool flagB; ///< at_head
+    };
+
+    std::vector<Event> events_;
+};
+
+} // namespace vbr
+
+#endif // VBR_VERIFY_AUDIT_SINK_HPP

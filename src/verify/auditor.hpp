@@ -34,6 +34,7 @@
 #include "core/dyn_inst.hpp"
 #include "lsq/replay_queue.hpp"
 #include "lsq/store_queue.hpp"
+#include "verify/audit_sink.hpp"
 #include "verify/invariants.hpp"
 
 namespace vbr
@@ -72,8 +73,10 @@ struct AuditConfig
     std::string jobLabel = "audit";
 };
 
-/** Always-on invariant checker for the value-based replay pipeline. */
-class InvariantAuditor : public CommitObserver
+/** Always-on invariant checker for the value-based replay pipeline.
+ * Implements AuditEventSink directly; in the two-phase MP tick, cores
+ * interpose a DeferredAuditSink during the parallel compute phase. */
+class InvariantAuditor : public CommitObserver, public AuditEventSink
 {
   public:
     explicit InvariantAuditor(const AuditConfig &config = {});
@@ -89,10 +92,10 @@ class InvariantAuditor : public CommitObserver
     // --- event checks (O(1), called from the core) --------------------
 
     /** A store allocated a store-queue entry at dispatch. */
-    void onStoreDispatched(CoreId core, SeqNum seq);
+    void onStoreDispatched(CoreId core, SeqNum seq) override;
 
     /** A store drained to the cache at the commit-stage port. */
-    void onStoreDrained(CoreId core, SeqNum seq, Cycle now);
+    void onStoreDrained(CoreId core, SeqNum seq, Cycle now) override;
 
     /** A load issued its replay through the commit-stage port.
      * @p at_head marks the sanctioned late replay of the oldest
@@ -100,20 +103,21 @@ class InvariantAuditor : public CommitObserver
      * head): it is architecturally ordered by position, so the
      * program-order and rule-3 stream checks do not apply to it. */
     void onReplayIssued(CoreId core, SeqNum seq, std::uint32_t pc,
-                        bool value_predicted, bool at_head, Cycle now);
+                        bool value_predicted, bool at_head,
+                        Cycle now) override;
 
     /** A replay value mismatch squashed the pipeline at this load. */
     void onReplaySquash(CoreId core, SeqNum seq, std::uint32_t pc,
-                        Cycle now);
+                        Cycle now) override;
 
     /** A load retired. @p replay_issued / @p compare_ready describe
      * its replay state at retirement. */
     void onLoadCommit(CoreId core, SeqNum seq, std::uint32_t pc,
                       bool replay_issued, Cycle compare_ready,
-                      Cycle now);
+                      Cycle now) override;
 
     /** The window was squashed from @p bound (inclusive). */
-    void onSquash(CoreId core, SeqNum bound, Cycle now);
+    void onSquash(CoreId core, SeqNum bound, Cycle now) override;
 
     // CommitObserver: commit-stream ordering checks.
     void onMemCommit(const MemCommitEvent &event) override;

@@ -425,6 +425,52 @@ makeWorkQueue(const MpParams &params)
 }
 
 Program
+makeBusyNeighbor(const MpParams &params)
+{
+    Program prog;
+    Assembler as(prog);
+
+    as.bne(rTid, 0, "loader");
+
+    // Thread 0: pure-ALU spin, one inner burst per outer iteration.
+    // The burst is sized past the memory round trip so the spinner
+    // halts after every loader — the system is never all-quiescent
+    // while any loader still runs.
+    as.ldi(rT1, 0);
+    as.label("spin");
+    as.ldi(rT3, 1024);
+    as.label("burst");
+    as.addi(rAcc, rAcc, 1);
+    as.addi(rT3, rT3, -1);
+    as.bne(rT3, 0, "burst");
+    as.addi(rT1, rT1, 1);
+    as.blt(rT1, rIter, "spin");
+    as.halt();
+
+    // Threads 1..N-1: stride one cache line per iteration through a
+    // private 64 KiB stripe. The loaded value (zero-initialized
+    // memory) feeds the next address, so the misses serialize like a
+    // pointer chase — no memory-level parallelism, and the core sits
+    // idle for the full round trip each iteration.
+    as.label("loader");
+    as.ldi(rT2, static_cast<std::int32_t>(kArrayBase));
+    as.slli(rT0, rTid, 16);
+    as.add(rT2, rT2, rT0);
+    as.ldi(rT1, 0);
+    as.label("ldloop");
+    as.ld8(rT0, rT2, 0);
+    as.add(rT2, rT2, rT0); // value-dependent address: serializes
+    as.addi(rT2, rT2, 64);
+    as.addi(rT1, rT1, 1);
+    as.blt(rT1, rIter, "ldloop");
+    as.halt();
+    as.finalize();
+
+    addThreads(prog, params.threads, params.iterations);
+    return prog;
+}
+
+Program
 makeReadMostly(const MpParams &params)
 {
     // 64 KiB shared table; all threads read LCG-random entries;

@@ -97,6 +97,17 @@ Program makeWorkQueue(const MpParams &params);
  */
 Program makeReadMostly(const MpParams &params);
 
+/**
+ * Busy neighbor: thread 0 spins in a pure-ALU loop (active every
+ * single cycle), while every other thread strides through a cold
+ * private stripe — one full-memory-latency miss per iteration, with
+ * the core idle for the whole round trip. The system is never
+ * all-quiescent (the spinner ticks), so whole-system fast-forward
+ * finds nothing to skip; per-core slack fast-forward puts each
+ * loader to sleep for most of the run. No sharing, no races.
+ */
+Program makeBusyNeighbor(const MpParams &params);
+
 /** A named MP workload. */
 struct MpWorkloadSpec
 {

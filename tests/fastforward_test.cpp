@@ -69,7 +69,8 @@ struct Observables
 Observables
 runOnce(const Program &prog, const CoreConfig &core, unsigned ncores,
         bool fast_forward,
-        const FaultConfig &faults = FaultConfig::parse(""))
+        const FaultConfig &faults = FaultConfig::parse(""),
+        bool per_core = true, unsigned mp_threads = 1)
 {
     SystemConfig cfg;
     cfg.cores = ncores;
@@ -77,6 +78,8 @@ runOnce(const Program &prog, const CoreConfig &core, unsigned ncores,
     cfg.trackVersions = true;
     cfg.maxCycles = 30'000'000;
     cfg.fastForward = fast_forward;
+    cfg.perCoreFastForward = per_core;
+    cfg.mpThreads = mp_threads;
     cfg.faults = faults;
     System sys(cfg, prog);
 
@@ -102,18 +105,13 @@ runOnce(const Program &prog, const CoreConfig &core, unsigned ncores,
     return out;
 }
 
-/** Assert the ticked run and the fast-forwarded run are bit-equal in
- * every observable. */
+/** Assert two runs are bit-equal in every observable that skip mode
+ * and thread count may not change (the skipped/ticked split itself is
+ * checked separately by the callers that pin it). */
 void
-expectIdentical(const Observables &slow, const Observables &fast,
-                const std::string &label)
+expectSameObservables(const Observables &slow, const Observables &fast,
+                      const std::string &label)
 {
-    EXPECT_EQ(slow.result.skippedCycles, 0u)
-        << label << ": VBR_FASTFWD=0 run skipped cycles";
-    EXPECT_EQ(fast.result.skippedCycles + fast.result.tickedCycles,
-              fast.result.cycles)
-        << label << ": skip accounting does not sum to total cycles";
-
     EXPECT_EQ(slow.result.allHalted, fast.result.allHalted) << label;
     EXPECT_EQ(slow.result.deadlocked, fast.result.deadlocked) << label;
     EXPECT_EQ(slow.result.cycles, fast.result.cycles) << label;
@@ -132,6 +130,23 @@ expectIdentical(const Observables &slow, const Observables &fast,
         << label << ": bench JSON row diverges";
     EXPECT_EQ(slow.faultsJson, fast.faultsJson)
         << label << ": fault summary diverges";
+}
+
+/** Assert the ticked run and the fast-forwarded run are bit-equal in
+ * every observable. */
+void
+expectIdentical(const Observables &slow, const Observables &fast,
+                const std::string &label)
+{
+    EXPECT_EQ(slow.result.skippedCycles, 0u)
+        << label << ": VBR_FASTFWD=0 run skipped cycles";
+    // Uniprocessor results count system cycles; multiprocessor
+    // results sum per-core clocks. Either way, ticked + skipped must
+    // cover exactly the same span in both modes.
+    EXPECT_EQ(fast.result.skippedCycles + fast.result.tickedCycles,
+              slow.result.skippedCycles + slow.result.tickedCycles)
+        << label << ": skip accounting does not cover the slow run's span";
+    expectSameObservables(slow, fast, label);
 }
 
 // ---------------------------------------------------------------------
@@ -177,6 +192,77 @@ TEST(FastForwardParity, MpLitmusBitIdentical)
 }
 
 // ---------------------------------------------------------------------
+// Per-core slack fast-forward: the per-core sleep path must be
+// bit-identical both to the fully-ticked run and to the PR 5 global
+// skip, for every fig5 scheme.
+// ---------------------------------------------------------------------
+
+TEST(FastForwardParity, MpPerCoreSkipBitIdentical)
+{
+    Program prog = makeMessagePassing(200);
+    for (const auto &[name, core] : fig5Configs()) {
+        Observables slow = runOnce(prog, core, 2, false);
+        Observables global =
+            runOnce(prog, core, 2, true, FaultConfig::parse(""), false);
+        Observables percore =
+            runOnce(prog, core, 2, true, FaultConfig::parse(""), true);
+        ASSERT_TRUE(slow.result.allHalted) << name;
+        expectIdentical(slow, global, "global/" + name);
+        expectIdentical(slow, percore, "percore/" + name);
+    }
+}
+
+// Regression: a phase A delivery (store drain / SWAP invalidation)
+// onto a sleeping core with a *higher* index must wake it to tick the
+// same cycle — the serial reference ticks it after the delivery, so a
+// next-cycle wake shifts its post-squash refetch by one cycle. The
+// contended work-queue and false-sharing kernels under the baseline
+// snooping LQ (squash-on-snoop makes the reaction cycle observable)
+// caught this; message passing alone did not.
+TEST(FastForwardParity, MpPhaseADeliveryWakesSameCycle)
+{
+    MpParams p;
+    p.threads = 4;
+    p.iterations = 60;
+    CoreConfig snoop = CoreConfig::baseline();
+    snoop.lqMode = LqMode::Snooping;
+    for (const Program &prog :
+         {makeWorkQueue(p), makeFalseSharing(p)}) {
+        Observables slow = runOnce(prog, snoop, 4, false);
+        Observables percore =
+            runOnce(prog, snoop, 4, true, FaultConfig::parse(""), true);
+        ASSERT_TRUE(slow.result.allHalted);
+        expectIdentical(slow, percore, "phaseA-wake");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-count independence: phase B runs against frozen coherence
+// state and all mutation is serialized, so even the skipped/ticked
+// split must be bitwise-identical between 1 and 4 worker threads.
+// ---------------------------------------------------------------------
+
+TEST(FastForwardParity, MpThreadCountBitIdentical)
+{
+    MpParams p;
+    p.threads = 4;
+    p.iterations = 100;
+    Program prog = makeLockCounter(p);
+    for (const auto &[name, core] : fig5Configs()) {
+        Observables t1 =
+            runOnce(prog, core, 4, true, FaultConfig::parse(""), true, 1);
+        Observables t4 =
+            runOnce(prog, core, 4, true, FaultConfig::parse(""), true, 4);
+        ASSERT_TRUE(t1.result.allHalted) << name;
+        EXPECT_EQ(t1.result.skippedCycles, t4.result.skippedCycles)
+            << name << ": thread count changed the skip split";
+        EXPECT_EQ(t1.result.tickedCycles, t4.result.tickedCycles)
+            << name << ": thread count changed the tick split";
+        expectSameObservables(t1, t4, "threads/" + name);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Skip parity under fault injection: injected sites are event-site
 // hashes, so delayed-snoop faults must land on the exact same cycles
 // and the fault summary must stay byte-identical.
@@ -192,6 +278,11 @@ TEST(FastForwardParity, DelayedSnoopFaultsBitIdentical)
         Observables fast = runOnce(prog, core, 2, true, faults);
         expectIdentical(slow, fast, "faults/" + name);
         EXPECT_NE(slow.faultsJson, "") << name;
+        // Delayed snoops must land on the same cycles even when the
+        // victim core is asleep (it wakes and catches up first).
+        Observables nopercore =
+            runOnce(prog, core, 2, true, faults, false);
+        expectIdentical(slow, nopercore, "faults-global/" + name);
     }
 }
 
@@ -306,6 +397,46 @@ TEST(FastForwardEnv, KnobParsesLikeDocumented)
         ::setenv("VBR_FASTFWD", saved_val.c_str(), 1);
     else
         ::unsetenv("VBR_FASTFWD");
+}
+
+TEST(FastForwardEnv, PerCoreKnobParsesLikeDocumented)
+{
+    const char *saved = std::getenv("VBR_FASTFWD_PERCORE");
+    std::string saved_val = saved ? saved : "";
+
+    ::unsetenv("VBR_FASTFWD_PERCORE");
+    EXPECT_TRUE(perCoreFastForwardFromEnv());
+    ::setenv("VBR_FASTFWD_PERCORE", "0", 1);
+    EXPECT_FALSE(perCoreFastForwardFromEnv());
+    ::setenv("VBR_FASTFWD_PERCORE", "1", 1);
+    EXPECT_TRUE(perCoreFastForwardFromEnv());
+
+    if (saved)
+        ::setenv("VBR_FASTFWD_PERCORE", saved_val.c_str(), 1);
+    else
+        ::unsetenv("VBR_FASTFWD_PERCORE");
+}
+
+TEST(FastForwardEnv, MpThreadsKnobParsesLikeDocumented)
+{
+    const char *saved = std::getenv("VBR_MP_THREADS");
+    std::string saved_val = saved ? saved : "";
+
+    ::unsetenv("VBR_MP_THREADS");
+    EXPECT_EQ(mpThreadsFromEnv(), 1u);
+    ::setenv("VBR_MP_THREADS", "4", 1);
+    EXPECT_EQ(mpThreadsFromEnv(), 4u);
+    ::setenv("VBR_MP_THREADS", "garbage", 1);
+    EXPECT_EQ(mpThreadsFromEnv(), 1u);
+    ::setenv("VBR_MP_THREADS", "0", 1);
+    EXPECT_EQ(mpThreadsFromEnv(), 1u);
+    ::setenv("VBR_MP_THREADS", "10000", 1);
+    EXPECT_EQ(mpThreadsFromEnv(), 64u);
+
+    if (saved)
+        ::setenv("VBR_MP_THREADS", saved_val.c_str(), 1);
+    else
+        ::unsetenv("VBR_MP_THREADS");
 }
 
 } // namespace

@@ -1,0 +1,142 @@
+// Unit tests for the shared event-horizon helper (sys/horizon):
+// exact skip targets for crafted schedules, including the
+// deadlock-poll clamping and the pollOnly fast path that removes the
+// old 1-tick pessimism.
+
+#include <gtest/gtest.h>
+
+#include "sys/horizon.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+HorizonInputs
+base(Cycle now)
+{
+    HorizonInputs in;
+    in.now = now;
+    in.maxCycles = 1'000'000;
+    in.deadlockStride = 256;
+    in.nextDeadlockCheck = ((now / 256) + 1) * 256;
+    return in;
+}
+
+TEST(HorizonTest, PicksEarliestTickableHorizon)
+{
+    HorizonInputs in = base(1000);
+    in.earliestWake = 1400;
+    in.earliestAuditScan = 4096;
+    in.earliestFaultSnoop = 2000;
+    HorizonResult r = computeHorizon(in);
+    EXPECT_EQ(r.target, 1400u);
+    EXPECT_FALSE(r.pollOnly);
+}
+
+TEST(HorizonTest, MaxCyclesBoundsTheTarget)
+{
+    HorizonInputs in = base(100);
+    in.maxCycles = 150;
+    HorizonResult r = computeHorizon(in);
+    EXPECT_EQ(r.target, 150u);
+    EXPECT_FALSE(r.pollOnly);
+}
+
+TEST(HorizonTest, AuditScanClampsBelowCoreWake)
+{
+    HorizonInputs in = base(4000);
+    in.earliestWake = 9000;
+    in.earliestAuditScan = 4096;
+    HorizonResult r = computeHorizon(in);
+    EXPECT_EQ(r.target, 4096u);
+    EXPECT_FALSE(r.pollOnly);
+}
+
+// The crafted schedule pinning the exact deadlock-poll clamping: a
+// core whose fire cycle is 1000 with stride 256 makes cycle 1024 the
+// first poll that can fire. Every earlier poll (768) is provably
+// false and must be skipped over; a wake at 5000 must not pull the
+// target past the poll.
+TEST(HorizonTest, DeadlockPollClampsToFirstFiringPoll)
+{
+    HorizonInputs in = base(700);
+    in.earliestWake = 5000;
+    in.earliestDeadlockFire = 1000;
+    HorizonResult r = computeHorizon(in);
+    EXPECT_EQ(r.target, 1024u);
+    EXPECT_TRUE(r.pollOnly);
+}
+
+// Fire cycle exactly on a stride multiple: the poll lands on the
+// fire cycle itself.
+TEST(HorizonTest, FireOnStrideMultiplePollsAtFire)
+{
+    HorizonInputs in = base(100);
+    in.earliestWake = 5000;
+    in.earliestDeadlockFire = 512;
+    HorizonResult r = computeHorizon(in);
+    EXPECT_EQ(r.target, 512u);
+    EXPECT_TRUE(r.pollOnly);
+}
+
+// The poll never undercuts the already-scheduled next check: polls
+// happen on the precomputed schedule only.
+TEST(HorizonTest, PollRespectsNextScheduledCheck)
+{
+    HorizonInputs in = base(700);
+    in.nextDeadlockCheck = 1280; // an earlier skip already passed 1024
+    in.earliestWake = 5000;
+    in.earliestDeadlockFire = 1000;
+    HorizonResult r = computeHorizon(in);
+    EXPECT_EQ(r.target, 1280u);
+    EXPECT_TRUE(r.pollOnly);
+}
+
+// Tie between the poll and a tickable horizon goes to the tickable
+// side: real work lands on that cycle, so it must be ticked, and the
+// caller then lands one short exactly like the pre-pollOnly code.
+TEST(HorizonTest, PollTickableTieIsNotPollOnly)
+{
+    HorizonInputs in = base(700);
+    in.earliestWake = 1024;
+    in.earliestDeadlockFire = 1000; // poll also at 1024
+    HorizonResult r = computeHorizon(in);
+    EXPECT_EQ(r.target, 1024u);
+    EXPECT_FALSE(r.pollOnly);
+}
+
+// A wake strictly before the poll: plain tickable target, and the
+// provably-false poll between them is skipped over.
+TEST(HorizonTest, WakeBeforePollWins)
+{
+    HorizonInputs in = base(700);
+    in.earliestWake = 900;
+    in.earliestDeadlockFire = 1000; // poll at 1024
+    HorizonResult r = computeHorizon(in);
+    EXPECT_EQ(r.target, 900u);
+    EXPECT_FALSE(r.pollOnly);
+}
+
+// No deadlock candidate (all cores halted or committing): the poll
+// contributes nothing.
+TEST(HorizonTest, NoFireCycleMeansNoPollClamp)
+{
+    HorizonInputs in = base(700);
+    in.earliestWake = 3000;
+    HorizonResult r = computeHorizon(in);
+    EXPECT_EQ(r.target, 3000u);
+    EXPECT_FALSE(r.pollOnly);
+}
+
+// Inert inputs: only the cycle budget remains.
+TEST(HorizonTest, AllInertFallsBackToMaxCycles)
+{
+    HorizonInputs in = base(700);
+    HorizonResult r = computeHorizon(in);
+    EXPECT_EQ(r.target, in.maxCycles);
+    EXPECT_FALSE(r.pollOnly);
+}
+
+} // namespace
+} // namespace vbr

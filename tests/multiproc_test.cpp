@@ -265,5 +265,64 @@ TEST(MpStats, ReplayEliminatesMostConsistencySquashes)
            "squashes";
 }
 
+// ---------------------------------------------------------------------
+// Per-core slack fast-forward on a 16-core Gigaplane-XB-style system:
+// the busy-neighbor schedule keeps one core active every cycle, so
+// whole-system quiescence never occurs and the PR 5 global skip finds
+// nothing — but each cold-missing loader core sleeps through its
+// memory round trips. Results must be bit-identical either way.
+// ---------------------------------------------------------------------
+
+TEST(MpStats, BusyNeighborPerCoreSkipBeatsGlobalSkip)
+{
+    MpParams p;
+    p.threads = 16;
+    p.iterations = 40;
+    Program prog = makeBusyNeighbor(p);
+
+    auto runWith = [&prog](bool per_core) {
+        SystemConfig cfg;
+        cfg.cores = 16;
+        cfg.core = CoreConfig::valueReplay(
+            ReplayFilterConfig::recentSnoopPlusNus());
+        cfg.trackVersions = true;
+        cfg.maxCycles = 20'000'000;
+        cfg.fastForward = true;
+        cfg.perCoreFastForward = per_core;
+        // No prefetching: each loader iteration pays the full memory
+        // round trip, which is the idle window per-core sleep hides.
+        cfg.hierarchy.prefetcher.enabled = false;
+        auto sys = std::make_unique<System>(cfg, prog);
+        return std::make_pair(sys->run(), std::move(sys));
+    };
+
+    auto [global, gsys] = runWith(false);
+    auto [percore, psys] = runWith(true);
+    ASSERT_TRUE(global.allHalted);
+    ASSERT_TRUE(percore.allHalted);
+
+    // Once the spinner's first I-line lands it commits every cycle,
+    // so whole-system quiescence only exists in the shared cold-start
+    // fetch window — the global skip gets that and nothing more. The
+    // per-core path additionally sleeps each loader through its
+    // serialized memory round trips, dwarfing the global win.
+    EXPECT_GT(percore.skippedCycles, 0u);
+    EXPECT_GT(percore.skippedCycles, 20 * global.skippedCycles)
+        << "per-core sleep should dominate on the busy-neighbor "
+           "schedule (global=" << global.skippedCycles
+        << " percore=" << percore.skippedCycles << ")";
+
+    // Same simulation either way.
+    EXPECT_EQ(global.cycles, percore.cycles);
+    EXPECT_EQ(global.instructions, percore.instructions);
+    EXPECT_EQ(percore.skippedCycles + percore.tickedCycles,
+              global.skippedCycles + global.tickedCycles);
+    for (unsigned c = 0; c < 16; ++c)
+        for (unsigned r = 0; r < kNumArchRegs; ++r)
+            ASSERT_EQ(gsys->core(c).archReg(r), psys->core(c).archReg(r))
+                << "core " << c << " r" << r;
+    EXPECT_TRUE(gsys->memory().bytes() == psys->memory().bytes());
+}
+
 } // namespace
 } // namespace vbr

@@ -1,0 +1,84 @@
+#!/bin/bash
+# Profile one bench harness with Linux perf and emit collapsed stacks
+# suitable for flame-graph tooling:
+#   results/PROF_<name>.perf.data   - raw perf record output
+#   results/PROF_<name>.collapsed   - "frame;frame;frame count" lines
+#   results/PROF_<name>.report.txt  - perf report top-down summary
+#
+# The collapsed file is the interchange format of Brendan Gregg's
+# flamegraph.pl / inferno / speedscope — feed it to any of them:
+#   flamegraph.pl results/PROF_mp16_gigaplane.collapsed > flame.svg
+# The collapsing itself is done here with awk over `perf script`, so
+# no external flame-graph tooling is needed to produce the file.
+#
+# Usage: tools/profile_bench.sh <harness> [build-dir] [results-dir]
+#   e.g. tools/profile_bench.sh mp16_gigaplane
+# Knobs: VBR_SCALE (default 0.25: profiling wants short runs),
+#        VBR_THREADS / VBR_MP_THREADS / VBR_FASTFWD_PERCORE pass
+#        through to the harness, PERF_FREQ (default 997 Hz; a prime
+#        frequency avoids lockstep sampling of cyclic simulator work).
+set -euo pipefail
+
+harness=${1:?usage: tools/profile_bench.sh <harness> [build-dir] [results-dir]}
+build_dir=${2:-build}
+results_dir=${3:-results}
+freq=${PERF_FREQ:-997}
+export VBR_SCALE=${VBR_SCALE:-0.25}
+
+bin="$build_dir/bench/$harness"
+if [ ! -x "$bin" ]; then
+    echo "error: $bin not found or not executable (build first)" >&2
+    exit 1
+fi
+if ! command -v perf >/dev/null 2>&1; then
+    echo "error: perf not found; install linux-tools or profile on a" \
+         "host that has it" >&2
+    exit 2
+fi
+mkdir -p "$results_dir"
+
+data="$results_dir/PROF_$harness.perf.data"
+collapsed="$results_dir/PROF_$harness.collapsed"
+report="$results_dir/PROF_$harness.report.txt"
+
+echo "== perf record -F $freq -g $bin (VBR_SCALE=$VBR_SCALE)"
+# --call-graph dwarf unwinds through the template-heavy simulator
+# frames that frame-pointer unwinding loses at -O2.
+VBR_BENCH_DIR="$results_dir" perf record -F "$freq" --call-graph dwarf \
+    -o "$data" -- "$bin" > /dev/null
+
+echo "== collapsing stacks -> $collapsed"
+# perf script emits one block per sample: a header line, then one
+# "<addr> <symbol> (<dso>)" line per frame leaf-first, then a blank
+# line. Reverse to root-first and join with ';'.
+perf script -i "$data" 2>/dev/null | awk '
+    /^[^[:space:]]/ { next }            # sample header line
+    /^[[:space:]]+[0-9a-f]+/ {
+        frame = $2
+        for (i = 3; i < NF; ++i)        # symbols may contain spaces
+            frame = frame " " $i
+        stack[depth++] = frame
+        next
+    }
+    /^$/ {
+        if (depth > 0) {
+            line = stack[depth - 1]
+            for (i = depth - 2; i >= 0; --i)
+                line = line ";" stack[i]
+            count[line]++
+            depth = 0
+        }
+    }
+    END {
+        for (line in count)
+            print line, count[line]
+    }' > "$collapsed"
+
+perf report -i "$data" --stdio --no-children 2>/dev/null \
+    | head -60 > "$report"
+
+echo "== top self-time symbols"
+head -15 "$report" | tail -10 || true
+echo
+echo "collapsed stacks: $collapsed ($(wc -l < "$collapsed") unique)"
+echo "raw profile:      $data"

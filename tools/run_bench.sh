@@ -41,6 +41,7 @@ ablation_value_prediction
 ablation_window_scaling
 micro_lsq_structures
 fault_detection
+mp16_gigaplane
 "
 
 out="$results_dir/bench_full.txt"
