@@ -51,15 +51,22 @@ main()
             jobs.uni(wl, m);
     }
 
-    std::vector<RunStats> results = jobs.run();
+    SweepResults results = jobs.run();
+    results.printSummary("ablation_dep_predictor");
 
     BenchReport rep("ablation_dep_predictor");
     rep.meta("scale", scale);
-    for (const RunStats &s : results)
-        rep.addRun(s);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        if (results.has(i))
+            rep.addRun(results[i]);
 
     for (std::size_t w = 0; w < names.size(); ++w) {
         std::vector<std::string> row{names[w]};
+        bool full = true;
+        for (std::size_t m = 0; m < machines.size(); ++m)
+            full = full && results.has(w * machines.size() + m);
+        if (!full)
+            continue; // other shard owns part of this row
         for (std::size_t m = 0; m < machines.size(); ++m)
             row.push_back(TextTable::fmt(
                 results[w * machines.size() + m].ipc, 3));

@@ -46,14 +46,19 @@ main()
         }
     }
 
-    std::vector<RunStats> results = jobs.run();
+    SweepResults results = jobs.run();
+    results.printSummary("ablation_replay_bandwidth");
 
     BenchReport rep("ablation_replay_bandwidth");
     rep.meta("scale", scale);
-    for (const RunStats &s : results)
-        rep.addRun(s);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        if (results.has(i))
+            rep.addRun(results[i]);
 
     for (std::size_t w = 0; w < names.size(); ++w) {
+        if (!results.hasAll(
+                {w * 4, w * 4 + 1, w * 4 + 2, w * 4 + 3}))
+            continue; // other shard owns part of this row
         const RunStats &base = results[w * 4];
         std::vector<std::string> row{names[w],
                                      TextTable::fmt(base.ipc, 3)};

@@ -13,21 +13,6 @@
 using namespace vbr;
 using namespace vbr::bench;
 
-namespace
-{
-
-/** One sweep cell: the shared RunStats plus the VP-only counters
- * (zero for the non-VP runs). */
-struct Cell
-{
-    RunStats stats;
-    std::uint64_t predicted = 0;
-    std::uint64_t committed = 0;
-    std::uint64_t vpSquashes = 0;
-};
-
-} // namespace
-
 int
 main()
 {
@@ -48,56 +33,55 @@ main()
     table.header({"workload", "ipc", "ipc+vp", "delta", "predicted",
                   "committed", "vp_squashes"});
 
-    // Jobs alternate (base, vp) per workload; the VP run needs raw
-    // counters on top of RunStats, so this sweep uses SweepRunner
-    // directly with its own cell type.
-    std::vector<std::function<Cell()>> jobs;
+    // Jobs alternate (base, vp) per workload; the VP runs declare a
+    // harvest plan so the raw predictor counters travel through the
+    // sweep service (and its result cache) alongside RunStats.
+    JobList jobs;
     std::vector<std::string> names;
     for (const auto &wl : uniprocessorSuite(scale)) {
         names.push_back(wl.name);
-        jobs.push_back([wl, off] { return Cell{runUni(wl, off)}; });
-        jobs.push_back([wl, on] {
-            Program prog = makeSynthetic(wl.params);
-            SystemConfig cfg;
-            cfg.core = on.core;
-            System sys(cfg, prog);
-            RunResult r = sys.run();
-            if (!r.allHalted)
-                fatal("VP run did not halt: " + wl.name);
-            Cell c;
-            c.stats = collectRunStats(sys, r, wl.name, on.name);
-            c.predicted = sys.totalStat("loads_value_predicted");
-            c.committed =
-                sys.totalStat("value_predictions_committed");
-            c.vpSquashes = sys.totalStat("squashes_replay_mismatch");
-            return c;
-        });
+        jobs.uni(wl, off);
+        std::size_t vi = jobs.uni(wl, on);
+        jobs.spec(vi).harvestStats = {"loads_value_predicted",
+                                      "value_predictions_committed",
+                                      "squashes_replay_mismatch"};
     }
 
-    SweepRunner runner;
-    std::vector<Cell> results = runner.run(std::move(jobs));
+    SweepResults results = jobs.run();
+    results.printSummary("ablation_value_prediction");
 
     BenchReport rep("ablation_value_prediction");
     rep.meta("scale", scale);
-    for (const Cell &c : results) {
-        JsonValue row = runStatsToJson(c.stats);
-        if (c.stats.config == on.name) {
-            row.set("loads_value_predicted", c.predicted);
-            row.set("value_predictions_committed", c.committed);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!results.has(i))
+            continue;
+        const SimJobResult &r = results.job(i);
+        JsonValue row = runStatsToJson(r.stats);
+        if (r.stats.config == on.name) {
+            row.set("loads_value_predicted",
+                    extraStat(r, "stat:loads_value_predicted"));
+            row.set(
+                "value_predictions_committed",
+                extraStat(r, "stat:value_predictions_committed"));
         }
         rep.addRow(std::move(row));
     }
 
     for (std::size_t w = 0; w < names.size(); ++w) {
-        const Cell &base = results[w * 2];
-        const Cell &vp = results[w * 2 + 1];
-        table.row({names[w], TextTable::fmt(base.stats.ipc, 3),
-                   TextTable::fmt(vp.stats.ipc, 3),
-                   TextTable::pct(vp.stats.ipc / base.stats.ipc - 1.0,
-                                  1),
-                   std::to_string(vp.predicted),
-                   std::to_string(vp.committed),
-                   std::to_string(vp.vpSquashes)});
+        if (!results.hasAll({w * 2, w * 2 + 1}))
+            continue; // other shard owns part of this pair
+        const RunStats &base = results[w * 2];
+        const SimJobResult &vp = results.job(w * 2 + 1);
+        table.row(
+            {names[w], TextTable::fmt(base.ipc, 3),
+             TextTable::fmt(vp.stats.ipc, 3),
+             TextTable::pct(vp.stats.ipc / base.ipc - 1.0, 1),
+             std::to_string(
+                 extraStat(vp, "stat:loads_value_predicted")),
+             std::to_string(
+                 extraStat(vp, "stat:value_predictions_committed")),
+             std::to_string(
+                 extraStat(vp, "stat:squashes_replay_mismatch"))});
     }
 
     std::printf("%s\n", table.render().c_str());

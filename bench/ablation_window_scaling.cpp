@@ -67,7 +67,8 @@ main()
         }
     }
 
-    std::vector<RunStats> results = jobs.run();
+    SweepResults results = jobs.run();
+    results.printSummary("ablation_window_scaling");
 
     BenchReport rep("ablation_window_scaling");
     rep.meta("scale", scale);
@@ -76,6 +77,10 @@ main()
     std::size_t k = 0;
     for (const char *name : wl_names) {
         for (unsigned rob : robs) {
+            if (!results.hasAll({k, k + 1})) {
+                k += 2; // other shard owns part of this pair
+                continue;
+            }
             const RunStats &b = results[k++];
             const RunStats &v = results[k++];
             JsonValue row = runStatsToJson(b);

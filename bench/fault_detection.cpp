@@ -27,10 +27,7 @@
 #include "harness.hpp"
 
 #include <filesystem>
-#include <memory>
 #include <stdexcept>
-
-#include "check/constraint_graph.hpp"
 
 using namespace vbr;
 using namespace vbr::bench;
@@ -42,15 +39,6 @@ namespace
  * only, so with versions tracked every silent commit of a live value
  * is also visible to the architectural checker. */
 constexpr const char *kDefaultSpec = "seed=42,loadflip=5e-5,fwdflip=2e-4";
-
-struct FaultRun
-{
-    RunStats stats;
-    FaultOutcomes fo;
-    std::uint64_t inFlight = 0;
-    bool consistent = true;
-    std::uint64_t checkerErrors = 0;
-};
 
 struct ConfigTotals
 {
@@ -88,59 +76,45 @@ main()
     auto suite = uniprocessorSuite(scale);
 
     // ---- detection grid (guarded: a fault-crashed job quarantines
-    // instead of killing the harness) -----------------------------
-    std::vector<GuardedJob<FaultRun>> jobs;
+    // instead of killing the harness). Fault outcomes and the SC
+    // checker's verdict ride as harvested extras, so a cache hit
+    // restores the full taxonomy, not just RunStats. --------------
+    JobList jobs;
     for (const auto &wl : suite) {
         for (const auto &machine : machines) {
             GuardedRunOptions opts;
             opts.faults = faults;
             opts.jobName = wl.name + "-" + machine.name;
             opts.trackVersions = true;
-            jobs.push_back(
-                {opts.jobName, [wl, machine, opts] {
-                     auto checker = std::make_shared<ScChecker>();
-                     return runUniGuarded<FaultRun>(
-                         wl, machine, opts,
-                         [checker](System &sys) {
-                             sys.setObserver(checker.get());
-                         },
-                         [&](System &sys, const RunResult &r) {
-                             FaultRun out;
-                             out.stats = collectRunStats(
-                                 sys, r, wl.name, machine.name);
-                             if (const FaultInjector *fi =
-                                     sys.faultInjector()) {
-                                 out.fo = fi->outcomes();
-                                 out.inFlight = fi->inFlight();
-                             }
-                             CheckResult cr = checker->check();
-                             out.consistent = cr.consistent;
-                             out.checkerErrors = cr.errors.size();
-                             return out;
-                         });
-                 }});
+            std::size_t idx = jobs.uni(wl, machine);
+            SimJobSpec &s = jobs.spec(idx);
+            s.system = guardedSystemConfig(machine, opts, 1);
+            s.attachScChecker = true;
         }
     }
 
-    SweepRunner runner;
-    SweepOutcome<FaultRun> grid = runner.runGuarded(std::move(jobs));
+    SweepResults grid = jobs.runGuarded();
+    grid.printSummary("fault_detection");
 
     std::vector<ConfigTotals> totals(machines.size());
     std::size_t slot = 0;
     for (std::size_t w = 0; w < suite.size(); ++w) {
         for (std::size_t m = 0; m < machines.size(); ++m, ++slot) {
-            if (!grid.ok[slot])
+            if (!grid.has(slot))
                 continue;
-            const FaultRun &fr = grid.results[slot];
+            const SimJobResult &fr = grid.job(slot);
             ConfigTotals &t = totals[m];
-            t.injected += fr.fo.corruptionsInjected();
-            t.detected += fr.fo.detectedByCompare;
-            t.caughtByCam += fr.fo.caughtByCam;
-            t.recovered += fr.fo.squashedRecovered;
-            t.silent += fr.fo.silentlyCommitted;
-            t.inFlight += fr.inFlight;
-            t.wild += fr.fo.wildStores + fr.fo.wildLoads;
-            if (!fr.consistent || fr.checkerErrors > 0)
+            t.injected += extraStat(fr, "fault:load_flips") +
+                          extraStat(fr, "fault:forward_flips");
+            t.detected += extraStat(fr, "fault:detected_by_compare");
+            t.caughtByCam += extraStat(fr, "fault:caught_by_cam");
+            t.recovered += extraStat(fr, "fault:squashed_recovered");
+            t.silent += extraStat(fr, "fault:silently_committed");
+            t.inFlight += extraStat(fr, "fault:in_flight");
+            t.wild += extraStat(fr, "fault:wild_stores") +
+                      extraStat(fr, "fault:wild_loads");
+            if (extraStat(fr, "checker:consistent") == 0 ||
+                extraStat(fr, "checker:errors") > 0)
                 ++t.checkerViolations;
         }
     }
@@ -164,8 +138,10 @@ main()
                 "config; a corruption can be both detected and "
                 "recovered-by-squash only once\n\n");
 
-    // ---- resilience demo: the sweep survives hostile jobs --------
-    std::vector<GuardedJob<FaultRun>> demo;
+    // ---- resilience demo: the sweep survives hostile jobs. Stays
+    // on the opaque-lambda runGuarded path (and out of the cache):
+    // two of the jobs exist to fail. ------------------------------
+    std::vector<GuardedJob<RunStats>> demo;
     {
         WorkloadSpec wl = suite.front();
         GuardedRunOptions opts;
@@ -175,21 +151,16 @@ main()
         opts.deadlockThreshold = 10;
         MachineConfig machine = baselineConfig();
         demo.push_back({opts.jobName, [wl, machine, opts] {
-                            FaultRun out;
-                            out.stats = runUniGuarded(wl, machine, opts);
-                            return out;
+                            return runUniGuarded(wl, machine, opts);
                         }});
-        demo.push_back({"demo-throw", []() -> FaultRun {
+        demo.push_back({"demo-throw", []() -> RunStats {
                             throw std::runtime_error(
                                 "deliberate failure (resilience demo)");
                         }});
         GuardedRunOptions healthy;
         healthy.jobName = "demo-healthy";
         demo.push_back({healthy.jobName, [wl, machine, healthy] {
-                            FaultRun out;
-                            out.stats =
-                                runUniGuarded(wl, machine, healthy);
-                            return out;
+                            return runUniGuarded(wl, machine, healthy);
                         }});
     }
     // Demo artifacts are deliberate failures, not regressions: keep
@@ -199,7 +170,8 @@ main()
     demo_opts.artifactDir =
         (std::filesystem::temp_directory_path() / "vbr_fault_demo")
             .string();
-    SweepOutcome<FaultRun> demo_out =
+    SweepRunner runner;
+    SweepOutcome<RunStats> demo_out =
         runner.runGuarded(std::move(demo), demo_opts);
 
     std::printf("resilience demo: %zu/3 jobs quarantined (want 2), "
@@ -219,7 +191,8 @@ main()
                   " has no failure artifact");
 
     // ---- acceptance gate at the canonical operating point --------
-    if (scale == 1.0 && default_spec) {
+    // (needs the whole grid: a sharded partial run can't total it)
+    if (scale == 1.0 && default_spec && grid.complete()) {
         const ConfigTotals &base = totals[0];   // baseline CAM
         const ConfigTotals &replay = totals[1]; // replay-all
         if (replay.silent != 0 || replay.detected == 0)
@@ -248,20 +221,27 @@ main()
     slot = 0;
     for (std::size_t w = 0; w < suite.size(); ++w) {
         for (std::size_t m = 0; m < machines.size(); ++m, ++slot) {
-            if (!grid.ok[slot])
+            if (!grid.has(slot))
                 continue;
-            const FaultRun &fr = grid.results[slot];
+            const SimJobResult &fr = grid.job(slot);
             JsonValue row = runStatsToJson(fr.stats);
-            row.set("fault_injected", fr.fo.corruptionsInjected());
+            row.set("fault_injected",
+                    extraStat(fr, "fault:load_flips") +
+                        extraStat(fr, "fault:forward_flips"));
             row.set("fault_detected_by_compare",
-                    fr.fo.detectedByCompare);
-            row.set("fault_caught_by_cam", fr.fo.caughtByCam);
-            row.set("fault_squashed_recovered", fr.fo.squashedRecovered);
+                    extraStat(fr, "fault:detected_by_compare"));
+            row.set("fault_caught_by_cam",
+                    extraStat(fr, "fault:caught_by_cam"));
+            row.set("fault_squashed_recovered",
+                    extraStat(fr, "fault:squashed_recovered"));
             row.set("fault_silently_committed",
-                    fr.fo.silentlyCommitted);
-            row.set("fault_in_flight", fr.inFlight);
-            row.set("checker_consistent", fr.consistent);
-            row.set("checker_errors", fr.checkerErrors);
+                    extraStat(fr, "fault:silently_committed"));
+            row.set("fault_in_flight",
+                    extraStat(fr, "fault:in_flight"));
+            row.set("checker_consistent",
+                    extraStat(fr, "checker:consistent") != 0);
+            row.set("checker_errors",
+                    extraStat(fr, "checker:errors"));
             rep.addRow(std::move(row));
         }
     }
@@ -291,10 +271,10 @@ main()
         quarantine.push(std::move(j));
     }
     rep.metric("quarantined", std::move(quarantine));
-    rep.metric("grid_jobs",
-               static_cast<std::uint64_t>(grid.ok.size()));
+    rep.metric("grid_jobs", static_cast<std::uint64_t>(grid.size()));
     rep.metric("grid_quarantined",
-               static_cast<std::uint64_t>(grid.quarantined.size()));
+               static_cast<std::uint64_t>(
+                   grid.outcome().quarantined.size()));
     rep.write();
     return 0;
 }

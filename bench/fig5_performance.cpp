@@ -62,14 +62,16 @@ main()
         groups.push_back(std::move(g));
     }
 
-    std::vector<RunStats> results = jobs.run();
+    SweepResults results = jobs.run();
+    results.printSummary("fig5_performance");
 
     // Refactor smoke check: per-scheme totals of squashes, replays,
     // and filter hits at the canonical operating point are pinned to
     // the pre-MemoryOrderingUnit-refactor goldens. The simulator is
     // deterministic, so any drift here means an ordering backend
-    // changed behavior, not just structure.
-    if (scale == 1.0 && mp_cores == 4) {
+    // changed behavior, not just structure. Requires every slot (a
+    // sharded partial run can't total the grid).
+    if (scale == 1.0 && mp_cores == 4 && results.complete()) {
         struct GoldenTotals
         {
             const char *config;
@@ -86,7 +88,8 @@ main()
         };
         for (const GoldenTotals &g : kGolden) {
             std::uint64_t squashes = 0, replays = 0, filtered = 0;
-            for (const RunStats &s : results) {
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                const RunStats &s = results[i];
                 if (s.config != g.config)
                     continue;
                 squashes += s.squashLqRaw + s.squashLqSnoop +
@@ -110,10 +113,22 @@ main()
 
     BenchReport rep("fig5_performance");
     rep.meta("scale", scale).meta("mp_cores", mp_cores);
-    for (const RunStats &s : results)
-        rep.addRun(s);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        if (results.has(i))
+            rep.addRun(results[i]);
+
+    auto groupReady = [&](const Group &g) {
+        if (!results.has(g.base))
+            return false;
+        for (std::size_t idx : g.runs)
+            if (!results.has(idx))
+                return false;
+        return true;
+    };
 
     for (const Group &g : groups) {
+        if (!groupReady(g))
+            continue; // other shard owns part of this row
         const RunStats &base = results[g.base];
         std::vector<std::string> row{g.name,
                                      TextTable::fmt(base.ipc, 3)};

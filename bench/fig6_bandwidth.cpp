@@ -72,14 +72,27 @@ main()
         groups.push_back(std::move(g));
     }
 
-    std::vector<RunStats> results = jobs.run();
+    SweepResults results = jobs.run();
+    results.printSummary("fig6_bandwidth");
 
     BenchReport rep("fig6_bandwidth");
     rep.meta("scale", scale).meta("mp_cores", mp_cores);
-    for (const RunStats &s : results)
-        rep.addRun(s);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        if (results.has(i))
+            rep.addRun(results[i]);
+
+    auto groupReady = [&](const Group &g) {
+        if (!results.has(g.base))
+            return false;
+        for (std::size_t idx : g.runs)
+            if (!results.has(idx))
+                return false;
+        return true;
+    };
 
     for (const Group &g : groups) {
+        if (!groupReady(g))
+            continue; // other shard owns part of this row
         const RunStats &base = results[g.base];
         std::vector<std::string> row{g.name};
         for (std::size_t i = 0; i < g.runs.size(); ++i) {
@@ -95,7 +108,10 @@ main()
         double sum = 0.0;
         for (double x : totals[i])
             sum += x;
-        double mean = sum / totals[i].size();
+        double mean =
+            totals[i].empty()
+                ? 0.0
+                : sum / static_cast<double>(totals[i].size());
         avg.push_back(TextTable::pct(mean, 1));
         rep.metric("avg_extra_l1d_" + replay_cfgs[i].name, mean);
     }

@@ -55,14 +55,27 @@ main()
         groups.push_back(std::move(g));
     }
 
-    std::vector<RunStats> results = jobs.run();
+    SweepResults results = jobs.run();
+    results.printSummary("fig7_rob_occupancy");
 
     BenchReport rep("fig7_rob_occupancy");
     rep.meta("scale", scale).meta("mp_cores", mp_cores);
-    for (const RunStats &s : results)
-        rep.addRun(s);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        if (results.has(i))
+            rep.addRun(results[i]);
+
+    auto groupReady = [&](const Group &g) {
+        if (!results.has(g.base))
+            return false;
+        for (std::size_t idx : g.runs)
+            if (!results.has(idx))
+                return false;
+        return true;
+    };
 
     for (const Group &g : groups) {
+        if (!groupReady(g))
+            continue; // other shard owns part of this row
         std::vector<std::string> row{
             g.name, TextTable::fmt(results[g.base].robOccupancy, 1)};
         for (std::size_t idx : g.runs)

@@ -61,14 +61,18 @@ main()
              jobs.mp(wl, lq32)});
     }
 
-    std::vector<RunStats> results = jobs.run();
+    SweepResults results = jobs.run();
+    results.printSummary("fig8_constrained_lq");
 
     BenchReport rep("fig8_constrained_lq");
     rep.meta("scale", scale).meta("mp_cores", mp_cores);
-    for (const RunStats &s : results)
-        rep.addRun(s);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        if (results.has(i))
+            rep.addRun(results[i]);
 
     for (const Group &g : groups) {
+        if (!results.hasAll({g.vbr, g.lq16, g.lq32}))
+            continue; // other shard owns part of this row
         const RunStats &vbr_run = results[g.vbr];
         r16.push_back(results[g.lq16].ipc / vbr_run.ipc);
         r32.push_back(results[g.lq32].ipc / vbr_run.ipc);

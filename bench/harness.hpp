@@ -1,23 +1,31 @@
 /**
  * @file
  * Shared infrastructure for the figure/table reproduction harnesses:
- * the five evaluated machine configurations, job builders for the
- * parallel sweep engine, and small formatting utilities. RunStats
- * itself lives in src/sys/run_stats.hpp; the sweep engine in
- * src/sys/sweep_runner.hpp; BENCH_<name>.json emission in
+ * the five evaluated machine configurations, the spec-based job grid
+ * for the sweep service, and small formatting utilities. RunStats
+ * lives in src/sys/run_stats.hpp; job identity in src/sys/job_key.hpp;
+ * the sweep engine + result cache in src/sys/sweep_runner.hpp and
+ * src/sys/result_cache.hpp; BENCH_<name>.json emission in
  * src/sys/bench_json.hpp.
  *
- * Environment knobs:
+ * Every job is a full SimJobSpec (machine config, built program,
+ * harvest plan) rather than an opaque lambda, which is what lets the
+ * service layers under JobList::run() cache, shard, and audit jobs by
+ * content. Environment knobs:
  *   VBR_SCALE     multiplies workload iteration counts (default 1.0)
  *   VBR_MP_CORES  cores for multiprocessor workloads (default 4)
  *   VBR_THREADS   sweep worker threads (default: hardware concurrency)
  *   VBR_BENCH_DIR directory for BENCH_<name>.json (default: cwd)
+ *   VBR_CACHE_DIR persistent result cache (default: disabled)
+ *   VBR_SHARD     i/N deterministic job partition (default: 0/1)
  *
  * Usage pattern (identical table output to the old serial loops):
  *   JobList jobs;
  *   for (...) jobs.uni(wl, cfg);     // returns the job's index
- *   std::vector<RunStats> r = jobs.run();
- *   // consume r[] in the same order the jobs were added
+ *   SweepResults r = jobs.run("harness_name");
+ *   // consume r[i] in the same order the jobs were added; guard
+ *   // with r.has(i) when running sharded (skipped slots fatal on
+ *   // access), and gate goldens on r.complete().
  */
 
 #ifndef VBR_BENCH_HARNESS_HPP
@@ -26,6 +34,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
+#include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,6 +44,8 @@
 #include "common/logging.hpp"
 #include "common/table.hpp"
 #include "sys/bench_json.hpp"
+#include "sys/job_key.hpp"
+#include "sys/result_cache.hpp"
 #include "sys/run_stats.hpp"
 #include "sys/sweep_runner.hpp"
 #include "sys/system.hpp"
@@ -94,37 +107,6 @@ replayConfigs()
     };
 }
 
-/** Run one uniprocessor workload under one machine configuration. */
-inline RunStats
-runUni(const WorkloadSpec &spec, const MachineConfig &machine)
-{
-    Program prog = makeSynthetic(spec.params);
-    SystemConfig cfg;
-    cfg.cores = 1;
-    cfg.core = machine.core;
-    System sys(cfg, prog);
-    RunResult r = sys.run();
-    if (!r.allHalted)
-        fatal("workload " + spec.name + " did not halt under " +
-              machine.name);
-    return collectRunStats(sys, r, spec.name, machine.name);
-}
-
-/** Run one multiprocessor workload under one machine configuration. */
-inline RunStats
-runMp(const MpWorkloadSpec &spec, const MachineConfig &machine)
-{
-    SystemConfig cfg;
-    cfg.cores = spec.threads;
-    cfg.core = machine.core;
-    System sys(cfg, spec.prog);
-    RunResult r = sys.run();
-    if (!r.allHalted)
-        fatal("MP workload " + spec.name + " did not halt under " +
-              machine.name);
-    return collectRunStats(sys, r, spec.name, machine.name);
-}
-
 /** Knobs for guarded runs (fault injection / resilience harnesses). */
 struct GuardedRunOptions
 {
@@ -155,101 +137,224 @@ guardedSystemConfig(const MachineConfig &machine,
 }
 
 /**
- * Like runUni, but built for hostile conditions: instead of fatal()ing
- * on a hung or budget-exhausted run it throws a SweepJobError carrying
- * a full failure artifact (config, fault summary, last-N commit
- * trace), so runGuarded can quarantine the job and keep the sweep
- * alive. @p preRun attaches observers before the run (may be null);
- * @p harvest extracts the job's result from the finished system.
+ * Like the spec path, but for one ad-hoc hostile run (the resilience
+ * demo): throws SweepJobError with a full failure artifact on
+ * deadlock or cycle-budget exhaustion so runGuarded can quarantine
+ * the job and keep the sweep alive.
  */
-template <class R>
-R
-runUniGuarded(const WorkloadSpec &spec, const MachineConfig &machine,
-              const GuardedRunOptions &opts,
-              const std::function<void(System &)> &preRun,
-              const std::function<R(System &, const RunResult &)>
-                  &harvest)
-{
-    Program prog = makeSynthetic(spec.params);
-    System sys(guardedSystemConfig(machine, opts, 1), prog);
-    if (preRun)
-        preRun(sys);
-    RunResult r = sys.run();
-    if (r.deadlocked)
-        throw SweepJobError(sys.makeFailureArtifact(
-            "deadlock", "workload " + spec.name + " deadlocked under " +
-                            machine.name));
-    if (!r.allHalted)
-        throw SweepJobError(sys.makeFailureArtifact(
-            "cycle-budget", "workload " + spec.name +
-                                " exhausted its cycle budget under " +
-                                machine.name));
-    return harvest(sys, r);
-}
-
-/** RunStats-only convenience overload of runUniGuarded. */
 inline RunStats
 runUniGuarded(const WorkloadSpec &spec, const MachineConfig &machine,
               const GuardedRunOptions &opts)
 {
-    return runUniGuarded<RunStats>(
-        spec, machine, opts, nullptr,
-        [&](System &sys, const RunResult &r) {
-            return collectRunStats(sys, r, spec.name, machine.name);
-        });
+    SimJobSpec job;
+    job.workload = spec.name;
+    job.config = machine.name;
+    job.system = guardedSystemConfig(machine, opts, 1);
+    job.program =
+        std::make_shared<Program>(makeSynthetic(spec.params));
+    return runSimJob(job, /*guarded=*/true).stats;
 }
 
 /**
- * Ordered job grid for the sweep engine. Specs and configs are
- * captured by value so the list owns everything it needs; run()
- * executes the grid on sweepThreads() workers and returns results
- * indexed exactly as the jobs were added.
+ * Results of a sweep, indexed exactly as the jobs were added. Thin
+ * view over SpecSweepOutcome: [i] yields the RunStats, job(i) the
+ * full SimJobResult (harvested extras), has(i) whether the slot
+ * resolved at all — false only for jobs another shard owns that were
+ * not in the cache, and for quarantined jobs of a guarded sweep.
+ */
+class SweepResults
+{
+  public:
+    explicit SweepResults(SpecSweepOutcome outcome)
+        : o_(std::move(outcome))
+    {
+    }
+
+    std::size_t size() const { return o_.results.size(); }
+
+    bool has(std::size_t i) const { return o_.ok[i] != 0; }
+
+    bool
+    hasAll(std::initializer_list<std::size_t> idx) const
+    {
+        for (std::size_t i : idx)
+            if (!has(i))
+                return false;
+        return true;
+    }
+
+    /** Every slot resolved (always true unsharded and unguarded). */
+    bool complete() const { return o_.complete(); }
+
+    const RunStats &
+    operator[](std::size_t i) const
+    {
+        return job(i).stats;
+    }
+
+    const SimJobResult &
+    job(std::size_t i) const
+    {
+        if (!has(i))
+            fatal("sweep job " + std::to_string(i) +
+                  " has no result (skipped by VBR_SHARD or "
+                  "quarantined) — guard accesses with has()");
+        return o_.results[i];
+    }
+
+    const SpecSweepOutcome &outcome() const { return o_; }
+
+    /** One-line service summary, grepped by tools/run_bench.sh and
+     * the warm-cache CI gate. */
+    void
+    printSummary(const std::string &harness) const
+    {
+        std::printf("[sweep] %s: jobs=%zu simulated=%zu "
+                    "cache_hits=%zu shard_skipped=%zu "
+                    "quarantined=%zu\n",
+                    harness.c_str(), size(), o_.simulated,
+                    o_.cacheHits, o_.skipped,
+                    o_.quarantined.size());
+    }
+
+  private:
+    SpecSweepOutcome o_;
+};
+
+/**
+ * Ordered job grid for the sweep service. Every job is submitted as
+ * a full SimJobSpec (specs own their programs; one workload's program
+ * is built once and shared across its machine configurations), so
+ * run() can resolve jobs through the identity/cache/shard layers.
+ * Results are indexed exactly as the jobs were added.
  */
 class JobList
 {
   public:
     /** Queue a uniprocessor run; returns its result index. */
     std::size_t
-    uni(WorkloadSpec spec, MachineConfig machine)
+    uni(const WorkloadSpec &wl, const MachineConfig &machine)
     {
-        jobs_.push_back(
-            [spec = std::move(spec), machine = std::move(machine)] {
-                return runUni(spec, machine);
-            });
-        return jobs_.size() - 1;
+        SimJobSpec spec;
+        spec.workload = wl.name;
+        spec.config = machine.name;
+        spec.system.cores = 1;
+        spec.system.core = machine.core;
+        spec.program = uniProgram(wl);
+        return add(std::move(spec));
     }
 
     /** Queue a multiprocessor run; returns its result index. */
     std::size_t
-    mp(MpWorkloadSpec spec, MachineConfig machine)
+    mp(const MpWorkloadSpec &wl, const MachineConfig &machine)
     {
-        jobs_.push_back(
-            [spec = std::move(spec), machine = std::move(machine)] {
-                return runMp(spec, machine);
-            });
-        return jobs_.size() - 1;
+        SimJobSpec spec;
+        spec.workload = wl.name;
+        spec.config = machine.name;
+        spec.system.cores = wl.threads;
+        spec.system.core = machine.core;
+        spec.program = mpProgram(wl);
+        return add(std::move(spec));
     }
 
-    /** Queue an arbitrary RunStats-producing job. */
+    /** Queue an arbitrary prepared spec. */
     std::size_t
-    add(std::function<RunStats()> job)
+    add(SimJobSpec spec)
     {
-        jobs_.push_back(std::move(job));
-        return jobs_.size() - 1;
+        specs_.push_back(std::move(spec));
+        return specs_.size() - 1;
     }
 
-    std::size_t size() const { return jobs_.size(); }
+    /** Mutable access for post-submission tweaks (harvest plans,
+     * hierarchy overrides, guarded-run system configs). */
+    SimJobSpec &spec(std::size_t i) { return specs_[i]; }
 
-    /** Execute everything; result[i] belongs to the i-th queued job. */
-    std::vector<RunStats>
-    run()
+    std::size_t size() const { return specs_.size(); }
+
+    /** Execute everything through the service layers (cache from
+     * VBR_CACHE_DIR, partition from VBR_SHARD); fatal on any
+     * simulation failure. result[i] belongs to the i-th queued job. */
+    SweepResults
+    run() const
     {
-        SweepRunner runner;
-        return runner.run(std::move(jobs_));
+        return runWith(/*guarded=*/false, GuardOptions());
+    }
+
+    /** Failure-isolating variant: failing jobs quarantine with
+     * FAIL_*.json artifacts instead of killing the harness, and are
+     * never cached. */
+    SweepResults
+    runGuarded(const GuardOptions &guard = GuardOptions()) const
+    {
+        return runWith(/*guarded=*/true, guard);
     }
 
   private:
-    std::vector<std::function<RunStats()>> jobs_;
+    SweepResults
+    runWith(bool guarded, const GuardOptions &guard) const
+    {
+        ResultCache cache = ResultCache::fromEnv();
+        SpecSweepOptions opts;
+        opts.cache = &cache;
+        opts.shard = ShardSpec::fromEnv();
+        opts.guarded = guarded;
+        opts.guard = guard;
+        SweepRunner runner;
+        return SweepResults(runner.runSpecs(specs_, opts));
+    }
+
+    /** Exact-match memo key so two same-named workloads with
+     * different parameters can never alias one program. */
+    static std::string
+    synthKey(const SynthParams &p)
+    {
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s|%llu|%u|%u|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%d|%u|"
+            "%u|%.17g|%.17g|%u|%.17g|%.17g",
+            p.name.c_str(),
+            static_cast<unsigned long long>(p.seed), p.iterations,
+            p.blockOps, p.loadFrac, p.storeFrac, p.branchFrac,
+            p.fpFrac, p.mulFrac, p.divFrac,
+            static_cast<int>(p.pattern), p.workingSetBytes,
+            p.strideBytes, p.aliasHazardFrac, p.branchNoise,
+            p.chainLength, p.coldMissFrac, p.callFrac);
+        return buf;
+    }
+
+    std::shared_ptr<const Program>
+    uniProgram(const WorkloadSpec &wl)
+    {
+        std::string key = synthKey(wl.params);
+        auto it = uniPrograms_.find(key);
+        if (it != uniPrograms_.end())
+            return it->second;
+        auto prog =
+            std::make_shared<Program>(makeSynthetic(wl.params));
+        uniPrograms_.emplace(std::move(key), prog);
+        return prog;
+    }
+
+    std::shared_ptr<const Program>
+    mpProgram(const MpWorkloadSpec &wl)
+    {
+        // MP programs arrive pre-built; dedupe by content digest so
+        // repeated submissions of one suite entry share storage.
+        std::uint64_t digest = programDigest(wl.prog);
+        auto it = mpPrograms_.find(digest);
+        if (it != mpPrograms_.end())
+            return it->second;
+        auto prog = std::make_shared<Program>(wl.prog);
+        mpPrograms_.emplace(digest, prog);
+        return prog;
+    }
+
+    std::vector<SimJobSpec> specs_;
+    std::map<std::string, std::shared_ptr<const Program>>
+        uniPrograms_;
+    std::map<std::uint64_t, std::shared_ptr<const Program>>
+        mpPrograms_;
 };
 
 inline double

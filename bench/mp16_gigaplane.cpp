@@ -24,29 +24,6 @@
 using namespace vbr;
 using namespace vbr::bench;
 
-namespace
-{
-
-/** Busy-neighbor run with prefetching off: each loader iteration pays
- * the full memory round trip — the idle window per-core sleep hides.
- * (JobList::add because runMp uses the default hierarchy.) */
-RunStats
-runBusyNeighbor(const MpWorkloadSpec &spec, const MachineConfig &machine)
-{
-    SystemConfig cfg;
-    cfg.cores = spec.threads;
-    cfg.core = machine.core;
-    cfg.hierarchy.prefetcher.enabled = false;
-    System sys(cfg, spec.prog);
-    RunResult r = sys.run();
-    if (!r.allHalted)
-        fatal("MP workload " + spec.name + " did not halt under " +
-              machine.name);
-    return collectRunStats(sys, r, spec.name, machine.name);
-}
-
-} // namespace
-
 int
 main()
 {
@@ -86,24 +63,29 @@ main()
         Row row;
         row.name = wl.name;
         row.busy = wl.name == "busy_neighbor";
+        row.base = jobs.mp(wl, base);
+        row.replay = jobs.mp(wl, replay);
         if (row.busy) {
-            row.base = jobs.add(
-                [wl, base] { return runBusyNeighbor(wl, base); });
-            row.replay = jobs.add(
-                [wl, replay] { return runBusyNeighbor(wl, replay); });
-        } else {
-            row.base = jobs.mp(wl, base);
-            row.replay = jobs.mp(wl, replay);
+            // Prefetching off: each loader iteration pays the full
+            // memory round trip — the idle window per-core sleep
+            // hides. The hierarchy override lives in the spec, so it
+            // is part of the job's content key.
+            jobs.spec(row.base)
+                .system.hierarchy.prefetcher.enabled = false;
+            jobs.spec(row.replay)
+                .system.hierarchy.prefetcher.enabled = false;
         }
         rows.push_back(std::move(row));
     }
 
-    std::vector<RunStats> results = jobs.run();
+    SweepResults results = jobs.run();
+    results.printSummary("mp16_gigaplane");
 
     BenchReport rep("mp16_gigaplane");
     rep.meta("scale", scale).meta("cores", kCores);
-    for (const RunStats &s : results)
-        rep.addRun(s);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        if (results.has(i))
+            rep.addRun(results[i]);
 
     TextTable table;
     table.header({"workload", "base-ipc", "replay-ipc", "ratio",
@@ -111,6 +93,8 @@ main()
 
     std::vector<double> ratios;
     for (const Row &row : rows) {
+        if (!results.hasAll({row.base, row.replay}))
+            continue; // other shard owns part of this row
         const RunStats &b = results[row.base];
         const RunStats &r = results[row.replay];
         double ratio = b.ipc > 0.0 ? r.ipc / b.ipc : 0.0;

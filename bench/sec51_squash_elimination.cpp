@@ -51,12 +51,14 @@ main()
                              jobs.mp(wl, vbr_cfg)});
     }
 
-    std::vector<RunStats> results = jobs.run();
+    SweepResults results = jobs.run();
+    results.printSummary("sec51_squash_elimination");
 
     BenchReport rep("sec51_squash_elimination");
     rep.meta("scale", scale).meta("mp_cores", mp_cores);
-    for (const RunStats &s : results)
-        rep.addRun(s);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        if (results.has(i))
+            rep.addRun(results[i]);
 
     // --- uniprocessor RAW squashes --------------------------------------
     std::printf("Uniprocessor RAW dependence misspeculations:\n");
@@ -65,6 +67,8 @@ main()
                 "replay_squashes", "wouldbe(vbr)", "eliminated"});
     std::uint64_t tot_wouldbe = 0, tot_replay_squash = 0;
     for (const Group &g : uni_groups) {
+        if (!results.hasAll({g.base, g.vr}))
+            continue; // other shard owns part of this row
         const RunStats &base = results[g.base];
         const RunStats &vr = results[g.vr];
         tot_wouldbe += vr.wouldbeRaw;
@@ -100,6 +104,8 @@ main()
                "replay_squashes", "eliminated_vs_baseline"});
     std::uint64_t tot_base_snoop = 0, tot_mp_replay = 0;
     for (const Group &g : mp_groups) {
+        if (!results.hasAll({g.base, g.vr}))
+            continue; // other shard owns part of this row
         const RunStats &base = results[g.base];
         const RunStats &vr = results[g.vr];
         tot_base_snoop += base.squashLqSnoop;

@@ -38,16 +38,20 @@ main()
         jobs.uni(wl, vbr_cfg);
         jobs.uni(wl, baselineConfig());
     }
-    std::vector<RunStats> results = jobs.run();
+    SweepResults results = jobs.run();
+    results.printSummary("sec53_power_model");
 
     BenchReport rep("sec53_power_model");
     rep.meta("scale", scale);
-    for (const RunStats &s : results)
-        rep.addRun(s);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        if (results.has(i))
+            rep.addRun(results[i]);
 
     std::uint64_t replays = 0, instructions = 0, searches = 0,
                   base_instr = 0;
     for (std::size_t i = 0; i < results.size(); i += 2) {
+        if (!results.hasAll({i, i + 1}))
+            continue; // other shard owns part of this pair
         const RunStats &vr = results[i];
         const RunStats &base = results[i + 1];
         replays += vr.replaysUnresolved + vr.replaysConsistency;
@@ -57,9 +61,13 @@ main()
     }
 
     double replays_per_instr =
-        static_cast<double>(replays) / instructions;
+        instructions == 0
+            ? 0.0
+            : static_cast<double>(replays) / instructions;
     double searches_per_instr =
-        static_cast<double>(searches) / base_instr;
+        base_instr == 0
+            ? 0.0
+            : static_cast<double>(searches) / base_instr;
 
     std::printf("Section 5.3 power model\n");
     std::printf("measured replay rate: %.4f replays/instr "

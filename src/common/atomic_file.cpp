@@ -1,0 +1,53 @@
+#include "common/atomic_file.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+namespace vbr
+{
+
+bool
+atomicWriteFile(const std::string &path, const std::string &bytes)
+{
+    // Same directory as the destination so the final rename() cannot
+    // cross a filesystem boundary; the pid suffix keeps concurrent
+    // processes warming one cache directory from clobbering each
+    // other's temporaries.
+    std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    bool ok =
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readFileToString(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    out.clear();
+    char buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace vbr

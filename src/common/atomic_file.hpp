@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Crash-safe file emission shared by every artifact writer (bench
+ * reports, result-cache entries, failure artifacts): bytes land in a
+ * same-directory temporary first and are rename()d into place, so a
+ * reader can never observe a half-written file — it sees either the
+ * previous content or the complete new content. rename() within one
+ * directory is atomic on POSIX.
+ */
+
+#ifndef VBR_COMMON_ATOMIC_FILE_HPP
+#define VBR_COMMON_ATOMIC_FILE_HPP
+
+#include <string>
+
+namespace vbr
+{
+
+/**
+ * Atomically replace @p path with @p bytes (write to
+ * `<path>.tmp.<pid>`, fsync-less flush, rename). Returns false —
+ * with the temporary cleaned up — when the directory is missing or
+ * unwritable; never leaves a partial file at @p path.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &bytes);
+
+/** Read an entire file into @p out; false when unreadable. */
+bool readFileToString(const std::string &path, std::string &out);
+
+} // namespace vbr
+
+#endif // VBR_COMMON_ATOMIC_FILE_HPP

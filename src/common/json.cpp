@@ -1,7 +1,9 @@
 #include "common/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.hpp"
 
@@ -28,6 +30,301 @@ JsonValue::push(JsonValue value)
     VBR_ASSERT(kind_ == Kind::Array, "push() on non-array JsonValue");
     items_.push_back(std::move(value));
     return *this;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &m : members_)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(std::size_t i) const
+{
+    VBR_ASSERT(kind_ == Kind::Array && i < items_.size(),
+               "at() out of range or on non-array JsonValue");
+    return items_[i];
+}
+
+namespace
+{
+
+/** Recursive-descent parser over the exact dialect dump() emits. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *err)
+        : text_(text), err_(err)
+    {
+    }
+
+    bool
+    parseDocument(JsonValue &out)
+    {
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    static constexpr unsigned kMaxDepth = 64;
+
+    bool
+    fail(const std::string &why)
+    {
+        if (err_ != nullptr)
+            *err_ = why + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return fail("bad literal");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("dangling escape");
+            char e = text_[pos_++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // escape() only ever emits \u00xx (control chars);
+                // decode the BMP anyway, reject surrogates — this
+                // library never writes them.
+                if (cp >= 0xd800 && cp <= 0xdfff)
+                    return fail("surrogate \\u escape unsupported");
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out +=
+                        static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+            }
+            default: return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos_;
+        bool negative = false;
+        bool floating = false;
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            negative = true;
+            ++pos_;
+        }
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                if (c == '.' || c == 'e' || c == 'E')
+                    floating = true;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        std::string tok = text_.substr(start, pos_ - start);
+        if (tok.empty() || tok == "-")
+            return fail("bad number");
+        // Strict JSON: no leading zeros ("01"), no bare "-" handled
+        // above; dump() never emits either, so rejecting them keeps
+        // parse ∘ dump total without admitting foreign spellings.
+        std::size_t digits = negative ? 1 : 0;
+        if (tok.size() > digits + 1 && tok[digits] == '0' &&
+            tok[digits + 1] >= '0' && tok[digits + 1] <= '9')
+            return fail("leading zero");
+        errno = 0;
+        if (floating) {
+            char *end = nullptr;
+            double d = std::strtod(tok.c_str(), &end);
+            if (end == nullptr || *end != '\0')
+                return fail("bad number");
+            out = JsonValue(d);
+            return true;
+        }
+        char *end = nullptr;
+        if (negative) {
+            long long v = std::strtoll(tok.c_str(), &end, 10);
+            if (end == nullptr || *end != '\0' || errno == ERANGE)
+                return fail("bad integer");
+            out = JsonValue(static_cast<std::int64_t>(v));
+        } else {
+            unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+            if (end == nullptr || *end != '\0' || errno == ERANGE)
+                return fail("bad integer");
+            out = JsonValue(static_cast<std::uint64_t>(v));
+        }
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, unsigned depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+        case 'n':
+            out = JsonValue();
+            return literal("null");
+        case 't':
+            out = JsonValue(true);
+            return literal("true");
+        case 'f':
+            out = JsonValue(false);
+            return literal("false");
+        case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = JsonValue(std::move(s));
+            return true;
+        }
+        case '[': {
+            ++pos_;
+            out = JsonValue::array();
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                JsonValue elem;
+                if (!parseValue(elem, depth + 1))
+                    return false;
+                out.push(std::move(elem));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                char d = text_[pos_++];
+                if (d == ']')
+                    return true;
+                if (d != ',')
+                    return fail("expected ',' or ']'");
+            }
+        }
+        case '{': {
+            ++pos_;
+            out = JsonValue::object();
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_++] != ':')
+                    return fail("expected ':'");
+                JsonValue member;
+                if (!parseValue(member, depth + 1))
+                    return false;
+                out.set(key, std::move(member));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                char d = text_[pos_++];
+                if (d == '}')
+                    return true;
+                if (d != ',')
+                    return fail("expected ',' or '}'");
+            }
+        }
+        default: return parseNumber(out);
+        }
+    }
+
+    const std::string &text_;
+    std::string *err_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+JsonValue::parse(const std::string &text, JsonValue &out,
+                 std::string *err)
+{
+    return JsonParser(text, err).parseDocument(out);
 }
 
 std::string

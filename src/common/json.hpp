@@ -1,14 +1,17 @@
 /**
  * @file
- * Minimal JSON document builder for the machine-readable benchmark
- * reports (BENCH_<name>.json). Write-only by design: the simulator
- * never parses JSON, it only emits it, so this stays a few hundred
- * lines instead of a dependency.
+ * Minimal JSON document builder + reader for the machine-readable
+ * artifacts (BENCH_<name>.json, result-cache entries). Emission came
+ * first and stays primary; the parser exists solely so the result
+ * cache can deserialize documents this library itself wrote, and is
+ * strict about exactly that dialect (no comments, no trailing commas).
  *
  * Determinism: object members keep insertion order, doubles are
  * printed with %.17g (round-trippable and bit-stable for identical
  * inputs), and there is no locale dependence — two runs producing the
- * same values produce byte-identical documents.
+ * same values produce byte-identical documents. parse() preserves the
+ * Int/UInt/Double split by spelling (sign / '.'/exponent), so
+ * dump(parse(dump(x))) == dump(x) for every value this library emits.
  */
 
 #ifndef VBR_COMMON_JSON_HPP
@@ -69,8 +72,73 @@ class JsonValue
     }
 
     bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isString() const { return kind_ == Kind::String; }
     bool isObject() const { return kind_ == Kind::Object; }
     bool isArray() const { return kind_ == Kind::Array; }
+
+    bool
+    isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::UInt ||
+               kind_ == Kind::Double;
+    }
+
+    /** Unsigned-integer view (Int/UInt only; 0 on sign mismatch). */
+    std::uint64_t
+    asU64() const
+    {
+        if (kind_ == Kind::UInt)
+            return uint_;
+        if (kind_ == Kind::Int && int_ >= 0)
+            return static_cast<std::uint64_t>(int_);
+        return 0;
+    }
+
+    std::int64_t
+    asI64() const
+    {
+        return kind_ == Kind::Int ? int_
+                                  : static_cast<std::int64_t>(asU64());
+    }
+
+    /** Numeric view of any number kind (0.0 otherwise). */
+    double
+    asDouble() const
+    {
+        switch (kind_) {
+        case Kind::Double: return double_;
+        case Kind::Int: return static_cast<double>(int_);
+        case Kind::UInt: return static_cast<double>(uint_);
+        default: return 0.0;
+        }
+    }
+
+    bool asBool() const { return kind_ == Kind::Bool && bool_; }
+    const std::string &asString() const { return string_; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Array element access (fatal-asserts on range/kind). */
+    const JsonValue &at(std::size_t i) const;
+
+    /** Ordered members of an object (empty otherwise). */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+    /**
+     * Strict parse of one JSON document (trailing whitespace allowed,
+     * trailing garbage is an error). Returns false — with @p err set
+     * when provided — on malformed input; @p out is then unspecified.
+     * Numbers keep their emitted kind: a leading '-' parses as Int, a
+     * '.', 'e' or 'E' as Double, anything else as UInt.
+     */
+    static bool parse(const std::string &text, JsonValue &out,
+                      std::string *err = nullptr);
 
     /** Set/overwrite a member (object only); keeps insertion order. */
     JsonValue &set(const std::string &key, JsonValue value);

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "common/atomic_file.hpp"
 #include "common/logging.hpp"
 #include "sys/sweep_runner.hpp"
 
@@ -82,15 +83,11 @@ void
 BenchReport::write() const
 {
     std::string path = outputPath(name_);
-    std::string text = render();
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr)
-        fatal("cannot open bench report " + path);
-    if (std::fwrite(text.data(), 1, text.size(), f) != text.size()) {
-        std::fclose(f);
-        fatal("short write to bench report " + path);
-    }
-    std::fclose(f);
+    // Atomic emission (tmp + rename): a harness crashing mid-write
+    // can no longer leave a torn BENCH_*.json for compare_bench.py
+    // to misparse — the previous complete report survives instead.
+    if (!atomicWriteFile(path, render()))
+        fatal("cannot write bench report " + path);
     std::printf("[bench-json] %s\n", path.c_str());
 }
 

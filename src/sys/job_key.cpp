@@ -1,0 +1,393 @@
+#include "sys/job_key.hpp"
+
+#include <cstdio>
+
+#include "check/constraint_graph.hpp"
+#include "common/logging.hpp"
+#include "fault/fault_injector.hpp"
+#include "sys/sweep_runner.hpp"
+
+namespace vbr
+{
+
+namespace
+{
+
+/** FNV-1a-64 accumulator. */
+class Fnv
+{
+  public:
+    explicit Fnv(std::uint64_t basis) : h_(basis) {}
+
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h_ ^= p[i];
+            h_ *= 1099511628211ULL;
+        }
+    }
+
+    void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+    void str(const std::string &s) { bytes(s.data(), s.size()); }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_;
+};
+
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ULL;
+/** Second, independent basis for the key's high half. */
+constexpr std::uint64_t kFnvBasisHi =
+    kFnvBasis ^ 0x9e3779b97f4a7c15ULL;
+
+JsonValue
+cacheConfigJson(const CacheConfig &c)
+{
+    JsonValue o = JsonValue::object();
+    o.set("name", c.name);
+    o.set("size_bytes", c.sizeBytes);
+    o.set("assoc", c.assoc);
+    o.set("line_bytes", c.lineBytes);
+    o.set("latency", c.latency);
+    return o;
+}
+
+JsonValue
+coreConfigJson(const CoreConfig &c)
+{
+    JsonValue o = JsonValue::object();
+    o.set("fetch_width", c.fetchWidth);
+    o.set("dispatch_width", c.dispatchWidth);
+    o.set("issue_width", c.issueWidth);
+    o.set("commit_width", c.commitWidth);
+    o.set("front_end_depth", c.frontEndDepth);
+    o.set("rob_entries", c.robEntries);
+    o.set("iq_entries", c.iqEntries);
+    o.set("lq_entries", c.lqEntries);
+    o.set("sq_entries", c.sqEntries);
+    o.set("int_alus", c.intAlus);
+    o.set("int_mul_divs", c.intMulDivs);
+    o.set("fp_alus", c.fpAlus);
+    o.set("fp_mul_divs", c.fpMulDivs);
+    o.set("load_ports", c.loadPorts);
+    o.set("scheme", static_cast<int>(c.scheme));
+    o.set("lq_mode", static_cast<int>(c.lqMode));
+    o.set("dep_predictor", static_cast<int>(c.depPredictor));
+    JsonValue f = JsonValue::object();
+    f.set("no_reorder", c.filters.noReorder);
+    f.set("no_reorder_sched", c.filters.noReorderSchedulerSemantics);
+    f.set("weak_ordering_axis", c.filters.weakOrderingAxis);
+    f.set("no_recent_miss", c.filters.noRecentMiss);
+    f.set("no_recent_snoop", c.filters.noRecentSnoop);
+    f.set("no_unresolved_store", c.filters.noUnresolvedStore);
+    f.set("allow_partial_coverage", c.filters.allowPartialCoverage);
+    o.set("filters", std::move(f));
+    o.set("replays_per_cycle", c.replaysPerCycle);
+    o.set("commit_ports", c.commitPorts);
+    o.set("exclusive_store_prefetch", c.exclusiveStorePrefetch);
+    o.set("shadow_lq_stats", c.shadowLqStats);
+    o.set("enable_value_prediction", c.enableValuePrediction);
+    o.set("unsafe_disable_ordering", c.unsafeDisableOrdering);
+    JsonValue bp = JsonValue::object();
+    bp.set("bimodal_entries", c.branchPredictor.bimodalEntries);
+    bp.set("gshare_entries", c.branchPredictor.gshareEntries);
+    bp.set("selector_entries", c.branchPredictor.selectorEntries);
+    bp.set("ras_entries", c.branchPredictor.rasEntries);
+    bp.set("btb_entries", c.branchPredictor.btbEntries);
+    bp.set("btb_assoc", c.branchPredictor.btbAssoc);
+    o.set("branch_predictor", std::move(bp));
+    o.set("deadlock_threshold", c.deadlockThreshold);
+    o.set("commit_trace_depth", c.commitTraceDepth);
+    return o;
+}
+
+JsonValue
+systemConfigJson(const SystemConfig &c)
+{
+    JsonValue o = JsonValue::object();
+    o.set("cores", c.cores);
+    o.set("core", coreConfigJson(c.core));
+    JsonValue h = JsonValue::object();
+    h.set("l1i", cacheConfigJson(c.hierarchy.l1i));
+    h.set("l1d", cacheConfigJson(c.hierarchy.l1d));
+    h.set("l2i", cacheConfigJson(c.hierarchy.l2i));
+    h.set("l2d", cacheConfigJson(c.hierarchy.l2d));
+    h.set("l3", cacheConfigJson(c.hierarchy.l3));
+    JsonValue pf = JsonValue::object();
+    pf.set("enabled", c.hierarchy.prefetcher.enabled);
+    pf.set("table_entries", c.hierarchy.prefetcher.tableEntries);
+    pf.set("degree", c.hierarchy.prefetcher.degree);
+    pf.set("confidence_threshold",
+           c.hierarchy.prefetcher.confidenceThreshold);
+    h.set("prefetcher", std::move(pf));
+    o.set("hierarchy", std::move(h));
+    JsonValue fab = JsonValue::object();
+    fab.set("addr_latency", c.fabric.addrLatency);
+    fab.set("data_latency", c.fabric.dataLatency);
+    fab.set("mem_latency", c.fabric.memLatency);
+    fab.set("line_bytes", c.fabric.lineBytes);
+    o.set("fabric", std::move(fab));
+    o.set("track_versions", c.trackVersions);
+    o.set("dma_invalidation_rate", c.dmaInvalidationRate);
+    o.set("dma_seed", c.dmaSeed);
+    o.set("max_cycles", c.maxCycles);
+    o.set("audit", static_cast<int>(c.audit));
+    o.set("deadlock_check_stride", c.deadlockCheckStride);
+    // Canonical string form: parse(render()) is the identity, so
+    // the rendered spec is as precise as the struct itself.
+    o.set("faults", c.faults.render());
+    // Deliberately absent (see the header's soundness note):
+    // fastForward, perCoreFastForward, mpThreads, jobName,
+    // failArtifactDir, auditPanic.
+    return o;
+}
+
+} // namespace
+
+std::uint64_t
+programDigest(const Program &prog)
+{
+    Fnv h(kFnvBasis);
+    h.u64(prog.code().size());
+    for (const Instruction &inst : prog.code())
+        h.u64(inst.encode());
+    h.u64(prog.threads().size());
+    for (const ThreadSpec &t : prog.threads()) {
+        h.u64(t.entryPc);
+        for (Word r : t.initRegs)
+            h.u64(static_cast<std::uint64_t>(r));
+    }
+    h.u64(prog.dataInits().size());
+    for (const DataInit &d : prog.dataInits()) {
+        h.u64(d.addr);
+        h.u64(d.bytes.size());
+        h.bytes(d.bytes.data(), d.bytes.size());
+    }
+    h.u64(prog.warmRanges().size());
+    for (const auto &r : prog.warmRanges()) {
+        h.u64(r.first);
+        h.u64(r.second);
+    }
+    h.u64(prog.codeBase());
+    h.u64(prog.memorySize());
+    return h.value();
+}
+
+JsonValue
+canonicalSpecJson(const SimJobSpec &spec)
+{
+    VBR_ASSERT(spec.program != nullptr,
+               "SimJobSpec without a program");
+    JsonValue o = JsonValue::object();
+    o.set("schema", kJobSpecSchema);
+    o.set("workload", spec.workload);
+    o.set("config", spec.config);
+    o.set("system", systemConfigJson(spec.system));
+    JsonValue p = JsonValue::object();
+    p.set("code", spec.program->code().size());
+    p.set("threads", spec.program->threads().size());
+    p.set("data_inits", spec.program->dataInits().size());
+    p.set("warm_ranges", spec.program->warmRanges().size());
+    p.set("code_base", spec.program->codeBase());
+    p.set("memory_size", spec.program->memorySize());
+    char digest[24];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(
+                      programDigest(*spec.program)));
+    p.set("digest", digest);
+    o.set("program", std::move(p));
+    o.set("attach_sc_checker", spec.attachScChecker);
+    JsonValue harvest = JsonValue::array();
+    for (const std::string &name : spec.harvestStats)
+        harvest.push(name);
+    o.set("harvest", std::move(harvest));
+    return o;
+}
+
+std::string
+canonicalSpecBytes(const SimJobSpec &spec)
+{
+    return canonicalSpecJson(spec).dump(0);
+}
+
+std::string
+JobKey::hex() const
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
+}
+
+JobKey
+jobKey(const SimJobSpec &spec)
+{
+    std::string bytes = canonicalSpecBytes(spec);
+    Fnv lo(kFnvBasis);
+    lo.str(bytes);
+    Fnv hi(kFnvBasisHi);
+    hi.str(bytes);
+    return {hi.value(), lo.value()};
+}
+
+std::uint64_t
+extraStat(const SimJobResult &r, const std::string &name)
+{
+    for (const auto &e : r.extras)
+        if (e.first == name)
+            return e.second;
+    return 0;
+}
+
+JsonValue
+simJobResultToJson(const SimJobResult &r)
+{
+    JsonValue o = JsonValue::object();
+    o.set("stats", runStatsToJson(r.stats));
+    JsonValue extras = JsonValue::object();
+    for (const auto &e : r.extras)
+        extras.set(e.first, e.second);
+    o.set("extras", std::move(extras));
+    return o;
+}
+
+bool
+simJobResultFromJson(const JsonValue &v, SimJobResult &out)
+{
+    if (!v.isObject())
+        return false;
+    const JsonValue *stats = v.find("stats");
+    const JsonValue *extras = v.find("extras");
+    if (stats == nullptr || extras == nullptr || !extras->isObject())
+        return false;
+    SimJobResult r;
+    if (!runStatsFromJson(*stats, r.stats))
+        return false;
+    for (const auto &m : extras->members()) {
+        if (!m.second.isNumber())
+            return false;
+        r.extras.emplace_back(m.first, m.second.asU64());
+    }
+    out = std::move(r);
+    return true;
+}
+
+const std::vector<std::string> &
+maskedResultFields()
+{
+    // Sorted; must match tools/bench_mask.json byte for byte —
+    // job_key_test.cpp diffs the two lists.
+    static const std::vector<std::string> kMasked = {
+        "artifact",       "cpu_time_ns",      "items_per_second",
+        "iterations",     "real_time_ns",     "skipped_cycles",
+        "threads",        "ticked_cycles",    "wall_ms",
+    };
+    return kMasked;
+}
+
+namespace
+{
+
+bool
+isMaskedField(const std::string &key)
+{
+    for (const std::string &m : maskedResultFields())
+        if (m == key)
+            return true;
+    return false;
+}
+
+} // namespace
+
+std::string
+canonicalResultBytes(const SimJobResult &r)
+{
+    JsonValue full = simJobResultToJson(r);
+    JsonValue stats = JsonValue::object();
+    const JsonValue *src = full.find("stats");
+    for (const auto &m : src->members())
+        if (!isMaskedField(m.first))
+            stats.set(m.first, m.second);
+    JsonValue o = JsonValue::object();
+    o.set("stats", std::move(stats));
+    o.set("extras", *full.find("extras"));
+    return o.dump(0);
+}
+
+SimJobResult
+runSimJob(const SimJobSpec &spec, bool guarded)
+{
+    VBR_ASSERT(spec.program != nullptr,
+               "SimJobSpec without a program");
+    System sys(spec.system, *spec.program);
+    std::unique_ptr<ScChecker> checker;
+    if (spec.attachScChecker) {
+        checker = std::make_unique<ScChecker>();
+        sys.setObserver(checker.get());
+    }
+    RunResult r = sys.run();
+    const std::string label =
+        (spec.system.cores > 1 ? "MP workload " : "workload ") +
+        spec.workload;
+    if (r.deadlocked) {
+        std::string msg =
+            label + " deadlocked under " + spec.config;
+        if (guarded)
+            throw SweepJobError(
+                sys.makeFailureArtifact("deadlock", msg));
+        fatal(msg);
+    }
+    if (!r.allHalted) {
+        if (guarded)
+            throw SweepJobError(sys.makeFailureArtifact(
+                "cycle-budget", label +
+                                    " exhausted its cycle budget "
+                                    "under " +
+                                    spec.config));
+        fatal(label + " did not halt under " + spec.config);
+    }
+
+    SimJobResult out;
+    out.stats = collectRunStats(sys, r, spec.workload, spec.config);
+    // Extras in a fixed order: requested counters, then the fault
+    // taxonomy (when an injector ran), then the checker verdict.
+    for (const std::string &name : spec.harvestStats)
+        out.extras.emplace_back("stat:" + name, sys.totalStat(name));
+    if (const FaultInjector *fi = sys.faultInjector()) {
+        const FaultOutcomes &fo = fi->outcomes();
+        out.extras.emplace_back("fault:load_flips", fo.loadFlips);
+        out.extras.emplace_back("fault:forward_flips",
+                                fo.forwardFlips);
+        out.extras.emplace_back("fault:snoops_dropped",
+                                fo.snoopsDropped);
+        out.extras.emplace_back("fault:snoops_delayed",
+                                fo.snoopsDelayed);
+        out.extras.emplace_back("fault:invalidations_dropped",
+                                fo.invalidationsDropped);
+        out.extras.emplace_back("fault:fills_delayed",
+                                fo.fillsDelayed);
+        out.extras.emplace_back("fault:detected_by_compare",
+                                fo.detectedByCompare);
+        out.extras.emplace_back("fault:caught_by_cam", fo.caughtByCam);
+        out.extras.emplace_back("fault:squashed_recovered",
+                                fo.squashedRecovered);
+        out.extras.emplace_back("fault:silently_committed",
+                                fo.silentlyCommitted);
+        out.extras.emplace_back("fault:wild_stores", fo.wildStores);
+        out.extras.emplace_back("fault:wild_loads", fo.wildLoads);
+        out.extras.emplace_back("fault:in_flight", fi->inFlight());
+    }
+    if (checker) {
+        CheckResult cr = checker->check();
+        out.extras.emplace_back("checker:consistent",
+                                cr.consistent ? 1 : 0);
+        out.extras.emplace_back("checker:errors", cr.errors.size());
+    }
+    return out;
+}
+
+} // namespace vbr

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Job identity layer of the sweep service (DESIGN.md §12): every
+ * sweep job is a pure function of its spec — workload program,
+ * machine configuration, fault plan, scale-derived parameters — so a
+ * canonical serialization of that spec names the result forever.
+ *
+ * The cache-soundness invariant: the canonical spec covers EVERY
+ * input that can affect the job's canonical result bytes. Knobs that
+ * are proven result-invariant elsewhere in the suite are deliberately
+ * excluded so they do not fragment the key space:
+ *
+ *   - fastForward / perCoreFastForward (PR 5/PR 7 parity gates:
+ *     bitwise-identical reports, only skipped/ticked cycles move —
+ *     and those are masked fields),
+ *   - mpThreads (two-phase tick is thread-count-invisible),
+ *   - jobName / failArtifactDir / auditPanic (failure-path labels;
+ *     failed jobs are never cached).
+ *
+ * job_key_test.cpp pins both directions: goldens for key stability,
+ * and include/exclude coverage for the invariant.
+ *
+ * Hashing is FNV-1a over the canonical bytes — no wall clock, no
+ * pointer values, no iteration over unordered containers anywhere in
+ * this layer (enforced by tools/analyze.py's determinism checks).
+ */
+
+#ifndef VBR_SYS_JOB_KEY_HPP
+#define VBR_SYS_JOB_KEY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "sys/run_stats.hpp"
+#include "sys/system.hpp"
+
+namespace vbr
+{
+
+/** Canonical-spec schema; bump on any serialization change AND on
+ * intentional simulator-behavior changes so stale cache entries miss
+ * instead of serving results the current simulator would not
+ * reproduce. */
+inline constexpr const char *kJobSpecSchema = "vbr-job/1";
+
+/**
+ * The complete description of one sweep job. Everything the
+ * simulation reads flows through here — SystemConfig (machine, fault
+ * plan, audit level), the built Program (shared across jobs of one
+ * workload), and the harvest plan for extra counters.
+ */
+struct SimJobSpec
+{
+    std::string workload; ///< row label (also RunStats.workload)
+    std::string config;   ///< machine label (also RunStats.config)
+    SystemConfig system;
+    std::shared_ptr<const Program> program;
+
+    /** Attach an ScChecker for the run and harvest its verdict into
+     * extras ("checker:consistent", "checker:errors"). */
+    bool attachScChecker = false;
+
+    /** Per-core counter names summed via System::totalStat into
+     * extras ("stat:<name>"). */
+    std::vector<std::string> harvestStats;
+};
+
+/** 128-bit content key (two independent FNV-1a-64 passes). */
+struct JobKey
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    /** 32 lowercase hex chars; the cache filename stem. */
+    std::string hex() const;
+
+    bool
+    operator==(const JobKey &o) const
+    {
+        return hi == o.hi && lo == o.lo;
+    }
+    bool operator!=(const JobKey &o) const { return !(*this == o); }
+};
+
+/** Canonical spec document (schema + every key-relevant input; the
+ * program appears as counts + content digest, not inline). */
+JsonValue canonicalSpecJson(const SimJobSpec &spec);
+
+/** Compact dump of canonicalSpecJson — the exact bytes hashed into
+ * the key and embedded in cache entries for audit. */
+std::string canonicalSpecBytes(const SimJobSpec &spec);
+
+/** Content key of a spec. */
+JobKey jobKey(const SimJobSpec &spec);
+
+/** FNV-1a-64 digest of a program's full content (instructions via
+ * Instruction::encode, threads, data inits, warm ranges, layout). */
+std::uint64_t programDigest(const Program &prog);
+
+/** What a sweep job produces: the standard stats record plus the
+ * ordered extra counters the spec's harvest plan requested (fault
+ * outcomes and checker verdicts harvest automatically when active). */
+struct SimJobResult
+{
+    RunStats stats;
+    std::vector<std::pair<std::string, std::uint64_t>> extras;
+};
+
+/** Value of a named extra (0 when absent). */
+std::uint64_t extraStat(const SimJobResult &r, const std::string &name);
+
+JsonValue simJobResultToJson(const SimJobResult &r);
+
+/** Inverse of simJobResultToJson; false on malformed input. */
+bool simJobResultFromJson(const JsonValue &v, SimJobResult &out);
+
+/**
+ * Nondeterministic report fields excluded from canonical result
+ * bytes, sorted. Must agree with tools/bench_mask.json (the single
+ * source compare_bench.py loads); job_key_test.cpp asserts equality.
+ */
+const std::vector<std::string> &maskedResultFields();
+
+/**
+ * The job's identity-relevant result bytes: compact JSON of stats and
+ * extras with the masked fields removed. Cache hits are required to
+ * reproduce a recomputation's canonical bytes exactly.
+ */
+std::string canonicalResultBytes(const SimJobResult &r);
+
+/**
+ * Execute one spec to completion. @p guarded selects the failure
+ * protocol: guarded jobs throw SweepJobError (with a full failure
+ * artifact) on deadlock or cycle-budget exhaustion so the sweep can
+ * quarantine them; unguarded jobs fatal() like the classic harness
+ * path. Never returns a partial result.
+ */
+SimJobResult runSimJob(const SimJobSpec &spec, bool guarded);
+
+} // namespace vbr
+
+#endif // VBR_SYS_JOB_KEY_HPP

@@ -1,0 +1,86 @@
+#include "sys/result_cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#include "common/atomic_file.hpp"
+
+namespace vbr
+{
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    if (!dir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir_, ec);
+        // A failed mkdir surfaces naturally: every store fails, every
+        // lookup misses — the sweep still runs, just uncached.
+    }
+}
+
+ResultCache
+ResultCache::fromEnv()
+{
+    const char *dir = std::getenv("VBR_CACHE_DIR");
+    if (dir == nullptr || dir[0] == '\0')
+        return ResultCache();
+    return ResultCache(dir);
+}
+
+std::string
+ResultCache::entryPath(const JobKey &key) const
+{
+    if (dir_.empty())
+        return "";
+    return dir_ + "/" + key.hex() + ".json";
+}
+
+bool
+ResultCache::lookup(const SimJobSpec &spec, const JobKey &key,
+                    SimJobResult &out) const
+{
+    if (dir_.empty())
+        return false;
+    std::string text;
+    if (!readFileToString(entryPath(key), text))
+        return false;
+    JsonValue doc;
+    if (!JsonValue::parse(text, doc) || !doc.isObject())
+        return false;
+    const JsonValue *schema = doc.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->asString() != kResultCacheSchema)
+        return false;
+    const JsonValue *stored_key = doc.find("key");
+    if (stored_key == nullptr || !stored_key->isString() ||
+        stored_key->asString() != key.hex())
+        return false;
+    // The embedded spec must reproduce this job's canonical bytes
+    // exactly: this turns hash collisions and serialization drift
+    // into misses instead of wrong results.
+    const JsonValue *stored_spec = doc.find("spec");
+    if (stored_spec == nullptr ||
+        stored_spec->dump(0) != canonicalSpecBytes(spec))
+        return false;
+    const JsonValue *result = doc.find("result");
+    if (result == nullptr)
+        return false;
+    return simJobResultFromJson(*result, out);
+}
+
+bool
+ResultCache::store(const SimJobSpec &spec, const JobKey &key,
+                   const SimJobResult &result) const
+{
+    if (dir_.empty())
+        return false;
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", kResultCacheSchema);
+    doc.set("key", key.hex());
+    doc.set("spec", canonicalSpecJson(spec));
+    doc.set("result", simJobResultToJson(result));
+    return atomicWriteFile(entryPath(key), doc.dump(2));
+}
+
+} // namespace vbr

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Persistent, content-addressed result cache for sweep jobs
+ * (DESIGN.md §12 layer 2). One JSON file per job under the cache
+ * directory, named by the job's content key, with the canonical spec
+ * embedded for audit:
+ *
+ *   <dir>/<key-hex>.json = {
+ *     "schema": "vbr-cache/1",
+ *     "key":    "<key-hex>",
+ *     "spec":   { canonical spec document },
+ *     "result": { "stats": {...}, "extras": {...} }
+ *   }
+ *
+ * Defensive by construction: a lookup revalidates schema, key, AND
+ * byte-equality of the embedded spec against the probing job's
+ * canonical spec before deserializing — so a hash collision, a stale
+ * key algorithm, or a corrupt/truncated entry all read as a miss and
+ * the job simply re-simulates. Stores go through the shared
+ * atomic-write helper (tmp + rename); a crashed writer can never
+ * leave a half-entry that later poisons a hit. Quarantined jobs are
+ * never stored (the sweep layer only stores ok results).
+ *
+ * Disabled by default: VBR_CACHE_DIR selects the directory; unset
+ * means every lookup misses and every store is a no-op, keeping the
+ * classic always-simulate behavior bit-for-bit.
+ */
+
+#ifndef VBR_SYS_RESULT_CACHE_HPP
+#define VBR_SYS_RESULT_CACHE_HPP
+
+#include <string>
+
+#include "sys/job_key.hpp"
+
+namespace vbr
+{
+
+/** Cache-entry schema; bump to invalidate every existing entry. */
+inline constexpr const char *kResultCacheSchema = "vbr-cache/1";
+
+class ResultCache
+{
+  public:
+    /** Disabled cache: lookups miss, stores are dropped. */
+    ResultCache() = default;
+
+    /** Cache rooted at @p dir (created, with parents, on first use). */
+    explicit ResultCache(std::string dir);
+
+    /** ${VBR_CACHE_DIR} or a disabled cache when unset/empty. */
+    static ResultCache fromEnv();
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /** Entry path for a key ("" when disabled). */
+    std::string entryPath(const JobKey &key) const;
+
+    /**
+     * Probe for @p spec under @p key. True only when a structurally
+     * valid, schema-current entry whose embedded spec byte-equals
+     * canonicalSpecBytes(spec) exists; @p out then holds the
+     * deserialized result. Any validation failure is a miss.
+     */
+    bool lookup(const SimJobSpec &spec, const JobKey &key,
+                SimJobResult &out) const;
+
+    /** Atomically persist a completed job. False (and no partial
+     * file) when the directory is unwritable. No-op when disabled. */
+    bool store(const SimJobSpec &spec, const JobKey &key,
+               const SimJobResult &result) const;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace vbr
+
+#endif // VBR_SYS_RESULT_CACHE_HPP

@@ -84,4 +84,85 @@ runStatsToJson(const RunStats &s)
     return o;
 }
 
+namespace
+{
+
+bool
+readU64(const JsonValue &o, const char *key, std::uint64_t &out)
+{
+    const JsonValue *v = o.find(key);
+    if (v == nullptr || !v->isNumber())
+        return false;
+    out = v->asU64();
+    return true;
+}
+
+bool
+readDouble(const JsonValue &o, const char *key, double &out)
+{
+    const JsonValue *v = o.find(key);
+    if (v == nullptr || !v->isNumber())
+        return false;
+    out = v->asDouble();
+    return true;
+}
+
+bool
+readString(const JsonValue &o, const char *key, std::string &out)
+{
+    const JsonValue *v = o.find(key);
+    if (v == nullptr || !v->isString())
+        return false;
+    out = v->asString();
+    return true;
+}
+
+} // namespace
+
+bool
+runStatsFromJson(const JsonValue &o, RunStats &out)
+{
+    if (!o.isObject())
+        return false;
+    RunStats s;
+    bool ok = readString(o, "workload", s.workload) &&
+              readString(o, "config", s.config) &&
+              readDouble(o, "ipc", s.ipc) &&
+              readU64(o, "instructions", s.instructions) &&
+              readU64(o, "cycles", s.cycles) &&
+              readU64(o, "l1d_premature", s.l1dPremature) &&
+              readU64(o, "l1d_store_commit", s.l1dStoreCommit) &&
+              readU64(o, "l1d_replay", s.l1dReplay) &&
+              readU64(o, "l1d_swap", s.l1dSwap) &&
+              readU64(o, "replays_unresolved", s.replaysUnresolved) &&
+              readU64(o, "replays_consistency",
+                      s.replaysConsistency) &&
+              readU64(o, "replays_filtered", s.replaysFiltered) &&
+              readU64(o, "committed_loads", s.committedLoads) &&
+              readDouble(o, "rob_occupancy", s.robOccupancy) &&
+              readU64(o, "lq_searches", s.lqSearches) &&
+              readU64(o, "squash_lq_raw", s.squashLqRaw) &&
+              readU64(o, "squash_lq_raw_unnecessary",
+                      s.squashLqRawUnnec) &&
+              readU64(o, "squash_lq_snoop", s.squashLqSnoop) &&
+              readU64(o, "squash_lq_snoop_unnecessary",
+                      s.squashLqSnoopUnnec) &&
+              readU64(o, "squash_replay", s.squashReplay) &&
+              readU64(o, "wouldbe_raw", s.wouldbeRaw) &&
+              readU64(o, "wouldbe_raw_value_equal",
+                      s.wouldbeRawValueEq) &&
+              readU64(o, "wouldbe_snoop", s.wouldbeSnoop) &&
+              readU64(o, "wouldbe_snoop_value_equal",
+                      s.wouldbeSnoopValueEq) &&
+              readU64(o, "skipped_cycles", s.skippedCycles) &&
+              readU64(o, "ticked_cycles", s.tickedCycles);
+    if (!ok)
+        return false;
+    std::uint64_t total = 0;
+    if (!readU64(o, "l1d_total", total) || total != s.l1dTotal())
+        return false;
+    out = std::move(s);
+    return true;
+}
+
 } // namespace vbr

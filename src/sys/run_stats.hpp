@@ -76,6 +76,15 @@ RunStats collectRunStats(System &sys, const RunResult &result,
  * reports diff cleanly). */
 JsonValue runStatsToJson(const RunStats &s);
 
+/**
+ * Inverse of runStatsToJson, used by the result cache: rebuild the
+ * record from its JSON projection. Every field runStatsToJson emits
+ * must be present with the right type (derived l1d_total is checked
+ * for consistency, not stored); returns false on any mismatch so a
+ * corrupt or stale cache entry reads as a miss, never as bad data.
+ */
+bool runStatsFromJson(const JsonValue &o, RunStats &out);
+
 } // namespace vbr
 
 #endif // VBR_SYS_RUN_STATS_HPP

@@ -1,7 +1,10 @@
 #include "sys/sweep_runner.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
+
+#include "common/logging.hpp"
 
 namespace vbr
 {
@@ -15,6 +18,122 @@ sweepThreads()
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1u : hw;
+}
+
+bool
+ShardSpec::parse(const std::string &text, ShardSpec &out)
+{
+    unsigned index = 0;
+    unsigned count = 0;
+    char trailing = '\0';
+    if (std::sscanf(text.c_str(), "%u/%u%c", &index, &count,
+                    &trailing) != 2)
+        return false;
+    if (count == 0 || index >= count)
+        return false;
+    out.index = index;
+    out.count = count;
+    return true;
+}
+
+ShardSpec
+ShardSpec::fromEnv()
+{
+    const char *s = std::getenv("VBR_SHARD");
+    if (s == nullptr || s[0] == '\0')
+        return ShardSpec();
+    ShardSpec shard;
+    if (!parse(s, shard))
+        fatal(std::string("malformed VBR_SHARD '") + s +
+              "' (want i/N with 0 <= i < N)");
+    return shard;
+}
+
+SpecSweepOutcome
+SweepRunner::runSpecs(const std::vector<SimJobSpec> &specs,
+                      const SpecSweepOptions &opts) const
+{
+    const std::size_t n = specs.size();
+    SpecSweepOutcome out;
+    out.results.resize(n);
+    out.ok.assign(n, 0);
+    out.source.assign(n, JobSource::Skipped);
+
+    const bool use_cache =
+        opts.cache != nullptr && opts.cache->enabled();
+
+    // Phase 1 (serial): content keys + cache lookups, in submission
+    // order. A hit resolves the slot for every shard — hits are how
+    // non-owned jobs get their results in a warm sharded run.
+    std::vector<JobKey> keys(use_cache ? n : 0);
+    std::vector<std::size_t> to_run;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (use_cache) {
+            keys[i] = jobKey(specs[i]);
+            if (opts.cache->lookup(specs[i], keys[i],
+                                   out.results[i])) {
+                out.ok[i] = 1;
+                out.source[i] = JobSource::CacheHit;
+                ++out.cacheHits;
+                continue;
+            }
+        }
+        if (!opts.shard.owns(i)) {
+            ++out.skipped;
+            continue;
+        }
+        to_run.push_back(i);
+    }
+
+    // Phase 2: execute the owned misses on this runner's pool.
+    if (opts.guarded) {
+        std::vector<GuardedJob<SimJobResult>> jobs;
+        jobs.reserve(to_run.size());
+        for (std::size_t i : to_run)
+            jobs.push_back({specs[i].system.jobName, [&specs, i] {
+                                return runSimJob(specs[i], true);
+                            }});
+        SweepOutcome<SimJobResult> guarded =
+            runGuarded(std::move(jobs), opts.guard);
+        for (std::size_t k = 0; k < to_run.size(); ++k) {
+            std::size_t i = to_run[k];
+            if (guarded.ok[k]) {
+                out.results[i] = std::move(guarded.results[k]);
+                out.ok[i] = 1;
+                out.source[i] = JobSource::Simulated;
+                ++out.simulated;
+            } else {
+                out.source[i] = JobSource::Quarantined;
+            }
+        }
+        for (SweepFailure &f : guarded.quarantined) {
+            f.index = to_run[f.index]; // back to submission index
+            out.quarantined.push_back(std::move(f));
+        }
+    } else {
+        std::vector<std::function<SimJobResult()>> jobs;
+        jobs.reserve(to_run.size());
+        for (std::size_t i : to_run)
+            jobs.push_back(
+                [&specs, i] { return runSimJob(specs[i], false); });
+        std::vector<SimJobResult> results = run(std::move(jobs));
+        for (std::size_t k = 0; k < to_run.size(); ++k) {
+            std::size_t i = to_run[k];
+            out.results[i] = std::move(results[k]);
+            out.ok[i] = 1;
+            out.source[i] = JobSource::Simulated;
+            ++out.simulated;
+        }
+    }
+
+    // Phase 3 (serial, submission order): persist newly simulated ok
+    // results. Quarantined/failed jobs never reach the cache.
+    if (use_cache)
+        for (std::size_t i : to_run)
+            if (out.ok[i])
+                opts.cache->store(specs[i], keys[i], out.results[i]);
+
+    return out;
 }
 
 } // namespace vbr

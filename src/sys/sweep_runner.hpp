@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "sys/job_key.hpp"
+#include "sys/result_cache.hpp"
 #include "verify/failure_artifact.hpp"
 
 namespace vbr
@@ -38,6 +40,34 @@ namespace vbr
 /** Worker count for sweeps: VBR_THREADS if set (clamped to >= 1),
  * else std::thread::hardware_concurrency(). */
 unsigned sweepThreads();
+
+/**
+ * Deterministic sweep partition (DESIGN.md §12 layer 3): shard i of
+ * N owns the jobs whose submission index is congruent to i mod N.
+ * Ownership depends only on submission order — never on timing or
+ * host — so the union of all shards' outputs is bitwise-equal to an
+ * unsharded run, and two shards never simulate the same job.
+ */
+struct ShardSpec
+{
+    unsigned index = 0;
+    unsigned count = 1;
+
+    bool active() const { return count > 1; }
+
+    bool
+    owns(std::size_t job_index) const
+    {
+        return count <= 1 || job_index % count == index;
+    }
+
+    /** Parse "i/N" (0 <= i < N). False on malformed input. */
+    static bool parse(const std::string &text, ShardSpec &out);
+
+    /** ${VBR_SHARD:-0/1}; fatal() on a malformed value — a silently
+     * ignored shard spec would simulate N times the intended work. */
+    static ShardSpec fromEnv();
+};
 
 /** One quarantined job of a guarded sweep. */
 struct SweepFailure
@@ -88,6 +118,39 @@ template <class R> struct SweepOutcome
     bool allOk() const { return quarantined.empty(); }
 };
 
+/** How a spec job's slot was resolved (see SpecSweepOutcome). */
+enum class JobSource : std::uint8_t
+{
+    Simulated,   ///< executed here
+    CacheHit,    ///< deserialized from the result cache
+    Skipped,     ///< owned by another shard, not in cache
+    Quarantined, ///< executed and failed (guarded sweeps only)
+};
+
+/** Outcome of a spec sweep, indexed by submission order. */
+struct SpecSweepOutcome
+{
+    std::vector<SimJobResult> results; ///< meaningful iff ok[i]
+    std::vector<std::uint8_t> ok;
+    std::vector<JobSource> source;
+    std::vector<SweepFailure> quarantined; ///< submission order
+    std::size_t simulated = 0;
+    std::size_t cacheHits = 0;
+    std::size_t skipped = 0;
+
+    /** Every slot resolved (no skips, no quarantines). */
+    bool
+    complete() const
+    {
+        for (std::uint8_t f : ok)
+            if (f == 0)
+                return false;
+        return true;
+    }
+
+    bool allOk() const { return quarantined.empty(); }
+};
+
 /** Options for runGuarded. */
 struct GuardOptions
 {
@@ -99,6 +162,22 @@ struct GuardOptions
      * a deterministic failure fails identically on retry and the
      * retry only rescues host-level flakes (e.g. bad_alloc). */
     unsigned retries = 1;
+};
+
+/** Options for SweepRunner::runSpecs. */
+struct SpecSweepOptions
+{
+    /** Consulted before executing and filled after (null or a
+     * disabled cache = classic always-simulate behavior). */
+    const ResultCache *cache = nullptr;
+
+    /** Job partition; non-owned jobs resolve from cache or skip. */
+    ShardSpec shard;
+
+    /** Failure protocol: guarded sweeps quarantine failing jobs
+     * (FAIL_*.json via @ref guard) instead of fatal()ing. */
+    bool guarded = false;
+    GuardOptions guard;
 };
 
 class SweepRunner
@@ -185,6 +264,21 @@ class SweepRunner
                 out.quarantined.push_back(std::move(failures[i]));
         return out;
     }
+
+    /**
+     * The sweep service entry point: resolve every spec job through
+     * the three service layers — cache lookup first (any thread
+     * count, byte-identical to recomputation by the cache's spec
+     * revalidation), then shard-filtered execution of the misses on
+     * this runner (inline when threads() <= 1), then a serial,
+     * submission-ordered store pass that persists each newly
+     * simulated ok result. Non-owned jobs that miss the cache come
+     * back as JobSource::Skipped with ok[i] == 0; quarantined and
+     * failed jobs are never stored.
+     */
+    SpecSweepOutcome
+    runSpecs(const std::vector<SimJobSpec> &specs,
+             const SpecSweepOptions &opts = SpecSweepOptions()) const;
 
   private:
     /** Run one guarded job with bounded retry; on final failure fill

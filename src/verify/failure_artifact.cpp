@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "common/atomic_file.hpp"
 #include "common/logging.hpp"
 
 namespace vbr
@@ -48,18 +49,10 @@ FailureArtifact::writeTo(const std::string &dir) const
 {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
-    // ec deliberately ignored: fopen below reports the real failure.
+    // ec deliberately ignored: the write reports the real failure.
     std::string path = pathIn(dir);
-    std::string text = render();
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
+    if (!atomicWriteFile(path, render())) {
         warn("cannot write failure artifact " + path);
-        return "";
-    }
-    std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
-    if (n != text.size()) {
-        warn("short write to failure artifact " + path);
         return "";
     }
     return path;

@@ -1,0 +1,37 @@
+// Seeded violations shaped like the sweep-cache layer: a wall-clock
+// stamp in a cache entry, a pointer-keyed in-flight index, and
+// hash-order iteration while serializing entries. The cache's
+// soundness invariant (hit bytes == recompute bytes) dies with any
+// of these, so the determinism family must cover this TU.
+
+#include <cstdio>
+#include <ctime>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace fixture
+{
+
+struct CacheEntry
+{
+    std::string bytes;
+};
+
+struct ResultCacheIndex
+{
+    std::unordered_map<std::string, CacheEntry> entries_;
+    std::map<const CacheEntry *, int> inFlight_;
+
+    long stampEntry() const { return std::time(nullptr); }
+
+    void
+    flushAll() const
+    {
+        for (const auto &kv : entries_)
+            std::printf("%s %zu\n", kv.first.c_str(),
+                        kv.second.bytes.size());
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Job-identity-layer tests (DESIGN.md §12 layer 1): canonical spec
+ * bytes and content keys are stable across processes (pinned
+ * goldens), cover every result-relevant input, exclude exactly the
+ * proven-invariant knobs, and the masked-field list agrees with
+ * tools/bench_mask.json — the single source compare_bench.py loads.
+ * Also pins the strict JSON parser the cache depends on: dump ∘
+ * parse must be the identity on anything dump produces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/json.hpp"
+#include "sys/job_key.hpp"
+#include "sys/system.hpp"
+#include "workload/synthetic.hpp"
+
+#ifndef VBR_SOURCE_DIR
+#define VBR_SOURCE_DIR "."
+#endif
+
+namespace vbr
+{
+namespace
+{
+
+SimJobSpec
+makeSpec()
+{
+    WorkloadSpec wl = uniprocessorWorkload("gcc", 0.02);
+    SimJobSpec spec;
+    spec.workload = wl.name;
+    spec.config = "baseline";
+    spec.system = SystemConfig{};
+    spec.system.cores = 1;
+    spec.system.core = CoreConfig::baseline();
+    // Pin every env-defaulted SystemConfig field so the golden keys
+    // do not depend on the test environment.
+    spec.system.faults = FaultConfig{};
+    spec.system.fastForward = false;
+    spec.system.perCoreFastForward = false;
+    spec.system.mpThreads = 1;
+    spec.system.audit = AuditLevel::Off;
+    spec.program =
+        std::make_shared<Program>(makeSynthetic(wl.params));
+    return spec;
+}
+
+TEST(JsonParserTest, RoundTripsDumpedDocuments)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("u", std::uint64_t{18446744073709551615ull});
+    doc.set("i", std::int64_t{-42});
+    doc.set("zero", std::uint64_t{0});
+    doc.set("pi", 3.141592653589793);
+    doc.set("tiny", 5e-05);
+    doc.set("flag", true);
+    doc.set("off", false);
+    doc.set("null", JsonValue());
+    doc.set("text", std::string("quote \" slash \\ tab \t done"));
+    JsonValue arr = JsonValue::array();
+    arr.push(std::uint64_t{1});
+    arr.push(std::string("two"));
+    JsonValue inner = JsonValue::object();
+    inner.set("k", -1.5);
+    arr.push(std::move(inner));
+    doc.set("arr", std::move(arr));
+
+    for (int indent : {0, 2}) {
+        std::string text = doc.dump(indent);
+        JsonValue parsed;
+        std::string err;
+        ASSERT_TRUE(JsonValue::parse(text, parsed, &err)) << err;
+        EXPECT_EQ(parsed.dump(indent), text);
+        // Number kinds survive: re-dump compact must also agree.
+        EXPECT_EQ(parsed.dump(0), doc.dump(0));
+    }
+}
+
+TEST(JsonParserTest, RejectsMalformedInput)
+{
+    JsonValue out;
+    EXPECT_FALSE(JsonValue::parse("", out));
+    EXPECT_FALSE(JsonValue::parse("{", out));
+    EXPECT_FALSE(JsonValue::parse("[1,]", out));
+    EXPECT_FALSE(JsonValue::parse("{\"a\": 1,}", out));
+    EXPECT_FALSE(JsonValue::parse("{\"a\" 1}", out));
+    EXPECT_FALSE(JsonValue::parse("nulls", out));
+    EXPECT_FALSE(JsonValue::parse("{} trailing", out));
+    EXPECT_FALSE(JsonValue::parse("\"bad \\q escape\"", out));
+    EXPECT_FALSE(JsonValue::parse("01", out));
+    std::string deep(100, '[');
+    EXPECT_FALSE(JsonValue::parse(deep, out));
+}
+
+TEST(JobKeyTest, KeyAndBytesAreStableGoldens)
+{
+    SimJobSpec spec = makeSpec();
+    // Pinned across processes and hosts: if either value moves, the
+    // canonical serialization changed — bump kJobSpecSchema so stale
+    // cache entries miss instead of colliding.
+    EXPECT_EQ(jobKey(spec).hex(), jobKey(spec).hex());
+    const std::string bytes = canonicalSpecBytes(spec);
+    EXPECT_EQ(bytes, canonicalSpecBytes(spec));
+    EXPECT_NE(bytes.find("\"schema\":\"vbr-job/1\""),
+              std::string::npos);
+    EXPECT_NE(bytes.find("\"workload\":\"gcc\""), std::string::npos);
+    EXPECT_NE(bytes.find("\"config\":\"baseline\""),
+              std::string::npos);
+    // 128-bit key renders as 32 lowercase hex chars.
+    const std::string hex = jobKey(spec).hex();
+    ASSERT_EQ(hex.size(), 32u);
+    for (char c : hex)
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+            << hex;
+    // The literal below is the key this exact spec hashed to when the
+    // schema was frozen. A mismatch means canonical serialization (or
+    // the synthetic program generator) drifted — every existing cache
+    // is silently invalid, so bump kJobSpecSchema with the change.
+    EXPECT_EQ(hex, "7b144b6d7379abad37bb721d944ea652");
+}
+
+TEST(JobKeyTest, KeyCoversEveryResultRelevantInput)
+{
+    const SimJobSpec base = makeSpec();
+    const JobKey k0 = jobKey(base);
+
+    auto expectDiffers = [&](const char *what, SimJobSpec mutated) {
+        EXPECT_NE(jobKey(mutated).hex(), k0.hex()) << what;
+    };
+
+    {
+        SimJobSpec s = makeSpec();
+        s.workload = "art";
+        expectDiffers("workload label", std::move(s));
+    }
+    {
+        SimJobSpec s = makeSpec();
+        s.config = "replay-all";
+        expectDiffers("config label", std::move(s));
+    }
+    {
+        SimJobSpec s = makeSpec();
+        s.system.core.lqEntries = 16;
+        expectDiffers("core config", std::move(s));
+    }
+    {
+        SimJobSpec s = makeSpec();
+        s.system.core =
+            CoreConfig::valueReplay(ReplayFilterConfig::replayAll());
+        expectDiffers("ordering scheme", std::move(s));
+    }
+    {
+        SimJobSpec s = makeSpec();
+        s.system.cores = 4;
+        expectDiffers("core count", std::move(s));
+    }
+    {
+        SimJobSpec s = makeSpec();
+        s.system.hierarchy.prefetcher.enabled = false;
+        expectDiffers("hierarchy", std::move(s));
+    }
+    {
+        SimJobSpec s = makeSpec();
+        s.system.fabric.memLatency += 10;
+        expectDiffers("fabric", std::move(s));
+    }
+    {
+        SimJobSpec s = makeSpec();
+        s.system.faults =
+            FaultConfig::parse("seed=42,loadflip=5e-5");
+        expectDiffers("fault plan", std::move(s));
+    }
+    {
+        SimJobSpec s = makeSpec();
+        s.system.trackVersions = true;
+        expectDiffers("version tracking", std::move(s));
+    }
+    {
+        SimJobSpec s = makeSpec();
+        s.system.maxCycles = 12345;
+        expectDiffers("cycle budget", std::move(s));
+    }
+    {
+        SimJobSpec s = makeSpec();
+        s.system.audit = AuditLevel::Full;
+        expectDiffers("audit level", std::move(s));
+    }
+    {
+        // Scale flows through the program: different iteration count
+        // -> different program content -> different digest.
+        WorkloadSpec wl = uniprocessorWorkload("gcc", 0.04);
+        SimJobSpec s = makeSpec();
+        s.program =
+            std::make_shared<Program>(makeSynthetic(wl.params));
+        expectDiffers("program content (scale)", std::move(s));
+    }
+    {
+        SimJobSpec s = makeSpec();
+        s.attachScChecker = true;
+        expectDiffers("checker attachment", std::move(s));
+    }
+    {
+        SimJobSpec s = makeSpec();
+        s.harvestStats = {"loads_value_predicted"};
+        expectDiffers("harvest plan", std::move(s));
+    }
+}
+
+TEST(JobKeyTest, KeyExcludesProvenInvariantKnobs)
+{
+    const SimJobSpec base = makeSpec();
+    const JobKey k0 = jobKey(base);
+
+    // Each of these is proven bitwise-invariant on results elsewhere
+    // in the suite (see job_key.hpp); fragmenting the key space on
+    // them would only destroy hit rates.
+    {
+        SimJobSpec s = makeSpec();
+        s.system.fastForward = true;
+        EXPECT_EQ(jobKey(s).hex(), k0.hex()) << "fastForward";
+        s.system.perCoreFastForward = true;
+        EXPECT_EQ(jobKey(s).hex(), k0.hex()) << "perCoreFastForward";
+    }
+    {
+        SimJobSpec s = makeSpec();
+        s.system.mpThreads = 8;
+        EXPECT_EQ(jobKey(s).hex(), k0.hex()) << "mpThreads";
+    }
+    {
+        SimJobSpec s = makeSpec();
+        s.system.jobName = "some-artifact-label";
+        EXPECT_EQ(jobKey(s).hex(), k0.hex()) << "jobName";
+    }
+    {
+        SimJobSpec s = makeSpec();
+        s.system.auditPanic = false;
+        EXPECT_EQ(jobKey(s).hex(), k0.hex()) << "auditPanic";
+    }
+}
+
+TEST(JobKeyTest, ProgramDigestSeesContent)
+{
+    WorkloadSpec a = uniprocessorWorkload("gcc", 0.02);
+    WorkloadSpec b = uniprocessorWorkload("art", 0.02);
+    Program pa = makeSynthetic(a.params);
+    Program pa2 = makeSynthetic(a.params);
+    Program pb = makeSynthetic(b.params);
+    EXPECT_EQ(programDigest(pa), programDigest(pa2));
+    EXPECT_NE(programDigest(pa), programDigest(pb));
+}
+
+TEST(JobKeyTest, MaskedFieldsAgreeWithBenchMaskJson)
+{
+    std::ifstream in(std::string(VBR_SOURCE_DIR) +
+                     "/tools/bench_mask.json");
+    ASSERT_TRUE(in.good())
+        << "tools/bench_mask.json not found under " VBR_SOURCE_DIR;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(ss.str(), doc, &err)) << err;
+    const JsonValue *list = doc.find("masked_result_fields");
+    ASSERT_NE(list, nullptr);
+
+    const std::vector<std::string> &cpp = maskedResultFields();
+    ASSERT_EQ(list->size(), cpp.size())
+        << "tools/bench_mask.json and maskedResultFields() disagree";
+    for (std::size_t i = 0; i < cpp.size(); ++i) {
+        EXPECT_EQ(list->at(i).asString(), cpp[i]) << "index " << i;
+        if (i > 0)
+            EXPECT_LT(cpp[i - 1], cpp[i]) << "list must stay sorted";
+    }
+}
+
+TEST(JobKeyTest, CanonicalResultBytesStripMaskedFields)
+{
+    SimJobResult r;
+    r.stats.workload = "gcc";
+    r.stats.config = "baseline";
+    r.stats.instructions = 1000;
+    r.stats.cycles = 2000;
+    r.stats.skippedCycles = 777; // masked
+    r.stats.tickedCycles = 888;  // masked
+    r.extras.emplace_back("stat:x", 5);
+
+    std::string bytes = canonicalResultBytes(r);
+    EXPECT_EQ(bytes.find("skipped_cycles"), std::string::npos);
+    EXPECT_EQ(bytes.find("ticked_cycles"), std::string::npos);
+    EXPECT_NE(bytes.find("\"instructions\":1000"), std::string::npos);
+    EXPECT_NE(bytes.find("\"stat:x\":5"), std::string::npos);
+
+    // Masked fields do not affect identity; real stats do.
+    SimJobResult r2 = r;
+    r2.stats.skippedCycles = 0;
+    EXPECT_EQ(canonicalResultBytes(r2), bytes);
+    r2.stats.instructions = 1001;
+    EXPECT_NE(canonicalResultBytes(r2), bytes);
+}
+
+TEST(JobKeyTest, SimJobResultJsonRoundTrips)
+{
+    SimJobResult r;
+    r.stats.workload = "gcc";
+    r.stats.config = "baseline";
+    r.stats.instructions = 123456;
+    r.stats.cycles = 654321;
+    r.stats.ipc = 0.18965;
+    r.extras.emplace_back("fault:load_flips", 3);
+    r.extras.emplace_back("checker:consistent", 1);
+
+    JsonValue j = simJobResultToJson(r);
+    SimJobResult back;
+    ASSERT_TRUE(simJobResultFromJson(j, back));
+    EXPECT_EQ(simJobResultToJson(back).dump(0), j.dump(0));
+    EXPECT_EQ(canonicalResultBytes(back), canonicalResultBytes(r));
+
+    JsonValue broken = JsonValue::object();
+    broken.set("stats", JsonValue::object());
+    EXPECT_FALSE(simJobResultFromJson(broken, back));
+}
+
+} // namespace
+} // namespace vbr

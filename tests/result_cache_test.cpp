@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Result-cache and shard-layer tests (DESIGN.md §12 layers 2-3): a
+ * cache hit must be byte-identical to recomputation at any thread
+ * count, quarantined jobs must never be cached, corrupt or
+ * schema-mismatched entries must fall back to recomputation, and the
+ * union of all shards of a sweep must equal the unsharded sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sys/job_key.hpp"
+#include "sys/result_cache.hpp"
+#include "sys/sweep_runner.hpp"
+#include "sys/system.hpp"
+#include "workload/synthetic.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+/** Fresh per-test cache directory under the host temp dir. */
+class ResultCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = (std::filesystem::temp_directory_path() /
+                ("vbr_cache_test_" +
+                 std::to_string(::getpid()) + "_" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name()))
+                   .string();
+        std::filesystem::remove_all(dir_);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string dir_;
+};
+
+std::vector<SimJobSpec>
+makeGrid()
+{
+    std::vector<SimJobSpec> specs;
+    for (const char *wl_name : {"gcc", "art"}) {
+        WorkloadSpec wl = uniprocessorWorkload(wl_name, 0.02);
+        auto prog =
+            std::make_shared<Program>(makeSynthetic(wl.params));
+        for (const char *cfg : {"baseline", "replay-all"}) {
+            SimJobSpec spec;
+            spec.workload = wl.name;
+            spec.config = cfg;
+            spec.system = SystemConfig{};
+            spec.system.core =
+                std::string(cfg) == "baseline"
+                    ? CoreConfig::baseline()
+                    : CoreConfig::valueReplay(
+                          ReplayFilterConfig::replayAll());
+            spec.system.faults = FaultConfig{};
+            spec.system.audit = AuditLevel::Off;
+            spec.program = prog;
+            specs.push_back(std::move(spec));
+        }
+    }
+    return specs;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST_F(ResultCacheTest, DisabledByDefaultAndViaEnv)
+{
+    EXPECT_FALSE(ResultCache().enabled());
+    unsetenv("VBR_CACHE_DIR");
+    EXPECT_FALSE(ResultCache::fromEnv().enabled());
+    setenv("VBR_CACHE_DIR", dir_.c_str(), 1);
+    EXPECT_TRUE(ResultCache::fromEnv().enabled());
+    unsetenv("VBR_CACHE_DIR");
+}
+
+TEST_F(ResultCacheTest, HitsAreByteIdenticalAcrossThreadCounts)
+{
+    std::vector<SimJobSpec> specs = makeGrid();
+    ResultCache cache(dir_);
+
+    // Cold pass on eight threads populates the cache.
+    SpecSweepOptions opts;
+    opts.cache = &cache;
+    SpecSweepOutcome cold = SweepRunner(8).runSpecs(specs, opts);
+    ASSERT_TRUE(cold.complete());
+    EXPECT_EQ(cold.simulated, specs.size());
+    EXPECT_EQ(cold.cacheHits, 0u);
+
+    // Warm pass on one thread must resolve everything from cache.
+    SpecSweepOutcome warm = SweepRunner(1).runSpecs(specs, opts);
+    ASSERT_TRUE(warm.complete());
+    EXPECT_EQ(warm.simulated, 0u);
+    EXPECT_EQ(warm.cacheHits, specs.size());
+
+    // And a cache-free recomputation on one thread is the ground
+    // truth both must match byte-for-byte.
+    SpecSweepOutcome plain =
+        SweepRunner(1).runSpecs(specs, SpecSweepOptions());
+    ASSERT_TRUE(plain.complete());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        EXPECT_EQ(canonicalResultBytes(cold.results[i]),
+                  canonicalResultBytes(plain.results[i]));
+        EXPECT_EQ(canonicalResultBytes(warm.results[i]),
+                  canonicalResultBytes(plain.results[i]));
+        EXPECT_EQ(warm.source[i], JobSource::CacheHit);
+    }
+}
+
+TEST_F(ResultCacheTest, QuarantinedJobsAreNeverCached)
+{
+    std::vector<SimJobSpec> specs = makeGrid();
+    // Make the second job deadlock deterministically: a watchdog
+    // threshold below the first-commit latency fires immediately.
+    specs[1].system.core.deadlockThreshold = 10;
+    specs[1].system.deadlockCheckStride = 1;
+    specs[1].system.jobName = "cache-test-deadlock";
+
+    ResultCache cache(dir_);
+    SpecSweepOptions opts;
+    opts.cache = &cache;
+    opts.guarded = true;
+    opts.guard.artifactDir = ""; // no FAIL_*.json from a unit test
+    opts.guard.retries = 0;
+
+    SpecSweepOutcome out = SweepRunner(2).runSpecs(specs, opts);
+    ASSERT_EQ(out.quarantined.size(), 1u);
+    EXPECT_EQ(out.quarantined[0].index, 1u);
+    EXPECT_EQ(out.source[1], JobSource::Quarantined);
+    EXPECT_FALSE(out.ok[1]);
+    EXPECT_FALSE(out.complete());
+
+    // The healthy jobs are cached; the quarantined one is not.
+    SimJobResult unused;
+    EXPECT_TRUE(
+        cache.lookup(specs[0], jobKey(specs[0]), unused));
+    EXPECT_FALSE(
+        cache.lookup(specs[1], jobKey(specs[1]), unused));
+
+    // A warm guarded pass re-executes only the quarantined job.
+    SpecSweepOutcome again = SweepRunner(2).runSpecs(specs, opts);
+    EXPECT_EQ(again.cacheHits, specs.size() - 1);
+    EXPECT_EQ(again.simulated, 0u);
+    EXPECT_EQ(again.quarantined.size(), 1u);
+}
+
+TEST_F(ResultCacheTest, CorruptEntriesAreRecomputed)
+{
+    std::vector<SimJobSpec> specs = makeGrid();
+    specs.resize(1);
+    ResultCache cache(dir_);
+    SpecSweepOptions opts;
+    opts.cache = &cache;
+
+    SpecSweepOutcome cold = SweepRunner(1).runSpecs(specs, opts);
+    ASSERT_TRUE(cold.complete());
+    const std::string path = cache.entryPath(jobKey(specs[0]));
+    ASSERT_TRUE(std::filesystem::exists(path));
+    const std::string good = readFile(path);
+
+    // Truncated entry: lookup misses, sweep recomputes and heals it.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << good.substr(0, good.size() / 2);
+    }
+    SimJobResult unused;
+    EXPECT_FALSE(cache.lookup(specs[0], jobKey(specs[0]), unused));
+    SpecSweepOutcome healed = SweepRunner(1).runSpecs(specs, opts);
+    ASSERT_TRUE(healed.complete());
+    EXPECT_EQ(healed.simulated, 1u);
+    EXPECT_EQ(readFile(path), good);
+
+    // Schema mismatch: a future/foreign entry misses instead of
+    // deserializing into the wrong shape.
+    {
+        std::string stale = good;
+        std::size_t pos = stale.find("vbr-cache/1");
+        ASSERT_NE(pos, std::string::npos);
+        stale.replace(pos, 11, "vbr-cache/9");
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << stale;
+    }
+    EXPECT_FALSE(cache.lookup(specs[0], jobKey(specs[0]), unused));
+
+    // Embedded-spec mismatch (hash collision / serialization drift):
+    // the stored spec is revalidated byte-for-byte before a hit.
+    {
+        std::string alien = good;
+        std::size_t pos = alien.find("\"workload\": \"gcc\"");
+        ASSERT_NE(pos, std::string::npos);
+        alien.replace(pos, 17, "\"workload\": \"xxx\"");
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << alien;
+    }
+    EXPECT_FALSE(cache.lookup(specs[0], jobKey(specs[0]), unused));
+}
+
+TEST_F(ResultCacheTest, ShardUnionEqualsUnshardedSweep)
+{
+    std::vector<SimJobSpec> specs = makeGrid();
+    SpecSweepOutcome plain =
+        SweepRunner(1).runSpecs(specs, SpecSweepOptions());
+    ASSERT_TRUE(plain.complete());
+
+    ResultCache cache(dir_);
+    SpecSweepOptions opts;
+    opts.cache = &cache;
+    opts.shard = ShardSpec{0, 2};
+    SpecSweepOutcome s0 = SweepRunner(2).runSpecs(specs, opts);
+    opts.shard = ShardSpec{1, 2};
+    SpecSweepOutcome s1 = SweepRunner(2).runSpecs(specs, opts);
+
+    // Disjoint ownership: every job simulated exactly once.
+    EXPECT_EQ(s0.simulated + s1.simulated, specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        bool in0 = s0.source[i] == JobSource::Simulated;
+        bool in1 = s1.source[i] == JobSource::Simulated;
+        EXPECT_NE(in0, in1);
+        // The union resolves every slot, byte-identical to the
+        // unsharded ground truth.
+        const SpecSweepOutcome &owner = in0 ? s0 : s1;
+        EXPECT_EQ(canonicalResultBytes(owner.results[i]),
+                  canonicalResultBytes(plain.results[i]));
+    }
+
+    // A warm unsharded pass (the service's merge step) is pure hits.
+    opts.shard = ShardSpec{};
+    SpecSweepOutcome merged = SweepRunner(2).runSpecs(specs, opts);
+    ASSERT_TRUE(merged.complete());
+    EXPECT_EQ(merged.simulated, 0u);
+    EXPECT_EQ(merged.cacheHits, specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(canonicalResultBytes(merged.results[i]),
+                  canonicalResultBytes(plain.results[i]));
+}
+
+TEST(ShardSpecTest, ParseAndOwnership)
+{
+    ShardSpec s;
+    EXPECT_TRUE(ShardSpec::parse("0/2", s));
+    EXPECT_EQ(s.index, 0u);
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_TRUE(s.active());
+    EXPECT_TRUE(s.owns(0));
+    EXPECT_FALSE(s.owns(1));
+    EXPECT_TRUE(s.owns(2));
+
+    EXPECT_TRUE(ShardSpec::parse("3/7", s));
+    EXPECT_EQ(s.index, 3u);
+
+    EXPECT_FALSE(ShardSpec::parse("", s));
+    EXPECT_FALSE(ShardSpec::parse("2/2", s));
+    EXPECT_FALSE(ShardSpec::parse("0/0", s));
+    EXPECT_FALSE(ShardSpec::parse("1", s));
+    EXPECT_FALSE(ShardSpec::parse("1/2/3", s));
+    EXPECT_FALSE(ShardSpec::parse("a/b", s));
+
+    // Default: one shard owning everything.
+    ShardSpec all;
+    EXPECT_FALSE(all.active());
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_TRUE(all.owns(i));
+}
+
+} // namespace
+} // namespace vbr

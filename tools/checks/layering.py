@@ -45,7 +45,10 @@ ALLOWED = {
                  "core", "verify"},
     "core": {"common", "fault", "isa", "mem", "lsq", "predict",
              "ordering", "verify"},
-    "sys": {"common", "core", "mem", "isa", "fault", "verify"},
+    # sys -> check: runSimJob attaches the SC checker a job spec
+    # requests and harvests its verdict into the job's extras.
+    "sys": {"common", "core", "mem", "isa", "fault", "verify",
+            "check"},
     "verify": {"common", "core", "lsq", "mem"},
     "check": {"common", "core"},
     "workload": {"common", "isa"},

@@ -5,7 +5,9 @@ Usage: tools/compare_bench.py BASELINE_DIR CANDIDATE_DIR
 
 Every field of every report must be identical between the two
 directories except a small masked set that legitimately varies run to
-run:
+run. The set is single-sourced in tools/bench_mask.json (also consumed
+by the C++ result cache via maskedResultFields(), so "identical here"
+and "identical to a cache hit" are the same predicate):
 
   wall_ms          host wall-clock time
   threads          sweep-engine worker count
@@ -20,10 +22,10 @@ Any other difference - a missing report, a missing run, a changed stat -
 is printed and the script exits 1. On success it prints a wall_ms
 speedup table (baseline / candidate per harness) and exits 0.
 
-This is the gate the fast-forward acceptance and the CI bench-smoke
-use: candidate results produced with VBR_FASTFWD=1 must be bitwise
-identical to a VBR_FASTFWD=0 baseline everywhere except the masked
-fields.
+This is the gate the fast-forward acceptance, the CI bench-smoke, and
+the warm-cache sweep-cache job use: candidate results produced with
+VBR_FASTFWD=1 (or entirely from cache hits) must be bitwise identical
+to the baseline everywhere except the masked fields.
 """
 
 import argparse
@@ -31,9 +33,10 @@ import json
 import os
 import sys
 
-MASKED_KEYS = {"wall_ms", "threads", "skipped_cycles", "ticked_cycles",
-               "artifact", "real_time_ns", "cpu_time_ns", "iterations",
-               "items_per_second"}
+_MASK_FILE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "bench_mask.json")
+with open(_MASK_FILE) as _f:
+    MASKED_KEYS = frozenset(json.load(_f)["masked_result_fields"])
 
 
 def strip_masked(node):

@@ -10,7 +10,13 @@
 # Usage: tools/run_bench.sh [build-dir] [results-dir]
 # Knobs: VBR_SCALE (default 1.0), VBR_MP_CORES, VBR_THREADS,
 #        VBR_FAULTS (fault_detection has its own default plan),
-#        VBR_FAIL_DIR (failure artifacts; default: results-dir).
+#        VBR_FAIL_DIR (failure artifacts; default: results-dir),
+#        VBR_CACHE_DIR (persistent result cache; default: off),
+#        VBR_SHARD (i/N job partition; default: unsharded).
+#
+# When the sweep-service knobs are active, every harness prints a
+# "[sweep] <name>: jobs=... simulated=... cache_hits=..." line; the
+# script aggregates them into a per-run cache summary at the end.
 set -euo pipefail
 
 build_dir=${1:-build}
@@ -58,6 +64,8 @@ for name in $harnesses; do
     rc=0
     VBR_SCALE=$scale VBR_BENCH_DIR=$results_dir \
         VBR_FAIL_DIR=${VBR_FAIL_DIR:-$results_dir} \
+        VBR_CACHE_DIR=${VBR_CACHE_DIR:-} \
+        VBR_SHARD=${VBR_SHARD:-} \
         "$bin" >> "$out" 2>&1 || rc=$?
     if [ "$rc" -ne 0 ]; then
         echo "!! $name exited with status $rc" | tee -a "$out"
@@ -65,6 +73,25 @@ for name in $harnesses; do
     fi
     echo >> "$out"
 done
+
+# Sweep-service summary: per-harness job resolution plus run totals,
+# built from the [sweep] lines the spec-based harnesses print.
+if grep -q '^\[sweep\]' "$out"; then
+    echo "sweep service summary (cache: ${VBR_CACHE_DIR:-off}," \
+         "shard: ${VBR_SHARD:-0/1}):"
+    # Keep the [sweep] prefix: sweep_service.py aggregates these lines
+    # from this transcript (harness stdout only lands in bench_full.txt).
+    grep '^\[sweep\]' "$out"
+    grep '^\[sweep\]' "$out" | awk '
+        { for (i = 3; i <= NF; ++i) {
+              split($i, kv, "=");
+              tot[kv[1]] += kv[2];
+          } }
+        END { printf "  total: jobs=%d simulated=%d cache_hits=%d " \
+                     "shard_skipped=%d quarantined=%d\n",
+                     tot["jobs"], tot["simulated"], tot["cache_hits"],
+                     tot["shard_skipped"], tot["quarantined"]; }'
+fi
 
 echo "wrote $out and $(ls "$results_dir"/BENCH_*.json 2>/dev/null | wc -l) JSON reports"
 if [ -n "$failed" ]; then

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Batch front-end for the sweep service (DESIGN.md SS12).
+
+Runs the whole harness suite as a cache-backed batch:
+
+  1. Warm passes: N sharded tools/run_bench.sh invocations
+     (VBR_SHARD=i/N) against one shared VBR_CACHE_DIR. Each shard
+     simulates only the jobs it owns; everything it completes lands in
+     the content-addressed result cache. Shards are independent, so
+     the passes can also be farmed out across hosts sharing the cache
+     directory - this script runs them sequentially as the
+     single-host degenerate case.
+  2. Quarantine retry: failed jobs are never cached, so a retry is
+     just another warm pass - cache hits skip straight past every
+     healthy job. FAIL_*.json artifacts from the previous round are
+     cleared first; artifacts that reappear are persistent failures.
+  3. Merge pass: one unsharded run into --results-dir. With the cache
+     fully warmed it performs zero simulations and regenerates every
+     BENCH_*.json byte-identically (modulo the masked fields in
+     tools/bench_mask.json) to what an uncached run would produce.
+  4. Gate: when --baseline is given, tools/compare_bench.py must
+     accept (baseline, merged results); with --accept the merged
+     reports are then promoted into the baseline directory.
+
+Exit status is nonzero if any harness still fails after the retry
+budget, if quarantine artifacts persist, or if the gate rejects.
+"""
+
+import argparse
+import glob
+import os
+import shutil
+import subprocess
+import sys
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def run_bench(build_dir, results_dir, cache_dir, scale, shard=None):
+    """One tools/run_bench.sh invocation; returns (rc, output)."""
+    env = dict(os.environ)
+    env["VBR_CACHE_DIR"] = cache_dir
+    env["VBR_SCALE"] = str(scale)
+    if shard is None:
+        env.pop("VBR_SHARD", None)
+    else:
+        env["VBR_SHARD"] = shard
+    proc = subprocess.run(
+        [os.path.join(TOOLS_DIR, "run_bench.sh"), build_dir,
+         results_dir],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    return proc.returncode, proc.stdout
+
+
+def sweep_totals(output):
+    """Aggregate the [sweep] lines of a run_bench.sh transcript."""
+    totals = {"jobs": 0, "simulated": 0, "cache_hits": 0,
+              "shard_skipped": 0, "quarantined": 0}
+    for line in output.splitlines():
+        if not line.startswith("[sweep] "):
+            continue
+        for field in line.split()[2:]:
+            key, _, value = field.partition("=")
+            if key in totals:
+                totals[key] += int(value)
+    return totals
+
+
+def fail_artifacts(directory):
+    return sorted(glob.glob(os.path.join(directory, "FAIL_*.json")))
+
+
+def clear_fail_artifacts(directory):
+    for path in fail_artifacts(directory):
+        os.remove(path)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Run the harness suite as a sharded, cache-backed "
+                    "batch with a byte-identity gate.")
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--results-dir", default="results")
+    ap.add_argument("--cache-dir", default="sweep_cache",
+                    help="content-addressed result cache shared by "
+                         "every pass (default: %(default)s)")
+    ap.add_argument("--shards", type=int, default=1,
+                    help="warm-pass partitions (default: %(default)s)")
+    ap.add_argument("--scale", default=os.environ.get("VBR_SCALE",
+                                                      "1.0"))
+    ap.add_argument("--retries", type=int, default=1,
+                    help="extra warm rounds granted when a pass "
+                         "leaves quarantine artifacts or a failed "
+                         "harness (default: %(default)s)")
+    ap.add_argument("--baseline",
+                    help="directory of golden BENCH_*.json to gate "
+                         "the merged results against")
+    ap.add_argument("--accept", action="store_true",
+                    help="after a passing gate, promote the merged "
+                         "reports into --baseline")
+    args = ap.parse_args()
+
+    if args.shards < 1:
+        ap.error("--shards must be >= 1")
+    if args.accept and not args.baseline:
+        ap.error("--accept requires --baseline")
+
+    os.makedirs(args.cache_dir, exist_ok=True)
+    scratch = os.path.join(args.results_dir, "shards")
+
+    # --- warm passes, with the quarantine-retry loop -----------------
+    warm_ok = False
+    for round_no in range(1 + args.retries):
+        round_failed = False
+        for i in range(args.shards):
+            shard = f"{i}/{args.shards}"
+            shard_dir = os.path.join(scratch, f"shard_{i}")
+            os.makedirs(shard_dir, exist_ok=True)
+            clear_fail_artifacts(shard_dir)
+            rc, out = run_bench(args.build_dir, shard_dir,
+                                args.cache_dir, args.scale,
+                                shard=shard)
+            totals = sweep_totals(out)
+            fails = fail_artifacts(shard_dir)
+            print(f"[service] warm round {round_no} shard {shard}: "
+                  f"rc={rc} simulated={totals['simulated']} "
+                  f"cache_hits={totals['cache_hits']} "
+                  f"quarantined={totals['quarantined']} "
+                  f"artifacts={len(fails)}")
+            if rc != 0 or fails:
+                round_failed = True
+        if not round_failed:
+            warm_ok = True
+            break
+        if round_no < args.retries:
+            print("[service] quarantines or failures - retrying "
+                  "(healthy jobs resolve from cache)")
+    if not warm_ok:
+        print("[service] FAIL: harnesses still failing after "
+              f"{args.retries} retry round(s):", file=sys.stderr)
+        for i in range(args.shards):
+            for path in fail_artifacts(
+                    os.path.join(scratch, f"shard_{i}")):
+                print(f"  {path}", file=sys.stderr)
+        return 1
+
+    # --- merge pass: everything from cache ---------------------------
+    os.makedirs(args.results_dir, exist_ok=True)
+    clear_fail_artifacts(args.results_dir)
+    rc, out = run_bench(args.build_dir, args.results_dir,
+                        args.cache_dir, args.scale)
+    totals = sweep_totals(out)
+    print(f"[service] merge pass: rc={rc} "
+          f"simulated={totals['simulated']} "
+          f"cache_hits={totals['cache_hits']}")
+    if rc != 0 or fail_artifacts(args.results_dir):
+        print("[service] FAIL: merge pass failed", file=sys.stderr)
+        sys.stdout.write(out)
+        return 1
+    if totals["simulated"] != 0:
+        # Not an error (a harness may queue jobs the warm passes never
+        # saw, e.g. after a code edit between passes), but worth
+        # flagging: a fully warmed cache should satisfy everything.
+        print(f"[service] note: merge pass simulated "
+              f"{totals['simulated']} job(s) the warm passes did not "
+              "cover")
+
+    # --- identity gate ----------------------------------------------
+    if args.baseline:
+        proc = subprocess.run(
+            [sys.executable,
+             os.path.join(TOOLS_DIR, "compare_bench.py"),
+             args.baseline, args.results_dir],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        sys.stdout.write(proc.stdout)
+        if proc.returncode != 0:
+            print("[service] FAIL: compare_bench gate rejected the "
+                  "merged results", file=sys.stderr)
+            return proc.returncode
+        if args.accept:
+            os.makedirs(args.baseline, exist_ok=True)
+            promoted = 0
+            for path in sorted(glob.glob(os.path.join(
+                    args.results_dir, "BENCH_*.json"))):
+                shutil.copy2(path, args.baseline)
+                promoted += 1
+            print(f"[service] promoted {promoted} report(s) into "
+                  f"{args.baseline}")
+
+    print("[service] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
