@@ -209,12 +209,14 @@ class SweepResults
     void
     printSummary(const std::string &harness) const
     {
+        // New fields append at the end: CI greps anchor on the
+        // existing field order.
         std::printf("[sweep] %s: jobs=%zu simulated=%zu "
                     "cache_hits=%zu shard_skipped=%zu "
-                    "quarantined=%zu\n",
+                    "quarantined=%zu store_failures=%zu\n",
                     harness.c_str(), size(), o_.simulated,
                     o_.cacheHits, o_.skipped,
-                    o_.quarantined.size());
+                    o_.quarantined.size(), o_.storeFailures);
     }
 
   private:
@@ -240,6 +242,9 @@ class JobList
         spec.config = machine.name;
         spec.system.cores = 1;
         spec.system.core = machine.core;
+        // Distinct per-job artifact labels: quarantines of different
+        // jobs must not overwrite each other's FAIL_<job>.json.
+        spec.system.jobName = wl.name + "-" + machine.name;
         spec.program = uniProgram(wl);
         return add(std::move(spec));
     }
@@ -253,6 +258,7 @@ class JobList
         spec.config = machine.name;
         spec.system.cores = wl.threads;
         spec.system.core = machine.core;
+        spec.system.jobName = wl.name + "-" + machine.name;
         spec.program = mpProgram(wl);
         return add(std::move(spec));
     }
@@ -273,10 +279,18 @@ class JobList
 
     /** Execute everything through the service layers (cache from
      * VBR_CACHE_DIR, partition from VBR_SHARD); fatal on any
-     * simulation failure. result[i] belongs to the i-th queued job. */
+     * simulation failure. result[i] belongs to the i-th queued job.
+     *
+     * A VBR_JOB_TIMEOUT_MS budget promotes the run to guarded mode:
+     * quarantine is the only machinery that can outlive a timed-out
+     * job, so a daemon worker with a budget set survives a wedged
+     * simulation (kind:"timeout" artifact + nonzero exit) instead of
+     * hanging its lease forever. */
     SweepResults
     run() const
     {
+        if (jobTimeoutMsFromEnv() > 0)
+            return runWith(/*guarded=*/true, GuardOptions());
         return runWith(/*guarded=*/false, GuardOptions());
     }
 

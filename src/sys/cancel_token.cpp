@@ -1,0 +1,24 @@
+#include "sys/cancel_token.hpp"
+
+namespace vbr
+{
+
+namespace
+{
+thread_local const std::atomic<bool> *tlsCancelFlag = nullptr;
+} // namespace
+
+void
+setHostCancelToken(const std::atomic<bool> *flag)
+{
+    tlsCancelFlag = flag;
+}
+
+bool
+hostCancelRequested()
+{
+    return tlsCancelFlag != nullptr &&
+           tlsCancelFlag->load(std::memory_order_relaxed);
+}
+
+} // namespace vbr

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Host-cancellation seam between the sweep runner's per-job watchdog
+ * and the simulation loop. The runner installs a per-attempt atomic
+ * flag on the worker thread before invoking a guarded job;
+ * System::run() polls it once per tick and winds down cleanly when
+ * the watchdog raises it (RunResult::hostCancelled), which the job
+ * layer turns into a kind:"timeout" quarantine.
+ *
+ * The token is thread-local, so the flag never appears in SimJobSpec
+ * or the job key — host wall-clock budgets are a runner policy, not
+ * a simulation input — and a run without an installed token pays one
+ * TLS load + branch per tick.
+ */
+
+#ifndef VBR_SYS_CANCEL_TOKEN_HPP
+#define VBR_SYS_CANCEL_TOKEN_HPP
+
+#include <atomic>
+
+namespace vbr
+{
+
+/** Install @p flag as the calling thread's cancellation token
+ * (nullptr uninstalls). The flag must outlive the installation. */
+void setHostCancelToken(const std::atomic<bool> *flag);
+
+/** True when a token is installed and raised. */
+bool hostCancelRequested();
+
+} // namespace vbr
+
+#endif // VBR_SYS_CANCEL_TOKEN_HPP

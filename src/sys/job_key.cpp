@@ -333,6 +333,15 @@ runSimJob(const SimJobSpec &spec, bool guarded)
     const std::string label =
         (spec.system.cores > 1 ? "MP workload " : "workload ") +
         spec.workload;
+    if (r.hostCancelled) {
+        std::string msg = label + " exceeded the host wall-clock "
+                                  "budget under " +
+                          spec.config;
+        if (guarded)
+            throw SweepJobError(
+                sys.makeFailureArtifact("timeout", msg));
+        fatal(msg);
+    }
     if (r.deadlocked) {
         std::string msg =
             label + " deadlocked under " + spec.config;

@@ -1,0 +1,293 @@
+#include "sys/job_queue.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "common/atomic_file.hpp"
+#include "common/logging.hpp"
+
+namespace vbr
+{
+
+namespace
+{
+
+const char *const kStates[] = {"pending", "leases", "done", "failed"};
+
+/** Strip ".json" and, for lease files, the "@<owner>" suffix. */
+std::string
+idOfFilename(const std::string &name)
+{
+    std::string stem = name;
+    if (stem.size() > 5 && stem.compare(stem.size() - 5, 5, ".json") == 0)
+        stem.resize(stem.size() - 5);
+    std::size_t at = stem.find('@');
+    if (at != std::string::npos)
+        stem.resize(at);
+    return stem;
+}
+
+/** Copy @p doc without the claim stamps a reclaim must strip. */
+JsonValue
+withoutClaimStamps(const JsonValue &doc)
+{
+    JsonValue out = JsonValue::object();
+    for (const auto &m : doc.members())
+        if (m.first != "owner" && m.first != "expiry_ms")
+            out.set(m.first, m.second);
+    return out;
+}
+
+std::uint64_t
+u64Field(const JsonValue &doc, const char *key, std::uint64_t dflt)
+{
+    const JsonValue *v = doc.find(key);
+    return (v != nullptr && v->isNumber()) ? v->asU64() : dflt;
+}
+
+} // namespace
+
+std::uint64_t
+retryBackoffDelayMs(unsigned attempt, std::uint64_t baseMs,
+                    std::uint64_t capMs)
+{
+    if (baseMs == 0 || attempt == 0)
+        return 0;
+    std::uint64_t delay = baseMs;
+    for (unsigned i = 1; i < attempt; ++i) {
+        if (delay >= capMs)
+            break;
+        delay *= 2;
+    }
+    return std::min(delay, capMs);
+}
+
+JobQueue::JobQueue(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    for (const char *state : kStates)
+        std::filesystem::create_directories(dir_ + "/" + state, ec);
+    // A failed mkdir surfaces on first use: enqueue/claim report
+    // false and the caller decides whether that is fatal.
+}
+
+bool
+JobQueue::validName(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::string
+JobQueue::leasePath(const std::string &id,
+                    const std::string &owner) const
+{
+    return dir_ + "/leases/" + id + "@" + owner + ".json";
+}
+
+bool
+JobQueue::enqueue(const std::string &id, const JsonValue &payload)
+{
+    if (!validName(id))
+        return false;
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", kJobQueueSchema);
+    doc.set("id", id);
+    doc.set("attempts", 0u);
+    doc.set("not_before_ms", 0u);
+    if (payload.isObject())
+        for (const auto &m : payload.members())
+            if (doc.find(m.first) == nullptr)
+                doc.set(m.first, m.second);
+    return atomicWriteFile(statePath("pending", id), doc.dump(2));
+}
+
+std::vector<std::string>
+JobQueue::listFiles(const std::string &state) const
+{
+    std::vector<std::string> names;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir_ + "/" + state, ec);
+    if (ec)
+        return names;
+    for (const auto &entry : it) {
+        std::string name = entry.path().filename().string();
+        // Ignore in-flight temporaries from the atomic writer.
+        if (name.size() > 5 &&
+            name.compare(name.size() - 5, 5, ".json") == 0)
+            names.push_back(std::move(name));
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+std::vector<std::string>
+JobQueue::list(const std::string &state) const
+{
+    std::vector<std::string> ids;
+    for (const std::string &name : listFiles(state))
+        ids.push_back(idOfFilename(name));
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+bool
+JobQueue::read(const std::string &state, const std::string &id,
+               JsonValue &out) const
+{
+    std::string text;
+    if (!readFileToString(statePath(state, id), text))
+        return false;
+    return JsonValue::parse(text, out) && out.isObject();
+}
+
+bool
+JobQueue::claim(const std::string &owner, std::uint64_t nowMs,
+                std::uint64_t leaseMs, QueueTicket &out)
+{
+    if (!validName(owner))
+        return false;
+    for (const std::string &name : listFiles("pending")) {
+        std::string id = idOfFilename(name);
+        std::string pending = statePath("pending", id);
+        std::string text;
+        if (!readFileToString(pending, text))
+            continue; // raced away or torn; next candidate
+        JsonValue doc;
+        if (!JsonValue::parse(text, doc) || !doc.isObject()) {
+            // A malformed ticket would spin every claimant forever;
+            // park it in failed/ so the queue stays live.
+            warn("job queue: malformed ticket " + pending +
+                 " moved to failed/");
+            std::error_code ec;
+            std::filesystem::rename(pending,
+                                    statePath("failed", id), ec);
+            continue;
+        }
+        if (u64Field(doc, "not_before_ms", 0) > nowMs)
+            continue; // backing off; not due yet
+        std::string lease = leasePath(id, owner);
+        std::error_code ec;
+        std::filesystem::rename(pending, lease, ec);
+        if (ec)
+            continue; // another worker won the rename
+        // Stamp owner + expiry. A crash inside this window leaves a
+        // lease without expiry_ms, which reclaimExpired() treats as
+        // already expired — the ticket is never stranded.
+        doc.set("owner", owner);
+        doc.set("expiry_ms", nowMs + leaseMs);
+        atomicWriteFile(lease, doc.dump(2));
+        out.id = id;
+        out.owner = owner;
+        out.doc = std::move(doc);
+        return true;
+    }
+    return false;
+}
+
+bool
+JobQueue::heartbeat(const QueueTicket &t, std::uint64_t expiryMs)
+{
+    std::string lease = leasePath(t.id, t.owner);
+    if (!std::filesystem::exists(lease))
+        return false; // reclaimed out from under us; don't resurrect
+    JsonValue doc = t.doc;
+    doc.set("expiry_ms", expiryMs);
+    return atomicWriteFile(lease, doc.dump(2));
+}
+
+bool
+JobQueue::complete(const QueueTicket &t)
+{
+    if (!atomicWriteFile(statePath("done", t.id), t.doc.dump(2)))
+        return false;
+    std::error_code ec;
+    std::filesystem::remove(leasePath(t.id, t.owner), ec);
+    return true;
+}
+
+bool
+JobQueue::fail(const QueueTicket &t, const std::string &error)
+{
+    JsonValue doc = t.doc;
+    doc.set("error", error);
+    if (!atomicWriteFile(statePath("failed", t.id), doc.dump(2)))
+        return false;
+    std::error_code ec;
+    std::filesystem::remove(leasePath(t.id, t.owner), ec);
+    return true;
+}
+
+bool
+JobQueue::retry(const QueueTicket &t, std::uint64_t nowMs,
+                std::uint64_t backoffBaseMs, unsigned maxAttempts,
+                const std::string &error)
+{
+    unsigned attempts = t.attempts() + 1;
+    if (attempts >= maxAttempts) {
+        fail(t, error);
+        return false;
+    }
+    JsonValue doc = withoutClaimStamps(t.doc);
+    doc.set("attempts", attempts);
+    doc.set("not_before_ms",
+            nowMs + retryBackoffDelayMs(attempts, backoffBaseMs));
+    doc.set("last_error", error);
+    if (!atomicWriteFile(statePath("pending", t.id), doc.dump(2)))
+        return false;
+    std::error_code ec;
+    std::filesystem::remove(leasePath(t.id, t.owner), ec);
+    return true;
+}
+
+std::size_t
+JobQueue::reclaimExpired(std::uint64_t nowMs)
+{
+    std::size_t reclaimed = 0;
+    for (const std::string &name : listFiles("leases")) {
+        std::string lease = dir_ + "/leases/" + name;
+        std::string text;
+        if (!readFileToString(lease, text))
+            continue;
+        JsonValue doc;
+        bool parsed = JsonValue::parse(text, doc) && doc.isObject();
+        // Missing or unparsable expiry reads as already expired
+        // (reclaim unconditionally, at any nowMs): a claimant that
+        // died inside the claim-then-stamp window (or a torn lease)
+        // must not strand its ticket. Re-running a pure job is safe;
+        // losing one is not.
+        const JsonValue *expiry =
+            parsed ? doc.find("expiry_ms") : nullptr;
+        bool stamped = expiry != nullptr && expiry->isNumber();
+        if (stamped && expiry->asU64() >= nowMs)
+            continue;
+        std::string id = idOfFilename(name);
+        JsonValue fresh =
+            parsed ? withoutClaimStamps(doc) : JsonValue::object();
+        if (!parsed) {
+            fresh.set("schema", kJobQueueSchema);
+            fresh.set("id", id);
+            fresh.set("attempts", 0u);
+            fresh.set("not_before_ms", 0u);
+        }
+        fresh.set("reclaims", u64Field(fresh, "reclaims", 0) + 1);
+        if (!atomicWriteFile(statePath("pending", id),
+                             fresh.dump(2)))
+            continue;
+        std::error_code ec;
+        std::filesystem::remove(lease, ec);
+        ++reclaimed;
+    }
+    return reclaimed;
+}
+
+} // namespace vbr

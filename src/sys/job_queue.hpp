@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Durable, crash-safe job queue for the sweep service (DESIGN.md
+ * §13). A queue is a directory with four states, each a
+ * subdirectory, and a job is one JSON ticket file that moves between
+ * them by atomic rename:
+ *
+ *   <queue>/pending/<id>.json          runnable (may carry a
+ *                                      not_before_ms backoff stamp)
+ *   <queue>/leases/<id>@<owner>.json   claimed by one worker; content
+ *                                      carries the owner id and a
+ *                                      heartbeat-refreshed expiry
+ *   <queue>/done/<id>.json             completed
+ *   <queue>/failed/<id>.json           permanently failed (attempts
+ *                                      exhausted)
+ *
+ * Claiming is exclusive without any lock file: every claimant
+ * rename()s the same pending path to its own lease path, and POSIX
+ * guarantees exactly one rename of a given source succeeds — the
+ * losers see ENOENT and move on. A worker that dies (kill -9, OOM,
+ * host loss) simply stops heartbeating; once its lease expiry
+ * lapses, any other worker reclaims the ticket back into pending/
+ * and the job runs again.
+ *
+ * Safety does NOT depend on lease expiry being perfectly judged:
+ * sweep jobs are pure (DESIGN.md §12) and every artifact/cache write
+ * is atomic, so a slow-but-alive worker racing its own reclaimed
+ * ticket just produces byte-identical outputs twice. Expiry is a
+ * liveness mechanism, never a correctness one — which is why a lease
+ * whose content lacks an expiry stamp (a claimant crashed inside the
+ * claim-then-stamp window) is conservatively treated as expired.
+ *
+ * All methods take the current time explicitly (@p nowMs): the queue
+ * itself never reads a clock, so protocol tests are fully
+ * deterministic and the determinism lints stay clean. Callers pass
+ * epoch milliseconds; tools/sweep_service.py speaks the identical
+ * on-disk protocol from Python (same schema tag, same field names).
+ */
+
+#ifndef VBR_SYS_JOB_QUEUE_HPP
+#define VBR_SYS_JOB_QUEUE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace vbr
+{
+
+/** Ticket schema; bump on any incompatible field change. */
+inline constexpr const char *kJobQueueSchema = "vbr-queue/1";
+
+/** One claimed ticket: the parsed document plus claim bookkeeping. */
+struct QueueTicket
+{
+    std::string id;    ///< ticket id (filesystem-safe)
+    std::string owner; ///< worker that holds the lease
+    JsonValue doc;     ///< full document incl. owner/expiry stamps
+
+    unsigned
+    attempts() const
+    {
+        const JsonValue *a = doc.find("attempts");
+        return a == nullptr ? 0
+                            : static_cast<unsigned>(a->asU64());
+    }
+};
+
+class JobQueue
+{
+  public:
+    /** Open (creating state directories as needed) the queue rooted
+     * at @p dir. */
+    explicit JobQueue(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Add (or overwrite) ticket @p id with @p payload. The stored
+     * document is the payload plus the protocol fields: schema, id,
+     * attempts=0, not_before_ms=0. @p id must be non-empty and
+     * [A-Za-z0-9._-] only. False on an invalid id or write failure.
+     */
+    bool enqueue(const std::string &id, const JsonValue &payload);
+
+    /**
+     * Claim the lexically-smallest due pending ticket (not_before_ms
+     * <= @p nowMs) for @p owner: atomic rename into the per-worker
+     * lease file, then stamp owner + expiry (@p nowMs + @p leaseMs)
+     * into it. Lost rename races skip to the next candidate. False
+     * when nothing is due.
+     */
+    bool claim(const std::string &owner, std::uint64_t nowMs,
+               std::uint64_t leaseMs, QueueTicket &out);
+
+    /**
+     * Refresh @p t's lease expiry to @p expiryMs. False when the
+     * lease file no longer exists (the ticket was reclaimed out from
+     * under the worker) — the worker may finish its pure job safely
+     * but should stop relying on the lease.
+     */
+    bool heartbeat(const QueueTicket &t, std::uint64_t expiryMs);
+
+    /** Move @p t to done/ (releases the lease). */
+    bool complete(const QueueTicket &t);
+
+    /** Move @p t to failed/ with @p error (releases the lease). */
+    bool fail(const QueueTicket &t, const std::string &error);
+
+    /**
+     * Failure with retry budget: attempts+1; when the new count
+     * reaches @p maxAttempts the ticket fails permanently, otherwise
+     * it re-enters pending/ stamped not-runnable before @p nowMs +
+     * backoff, where backoff follows the deterministic exponential
+     * schedule retryBackoffDelayMs(attempts, @p backoffBaseMs).
+     * Returns true when the ticket was requeued (false = failed/).
+     */
+    bool retry(const QueueTicket &t, std::uint64_t nowMs,
+               std::uint64_t backoffBaseMs, unsigned maxAttempts,
+               const std::string &error);
+
+    /**
+     * Return every lease whose expiry lapsed (expiry_ms < @p nowMs,
+     * or missing — see the header note) to pending/, incrementing
+     * its "reclaims" counter and stripping the dead owner's stamps.
+     * Any worker may call this; concurrent reclaims of one lease are
+     * idempotent. Returns the number of tickets reclaimed.
+     */
+    std::size_t reclaimExpired(std::uint64_t nowMs);
+
+    /** Sorted ticket ids in @p state ("pending", "leases", "done",
+     * "failed"); lease ids are reported without the owner suffix. */
+    std::vector<std::string> list(const std::string &state) const;
+
+    /** Parse + validate the ticket file for @p id in @p state; false
+     * when absent or malformed. */
+    bool read(const std::string &state, const std::string &id,
+              JsonValue &out) const;
+
+    /** True iff every character is in [A-Za-z0-9._-] and @p s is
+     * non-empty (ids and owners must survive as filenames and around
+     * the '@' separator). */
+    static bool validName(const std::string &s);
+
+    /** Lease path for (@p id, @p owner). */
+    std::string leasePath(const std::string &id,
+                          const std::string &owner) const;
+
+    std::string
+    statePath(const std::string &state, const std::string &id) const
+    {
+        return dir_ + "/" + state + "/" + id + ".json";
+    }
+
+  private:
+    /** Sorted filenames (not paths) in @p state. */
+    std::vector<std::string> listFiles(const std::string &state) const;
+
+    std::string dir_;
+};
+
+/**
+ * The deterministic exponential-backoff schedule shared by guarded
+ * sweep retries and queue requeues: delay before re-execution number
+ * @p attempt (1-based) is baseMs * 2^(attempt-1), saturating at
+ * @p capMs. A base of 0 disables the delay entirely.
+ */
+std::uint64_t retryBackoffDelayMs(unsigned attempt,
+                                  std::uint64_t baseMs,
+                                  std::uint64_t capMs = 8000);
+
+} // namespace vbr
+
+#endif // VBR_SYS_JOB_QUEUE_HPP

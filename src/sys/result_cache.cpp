@@ -5,11 +5,13 @@
 #include <utility>
 
 #include "common/atomic_file.hpp"
+#include "vbr_fingerprint.hpp"
 
 namespace vbr
 {
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+ResultCache::ResultCache(std::string dir, std::string fingerprint)
+    : dir_(std::move(dir)), fingerprint_(std::move(fingerprint))
 {
     if (!dir_.empty()) {
         std::error_code ec;
@@ -26,6 +28,15 @@ ResultCache::fromEnv()
     if (dir == nullptr || dir[0] == '\0')
         return ResultCache();
     return ResultCache(dir);
+}
+
+std::string
+ResultCache::buildFingerprint()
+{
+    const char *env = std::getenv("VBR_CACHE_FINGERPRINT");
+    if (env != nullptr && env[0] != '\0')
+        return env;
+    return kBuildFingerprint;
 }
 
 std::string
@@ -56,6 +67,12 @@ ResultCache::lookup(const SimJobSpec &spec, const JobKey &key,
     if (stored_key == nullptr || !stored_key->isString() ||
         stored_key->asString() != key.hex())
         return false;
+    // Entries from a differently-built simulator are misses: the
+    // spec may be identical while the simulator's behavior is not.
+    const JsonValue *fp = doc.find("fingerprint");
+    if (fp == nullptr || !fp->isString() ||
+        fp->asString() != fingerprint_)
+        return false;
     // The embedded spec must reproduce this job's canonical bytes
     // exactly: this turns hash collisions and serialization drift
     // into misses instead of wrong results.
@@ -78,6 +95,7 @@ ResultCache::store(const SimJobSpec &spec, const JobKey &key,
     JsonValue doc = JsonValue::object();
     doc.set("schema", kResultCacheSchema);
     doc.set("key", key.hex());
+    doc.set("fingerprint", fingerprint_);
     doc.set("spec", canonicalSpecJson(spec));
     doc.set("result", simJobResultToJson(result));
     return atomicWriteFile(entryPath(key), doc.dump(2));

@@ -6,20 +6,31 @@
  * embedded for audit:
  *
  *   <dir>/<key-hex>.json = {
- *     "schema": "vbr-cache/1",
- *     "key":    "<key-hex>",
- *     "spec":   { canonical spec document },
- *     "result": { "stats": {...}, "extras": {...} }
+ *     "schema":      "vbr-cache/2",
+ *     "key":         "<key-hex>",
+ *     "fingerprint": "src-sha256:<hex32>",
+ *     "spec":        { canonical spec document },
+ *     "result":      { "stats": {...}, "extras": {...} }
  *   }
  *
- * Defensive by construction: a lookup revalidates schema, key, AND
- * byte-equality of the embedded spec against the probing job's
- * canonical spec before deserializing — so a hash collision, a stale
- * key algorithm, or a corrupt/truncated entry all read as a miss and
- * the job simply re-simulates. Stores go through the shared
+ * Defensive by construction: a lookup revalidates schema, key, build
+ * fingerprint, AND byte-equality of the embedded spec against the
+ * probing job's canonical spec before deserializing — so a hash
+ * collision, a stale key algorithm, a corrupt/truncated entry, or an
+ * entry written by a differently-built simulator all read as a miss
+ * and the job simply re-simulates. Stores go through the shared
  * atomic-write helper (tmp + rename); a crashed writer can never
  * leave a half-entry that later poisons a hit. Quarantined jobs are
  * never stored (the sweep layer only stores ok results).
+ *
+ * The fingerprint (cmake/fingerprint.cmake) digests every .cpp/.hpp
+ * under src/, which over-approximates "behavior-affecting": a
+ * comment-only edit costs one cold sweep, but no simulator change
+ * can ever be under-covered — the invariant DESIGN.md §13 requires.
+ * VBR_CACHE_FINGERPRINT overrides the compiled-in value (tests and
+ * the chaos suite fake cross-build scenarios with it); the GC tool
+ * (tools/cache_gc.py) evicts entries whose fingerprint no longer
+ * matches the live build.
  *
  * Disabled by default: VBR_CACHE_DIR selects the directory; unset
  * means every lookup misses and every store is a no-op, keeping the
@@ -37,7 +48,7 @@ namespace vbr
 {
 
 /** Cache-entry schema; bump to invalidate every existing entry. */
-inline constexpr const char *kResultCacheSchema = "vbr-cache/1";
+inline constexpr const char *kResultCacheSchema = "vbr-cache/2";
 
 class ResultCache
 {
@@ -45,14 +56,24 @@ class ResultCache
     /** Disabled cache: lookups miss, stores are dropped. */
     ResultCache() = default;
 
-    /** Cache rooted at @p dir (created, with parents, on first use). */
-    explicit ResultCache(std::string dir);
+    /** Cache rooted at @p dir (created, with parents, on first use).
+     * Entries are stamped with and validated against
+     * @p fingerprint; the default is this build's. Tests pass an
+     * explicit value to model cross-build scenarios in-process. */
+    explicit ResultCache(std::string dir,
+                         std::string fingerprint = buildFingerprint());
 
     /** ${VBR_CACHE_DIR} or a disabled cache when unset/empty. */
     static ResultCache fromEnv();
 
+    /** The live build's source fingerprint: ${VBR_CACHE_FINGERPRINT}
+     * when set (cross-process test override), else the generated
+     * compile-time constant. */
+    static std::string buildFingerprint();
+
     bool enabled() const { return !dir_.empty(); }
     const std::string &dir() const { return dir_; }
+    const std::string &fingerprint() const { return fingerprint_; }
 
     /** Entry path for a key ("" when disabled). */
     std::string entryPath(const JobKey &key) const;
@@ -73,6 +94,7 @@ class ResultCache
 
   private:
     std::string dir_;
+    std::string fingerprint_;
 };
 
 } // namespace vbr

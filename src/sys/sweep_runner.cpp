@@ -1,13 +1,44 @@
 #include "sys/sweep_runner.hpp"
 
-#include <cstdio>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <limits>
+#include <mutex>
 #include <thread>
 
 #include "common/logging.hpp"
+#include "sys/cancel_token.hpp"
+#include "sys/job_queue.hpp"
 
 namespace vbr
 {
+
+namespace
+{
+
+/** Non-negative integer env var, or @p dflt when unset/malformed. */
+std::uint64_t
+u64FromEnv(const char *name, std::uint64_t dflt)
+{
+    const char *s = std::getenv(name);
+    if (s == nullptr || *s == '\0')
+        return dflt;
+    std::uint64_t value = 0;
+    for (const char *p = s; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9')
+            return dflt;
+        std::uint64_t digit = static_cast<std::uint64_t>(*p - '0');
+        if (value > (std::numeric_limits<std::uint64_t>::max() -
+                     digit) / 10)
+            return dflt; // overflow: treat like malformed
+        value = value * 10 + digit;
+    }
+    return value;
+}
+
+} // namespace
 
 unsigned
 sweepThreads()
@@ -20,19 +51,154 @@ sweepThreads()
     return hw == 0 ? 1u : hw;
 }
 
+std::uint64_t
+jobTimeoutMsFromEnv()
+{
+    return u64FromEnv("VBR_JOB_TIMEOUT_MS", 0);
+}
+
+std::uint64_t
+retryBackoffMsFromEnv()
+{
+    return u64FromEnv("VBR_RETRY_BACKOFF_MS", 250);
+}
+
+void
+sweepBackoffSleep(unsigned attempt, std::uint64_t baseMs)
+{
+    std::uint64_t delay = retryBackoffDelayMs(attempt, baseMs);
+    if (delay == 0)
+        return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+/**
+ * Monitor internals. The watchdog reads the host's steady clock —
+ * the second sanctioned wall-clock consumer besides bench_json: its
+ * only effect on results is turning an over-budget attempt into a
+ * kind:"timeout" quarantine, and timed-out jobs are never cached or
+ * merged, so host time still cannot leak into any report byte.
+ */
+struct JobWatchdog::Impl
+{
+    struct Slot
+    {
+        std::atomic<bool> cancel{false};
+        /** Steady-clock deadline in ms; -1 = no attempt running. */
+        std::atomic<std::int64_t> deadlineMs{-1};
+    };
+
+    Impl(std::uint64_t timeoutMs, std::size_t n)
+        : timeout(static_cast<std::int64_t>(timeoutMs)), slots(n)
+    {
+    }
+
+    std::int64_t timeout;
+    std::vector<Slot> slots;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool stop = false;
+    std::thread monitor;
+
+    static std::int64_t
+    nowMs()
+    {
+        // vbr-analyze: det-banned-source(watchdog deadline clock; cannot reach results — timed-out jobs are quarantined, never cached or merged)
+        auto t = std::chrono::steady_clock::now();
+        return std::chrono::duration_cast<std::chrono::milliseconds>(
+                   t.time_since_epoch())
+            .count();
+    }
+
+    void
+    loop()
+    {
+        // Poll at ~1/8 of the budget so overruns are caught within
+        // ~12% of the timeout, but never busier than 1ms or lazier
+        // than 250ms.
+        std::int64_t poll =
+            std::max<std::int64_t>(1,
+                                   std::min<std::int64_t>(
+                                       timeout / 8 + 1, 250));
+        std::unique_lock<std::mutex> lock(mutex);
+        while (!stop) {
+            cv.wait_for(lock, std::chrono::milliseconds(poll));
+            if (stop)
+                return;
+            std::int64_t now = nowMs();
+            for (Slot &s : slots) {
+                std::int64_t d =
+                    s.deadlineMs.load(std::memory_order_acquire);
+                if (d >= 0 && now >= d)
+                    s.cancel.store(true, std::memory_order_release);
+            }
+        }
+    }
+};
+
+JobWatchdog::JobWatchdog(std::uint64_t timeoutMs, std::size_t slots)
+    : impl_(std::make_unique<Impl>(timeoutMs, slots))
+{
+    Impl *impl = impl_.get();
+    impl->monitor = std::thread([impl] { impl->loop(); });
+}
+
+JobWatchdog::~JobWatchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->stop = true;
+    }
+    impl_->cv.notify_all();
+    impl_->monitor.join();
+}
+
+void
+JobWatchdog::beginAttempt(std::size_t index)
+{
+    Impl::Slot &slot = impl_->slots[index];
+    slot.cancel.store(false, std::memory_order_release);
+    slot.deadlineMs.store(Impl::nowMs() + impl_->timeout,
+                          std::memory_order_release);
+    setHostCancelToken(&slot.cancel);
+}
+
+bool
+JobWatchdog::endAttempt(std::size_t index)
+{
+    Impl::Slot &slot = impl_->slots[index];
+    slot.deadlineMs.store(-1, std::memory_order_release);
+    setHostCancelToken(nullptr);
+    return slot.cancel.load(std::memory_order_acquire);
+}
+
 bool
 ShardSpec::parse(const std::string &text, ShardSpec &out)
 {
-    unsigned index = 0;
-    unsigned count = 0;
-    char trailing = '\0';
-    if (std::sscanf(text.c_str(), "%u/%u%c", &index, &count,
-                    &trailing) != 2)
+    // Hand-rolled instead of sscanf("%u"): scanf's behavior on a
+    // value outside unsigned's range is undefined, and a shard spec
+    // comes straight from the environment.
+    std::size_t slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size())
         return false;
-    if (count == 0 || index >= count)
+    std::uint64_t parts[2] = {0, 0};
+    const std::string fields[2] = {text.substr(0, slash),
+                                   text.substr(slash + 1)};
+    for (int f = 0; f < 2; ++f) {
+        for (char c : fields[f]) {
+            if (c < '0' || c > '9')
+                return false; // rejects whitespace, signs, hex, ...
+            parts[f] = parts[f] * 10 + static_cast<unsigned>(c - '0');
+            if (parts[f] >
+                std::numeric_limits<unsigned>::max())
+                return false;
+        }
+    }
+    if (parts[1] == 0 || parts[0] >= parts[1])
         return false;
-    out.index = index;
-    out.count = count;
+    out.index = static_cast<unsigned>(parts[0]);
+    out.count = static_cast<unsigned>(parts[1]);
     return true;
 }
 
@@ -127,11 +293,19 @@ SweepRunner::runSpecs(const std::vector<SimJobSpec> &specs,
     }
 
     // Phase 3 (serial, submission order): persist newly simulated ok
-    // results. Quarantined/failed jobs never reach the cache.
+    // results. Quarantined/failed jobs never reach the cache. A
+    // store failure never fails the sweep (the result is already in
+    // hand) but is counted and warned so operators notice a cache
+    // that silently stopped absorbing work.
     if (use_cache)
         for (std::size_t i : to_run)
-            if (out.ok[i])
-                opts.cache->store(specs[i], keys[i], out.results[i]);
+            if (out.ok[i] &&
+                !opts.cache->store(specs[i], keys[i],
+                                   out.results[i])) {
+                ++out.storeFailures;
+                warn("sweep: result cache store failed for job '" +
+                     specs[i].system.jobName + "'");
+            }
 
     return out;
 }

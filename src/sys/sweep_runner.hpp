@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -40,6 +41,20 @@ namespace vbr
 /** Worker count for sweeps: VBR_THREADS if set (clamped to >= 1),
  * else std::thread::hardware_concurrency(). */
 unsigned sweepThreads();
+
+/** ${VBR_JOB_TIMEOUT_MS:-0}: per-job wall-clock budget for guarded
+ * sweeps in milliseconds; 0 disables the watchdog. */
+std::uint64_t jobTimeoutMsFromEnv();
+
+/** ${VBR_RETRY_BACKOFF_MS:-250}: base of the deterministic
+ * exponential-backoff schedule guarded retries follow (delay before
+ * retry k is base * 2^(k-1), capped); 0 restores immediate
+ * re-execution. */
+std::uint64_t retryBackoffMsFromEnv();
+
+/** Sleep for the backoff delay before retry number @p attempt
+ * (no-op when @p baseMs is 0). Host-side only. */
+void sweepBackoffSleep(unsigned attempt, std::uint64_t baseMs);
 
 /**
  * Deterministic sweep partition (DESIGN.md §12 layer 3): shard i of
@@ -74,10 +89,15 @@ struct SweepFailure
 {
     std::size_t index = 0;    ///< submission index of the failed job
     std::string name;         ///< job name (artifact label)
-    std::string kind;         ///< "deadlock" | "exception" | ...
+    std::string kind;         ///< "deadlock" | "timeout" | ...
     std::string error;        ///< what() of the final failure
     unsigned attempts = 0;    ///< executions before quarantine
-    std::string artifactPath; ///< FAIL_*.json path ("" = write failed)
+    std::string artifactPath; ///< FAIL_*.json path ("" = not written)
+
+    /** Distinguishes the two ways artifactPath can be empty: false
+     * means no artifact was requested (artifactDir unset), true means
+     * a write was attempted and failed (the runner also warn()s). */
+    bool artifactWriteFailed = false;
 };
 
 /**
@@ -137,6 +157,7 @@ struct SpecSweepOutcome
     std::size_t simulated = 0;
     std::size_t cacheHits = 0;
     std::size_t skipped = 0;
+    std::size_t storeFailures = 0; ///< ok results the cache rejected
 
     /** Every slot resolved (no skips, no quarantines). */
     bool
@@ -162,6 +183,51 @@ struct GuardOptions
      * a deterministic failure fails identically on retry and the
      * retry only rescues host-level flakes (e.g. bad_alloc). */
     unsigned retries = 1;
+
+    /** Per-attempt wall-clock budget in milliseconds; 0 disables the
+     * watchdog. An attempt that overruns is cancelled cooperatively
+     * (the simulation loop polls hostCancelRequested()) and counts
+     * as a failure of kind "timeout". Host time never reaches the
+     * simulation, so results of non-timed-out jobs are unaffected. */
+    std::uint64_t timeoutMs = jobTimeoutMsFromEnv();
+
+    /** Base of the exponential delay inserted before each retry
+     * (retryBackoffDelayMs); 0 retries immediately. The delay only
+     * spaces out host-level re-execution — it is invisible to job
+     * results. */
+    std::uint64_t backoffBaseMs = retryBackoffMsFromEnv();
+};
+
+/**
+ * Wall-clock watchdog for guarded sweeps: one monitor thread arms a
+ * deadline per running attempt and raises that attempt's
+ * cancellation token when it lapses. Workers call beginAttempt()
+ * before invoking the job (installs the slot's token on the calling
+ * thread via setHostCancelToken) and endAttempt() after, which
+ * reports whether the watchdog fired. Slots are indexed by
+ * submission index, so concurrent jobs never share a flag.
+ */
+class JobWatchdog
+{
+  public:
+    /** Start the monitor for @p slots jobs with @p timeoutMs per
+     * attempt (> 0; callers skip construction when disabled). */
+    JobWatchdog(std::uint64_t timeoutMs, std::size_t slots);
+    ~JobWatchdog();
+
+    JobWatchdog(const JobWatchdog &) = delete;
+    JobWatchdog &operator=(const JobWatchdog &) = delete;
+
+    /** Arm slot @p index and install its token on this thread. */
+    void beginAttempt(std::size_t index);
+
+    /** Disarm slot @p index, uninstall the token, and return whether
+     * the deadline lapsed during the attempt. */
+    bool endAttempt(std::size_t index);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
 };
 
 /** Options for SweepRunner::runSpecs. */
@@ -243,9 +309,14 @@ class SweepRunner
         // quarantine order does not depend on completion order.
         std::vector<SweepFailure> failures(jobs.size());
 
+        std::unique_ptr<JobWatchdog> watchdog;
+        if (opts.timeoutMs > 0 && !jobs.empty())
+            watchdog = std::make_unique<JobWatchdog>(opts.timeoutMs,
+                                                     jobs.size());
+
         auto guard = [&](std::size_t i) {
-            runOneGuarded<R>(jobs[i], i, opts, out.results[i],
-                             ok[i], failures[i]);
+            runOneGuarded<R>(jobs[i], i, opts, watchdog.get(),
+                             out.results[i], ok[i], failures[i]);
         };
 
         if (threads_ <= 1 || jobs.size() <= 1) {
@@ -286,27 +357,45 @@ class SweepRunner
     template <class R>
     void
     runOneGuarded(const GuardedJob<R> &job, std::size_t index,
-                  const GuardOptions &opts, R &result,
-                  std::uint8_t &okFlag, SweepFailure &failure) const
+                  const GuardOptions &opts, JobWatchdog *watchdog,
+                  R &result, std::uint8_t &okFlag,
+                  SweepFailure &failure) const
     {
         FailureArtifact artifact;
         for (unsigned attempt = 1;; ++attempt) {
+            if (attempt > 1)
+                sweepBackoffSleep(attempt - 1, opts.backoffBaseMs);
+            if (watchdog != nullptr)
+                watchdog->beginAttempt(index);
+            bool threw = false;
             try {
                 result = job.fn();
-                okFlag = 1;
-                return;
             } catch (const SweepJobError &e) {
+                threw = true;
                 artifact = e.artifact();
             } catch (const std::exception &e) {
                 // SimPanicError lands here too: simulator panics are
                 // quarantined, not fatal, inside a guarded sweep.
+                threw = true;
                 artifact = FailureArtifact{};
                 artifact.kind = "exception";
                 artifact.error = e.what();
             } catch (...) {
+                threw = true;
                 artifact = FailureArtifact{};
                 artifact.kind = "exception";
                 artifact.error = "unknown exception";
+            }
+            bool timedOut = watchdog != nullptr &&
+                            watchdog->endAttempt(index);
+            if (!threw) {
+                okFlag = 1;
+                return;
+            }
+            if (timedOut && artifact.kind != "timeout") {
+                // The job surfaced the cancellation as some generic
+                // failure; label the quarantine with its real cause.
+                artifact.kind = "timeout";
             }
             if (attempt > opts.retries) {
                 failure.index = index;
@@ -315,9 +404,12 @@ class SweepRunner
                 failure.error = artifact.error;
                 failure.attempts = attempt;
                 artifact.job = job.name;
-                if (!opts.artifactDir.empty())
+                if (!opts.artifactDir.empty()) {
                     failure.artifactPath =
                         artifact.writeTo(opts.artifactDir);
+                    failure.artifactWriteFailed =
+                        failure.artifactPath.empty();
+                }
                 return;
             }
         }

@@ -6,6 +6,7 @@
 
 #include "common/logging.hpp"
 #include "isa/opcode.hpp"
+#include "sys/cancel_token.hpp"
 
 namespace vbr
 {
@@ -450,6 +451,13 @@ System::run()
     while (now_ < config_.maxCycles) {
         if (haltedCores_ == cores_.size()) {
             result.allHalted = true;
+            break;
+        }
+        // Cooperative watchdog cancellation (one TLS load + branch
+        // per loop iteration; fast-forward spans cross the loop top
+        // once per span, so this does not scale with skipped work).
+        if (hostCancelRequested()) {
+            result.hostCancelled = true;
             break;
         }
         // The deadlock watchdog is level-triggered, so polling it on

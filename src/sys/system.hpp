@@ -120,6 +120,12 @@ struct RunResult
 {
     bool allHalted = false;
     bool deadlocked = false;
+
+    /** True when the run was wound down by the host cancellation
+     * token (sweep watchdog timeout), not by the workload. Partial
+     * stats are internally consistent but must not be reported as a
+     * completed run; the job layer quarantines them. */
+    bool hostCancelled = false;
     Cycle cycles = 0;
     std::uint64_t instructions = 0; ///< total committed across cores
     std::uint64_t auditViolations = 0; ///< invariant-audit failures

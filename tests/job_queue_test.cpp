@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Durable job-lease queue protocol tests (DESIGN.md §13). Every test
+ * drives the queue with explicit timestamps — the protocol never
+ * reads a clock — so claim/lease/reclaim behavior is exercised fully
+ * deterministically, including the crash windows: a claimant that
+ * died before stamping its lease, a worker that stopped
+ * heartbeating, and a malformed ticket that must not wedge the
+ * queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "sys/job_queue.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+class JobQueueTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = (std::filesystem::temp_directory_path() /
+                ("vbr_queue_test_" +
+                 std::to_string(::getpid()) + "_" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name()))
+                   .string();
+        std::filesystem::remove_all(dir_);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    static JsonValue
+    payload(const std::string &kind)
+    {
+        JsonValue doc = JsonValue::object();
+        doc.set("kind", kind);
+        return doc;
+    }
+
+    std::string dir_;
+};
+
+TEST_F(JobQueueTest, EnqueueClaimCompleteLifecycle)
+{
+    JobQueue q(dir_);
+    ASSERT_TRUE(q.enqueue("job-a", payload("bench-shard")));
+    ASSERT_TRUE(q.enqueue("job-b", payload("bench-shard")));
+    EXPECT_EQ(q.list("pending").size(), 2u);
+
+    // Claims come in lexical ticket order.
+    QueueTicket t;
+    ASSERT_TRUE(q.claim("w1", 1000, 500, t));
+    EXPECT_EQ(t.id, "job-a");
+    EXPECT_EQ(t.owner, "w1");
+    EXPECT_TRUE(
+        std::filesystem::exists(q.leasePath("job-a", "w1")));
+    EXPECT_EQ(q.list("pending").size(), 1u);
+    EXPECT_EQ(q.list("leases").size(), 1u);
+
+    // The lease document carries owner + expiry stamps.
+    const JsonValue *owner = t.doc.find("owner");
+    ASSERT_NE(owner, nullptr);
+    EXPECT_EQ(owner->asString(), "w1");
+    const JsonValue *expiry = t.doc.find("expiry_ms");
+    ASSERT_NE(expiry, nullptr);
+    EXPECT_EQ(expiry->asU64(), 1500u);
+
+    ASSERT_TRUE(q.complete(t));
+    EXPECT_TRUE(q.list("leases").empty());
+    EXPECT_EQ(q.list("done").size(), 1u);
+    JsonValue done;
+    ASSERT_TRUE(q.read("done", "job-a", done));
+    EXPECT_EQ(done.find("kind")->asString(), "bench-shard");
+}
+
+TEST_F(JobQueueTest, ClaimIsExclusivePerTicket)
+{
+    JobQueue q(dir_);
+    ASSERT_TRUE(q.enqueue("only", payload("x")));
+    QueueTicket t1;
+    QueueTicket t2;
+    ASSERT_TRUE(q.claim("w1", 0, 100, t1));
+    // The ticket is gone from pending/: a second claimant finds
+    // nothing, it cannot double-claim.
+    EXPECT_FALSE(q.claim("w2", 0, 100, t2));
+}
+
+TEST_F(JobQueueTest, ExpiredLeaseIsReclaimedByAnyWorker)
+{
+    JobQueue q(dir_);
+    ASSERT_TRUE(q.enqueue("crashy", payload("x")));
+    QueueTicket t;
+    ASSERT_TRUE(q.claim("w1", 0, 100, t)); // expiry 100
+
+    // Not yet lapsed: nothing to reclaim (>= keeps a lease alive
+    // through its expiry instant).
+    EXPECT_EQ(q.reclaimExpired(100), 0u);
+    // Worker died (no heartbeat); a different worker reclaims.
+    EXPECT_EQ(q.reclaimExpired(101), 1u);
+    EXPECT_TRUE(q.list("leases").empty());
+    ASSERT_EQ(q.list("pending").size(), 1u);
+
+    // Reclaimed tickets drop the dead owner's stamps and count the
+    // reclaim; the next claim runs the job again.
+    JsonValue doc;
+    ASSERT_TRUE(q.read("pending", "crashy", doc));
+    EXPECT_EQ(doc.find("owner"), nullptr);
+    EXPECT_EQ(doc.find("expiry_ms"), nullptr);
+    EXPECT_EQ(doc.find("reclaims")->asU64(), 1u);
+    QueueTicket t2;
+    ASSERT_TRUE(q.claim("w2", 200, 100, t2));
+    EXPECT_EQ(t2.id, "crashy");
+}
+
+TEST_F(JobQueueTest, HeartbeatExtendsLeaseAndDetectsReclaim)
+{
+    JobQueue q(dir_);
+    ASSERT_TRUE(q.enqueue("slow", payload("x")));
+    QueueTicket t;
+    ASSERT_TRUE(q.claim("w1", 0, 100, t));
+
+    // A refreshed lease survives past its original expiry.
+    ASSERT_TRUE(q.heartbeat(t, 500));
+    EXPECT_EQ(q.reclaimExpired(300), 0u);
+    // ...but lapses once the refreshed expiry passes.
+    EXPECT_EQ(q.reclaimExpired(501), 1u);
+
+    // The stalled original worker must not resurrect its lease.
+    EXPECT_FALSE(q.heartbeat(t, 9999));
+    EXPECT_TRUE(q.list("leases").empty());
+}
+
+TEST_F(JobQueueTest, CrashInClaimWindowIsNotStranded)
+{
+    JobQueue q(dir_);
+    // Simulate a claimant that renamed pending -> lease and died
+    // before stamping owner/expiry: the lease file still holds the
+    // un-stamped pending document.
+    ASSERT_TRUE(q.enqueue("victim", payload("x")));
+    std::filesystem::rename(q.statePath("pending", "victim"),
+                            q.leasePath("victim", "deadworker"));
+
+    // Missing expiry reads as already expired at any time.
+    EXPECT_EQ(q.reclaimExpired(0), 1u);
+    ASSERT_EQ(q.list("pending").size(), 1u);
+    QueueTicket t;
+    EXPECT_TRUE(q.claim("w2", 1, 100, t));
+    EXPECT_EQ(t.id, "victim");
+}
+
+TEST_F(JobQueueTest, RetryFollowsBackoffScheduleThenFails)
+{
+    JobQueue q(dir_);
+    ASSERT_TRUE(q.enqueue("flaky", payload("x")));
+
+    QueueTicket t;
+    ASSERT_TRUE(q.claim("w1", 0, 100, t));
+    EXPECT_EQ(t.attempts(), 0u);
+    // First failure requeues with a one-base-unit backoff stamp.
+    ASSERT_TRUE(q.retry(t, 1000, 250, 3, "boom"));
+    JsonValue doc;
+    ASSERT_TRUE(q.read("pending", "flaky", doc));
+    EXPECT_EQ(doc.find("attempts")->asU64(), 1u);
+    EXPECT_EQ(doc.find("not_before_ms")->asU64(), 1250u);
+    EXPECT_EQ(doc.find("last_error")->asString(), "boom");
+
+    // Not due yet: the claim skips it until the backoff elapses.
+    EXPECT_FALSE(q.claim("w1", 1100, 100, t));
+    ASSERT_TRUE(q.claim("w1", 1250, 100, t));
+    EXPECT_EQ(t.attempts(), 1u);
+    // Second failure doubles the delay.
+    ASSERT_TRUE(q.retry(t, 2000, 250, 3, "boom again"));
+    ASSERT_TRUE(q.read("pending", "flaky", doc));
+    EXPECT_EQ(doc.find("not_before_ms")->asU64(), 2500u);
+
+    // Third failure exhausts the attempt budget -> failed/.
+    ASSERT_TRUE(q.claim("w1", 2500, 100, t));
+    EXPECT_FALSE(q.retry(t, 3000, 250, 3, "dead"));
+    EXPECT_TRUE(q.list("pending").empty());
+    ASSERT_EQ(q.list("failed").size(), 1u);
+    ASSERT_TRUE(q.read("failed", "flaky", doc));
+    EXPECT_EQ(doc.find("error")->asString(), "dead");
+}
+
+TEST_F(JobQueueTest, MalformedTicketIsParkedNotSpunOn)
+{
+    JobQueue q(dir_);
+    ASSERT_TRUE(q.enqueue("good", payload("x")));
+    {
+        std::ofstream bad(q.statePath("pending", "bad-ticket"));
+        bad << "{ this is not json";
+    }
+
+    // The malformed ticket moves to failed/ and the claim still
+    // lands on the healthy one.
+    QueueTicket t;
+    ASSERT_TRUE(q.claim("w1", 0, 100, t));
+    EXPECT_EQ(t.id, "good");
+    EXPECT_EQ(q.list("failed").size(), 1u);
+    EXPECT_EQ(q.list("failed")[0], "bad-ticket");
+}
+
+TEST_F(JobQueueTest, NamesMustBeFilesystemSafe)
+{
+    EXPECT_TRUE(JobQueue::validName("bench-shard-000"));
+    EXPECT_TRUE(JobQueue::validName("A.b_C-9"));
+    EXPECT_FALSE(JobQueue::validName(""));
+    EXPECT_FALSE(JobQueue::validName("a/b"));
+    EXPECT_FALSE(JobQueue::validName("a b"));
+    EXPECT_FALSE(JobQueue::validName("a@b")); // '@' is the separator
+    EXPECT_FALSE(JobQueue::validName("..\nx"));
+
+    JobQueue q(dir_);
+    EXPECT_FALSE(q.enqueue("../escape", JsonValue::object()));
+    QueueTicket t;
+    EXPECT_FALSE(q.claim("bad owner", 0, 100, t));
+}
+
+TEST(RetryBackoff, DeterministicExponentialSchedule)
+{
+    EXPECT_EQ(retryBackoffDelayMs(1, 250), 250u);
+    EXPECT_EQ(retryBackoffDelayMs(2, 250), 500u);
+    EXPECT_EQ(retryBackoffDelayMs(3, 250), 1000u);
+    EXPECT_EQ(retryBackoffDelayMs(4, 250), 2000u);
+    // Saturates at the cap instead of overflowing.
+    EXPECT_EQ(retryBackoffDelayMs(10, 250), 8000u);
+    EXPECT_EQ(retryBackoffDelayMs(64, 250), 8000u);
+    EXPECT_EQ(retryBackoffDelayMs(3, 100, 150), 150u);
+    // Base 0 disables the delay; attempt 0 never sleeps.
+    EXPECT_EQ(retryBackoffDelayMs(5, 0), 0u);
+    EXPECT_EQ(retryBackoffDelayMs(0, 250), 0u);
+}
+
+} // namespace
+} // namespace vbr

@@ -132,6 +132,28 @@ TEST_F(ResultCacheTest, HitsAreByteIdenticalAcrossThreadCounts)
     }
 }
 
+TEST_F(ResultCacheTest, UnwritableCacheCountsStoreFailures)
+{
+    // An unwritable VBR_CACHE_DIR must not quietly disable warm
+    // reruns: the sweep still completes, but every failed store is
+    // counted so the [sweep] summary line surfaces the problem.
+    std::vector<SimJobSpec> specs = makeGrid();
+    ResultCache cache("/proc/self/cmdline/no_such_cache");
+    SpecSweepOptions opts;
+    opts.cache = &cache;
+    SpecSweepOutcome out = SweepRunner(2).runSpecs(specs, opts);
+    ASSERT_TRUE(out.complete());
+    EXPECT_EQ(out.simulated, specs.size());
+    EXPECT_EQ(out.storeFailures, specs.size());
+
+    // A writable cache records none.
+    ResultCache good(dir_);
+    opts.cache = &good;
+    SpecSweepOutcome ok = SweepRunner(2).runSpecs(specs, opts);
+    ASSERT_TRUE(ok.complete());
+    EXPECT_EQ(ok.storeFailures, 0u);
+}
+
 TEST_F(ResultCacheTest, QuarantinedJobsAreNeverCached)
 {
     std::vector<SimJobSpec> specs = makeGrid();
@@ -199,9 +221,10 @@ TEST_F(ResultCacheTest, CorruptEntriesAreRecomputed)
     // deserializing into the wrong shape.
     {
         std::string stale = good;
-        std::size_t pos = stale.find("vbr-cache/1");
+        std::size_t pos = stale.find(kResultCacheSchema);
         ASSERT_NE(pos, std::string::npos);
-        stale.replace(pos, 11, "vbr-cache/9");
+        stale.replace(pos, std::string(kResultCacheSchema).size(),
+                      "vbr-cache/9");
         std::ofstream out(path, std::ios::binary | std::ios::trunc);
         out << stale;
     }
@@ -218,6 +241,52 @@ TEST_F(ResultCacheTest, CorruptEntriesAreRecomputed)
         out << alien;
     }
     EXPECT_FALSE(cache.lookup(specs[0], jobKey(specs[0]), unused));
+}
+
+TEST_F(ResultCacheTest, FingerprintMismatchInvalidatesEntries)
+{
+    std::vector<SimJobSpec> specs = makeGrid();
+    specs.resize(1);
+    const JobKey key = jobKey(specs[0]);
+
+    // Build A populates the cache.
+    ResultCache build_a(dir_, "src-sha256:aaaa");
+    SpecSweepOptions opts;
+    opts.cache = &build_a;
+    SpecSweepOutcome cold = SweepRunner(1).runSpecs(specs, opts);
+    ASSERT_TRUE(cold.complete());
+    SimJobResult unused;
+    EXPECT_TRUE(build_a.lookup(specs[0], key, unused));
+
+    // Build B (same spec, different source digest) must miss — no
+    // kJobSpecSchema bump required — and its recompute re-stamps the
+    // entry, after which build A misses instead.
+    ResultCache build_b(dir_, "src-sha256:bbbb");
+    EXPECT_FALSE(build_b.lookup(specs[0], key, unused));
+    opts.cache = &build_b;
+    SpecSweepOutcome healed = SweepRunner(1).runSpecs(specs, opts);
+    ASSERT_TRUE(healed.complete());
+    EXPECT_EQ(healed.simulated, 1u);
+    EXPECT_TRUE(build_b.lookup(specs[0], key, unused));
+    EXPECT_FALSE(build_a.lookup(specs[0], key, unused));
+
+    // The recomputed result is byte-identical either way: the
+    // fingerprint versions entries, it never alters results.
+    EXPECT_EQ(canonicalResultBytes(cold.results[0]),
+              canonicalResultBytes(healed.results[0]));
+}
+
+TEST(ResultCacheFingerprint, EnvOverridesCompiledConstant)
+{
+    unsetenv("VBR_CACHE_FINGERPRINT");
+    const std::string compiled = ResultCache::buildFingerprint();
+    EXPECT_FALSE(compiled.empty());
+    EXPECT_EQ(compiled.rfind("src-sha256:", 0), 0u);
+
+    setenv("VBR_CACHE_FINGERPRINT", "src-sha256:feed", 1);
+    EXPECT_EQ(ResultCache::buildFingerprint(), "src-sha256:feed");
+    unsetenv("VBR_CACHE_FINGERPRINT");
+    EXPECT_EQ(ResultCache::buildFingerprint(), compiled);
 }
 
 TEST_F(ResultCacheTest, ShardUnionEqualsUnshardedSweep)
@@ -280,6 +349,32 @@ TEST(ShardSpecTest, ParseAndOwnership)
     EXPECT_FALSE(ShardSpec::parse("1", s));
     EXPECT_FALSE(ShardSpec::parse("1/2/3", s));
     EXPECT_FALSE(ShardSpec::parse("a/b", s));
+
+    // Whitespace in any position is malformed, not trimmed: a shard
+    // spec comes from the environment verbatim, and sscanf-style
+    // leniency here once hid a doubled-work misconfiguration.
+    EXPECT_FALSE(ShardSpec::parse(" 0/2", s));
+    EXPECT_FALSE(ShardSpec::parse("0/2 ", s));
+    EXPECT_FALSE(ShardSpec::parse("0 /2", s));
+    EXPECT_FALSE(ShardSpec::parse("0/ 2", s));
+    EXPECT_FALSE(ShardSpec::parse("\t0/2", s));
+    EXPECT_FALSE(ShardSpec::parse("0/2\n", s));
+
+    // Signs, hex, and empty fields are likewise malformed.
+    EXPECT_FALSE(ShardSpec::parse("+0/2", s));
+    EXPECT_FALSE(ShardSpec::parse("-1/2", s));
+    EXPECT_FALSE(ShardSpec::parse("0x1/2", s));
+    EXPECT_FALSE(ShardSpec::parse("/2", s));
+    EXPECT_FALSE(ShardSpec::parse("0/", s));
+    EXPECT_FALSE(ShardSpec::parse("/", s));
+
+    // Overflow-sized N parses false instead of invoking the
+    // undefined behavior sscanf %u has on out-of-range input.
+    EXPECT_FALSE(ShardSpec::parse("1/4294967296", s));
+    EXPECT_FALSE(ShardSpec::parse("0/99999999999999999999", s));
+    EXPECT_FALSE(ShardSpec::parse("4294967296/4294967297", s));
+    EXPECT_TRUE(ShardSpec::parse("0/4294967295", s));
+    EXPECT_EQ(s.count, 4294967295u);
 
     // Default: one shard owning everything.
     ShardSpec all;

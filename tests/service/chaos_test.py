@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Service-layer chaos suite: inject crashes and corruption into the
+sweep daemon / queue / cache stack and assert recompute-and-heal.
+
+Scenarios (each deterministic -- the injection points are explicit,
+not randomized):
+
+  worker-crash    SIGKILL a daemon's whole process group mid-job.
+                  A second daemon must reclaim the lapsed lease, rerun
+                  the ticket (pure jobs make the orphaned partial run
+                  harmless), and the drained queue's results must be
+                  byte-identical (modulo tools/bench_mask.json) to an
+                  undisturbed reference run.
+  stale-lease     A lease renamed into place by a claimant that died
+                  before stamping owner/expiry; the draining daemon
+                  must reclaim it at any wall-clock time and complete
+                  the ticket, with the reclaim counted in done/.
+  corrupt-cache   Truncate one cache entry between runs; the next
+                  sweep must recompute exactly that job, heal the
+                  entry, and still produce byte-identical reports.
+  torn-temp       An aged atomic-writer temporary left by a dead
+                  writer; cache_gc must remove it (and only it).
+
+Usage: chaos_test.py BUILD_DIR [repo_root]
+
+Exits 77 (ctest SKIP_RETURN_CODE) when the harness binary is missing,
+so the test degrades to skipped rather than failed in source-only
+configurations.
+"""
+
+import glob
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+if len(sys.argv) < 2:
+    print("usage: chaos_test.py BUILD_DIR [repo_root]",
+          file=sys.stderr)
+    sys.exit(2)
+
+BUILD_DIR = os.path.abspath(sys.argv[1])
+ROOT = os.path.abspath(
+    sys.argv[2] if len(sys.argv) > 2 else
+    os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                 "..", ".."))
+TOOLS = os.path.join(ROOT, "tools")
+HARNESS = "fig5_performance"
+SCALE = "0.02"
+
+sys.path.insert(0, TOOLS)
+import sweep_service as svc  # noqa: E402
+
+if not os.path.exists(os.path.join(BUILD_DIR, "bench", HARNESS)):
+    print(f"[chaos] SKIP: {BUILD_DIR}/bench/{HARNESS} not built")
+    sys.exit(77)
+
+FAILURES = []
+
+
+def check(cond, label):
+    status = "ok" if cond else "FAIL"
+    print(f"[chaos] {status}: {label}")
+    if not cond:
+        FAILURES.append(label)
+
+
+def run_harness_direct(results_dir, cache_dir):
+    """One in-process harness run; returns its [sweep] totals."""
+    os.makedirs(results_dir, exist_ok=True)
+    rc, out = svc.run_harness(BUILD_DIR, HARNESS, results_dir,
+                              cache_dir, SCALE)
+    if rc != 0:
+        sys.stdout.write(out)
+        print(f"[chaos] harness run failed rc={rc}", file=sys.stderr)
+        sys.exit(1)
+    return svc.sweep_totals(out)
+
+
+def compare_bench(baseline, candidate):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(TOOLS, "compare_bench.py"),
+         baseline, candidate],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        sys.stdout.write(proc.stdout)
+    return proc.returncode == 0
+
+
+def daemon_cmd(queue, owner, drain, lease_ms=1500):
+    cmd = [sys.executable, os.path.join(TOOLS, "sweep_service.py"),
+           "--queue", queue, "--daemon", "--owner", owner,
+           "--lease-ms", str(lease_ms), "--poll-seconds", "0.1",
+           "--backoff-ms", "10", "--max-attempts", "3",
+           "--build-dir", BUILD_DIR, "--scale", SCALE]
+    if drain:
+        cmd.append("--drain")
+    return cmd
+
+
+def wait_for(predicate, timeout_s, what):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    print(f"[chaos] timed out waiting for {what}", file=sys.stderr)
+    return False
+
+
+def enqueue_harness_ticket(queue, job_id, results_dir, cache_dir):
+    svc.q_init(queue)
+    svc.q_enqueue(queue, job_id, {
+        "kind": "bench-shard", "harness": HARNESS,
+        "build_dir": BUILD_DIR, "results_dir": results_dir,
+        "cache_dir": cache_dir, "scale": SCALE,
+    })
+
+
+def test_worker_crash(root, reference_dir):
+    queue = os.path.join(root, "queue")
+    results = os.path.join(root, "crash_results")
+    cache = os.path.join(root, "crash_cache")
+    os.makedirs(cache, exist_ok=True)
+    enqueue_harness_ticket(queue, "crashy-sweep", results, cache)
+
+    # Victim daemon in its own process group so the SIGKILL takes the
+    # in-flight harness child down with it -- a whole-worker crash,
+    # not a tidy shutdown.
+    victim = subprocess.Popen(
+        daemon_cmd(queue, "victim", drain=False),
+        stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT,
+        start_new_session=True)
+    claimed = wait_for(
+        lambda: os.path.exists(
+            svc.q_lease_path(queue, "crashy-sweep", "victim")),
+        30, "victim's lease")
+    check(claimed, "victim daemon claims the ticket")
+    time.sleep(1.0)  # let the harness get properly mid-job
+    os.killpg(victim.pid, signal.SIGKILL)
+    victim.wait()
+    check(svc.q_list(queue, "leases") == ["crashy-sweep"],
+          "killed worker leaves its lease behind")
+
+    # Any other worker reclaims the lapsed lease and finishes.
+    rescue = subprocess.run(
+        daemon_cmd(queue, "rescue", drain=True),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        timeout=300)
+    check(rescue.returncode == 0, "rescue daemon drains the queue")
+    check("reclaimed 1 expired lease(s)" in rescue.stdout,
+          "rescue daemon reclaimed the dead worker's lease")
+    check(svc.q_list(queue, "done") == ["crashy-sweep"],
+          "ticket completes in done/")
+    done = svc.q_read(svc.q_path(queue, "done", "crashy-sweep"))
+    check(done is not None and int(done.get("reclaims", 0)) >= 1,
+          "done ticket records the reclaim")
+    check(not svc.q_list(queue, "leases")
+          and not svc.q_list(queue, "pending"),
+          "queue is empty after the drain")
+    check(compare_bench(reference_dir, results),
+          "post-crash results byte-identical to undisturbed run")
+    return cache
+
+
+def test_stale_lease(root):
+    queue = os.path.join(root, "stale_queue")
+    gc_target = os.path.join(root, "stale_gc_target")
+    os.makedirs(gc_target, exist_ok=True)
+    svc.q_init(queue)
+    # cache-gc on an empty dir: a cheap, simulator-free ticket.
+    svc.q_enqueue(queue, "stranded", {"kind": "cache-gc",
+                                      "cache_dir": gc_target})
+    # The claimant died between the rename and the owner/expiry
+    # stamp: the lease file is the raw pending document.
+    os.rename(svc.q_path(queue, "pending", "stranded"),
+              svc.q_lease_path(queue, "stranded", "deadworker"))
+
+    rescue = subprocess.run(
+        daemon_cmd(queue, "janitor", drain=True),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        timeout=120)
+    check(rescue.returncode == 0, "daemon drains past the stale lease")
+    check(svc.q_list(queue, "done") == ["stranded"],
+          "stale-lease ticket is reclaimed and completed")
+    done = svc.q_read(svc.q_path(queue, "done", "stranded"))
+    check(done is not None and int(done.get("reclaims", 0)) == 1,
+          "unstamped lease reclaim is counted")
+
+
+def test_corrupt_cache_entry(root, cache, reference_dir):
+    entries = sorted(
+        p for p in glob.glob(os.path.join(cache, "*.json"))
+        if re.match(r"^[0-9a-f]{32}\.json$", os.path.basename(p)))
+    check(len(entries) > 0, "warm cache has entries to corrupt")
+    if not entries:
+        return
+    victim = entries[0]
+    with open(victim, "w", encoding="utf-8") as f:
+        f.write('{"schema": "vbr-cache/2", "key": "torn')
+
+    results = os.path.join(root, "healed_results")
+    totals = run_harness_direct(results, cache)
+    check(totals["simulated"] == 1,
+          "exactly the corrupted job is recomputed")
+    check(totals["jobs"] - totals["cache_hits"] == 1,
+          "every other job still resolves from cache")
+    try:
+        with open(victim, encoding="utf-8") as f:
+            healed = json.load(f)
+    except ValueError:
+        healed = None
+    check(healed is not None
+          and healed.get("key") == os.path.basename(victim)[:-5],
+          "corrupted entry is healed in place by the recompute")
+    check(compare_bench(reference_dir, results),
+          "healed results byte-identical to undisturbed run")
+
+
+def test_torn_temp(root, cache):
+    entries = sorted(os.path.basename(p) for p in
+                     glob.glob(os.path.join(cache, "*.json")))
+    torn = os.path.join(cache, "f" * 32 + ".json.tmp.99999")
+    with open(torn, "w", encoding="utf-8") as f:
+        f.write('{"schema": "vbr-cache/2", "half of an ent')
+    old = time.time() - 3600
+    os.utime(torn, (old, old))
+
+    proc = subprocess.run(
+        [sys.executable, os.path.join(TOOLS, "cache_gc.py"), cache],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    check(proc.returncode == 0, "cache_gc exits cleanly")
+    check(not os.path.exists(torn), "aged torn temporary is removed")
+    after = sorted(os.path.basename(p) for p in
+                   glob.glob(os.path.join(cache, "*.json")))
+    check(after == entries, "no live cache entry was touched")
+    journal = os.path.join(cache, "gc_journal.jsonl")
+    lines = [json.loads(line)
+             for line in open(journal, encoding="utf-8")]
+    check(any(e["file"] == os.path.basename(torn)
+              and e["reason"] == "orphan-tmp" for e in lines),
+          "journal records the orphan cleanup")
+
+
+def main():
+    root = tempfile.mkdtemp(prefix="vbr_chaos_")
+    try:
+        # Undisturbed reference: one direct harness run with a cold
+        # private cache. Every scenario's output is gated against it.
+        reference = os.path.join(root, "reference")
+        ref_cache = os.path.join(root, "reference_cache")
+        os.makedirs(ref_cache, exist_ok=True)
+        print(f"[chaos] reference run ({HARNESS}, scale {SCALE})")
+        totals = run_harness_direct(reference, ref_cache)
+        check(totals["jobs"] > 0 and totals["simulated"] > 0,
+              "reference run simulated a non-empty sweep")
+
+        print("[chaos] scenario: worker crash (SIGKILL mid-job)")
+        cache = test_worker_crash(root, reference)
+        print("[chaos] scenario: stale lease (crash in claim window)")
+        test_stale_lease(root)
+        print("[chaos] scenario: corrupt cache entry")
+        test_corrupt_cache_entry(root, cache, reference)
+        print("[chaos] scenario: torn atomic-writer temporary")
+        test_torn_temp(root, cache)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    if FAILURES:
+        print(f"[chaos] {len(FAILURES)} failure(s)", file=sys.stderr)
+        return 1
+    print("[chaos] all scenarios passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

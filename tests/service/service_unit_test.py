@@ -1,0 +1,355 @@
+#!/usr/bin/env python3
+"""Unit tests for the sweep-service Python layer (no simulator runs).
+
+Covers the pieces that must behave identically to their C++ peers or
+that guard the service against hostile inputs:
+
+  * the queue protocol functions in tools/sweep_service.py, driven
+    with explicit fake timestamps through every crash window the C++
+    tests in tests/job_queue_test.cpp exercise (the two
+    implementations share one on-disk format, so the scenarios are
+    deliberately mirrored);
+  * backoff_delay_ms against the retryBackoffDelayMs schedule;
+  * sweep_totals against truncated and malformed [sweep] lines;
+  * cache_gc.py planning: entry/orphan pattern matching, the
+    min-age write guard, fingerprint/age/size eviction order, and
+    the eviction journal.
+
+Usage: service_unit_test.py [repo_root]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.abspath(
+    sys.argv[1] if len(sys.argv) > 1 else
+    os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                 "..", ".."))
+sys.path.insert(0, os.path.join(ROOT, "tools"))
+
+import cache_gc  # noqa: E402
+import sweep_service as svc  # noqa: E402
+
+FAILURES = []
+
+
+def check(cond, label):
+    status = "ok" if cond else "FAIL"
+    print(f"[unit] {status}: {label}")
+    if not cond:
+        FAILURES.append(label)
+
+
+def tmpdir(stack, name):
+    path = tempfile.mkdtemp(prefix=f"vbr_svc_{name}_")
+    stack.append(path)
+    return path
+
+
+# --- queue protocol ---------------------------------------------------
+
+def test_queue_lifecycle(stack):
+    q = tmpdir(stack, "queue")
+    svc.q_init(q)
+    svc.q_enqueue(q, "job-a", {"kind": "x"})
+    svc.q_enqueue(q, "job-b", {"kind": "x"})
+    check(svc.q_list(q, "pending") == ["job-a", "job-b"],
+          "enqueue lands in pending, sorted")
+
+    job_id, doc = svc.q_claim(q, "w1", 1000, 500)
+    check(job_id == "job-a", "claims come in lexical order")
+    check(doc["owner"] == "w1" and doc["expiry_ms"] == 1500,
+          "claim stamps owner and expiry")
+    check(os.path.exists(svc.q_lease_path(q, "job-a", "w1")),
+          "lease file uses <id>@<owner>.json naming")
+
+    other, _ = svc.q_claim(q, "w2", 1000, 500)
+    check(other == "job-b", "second claimant gets the next ticket")
+
+    svc.q_complete(q, "job-a", "w1", doc)
+    check(svc.q_list(q, "done") == ["job-a"], "complete moves to done/")
+    check(not os.path.exists(svc.q_lease_path(q, "job-a", "w1")),
+          "complete releases the lease")
+
+
+def test_queue_reclaim(stack):
+    q = tmpdir(stack, "reclaim")
+    svc.q_init(q)
+    svc.q_enqueue(q, "crashy", {"kind": "x"})
+    job_id, doc = svc.q_claim(q, "w1", 0, 100)
+    check(job_id == "crashy", "claim before crash")
+
+    check(svc.q_reclaim_expired(q, 100) == 0,
+          "lease survives through its expiry instant")
+    check(svc.q_reclaim_expired(q, 101) == 1,
+          "lapsed lease is reclaimed")
+    fresh = svc.q_read(svc.q_path(q, "pending", "crashy"))
+    check(fresh is not None and "owner" not in fresh
+          and "expiry_ms" not in fresh,
+          "reclaim strips the dead owner's stamps")
+    check(fresh.get("reclaims") == 1, "reclaim counts itself")
+
+    # Stalled original worker must not resurrect its lease.
+    check(not svc.q_heartbeat(q, "crashy", "w1", doc, 99999),
+          "heartbeat reports a reclaimed lease")
+
+
+def test_queue_crash_in_claim_window(stack):
+    q = tmpdir(stack, "window")
+    svc.q_init(q)
+    svc.q_enqueue(q, "victim", {"kind": "x"})
+    # The claimant renamed pending -> lease and died before stamping
+    # owner/expiry; the lease holds the un-stamped pending document.
+    os.rename(svc.q_path(q, "pending", "victim"),
+              svc.q_lease_path(q, "victim", "deadworker"))
+    check(svc.q_reclaim_expired(q, 0) == 1,
+          "missing expiry reads as already expired at t=0")
+    job_id, _ = svc.q_claim(q, "w2", 1, 100)
+    check(job_id == "victim", "ticket is claimable after reclaim")
+
+    # Torn lease file (unparsable JSON) is also reclaimed, with a
+    # reconstructed minimal ticket.
+    with open(svc.q_lease_path(q, "victim", "w2"), "w",
+              encoding="utf-8") as f:
+        f.write("{ torn")
+    check(svc.q_reclaim_expired(q, 2) == 1, "torn lease is reclaimed")
+    doc = svc.q_read(svc.q_path(q, "pending", "victim"))
+    check(doc is not None and doc.get("schema") == svc.QUEUE_SCHEMA,
+          "torn lease reconstructs a schema-tagged ticket")
+
+
+def test_queue_retry_backoff(stack):
+    q = tmpdir(stack, "retry")
+    svc.q_init(q)
+    svc.q_enqueue(q, "flaky", {"kind": "x"})
+
+    job_id, doc = svc.q_claim(q, "w1", 0, 100)
+    check(svc.q_retry(q, job_id, "w1", doc, 1000, 250, 3, "boom"),
+          "first failure requeues")
+    fresh = svc.q_read(svc.q_path(q, "pending", "flaky"))
+    check(fresh["attempts"] == 1 and fresh["not_before_ms"] == 1250
+          and fresh["last_error"] == "boom",
+          "requeue stamps attempts/backoff/last_error")
+
+    none, _ = svc.q_claim(q, "w1", 1100, 100)
+    check(none is None, "backing-off ticket is skipped until due")
+    job_id, doc = svc.q_claim(q, "w1", 1250, 100)
+    check(job_id == "flaky", "ticket claimable once backoff elapses")
+    check(svc.q_retry(q, job_id, "w1", doc, 2000, 250, 3, "again"),
+          "second failure requeues")
+    fresh = svc.q_read(svc.q_path(q, "pending", "flaky"))
+    check(fresh["not_before_ms"] == 2500, "second backoff doubles")
+
+    job_id, doc = svc.q_claim(q, "w1", 2500, 100)
+    check(not svc.q_retry(q, job_id, "w1", doc, 3000, 250, 3, "dead"),
+          "attempt budget exhausts to failed/")
+    failed = svc.q_read(svc.q_path(q, "failed", "flaky"))
+    check(failed is not None and failed.get("error") == "dead",
+          "permanent failure records the last error")
+
+
+def test_queue_malformed_ticket(stack):
+    q = tmpdir(stack, "malformed")
+    svc.q_init(q)
+    svc.q_enqueue(q, "good", {"kind": "x"})
+    with open(svc.q_path(q, "pending", "bad-ticket"), "w",
+              encoding="utf-8") as f:
+        f.write("{ this is not json")
+    job_id, _ = svc.q_claim(q, "w1", 0, 100)
+    check(job_id == "good", "claim skips past the malformed ticket")
+    check(svc.q_list(q, "failed") == ["bad-ticket"],
+          "malformed ticket is parked in failed/, not spun on")
+
+
+def test_backoff_schedule():
+    # Mirror of RetryBackoff.DeterministicExponentialSchedule.
+    cases = [((1, 250), 250), ((2, 250), 500), ((3, 250), 1000),
+             ((4, 250), 2000), ((10, 250), 8000), ((64, 250), 8000),
+             ((5, 0), 0), ((0, 250), 0)]
+    ok = all(svc.backoff_delay_ms(*args) == want
+             for args, want in cases)
+    ok = ok and svc.backoff_delay_ms(3, 100, cap_ms=150) == 150
+    check(ok, "backoff_delay_ms matches retryBackoffDelayMs")
+
+
+# --- sweep_totals hardening ------------------------------------------
+
+def test_sweep_totals():
+    out = "\n".join([
+        "[sweep] fig5: jobs=10 simulated=7 cache_hits=3 "
+        "shard_skipped=0 quarantined=1 store_failures=2",
+        "[sweep] fig6: jobs=5 simulated=5 cache_hi",  # torn mid-field
+        "[sweep] fig7: jobs=oops simulated=2 bogus_key=9 noequals",
+        "[sweep]",                                    # torn mid-line
+        "unrelated chatter cache_hits=99",
+    ])
+    totals = svc.sweep_totals(out)
+    check(totals["jobs"] == 15, "malformed int is skipped, not fatal")
+    check(totals["simulated"] == 14,
+          "well-formed fields on damaged lines still count")
+    check(totals["cache_hits"] == 3,
+          "torn field and non-[sweep] lines are ignored")
+    check(totals["store_failures"] == 2,
+          "store_failures counter is aggregated")
+    check(svc.sweep_totals("") == {
+        "jobs": 0, "simulated": 0, "cache_hits": 0,
+        "shard_skipped": 0, "quarantined": 0, "store_failures": 0},
+        "empty transcript totals to zero")
+
+
+# --- cache GC planning ------------------------------------------------
+
+def gc_args(**kw):
+    base = {"max_bytes": None, "max_age_days": None,
+            "fingerprint": None, "min_age_seconds": 300.0}
+    base.update(kw)
+    return argparse.Namespace(**base)
+
+
+def write_entry(cache, key, fingerprint, age_s, now, pad=0):
+    path = os.path.join(cache, key + ".json")
+    doc = {"schema": "vbr-cache/2", "key": key,
+           "fingerprint": fingerprint, "pad": "x" * pad}
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+    os.utime(path, (now - age_s, now - age_s))
+    return path
+
+
+def test_gc_planning(stack):
+    cache = tmpdir(stack, "gc")
+    now = 1_700_000_000.0
+    old_a = "a" * 32
+    old_b = "b" * 32
+    young = "c" * 32
+    stale_fp = "d" * 32
+    write_entry(cache, old_a, "src-sha256:live", 7200, now)
+    write_entry(cache, old_b, "src-sha256:live", 3600, now, pad=4000)
+    write_entry(cache, young, "src-sha256:live", 10, now)
+    write_entry(cache, stale_fp, "src-sha256:dead", 7200, now)
+    orphan = os.path.join(cache, old_a + ".json.tmp.12345")
+    with open(orphan, "w", encoding="utf-8") as f:
+        f.write("torn")
+    os.utime(orphan, (now - 7200, now - 7200))
+    fresh_tmp = os.path.join(cache, old_b + ".json.tmp.777")
+    with open(fresh_tmp, "w", encoding="utf-8") as f:
+        f.write("in flight")
+    os.utime(fresh_tmp, (now - 1, now - 1))
+    # Files the GC must never see as candidates.
+    with open(os.path.join(cache, "gc_journal.jsonl"), "w",
+              encoding="utf-8") as f:
+        f.write("")
+    with open(os.path.join(cache, "README.txt"), "w",
+              encoding="utf-8") as f:
+        f.write("user file")
+
+    entries, orphans = cache_gc.scan(cache)
+    check(len(entries) == 4, "scan sees exactly the 32-hex entries")
+    check([n for n, _, _ in orphans] == [old_a + ".json.tmp.12345",
+                                         old_b + ".json.tmp.777"],
+          "scan sees exactly the atomic-writer temporaries")
+
+    # No caps: only the aged orphan goes; the in-flight tmp is
+    # protected by the min-age write guard.
+    plan = cache_gc.plan(cache, entries, orphans, now, gc_args())
+    check(plan == [(old_a + ".json.tmp.12345", 4, "orphan-tmp")],
+          "default plan removes only aged orphan temporaries")
+
+    # Fingerprint sweep evicts the dead-build entry only.
+    plan = cache_gc.plan(cache, entries, orphans, now,
+                         gc_args(fingerprint="src-sha256:live"))
+    reasons = {n: r for n, _, r in plan}
+    check(reasons.get(stale_fp + ".json") == "fingerprint-mismatch",
+          "fingerprint sweep evicts the stale-build entry")
+    check(old_a + ".json" not in reasons,
+          "fingerprint sweep keeps live-build entries")
+
+    # Age cap evicts old entries but never the just-written one.
+    plan = cache_gc.plan(cache, entries, orphans, now,
+                         gc_args(max_age_days=0.02))  # ~29 min
+    names = {n for n, _, r in plan if r == "age-cap"}
+    check(names == {old_a + ".json", old_b + ".json",
+                    stale_fp + ".json"},
+          "age cap evicts entries past the cutoff")
+    check(young + ".json" not in names,
+          "age cap spares the just-written entry")
+
+    # Size cap 0 wants everything gone, but the min-age guard stops
+    # the sweep at the first too-young entry.
+    plan = cache_gc.plan(cache, entries, orphans, now,
+                         gc_args(max_bytes=0))
+    sized = [n for n, _, r in plan if r == "size-cap"]
+    check(young + ".json" not in sized,
+          "size cap never evicts a just-written entry")
+    check(len(sized) == 3, "size cap evicts oldest-first until guard")
+
+
+def test_gc_end_to_end(stack):
+    cache = tmpdir(stack, "gc_e2e")
+    now = time.time()  # the real clock: cache_gc.py reads it too
+    kept = write_entry(cache, "1" * 32, "fp", 10, now)
+    gone = write_entry(cache, "2" * 32, "fp", 7200, now)
+    rc = subprocess.run(
+        [sys.executable, os.path.join(ROOT, "tools", "cache_gc.py"),
+         cache, "--max-age-days", "0.02"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    check(rc.returncode == 0, "cache_gc exits 0 on success")
+    check(os.path.exists(kept) and not os.path.exists(gone),
+          "cache_gc removes aged entries, keeps young ones")
+    journal = os.path.join(cache, "gc_journal.jsonl")
+    lines = [json.loads(line)
+             for line in open(journal, encoding="utf-8")]
+    check(len(lines) == 1 and lines[0]["file"] == "2" * 32 + ".json"
+          and lines[0]["reason"] == "age-cap",
+          "eviction journal records the removal")
+
+    # Dry run plans but removes nothing and writes no journal lines.
+    write_entry(cache, "3" * 32, "fp", 7200, now)
+    rc = subprocess.run(
+        [sys.executable, os.path.join(ROOT, "tools", "cache_gc.py"),
+         cache, "--max-age-days", "0.02", "--dry-run"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    check(rc.returncode == 0
+          and os.path.exists(os.path.join(cache, "3" * 32 + ".json"))
+          and len(open(journal, encoding="utf-8").readlines()) == 1,
+          "dry run removes nothing and keeps the journal untouched")
+
+    rc = subprocess.run(
+        [sys.executable, os.path.join(ROOT, "tools", "cache_gc.py"),
+         os.path.join(cache, "no_such_dir")],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    check(rc.returncode == 2, "missing cache dir exits 2")
+
+
+def main():
+    stack = []
+    try:
+        test_queue_lifecycle(stack)
+        test_queue_reclaim(stack)
+        test_queue_crash_in_claim_window(stack)
+        test_queue_retry_backoff(stack)
+        test_queue_malformed_ticket(stack)
+        test_backoff_schedule()
+        test_sweep_totals()
+        test_gc_planning(stack)
+        test_gc_end_to_end(stack)
+    finally:
+        for path in stack:
+            shutil.rmtree(path, ignore_errors=True)
+    if FAILURES:
+        print(f"[unit] {len(FAILURES)} failure(s)", file=sys.stderr)
+        return 1
+    print("[unit] all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

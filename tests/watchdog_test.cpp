@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Per-job wall-clock watchdog and retry-backoff tests. The watchdog
+ * must quarantine a runaway guarded job as kind:"timeout" while its
+ * siblings complete normally, at any thread count; retries must
+ * follow the deterministic backoff schedule; and the two meanings of
+ * an empty SweepFailure::artifactPath (artifacts disabled vs write
+ * failed) must be distinguishable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sys/cancel_token.hpp"
+#include "sys/sweep_runner.hpp"
+#include "sys/system.hpp"
+#include "workload/synthetic.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+/** Guarded job that spins until the watchdog cancels it, then
+ * surfaces the cancellation as a plain exception (the shape a
+ * library call interrupted mid-flight would produce). */
+int
+runawayJob()
+{
+    while (!hostCancelRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    throw std::runtime_error("interrupted by cancellation");
+}
+
+TEST(WatchdogTest, RunawayJobQuarantinedAsTimeoutSiblingsFinish)
+{
+    for (unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        std::vector<GuardedJob<int>> jobs;
+        jobs.push_back({"healthy-1", [] { return 41; }});
+        jobs.push_back({"runaway", [] { return runawayJob(); }});
+        jobs.push_back({"healthy-2", [] { return 43; }});
+
+        GuardOptions opts;
+        opts.artifactDir = "";
+        opts.retries = 0;
+        opts.timeoutMs = 50;
+        opts.backoffBaseMs = 0;
+        SweepOutcome<int> out =
+            SweepRunner(threads).runGuarded(jobs, opts);
+
+        EXPECT_TRUE(out.ok[0]);
+        EXPECT_TRUE(out.ok[2]);
+        EXPECT_EQ(out.results[0], 41);
+        EXPECT_EQ(out.results[2], 43);
+        ASSERT_EQ(out.quarantined.size(), 1u);
+        const SweepFailure &f = out.quarantined[0];
+        EXPECT_EQ(f.index, 1u);
+        EXPECT_EQ(f.name, "runaway");
+        // The job threw a generic exception, but the watchdog fired
+        // during the attempt: the quarantine is labeled with its
+        // real cause.
+        EXPECT_EQ(f.kind, "timeout");
+        EXPECT_EQ(f.attempts, 1u);
+        EXPECT_TRUE(f.artifactPath.empty());
+        EXPECT_FALSE(f.artifactWriteFailed); // artifacts disabled
+    }
+}
+
+TEST(WatchdogTest, ZeroTimeoutDisablesTheWatchdog)
+{
+    std::vector<GuardedJob<int>> jobs;
+    jobs.push_back({"quick", [] {
+                        // No watchdog -> no token installed.
+                        EXPECT_FALSE(hostCancelRequested());
+                        return 7;
+                    }});
+    GuardOptions opts;
+    opts.artifactDir = "";
+    opts.timeoutMs = 0;
+    SweepOutcome<int> out = SweepRunner(1).runGuarded(jobs, opts);
+    EXPECT_TRUE(out.allOk());
+    EXPECT_EQ(out.results[0], 7);
+}
+
+TEST(WatchdogTest, SimulationTimeoutQuarantinesViaRunSpecs)
+{
+    // A real simulation spec with a 1ms budget: the watchdog raises
+    // the token, System::run() winds down with hostCancelled, and
+    // runSimJob maps it to a kind:"timeout" SweepJobError.
+    WorkloadSpec wl = uniprocessorWorkload("gcc", 0.2);
+    auto prog = std::make_shared<Program>(makeSynthetic(wl.params));
+    std::vector<SimJobSpec> specs;
+    for (int i = 0; i < 2; ++i) {
+        SimJobSpec spec;
+        spec.workload = wl.name;
+        spec.config = i == 0 ? "baseline" : "victim";
+        spec.system = SystemConfig{};
+        spec.system.core = CoreConfig::baseline();
+        spec.system.audit = AuditLevel::Off;
+        spec.system.jobName = spec.config;
+        spec.program = prog;
+        specs.push_back(std::move(spec));
+    }
+
+    SpecSweepOptions opts;
+    opts.guarded = true;
+    opts.guard.artifactDir = "";
+    opts.guard.retries = 0;
+    opts.guard.backoffBaseMs = 0;
+    opts.guard.timeoutMs = 1;
+    SpecSweepOutcome out = SweepRunner(2).runSpecs(specs, opts);
+    ASSERT_EQ(out.quarantined.size(), 2u);
+    for (const SweepFailure &f : out.quarantined)
+        EXPECT_EQ(f.kind, "timeout") << f.name << ": " << f.error;
+
+    // With the watchdog off the same specs complete, proving the
+    // quarantine above was the budget, not the workload.
+    opts.guard.timeoutMs = 0;
+    SpecSweepOutcome ok = SweepRunner(2).runSpecs(specs, opts);
+    EXPECT_TRUE(ok.complete());
+    EXPECT_TRUE(ok.allOk());
+}
+
+TEST(WatchdogTest, RetriesExhaustWithRecordedAttempts)
+{
+    std::atomic<unsigned> calls{0};
+    std::vector<GuardedJob<int>> jobs;
+    jobs.push_back({"always-fails", [&calls]() -> int {
+                        ++calls;
+                        throw std::runtime_error("deterministic");
+                    }});
+    GuardOptions opts;
+    opts.artifactDir = "";
+    opts.retries = 2;
+    opts.timeoutMs = 0;
+    opts.backoffBaseMs = 1; // exercise the sleep path cheaply
+    SweepOutcome<int> out = SweepRunner(1).runGuarded(jobs, opts);
+    ASSERT_EQ(out.quarantined.size(), 1u);
+    EXPECT_EQ(out.quarantined[0].attempts, 3u);
+    EXPECT_EQ(calls.load(), 3u);
+    EXPECT_EQ(out.quarantined[0].kind, "exception");
+}
+
+TEST(WatchdogTest, ArtifactWriteFailureIsDistinguished)
+{
+    auto make_failing_jobs = [] {
+        std::vector<GuardedJob<int>> jobs;
+        jobs.push_back({"doomed", []() -> int {
+                            throw std::runtime_error("boom");
+                        }});
+        return jobs;
+    };
+    GuardOptions opts;
+    opts.retries = 0;
+    opts.timeoutMs = 0;
+    opts.backoffBaseMs = 0;
+
+    // artifactDir unset: no write attempted, not a write failure.
+    opts.artifactDir = "";
+    SweepOutcome<int> none =
+        SweepRunner(1).runGuarded(make_failing_jobs(), opts);
+    ASSERT_EQ(none.quarantined.size(), 1u);
+    EXPECT_TRUE(none.quarantined[0].artifactPath.empty());
+    EXPECT_FALSE(none.quarantined[0].artifactWriteFailed);
+
+    // Unwritable directory (a path under a file can never be
+    // created): the write was attempted and failed.
+    opts.artifactDir = "/proc/self/cmdline/subdir";
+    SweepOutcome<int> failed =
+        SweepRunner(1).runGuarded(make_failing_jobs(), opts);
+    ASSERT_EQ(failed.quarantined.size(), 1u);
+    EXPECT_TRUE(failed.quarantined[0].artifactPath.empty());
+    EXPECT_TRUE(failed.quarantined[0].artifactWriteFailed);
+
+    // A writable directory produces a real artifact path.
+    std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("vbr_watchdog_test_" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::remove_all(dir);
+    opts.artifactDir = dir;
+    SweepOutcome<int> ok =
+        SweepRunner(1).runGuarded(make_failing_jobs(), opts);
+    ASSERT_EQ(ok.quarantined.size(), 1u);
+    EXPECT_FALSE(ok.quarantined[0].artifactPath.empty());
+    EXPECT_FALSE(ok.quarantined[0].artifactWriteFailed);
+    EXPECT_TRUE(
+        std::filesystem::exists(ok.quarantined[0].artifactPath));
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace vbr

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Garbage collector for the content-addressed result cache.
+
+The cache (src/sys/result_cache.hpp, DESIGN.md SS13) is append-only
+from the simulator's side: every store adds one <key>.json entry and
+nothing ever removes them. This tool is the removal side, runnable
+standalone or from the sweep daemon between queue polls:
+
+  * size cap (--max-bytes): when the entry set exceeds the cap,
+    evict oldest-mtime-first until it fits;
+  * age cap (--max-age-days): evict entries older than the cap;
+  * fingerprint sweep (--fingerprint): evict entries stamped by a
+    different simulator build - they can never hit again under the
+    live build and only squat on the size cap;
+  * orphan cleanup: <name>.json.tmp.<pid> temporaries left by a
+    writer that died between fopen and rename are deleted.
+
+Safety rules, in order of precedence:
+
+  * Only files matching the entry pattern (32 lowercase hex chars +
+    ".json") or the atomic-writer temporary pattern are ever touched;
+    the journal, stray user files, and anything else are invisible.
+  * Nothing younger than --min-age-seconds (default 300) is removed,
+    entries and orphans alike. A just-stored entry or an in-flight
+    temporary is never yanked out from under a live sweep; eviction
+    correctness is only about reclaiming space, so erring old is
+    free (a re-simulation), while erring young races the writer.
+
+Every removal is appended to <cache>/gc_journal.jsonl as one JSON
+line {"action", "file", "reason", "bytes"} so an unexpected cold
+sweep can be audited after the fact. --dry-run prints the plan and
+writes nothing.
+
+Exit status: 0 on success (including nothing to do), 2 on a bad
+invocation, 1 when a removal failed.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+import time
+
+ENTRY_RE = re.compile(r"^[0-9a-f]{32}\.json$")
+ORPHAN_RE = re.compile(r"^.+\.json\.tmp\.\d+$")
+JOURNAL = "gc_journal.jsonl"
+
+
+def scan(cache_dir):
+    """Return (entries, orphans): lists of (name, bytes, mtime)."""
+    entries, orphans = [], []
+    for name in sorted(os.listdir(cache_dir)):
+        path = os.path.join(cache_dir, name)
+        if not os.path.isfile(path):
+            continue
+        try:
+            st = os.stat(path)
+        except OSError:
+            continue  # raced away by a concurrent GC
+        record = (name, st.st_size, st.st_mtime)
+        if ENTRY_RE.match(name):
+            entries.append(record)
+        elif ORPHAN_RE.match(name):
+            orphans.append(record)
+    return entries, orphans
+
+
+def entry_fingerprint(path):
+    """The entry's fingerprint field, or None when unreadable."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        value = doc.get("fingerprint")
+        return value if isinstance(value, str) else None
+    except (OSError, ValueError):
+        return None
+
+
+def plan(cache_dir, entries, orphans, now, args):
+    """Return [(name, bytes, reason)] removals, oldest first."""
+    removals = []
+    victims = set()
+    min_age = args.min_age_seconds
+
+    def old_enough(mtime):
+        return now - mtime >= min_age
+
+    for name, size, mtime in orphans:
+        if old_enough(mtime):
+            removals.append((name, size, "orphan-tmp"))
+
+    if args.fingerprint:
+        for name, size, mtime in entries:
+            if not old_enough(mtime):
+                continue
+            fp = entry_fingerprint(os.path.join(cache_dir, name))
+            if fp != args.fingerprint:
+                victims.add(name)
+                removals.append((name, size, "fingerprint-mismatch"))
+
+    if args.max_age_days is not None:
+        cutoff = now - args.max_age_days * 86400.0
+        for name, size, mtime in entries:
+            if name not in victims and mtime < cutoff \
+                    and old_enough(mtime):
+                victims.add(name)
+                removals.append((name, size, "age-cap"))
+
+    if args.max_bytes is not None:
+        live = [(mtime, name, size)
+                for name, size, mtime in entries if name not in victims]
+        total = sum(size for _, _, size in live)
+        for mtime, name, size in sorted(live):
+            if total <= args.max_bytes:
+                break
+            if not old_enough(mtime):
+                # Oldest-first order means everything after this is
+                # younger still: the cap stays exceeded until the
+                # entries age past the write-guard window.
+                break
+            victims.add(name)
+            removals.append((name, size, "size-cap"))
+            total -= size
+
+    return removals
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Evict result-cache entries by size/age/"
+                    "fingerprint and clean orphan temporaries.")
+    ap.add_argument("cache_dir", help="the VBR_CACHE_DIR to collect")
+    ap.add_argument("--max-bytes", type=int, default=None,
+                    help="size cap for the entry set (oldest evicted "
+                         "first)")
+    ap.add_argument("--max-age-days", type=float, default=None,
+                    help="evict entries older than this many days")
+    ap.add_argument("--fingerprint", default=None,
+                    help="evict entries whose fingerprint field "
+                         "differs from this value (pass the live "
+                         "build's fingerprint)")
+    ap.add_argument("--min-age-seconds", type=float, default=300.0,
+                    help="never remove anything younger than this "
+                         "(default: %(default)s; guards in-flight "
+                         "writes)")
+    ap.add_argument("--dry-run", action="store_true",
+                    help="print the eviction plan, remove nothing")
+    args = ap.parse_args()
+
+    if not os.path.isdir(args.cache_dir):
+        print(f"cache_gc: no such directory: {args.cache_dir}",
+              file=sys.stderr)
+        return 2
+    if args.max_bytes is not None and args.max_bytes < 0:
+        ap.error("--max-bytes must be >= 0")
+    if args.max_age_days is not None and args.max_age_days < 0:
+        ap.error("--max-age-days must be >= 0")
+
+    now = time.time()
+    entries, orphans = scan(args.cache_dir)
+    removals = plan(args.cache_dir, entries, orphans, now, args)
+
+    freed = sum(size for _, size, _ in removals)
+    if args.dry_run:
+        for name, size, reason in removals:
+            print(f"[cache-gc] would remove {name} "
+                  f"({size} bytes, {reason})")
+        print(f"[cache-gc] dry run: {len(removals)} removal(s), "
+              f"{freed} byte(s)")
+        return 0
+
+    failed = 0
+    journal_path = os.path.join(args.cache_dir, JOURNAL)
+    with open(journal_path, "a", encoding="utf-8") as journal:
+        for name, size, reason in removals:
+            try:
+                os.remove(os.path.join(args.cache_dir, name))
+            except FileNotFoundError:
+                continue  # concurrent GC got there first
+            except OSError as e:
+                print(f"[cache-gc] failed to remove {name}: {e}",
+                      file=sys.stderr)
+                failed += 1
+                continue
+            journal.write(json.dumps(
+                {"action": "evict", "file": name, "reason": reason,
+                 "bytes": size}) + "\n")
+
+    print(f"[cache-gc] {args.cache_dir}: scanned "
+          f"{len(entries)} entr(ies), removed {len(removals) - failed}"
+          f", freed ~{freed} byte(s)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,9 @@
 #        VBR_FAULTS (fault_detection has its own default plan),
 #        VBR_FAIL_DIR (failure artifacts; default: results-dir),
 #        VBR_CACHE_DIR (persistent result cache; default: off),
-#        VBR_SHARD (i/N job partition; default: unsharded).
+#        VBR_SHARD (i/N job partition; default: unsharded),
+#        VBR_JOB_TIMEOUT_MS (per-job wall-clock watchdog; default: off),
+#        VBR_RETRY_BACKOFF_MS (guarded-retry backoff base; default 250).
 #
 # When the sweep-service knobs are active, every harness prints a
 # "[sweep] <name>: jobs=... simulated=... cache_hits=..." line; the
@@ -88,9 +90,11 @@ if grep -q '^\[sweep\]' "$out"; then
               tot[kv[1]] += kv[2];
           } }
         END { printf "  total: jobs=%d simulated=%d cache_hits=%d " \
-                     "shard_skipped=%d quarantined=%d\n",
+                     "shard_skipped=%d quarantined=%d " \
+                     "store_failures=%d\n",
                      tot["jobs"], tot["simulated"], tot["cache_hits"],
-                     tot["shard_skipped"], tot["quarantined"]; }'
+                     tot["shard_skipped"], tot["quarantined"],
+                     tot["store_failures"]; }'
 fi
 
 echo "wrote $out and $(ls "$results_dir"/BENCH_*.json 2>/dev/null | wc -l) JSON reports"

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Batch front-end for the sweep service (DESIGN.md SS12).
+"""Batch and daemon front-end for the sweep service (DESIGN.md SS12-13).
 
-Runs the whole harness suite as a cache-backed batch:
+Batch mode (default) runs the whole harness suite as a cache-backed
+batch:
 
   1. Warm passes: N sharded tools/run_bench.sh invocations
      (VBR_SHARD=i/N) against one shared VBR_CACHE_DIR. Each shard
@@ -24,16 +25,236 @@ Runs the whole harness suite as a cache-backed batch:
 
 Exit status is nonzero if any harness still fails after the retry
 budget, if quarantine artifacts persist, or if the gate rejects.
+
+Daemon mode (--daemon) replaces step 1's in-process loop with the
+durable job-lease queue (src/sys/job_queue.hpp, DESIGN.md SS13): this
+script speaks the identical on-disk protocol - same schema tag, field
+names, and <id>@<owner>.json lease naming - so C++ and Python workers
+can drain one queue together. A daemon claims the lexically-smallest
+due pending ticket by atomic rename, heartbeats its lease while the
+job runs, and completes/retries it afterwards; tickets whose worker
+died (kill -9, OOM) are reclaimed by ANY worker once their lease
+expiry lapses, so no work is lost and reruns are byte-identical
+because sweep jobs are pure. --enqueue-suite seeds a queue with the
+warm-pass shard tickets; --drain makes the daemon exit when the
+queue empties instead of polling forever.
 """
 
 import argparse
 import glob
+import json
 import os
 import shutil
 import subprocess
 import sys
+import threading
+import time
 
 TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+# --- durable job-lease queue (protocol peer of src/sys/job_queue) ----
+
+QUEUE_SCHEMA = "vbr-queue/1"
+QUEUE_STATES = ("pending", "leases", "done", "failed")
+
+
+def now_ms():
+    """Epoch milliseconds; the explicit-clock seam for queue calls."""
+    return int(time.time() * 1000)
+
+
+def q_init(queue):
+    for state in QUEUE_STATES:
+        os.makedirs(os.path.join(queue, state), exist_ok=True)
+
+
+def q_path(queue, state, job_id):
+    return os.path.join(queue, state, job_id + ".json")
+
+
+def q_lease_path(queue, job_id, owner):
+    return os.path.join(queue, "leases", f"{job_id}@{owner}.json")
+
+
+def q_atomic_write(path, doc):
+    """tmp + rename, same pattern as src/common/atomic_file.cpp."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+    os.replace(tmp, path)
+
+
+def q_read(path):
+    """Parsed ticket document, or None when unreadable/malformed."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        return doc if isinstance(doc, dict) else None
+    except (OSError, ValueError):
+        return None
+
+
+def q_list(queue, state):
+    """Sorted ticket ids in a state (lease ids without the owner)."""
+    try:
+        names = os.listdir(os.path.join(queue, state))
+    except OSError:
+        return []
+    ids = [n[:-5].split("@", 1)[0] for n in names
+           if n.endswith(".json")]
+    return sorted(ids)
+
+
+def q_enqueue(queue, job_id, payload):
+    doc = {"schema": QUEUE_SCHEMA, "id": job_id, "attempts": 0,
+           "not_before_ms": 0}
+    for key, value in payload.items():
+        doc.setdefault(key, value)
+    q_atomic_write(q_path(queue, "pending", job_id), doc)
+
+
+def q_claim(queue, owner, t_ms, lease_ms):
+    """Claim the first due pending ticket; (id, doc) or (None, None).
+
+    The claim is one atomic rename of the pending file into this
+    owner's lease file: exactly one concurrent claimant can win it,
+    losers see ENOENT and try the next candidate.
+    """
+    pending_dir = os.path.join(queue, "pending")
+    try:
+        names = sorted(os.listdir(pending_dir))
+    except OSError:
+        return None, None
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        job_id = name[:-5]
+        pending = os.path.join(pending_dir, name)
+        doc = q_read(pending)
+        if doc is None:
+            # Parked, not deleted: a malformed ticket would spin
+            # every claimant forever if left in pending/.
+            try:
+                os.rename(pending, q_path(queue, "failed", job_id))
+            except OSError:
+                pass
+            continue
+        if doc.get("not_before_ms", 0) > t_ms:
+            continue  # backing off; not due yet
+        lease = q_lease_path(queue, job_id, owner)
+        try:
+            os.rename(pending, lease)
+        except OSError:
+            continue  # another worker won the rename
+        # A crash between the rename and this stamp leaves a lease
+        # without expiry_ms, which q_reclaim_expired treats as
+        # already expired - the ticket is never stranded.
+        doc["owner"] = owner
+        doc["expiry_ms"] = t_ms + lease_ms
+        q_atomic_write(lease, doc)
+        return job_id, doc
+    return None, None
+
+
+def q_heartbeat(queue, job_id, owner, doc, expiry_ms):
+    """Refresh the lease expiry; False when the lease was reclaimed
+    out from under the worker (who may finish its pure job safely but
+    must not resurrect the lease)."""
+    lease = q_lease_path(queue, job_id, owner)
+    if not os.path.exists(lease):
+        return False
+    doc = dict(doc)
+    doc["expiry_ms"] = expiry_ms
+    q_atomic_write(lease, doc)
+    return True
+
+
+def q_release(queue, job_id, owner):
+    try:
+        os.remove(q_lease_path(queue, job_id, owner))
+    except OSError:
+        pass
+
+
+def q_complete(queue, job_id, owner, doc):
+    q_atomic_write(q_path(queue, "done", job_id), doc)
+    q_release(queue, job_id, owner)
+
+
+def q_fail(queue, job_id, owner, doc, error):
+    doc = dict(doc)
+    doc["error"] = error
+    q_atomic_write(q_path(queue, "failed", job_id), doc)
+    q_release(queue, job_id, owner)
+
+
+def backoff_delay_ms(attempt, base_ms, cap_ms=8000):
+    """Deterministic schedule shared with retryBackoffDelayMs():
+    base * 2^(attempt-1), saturating at cap_ms."""
+    if base_ms <= 0 or attempt <= 0:
+        return 0
+    return min(base_ms * (2 ** (attempt - 1)), cap_ms)
+
+
+def q_retry(queue, job_id, owner, doc, t_ms, backoff_base_ms,
+            max_attempts, error):
+    """Requeue with backoff, or fail permanently once the attempt
+    budget is exhausted. True when the ticket was requeued."""
+    attempts = int(doc.get("attempts", 0)) + 1
+    if attempts >= max_attempts:
+        q_fail(queue, job_id, owner, doc, error)
+        return False
+    fresh = {k: v for k, v in doc.items()
+             if k not in ("owner", "expiry_ms")}
+    fresh["attempts"] = attempts
+    fresh["not_before_ms"] = t_ms + backoff_delay_ms(
+        attempts, backoff_base_ms)
+    fresh["last_error"] = error
+    q_atomic_write(q_path(queue, "pending", job_id), fresh)
+    q_release(queue, job_id, owner)
+    return True
+
+
+def q_reclaim_expired(queue, t_ms):
+    """Return lapsed leases to pending/ (any worker may call this).
+
+    A lease with a missing or unparsable expiry stamp reads as
+    already expired: re-running a pure job is safe, losing one is
+    not. Returns the number of tickets reclaimed.
+    """
+    leases_dir = os.path.join(queue, "leases")
+    reclaimed = 0
+    try:
+        names = sorted(os.listdir(leases_dir))
+    except OSError:
+        return 0
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        lease = os.path.join(leases_dir, name)
+        doc = q_read(lease)
+        # A lease whose expiry stamp is missing or malformed (the
+        # claimant died inside the claim-then-stamp window, or the
+        # file is torn) is reclaimed unconditionally.
+        expiry = doc.get("expiry_ms") if doc else None
+        stamped = isinstance(expiry, int) \
+            and not isinstance(expiry, bool)
+        if stamped and expiry >= t_ms:
+            continue
+        job_id = name[:-5].split("@", 1)[0]
+        fresh = {k: v for k, v in (doc or {}).items()
+                 if k not in ("owner", "expiry_ms")}
+        if not fresh:
+            fresh = {"schema": QUEUE_SCHEMA, "id": job_id,
+                     "attempts": 0, "not_before_ms": 0}
+        fresh["reclaims"] = int(fresh.get("reclaims", 0)) + 1
+        q_atomic_write(q_path(queue, "pending", job_id), fresh)
+        try:
+            os.remove(lease)
+        except OSError:
+            pass
+        reclaimed += 1
+    return reclaimed
 
 
 def run_bench(build_dir, results_dir, cache_dir, scale, shard=None):
@@ -54,16 +275,27 @@ def run_bench(build_dir, results_dir, cache_dir, scale, shard=None):
 
 
 def sweep_totals(output):
-    """Aggregate the [sweep] lines of a run_bench.sh transcript."""
+    """Aggregate the [sweep] lines of a run_bench.sh transcript.
+
+    Tolerant by design: a truncated transcript (worker killed
+    mid-line), a field without '=', or a non-numeric value must not
+    crash the service - unknown and malformed fields are skipped, so
+    the totals reflect exactly the well-formed counters present.
+    """
     totals = {"jobs": 0, "simulated": 0, "cache_hits": 0,
-              "shard_skipped": 0, "quarantined": 0}
+              "shard_skipped": 0, "quarantined": 0,
+              "store_failures": 0}
     for line in output.splitlines():
         if not line.startswith("[sweep] "):
             continue
         for field in line.split()[2:]:
-            key, _, value = field.partition("=")
-            if key in totals:
+            key, sep, value = field.partition("=")
+            if not sep or key not in totals:
+                continue
+            try:
                 totals[key] += int(value)
+            except ValueError:
+                continue
     return totals
 
 
@@ -74,6 +306,161 @@ def fail_artifacts(directory):
 def clear_fail_artifacts(directory):
     for path in fail_artifacts(directory):
         os.remove(path)
+
+
+# --- daemon mode -----------------------------------------------------
+
+def run_harness(build_dir, harness, results_dir, cache_dir, scale,
+                shard=None):
+    """One single-harness run (bench/<harness> directly, not the
+    whole run_bench.sh suite); returns (rc, output)."""
+    env = dict(os.environ)
+    env["VBR_BENCH_DIR"] = results_dir
+    env["VBR_FAIL_DIR"] = results_dir
+    env["VBR_CACHE_DIR"] = cache_dir
+    env["VBR_SCALE"] = str(scale)
+    if shard is None:
+        env.pop("VBR_SHARD", None)
+    else:
+        env["VBR_SHARD"] = shard
+    proc = subprocess.run(
+        [os.path.join(build_dir, "bench", harness)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    return proc.returncode, proc.stdout
+
+
+def execute_ticket(doc, args):
+    """Run one claimed ticket; returns (ok, error_string)."""
+    kind = doc.get("kind")
+    if kind == "bench-shard":
+        results_dir = doc.get("results_dir")
+        if not results_dir:
+            return False, "ticket missing results_dir"
+        os.makedirs(results_dir, exist_ok=True)
+        clear_fail_artifacts(results_dir)
+        if doc.get("harness"):
+            # Single-harness ticket: cheap enough for the chaos
+            # suite and fine-grained queue partitioning.
+            rc, out = run_harness(
+                doc.get("build_dir", args.build_dir),
+                doc["harness"], results_dir,
+                doc.get("cache_dir", args.cache_dir),
+                doc.get("scale", args.scale),
+                shard=doc.get("shard"))
+        else:
+            rc, out = run_bench(doc.get("build_dir", args.build_dir),
+                                results_dir,
+                                doc.get("cache_dir", args.cache_dir),
+                                doc.get("scale", args.scale),
+                                shard=doc.get("shard"))
+        totals = sweep_totals(out)
+        fails = fail_artifacts(results_dir)
+        print(f"[daemon] ticket {doc.get('id')}: rc={rc} "
+              f"simulated={totals['simulated']} "
+              f"cache_hits={totals['cache_hits']} "
+              f"quarantined={totals['quarantined']} "
+              f"store_failures={totals['store_failures']} "
+              f"artifacts={len(fails)}")
+        if rc != 0:
+            return False, f"run_bench rc={rc}"
+        if fails:
+            return False, f"{len(fails)} quarantine artifact(s)"
+        return True, ""
+    if kind == "cache-gc":
+        cmd = [sys.executable, os.path.join(TOOLS_DIR, "cache_gc.py"),
+               doc.get("cache_dir", args.cache_dir)]
+        for flag in ("max_bytes", "max_age_days", "fingerprint",
+                     "min_age_seconds"):
+            if doc.get(flag) is not None:
+                cmd += ["--" + flag.replace("_", "-"),
+                        str(doc[flag])]
+        proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, text=True)
+        sys.stdout.write(proc.stdout)
+        return proc.returncode == 0, f"cache_gc rc={proc.returncode}"
+    return False, f"unknown ticket kind {kind!r}"
+
+
+def heartbeat_loop(queue, job_id, owner, doc, lease_ms, stop):
+    """Refresh the lease at lease_ms/3 until stop is set. Losing the
+    lease (reclaimed after a stall) is logged but not fatal: the job
+    is pure, so finishing it is safe - it just may run twice."""
+    period = max(lease_ms / 3000.0, 0.05)
+    while not stop.wait(period):
+        if not q_heartbeat(queue, job_id, owner, doc,
+                           now_ms() + lease_ms):
+            print(f"[daemon] lease for {job_id} reclaimed while "
+                  "running; finishing anyway (job is pure)")
+            return
+
+
+def daemon(args):
+    """Watch the queue: claim, heartbeat, execute, complete/retry."""
+    q_init(args.queue)
+    owner = args.owner or f"{os.uname().nodename}-{os.getpid()}"
+    print(f"[daemon] {owner} watching {args.queue} "
+          f"(lease {args.lease_ms}ms, poll {args.poll_seconds}s)")
+    done = 0
+    while True:
+        t = now_ms()
+        reclaimed = q_reclaim_expired(args.queue, t)
+        if reclaimed:
+            print(f"[daemon] reclaimed {reclaimed} expired lease(s)")
+        job_id, doc = q_claim(args.queue, owner, t, args.lease_ms)
+        if job_id is None:
+            if args.drain and not q_list(args.queue, "pending") \
+                    and not q_list(args.queue, "leases"):
+                print(f"[daemon] queue drained after {done} "
+                      "ticket(s)")
+                return 0
+            time.sleep(args.poll_seconds)
+            continue
+        print(f"[daemon] claimed {job_id} "
+              f"(attempt {int(doc.get('attempts', 0)) + 1})")
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=heartbeat_loop,
+            args=(args.queue, job_id, owner, doc, args.lease_ms,
+                  stop),
+            daemon=True)
+        beat.start()
+        try:
+            ok, error = execute_ticket(doc, args)
+        except Exception as e:  # noqa: BLE001 - ticket must not kill daemon
+            ok, error = False, f"exception: {e}"
+        finally:
+            stop.set()
+            beat.join()
+        if ok:
+            q_complete(args.queue, job_id, owner, doc)
+            done += 1
+        else:
+            requeued = q_retry(args.queue, job_id, owner, doc,
+                               now_ms(), args.backoff_ms,
+                               args.max_attempts, error)
+            print(f"[daemon] {job_id} failed ({error}); "
+                  + ("requeued with backoff" if requeued
+                     else "attempts exhausted -> failed/"))
+
+
+def enqueue_suite(args):
+    """Seed the queue with one bench-shard ticket per warm shard."""
+    q_init(args.queue)
+    scratch = os.path.join(args.results_dir, "shards")
+    for i in range(args.shards):
+        job_id = f"bench-shard-{i:03d}-of-{args.shards:03d}"
+        q_enqueue(args.queue, job_id, {
+            "kind": "bench-shard",
+            "build_dir": args.build_dir,
+            "results_dir": os.path.join(scratch, f"shard_{i}"),
+            "cache_dir": args.cache_dir,
+            "scale": args.scale,
+            "shard": f"{i}/{args.shards}" if args.shards > 1
+                     else None,
+        })
+        print(f"[service] enqueued {job_id}")
+    return 0
 
 
 def main():
@@ -99,12 +486,64 @@ def main():
     ap.add_argument("--accept", action="store_true",
                     help="after a passing gate, promote the merged "
                          "reports into --baseline")
+    queue = ap.add_argument_group("queue / daemon mode")
+    queue.add_argument("--queue",
+                       help="durable job-lease queue directory "
+                            "(see src/sys/job_queue.hpp)")
+    queue.add_argument("--daemon", action="store_true",
+                       help="watch --queue and execute tickets "
+                            "instead of running the batch flow")
+    queue.add_argument("--drain", action="store_true",
+                       help="daemon exits once pending/ and leases/ "
+                            "are empty (CI and tests)")
+    queue.add_argument("--enqueue-suite", action="store_true",
+                       help="seed --queue with one bench-shard "
+                            "ticket per --shards partition, then "
+                            "exit")
+    queue.add_argument("--enqueue-json", metavar="JSON",
+                       help="enqueue one raw ticket (object with an "
+                            "'id' field), then exit")
+    queue.add_argument("--owner",
+                       help="worker identity for lease files "
+                            "(default: <host>-<pid>)")
+    queue.add_argument("--lease-ms", type=int, default=30000,
+                       help="lease duration; a dead worker's ticket "
+                            "is reclaimable this long after its last "
+                            "heartbeat (default: %(default)s)")
+    queue.add_argument("--poll-seconds", type=float, default=1.0,
+                       help="idle poll interval (default: "
+                            "%(default)s)")
+    queue.add_argument("--max-attempts", type=int, default=3,
+                       help="executions before a ticket fails "
+                            "permanently (default: %(default)s)")
+    queue.add_argument("--backoff-ms", type=int, default=250,
+                       help="requeue backoff base, doubling per "
+                            "attempt, capped at 8s (default: "
+                            "%(default)s)")
     args = ap.parse_args()
 
     if args.shards < 1:
         ap.error("--shards must be >= 1")
     if args.accept and not args.baseline:
         ap.error("--accept requires --baseline")
+    if args.daemon or args.enqueue_suite or args.enqueue_json:
+        if not args.queue:
+            ap.error("queue modes require --queue")
+        if args.enqueue_suite:
+            return enqueue_suite(args)
+        if args.enqueue_json:
+            try:
+                doc = json.loads(args.enqueue_json)
+            except ValueError as e:
+                ap.error(f"--enqueue-json: {e}")
+            if not isinstance(doc, dict) or not doc.get("id"):
+                ap.error("--enqueue-json needs an object with an "
+                         "'id' field")
+            q_init(args.queue)
+            q_enqueue(args.queue, str(doc["id"]), doc)
+            print(f"[service] enqueued {doc['id']}")
+            return 0
+        return daemon(args)
 
     os.makedirs(args.cache_dir, exist_ok=True)
     scratch = os.path.join(args.results_dir, "shards")
