@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Trace-driven replay tier harness: runs the fig5 grid (uni + MP
+ * suites x baseline + four replay configurations) through the full
+ * simulator with trace capture on, then replays every captured trace
+ * through the ordering-only tier, and gates — in process, fatally —
+ * that both tiers produce identical ordering verdicts: replay splits,
+ * squash totals, committed loads, consistency-checker outcome, and
+ * the final memory image digest.
+ *
+ * Besides the main BENCH_trace_replay.json (replay-tier rows +
+ * full_ms/replay_ms/replay_speedup metrics, all three masked), the
+ * harness writes the same ordering-verdict projection of both tiers
+ * to <bench_dir>/verdict_full/ and <bench_dir>/verdict_replay/ so CI
+ * can re-state the equivalence gate as a tools/compare_bench.py run.
+ *
+ * Both passes go through the sweep service, so trace-tier jobs are
+ * cached (keyed on the trace content digest), sharded, and counted in
+ * the [sweep] summary like any other job. A warm rerun simulates 0
+ * jobs in both passes and reuses the traces persisted under
+ * <bench_dir>/traces (or $VBR_TRACE_DIR when set).
+ */
+
+#include <chrono>
+#include <filesystem>
+
+#include "common/atomic_file.hpp"
+#include "harness.hpp"
+#include "trace/trace_format.hpp"
+
+using namespace vbr;
+using namespace vbr::bench;
+
+namespace
+{
+
+std::string
+benchDir()
+{
+    const char *d = std::getenv("VBR_BENCH_DIR");
+    return d != nullptr && *d != '\0' ? d : ".";
+}
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** The ordering-verdict projection both tiers must agree on. */
+struct Verdict
+{
+    std::string workload;
+    std::string config;
+    std::uint64_t committedLoads = 0;
+    std::uint64_t replaysUnresolved = 0;
+    std::uint64_t replaysConsistency = 0;
+    std::uint64_t replaysFiltered = 0;
+    std::uint64_t squashLqRaw = 0;
+    std::uint64_t squashLqRawUnnec = 0;
+    std::uint64_t squashLqSnoop = 0;
+    std::uint64_t squashLqSnoopUnnec = 0;
+    std::uint64_t squashReplay = 0;
+    std::uint64_t checkerConsistent = 0;
+    std::uint64_t checkerErrors = 0;
+    std::uint64_t memDigest = 0;
+
+    bool
+    operator==(const Verdict &o) const
+    {
+        return workload == o.workload && config == o.config &&
+               committedLoads == o.committedLoads &&
+               replaysUnresolved == o.replaysUnresolved &&
+               replaysConsistency == o.replaysConsistency &&
+               replaysFiltered == o.replaysFiltered &&
+               squashLqRaw == o.squashLqRaw &&
+               squashLqRawUnnec == o.squashLqRawUnnec &&
+               squashLqSnoop == o.squashLqSnoop &&
+               squashLqSnoopUnnec == o.squashLqSnoopUnnec &&
+               squashReplay == o.squashReplay &&
+               checkerConsistent == o.checkerConsistent &&
+               checkerErrors == o.checkerErrors &&
+               memDigest == o.memDigest;
+    }
+};
+
+Verdict
+verdictOf(const SimJobResult &r, std::uint64_t mem_digest)
+{
+    Verdict v;
+    v.workload = r.stats.workload;
+    v.config = r.stats.config;
+    v.committedLoads = r.stats.committedLoads;
+    v.replaysUnresolved = r.stats.replaysUnresolved;
+    v.replaysConsistency = r.stats.replaysConsistency;
+    v.replaysFiltered = r.stats.replaysFiltered;
+    v.squashLqRaw = r.stats.squashLqRaw;
+    v.squashLqRawUnnec = r.stats.squashLqRawUnnec;
+    v.squashLqSnoop = r.stats.squashLqSnoop;
+    v.squashLqSnoopUnnec = r.stats.squashLqSnoopUnnec;
+    v.squashReplay = r.stats.squashReplay;
+    v.checkerConsistent = extraStat(r, "checker:consistent");
+    v.checkerErrors = extraStat(r, "checker:errors");
+    v.memDigest = mem_digest;
+    return v;
+}
+
+JsonValue
+verdictRow(const Verdict &v)
+{
+    JsonValue o = JsonValue::object();
+    o.set("workload", v.workload);
+    o.set("config", v.config);
+    o.set("committed_loads", v.committedLoads);
+    o.set("replays_unresolved", v.replaysUnresolved);
+    o.set("replays_consistency", v.replaysConsistency);
+    o.set("replays_filtered", v.replaysFiltered);
+    o.set("squash_lq_raw", v.squashLqRaw);
+    o.set("squash_lq_raw_unnec", v.squashLqRawUnnec);
+    o.set("squash_lq_snoop", v.squashLqSnoop);
+    o.set("squash_lq_snoop_unnec", v.squashLqSnoopUnnec);
+    o.set("squash_replay", v.squashReplay);
+    o.set("checker_consistent", v.checkerConsistent);
+    o.set("checker_errors", v.checkerErrors);
+    char dg[24];
+    std::snprintf(dg, sizeof(dg), "%016llx",
+                  static_cast<unsigned long long>(v.memDigest));
+    o.set("mem_digest", dg);
+    return o;
+}
+
+void
+writeVerdictReport(const std::string &subdir,
+                   const std::vector<Verdict> &verdicts, double scale,
+                   unsigned mp_cores)
+{
+    BenchReport rep("trace_replay_verdict");
+    rep.meta("scale", scale).meta("mp_cores", mp_cores);
+    for (const Verdict &v : verdicts)
+        rep.addRow(verdictRow(v));
+    std::string dir = benchDir() + "/" + subdir;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::string path = dir + "/BENCH_trace_replay_verdict.json";
+    if (!atomicWriteFile(path, rep.render()))
+        fatal("cannot write " + path);
+    std::printf("wrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    double scale = envScale();
+    unsigned mp_cores = envMpCores();
+
+    const char *env_traces = std::getenv("VBR_TRACE_DIR");
+    std::string traces_dir = env_traces != nullptr && *env_traces != '\0'
+                                 ? env_traces
+                                 : benchDir() + "/traces";
+
+    std::printf("Trace-driven replay tier: full-sim capture vs "
+                "ordering-only replay\n");
+    std::printf("scale=%.2f, mp_cores=%u, traces=%s\n\n", scale,
+                mp_cores, traces_dir.c_str());
+
+    std::vector<MachineConfig> machines;
+    machines.push_back(baselineConfig());
+    for (const auto &cfg : replayConfigs())
+        machines.push_back(cfg);
+
+    // --- pass 1: full simulation with trace capture -------------------
+    JobList full_jobs;
+    for (const auto &wl : uniprocessorSuite(scale))
+        for (const auto &m : machines)
+            full_jobs.uni(wl, m);
+    for (const auto &wl : multiprocessorSuite(mp_cores, scale))
+        for (const auto &m : machines)
+            full_jobs.mp(wl, m);
+    for (std::size_t i = 0; i < full_jobs.size(); ++i) {
+        SimJobSpec &spec = full_jobs.spec(i);
+        spec.system.trackVersions = true;
+        spec.system.traceDir = traces_dir;
+        spec.attachScChecker = true;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    SweepResults full = full_jobs.run();
+    double full_ms = msSince(t0);
+    full.printSummary("trace_replay_full");
+
+    // --- ensure every trace exists (cache hits skip the simulation
+    // that would have captured it; regenerate those inline) ----------
+    std::vector<std::string> trace_paths(full_jobs.size());
+    std::vector<std::uint64_t> trace_digests(full_jobs.size(), 0);
+    std::size_t recaptured = 0;
+    for (std::size_t i = 0; i < full_jobs.size(); ++i) {
+        if (!full.has(i))
+            continue; // another shard's slot: no trace, no replay job
+        trace_paths[i] = traceFilePath(full_jobs.spec(i));
+        try {
+            trace_digests[i] = traceFileDigest(trace_paths[i]);
+        } catch (const TraceError &) {
+            runSimJob(full_jobs.spec(i), /*guarded=*/false);
+            trace_digests[i] = traceFileDigest(trace_paths[i]);
+            ++recaptured;
+        }
+    }
+    if (recaptured != 0)
+        std::printf("[trace-replay] recaptured %zu missing trace(s)\n",
+                    recaptured);
+
+    // --- pass 2: ordering-only replay of every captured trace ---------
+    JobList replay_jobs;
+    std::vector<std::size_t> replay_idx(full_jobs.size(), SIZE_MAX);
+    for (std::size_t i = 0; i < full_jobs.size(); ++i) {
+        if (!full.has(i))
+            continue;
+        SimJobSpec spec = full_jobs.spec(i);
+        spec.mode = SimJobMode::TraceReplay;
+        spec.tracePath = trace_paths[i];
+        spec.traceDigest = trace_digests[i];
+        spec.system.traceDir.clear();
+        spec.system.jobName += "-replay";
+        replay_idx[i] = replay_jobs.add(std::move(spec));
+    }
+
+    auto t1 = std::chrono::steady_clock::now();
+    SweepResults replay = replay_jobs.run();
+    double replay_ms = msSince(t1);
+    replay.printSummary("trace_replay");
+
+    // --- the equivalence gate ----------------------------------------
+    std::vector<Verdict> full_verdicts;
+    std::vector<Verdict> replay_verdicts;
+    std::size_t compared = 0;
+    for (std::size_t i = 0; i < full_jobs.size(); ++i) {
+        if (!full.has(i) || replay_idx[i] == SIZE_MAX ||
+            !replay.has(replay_idx[i]))
+            continue;
+        const SimJobResult &fr = full.job(i);
+        const SimJobResult &rr = replay.job(replay_idx[i]);
+        // The full tier's final-image digest is the one its capture
+        // recorded in the trailer; the replay tier recomputed its own
+        // from the write frames (and verified it internally).
+        std::string contents;
+        if (!readFileToString(trace_paths[i], contents))
+            fatal("trace vanished mid-harness: " + trace_paths[i]);
+        std::vector<std::uint8_t> bytes(contents.begin(),
+                                        contents.end());
+        TraceHeader th;
+        TraceTrailer tt;
+        readTraceSummary(bytes, th, tt);
+        Verdict fv = verdictOf(fr, tt.finalMemDigest);
+        Verdict rv =
+            verdictOf(rr, extraStat(rr, "trace:final_mem_digest"));
+        if (!(fv == rv))
+            fatal("trace-replay verdict divergence on " +
+                  fr.stats.workload + "/" + fr.stats.config +
+                  ": the ordering-only tier does not reproduce the "
+                  "full simulation");
+        if (fr.stats.instructions != rr.stats.instructions ||
+            fr.stats.cycles != rr.stats.cycles)
+            fatal("trace-replay instruction/cycle totals diverge on " +
+                  fr.stats.workload + "/" + fr.stats.config);
+        full_verdicts.push_back(std::move(fv));
+        replay_verdicts.push_back(std::move(rv));
+        ++compared;
+    }
+    std::printf("[trace-replay] verdicts identical across %zu jobs "
+                "(full %.0f ms, replay %.0f ms, speedup %.1fx)\n\n",
+                compared, full_ms, replay_ms,
+                replay_ms > 0.0 ? full_ms / replay_ms : 0.0);
+
+    // --- stdout table: per-config replay-tier totals ------------------
+    TextTable table;
+    table.header({"config", "committed_loads", "replays", "filtered",
+                  "squashes", "checker_errors"});
+    for (const auto &m : machines) {
+        std::uint64_t loads = 0, replays = 0, filtered = 0,
+                      squashes = 0, errors = 0;
+        for (const Verdict &v : replay_verdicts) {
+            if (v.config != m.name)
+                continue;
+            loads += v.committedLoads;
+            replays += v.replaysUnresolved + v.replaysConsistency;
+            filtered += v.replaysFiltered;
+            squashes += v.squashLqRaw + v.squashLqSnoop +
+                        v.squashReplay;
+            errors += v.checkerErrors;
+        }
+        table.row({m.name, std::to_string(loads),
+                   std::to_string(replays), std::to_string(filtered),
+                   std::to_string(squashes), std::to_string(errors)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // --- reports ------------------------------------------------------
+    writeVerdictReport("verdict_full", full_verdicts, scale, mp_cores);
+    writeVerdictReport("verdict_replay", replay_verdicts, scale,
+                       mp_cores);
+
+    BenchReport rep("trace_replay");
+    rep.meta("scale", scale).meta("mp_cores", mp_cores);
+    for (std::size_t i = 0; i < replay_jobs.size(); ++i)
+        if (replay.has(i))
+            rep.addRun(replay[i]);
+    rep.metric("jobs_compared", compared)
+        .metric("full_ms", full_ms)
+        .metric("replay_ms", replay_ms)
+        .metric("replay_speedup",
+                replay_ms > 0.0 ? full_ms / replay_ms : 0.0);
+    rep.write();
+    return 0;
+}

@@ -1,8 +1,8 @@
 #include "check/constraint_graph.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <sstream>
+#include <unordered_map>
 
 namespace vbr
 {
@@ -64,6 +64,30 @@ ScChecker::onMemCommit(const MemCommitEvent &event)
     ops_.push_back(op);
 }
 
+namespace
+{
+
+constexpr std::uint32_t kNone = UINT32_MAX;
+
+/** Version-sorted, deduplicated writer list for one 8-byte word.
+ * ver/idx are parallel arrays; where two ops claimed one version,
+ * only the earlier (the one the original attribution used) is kept. */
+struct WordWriters
+{
+    std::vector<std::uint32_t> ver;
+    std::vector<std::uint32_t> idx;
+
+    std::uint32_t find(std::uint32_t v) const
+    {
+        auto it = std::lower_bound(ver.begin(), ver.end(), v);
+        if (it == ver.end() || *it != v)
+            return kNone;
+        return idx[static_cast<std::size_t>(it - ver.begin())];
+    }
+};
+
+} // namespace
+
 CheckResult
 ScChecker::check() const
 {
@@ -83,30 +107,86 @@ ScChecker::check() const
     for (std::uint32_t i = 0; i < n; ++i)
         read_ver[i] = ops_[i].readVersion;
 
-    // Writers per word/version (fixed).
-    struct WordWriters
+    // Writers per word/version (fixed). Built once into sorted
+    // per-word arrays so the graph builds and the bump loop below
+    // never touch a hash table; op_word[i] resolves each op's word up
+    // front (kNone where the word was never written, mirroring a
+    // failed writers.find()).
+    std::unordered_map<Addr, std::uint32_t> word_slot;
+    std::vector<WordWriters> words;
+    std::vector<std::uint32_t> op_word(n, kNone);
     {
-        std::unordered_map<std::uint32_t, std::uint32_t> byVersion;
-    };
-    std::unordered_map<Addr, WordWriters> writers;
-    for (std::uint32_t i = 0; i < n; ++i) {
-        const Op &op = ops_[i];
-        if (!op.isWrite)
-            continue;
-        auto [it, inserted] =
-            writers[op.word].byVersion.emplace(op.writeVersion, i);
-        if (!inserted) {
-            std::ostringstream os;
-            os << "two writers produced version " << op.writeVersion
-               << " of word 0x" << std::hex << op.word;
-            result.errors.push_back(os.str());
+        struct PendingError
+        {
+            std::uint32_t op;
+            unsigned rank; // duplicate-version first, then RMW
+            std::string text;
+        };
+        std::vector<PendingError> errs;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const Op &op = ops_[i];
+            if (!op.isWrite)
+                continue;
+            auto [it, inserted] = word_slot.emplace(
+                op.word, static_cast<std::uint32_t>(words.size()));
+            if (inserted)
+                words.emplace_back();
+            WordWriters &w = words[it->second];
+            w.ver.push_back(op.writeVersion);
+            w.idx.push_back(i);
+            if (op.isRead && op.readVersion + 1 != op.writeVersion) {
+                std::ostringstream os;
+                os << "non-atomic RMW on word 0x" << std::hex
+                   << op.word << std::dec << ": read v"
+                   << op.readVersion << " wrote v" << op.writeVersion;
+                errs.push_back({i, 1, os.str()});
+            }
         }
-        if (op.isRead && op.readVersion + 1 != op.writeVersion) {
-            std::ostringstream os;
-            os << "non-atomic RMW on word 0x" << std::hex << op.word
-               << std::dec << ": read v" << op.readVersion
-               << " wrote v" << op.writeVersion;
-            result.errors.push_back(os.str());
+        // Commit frames drain in version order per word, so each list
+        // is normally already sorted; a stable sort keeps the earlier
+        // writer first where a buggy producer reused a version, and
+        // the later duplicates are dropped after being reported.
+        for (auto &w : words) {
+            std::vector<std::uint32_t> order(w.ver.size());
+            for (std::uint32_t k = 0;
+                 k < static_cast<std::uint32_t>(order.size()); ++k)
+                order[k] = k;
+            std::stable_sort(order.begin(), order.end(),
+                             [&](std::uint32_t a, std::uint32_t b) {
+                                 return w.ver[a] < w.ver[b];
+                             });
+            std::vector<std::uint32_t> ver, idx;
+            ver.reserve(order.size());
+            idx.reserve(order.size());
+            for (std::uint32_t k : order) {
+                if (!ver.empty() && ver.back() == w.ver[k]) {
+                    std::ostringstream os;
+                    os << "two writers produced version " << w.ver[k]
+                       << " of word 0x" << std::hex
+                       << ops_[w.idx[k]].word;
+                    errs.push_back({w.idx[k], 0, os.str()});
+                    continue;
+                }
+                ver.push_back(w.ver[k]);
+                idx.push_back(w.idx[k]);
+            }
+            w.ver = std::move(ver);
+            w.idx = std::move(idx);
+        }
+        // Emit errors in the order the old single-pass build found
+        // them: ascending op index, duplicate-version before RMW.
+        std::stable_sort(errs.begin(), errs.end(),
+                         [](const PendingError &a,
+                            const PendingError &b) {
+                             return a.op != b.op ? a.op < b.op
+                                                 : a.rank < b.rank;
+                         });
+        for (auto &e : errs)
+            result.errors.push_back(std::move(e.text));
+        for (std::uint32_t i = 0; i < n; ++i) {
+            auto it = word_slot.find(ops_[i].word);
+            if (it != word_slot.end())
+                op_word[i] = it->second;
         }
     }
 
@@ -120,129 +200,176 @@ ScChecker::check() const
         return ((w.writeValue >> shift) & mask) == r.readValue;
     };
 
-    std::vector<std::vector<std::uint32_t>> adj;
-    std::vector<std::uint32_t> indeg;
-    std::size_t edges = 0;
-
-    auto build = [&]() {
-        adj.assign(n, {});
-        indeg.assign(n, 0);
-        edges = 0;
-        auto add_edge = [&](std::uint32_t from, std::uint32_t to) {
-            if (from == to)
-                return;
-            adj[from].push_back(to);
-            ++indeg[to];
-            ++edges;
-        };
-        if (model_ == ConsistencyModel::SequentialConsistency) {
-            for (const auto &seq : perCore_) {
-                for (std::size_t i = 1; i < seq.size(); ++i)
-                    add_edge(seq[i - 1], seq[i]);
-            }
-        } else if (model_ == ConsistencyModel::TotalStoreOrder) {
-            // Program order minus store->load. Encoded transitively:
-            // a read is ordered after the previous READ (R->R) and
-            // the previous same-word or barrier op; a write is
-            // ordered after the previous op of ANY kind (R->W, W->W).
-            for (const auto &seq : perCore_) {
-                std::uint32_t last_read = UINT32_MAX;
-                std::uint32_t last_any = UINT32_MAX;
-                std::unordered_map<Addr, std::uint32_t> last_same_word;
-                for (std::uint32_t idx : seq) {
-                    const Op &op = ops_[idx];
-                    bool barrier =
-                        op.isFence || (op.isRead && op.isWrite);
-                    bool plain_read = op.isRead && !op.isWrite;
-                    if (plain_read) {
-                        if (last_read != UINT32_MAX)
-                            add_edge(last_read, idx);
-                        auto it = last_same_word.find(op.word);
-                        if (it != last_same_word.end())
-                            add_edge(it->second, idx);
-                    } else {
-                        // Writes, fences, RMWs order after everything.
-                        if (last_any != UINT32_MAX)
-                            add_edge(last_any, idx);
-                        if (last_read != UINT32_MAX)
-                            add_edge(last_read, idx);
-                    }
-                    if (plain_read || barrier)
-                        last_read = idx;
-                    if (!plain_read || barrier)
-                        last_any = idx;
-                    if (!op.isFence)
-                        last_same_word[op.word] = idx;
+    // The graph splits into a fixed part — program order (per model)
+    // plus WAW version chains — and a dynamic part: each read's RAW
+    // in-edge and WAR out-edge, which move when its attribution
+    // slides. Only the slid read's two edges are recomputed per bump,
+    // and the CSR rebuild below is pure array traversal.
+    std::vector<std::uint32_t> fixed_from, fixed_to;
+    fixed_from.reserve(n);
+    fixed_to.reserve(n);
+    auto add_fixed = [&](std::uint32_t from, std::uint32_t to) {
+        if (from == to)
+            return;
+        fixed_from.push_back(from);
+        fixed_to.push_back(to);
+    };
+    if (model_ == ConsistencyModel::SequentialConsistency) {
+        for (const auto &seq : perCore_) {
+            for (std::size_t i = 1; i < seq.size(); ++i)
+                add_fixed(seq[i - 1], seq[i]);
+        }
+    } else if (model_ == ConsistencyModel::TotalStoreOrder) {
+        // Program order minus store->load. Encoded transitively:
+        // a read is ordered after the previous READ (R->R) and
+        // the previous same-word or barrier op; a write is
+        // ordered after the previous op of ANY kind (R->W, W->W).
+        for (const auto &seq : perCore_) {
+            std::uint32_t last_read = kNone;
+            std::uint32_t last_any = kNone;
+            std::unordered_map<Addr, std::uint32_t> last_same_word;
+            for (std::uint32_t idx : seq) {
+                const Op &op = ops_[idx];
+                bool barrier = op.isFence || (op.isRead && op.isWrite);
+                bool plain_read = op.isRead && !op.isWrite;
+                if (plain_read) {
+                    if (last_read != kNone)
+                        add_fixed(last_read, idx);
+                    auto it = last_same_word.find(op.word);
+                    if (it != last_same_word.end())
+                        add_fixed(it->second, idx);
+                } else {
+                    // Writes, fences, RMWs order after everything.
+                    if (last_any != kNone)
+                        add_fixed(last_any, idx);
+                    if (last_read != kNone)
+                        add_fixed(last_read, idx);
                 }
+                if (plain_read || barrier)
+                    last_read = idx;
+                if (!plain_read || barrier)
+                    last_any = idx;
+                if (!op.isFence)
+                    last_same_word[op.word] = idx;
             }
-        } else {
-            // Weak ordering: within a thread, order only (a) accesses
-            // to the same word (coherence / paper Figure 1c), (b)
-            // operations across a fence or atomic RMW, in both
-            // directions.
-            for (const auto &seq : perCore_) {
-                std::unordered_map<Addr, std::uint32_t> last_same_word;
-                std::uint32_t last_barrier = UINT32_MAX;
-                std::vector<std::uint32_t> since_barrier;
-                for (std::uint32_t idx : seq) {
-                    const Op &op = ops_[idx];
-                    bool barrier =
-                        op.isFence || (op.isRead && op.isWrite);
-                    if (!op.isFence) {
-                        auto it = last_same_word.find(op.word);
-                        if (it != last_same_word.end())
-                            add_edge(it->second, idx);
-                        last_same_word[op.word] = idx;
-                    }
-                    if (last_barrier != UINT32_MAX)
-                        add_edge(last_barrier, idx);
-                    if (barrier) {
-                        for (std::uint32_t prev : since_barrier)
-                            add_edge(prev, idx);
-                        since_barrier.clear();
-                        last_barrier = idx;
-                    } else {
-                        since_barrier.push_back(idx);
-                    }
+        }
+    } else {
+        // Weak ordering: within a thread, order only (a) accesses
+        // to the same word (coherence / paper Figure 1c), (b)
+        // operations across a fence or atomic RMW, in both
+        // directions.
+        for (const auto &seq : perCore_) {
+            std::unordered_map<Addr, std::uint32_t> last_same_word;
+            std::uint32_t last_barrier = kNone;
+            std::vector<std::uint32_t> since_barrier;
+            for (std::uint32_t idx : seq) {
+                const Op &op = ops_[idx];
+                bool barrier = op.isFence || (op.isRead && op.isWrite);
+                if (!op.isFence) {
+                    auto it = last_same_word.find(op.word);
+                    if (it != last_same_word.end())
+                        add_fixed(it->second, idx);
+                    last_same_word[op.word] = idx;
+                }
+                if (last_barrier != kNone)
+                    add_fixed(last_barrier, idx);
+                if (barrier) {
+                    for (std::uint32_t prev : since_barrier)
+                        add_fixed(prev, idx);
+                    since_barrier.clear();
+                    last_barrier = idx;
+                } else {
+                    since_barrier.push_back(idx);
                 }
             }
         }
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const Op &op = ops_[i];
+        if (!op.isWrite || op_word[i] == kNone)
+            continue;
+        // WAW: previous version writer precedes this one.
+        std::uint32_t prev =
+            words[op_word[i]].find(op.writeVersion - 1);
+        if (prev != kNone)
+            add_fixed(prev, i);
+    }
+
+    // Dynamic edges, refreshed per read when its attribution moves.
+    std::vector<std::uint32_t> raw_src(n, kNone), war_dst(n, kNone);
+    auto refresh_read_edges = [&](std::uint32_t i) {
+        const Op &op = ops_[i];
+        raw_src[i] = kNone;
+        war_dst[i] = kNone;
+        if (!op.isRead || op_word[i] == kNone)
+            return;
+        const WordWriters &w = words[op_word[i]];
+        std::uint32_t v = read_ver[i];
+        std::uint32_t src = w.find(v);
+        if (src != kNone && src != i)
+            raw_src[i] = src; // RAW
+        std::uint32_t next = w.find(v + 1);
+        if (next != kNone && next != i)
+            war_dst[i] = next; // WAR
+    };
+    for (std::uint32_t i = 0; i < n; ++i)
+        refresh_read_edges(i);
+
+    // CSR adjacency over fixed + dynamic edges, rebuilt per round by
+    // two counting passes (no per-node vectors, no hashing).
+    std::vector<std::uint32_t> head, adj, indeg, cursor;
+    std::size_t edges = 0;
+    auto build = [&]() {
+        indeg.assign(n, 0);
+        head.assign(n + 1, 0);
+        edges = fixed_from.size();
+        for (std::size_t e = 0; e < fixed_from.size(); ++e) {
+            ++head[fixed_from[e]];
+            ++indeg[fixed_to[e]];
+        }
         for (std::uint32_t i = 0; i < n; ++i) {
-            const Op &op = ops_[i];
-            auto wit = writers.find(op.word);
-            if (op.isWrite && wit != writers.end()) {
-                // WAW: previous version writer precedes this one.
-                auto prev =
-                    wit->second.byVersion.find(op.writeVersion - 1);
-                if (prev != wit->second.byVersion.end())
-                    add_edge(prev->second, i);
+            if (raw_src[i] != kNone) {
+                ++head[raw_src[i]];
+                ++indeg[i];
+                ++edges;
             }
-            if (op.isRead && wit != writers.end()) {
-                std::uint32_t v = read_ver[i];
-                auto w = wit->second.byVersion.find(v);
-                if (w != wit->second.byVersion.end())
-                    add_edge(w->second, i); // RAW
-                auto next = wit->second.byVersion.find(v + 1);
-                if (next != wit->second.byVersion.end())
-                    add_edge(i, next->second); // WAR
+            if (war_dst[i] != kNone) {
+                ++head[i];
+                ++indeg[war_dst[i]];
+                ++edges;
             }
+        }
+        std::uint32_t sum = 0;
+        for (std::uint32_t i = 0; i <= n; ++i) {
+            std::uint32_t c = head[i];
+            head[i] = sum;
+            sum += c;
+        }
+        adj.resize(edges);
+        cursor.assign(head.begin(), head.end() - 1);
+        for (std::size_t e = 0; e < fixed_from.size(); ++e)
+            adj[cursor[fixed_from[e]]++] = fixed_to[e];
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (raw_src[i] != kNone)
+                adj[cursor[raw_src[i]]++] = i;
+            if (war_dst[i] != kNone)
+                adj[cursor[i]++] = war_dst[i];
         }
     };
 
     auto kahn = [&](std::vector<std::uint32_t> &residual_indeg) {
         residual_indeg = indeg;
-        std::deque<std::uint32_t> q;
+        std::vector<std::uint32_t> q;
+        q.reserve(n);
         for (std::uint32_t i = 0; i < n; ++i)
             if (residual_indeg[i] == 0)
                 q.push_back(i);
         std::size_t drained = 0;
-        while (!q.empty()) {
-            std::uint32_t i = q.front();
-            q.pop_front();
-            ++drained;
-            for (std::uint32_t to : adj[i])
-                if (--residual_indeg[to] == 0)
-                    q.push_back(to);
+        while (drained < q.size()) {
+            std::uint32_t i = q[drained++];
+            for (std::uint32_t e = head[i]; e < head[i + 1]; ++e)
+                if (--residual_indeg[adj[e]] == 0)
+                    q.push_back(adj[e]);
         }
         return drained;
     };
@@ -268,22 +395,17 @@ ScChecker::check() const
             const Op &op = ops_[i];
             if (!op.isRead || op.isWrite)
                 continue;
-            auto wit = writers.find(op.word);
-            if (wit == writers.end())
+            if (op_word[i] == kNone)
                 continue;
-            std::uint32_t max_ver = 0;
-            // vbr-analyze: det-unordered-iter(order-insensitive max reduction; no output depends on visit order)
-            for (const auto &[v, w] : wit->second.byVersion) {
-                (void)w;
-                max_ver = std::max(max_ver, v);
-            }
-            for (std::uint32_t v = read_ver[i] + 1; v <= max_ver;
-                 ++v) {
-                auto w = wit->second.byVersion.find(v);
-                if (w == wit->second.byVersion.end())
-                    continue;
-                if (writer_bytes_match(ops_[w->second], op)) {
-                    read_ver[i] = v;
+            const WordWriters &w = words[op_word[i]];
+            auto it = std::upper_bound(w.ver.begin(), w.ver.end(),
+                                       read_ver[i]);
+            for (; it != w.ver.end(); ++it) {
+                std::size_t k =
+                    static_cast<std::size_t>(it - w.ver.begin());
+                if (writer_bytes_match(ops_[w.idx[k]], op)) {
+                    read_ver[i] = *it;
+                    refresh_read_edges(i);
                     ++bumps;
                     bumped = true;
                     break;
@@ -303,23 +425,16 @@ ScChecker::check() const
         std::uint32_t v = read_ver[i];
         if (v == 0)
             continue; // initial contents unknown to the checker
-        // NB: only touch byVersion behind a found wit — naming the
-        // end iterator's byVersion map is UB. The short-circuit below
-        // guarantees w is never examined when the word has no writers.
-        auto wit = writers.find(op.word);
-        using VerIt = decltype(wit->second.byVersion.cbegin());
-        VerIt w{};
-        if (wit != writers.end())
-            w = wit->second.byVersion.find(v);
-        if (wit == writers.end() ||
-            w == wit->second.byVersion.end()) {
+        std::uint32_t w =
+            op_word[i] == kNone ? kNone : words[op_word[i]].find(v);
+        if (w == kNone) {
             std::ostringstream os;
             os << "read of version " << v << " of word 0x" << std::hex
                << op.word << " has no recorded writer";
             result.errors.push_back(os.str());
             continue;
         }
-        const Op &writer = ops_[w->second];
+        const Op &writer = ops_[w];
         if (rangeContains(writer.addr, writer.size, op.addr, op.size) &&
             !writer_bytes_match(writer, op)) {
             std::ostringstream os;

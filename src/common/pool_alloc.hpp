@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Freelist pool allocator for per-instruction hot containers
+ * (incomplete-mem-op sets, replay-queue maps). Node-based containers
+ * allocate and free one fixed-size node per element on the hottest
+ * simulator paths (issue, writeback, retire); the general-purpose
+ * heap pays locking and size-class lookup for every one. PoolArena
+ * intercepts those nodes into size-keyed freelists backed by chunked
+ * block allocations, so steady-state insert/erase is a pointer pop
+ * and push with no heap traffic.
+ *
+ * Determinism: the arena hands back most-recently-freed nodes in LIFO
+ * order, purely core-local, so allocation addresses never influence
+ * simulated behavior (no iteration order in this codebase depends on
+ * node addresses; keyed containers order by key).
+ */
+
+#ifndef VBR_COMMON_POOL_ALLOC_HPP
+#define VBR_COMMON_POOL_ALLOC_HPP
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace vbr
+{
+
+/** A type-erased bump+freelist arena. One arena serves every node
+ * size its containers throw at it (a container family uses only one
+ * or two distinct sizes, so the size table stays a short linear
+ * scan). Freed nodes are recycled per size class; backing chunks are
+ * released only on arena destruction, which is fine for per-core
+ * containers whose peak population is bounded by window size. */
+class PoolArena
+{
+  public:
+    PoolArena() = default;
+    PoolArena(const PoolArena &) = delete;
+    PoolArena &operator=(const PoolArena &) = delete;
+
+    ~PoolArena()
+    {
+        for (auto &chunk : chunks_)
+            ::operator delete(chunk.base, chunk.align);
+    }
+
+    void *
+    allocate(std::size_t bytes, std::size_t align)
+    {
+        SizeClass &sc = classFor(bytes, align);
+        if (sc.freeList != nullptr) {
+            void *node = sc.freeList;
+            sc.freeList = *static_cast<void **>(node);
+            return node;
+        }
+        if (sc.bumpRemaining == 0)
+            refill(sc);
+        --sc.bumpRemaining;
+        void *node = sc.bumpNext;
+        sc.bumpNext = static_cast<char *>(sc.bumpNext) + sc.stride;
+        return node;
+    }
+
+    void
+    deallocate(void *node, std::size_t bytes, std::size_t align)
+    {
+        SizeClass &sc = classFor(bytes, align);
+        *static_cast<void **>(node) = sc.freeList;
+        sc.freeList = node;
+    }
+
+  private:
+    struct SizeClass
+    {
+        std::size_t stride = 0;
+        std::align_val_t align{alignof(std::max_align_t)};
+        void *freeList = nullptr;
+        void *bumpNext = nullptr;
+        std::size_t bumpRemaining = 0;
+        std::size_t nextChunkNodes = 64; ///< doubles per refill
+    };
+
+    struct Chunk
+    {
+        void *base = nullptr;
+        std::align_val_t align{alignof(std::max_align_t)};
+        std::size_t size = 0;
+    };
+
+    SizeClass &
+    classFor(std::size_t bytes, std::size_t align)
+    {
+        // A freed node stores the next-pointer in its own bytes.
+        if (bytes < sizeof(void *))
+            bytes = sizeof(void *);
+        if (align < alignof(void *))
+            align = alignof(void *);
+        std::size_t stride = (bytes + align - 1) / align * align;
+        for (auto &sc : classes_)
+            if (sc.stride == stride &&
+                sc.align == std::align_val_t{align})
+                return sc;
+        classes_.push_back(SizeClass{});
+        SizeClass &sc = classes_.back();
+        sc.stride = stride;
+        sc.align = std::align_val_t{align};
+        return sc;
+    }
+
+    void
+    refill(SizeClass &sc)
+    {
+        std::size_t nodes = sc.nextChunkNodes;
+        sc.nextChunkNodes *= 2;
+        void *base = ::operator new(nodes * sc.stride, sc.align);
+        chunks_.push_back(Chunk{base, sc.align, nodes * sc.stride});
+        sc.bumpNext = base;
+        sc.bumpRemaining = nodes;
+    }
+
+    std::vector<SizeClass> classes_;
+    std::vector<Chunk> chunks_;
+};
+
+/** Standard-conforming allocator over a shared PoolArena. The arena
+ * must outlive every container using it. Single-element requests (the
+ * only kind node-based containers make) go through the pool; bulk
+ * requests fall back to the global heap. */
+template <typename T> class PoolAllocator
+{
+  public:
+    using value_type = T;
+    using propagate_on_container_move_assignment = std::true_type;
+    using propagate_on_container_swap = std::true_type;
+
+    explicit PoolAllocator(PoolArena &arena) noexcept : arena_(&arena)
+    {
+    }
+
+    template <typename U>
+    PoolAllocator(const PoolAllocator<U> &other) noexcept
+        : arena_(other.arena_)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        if (n == 1)
+            return static_cast<T *>(
+                arena_->allocate(sizeof(T), alignof(T)));
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t{alignof(T)}));
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+        if (n == 1) {
+            arena_->deallocate(p, sizeof(T), alignof(T));
+            return;
+        }
+        ::operator delete(p, std::align_val_t{alignof(T)});
+    }
+
+    template <typename U>
+    bool
+    operator==(const PoolAllocator<U> &other) const noexcept
+    {
+        return arena_ == other.arena_;
+    }
+
+    template <typename U>
+    bool
+    operator!=(const PoolAllocator<U> &other) const noexcept
+    {
+        return arena_ != other.arena_;
+    }
+
+  private:
+    template <typename U> friend class PoolAllocator;
+    PoolArena *arena_;
+};
+
+} // namespace vbr
+
+#endif // VBR_COMMON_POOL_ALLOC_HPP

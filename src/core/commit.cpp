@@ -15,6 +15,49 @@
 namespace vbr
 {
 
+namespace
+{
+
+/** Pack a retiring load's ordering facts for trace capture. The bits
+ * are exactly what the replay tier needs to re-run classifyReplay()
+ * offline: the issue-time ReplayLoadInfo, the recent-event arming
+ * observed at the (last) classification, and the verdict itself. */
+std::uint16_t
+loadOrderFlags(const DynInst &head)
+{
+    using namespace order_flags;
+    std::uint16_t f = 0;
+    if (head.replayIssued)
+        f |= kReplayIssued;
+    if (head.replayDecided && !head.willReplay)
+        f |= kReplayFiltered;
+    if (head.replayReason == ReplayReason::UnresolvedStore)
+        f |= kReasonUnresolved;
+    else if (head.replayReason == ReplayReason::Consistency)
+        f |= kReasonConsistency;
+    if (head.rule3Suppressed)
+        f |= kRule3Suppressed;
+    if (head.valuePredicted)
+        f |= kValuePredicted;
+    if (head.forwarded)
+        f |= kForwarded;
+    if (head.replayInfo.bypassedUnresolvedStore)
+        f |= kBypassedUnresolvedStore;
+    if (head.replayInfo.issuedOutOfOrder)
+        f |= kIssuedOutOfOrder;
+    if (head.replayInfo.issuedOutOfOrderSched)
+        f |= kIssuedOutOfOrderSched;
+    if (head.replayInfo.issuedBeforeOlderLoad)
+        f |= kIssuedBeforeOlderLoad;
+    if (head.missArmedAtClassify)
+        f |= kMissArmed;
+    if (head.snoopArmedAtClassify)
+        f |= kSnoopArmed;
+    return f;
+}
+
+} // namespace
+
 bool
 OooCore::tryExecuteSwapAtHead(DynInst &head, Cycle now)
 {
@@ -99,6 +142,18 @@ OooCore::retireHead(Cycle now)
         sq_.popFront();
         faults_->onWildStore(coreId());
         ++(*sc_committed_stores_);
+        if (orderingSink_) {
+            // No commit frame is emitted for a wild op, yet it bumps
+            // the committed counter — the trace records it as an
+            // ordering event so replay reproduces the totals.
+            OrderingEvent oe;
+            oe.kind = OrderingEventKind::WildStore;
+            oe.core = coreId();
+            oe.seq = head.seq;
+            oe.pc = head.pc;
+            oe.cycle = now;
+            orderingSink_->onOrderingEvent(oe);
+        }
     } else if (head.isStoreOp) {
         if (!commitPortAvailable())
             return false;
@@ -137,7 +192,7 @@ OooCore::retireHead(Cycle now)
         while (drainedVersions_.size() > max_hist)
             drainedVersions_.pop_front();
 
-        if (observer_ || auditor_) {
+        if (wantCommitEvents()) {
             MemCommitEvent ev;
             ev.core = coreId();
             ev.seq = head.seq;
@@ -165,6 +220,15 @@ OooCore::retireHead(Cycle now)
         faults_->onWildLoad(coreId());
         faults_->onLoadRetired(coreId(), head.seq);
         ++(*sc_committed_loads_);
+        if (orderingSink_) {
+            OrderingEvent oe;
+            oe.kind = OrderingEventKind::WildLoad;
+            oe.core = coreId();
+            oe.seq = head.seq;
+            oe.pc = head.pc;
+            oe.cycle = now;
+            orderingSink_->onOrderingEvent(oe);
+        }
     } else if (head.isLoadOp) {
         VBR_ASSERT(head.addrValid,
                    "load with invalid address reached commit");
@@ -185,7 +249,7 @@ OooCore::retireHead(Cycle now)
                 }
             }
         }
-        if (observer_ || auditor_) {
+        if (wantCommitEvents()) {
             MemCommitEvent ev;
             ev.core = coreId();
             ev.seq = head.seq;
@@ -197,6 +261,7 @@ OooCore::retireHead(Cycle now)
             ev.readVersion = rv;
             ev.performCycle = head.sampleCycle;
             ev.commitCycle = now;
+            ev.orderFlags = loadOrderFlags(head);
             emitCommit(ev);
         }
         if (AuditEventSink *a = auditSink())
@@ -215,7 +280,7 @@ OooCore::retireHead(Cycle now)
         ++(*sc_committed_loads_);
     }
 
-    if (head.isSwapOp && (observer_ || auditor_)) {
+    if (head.isSwapOp && wantCommitEvents()) {
         MemCommitEvent ev;
         ev.core = coreId();
         ev.seq = head.seq;
@@ -233,7 +298,7 @@ OooCore::retireHead(Cycle now)
         emitCommit(ev);
     }
 
-    if (head.isMembarOp && (observer_ || auditor_)) {
+    if (head.isMembarOp && wantCommitEvents()) {
         MemCommitEvent ev;
         ev.core = coreId();
         ev.seq = head.seq;

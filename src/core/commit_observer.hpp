@@ -16,6 +16,27 @@
 namespace vbr
 {
 
+/** Ordering-relevant facts about a committed load, packed so the
+ * trace layer can re-derive the §3 replay classification offline.
+ * Stores/fences carry 0. */
+namespace order_flags
+{
+constexpr std::uint16_t kReplayIssued = 1u << 0;
+constexpr std::uint16_t kReplayFiltered = 1u << 1;
+constexpr std::uint16_t kReasonUnresolved = 1u << 2;
+constexpr std::uint16_t kRule3Suppressed = 1u << 3;
+constexpr std::uint16_t kValuePredicted = 1u << 4;
+constexpr std::uint16_t kForwarded = 1u << 5;
+constexpr std::uint16_t kBypassedUnresolvedStore = 1u << 6;
+constexpr std::uint16_t kIssuedOutOfOrder = 1u << 7;
+constexpr std::uint16_t kIssuedOutOfOrderSched = 1u << 8;
+constexpr std::uint16_t kIssuedBeforeOlderLoad = 1u << 9;
+constexpr std::uint16_t kMissArmed = 1u << 10;
+constexpr std::uint16_t kSnoopArmed = 1u << 11;
+/** Replay classified Consistency (neither reason bit = Filtered). */
+constexpr std::uint16_t kReasonConsistency = 1u << 12;
+} // namespace order_flags
+
 /** A committed memory operation. SWAP commits as one atomic event
  * with both read and write halves populated. */
 struct MemCommitEvent
@@ -42,6 +63,45 @@ struct MemCommitEvent
     Cycle performCycle = 0;
     /** Cycle the instruction retired. */
     Cycle commitCycle = 0;
+
+    /** order_flags::* bits (loads only; 0 for stores/fences). */
+    std::uint16_t orderFlags = 0;
+};
+
+/** Counter-increment sites inside the ordering backends. Replays and
+ * squashes happen to in-flight instructions that may never commit, so
+ * commit frames alone cannot reproduce the ordering statistics — the
+ * trace layer records these events at the exact increment sites. */
+enum class OrderingEventKind : std::uint8_t
+{
+    ReplayUnresolved = 0,  ///< replay issued, unresolved-store reason
+    ReplayConsistency = 1, ///< replay issued, consistency reason
+    ReplayFiltered = 2,    ///< replay filtered (compare skipped)
+    SquashReplay = 3,      ///< value-replay mismatch squash
+    SquashLqRaw = 4,       ///< assoc-LQ store-search RAW squash
+    SquashLqSnoop = 5,     ///< assoc-LQ snoop-mark squash
+    WildLoad = 6,          ///< fault grace path: wild-address load
+    WildStore = 7,         ///< fault grace path: wild-address store
+};
+
+/** An ordering decision, emitted where the statistic is counted. */
+struct OrderingEvent
+{
+    OrderingEventKind kind = OrderingEventKind::ReplayFiltered;
+    CoreId core = 0;
+    SeqNum seq = kNoSeq;
+    std::uint32_t pc = 0;
+    Cycle cycle = 0;
+    /** Squash was value-unnecessary (memory already matched). */
+    bool unnecessary = false;
+};
+
+/** Subscriber to ordering decisions (trace capture). */
+class OrderingEventSink
+{
+  public:
+    virtual ~OrderingEventSink() = default;
+    virtual void onOrderingEvent(const OrderingEvent &event) = 0;
 };
 
 /** Subscriber to committed memory operations. */

@@ -80,6 +80,10 @@ struct DynInst
     bool replayIssued = false;
     bool rule3Suppressed = false; ///< replay skipped for progress
     bool valuePredicted = false;  ///< premature value from the VP
+    /** Recent-miss/snoop filter arming observed at the (last) replay
+     * classification — captured so the trace can re-derive it. */
+    bool missArmedAtClassify = false;
+    bool snoopArmedAtClassify = false;
     Word replayValue = 0;
     std::uint32_t replayVersion = 0;
     Cycle compareReadyCycle = 0;

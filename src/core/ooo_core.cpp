@@ -18,7 +18,9 @@ OooCore::OooCore(const CoreConfig &config, const Program &prog,
       mem_(mem),
       hierarchy_(hierarchy),
       bp_(config.branchPredictor),
-      sq_(config.sqEntries)
+      sq_(config.sqEntries),
+      incompleteMemOps_(PoolAllocator<SeqNum>(memOpArena_)),
+      unscheduledMemOps_(PoolAllocator<SeqNum>(memOpArena_))
 {
     VBR_ASSERT(thread_id < prog.threads().size(),
                "thread id out of range");
@@ -218,6 +220,8 @@ OooCore::emitCommit(const MemCommitEvent &event)
         observer_->onMemCommit(event);
     if (auditor_)
         auditor_->onMemCommit(event);
+    if (traceObserver_)
+        traceObserver_->onMemCommit(event);
 }
 
 void

@@ -36,6 +36,7 @@
 #include <set>
 #include <vector>
 
+#include "common/pool_alloc.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "core/commit_observer.hpp"
@@ -227,6 +228,18 @@ class OooCore final : public MemEventClient, private OrderingHost
     // vbr-analyze: quiescent(construction-time wiring, never called mid-run)
     void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
 
+    /** Attach trace capture: a second commit-event subscriber plus
+     * the ordering-event sink (either may be null). Zero-cost when
+     * unset — the commit path tests the same pointer gate it already
+     * tests for the checker/auditor. */
+    // vbr-analyze: quiescent(construction-time wiring, never called mid-run)
+    void
+    setTraceCapture(CommitObserver *commits, OrderingEventSink *events)
+    {
+        traceObserver_ = commits;
+        orderingSink_ = events;
+    }
+
     /** Last-N committed instructions, oldest first (for artifacts). */
     const std::deque<CommitTraceEntry> &commitTrace() const
     {
@@ -333,6 +346,10 @@ class OooCore final : public MemEventClient, private OrderingHost
     bool replayPortAvailable() const override;
     void takeReplayPort() override;
     void noteActivity() override { activityThisTick_ = true; }
+    OrderingEventSink *orderingEventSink() override
+    {
+        return orderingSink_;
+    }
 
     CoreConfig config_;
     const Program &prog_;
@@ -390,8 +407,13 @@ class OooCore final : public MemEventClient, private OrderingHost
     //    !executed (MEMBARs execute at dispatch and never enter);
     //  - unscheduledMemOps_: seqs of in-flight loads/stores with
     //    !issued plus SWAPs with !executed.
-    std::set<SeqNum> incompleteMemOps_;
-    std::set<SeqNum> unscheduledMemOps_;
+    // Pool-backed: one node churns per memory instruction on the
+    // issue/writeback/retire hot paths (see common/pool_alloc.hpp).
+    PoolArena memOpArena_;
+    using PooledSeqSet =
+        std::set<SeqNum, std::less<SeqNum>, PoolAllocator<SeqNum>>;
+    PooledSeqSet incompleteMemOps_;
+    PooledSeqSet unscheduledMemOps_;
 
     /** Per-architectural-register stacks of in-flight writer seqs in
      * age order (youngest at the back == renameMap_[r]). Squash pops
@@ -421,6 +443,17 @@ class OooCore final : public MemEventClient, private OrderingHost
     InvariantAuditor *auditor_ = nullptr;
     PipelineTracer *tracer_ = nullptr;
     FaultInjector *faults_ = nullptr;
+    CommitObserver *traceObserver_ = nullptr;
+    OrderingEventSink *orderingSink_ = nullptr;
+
+    /** True when any commit-event subscriber is attached (gates the
+     * event-struct fill on the retirement path). */
+    bool
+    wantCommitEvents() const
+    {
+        return observer_ != nullptr || auditor_ != nullptr ||
+               traceObserver_ != nullptr;
+    }
 
     /** Phase-1 buffer for auditor events (see AuditEventSink). */
     DeferredAuditSink deferredAudit_;

@@ -131,9 +131,21 @@ AssocLqUnit::preCommit(DynInst &head, Cycle /* now */)
     if (head.isLoadOp && lq_.mode() == LqMode::Hybrid &&
         !config_.unsafeDisableOrdering && lq_.entryMarked(head.seq)) {
         ++(*sc_squashes_lq_snoop_);
-        if (head.prematureValue ==
-            host_.readMemSafe(head.memAddr, head.memSize))
+        bool unnecessary =
+            head.prematureValue ==
+            host_.readMemSafe(head.memAddr, head.memSize);
+        if (unnecessary)
             ++(*sc_squashes_lq_snoop_unnecessary_);
+        if (OrderingEventSink *s = host_.orderingEventSink()) {
+            OrderingEvent oe;
+            oe.kind = OrderingEventKind::SquashLqSnoop;
+            oe.core = host_.coreId();
+            oe.seq = head.seq;
+            oe.pc = head.pc;
+            oe.cycle = host_.coreCycle();
+            oe.unnecessary = unnecessary;
+            s->onOrderingEvent(oe);
+        }
         if (FaultInjector *fi = host_.faultInjector())
             fi->onCamSquash(host_.coreId(), head.seq);
         PredictorSnapshot snap = head.predSnap;
@@ -189,12 +201,15 @@ AssocLqUnit::applyLqSquash(const LqSquash &squash,
 
     // §5.1 statistics: was this squash unnecessary, i.e. did the
     // premature load actually read the value it would read now?
+    bool unnecessary = false;
     if (is_snoop) {
         ++(*sc_squashes_lq_snoop_);
         if (squash.addr != kNoAddr &&
             squash.prematureValue ==
-                host_.readMemSafe(squash.addr, squash.size))
+                host_.readMemSafe(squash.addr, squash.size)) {
             ++(*sc_squashes_lq_snoop_unnecessary_);
+            unnecessary = true;
+        }
     } else {
         ++(*sc_squashes_lq_raw_);
         if (rangeContains(store_addr, store_size, squash.addr,
@@ -205,10 +220,23 @@ AssocLqUnit::applyLqSquash(const LqSquash &squash,
                             ? ~Word{0}
                             : ((Word{1} << (squash.size * 8)) - 1);
             Word would_read = (store_value >> shift) & mask;
-            if (would_read == squash.prematureValue)
+            if (would_read == squash.prematureValue) {
                 ++(*sc_squashes_lq_raw_unnecessary_);
+                unnecessary = true;
+            }
         }
         host_.depPredictor().trainViolation(squash.loadPc, store_pc);
+    }
+    if (OrderingEventSink *s = host_.orderingEventSink()) {
+        OrderingEvent oe;
+        oe.kind = is_snoop ? OrderingEventKind::SquashLqSnoop
+                           : OrderingEventKind::SquashLqRaw;
+        oe.core = host_.coreId();
+        oe.seq = squash.squashFrom;
+        oe.pc = squash.loadPc;
+        oe.cycle = host_.coreCycle();
+        oe.unnecessary = unnecessary;
+        s->onOrderingEvent(oe);
     }
 
     if (FaultInjector *fi = host_.faultInjector())

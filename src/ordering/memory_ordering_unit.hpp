@@ -45,6 +45,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "core/commit_observer.hpp"
 #include "core/dyn_inst.hpp"
 #include "core/trace.hpp"
 #include "ordering/scheme.hpp"
@@ -92,6 +93,12 @@ class OrderingHost
      * Backends report detection events (compare mismatches, CAM
      * squashes) so corruption fates can be attributed. */
     virtual FaultInjector *faultInjector() { return nullptr; }
+
+    /** Trace capture's ordering-event sink, or nullptr when capture
+     * is off. Backends emit an OrderingEvent at every counter
+     * increment a replay-tier run must reproduce (replays, squashes);
+     * commit frames alone cannot, since squashed work never commits. */
+    virtual OrderingEventSink *orderingEventSink() { return nullptr; }
 
     /** Window lookup by sequence number (nullptr when not present). */
     virtual DynInst *findInst(SeqNum seq) = 0;

@@ -15,7 +15,16 @@ namespace vbr
 
 ValueReplayUnit::ValueReplayUnit(const CoreConfig &config,
                                  OrderingHost &host)
-    : config_(config), host_(host), rq_(config.lqEntries)
+    : config_(config),
+      host_(host),
+      rq_(config.lqEntries),
+      replaySuppress_(
+          0, std::hash<std::uint32_t>{},
+          std::equal_to<std::uint32_t>{},
+          PoolAllocator<std::pair<const std::uint32_t, unsigned>>(
+              nodeArena_)),
+      issuedLoads_(PoolAllocator<std::pair<const SeqNum, DynInst *>>(
+          nodeArena_))
 {
     // Reject contradictory filter pairings before simulating: they
     // silently drop filtering rather than failing.
@@ -120,13 +129,25 @@ ValueReplayUnit::beginCycle(Cycle /* now */)
 {
 }
 
+// vbr-analyze: quiescent(records decision facts for the commit frame; a re-validation that changes the outcome issues a replay, which notes)
+void
+ValueReplayUnit::noteClassification(DynInst &inst, ReplayReason reason)
+{
+    inst.replayReason = reason;
+    // Snapshot the recent-event arming the classification saw, so a
+    // captured trace can re-derive the verdict offline.
+    inst.missArmedAtClassify = filterState_.missArmedFor(inst.seq);
+    inst.snoopArmedAtClassify = filterState_.snoopArmedFor(inst.seq);
+}
+
 // vbr-analyze: caller-notes(backendStage notes at the call site)
 void
 ValueReplayUnit::decideReplay(DynInst &inst)
 {
-    inst.replayReason = classifyReplay(config_.filters,
-                                       inst.replayInfo, inst.seq,
-                                       filterState_);
+    noteClassification(inst,
+                       classifyReplay(config_.filters,
+                                      inst.replayInfo, inst.seq,
+                                      filterState_));
     inst.willReplay = inst.replayReason != ReplayReason::Filtered;
     if (inst.valuePredicted) {
         // The replay IS the value-speculation validation: never
@@ -179,6 +200,17 @@ ValueReplayUnit::issueReplay(DynInst &inst, ReplayReason reason,
         ++(*sc_replays_unresolved_store_);
     else
         ++(*sc_replays_consistency_);
+    if (OrderingEventSink *s = host_.orderingEventSink()) {
+        OrderingEvent oe;
+        oe.kind = reason == ReplayReason::UnresolvedStore
+                      ? OrderingEventKind::ReplayUnresolved
+                      : OrderingEventKind::ReplayConsistency;
+        oe.core = host_.coreId();
+        oe.seq = inst.seq;
+        oe.pc = inst.pc;
+        oe.cycle = now;
+        s->onOrderingEvent(oe);
+    }
 }
 
 void
@@ -226,6 +258,15 @@ ValueReplayUnit::backendStage(Cycle now)
             } else {
                 inst.compareReadyCycle = now + 2;
                 ++(*sc_replays_filtered_);
+                if (OrderingEventSink *s = host_.orderingEventSink()) {
+                    OrderingEvent oe;
+                    oe.kind = OrderingEventKind::ReplayFiltered;
+                    oe.core = host_.coreId();
+                    oe.seq = inst.seq;
+                    oe.pc = inst.pc;
+                    oe.cycle = now;
+                    s->onOrderingEvent(oe);
+                }
             }
         } else {
             // Non-loads flow through replay and compare unchanged.
@@ -262,6 +303,10 @@ ValueReplayUnit::preCommit(DynInst &head, Cycle now)
         ReplayReason late = classifyReplay(config_.filters,
                                            head.replayInfo, head.seq,
                                            filterState_);
+        // Keep the recorded classification (reason + arming snapshot)
+        // current on every re-validation, so the commit frame carries
+        // the facts of the *final* decision.
+        noteClassification(head, late);
         if (late != ReplayReason::Filtered) {
             if (!host_.replayPortAvailable())
                 return false;
@@ -330,6 +375,15 @@ ValueReplayUnit::doReplaySquash(DynInst &load)
         ++(*sc_squashes_replay_raw_);
     else
         ++(*sc_squashes_replay_consistency_);
+    if (OrderingEventSink *s = host_.orderingEventSink()) {
+        OrderingEvent oe;
+        oe.kind = OrderingEventKind::SquashReplay;
+        oe.core = host_.coreId();
+        oe.seq = load.seq;
+        oe.pc = load.pc;
+        oe.cycle = host_.coreCycle();
+        s->onOrderingEvent(oe);
+    }
 
     // Rule 3 (§3): do not replay this load again after recovery, to
     // guarantee forward progress under contention.

@@ -16,6 +16,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/pool_alloc.hpp"
 #include "lsq/replay_queue.hpp"
 #include "ordering/memory_ordering_unit.hpp"
 
@@ -83,6 +84,10 @@ class ValueReplayUnit final : public MemoryOrderingUnit
     void issueReplay(DynInst &inst, ReplayReason reason, bool at_head,
                      Cycle now);
 
+    /** Record @p reason and the arming snapshot on @p inst so the
+     * commit frame carries the facts of the final decision. */
+    void noteClassification(DynInst &inst, ReplayReason reason);
+
     /** Compare-stage mismatch: squash at the load and suppress its
      * next replay (rule 3). */
     void doReplaySquash(DynInst &load);
@@ -95,14 +100,23 @@ class ValueReplayUnit final : public MemoryOrderingUnit
     OrderingHost &host_;
     ReplayQueue rq_;
 
-    // Replay filter state and rule-3 suppression.
+    // Replay filter state and rule-3 suppression. Both containers
+    // churn one node per load on the issue/squash/retire hot paths;
+    // the arena recycles those nodes (see common/pool_alloc.hpp).
     RecentEventFilterState filterState_;
-    std::unordered_map<std::uint32_t, unsigned> replaySuppress_;
+    PoolArena nodeArena_;
+    std::unordered_map<
+        std::uint32_t, unsigned, std::hash<std::uint32_t>,
+        std::equal_to<std::uint32_t>,
+        PoolAllocator<std::pair<const std::uint32_t, unsigned>>>
+        replaySuppress_;
 
     /** Issued loads with a valid address, in age order; maintained
      * only for the shadow CAM statistics (shadowLqStats), which walk
      * this index instead of the whole window. */
-    std::map<SeqNum, DynInst *> issuedLoads_;
+    std::map<SeqNum, DynInst *, std::less<SeqNum>,
+             PoolAllocator<std::pair<const SeqNum, DynInst *>>>
+        issuedLoads_;
 
     /** Number of leading window entries that already entered the
      * replay/compare backend. Entry is strictly in ROB order, so the

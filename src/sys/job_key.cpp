@@ -1,11 +1,15 @@
 #include "sys/job_key.hpp"
 
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 
 #include "check/constraint_graph.hpp"
 #include "common/logging.hpp"
 #include "fault/fault_injector.hpp"
 #include "sys/sweep_runner.hpp"
+#include "trace/trace_replay.hpp"
+#include "trace/trace_writer.hpp"
 
 namespace vbr
 {
@@ -204,7 +208,26 @@ canonicalSpecJson(const SimJobSpec &spec)
     for (const std::string &name : spec.harvestStats)
         harvest.push(name);
     o.set("harvest", std::move(harvest));
+    if (spec.mode == SimJobMode::TraceReplay) {
+        // Appended only in replay mode so every Full-mode spec's
+        // canonical bytes — and therefore the pinned golden keys —
+        // are unchanged from before the trace tier existed.
+        o.set("mode", "trace-replay");
+        char td[24];
+        std::snprintf(td, sizeof(td), "%016llx",
+                      static_cast<unsigned long long>(
+                          spec.traceDigest));
+        o.set("trace_digest", td);
+    }
     return o;
+}
+
+std::string
+traceFilePath(const SimJobSpec &spec)
+{
+    return spec.system.traceDir + "/" +
+           FailureArtifact::sanitizeJobName(spec.system.jobName) +
+           "." + jobKey(spec).hex() + ".vbrtrace";
 }
 
 std::string
@@ -282,9 +305,10 @@ maskedResultFields()
     // Sorted; must match tools/bench_mask.json byte for byte —
     // job_key_test.cpp diffs the two lists.
     static const std::vector<std::string> kMasked = {
-        "artifact",       "cpu_time_ns",      "items_per_second",
-        "iterations",     "real_time_ns",     "skipped_cycles",
-        "threads",        "ticked_cycles",    "wall_ms",
+        "artifact",        "cpu_time_ns",    "full_ms",
+        "items_per_second", "iterations",    "real_time_ns",
+        "replay_ms",       "replay_speedup", "skipped_cycles",
+        "threads",         "ticked_cycles",  "wall_ms",
     };
     return kMasked;
 }
@@ -318,16 +342,138 @@ canonicalResultBytes(const SimJobResult &r)
     return o.dump(0);
 }
 
+namespace
+{
+
+/** The TraceReplay tier: one streaming pass instead of a
+ * simulation. Throws TraceError on any malformed or mismatched
+ * trace; the caller maps that to the guarded/unguarded protocol. */
+SimJobResult
+replayJobOrThrow(const SimJobSpec &spec)
+{
+    TraceReplaySpec rs;
+    rs.program = spec.program.get();
+    rs.programDigest = programDigest(*spec.program);
+    rs.scheme = spec.system.core.scheme;
+    rs.filters = spec.system.core.filters;
+    rs.attachScChecker = spec.attachScChecker;
+    TraceReplayResult r = replayTraceFile(spec.tracePath, rs);
+    if (spec.traceDigest != 0 &&
+        r.trailer.fileDigest != spec.traceDigest)
+        throw TraceError(
+            "trace content does not match the spec's digest");
+    // The reconstruction invariants are part of the equivalence
+    // contract (DESIGN.md §14): a replay whose memory image or word
+    // versions diverge from the producing run is a wrong verdict,
+    // not a degraded one.
+    if (!r.memDigestMatch)
+        throw TraceError("replayed final memory image diverges from "
+                         "the trace trailer digest");
+    if (r.versionMismatches != 0)
+        throw TraceError("replayed word versions diverge from the "
+                         "trace's recorded versions");
+
+    SimJobResult out;
+    RunStats &s = out.stats;
+    s.workload = spec.workload;
+    s.config = spec.config;
+    s.instructions = r.trailer.instructions;
+    s.cycles = r.trailer.cycles;
+    s.ipc = s.cycles == 0 ? 0.0
+                          : static_cast<double>(s.instructions) /
+                                static_cast<double>(s.cycles);
+    s.replaysUnresolved = r.replaysUnresolved;
+    s.replaysConsistency = r.replaysConsistency;
+    s.replaysFiltered = r.replaysFiltered;
+    s.committedLoads = r.committedLoads;
+    s.squashLqRaw = r.squashLqRaw;
+    s.squashLqRawUnnec = r.squashLqRawUnnec;
+    s.squashLqSnoop = r.squashLqSnoop;
+    s.squashLqSnoopUnnec = r.squashLqSnoopUnnec;
+    s.squashReplay = r.squashReplay;
+    // Micro-architectural counters (cache traffic, occupancies) stay
+    // zero: the replay tier deliberately does not model them.
+
+    out.extras.emplace_back("trace:commit_frames", r.commitFrames);
+    out.extras.emplace_back("trace:ordering_frames",
+                            r.orderingFrames);
+    out.extras.emplace_back("trace:final_mem_digest",
+                            r.finalMemDigest);
+    if (rs.scheme == OrderingScheme::ValueReplay) {
+        out.extras.emplace_back("policy:filtered", r.policyFiltered);
+        out.extras.emplace_back("policy:unresolved",
+                                r.policyUnresolved);
+        out.extras.emplace_back("policy:consistency",
+                                r.policyConsistency);
+        out.extras.emplace_back("policy:mismatches",
+                                r.policyMismatches);
+    }
+    if (r.checkerRan) {
+        out.extras.emplace_back("checker:consistent",
+                                r.checker.consistent ? 1 : 0);
+        out.extras.emplace_back("checker:errors",
+                                r.checker.errors.size());
+    }
+    return out;
+}
+
+SimJobResult
+runTraceReplayJob(const SimJobSpec &spec, bool guarded)
+{
+    try {
+        return replayJobOrThrow(spec);
+    } catch (const TraceError &e) {
+        std::string msg = "trace replay of " + spec.tracePath +
+                          " failed: " + e.what();
+        if (!guarded)
+            fatal(msg);
+        FailureArtifact fa;
+        fa.job = spec.system.jobName;
+        fa.kind = "trace";
+        fa.error = msg;
+        JsonValue ctx = JsonValue::object();
+        ctx.set("workload", spec.workload);
+        ctx.set("config", spec.config);
+        ctx.set("trace_path", spec.tracePath);
+        char td[24];
+        std::snprintf(td, sizeof(td), "%016llx",
+                      static_cast<unsigned long long>(
+                          spec.traceDigest));
+        ctx.set("trace_digest", td);
+        fa.context = std::move(ctx);
+        throw SweepJobError(std::move(fa));
+    }
+}
+
+} // namespace
+
 SimJobResult
 runSimJob(const SimJobSpec &spec, bool guarded)
 {
     VBR_ASSERT(spec.program != nullptr,
                "SimJobSpec without a program");
+    if (spec.mode == SimJobMode::TraceReplay)
+        return runTraceReplayJob(spec, guarded);
     System sys(spec.system, *spec.program);
     std::unique_ptr<ScChecker> checker;
     if (spec.attachScChecker) {
         checker = std::make_unique<ScChecker>();
         sys.setObserver(checker.get());
+    }
+    std::unique_ptr<TraceWriter> tracer;
+    if (!spec.system.traceDir.empty()) {
+        TraceHeader th;
+        th.cores = spec.system.cores;
+        th.memorySize = spec.program->memorySize();
+        th.versionsTracked = spec.system.trackVersions;
+        th.producerScheme =
+            static_cast<unsigned>(spec.system.core.scheme);
+        th.programDigest = programDigest(*spec.program);
+        th.label = spec.system.jobName;
+        std::error_code ec;
+        std::filesystem::create_directories(spec.system.traceDir, ec);
+        tracer = std::make_unique<TraceWriter>(traceFilePath(spec), th);
+        sys.setTraceCapture(tracer.get(), tracer.get());
     }
     RunResult r = sys.run();
     const std::string label =
@@ -359,6 +505,10 @@ runSimJob(const SimJobSpec &spec, bool guarded)
                                     spec.config));
         fatal(label + " did not halt under " + spec.config);
     }
+    if (tracer &&
+        !tracer->finalize(r.cycles, r.instructions,
+                          memoryImageDigest(sys.memory())))
+        warn("failed to write trace " + tracer->path());
 
     SimJobResult out;
     out.stats = collectRunStats(sys, r, spec.workload, spec.config);

@@ -47,6 +47,19 @@ namespace vbr
  * reproduce. */
 inline constexpr const char *kJobSpecSchema = "vbr-job/1";
 
+/** Which execution tier resolves a spec into a result. */
+enum class SimJobMode
+{
+    /** Simulate cycle by cycle (the default). */
+    Full,
+
+    /** Ordering-only fast tier: replay a captured vbr-trace/1 file
+     * through the §3 policy + consistency checker instead of
+     * simulating (src/trace/trace_replay.hpp). Verdict-identical to
+     * the producing Full run, an order of magnitude faster. */
+    TraceReplay,
+};
+
 /**
  * The complete description of one sweep job. Everything the
  * simulation reads flows through here — SystemConfig (machine, fault
@@ -65,9 +78,30 @@ struct SimJobSpec
     bool attachScChecker = false;
 
     /** Per-core counter names summed via System::totalStat into
-     * extras ("stat:<name>"). */
+     * extras ("stat:<name>"). Full mode only (the replay tier has no
+     * live cores to harvest). */
     std::vector<std::string> harvestStats;
+
+    /** Execution tier; see SimJobMode. */
+    SimJobMode mode = SimJobMode::Full;
+
+    /** Trace file to replay (TraceReplay mode only). Excluded from
+     * the key: traceDigest names the content, not its location. */
+    std::string tracePath;
+
+    /** Canonical digest of the trace content (its trailer
+     * fileDigest); folded into the JobKey so cached replay-tier
+     * results key on the exact bytes replayed. */
+    std::uint64_t traceDigest = 0;
 };
+
+/**
+ * Where a Full-mode spec's capture lands when system.traceDir is set:
+ * <traceDir>/<sanitized jobName>.<jobKey hex>.vbrtrace. The key in
+ * the name keeps captures of distinct specs from colliding even when
+ * their job names match. Call with the producing (Full-mode) spec.
+ */
+std::string traceFilePath(const SimJobSpec &spec);
 
 /** 128-bit content key (two independent FNV-1a-64 passes). */
 struct JobKey

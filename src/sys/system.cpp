@@ -38,6 +38,13 @@ perCoreFastForwardFromEnv()
     return env == nullptr || std::strcmp(env, "0") != 0;
 }
 
+std::string
+traceDirFromEnv()
+{
+    const char *env = std::getenv("VBR_TRACE_DIR");
+    return env == nullptr ? std::string{} : std::string{env};
+}
+
 System::System(const SystemConfig &config, const Program &prog)
     : config_(config), dmaRng_(config.dmaSeed),
       coreHalted_(config.cores, false),
@@ -96,6 +103,15 @@ System::setObserver(CommitObserver *observer)
 {
     for (auto &core : cores_)
         core->setObserver(observer);
+}
+
+void
+System::setTraceCapture(CommitObserver *commits,
+                        OrderingEventSink *events)
+{
+    for (auto &core : cores_)
+        core->setTraceCapture(commits, events);
+    traceCapture_ = commits != nullptr || events != nullptr;
 }
 
 void
@@ -162,8 +178,10 @@ System::parallelEligible() const
     // The fault injector's counters and a pipeline tracer's stream
     // are shared-mutable across cores; phase 1 must stay serial when
     // either is attached. The serial fallback is identical by
-    // construction.
-    if (config_.mpThreads <= 1 || faults_)
+    // construction. Trace capture also pins the serial path: the
+    // writer's byte stream is shared-mutable, and serial phase order
+    // is what makes trace files canonical across thread counts.
+    if (config_.mpThreads <= 1 || faults_ || traceCapture_)
         return false;
     for (const auto &core : cores_)
         if (core->hasTracer())

@@ -43,6 +43,10 @@ unsigned mpThreadsFromEnv();
  * anything else enables). */
 bool perCoreFastForwardFromEnv();
 
+/** Default for SystemConfig::traceDir: the VBR_TRACE_DIR environment
+ * variable (unset = empty = capture off). */
+std::string traceDirFromEnv();
+
 /** Whole-system configuration. */
 struct SystemConfig
 {
@@ -105,6 +109,14 @@ struct SystemConfig
      * results; 1 (the default, from $VBR_MP_THREADS) runs phase 1
      * serially with no pool. */
     unsigned mpThreads = mpThreadsFromEnv();
+
+    /** When non-empty, the job layer captures a vbr-trace/1 file of
+     * every committed memory operation into this directory (see
+     * src/trace/). Off by default: the capture hook is a null
+     * pointer the commit path already tests, so disabled capture is
+     * provably zero-impact. Defaults to $VBR_TRACE_DIR. Excluded
+     * from the JobKey (a side output, not a simulation input). */
+    std::string traceDir = traceDirFromEnv();
 
     /** Job label used in failure artifacts (FAIL_<jobName>.json). */
     std::string jobName = "run";
@@ -170,6 +182,12 @@ class System
     /** Subscribe a commit observer (e.g. the SC checker) to all cores. */
     void setObserver(CommitObserver *observer);
 
+    /** Attach trace capture to all cores (either pointer may be
+     * null). Capture pins the MP tick to the serial path so frames
+     * arrive in true global commit order. */
+    void setTraceCapture(CommitObserver *commits,
+                         OrderingEventSink *events);
+
     /** The invariant auditor, or nullptr when audit == Off. */
     InvariantAuditor *auditor() { return auditor_.get(); }
     const InvariantAuditor *auditor() const { return auditor_.get(); }
@@ -230,6 +248,10 @@ class System
     /** True when the last tick() changed any core's state (read
      * after all cores ticked, so cross-core deliveries count). */
     bool lastTickActive_ = true;
+
+    /** True when trace capture is attached (pins the MP compute
+     * phase to serial so the trace byte order is canonical). */
+    bool traceCapture_ = false;
 
     /** Cycles fast-forwarded over so far (see RunResult). */
     Cycle skippedCycles_ = 0;

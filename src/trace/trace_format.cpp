@@ -1,0 +1,308 @@
+#include "trace/trace_format.hpp"
+
+#include <cstring>
+
+#include "common/atomic_file.hpp"
+
+namespace vbr
+{
+
+std::uint64_t
+fnv1a64(const std::uint8_t *data, std::size_t n, std::uint64_t basis)
+{
+    std::uint64_t h = basis;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+void
+appendVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void
+appendFixed64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+appendHeader(std::vector<std::uint8_t> &out, const TraceHeader &header)
+{
+    const char *m = kTraceMagic;
+    out.insert(out.end(), m, m + std::strlen(m));
+    appendVarint(out, header.cores);
+    appendVarint(out, header.memorySize);
+    appendVarint(out, header.versionsTracked ? 1 : 0);
+    appendVarint(out, header.producerScheme);
+    appendFixed64(out, header.programDigest);
+    appendVarint(out, header.label.size());
+    out.insert(out.end(), header.label.begin(), header.label.end());
+}
+
+void
+appendCommitFrame(std::vector<std::uint8_t> &out,
+                  const MemCommitEvent &ev)
+{
+    out.push_back(kCommitFrameTag);
+    appendVarint(out, ev.core);
+    appendVarint(out, ev.seq);
+    appendVarint(out, ev.pc);
+    appendVarint(out, ev.addr);
+    appendVarint(out, ev.size);
+    out.push_back(static_cast<std::uint8_t>(
+        (ev.isRead ? 1 : 0) | (ev.isWrite ? 2 : 0) |
+        (ev.isFence ? 4 : 0)));
+    appendVarint(out, ev.orderFlags);
+    appendVarint(out, ev.readValue);
+    appendVarint(out, ev.readVersion);
+    appendVarint(out, ev.writeValue);
+    appendVarint(out, ev.writeVersion);
+    appendVarint(out, ev.performCycle);
+    appendVarint(out, ev.commitCycle);
+}
+
+void
+appendOrderingFrame(std::vector<std::uint8_t> &out,
+                    const OrderingEvent &ev)
+{
+    out.push_back(kOrderingFrameTag);
+    out.push_back(static_cast<std::uint8_t>(ev.kind));
+    appendVarint(out, ev.core);
+    appendVarint(out, ev.seq);
+    appendVarint(out, ev.pc);
+    appendVarint(out, ev.cycle);
+    out.push_back(ev.unnecessary ? 1 : 0);
+}
+
+void
+appendTrailer(std::vector<std::uint8_t> &out,
+              const TraceTrailer &trailer)
+{
+    out.push_back(kTrailerTag);
+    appendVarint(out, trailer.frames);
+    appendVarint(out, trailer.cycles);
+    appendVarint(out, trailer.instructions);
+    appendFixed64(out, trailer.finalMemDigest);
+    // The file digest covers everything written so far, including
+    // the trailer body above.
+    appendFixed64(out, fnv1a64(out.data(), out.size()));
+}
+
+namespace
+{
+
+/** Bounds-checked reader over the trace bytes. */
+class Cursor
+{
+  public:
+    Cursor(const std::uint8_t *data, std::size_t n)
+        : data_(data), n_(n)
+    {
+    }
+
+    std::size_t pos() const { return pos_; }
+    std::size_t remaining() const { return n_ - pos_; }
+
+    std::uint8_t
+    byte()
+    {
+        if (pos_ >= n_)
+            throw TraceError("trace truncated mid-frame");
+        return data_[pos_++];
+    }
+
+    std::uint64_t
+    varint()
+    {
+        std::uint64_t v = 0;
+        unsigned shift = 0;
+        for (;;) {
+            if (shift >= 64)
+                throw TraceError("trace varint overflows 64 bits");
+            std::uint8_t b = byte();
+            v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+            if ((b & 0x80) == 0)
+                return v;
+            shift += 7;
+        }
+    }
+
+    std::uint64_t
+    fixed64()
+    {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(byte()) << (8 * i);
+        return v;
+    }
+
+    std::string
+    bytes(std::size_t len)
+    {
+        if (len > remaining())
+            throw TraceError("trace truncated mid-string");
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      len);
+        pos_ += len;
+        return s;
+    }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t n_;
+    std::size_t pos_ = 0;
+};
+
+void
+verifyFileDigest(const std::vector<std::uint8_t> &bytes)
+{
+    // Cheap first line of defense against truncation and bit rot:
+    // the last 8 bytes must be the FNV-1a-64 of everything before
+    // them. Only then is any frame decoded.
+    std::size_t min_len = std::strlen(kTraceMagic) + 8;
+    if (bytes.size() < min_len)
+        throw TraceError("trace too short to carry a digest");
+    std::uint64_t stored = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        stored |= static_cast<std::uint64_t>(
+                      bytes[bytes.size() - 8 + i])
+                  << (8 * i);
+    std::uint64_t computed =
+        fnv1a64(bytes.data(), bytes.size() - 8);
+    if (stored != computed)
+        throw TraceError("trace file digest mismatch (truncated or "
+                         "corrupt)");
+}
+
+TraceHeader
+decodeHeader(Cursor &c)
+{
+    std::size_t magic_len = std::strlen(kTraceMagic);
+    if (c.bytes(magic_len) != kTraceMagic)
+        throw TraceError("not a vbr-trace/1 file (bad magic)");
+    TraceHeader h;
+    h.cores = static_cast<unsigned>(c.varint());
+    h.memorySize = c.varint();
+    h.versionsTracked = c.varint() != 0;
+    h.producerScheme = static_cast<unsigned>(c.varint());
+    h.programDigest = c.fixed64();
+    h.label = c.bytes(static_cast<std::size_t>(c.varint()));
+    return h;
+}
+
+} // namespace
+
+void
+walkTrace(const std::vector<std::uint8_t> &bytes, TraceVisitor &visitor)
+{
+    verifyFileDigest(bytes);
+    Cursor c(bytes.data(), bytes.size());
+    visitor.onHeader(decodeHeader(c));
+
+    std::uint64_t frames = 0;
+    for (;;) {
+        std::uint8_t tag = c.byte();
+        if (tag == kCommitFrameTag) {
+            MemCommitEvent ev;
+            ev.core = static_cast<CoreId>(c.varint());
+            ev.seq = c.varint();
+            ev.pc = static_cast<std::uint32_t>(c.varint());
+            ev.addr = c.varint();
+            ev.size = static_cast<unsigned>(c.varint());
+            std::uint8_t kind = c.byte();
+            ev.isRead = (kind & 1) != 0;
+            ev.isWrite = (kind & 2) != 0;
+            ev.isFence = (kind & 4) != 0;
+            ev.orderFlags = static_cast<std::uint16_t>(c.varint());
+            ev.readValue = c.varint();
+            ev.readVersion = static_cast<std::uint32_t>(c.varint());
+            ev.writeValue = c.varint();
+            ev.writeVersion = static_cast<std::uint32_t>(c.varint());
+            ev.performCycle = c.varint();
+            ev.commitCycle = c.varint();
+            ++frames;
+            visitor.onCommitFrame(ev);
+        } else if (tag == kOrderingFrameTag) {
+            OrderingEvent ev;
+            std::uint8_t kind = c.byte();
+            if (kind > static_cast<std::uint8_t>(
+                           OrderingEventKind::WildStore))
+                throw TraceError("unknown ordering-event kind");
+            ev.kind = static_cast<OrderingEventKind>(kind);
+            ev.core = static_cast<CoreId>(c.varint());
+            ev.seq = c.varint();
+            ev.pc = static_cast<std::uint32_t>(c.varint());
+            ev.cycle = c.varint();
+            ev.unnecessary = c.byte() != 0;
+            ++frames;
+            visitor.onOrderingFrame(ev);
+        } else if (tag == kTrailerTag) {
+            TraceTrailer t;
+            t.frames = c.varint();
+            t.cycles = c.varint();
+            t.instructions = c.varint();
+            t.finalMemDigest = c.fixed64();
+            t.fileDigest = c.fixed64();
+            if (t.frames != frames)
+                throw TraceError("trailer frame count mismatch");
+            if (c.remaining() != 0)
+                throw TraceError("trailing garbage after trailer");
+            visitor.onTrailer(t);
+            return;
+        } else {
+            throw TraceError("unknown trace frame tag");
+        }
+    }
+}
+
+namespace
+{
+
+/** Visitor that keeps only header + trailer. */
+class SummaryVisitor final : public TraceVisitor
+{
+  public:
+    TraceHeader header;
+    TraceTrailer trailer;
+    void onHeader(const TraceHeader &h) override { header = h; }
+    void onCommitFrame(const MemCommitEvent &) override {}
+    void onOrderingFrame(const OrderingEvent &) override {}
+    void onTrailer(const TraceTrailer &t) override { trailer = t; }
+};
+
+} // namespace
+
+void
+readTraceSummary(const std::vector<std::uint8_t> &bytes,
+                 TraceHeader &header, TraceTrailer &trailer)
+{
+    SummaryVisitor v;
+    walkTrace(bytes, v);
+    header = v.header;
+    trailer = v.trailer;
+}
+
+std::uint64_t
+traceFileDigest(const std::string &path)
+{
+    std::string contents;
+    if (!readFileToString(path, contents))
+        throw TraceError("cannot read trace file: " + path);
+    std::vector<std::uint8_t> bytes(contents.begin(), contents.end());
+    TraceHeader h;
+    TraceTrailer t;
+    readTraceSummary(bytes, h, t);
+    return t.fileDigest;
+}
+
+} // namespace vbr

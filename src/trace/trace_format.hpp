@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The `vbr-trace/1` binary format: a committed-operation trace
+ * captured at the commit stage, replayable by the ordering-only
+ * simulation tier (trace_replay.hpp).
+ *
+ * Layout (all multi-byte integers are LEB128 varints unless noted):
+ *
+ *   magic        "vbr-trace/1\n"
+ *   header       varint cores, memorySize, versionsTracked(0/1),
+ *                producerScheme; 8 raw bytes programDigest (LE);
+ *                varint labelLen + raw label bytes
+ *   frames       tag 0x01 = commit frame:
+ *                  varint core, seq, pc, addr, size;
+ *                  1 byte kindBits (isRead | isWrite<<1 | isFence<<2);
+ *                  varint orderFlags, readValue, readVersion,
+ *                         writeValue, writeVersion, performCycle,
+ *                         commitCycle
+ *                tag 0x02 = ordering event:
+ *                  1 byte kind; varint core, seq, pc, cycle;
+ *                  1 byte unnecessary
+ *   trailer      tag 0xFF; varint frames, cycles, instructions;
+ *                8 raw bytes finalMemDigest (LE);
+ *                8 raw bytes fileDigest (LE) — FNV-1a-64 over every
+ *                preceding byte of the file.
+ *
+ * The fileDigest doubles as the trace's canonical digest: two byte-
+ * identical traces share it, and it folds into the replay JobKey so
+ * cached replay-tier results key on the exact trace content. Readers
+ * verify it before decoding a single frame, so truncation and bit
+ * rot surface as a clean TraceError, never a crash or a wrong
+ * verdict. Commit frames appear in true global drain/retire order
+ * (the MP tick's serial commit phase runs cores in core-index order
+ * against live memory), so replaying write frames in file order
+ * reconstructs the final memory image exactly.
+ */
+
+#ifndef VBR_TRACE_TRACE_FORMAT_HPP
+#define VBR_TRACE_TRACE_FORMAT_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/commit_observer.hpp"
+
+namespace vbr
+{
+
+/** Any malformed-trace condition (bad magic, digest mismatch,
+ * truncated varint, unknown frame tag). Callers degrade to a
+ * quarantined FAIL artifact, never a crash. */
+class TraceError : public std::runtime_error
+{
+  public:
+    explicit TraceError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+constexpr const char *kTraceMagic = "vbr-trace/1\n";
+constexpr std::uint8_t kCommitFrameTag = 0x01;
+constexpr std::uint8_t kOrderingFrameTag = 0x02;
+constexpr std::uint8_t kTrailerTag = 0xFF;
+
+/** Fixed header facts about the producing run. */
+struct TraceHeader
+{
+    unsigned cores = 0;
+    std::uint64_t memorySize = 0;
+    bool versionsTracked = false;
+    /** OrderingScheme of the producing run, as its numeric value
+     * (the trace layer does not depend on src/ordering). */
+    unsigned producerScheme = 0;
+    std::uint64_t programDigest = 0;
+    std::string label; ///< producing job name, informational
+};
+
+/** End-of-trace totals. */
+struct TraceTrailer
+{
+    std::uint64_t frames = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t finalMemDigest = 0;
+    std::uint64_t fileDigest = 0;
+};
+
+// --- encoding helpers -------------------------------------------------
+
+void appendVarint(std::vector<std::uint8_t> &out, std::uint64_t v);
+void appendFixed64(std::vector<std::uint8_t> &out, std::uint64_t v);
+
+void appendHeader(std::vector<std::uint8_t> &out,
+                  const TraceHeader &header);
+void appendCommitFrame(std::vector<std::uint8_t> &out,
+                       const MemCommitEvent &ev);
+void appendOrderingFrame(std::vector<std::uint8_t> &out,
+                         const OrderingEvent &ev);
+/** Appends the trailer INCLUDING the file digest, which is computed
+ * over @p out's current contents plus the trailer's own body. */
+void appendTrailer(std::vector<std::uint8_t> &out,
+                   const TraceTrailer &trailer);
+
+/** FNV-1a-64 over a byte range (the trace layer's digest). */
+std::uint64_t fnv1a64(const std::uint8_t *data, std::size_t n,
+                      std::uint64_t basis = 14695981039346656037ULL);
+
+// --- decoding ---------------------------------------------------------
+
+/** Streaming visitor over a verified trace. */
+class TraceVisitor
+{
+  public:
+    virtual ~TraceVisitor() = default;
+    virtual void onHeader(const TraceHeader &header) = 0;
+    virtual void onCommitFrame(const MemCommitEvent &ev) = 0;
+    virtual void onOrderingFrame(const OrderingEvent &ev) = 0;
+    virtual void onTrailer(const TraceTrailer &trailer) = 0;
+};
+
+/**
+ * Decode @p bytes, driving @p visitor. Verifies the file digest
+ * before visiting anything and every structural invariant during the
+ * walk; throws TraceError on the first violation.
+ */
+void walkTrace(const std::vector<std::uint8_t> &bytes,
+               TraceVisitor &visitor);
+
+/** Read just the header + trailer (cheap: digest check + header
+ * decode + fixed-size trailer decode). Throws TraceError. */
+void readTraceSummary(const std::vector<std::uint8_t> &bytes,
+                      TraceHeader &header, TraceTrailer &trailer);
+
+/** Load a trace file and return its canonical digest (the trailer's
+ * fileDigest, after verification). Throws TraceError on unreadable
+ * or malformed files. */
+std::uint64_t traceFileDigest(const std::string &path);
+
+} // namespace vbr
+
+#endif // VBR_TRACE_TRACE_FORMAT_HPP

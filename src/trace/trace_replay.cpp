@@ -1,0 +1,217 @@
+#include "trace/trace_replay.hpp"
+
+#include <memory>
+
+#include "common/atomic_file.hpp"
+#include "isa/program.hpp"
+#include "mem/memory_image.hpp"
+
+namespace vbr
+{
+
+std::uint64_t
+memoryImageDigest(const MemoryImage &mem)
+{
+    const std::vector<std::uint8_t> &b = mem.bytes();
+    return fnv1a64(b.data(), b.size());
+}
+
+namespace
+{
+
+/** The replay tier proper: one streaming pass over the trace. */
+class ReplayVisitor final : public TraceVisitor
+{
+  public:
+    explicit ReplayVisitor(const TraceReplaySpec &spec) : spec_(spec) {}
+
+    TraceReplayResult result;
+
+    void
+    onHeader(const TraceHeader &h) override
+    {
+        result.header = h;
+        if (spec_.programDigest != 0 &&
+            spec_.programDigest != h.programDigest)
+            throw TraceError(
+                "trace was captured from a different program "
+                "(program digest mismatch)");
+        mem_ = std::make_unique<MemoryImage>(
+            static_cast<Addr>(h.memorySize), h.versionsTracked);
+        if (spec_.program != nullptr)
+            mem_->applyInits(*spec_.program);
+        if (spec_.attachScChecker)
+            checker_ = std::make_unique<ScChecker>(spec_.checkerMaxOps,
+                                                   spec_.checkerModel);
+        projectPolicy_ = spec_.scheme == OrderingScheme::ValueReplay;
+    }
+
+    void
+    onCommitFrame(const MemCommitEvent &ev) override
+    {
+        ++result.commitFrames;
+        if (checker_)
+            checker_->onMemCommit(ev);
+        if (ev.isWrite)
+            applyWrite(ev);
+        if (ev.isRead && !ev.isWrite && !ev.isFence) {
+            // Pure load: the only op kind the replay machinery ever
+            // classifies (SWAPs issue at commit, fences don't access
+            // memory).
+            ++result.committedLoads;
+            if (projectPolicy_)
+                projectLoad(ev);
+        }
+    }
+
+    void
+    onOrderingFrame(const OrderingEvent &ev) override
+    {
+        ++result.orderingFrames;
+        switch (ev.kind) {
+        case OrderingEventKind::ReplayUnresolved:
+            ++result.replaysUnresolved;
+            break;
+        case OrderingEventKind::ReplayConsistency:
+            ++result.replaysConsistency;
+            break;
+        case OrderingEventKind::ReplayFiltered:
+            ++result.replaysFiltered;
+            break;
+        case OrderingEventKind::SquashReplay:
+            ++result.squashReplay;
+            break;
+        case OrderingEventKind::SquashLqRaw:
+            ++result.squashLqRaw;
+            if (ev.unnecessary)
+                ++result.squashLqRawUnnec;
+            break;
+        case OrderingEventKind::SquashLqSnoop:
+            ++result.squashLqSnoop;
+            if (ev.unnecessary)
+                ++result.squashLqSnoopUnnec;
+            break;
+        case OrderingEventKind::WildLoad:
+            // Wild loads retire under the off-map grace path without
+            // a commit frame but still count as committed loads.
+            ++result.committedLoads;
+            break;
+        case OrderingEventKind::WildStore:
+            break;
+        }
+    }
+
+    void
+    onTrailer(const TraceTrailer &t) override
+    {
+        result.trailer = t;
+        result.finalMemDigest = memoryImageDigest(*mem_);
+        result.memDigestMatch =
+            result.finalMemDigest == t.finalMemDigest;
+        if (checker_) {
+            result.checker = checker_->check();
+            result.checkerRan = true;
+        }
+    }
+
+  private:
+    void
+    applyWrite(const MemCommitEvent &ev)
+    {
+        // The file digest vouches for integrity, not well-formedness
+        // of a hand-crafted file; bound-check so a bad frame is a
+        // TraceError, never an assertion failure.
+        bool sizeOk = ev.size == 1 || ev.size == 2 || ev.size == 4 ||
+                      ev.size == 8;
+        if (!sizeOk || ev.addr % ev.size != 0 ||
+            ev.addr + ev.size > mem_->size())
+            throw TraceError("write frame outside the memory image");
+        mem_->write(ev.addr, ev.size, ev.writeValue);
+        if (mem_->trackingVersions() &&
+            mem_->version(ev.addr) != ev.writeVersion)
+            ++result.versionMismatches;
+    }
+
+    void
+    projectLoad(const MemCommitEvent &ev)
+    {
+        using namespace order_flags;
+        ReplayLoadInfo info;
+        info.bypassedUnresolvedStore =
+            (ev.orderFlags & kBypassedUnresolvedStore) != 0;
+        info.issuedOutOfOrder =
+            (ev.orderFlags & kIssuedOutOfOrder) != 0;
+        info.issuedOutOfOrderSched =
+            (ev.orderFlags & kIssuedOutOfOrderSched) != 0;
+        info.issuedBeforeOlderLoad =
+            (ev.orderFlags & kIssuedBeforeOlderLoad) != 0;
+
+        // Re-arm the recent-event marks exactly as the load saw them
+        // at classification time: arming with the load's own seq
+        // makes {miss,snoop}ArmedFor(seq) true and leaves younger
+        // state untouched (the shim is per-load, not per-core).
+        RecentEventFilterState state;
+        if ((ev.orderFlags & kMissArmed) != 0)
+            state.armMiss(ev.seq);
+        if ((ev.orderFlags & kSnoopArmed) != 0)
+            state.armSnoop(ev.seq);
+
+        ReplayReason projected =
+            classifyReplay(spec_.filters, info, ev.seq, state);
+        switch (projected) {
+        case ReplayReason::Filtered:
+            ++result.policyFiltered;
+            break;
+        case ReplayReason::UnresolvedStore:
+            ++result.policyUnresolved;
+            break;
+        case ReplayReason::Consistency:
+            ++result.policyConsistency;
+            break;
+        }
+
+        // The producer recorded its own final classification in the
+        // same flag word (decideReplay, refreshed by the pre-commit
+        // re-validation); compare when one is present.
+        bool recordedAny =
+            (ev.orderFlags & (kReplayIssued | kReplayFiltered |
+                              kReasonUnresolved | kReasonConsistency)) != 0;
+        if (!recordedAny)
+            return;
+        ReplayReason recorded = ReplayReason::Consistency;
+        if ((ev.orderFlags & kReplayFiltered) != 0)
+            recorded = ReplayReason::Filtered;
+        else if ((ev.orderFlags & kReasonUnresolved) != 0)
+            recorded = ReplayReason::UnresolvedStore;
+        if (projected != recorded)
+            ++result.policyMismatches;
+    }
+
+    const TraceReplaySpec &spec_;
+    std::unique_ptr<MemoryImage> mem_;
+    std::unique_ptr<ScChecker> checker_;
+    bool projectPolicy_ = false;
+};
+
+} // namespace
+
+TraceReplayResult
+replayTrace(const std::vector<std::uint8_t> &bytes,
+            const TraceReplaySpec &spec)
+{
+    ReplayVisitor v(spec);
+    walkTrace(bytes, v);
+    return v.result;
+}
+
+TraceReplayResult
+replayTraceFile(const std::string &path, const TraceReplaySpec &spec)
+{
+    std::string contents;
+    if (!readFileToString(path, contents))
+        throw TraceError("cannot read trace file: " + path);
+    std::vector<std::uint8_t> bytes(contents.begin(), contents.end());
+    return replayTrace(bytes, spec);
+}
+
+} // namespace vbr

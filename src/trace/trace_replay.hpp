@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The ordering-only fast simulation tier: replays a captured
+ * vbr-trace/1 file through the §3 replay-classification policy and
+ * the constraint-graph consistency checker without fetching,
+ * renaming, issuing, or writing back a single instruction.
+ *
+ * Equivalence contract with the full simulator (DESIGN.md §14):
+ *
+ *  - The ordering verdict counters (replay splits, squash totals,
+ *    committed loads) are reproduced from ordering-event frames that
+ *    the full simulator emitted at the exact source lines where the
+ *    corresponding RunStats counters increment, so the replay tier's
+ *    totals are identical BY CONSTRUCTION, not by re-simulation.
+ *  - The final memory image is reconstructed by applying write
+ *    frames in file order (capture pins the MP tick serial, so file
+ *    order IS global drain order) on top of the program's data
+ *    initializers; its digest must equal the trailer's.
+ *  - The SC/TSO/WO verdict is recomputed by feeding commit frames to
+ *    the same ScChecker the full simulator attaches.
+ *
+ * On top of the verdict replay, the tier re-runs the pure §3.3
+ * classification function over every committed load's recorded
+ * issue-time facts under a CALLER-CHOSEN filter configuration (the
+ * "drive any backend from one trace" mode): policy counters report
+ * how that configuration would have classified the same dynamic
+ * loads, and policyMismatches counts divergence from the producer's
+ * recorded decisions — the cheap scheme-ablation primitive used by
+ * tools/trace_tool.py diff.
+ */
+
+#ifndef VBR_TRACE_TRACE_REPLAY_HPP
+#define VBR_TRACE_TRACE_REPLAY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/constraint_graph.hpp"
+#include "lsq/replay_filters.hpp"
+#include "ordering/scheme.hpp"
+#include "trace/trace_format.hpp"
+
+namespace vbr
+{
+
+class MemoryImage;
+class Program;
+
+/** What to replay the trace through. */
+struct TraceReplaySpec
+{
+    /** Program that produced the trace; supplies the initial memory
+     * image (data initializers) for reconstruction. */
+    const Program *program = nullptr;
+
+    /** Expected content digest of @p program (the job layer's
+     * programDigest()); when nonzero it must match the trace
+     * header's, so a trace can never be replayed against the wrong
+     * program's initializers. */
+    std::uint64_t programDigest = 0;
+
+    /** Ordering scheme whose policy to project the trace through.
+     * The policy counters are only computed for ValueReplay (the
+     * associative load queue has no per-load classification). */
+    OrderingScheme scheme = OrderingScheme::ValueReplay;
+
+    /** Replay filters for the policy projection (may differ from the
+     * producing run's — that is the scheme-ablation use case). */
+    ReplayFilterConfig filters;
+
+    /** Feed commit frames to a consistency checker and report its
+     * verdict. */
+    bool attachScChecker = false;
+    ConsistencyModel checkerModel =
+        ConsistencyModel::SequentialConsistency;
+    std::size_t checkerMaxOps = 2'000'000;
+};
+
+/** Everything the replay tier derives from one trace. */
+struct TraceReplayResult
+{
+    TraceHeader header;
+    TraceTrailer trailer;
+    std::uint64_t commitFrames = 0;
+    std::uint64_t orderingFrames = 0;
+
+    // --- ordering verdicts, identical to the producing run ------------
+    std::uint64_t committedLoads = 0; ///< pure loads + wild loads
+    std::uint64_t replaysUnresolved = 0;
+    std::uint64_t replaysConsistency = 0;
+    std::uint64_t replaysFiltered = 0;
+    std::uint64_t squashReplay = 0;
+    std::uint64_t squashLqRaw = 0;
+    std::uint64_t squashLqRawUnnec = 0;
+    std::uint64_t squashLqSnoop = 0;
+    std::uint64_t squashLqSnoopUnnec = 0;
+
+    // --- memory reconstruction ----------------------------------------
+    std::uint64_t finalMemDigest = 0; ///< recomputed from write frames
+    bool memDigestMatch = false;      ///< == trailer.finalMemDigest
+    /** Write frames whose recorded post-write word version differed
+     * from the reconstruction's (0 unless the producer is buggy; the
+     * file digest already rules out corruption). */
+    std::uint64_t versionMismatches = 0;
+
+    // --- policy projection (spec.scheme == ValueReplay only) ----------
+    std::uint64_t policyUnresolved = 0;
+    std::uint64_t policyConsistency = 0;
+    std::uint64_t policyFiltered = 0;
+    /** Committed loads whose projected classification differs from
+     * the producer's recorded decision (0 when replaying a trace
+     * through its own configuration). */
+    std::uint64_t policyMismatches = 0;
+
+    // --- consistency checker ------------------------------------------
+    bool checkerRan = false;
+    CheckResult checker;
+};
+
+/** FNV-1a-64 over a memory image's bytes — the final-image digest
+ * recorded in trace trailers and compared by the replay tier. */
+std::uint64_t memoryImageDigest(const MemoryImage &mem);
+
+/** Replay an in-memory trace. Throws TraceError on any malformed
+ * input (digest mismatch, program digest mismatch, out-of-range
+ * write frame). */
+TraceReplayResult replayTrace(const std::vector<std::uint8_t> &bytes,
+                              const TraceReplaySpec &spec);
+
+/** Load @p path and replay it. Throws TraceError (also on
+ * unreadable files). */
+TraceReplayResult replayTraceFile(const std::string &path,
+                                  const TraceReplaySpec &spec);
+
+} // namespace vbr
+
+#endif // VBR_TRACE_TRACE_REPLAY_HPP

@@ -1,0 +1,52 @@
+#include "trace/trace_writer.hpp"
+
+#include <utility>
+
+#include "common/atomic_file.hpp"
+
+namespace vbr
+{
+
+TraceWriter::TraceWriter(std::string path, const TraceHeader &header)
+    : path_(std::move(path))
+{
+    bytes_.reserve(1 << 16);
+    appendHeader(bytes_, header);
+}
+
+void
+TraceWriter::onMemCommit(const MemCommitEvent &event)
+{
+    appendCommitFrame(bytes_, event);
+    ++frames_;
+}
+
+void
+TraceWriter::onOrderingEvent(const OrderingEvent &event)
+{
+    appendOrderingFrame(bytes_, event);
+    ++frames_;
+}
+
+bool
+TraceWriter::finalize(std::uint64_t cycles,
+                      std::uint64_t instructions,
+                      std::uint64_t final_mem_digest)
+{
+    TraceTrailer t;
+    t.frames = frames_;
+    t.cycles = cycles;
+    t.instructions = instructions;
+    t.finalMemDigest = final_mem_digest;
+    appendTrailer(bytes_, t);
+    // The digest is the last 8 bytes appendTrailer computed.
+    digest_ = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        digest_ |= static_cast<std::uint64_t>(
+                       bytes_[bytes_.size() - 8 + i])
+                   << (8 * i);
+    std::string payload(bytes_.begin(), bytes_.end());
+    return atomicWriteFile(path_, payload);
+}
+
+} // namespace vbr

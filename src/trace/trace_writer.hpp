@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Trace capture: a CommitObserver + OrderingEventSink pair that
+ * streams committed memory operations and ordering decisions into an
+ * in-memory vbr-trace/1 image, written atomically at finalize. One
+ * writer serves a whole System; capture forces the serial MP tick
+ * (System::parallelEligible), so frames arrive in the true global
+ * commit order and the file is byte-identical across every thread
+ * and fast-forward knob.
+ */
+
+#ifndef VBR_TRACE_TRACE_WRITER_HPP
+#define VBR_TRACE_TRACE_WRITER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_format.hpp"
+
+namespace vbr
+{
+
+/** Captures one run's trace; write it out with finalize(). */
+class TraceWriter final : public CommitObserver,
+                          public OrderingEventSink
+{
+  public:
+    TraceWriter(std::string path, const TraceHeader &header);
+
+    void onMemCommit(const MemCommitEvent &event) override;
+    void onOrderingEvent(const OrderingEvent &event) override;
+
+    /**
+     * Append the trailer and atomically write the file. Returns true
+     * on success; the trace's canonical digest (== the file digest)
+     * is then available via digest(). Call exactly once, after the
+     * run completes.
+     */
+    bool finalize(std::uint64_t cycles, std::uint64_t instructions,
+                  std::uint64_t final_mem_digest);
+
+    const std::string &path() const { return path_; }
+
+    /** Canonical digest; valid after a successful finalize(). */
+    std::uint64_t digest() const { return digest_; }
+
+    std::uint64_t frames() const { return frames_; }
+
+  private:
+    std::string path_;
+    std::vector<std::uint8_t> bytes_;
+    std::uint64_t frames_ = 0;
+    std::uint64_t digest_ = 0;
+};
+
+} // namespace vbr
+
+#endif // VBR_TRACE_TRACE_WRITER_HPP

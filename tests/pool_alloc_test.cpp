@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Freelist pool allocator tests: size-class recycling, std-container
+ * conformance (rebind sharing one arena, equality semantics), and
+ * the multi-element heap fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/pool_alloc.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+TEST(PoolArenaTest, RecyclesFreedNodesBySizeClass)
+{
+    PoolArena arena;
+    void *a = arena.allocate(24, 8);
+    void *b = arena.allocate(24, 8);
+    EXPECT_NE(a, b);
+    arena.deallocate(a, 24, 8);
+    // The freelist hands back the most recently freed node of the
+    // class before touching fresh chunk memory.
+    EXPECT_EQ(arena.allocate(24, 8), a);
+    arena.deallocate(b, 24, 8);
+    EXPECT_EQ(arena.allocate(24, 8), b);
+}
+
+TEST(PoolArenaTest, DistinctSizeClassesDoNotAlias)
+{
+    PoolArena arena;
+    void *small = arena.allocate(16, 8);
+    void *big = arena.allocate(128, 8);
+    arena.deallocate(small, 16, 8);
+    // Freeing a small node must not satisfy a big request.
+    void *big2 = arena.allocate(128, 8);
+    EXPECT_NE(big2, small);
+    arena.deallocate(big, 128, 8);
+    arena.deallocate(big2, 128, 8);
+}
+
+TEST(PoolAllocatorTest, StdSetChurnReusesArenaMemory)
+{
+    PoolArena arena;
+    using Pooled =
+        std::set<std::uint64_t, std::less<std::uint64_t>,
+                 PoolAllocator<std::uint64_t>>;
+    Pooled s{PoolAllocator<std::uint64_t>(arena)};
+    // Steady-state churn mirroring the incomplete-mem-op tracking
+    // pattern: insert a window, erase the old half, repeat.
+    for (std::uint64_t round = 0; round < 50; ++round) {
+        for (std::uint64_t i = 0; i < 64; ++i)
+            s.insert(round * 64 + i);
+        for (std::uint64_t i = 0; i < 32; ++i)
+            s.erase(round * 64 + i);
+    }
+    EXPECT_EQ(s.size(), 50u * 32u);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(PoolAllocatorTest, StdMapAndUnorderedMapWork)
+{
+    PoolArena arena;
+    using MapAlloc =
+        PoolAllocator<std::pair<const std::uint64_t, int>>;
+    std::map<std::uint64_t, int, std::less<std::uint64_t>, MapAlloc>
+        m{MapAlloc(arena)};
+    std::unordered_map<std::uint64_t, int, std::hash<std::uint64_t>,
+                       std::equal_to<std::uint64_t>, MapAlloc>
+        u{0, std::hash<std::uint64_t>{},
+          std::equal_to<std::uint64_t>{}, MapAlloc(arena)};
+    for (std::uint64_t i = 0; i < 500; ++i) {
+        m[i] = static_cast<int>(i);
+        u[i] = static_cast<int>(i * 2);
+    }
+    for (std::uint64_t i = 0; i < 500; i += 2) {
+        m.erase(i);
+        u.erase(i);
+    }
+    EXPECT_EQ(m.size(), 250u);
+    EXPECT_EQ(u.size(), 250u);
+    EXPECT_EQ(m.at(3), 3);
+    EXPECT_EQ(u.at(3), 6);
+}
+
+TEST(PoolAllocatorTest, EqualityMeansSameArena)
+{
+    PoolArena a1;
+    PoolArena a2;
+    PoolAllocator<int> x(a1);
+    PoolAllocator<int> y(a1);
+    PoolAllocator<int> z(a2);
+    EXPECT_TRUE(x == y);
+    EXPECT_FALSE(x == z);
+    EXPECT_TRUE(x != z);
+    // Rebound copies share the arena and compare equal across types.
+    PoolAllocator<long> r(x);
+    EXPECT_TRUE(PoolAllocator<int>(r) == x);
+}
+
+TEST(PoolAllocatorTest, MultiElementAllocationsFallBackToHeap)
+{
+    PoolArena arena;
+    PoolAllocator<std::uint64_t> alloc(arena);
+    // Vectors allocate n > 1; the allocator must serve (and free)
+    // those from the heap without disturbing the pool.
+    std::vector<std::uint64_t, PoolAllocator<std::uint64_t>> v(alloc);
+    for (std::uint64_t i = 0; i < 10'000; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.size(), 10'000u);
+    EXPECT_EQ(v[9'999], 9'999u);
+}
+
+} // namespace
+} // namespace vbr

@@ -1,0 +1,535 @@
+/**
+ * @file
+ * Trace tier tests (DESIGN.md §14): capture determinism across every
+ * performance knob, replay-tier verdict equivalence with the full
+ * simulator on uniprocessor and litmus workloads across schemes,
+ * clean degradation on corrupt/truncated traces, and the JobKey
+ * extension for trace-driven jobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "sys/job_key.hpp"
+#include "sys/result_cache.hpp"
+#include "sys/sweep_runner.hpp"
+#include "sys/system.hpp"
+#include "trace/trace_format.hpp"
+#include "trace/trace_replay.hpp"
+#include "workload/litmus.hpp"
+#include "workload/synthetic.hpp"
+
+namespace vbr
+{
+namespace
+{
+
+/** Fresh per-test trace directory under the host temp dir. */
+class TraceReplayTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = (std::filesystem::temp_directory_path() /
+                ("vbr_trace_test_" + std::to_string(::getpid()) +
+                 "_" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name()))
+                   .string();
+        std::filesystem::remove_all(dir_);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string dir_;
+};
+
+/** A pinned-knob uniprocessor spec (no env dependence). */
+SimJobSpec
+uniSpec(const CoreConfig &core, const std::string &config)
+{
+    WorkloadSpec wl = uniprocessorWorkload("gcc", 0.01);
+    SimJobSpec spec;
+    spec.workload = wl.name;
+    spec.config = config;
+    spec.system = SystemConfig{};
+    spec.system.cores = 1;
+    spec.system.core = core;
+    spec.system.trackVersions = true;
+    spec.system.faults = FaultConfig{};
+    spec.system.fastForward = false;
+    spec.system.perCoreFastForward = false;
+    spec.system.mpThreads = 1;
+    spec.system.audit = AuditLevel::Off;
+    spec.system.jobName = wl.name + "-" + config;
+    spec.system.traceDir.clear();
+    spec.attachScChecker = true;
+    spec.program =
+        std::make_shared<Program>(makeSynthetic(wl.params));
+    return spec;
+}
+
+/** A pinned-knob litmus spec across @p cores cores. */
+SimJobSpec
+litmusSpec(const Program &prog, const CoreConfig &core,
+           const std::string &name, const std::string &config)
+{
+    SimJobSpec spec;
+    spec.workload = name;
+    spec.config = config;
+    spec.system = SystemConfig{};
+    spec.system.cores =
+        static_cast<unsigned>(prog.threads().size());
+    spec.system.core = core;
+    spec.system.trackVersions = true;
+    spec.system.faults = FaultConfig{};
+    spec.system.fastForward = false;
+    spec.system.perCoreFastForward = false;
+    spec.system.mpThreads = 1;
+    spec.system.audit = AuditLevel::Off;
+    spec.system.jobName = name + "-" + config;
+    spec.system.traceDir.clear();
+    spec.attachScChecker = true;
+    spec.program = std::make_shared<Program>(prog);
+    return spec;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::string out;
+    EXPECT_TRUE(readFileToString(path, out)) << path;
+    return out;
+}
+
+/** Capture a trace for @p spec, returning the trace file path. */
+std::string
+capture(SimJobSpec spec, const std::string &trace_dir)
+{
+    spec.system.traceDir = trace_dir;
+    runSimJob(spec, /*guarded=*/false);
+    return traceFilePath(spec);
+}
+
+/** Build the replay-tier twin of a full spec + captured trace. */
+SimJobSpec
+replaySpecFor(SimJobSpec full, const std::string &trace_path)
+{
+    full.mode = SimJobMode::TraceReplay;
+    full.tracePath = trace_path;
+    full.traceDigest = traceFileDigest(trace_path);
+    full.system.traceDir.clear();
+    return full;
+}
+
+void
+expectVerdictEqual(const SimJobResult &full, const SimJobResult &rep)
+{
+    EXPECT_EQ(full.stats.instructions, rep.stats.instructions);
+    EXPECT_EQ(full.stats.cycles, rep.stats.cycles);
+    EXPECT_EQ(full.stats.committedLoads, rep.stats.committedLoads);
+    EXPECT_EQ(full.stats.replaysUnresolved,
+              rep.stats.replaysUnresolved);
+    EXPECT_EQ(full.stats.replaysConsistency,
+              rep.stats.replaysConsistency);
+    EXPECT_EQ(full.stats.replaysFiltered, rep.stats.replaysFiltered);
+    EXPECT_EQ(full.stats.squashLqRaw, rep.stats.squashLqRaw);
+    EXPECT_EQ(full.stats.squashLqRawUnnec,
+              rep.stats.squashLqRawUnnec);
+    EXPECT_EQ(full.stats.squashLqSnoop, rep.stats.squashLqSnoop);
+    EXPECT_EQ(full.stats.squashLqSnoopUnnec,
+              rep.stats.squashLqSnoopUnnec);
+    EXPECT_EQ(full.stats.squashReplay, rep.stats.squashReplay);
+    EXPECT_EQ(extraStat(full, "checker:consistent"),
+              extraStat(rep, "checker:consistent"));
+    EXPECT_EQ(extraStat(full, "checker:errors"),
+              extraStat(rep, "checker:errors"));
+}
+
+// --- capture determinism ----------------------------------------------
+
+TEST_F(TraceReplayTest, CaptureIsByteIdenticalAcrossPerfKnobs)
+{
+    SimJobSpec base = uniSpec(
+        CoreConfig::valueReplay(
+            ReplayFilterConfig::recentMissPlusNus()),
+        "no-recent-miss");
+
+    std::string ref = capture(base, dir_ + "/ref");
+    std::string ref_bytes = readFile(ref);
+    ASSERT_FALSE(ref_bytes.empty());
+
+    SimJobSpec ff = base;
+    ff.system.fastForward = true;
+    std::string ff_path = capture(ff, dir_ + "/ff");
+    EXPECT_EQ(readFile(ff_path), ref_bytes)
+        << "VBR_FASTFWD must not change the captured trace";
+}
+
+TEST_F(TraceReplayTest, MpCaptureIsByteIdenticalAcrossThreadKnobs)
+{
+    Program prog = makeLoadBuffering(200);
+    SimJobSpec base = litmusSpec(prog, CoreConfig::baseline(), "lb",
+                                 "baseline");
+
+    std::string ref_bytes = readFile(capture(base, dir_ + "/ref"));
+    ASSERT_FALSE(ref_bytes.empty());
+
+    SimJobSpec threaded = base;
+    threaded.system.mpThreads = 4;
+    threaded.system.fastForward = true;
+    threaded.system.perCoreFastForward = true;
+    std::string knob_path = capture(threaded, dir_ + "/knobs");
+    EXPECT_EQ(readFile(knob_path), ref_bytes)
+        << "VBR_MP_THREADS/VBR_FASTFWD_PERCORE must not change the "
+           "captured trace";
+}
+
+TEST_F(TraceReplayTest, CaptureDoesNotPerturbResults)
+{
+    SimJobSpec spec = uniSpec(
+        CoreConfig::valueReplay(ReplayFilterConfig::replayAll()),
+        "replay-all");
+    SimJobResult plain = runSimJob(spec, false);
+
+    SimJobSpec traced = spec;
+    traced.system.traceDir = dir_;
+    SimJobResult captured = runSimJob(traced, false);
+    EXPECT_EQ(canonicalResultBytes(plain),
+              canonicalResultBytes(captured))
+        << "capture must be a pure observer";
+}
+
+// --- replay-tier equivalence ------------------------------------------
+
+TEST_F(TraceReplayTest, ReplayMatchesFullSimAcrossSchemes)
+{
+    struct Scheme
+    {
+        const char *name;
+        CoreConfig core;
+    };
+    std::vector<Scheme> schemes = {
+        {"baseline", CoreConfig::baseline()},
+        {"replay-all",
+         CoreConfig::valueReplay(ReplayFilterConfig::replayAll())},
+        {"no-recent-miss",
+         CoreConfig::valueReplay(
+             ReplayFilterConfig::recentMissPlusNus())},
+        {"no-recent-snoop",
+         CoreConfig::valueReplay(
+             ReplayFilterConfig::recentSnoopPlusNus())},
+    };
+    for (const Scheme &s : schemes) {
+        SCOPED_TRACE(s.name);
+        SimJobSpec full = uniSpec(s.core, s.name);
+        full.system.traceDir = dir_;
+        SimJobResult fr = runSimJob(full, false);
+        SimJobResult rr =
+            runSimJob(replaySpecFor(full, traceFilePath(full)),
+                      false);
+        expectVerdictEqual(fr, rr);
+        // When the replay projects the producing configuration's own
+        // policy, it must agree with every recorded decision.
+        if (s.core.scheme == OrderingScheme::ValueReplay)
+            EXPECT_EQ(extraStat(rr, "policy:mismatches"), 0u);
+    }
+}
+
+TEST_F(TraceReplayTest, ReplayMatchesFullSimOnLitmusTests)
+{
+    struct Case
+    {
+        const char *name;
+        Program prog;
+    };
+    std::vector<Case> cases = {
+        {"lb", makeLoadBuffering(300)},
+        {"wrc", makeWrc(150)},
+        {"corr", makeCoRR(300)},
+    };
+    for (const Case &c : cases) {
+        for (bool value_replay : {false, true}) {
+            CoreConfig core =
+                value_replay
+                    ? CoreConfig::valueReplay(
+                          ReplayFilterConfig::recentSnoopPlusNus())
+                    : CoreConfig::baseline();
+            std::string cfg =
+                value_replay ? "no-recent-snoop" : "baseline";
+            SCOPED_TRACE(std::string(c.name) + "/" + cfg);
+            SimJobSpec full = litmusSpec(c.prog, core, c.name, cfg);
+            full.system.traceDir = dir_;
+            SimJobResult fr = runSimJob(full, false);
+            SimJobResult rr =
+                runSimJob(replaySpecFor(full, traceFilePath(full)),
+                          false);
+            expectVerdictEqual(fr, rr);
+            EXPECT_EQ(extraStat(rr, "checker:consistent"), 1u);
+        }
+    }
+}
+
+TEST_F(TraceReplayTest, PolicyProjectionDivergesAcrossFilterConfigs)
+{
+    // Capture under replay-all, project under no-recent-snoop: the
+    // stricter filter config must filter loads the producer replayed,
+    // and that divergence is exactly what policy:mismatches counts.
+    SimJobSpec full = uniSpec(
+        CoreConfig::valueReplay(ReplayFilterConfig::replayAll()),
+        "replay-all");
+    full.system.traceDir = dir_;
+    runSimJob(full, false);
+
+    SimJobSpec cross = replaySpecFor(full, traceFilePath(full));
+    cross.system.core = CoreConfig::valueReplay(
+        ReplayFilterConfig::recentSnoopPlusNus());
+    SimJobResult rr = runSimJob(cross, false);
+    EXPECT_GT(extraStat(rr, "policy:filtered"), 0u);
+    EXPECT_GT(extraStat(rr, "policy:mismatches"), 0u);
+    // The verdict counters still reproduce the producing run: the
+    // projection is an overlay, not a re-simulation.
+    EXPECT_GT(rr.stats.replaysUnresolved + rr.stats.replaysConsistency,
+              0u);
+    EXPECT_EQ(rr.stats.replaysFiltered, 0u);
+}
+
+// --- degradation ------------------------------------------------------
+
+TEST_F(TraceReplayTest, CorruptTraceDegradesToQuarantineNotCrash)
+{
+    SimJobSpec full = uniSpec(CoreConfig::baseline(), "baseline");
+    full.system.traceDir = dir_;
+    runSimJob(full, false);
+    std::string path = traceFilePath(full);
+    SimJobSpec rep = replaySpecFor(full, path);
+
+    // Flip one byte in the middle: the digest check must reject it.
+    std::string bytes = readFile(path);
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+    std::string corrupt = dir_ + "/corrupt.vbrtrace";
+    ASSERT_TRUE(atomicWriteFile(corrupt, bytes));
+    SimJobSpec bad = rep;
+    bad.tracePath = corrupt;
+    try {
+        runSimJob(bad, /*guarded=*/true);
+        FAIL() << "corrupt trace must throw";
+    } catch (const SweepJobError &e) {
+        EXPECT_EQ(e.artifact().kind, "trace");
+    }
+
+    // Truncate: same clean failure.
+    std::string truncated = dir_ + "/trunc.vbrtrace";
+    ASSERT_TRUE(atomicWriteFile(
+        truncated, readFile(path).substr(0, bytes.size() / 3)));
+    SimJobSpec trunc = rep;
+    trunc.tracePath = truncated;
+    EXPECT_THROW(runSimJob(trunc, true), SweepJobError);
+
+    // Missing file: same clean failure.
+    SimJobSpec missing = rep;
+    missing.tracePath = dir_ + "/nope.vbrtrace";
+    EXPECT_THROW(runSimJob(missing, true), SweepJobError);
+
+    // Right bytes, wrong expected digest: same clean failure.
+    SimJobSpec wrong = rep;
+    wrong.traceDigest ^= 1;
+    EXPECT_THROW(runSimJob(wrong, true), SweepJobError);
+
+    // Wrong program for a valid trace: same clean failure.
+    SimJobSpec other = rep;
+    WorkloadSpec wl2 = uniprocessorWorkload("mcf", 0.01);
+    other.program =
+        std::make_shared<Program>(makeSynthetic(wl2.params));
+    EXPECT_THROW(runSimJob(other, true), SweepJobError);
+}
+
+// --- job identity -----------------------------------------------------
+
+TEST_F(TraceReplayTest, FullModeCanonicalBytesUnchangedByTraceTier)
+{
+    SimJobSpec spec = uniSpec(CoreConfig::baseline(), "baseline");
+    std::string bytes = canonicalSpecBytes(spec);
+    EXPECT_EQ(bytes.find("trace_digest"), std::string::npos)
+        << "Full-mode specs must not mention the trace tier";
+    EXPECT_EQ(bytes.find("trace-replay"), std::string::npos)
+        << "Full-mode specs must not mention the trace tier";
+
+    // traceDir is a side output, never part of the identity.
+    SimJobSpec traced = spec;
+    traced.system.traceDir = dir_;
+    EXPECT_EQ(canonicalSpecBytes(traced), bytes);
+}
+
+TEST_F(TraceReplayTest, ReplayKeyTracksContentNotLocation)
+{
+    SimJobSpec spec = uniSpec(CoreConfig::baseline(), "baseline");
+    spec.mode = SimJobMode::TraceReplay;
+    spec.tracePath = "/a/b.vbrtrace";
+    spec.traceDigest = 0x1234;
+    JobKey k = jobKey(spec);
+    EXPECT_NE(k, jobKey(uniSpec(CoreConfig::baseline(), "baseline")))
+        << "replay mode must key differently from Full mode";
+
+    SimJobSpec moved = spec;
+    moved.tracePath = "/elsewhere/c.vbrtrace";
+    EXPECT_EQ(jobKey(moved), k) << "trace location is not identity";
+
+    SimJobSpec edited = spec;
+    edited.traceDigest = 0x5678;
+    EXPECT_NE(jobKey(edited), k) << "trace content is identity";
+}
+
+TEST_F(TraceReplayTest, ReplayJobsResolveThroughTheResultCache)
+{
+    SimJobSpec full = uniSpec(CoreConfig::baseline(), "baseline");
+    full.system.traceDir = dir_;
+    runSimJob(full, false);
+    SimJobSpec rep = replaySpecFor(full, traceFilePath(full));
+
+    ResultCache cache(dir_ + "/cache");
+    SpecSweepOptions opts;
+    opts.cache = &cache;
+    SweepRunner runner;
+    SpecSweepOutcome cold = runner.runSpecs({rep}, opts);
+    ASSERT_TRUE(cold.complete());
+    EXPECT_EQ(cold.simulated, 1u);
+    SpecSweepOutcome warm = runner.runSpecs({rep}, opts);
+    ASSERT_TRUE(warm.complete());
+    EXPECT_EQ(warm.simulated, 0u);
+    EXPECT_EQ(warm.cacheHits, 1u);
+    EXPECT_EQ(canonicalResultBytes(warm.results[0]),
+              canonicalResultBytes(cold.results[0]));
+}
+
+// --- format -----------------------------------------------------------
+
+TEST(TraceFormatTest, RejectsGarbageAndUnknownTags)
+{
+    std::vector<std::uint8_t> empty;
+    TraceHeader h;
+    TraceTrailer t;
+    EXPECT_THROW(readTraceSummary(empty, h, t), TraceError);
+
+    std::vector<std::uint8_t> junk(64, 0xAB);
+    EXPECT_THROW(readTraceSummary(junk, h, t), TraceError);
+
+    // A structurally valid file with an unknown frame tag: the
+    // digest passes, the walk must still throw cleanly.
+    std::vector<std::uint8_t> bytes;
+    TraceHeader hdr;
+    hdr.cores = 1;
+    hdr.memorySize = 64;
+    hdr.label = "t";
+    appendHeader(bytes, hdr);
+    bytes.push_back(0x7E); // unknown tag
+    appendFixed64(bytes, fnv1a64(bytes.data(), bytes.size()));
+    EXPECT_THROW(readTraceSummary(bytes, h, t), TraceError);
+}
+
+TEST(TraceFormatTest, RoundTripsFramesAndTrailer)
+{
+    std::vector<std::uint8_t> bytes;
+    TraceHeader hdr;
+    hdr.cores = 2;
+    hdr.memorySize = 4096;
+    hdr.versionsTracked = true;
+    hdr.producerScheme = 1;
+    hdr.programDigest = 0xDEADBEEFCAFEF00Dull;
+    hdr.label = "roundtrip";
+    appendHeader(bytes, hdr);
+
+    MemCommitEvent ce;
+    ce.core = 1;
+    ce.seq = 42;
+    ce.pc = 0x400;
+    ce.addr = 128;
+    ce.size = 8;
+    ce.isRead = true;
+    ce.orderFlags = 0x1234;
+    ce.readValue = 77;
+    ce.readVersion = 3;
+    ce.performCycle = 10;
+    ce.commitCycle = 12;
+    appendCommitFrame(bytes, ce);
+
+    OrderingEvent oe;
+    oe.kind = OrderingEventKind::SquashLqSnoop;
+    oe.core = 1;
+    oe.seq = 43;
+    oe.pc = 0x404;
+    oe.cycle = 15;
+    oe.unnecessary = true;
+    appendOrderingFrame(bytes, oe);
+
+    TraceTrailer tr;
+    tr.frames = 2;
+    tr.cycles = 100;
+    tr.instructions = 50;
+    tr.finalMemDigest = 0x1111;
+    appendTrailer(bytes, tr);
+
+    struct V final : TraceVisitor
+    {
+        TraceHeader h;
+        TraceTrailer t;
+        std::vector<MemCommitEvent> commits;
+        std::vector<OrderingEvent> events;
+        void onHeader(const TraceHeader &x) override { h = x; }
+        void
+        onCommitFrame(const MemCommitEvent &x) override
+        {
+            commits.push_back(x);
+        }
+        void
+        onOrderingFrame(const OrderingEvent &x) override
+        {
+            events.push_back(x);
+        }
+        void onTrailer(const TraceTrailer &x) override { t = x; }
+    } v;
+    walkTrace(bytes, v);
+    EXPECT_EQ(v.h.cores, 2u);
+    EXPECT_EQ(v.h.label, "roundtrip");
+    EXPECT_EQ(v.h.programDigest, 0xDEADBEEFCAFEF00Dull);
+    ASSERT_EQ(v.commits.size(), 1u);
+    EXPECT_EQ(v.commits[0].seq, 42u);
+    EXPECT_EQ(v.commits[0].orderFlags, 0x1234u);
+    EXPECT_TRUE(v.commits[0].isRead);
+    ASSERT_EQ(v.events.size(), 1u);
+    EXPECT_EQ(v.events[0].kind, OrderingEventKind::SquashLqSnoop);
+    EXPECT_TRUE(v.events[0].unnecessary);
+    EXPECT_EQ(v.t.cycles, 100u);
+    EXPECT_EQ(v.t.finalMemDigest, 0x1111u);
+
+    // A wrong trailer frame count is a structural error.
+    std::vector<std::uint8_t> bad;
+    appendHeader(bad, hdr);
+    appendCommitFrame(bad, ce);
+    TraceTrailer short_tr;
+    short_tr.frames = 7;
+    appendTrailer(bad, short_tr);
+    struct N final : TraceVisitor
+    {
+        void onHeader(const TraceHeader &) override {}
+        void onCommitFrame(const MemCommitEvent &) override {}
+        void onOrderingFrame(const OrderingEvent &) override {}
+        void onTrailer(const TraceTrailer &) override {}
+    } n;
+    EXPECT_THROW(walkTrace(bad, n), TraceError);
+}
+
+} // namespace
+} // namespace vbr

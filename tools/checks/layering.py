@@ -47,8 +47,16 @@ ALLOWED = {
              "ordering", "verify"},
     # sys -> check: runSimJob attaches the SC checker a job spec
     # requests and harvests its verdict into the job's extras.
+    # sys -> trace: runSimJob wires capture and dispatches the
+    # TraceReplay tier.
     "sys": {"common", "core", "mem", "isa", "fault", "verify",
-            "check"},
+            "check", "trace"},
+    # trace: the capture/replay tier sees the commit-event interface,
+    # the pure replay policy (lsq), the checker, and reconstruction
+    # inputs (mem, isa) -- never the live simulator (core internals,
+    # ordering backends, sys).
+    "trace": {"common", "mem", "isa", "lsq", "check", "core",
+              "ordering"},
     "verify": {"common", "core", "lsq", "mem"},
     "check": {"common", "core"},
     "workload": {"common", "isa"},
@@ -63,6 +71,8 @@ INTERFACE_ONLY = {
     ("verify", "core"): {"core/commit_observer.hpp",
                          "core/dyn_inst.hpp"},
     ("check", "core"): {"core/commit_observer.hpp"},
+    ("trace", "core"): {"core/commit_observer.hpp"},
+    ("trace", "ordering"): {"ordering/scheme.hpp"},
 }
 
 # from-dir -> concrete headers banned outright (lint.py check 4).

@@ -32,9 +32,13 @@ SOURCE_DIRS = ("src", "tests", "bench", "examples")
 # comma/=, not part of an identifier. make_unique and words like
 # "renewed" don't match; comment lines are stripped before matching.
 # Requires an operand after the keyword so deleted special members
-# (`= delete;`) don't trip the rule.
+# (`= delete;`) don't trip the rule. `operator new` / `operator
+# delete` calls are exempt: they are not owning expressions but the
+# raw-memory layer itself, which only allocator implementations
+# (e.g. common/pool_alloc.hpp) are in the business of calling.
 NAKED_NEW_RE = re.compile(
-    r"(?:^|[\s(,=])(new|delete)\b\s*(?:\[\s*\])?\s*[A-Za-z_(:]")
+    r"(?:^|[\s(,=])(?<!operator\s)(new|delete)\b"
+    r"\s*(?:\[\s*\])?\s*[A-Za-z_(:]")
 USING_STD_RE = re.compile(r"^\s*using\s+namespace\s+std\s*;")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+["<]([^">]+)[">]')
 

@@ -50,6 +50,7 @@ ablation_window_scaling
 micro_lsq_structures
 fault_detection
 mp16_gigaplane
+trace_replay
 "
 
 out="$results_dir/bench_full.txt"

@@ -1,0 +1,350 @@
+#!/usr/bin/env python3
+"""Inspect, diff, and merge vbr-trace/1 capture files.
+
+Subcommands:
+
+  inspect TRACE [TRACE...]
+      Decode each trace and print its header, per-kind frame tallies,
+      per-core commit counts, and trailer totals.
+
+  diff A B [--expect-divergence N]
+      Align the commit frames of two traces per core, in order, and
+      report how many aligned frames diverge (different pc, address,
+      value, or ordering flags), plus the ordering-event tally deltas.
+      With --expect-divergence, exit 0 iff the total number of
+      divergent commit frames is exactly N (CI pins fault-injection
+      divergence this way); otherwise exit 0 iff the traces are
+      identical in verdict terms.
+
+  merge OUT TRACE [TRACE...]
+      Bundle traces into one vbr-trace-bundle/1 file (length-prefixed
+      concatenation, each member digest-verified first). A bundle is
+      an archival container; `inspect` accepts bundles too.
+
+The format is defined in src/trace/trace_format.hpp. Everything here
+is read-only over the trace bytes; a malformed file (bad magic, digest
+mismatch, truncation) is reported cleanly and exits 2.
+"""
+
+import argparse
+import struct
+import sys
+
+MAGIC = b"vbr-trace/1\n"
+BUNDLE_MAGIC = b"vbr-trace-bundle/1\n"
+TAG_COMMIT = 0x01
+TAG_ORDERING = 0x02
+TAG_TRAILER = 0xFF
+
+EVENT_KINDS = [
+    "replay_unresolved",
+    "replay_consistency",
+    "replay_filtered",
+    "squash_replay",
+    "squash_lq_raw",
+    "squash_lq_snoop",
+    "wild_load",
+    "wild_store",
+]
+
+
+class TraceError(Exception):
+    pass
+
+
+def fnv1a64(data):
+    h = 14695981039346656037
+    for b in data:
+        h ^= b
+        h = (h * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class Cursor:
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def remaining(self):
+        return len(self.data) - self.pos
+
+    def byte(self):
+        if self.pos >= len(self.data):
+            raise TraceError("trace truncated mid-frame")
+        b = self.data[self.pos]
+        self.pos += 1
+        return b
+
+    def varint(self):
+        v = 0
+        shift = 0
+        while True:
+            if shift >= 64:
+                raise TraceError("varint overflows 64 bits")
+            b = self.byte()
+            v |= (b & 0x7F) << shift
+            if not b & 0x80:
+                return v
+            shift += 7
+
+    def fixed64(self):
+        if self.remaining() < 8:
+            raise TraceError("trace truncated mid-fixed64")
+        v = struct.unpack_from("<Q", self.data, self.pos)[0]
+        self.pos += 8
+        return v
+
+    def bytes(self, n):
+        if n > self.remaining():
+            raise TraceError("trace truncated mid-string")
+        out = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+
+def decode_trace(data):
+    """-> dict with header, commits (per frame), events, trailer."""
+    if len(data) < len(MAGIC) + 8:
+        raise TraceError("too short to carry a digest")
+    stored = struct.unpack_from("<Q", data, len(data) - 8)[0]
+    if stored != fnv1a64(data[:-8]):
+        raise TraceError("file digest mismatch (truncated or corrupt)")
+    c = Cursor(data)
+    if c.bytes(len(MAGIC)) != MAGIC:
+        raise TraceError("not a vbr-trace/1 file (bad magic)")
+    header = {
+        "cores": c.varint(),
+        "memory_size": c.varint(),
+        "versions_tracked": c.varint() != 0,
+        "producer_scheme": c.varint(),
+        "program_digest": c.fixed64(),
+    }
+    header["label"] = c.bytes(c.varint()).decode("utf-8", "replace")
+
+    commits = []
+    events = []
+    while True:
+        tag = c.byte()
+        if tag == TAG_COMMIT:
+            commits.append({
+                "core": c.varint(),
+                "seq": c.varint(),
+                "pc": c.varint(),
+                "addr": c.varint(),
+                "size": c.varint(),
+                "kind": c.byte(),
+                "order_flags": c.varint(),
+                "read_value": c.varint(),
+                "read_version": c.varint(),
+                "write_value": c.varint(),
+                "write_version": c.varint(),
+                "perform_cycle": c.varint(),
+                "commit_cycle": c.varint(),
+            })
+        elif tag == TAG_ORDERING:
+            kind = c.byte()
+            if kind >= len(EVENT_KINDS):
+                raise TraceError("unknown ordering-event kind")
+            events.append({
+                "kind": kind,
+                "core": c.varint(),
+                "seq": c.varint(),
+                "pc": c.varint(),
+                "cycle": c.varint(),
+                "unnecessary": c.byte() != 0,
+            })
+        elif tag == TAG_TRAILER:
+            trailer = {
+                "frames": c.varint(),
+                "cycles": c.varint(),
+                "instructions": c.varint(),
+                "final_mem_digest": c.fixed64(),
+                "file_digest": c.fixed64(),
+            }
+            if trailer["frames"] != len(commits) + len(events):
+                raise TraceError("trailer frame count mismatch")
+            if c.remaining():
+                raise TraceError("trailing garbage after trailer")
+            return {"header": header, "commits": commits,
+                    "events": events, "trailer": trailer}
+        else:
+            raise TraceError("unknown frame tag 0x%02x" % tag)
+
+
+def load_traces(path):
+    """-> [(name, decoded)] — a .vbrtrace yields one entry, a bundle
+    yields one per member."""
+    with open(path, "rb") as f:
+        data = f.read()
+    if data.startswith(BUNDLE_MAGIC):
+        out = []
+        pos = len(BUNDLE_MAGIC)
+        index = 0
+        while pos < len(data):
+            if pos + 8 > len(data):
+                raise TraceError("bundle truncated mid-length")
+            n = struct.unpack_from("<Q", data, pos)[0]
+            pos += 8
+            if pos + n > len(data):
+                raise TraceError("bundle truncated mid-member")
+            out.append(("%s[%d]" % (path, index),
+                        decode_trace(data[pos:pos + n])))
+            pos += n
+            index += 1
+        return out
+    return [(path, decode_trace(data))]
+
+
+def event_tallies(t):
+    tallies = {name: 0 for name in EVENT_KINDS}
+    for e in t["events"]:
+        tallies[EVENT_KINDS[e["kind"]]] += 1
+    return tallies
+
+
+def cmd_inspect(args):
+    for path in args.traces:
+        for name, t in load_traces(path):
+            h, tr = t["header"], t["trailer"]
+            print("%s:" % name)
+            print("  label=%s cores=%d memory=%d versions=%s "
+                  "producer_scheme=%d" %
+                  (h["label"], h["cores"], h["memory_size"],
+                   h["versions_tracked"], h["producer_scheme"]))
+            print("  program_digest=%016x file_digest=%016x" %
+                  (h["program_digest"], tr["file_digest"]))
+            print("  frames=%d commits=%d events=%d cycles=%d "
+                  "instructions=%d final_mem_digest=%016x" %
+                  (tr["frames"], len(t["commits"]), len(t["events"]),
+                   tr["cycles"], tr["instructions"],
+                   tr["final_mem_digest"]))
+            per_core = {}
+            for cm in t["commits"]:
+                per_core[cm["core"]] = per_core.get(cm["core"], 0) + 1
+            print("  commits per core: %s" %
+                  " ".join("c%d=%d" % kv
+                           for kv in sorted(per_core.items())))
+            tallies = event_tallies(t)
+            nonzero = {k: v for k, v in tallies.items() if v}
+            print("  events: %s" %
+                  (" ".join("%s=%d" % kv
+                            for kv in sorted(nonzero.items()))
+                   or "(none)"))
+    return 0
+
+
+def cmd_diff(args):
+    (name_a, a), = load_traces(args.a)
+    (name_b, b), = load_traces(args.b)
+
+    by_core_a = {}
+    by_core_b = {}
+    for cm in a["commits"]:
+        by_core_a.setdefault(cm["core"], []).append(cm)
+    for cm in b["commits"]:
+        by_core_b.setdefault(cm["core"], []).append(cm)
+
+    divergent = 0
+    compared = 0
+    unmatched = 0
+    first = None
+    for core in sorted(set(by_core_a) | set(by_core_b)):
+        ca = by_core_a.get(core, [])
+        cb = by_core_b.get(core, [])
+        unmatched += abs(len(ca) - len(cb))
+        for i, (fa, fb) in enumerate(zip(ca, cb)):
+            compared += 1
+            keys = ("pc", "addr", "size", "kind", "order_flags",
+                    "read_value", "write_value")
+            if any(fa[k] != fb[k] for k in keys):
+                divergent += 1
+                if first is None:
+                    first = (core, i, fa, fb)
+
+    ta, tb = event_tallies(a), event_tallies(b)
+    event_deltas = {k: tb[k] - ta[k] for k in EVENT_KINDS
+                    if tb[k] != ta[k]}
+    mem_equal = (a["trailer"]["final_mem_digest"] ==
+                 b["trailer"]["final_mem_digest"])
+
+    print("diff %s vs %s:" % (name_a, name_b))
+    print("  commit frames: compared=%d divergent=%d unmatched=%d" %
+          (compared, divergent, unmatched))
+    if first is not None:
+        core, i, fa, fb = first
+        print("  first divergence: core %d frame %d pc=%x addr=%x "
+              "read %d->%d flags %04x->%04x" %
+              (core, i, fa["pc"], fa["addr"], fa["read_value"],
+               fb["read_value"], fa["order_flags"],
+               fb["order_flags"]))
+    print("  event deltas: %s" %
+          (" ".join("%s=%+d" % kv
+                    for kv in sorted(event_deltas.items()))
+           or "(none)"))
+    print("  final memory image: %s" %
+          ("identical" if mem_equal else "DIVERGENT"))
+
+    if args.expect_divergence is not None:
+        if divergent == args.expect_divergence:
+            print("  expected divergence matched (%d)" % divergent)
+            return 0
+        print("  expected %d divergent frames, found %d" %
+              (args.expect_divergence, divergent), file=sys.stderr)
+        return 1
+    identical = (divergent == 0 and unmatched == 0 and
+                 not event_deltas and mem_equal)
+    return 0 if identical else 1
+
+
+def cmd_merge(args):
+    members = []
+    for path in args.traces:
+        with open(path, "rb") as f:
+            data = f.read()
+        decode_trace(data)  # verify before bundling
+        members.append(data)
+    with open(args.out, "wb") as f:
+        f.write(BUNDLE_MAGIC)
+        for data in members:
+            f.write(struct.pack("<Q", len(data)))
+            f.write(data)
+    print("wrote %s (%d traces, %d bytes)" %
+          (args.out, len(members),
+           len(BUNDLE_MAGIC) + sum(8 + len(m) for m in members)))
+    return 0
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    pi = sub.add_parser("inspect", help="print header/tallies/trailer")
+    pi.add_argument("traces", nargs="+")
+    pi.set_defaults(fn=cmd_inspect)
+
+    pd = sub.add_parser("diff", help="compare two traces")
+    pd.add_argument("a")
+    pd.add_argument("b")
+    pd.add_argument("--expect-divergence", type=int, default=None,
+                    metavar="N",
+                    help="exit 0 iff exactly N commit frames diverge")
+    pd.set_defaults(fn=cmd_diff)
+
+    pm = sub.add_parser("merge", help="bundle traces into one file")
+    pm.add_argument("out")
+    pm.add_argument("traces", nargs="+")
+    pm.set_defaults(fn=cmd_merge)
+
+    args = p.parse_args()
+    try:
+        return args.fn(args)
+    except TraceError as e:
+        print("error: %s" % e, file=sys.stderr)
+        return 2
+    except OSError as e:
+        print("error: %s" % e, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
